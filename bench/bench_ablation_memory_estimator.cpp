@@ -1,0 +1,69 @@
+// Design-choice ablation: the paper's topological live-tensor peak-memory
+// analysis (Section 4.3.3) vs a naive keep-everything-resident estimate.
+// The naive bound grossly over-counts, so fusion admits far fewer merges
+// under the same B_mem and forfeits most of FUSE OPT's benefit.
+#include "bench_util.h"
+#include "nautilus/core/fusion.h"
+#include "nautilus/core/materialization.h"
+#include "nautilus/nn/layer.h"
+#include "nautilus/util/strings.h"
+
+using namespace nautilus;
+
+int main() {
+  bench::PrintHeader(
+      "Ablation: live-tensor vs naive peak-memory estimation (FTR-2)");
+  nn::ProfileOnlyScope profile_only;
+  const core::SystemConfig base = bench::PaperConfig();
+  const workloads::RunParams params = bench::PaperRunParams();
+  workloads::BuiltWorkload built = workloads::BuildWorkload(
+      workloads::WorkloadId::kFtr2, workloads::Scale::kPaper, 1);
+  core::MultiModelGraph mm(&built.workload, base);
+  std::vector<bool> no_mat(mm.units().size(), false);
+
+  // Estimate gap on a representative fused pair.
+  {
+    core::ExecutionGroup pair = core::BuildExecutionGroup(mm, {0, 1}, no_mat);
+    const double live = core::EstimatePeakMemory(pair, base).total();
+    const double naive = core::EstimatePeakMemoryNaive(pair, base).total();
+    std::printf("two-model fused group estimate: live-tensor %s vs naive %s "
+                "(%.1fx tighter)\n",
+                HumanBytes(live).c_str(), HumanBytes(naive).c_str(),
+                naive / live);
+  }
+
+  bench::PrintRow({"B_mem (GB)", "#groups (live)", "#groups (naive)",
+                   "cost ratio naive/live"},
+                  22);
+  for (double gb : {4.0, 6.0, 8.0, 10.0, 16.0}) {
+    core::SystemConfig config = base;
+    config.memory_budget_bytes = gb * (1ull << 30);
+    core::FusionOutcome live = core::FuseModels(
+        mm, no_mat, config.memory_budget_bytes, config, true, false,
+        &core::EstimatePeakMemory);
+    core::FusionOutcome naive = core::FuseModels(
+        mm, no_mat, config.memory_budget_bytes, config, true, false,
+        &core::EstimatePeakMemoryNaive);
+    double live_cost = 0.0;
+    double naive_cost = 0.0;
+    for (const auto& g : live.groups) {
+      live_cost += g.epoch_weighted_cost_flops;
+    }
+    for (const auto& g : naive.groups) {
+      naive_cost += g.epoch_weighted_cost_flops;
+    }
+    bench::PrintRow({FormatDouble(gb, 1),
+                     std::to_string(live.groups.size()),
+                     std::to_string(naive.groups.size()),
+                     FormatDouble(naive_cost / live_cost, 2) + "x"},
+                    22);
+  }
+  (void)params;
+  std::printf(
+      "\nWhat this shows: the liveness analysis admits deep fusion within\n"
+      "the paper's 10 GB budget; a naive resident-everything estimate\n"
+      "blocks merges and leaves redundant frozen compute on the table,\n"
+      "while still being 'safe'. Both are upper bounds; only the paper's\n"
+      "is tight enough to be useful.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 10(B): FTR-2 model selection time using FUSE OPT only, as the
+// runtime memory budget B_mem varies. A tiny budget admits no fusion
+// (equivalent to Current Practice); the curve falls and plateaus once the
+// best grouping fits. Also demonstrates that the peak-memory estimator
+// keeps every fused group within budget.
+#include "bench_util.h"
+#include "nautilus/core/memory_estimator.h"
+#include "nautilus/nn/layer.h"
+#include "nautilus/util/strings.h"
+
+using namespace nautilus;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 10(B): FUSE OPT only vs memory budget (FTR-2, modeled)");
+  nn::ProfileOnlyScope profile_only;
+  const workloads::RunParams params = bench::PaperRunParams();
+  workloads::BuiltWorkload built = workloads::BuildWorkload(
+      workloads::WorkloadId::kFtr2, workloads::Scale::kPaper, 1);
+
+  core::SystemConfig base = bench::PaperConfig();
+  const double cp =
+      workloads::SimulateRun(built, workloads::Approach::kCurrentPractice,
+                             base, params)
+          .total_seconds;
+
+  bench::PrintRow({"B_mem (GB)", "FUSE-only time", "Speedup vs CP",
+                   "#groups"},
+                  17);
+  for (double gb : {2.0, 4.0, 6.0, 8.0, 10.0, 12.0}) {
+    core::SystemConfig config = base;
+    config.memory_budget_bytes = gb * (1ull << 30);
+    workloads::SimulatedRun run = workloads::SimulateRun(
+        built, workloads::Approach::kFuseOnly, config, params);
+    bench::PrintRow({FormatDouble(gb, 1), bench::Seconds(run.total_seconds),
+                     bench::Ratio(cp / run.total_seconds),
+                     std::to_string(run.num_groups)},
+                    17);
+  }
+  std::printf(
+      "\nPaper reference: B_mem = 2 GB admits no fusion (== Current\n"
+      "Practice); runtime falls with B_mem and plateaus after ~8 GB at a\n"
+      "4.0x speedup; the memory estimator prevents OOM crashes throughout.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Figure 11: system resource utilization on FTR-2 — average compute
+// utilization (the GPU-utilization analogue: useful-compute seconds over
+// total seconds) and cumulative disk reads/writes, Current Practice vs
+// Nautilus. Modeled at paper scale, plus a measured mini-scale run with
+// exact byte counters from the storage layer.
+#include <filesystem>
+
+#include "bench_util.h"
+#include "nautilus/nn/layer.h"
+#include "nautilus/util/strings.h"
+
+using namespace nautilus;
+
+int main() {
+  bench::PrintHeader("Figure 11: resource utilization on FTR-2");
+
+  {
+    nn::ProfileOnlyScope profile_only;
+    const core::SystemConfig config = bench::PaperConfig();
+    const workloads::RunParams params = bench::PaperRunParams();
+    workloads::BuiltWorkload built = workloads::BuildWorkload(
+        workloads::WorkloadId::kFtr2, workloads::Scale::kPaper, 1);
+    workloads::SimulatedRun cp = workloads::SimulateRun(
+        built, workloads::Approach::kCurrentPractice, config, params);
+    workloads::SimulatedRun nautilus = workloads::SimulateRun(
+        built, workloads::Approach::kNautilus, config, params);
+
+    std::printf("paper scale (modeled):\n");
+    bench::PrintRow({"Approach", "Utilization", "Disk reads", "Disk writes"},
+                    18);
+    bench::PrintRow({"CurrentPractice",
+                     FormatDouble(100.0 * cp.utilization, 1) + "%",
+                     HumanBytes(cp.bytes_read), HumanBytes(cp.bytes_written)},
+                    18);
+    bench::PrintRow(
+        {"Nautilus", FormatDouble(100.0 * nautilus.utilization, 1) + "%",
+         HumanBytes(nautilus.bytes_read), HumanBytes(nautilus.bytes_written)},
+        18);
+    std::printf("write reduction: %.1fx, read reduction: %.1fx\n",
+                cp.bytes_written / std::max(nautilus.bytes_written, 1.0),
+                cp.bytes_read / std::max(nautilus.bytes_read, 1.0));
+  }
+
+  {
+    std::printf("\nmini scale (measured, real training + real files):\n");
+    const core::SystemConfig config = bench::MiniConfig();
+    workloads::RunParams params;
+    params.cycles = 3;
+    params.records_per_cycle = 100;
+    const auto dir =
+        std::filesystem::temp_directory_path() / "nautilus_fig11";
+    std::filesystem::remove_all(dir);
+    bench::PrintRow({"Approach", "Wall time", "Disk reads", "Disk writes"},
+                    18);
+    for (workloads::Approach approach :
+         {workloads::Approach::kCurrentPractice,
+          workloads::Approach::kNautilus}) {
+      // Fresh identically-seeded workload per approach (training mutates
+      // the shared layer instances).
+      workloads::BuiltWorkload built = workloads::BuildWorkload(
+          workloads::WorkloadId::kFtr2, workloads::Scale::kMini, 1);
+      core::Workload subset;
+      for (size_t i = 0; i < built.workload.size(); i += 6) {
+        subset.push_back(built.workload[i]);
+      }
+      built.workload = std::move(subset);
+      data::LabeledDataset pool = workloads::MakePoolFor(built, 320, 3);
+      workloads::MeasuredRun run = workloads::MeasureRun(
+          built, approach, config, params, pool,
+          (dir / workloads::ApproachName(approach)).string());
+      bench::PrintRow(
+          {workloads::ApproachName(approach),
+           FormatDouble(run.total_seconds, 2) + " s",
+           HumanBytes(static_cast<double>(run.bytes_read)),
+           HumanBytes(static_cast<double>(run.bytes_written))},
+          18);
+    }
+    std::filesystem::remove_all(dir);
+  }
+
+  std::printf(
+      "\nPaper reference: utilization 57%% (CP) -> 66%% (Nautilus); 4.3x\n"
+      "fewer disk writes and 11.8x fewer reads — CP checkpoints whole\n"
+      "400-500 MB models every cycle while Nautilus writes pruned graphs.\n");
+  return 0;
+}

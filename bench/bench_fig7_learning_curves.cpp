@@ -1,0 +1,93 @@
+// Figure 7: best validation accuracy vs elapsed time, Current Practice vs
+// Nautilus, (A) with zero labeling cost and (B) with a per-label cost.
+// Measured with real CPU training at mini scale: both approaches run
+// logically equivalent SGD, so the curves reach the same accuracies —
+// Nautilus just gets there sooner.
+#include <filesystem>
+
+#include "bench_util.h"
+#include "nautilus/util/strings.h"
+
+using namespace nautilus;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 7: learning curves, FTR-2 subset (measured, mini scale)");
+  const core::SystemConfig config = bench::MiniConfig();
+  workloads::RunParams params;
+  params.cycles = 4;
+  params.records_per_cycle = 120;
+  params.train_fraction = 0.8;
+  // Labeling rate scaled to the mini workload (the paper uses 4 s/label
+  // against minutes-long cycles; here cycles are seconds-long).
+  const double kSecondsPerLabel = 0.05;
+
+  const auto dir = std::filesystem::temp_directory_path() / "nautilus_fig7";
+  std::filesystem::remove_all(dir);
+  workloads::MeasuredRun runs[2];
+  const workloads::Approach approaches[2] = {
+      workloads::Approach::kCurrentPractice, workloads::Approach::kNautilus};
+  for (int i = 0; i < 2; ++i) {
+    // Fresh identically-seeded workload per approach: training mutates
+    // layer weights, so the two runs must not share instances.
+    workloads::BuiltWorkload built = workloads::BuildWorkload(
+        workloads::WorkloadId::kFtr2, workloads::Scale::kMini, 1);
+    // One candidate per feature strategy x 2 learning rates -> 8 models,
+    // trained for 4 epochs (closer to the paper's 5) so the across-epoch
+    // redundancy Nautilus removes is visible at mini scale.
+    core::Workload subset;
+    for (size_t m = 0; m < built.workload.size(); m += 3) {
+      subset.push_back(built.workload[m]);
+      subset.back().hp.epochs = 4;
+    }
+    built.workload = std::move(subset);
+    data::LabeledDataset pool = workloads::MakePoolFor(built, 520, 17);
+    runs[i] = workloads::MeasureRun(
+        built, approaches[i], config, params, pool,
+        (dir / workloads::ApproachName(approaches[i])).string());
+  }
+  std::filesystem::remove_all(dir);
+
+  for (int variant = 0; variant < 2; ++variant) {
+    const double rate = variant == 0 ? 0.0 : kSecondsPerLabel;
+    std::printf("\n(%c) labeling cost %.2f s/label:\n", 'A' + variant, rate);
+    bench::PrintRow({"Cycle", "CP elapsed", "CP best-acc", "Naut elapsed",
+                     "Naut best-acc"},
+                    15);
+    const double labeling_per_cycle =
+        rate * static_cast<double>(params.records_per_cycle);
+    for (int k = 0; k < params.cycles; ++k) {
+      const auto& c0 = runs[0].cycles[static_cast<size_t>(k)];
+      const auto& c1 = runs[1].cycles[static_cast<size_t>(k)];
+      const double label_time = labeling_per_cycle * (k + 1);
+      bench::PrintRow(
+          {std::to_string(k + 1),
+           FormatDouble(c0.cumulative_seconds + label_time, 2) + "s",
+           FormatDouble(c0.best_accuracy, 3),
+           FormatDouble(c1.cumulative_seconds + label_time, 2) + "s",
+           FormatDouble(c1.best_accuracy, 3)},
+          15);
+    }
+    const double total0 =
+        runs[0].total_seconds + labeling_per_cycle * params.cycles;
+    const double total1 =
+        runs[1].total_seconds + labeling_per_cycle * params.cycles;
+    std::printf("end-to-end speedup: %.2fx\n", total0 / total1);
+  }
+
+  // Statistical equivalence: identical per-cycle best accuracy.
+  bool identical = true;
+  for (int k = 0; k < params.cycles; ++k) {
+    if (std::abs(runs[0].cycles[static_cast<size_t>(k)].best_accuracy -
+                 runs[1].cycles[static_cast<size_t>(k)].best_accuracy) >
+        1e-5f) {
+      identical = false;
+    }
+  }
+  std::printf("\nper-cycle best accuracies identical: %s\n",
+              identical ? "yes (logically equivalent SGD)" : "NO");
+  std::printf(
+      "Paper reference: identical accuracy trajectories; Nautilus reaches\n"
+      "them ~5x faster with free labels and ~2x faster at 4 s/label.\n");
+  return 0;
+}

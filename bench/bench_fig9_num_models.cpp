@@ -1,0 +1,73 @@
+// Figure 9: model selection time vs number of models. The FTR-2 variant of
+// the paper: feature strategy fixed to concat-last-4, batch size fixed to
+// 16, and the number of explored learning rates varied from 1 to 6.
+#include "bench_util.h"
+#include "nautilus/nn/layer.h"
+#include "nautilus/util/strings.h"
+#include "nautilus/zoo/bert_like.h"
+
+using namespace nautilus;
+
+namespace {
+
+workloads::BuiltWorkload MakeVariant(int num_learning_rates, uint64_t seed) {
+  workloads::BuiltWorkload built;
+  built.name = "FTR-2-var";
+  built.bert = std::make_shared<zoo::BertLikeModel>(
+      zoo::BertConfig::PaperScale(), seed);
+  const double rates[] = {5e-5, 3e-5, 2e-5, 1e-5, 5e-6, 1e-6};
+  for (int i = 0; i < num_learning_rates; ++i) {
+    core::Hyperparams hp;
+    hp.batch_size = 16;
+    hp.learning_rate = rates[i];
+    hp.epochs = 5;
+    built.workload.emplace_back(
+        zoo::BuildBertFeatureTransferModel(
+            *built.bert, zoo::BertFeature::kConcatLast4, 4,
+            "var_m" + std::to_string(i), seed + 100 + i),
+        hp);
+  }
+  return built;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Figure 9: time vs #models (FTR-2 concat-last-4, batch 16, modeled)");
+  nn::ProfileOnlyScope profile_only;
+  const core::SystemConfig config = bench::PaperConfig();
+  const workloads::RunParams params = bench::PaperRunParams();
+
+  bench::PrintRow({"#Models", "CurrPractice", "Nautilus", "w/o MAT",
+                   "w/o FUSE"},
+                  15);
+  for (int n = 1; n <= 6; ++n) {
+    workloads::BuiltWorkload built = MakeVariant(n, 1);
+    const double cp =
+        workloads::SimulateRun(built, workloads::Approach::kCurrentPractice,
+                               config, params)
+            .total_seconds;
+    const double full =
+        workloads::SimulateRun(built, workloads::Approach::kNautilus, config,
+                               params)
+            .total_seconds;
+    const double no_mat =
+        workloads::SimulateRun(built, workloads::Approach::kFuseOnly, config,
+                               params)
+            .total_seconds;
+    const double no_fuse =
+        workloads::SimulateRun(built, workloads::Approach::kMatOnly, config,
+                               params)
+            .total_seconds;
+    bench::PrintRow({std::to_string(n), bench::Seconds(cp),
+                     bench::Seconds(full), bench::Seconds(no_mat),
+                     bench::Seconds(no_fuse)},
+                    15);
+  }
+  std::printf(
+      "\nPaper reference: with <= 2 models, disabling MAT hurts more than\n"
+      "disabling FUSE; from ~3 models on the ordering flips (more fusion\n"
+      "opportunities); with one model FUSE contributes nothing.\n");
+  return 0;
+}

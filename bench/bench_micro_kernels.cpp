@@ -1,0 +1,116 @@
+// Microbenchmarks (google-benchmark) of the hot substrate kernels: the
+// tensor ops that dominate real training, and the solver primitives the
+// optimizer leans on.
+#include <benchmark/benchmark.h>
+
+#include "nautilus/core/planning.h"
+#include "nautilus/solver/maxflow.h"
+#include "nautilus/solver/milp.h"
+#include "nautilus/tensor/ops.h"
+#include "nautilus/util/random.h"
+
+namespace nautilus {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn(Shape({n, n}), &rng, 1.0f);
+  Tensor b = Tensor::Randn(Shape({n, n}), &rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Attention(benchmark::State& state) {
+  const int64_t s = state.range(0);
+  Rng rng(2);
+  const Shape shape({4, 4, s, 16});
+  Tensor q = Tensor::Randn(shape, &rng, 0.5f);
+  Tensor k = Tensor::Randn(shape, &rng, 0.5f);
+  Tensor v = Tensor::Randn(shape, &rng, 0.5f);
+  for (auto _ : state) {
+    ops::AttentionCache cache;
+    benchmark::DoNotOptimize(ops::AttentionForward(q, k, v, &cache));
+  }
+}
+BENCHMARK(BM_Attention)->Arg(16)->Arg(64);
+
+void BM_Conv2D(benchmark::State& state) {
+  Rng rng(3);
+  Tensor x = Tensor::Randn(Shape({4, 16, 16, 16}), &rng, 0.5f);
+  Tensor w = Tensor::Randn(Shape({32, 16, 3, 3}), &rng, 0.1f);
+  Tensor bias(Shape({32}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ops::Conv2DForward(x, w, bias, {.stride = 1, .padding = 1}));
+  }
+}
+BENCHMARK(BM_Conv2D);
+
+void BM_MaxFlow(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(4);
+    MaxFlow flow(n + 2);
+    for (int v = 0; v < n; ++v) {
+      flow.AddEdge(n, v, rng.Uniform(0.0, 10.0));
+      flow.AddEdge(v, n + 1, rng.Uniform(0.0, 10.0));
+      for (int u = v + 1; u < std::min(n, v + 4); ++u) {
+        flow.AddEdge(v, u, rng.Uniform(0.0, 10.0));
+      }
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(flow.Solve(n, n + 1));
+  }
+}
+BENCHMARK(BM_MaxFlow)->Arg(64)->Arg(512);
+
+void BM_ReusePlan(benchmark::State& state) {
+  // Chain-with-heads planning instance shaped like a BERT reuse plan.
+  const int n = static_cast<int>(state.range(0));
+  std::vector<core::PlanningNode> nodes(static_cast<size_t>(n));
+  nodes[0].can_compute = false;
+  nodes[0].can_load = true;
+  nodes[0].load_cost = 1.0;
+  for (int v = 1; v < n; ++v) {
+    nodes[static_cast<size_t>(v)].parents = {v - 1};
+    nodes[static_cast<size_t>(v)].compute_cost = 10.0 + v;
+    nodes[static_cast<size_t>(v)].can_load = v % 2 == 0;
+    nodes[static_cast<size_t>(v)].load_cost = 8.0;
+  }
+  nodes[static_cast<size_t>(n - 1)].forced_present = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SolveOptimalReusePlan(nodes));
+  }
+}
+BENCHMARK(BM_ReusePlan)->Arg(16)->Arg(64);
+
+void BM_SimplexLp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  LinearProgram lp(n);
+  for (int j = 0; j < n; ++j) {
+    lp.SetObjective(j, rng.Uniform(-5.0, 5.0));
+    lp.SetUpperBound(j, 1.0);
+  }
+  for (int r = 0; r < n; ++r) {
+    std::vector<std::pair<int, double>> coeffs;
+    for (int j = 0; j < n; ++j) {
+      if ((r + j) % 3 == 0) coeffs.emplace_back(j, rng.Uniform(0.0, 4.0));
+    }
+    if (!coeffs.empty()) lp.AddLeqRow(coeffs, rng.Uniform(1.0, 8.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveLp(lp));
+  }
+}
+BENCHMARK(BM_SimplexLp)->Arg(16)->Arg(48);
+
+}  // namespace
+}  // namespace nautilus
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Table 3: model-selection configurations of the five end-to-end workloads,
+// plus each workload's attainable theoretical speedup (Equation 11, the
+// basis of the FLOPs-Optimal line in Figure 6A).
+#include "bench_util.h"
+#include "nautilus/core/profile.h"
+#include "nautilus/nn/layer.h"
+#include "nautilus/util/strings.h"
+#include "nautilus/workloads/definitions.h"
+
+using namespace nautilus;
+
+int main() {
+  bench::PrintHeader(
+      "Table 3: model selection configurations (paper-scale profiles)");
+  nn::ProfileOnlyScope profile_only;
+  const core::SystemConfig config = bench::PaperConfig();
+
+  bench::PrintRow({"Workload", "#Models", "Batch", "LR grid", "Epochs",
+                   "Theo. speedup (Eq 11)"},
+                  22);
+  for (workloads::WorkloadId id : workloads::AllWorkloads()) {
+    workloads::BuiltWorkload built =
+        workloads::BuildWorkload(id, workloads::Scale::kPaper, 1);
+    const char* epochs =
+        id == workloads::WorkloadId::kFtr3 ? "{5, 10}" : "{5}";
+    const double speedup = core::TheoreticalSpeedup(built.workload, config);
+    bench::PrintRow({built.name, std::to_string(built.workload.size()),
+                     "{16, 32}", "{5, 3, 2}e-5", epochs,
+                     FormatDouble(speedup, 2) + "x"},
+                    22);
+    std::printf("    transfer scheme: %s\n", built.description.c_str());
+  }
+
+  std::printf(
+      "\nPaper reference (Table 3): FTR-1 36 models, FTR-2 24, FTR-3 12,\n"
+      "ATR 24, FTU 24; all use batch {16,32}, lr {5,3,2}e-5, epochs {5}\n"
+      "({5,10} for FTR-3).\n");
+  return 0;
+}

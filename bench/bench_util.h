@@ -1,0 +1,71 @@
+#ifndef NAUTILUS_BENCH_BENCH_UTIL_H_
+#define NAUTILUS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "nautilus/core/config.h"
+#include "nautilus/workloads/runner.h"
+
+namespace nautilus {
+namespace bench {
+
+/// The paper's experimental setup (Section 5): 10 cycles x 500 records with
+/// a 400/100 split; B_disk 25 GB, B_mem 10 GB, 500 MB/s disk, 6 TFLOP/s.
+inline core::SystemConfig PaperConfig() {
+  core::SystemConfig config;  // defaults match the paper already
+  // The experiments label 10 x 500 = 5000 records total.
+  config.expected_max_records = 5000;
+  return config;
+}
+
+inline workloads::RunParams PaperRunParams() {
+  workloads::RunParams params;
+  params.cycles = 10;
+  params.records_per_cycle = 500;
+  params.train_fraction = 0.8;
+  return params;
+}
+
+/// Mini-scale measured-run hardware model (CPU-scale compute).
+inline core::SystemConfig MiniConfig() {
+  core::SystemConfig config;
+  config.expected_max_records = 1000;
+  config.disk_budget_bytes = 512.0 * (1 << 20);
+  config.memory_budget_bytes = 2.0 * (1ull << 30);
+  config.workspace_bytes = 64.0 * (1 << 20);
+  config.flops_per_second = 2.0e9;
+  config.disk_bytes_per_second = 200.0 * (1 << 20);
+  return config;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void PrintRow(const std::vector<std::string>& cells, int width = 16) {
+  for (const std::string& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string Seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f min", s / 60.0);
+  return buf;
+}
+
+inline std::string Ratio(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", x);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace nautilus
+
+#endif  // NAUTILUS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,29 @@
+# Included from the top-level CMakeLists (not add_subdirectory) so that
+# build/bench/ contains only the benchmark binaries, making
+#   for b in build/bench/*; do $b; done
+# a clean way to regenerate every table/figure.
+set(NAUTILUS_BENCH_DIR ${CMAKE_CURRENT_LIST_DIR})
+
+function(nautilus_add_bench name)
+  add_executable(${name} ${NAUTILUS_BENCH_DIR}/${name}.cpp)
+  target_link_libraries(${name} PRIVATE nautilus_workloads nautilus_core nautilus_data nautilus_zoo)
+  target_include_directories(${name} PRIVATE ${NAUTILUS_BENCH_DIR})
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+nautilus_add_bench(bench_table3_workloads)
+nautilus_add_bench(bench_fig6a_end_to_end)
+nautilus_add_bench(bench_fig6b_cycle_breakdown)
+nautilus_add_bench(bench_fig6c_labeling_time)
+nautilus_add_bench(bench_fig7_learning_curves)
+nautilus_add_bench(bench_fig8_ablation)
+nautilus_add_bench(bench_fig9_num_models)
+nautilus_add_bench(bench_fig10a_storage_budget)
+nautilus_add_bench(bench_fig10b_memory_budget)
+nautilus_add_bench(bench_fig11_resources)
+nautilus_add_bench(bench_milp_solver)
+
+add_executable(bench_micro_kernels ${NAUTILUS_BENCH_DIR}/bench_micro_kernels.cpp)
+target_link_libraries(bench_micro_kernels PRIVATE nautilus_core nautilus_solver nautilus_tensor benchmark::benchmark)
+set_target_properties(bench_micro_kernels PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+nautilus_add_bench(bench_ablation_memory_estimator)

@@ -1,0 +1,72 @@
+#include "nautilus/core/calibration.h"
+
+#include "nautilus/storage/tensor_store.h"
+#include "nautilus/tensor/ops.h"
+#include "nautilus/util/logging.h"
+#include "nautilus/util/random.h"
+#include "nautilus/util/stopwatch.h"
+
+namespace nautilus {
+namespace core {
+
+CalibrationResult MeasureHardware(const std::string& scratch_dir,
+                                  double probe_seconds) {
+  NAUTILUS_CHECK_GT(probe_seconds, 0.0);
+  CalibrationResult result;
+
+  // Compute probe: repeated dense matmul (the training hot loop's shape).
+  {
+    constexpr int64_t kDim = 128;
+    Rng rng(1);
+    Tensor a = Tensor::Randn(Shape({kDim, kDim}), &rng, 1.0f);
+    Tensor b = Tensor::Randn(Shape({kDim, kDim}), &rng, 1.0f);
+    const double flops_per_call = 2.0 * kDim * kDim * kDim;
+    Stopwatch watch;
+    double flops = 0.0;
+    float sink = 0.0f;
+    while (watch.ElapsedSeconds() < probe_seconds) {
+      Tensor c = ops::MatMul(a, b);
+      sink += c.at(0);
+      flops += flops_per_call;
+    }
+    (void)sink;
+    result.flops_per_second = flops / watch.ElapsedSeconds();
+  }
+
+  // Disk probe: write then read an 8 MiB tensor through the store.
+  {
+    storage::IoStats stats;
+    storage::TensorStore store(scratch_dir, &stats);
+    Tensor blob(Shape({2048, 1024}));  // 8 MiB of float32
+    Stopwatch write_watch;
+    double written = 0.0;
+    while (write_watch.ElapsedSeconds() < probe_seconds) {
+      NAUTILUS_CHECK_OK(store.Put("calibration_probe", blob));
+      written += static_cast<double>(blob.SizeBytes());
+    }
+    result.disk_write_bytes_per_second =
+        written / write_watch.ElapsedSeconds();
+    Stopwatch read_watch;
+    double read = 0.0;
+    while (read_watch.ElapsedSeconds() < probe_seconds) {
+      auto loaded = store.Get("calibration_probe");
+      NAUTILUS_CHECK(loaded.ok());
+      read += static_cast<double>(loaded->SizeBytes());
+    }
+    result.disk_read_bytes_per_second = read / read_watch.ElapsedSeconds();
+    NAUTILUS_CHECK_OK(store.Remove("calibration_probe"));
+  }
+  return result;
+}
+
+SystemConfig CalibrateConfig(SystemConfig base, const std::string& scratch_dir,
+                             double probe_seconds) {
+  const CalibrationResult measured =
+      MeasureHardware(scratch_dir, probe_seconds);
+  base.flops_per_second = measured.flops_per_second;
+  base.disk_bytes_per_second = measured.disk_read_bytes_per_second;
+  return base;
+}
+
+}  // namespace core
+}  // namespace nautilus

@@ -1,0 +1,35 @@
+#ifndef NAUTILUS_CORE_CALIBRATION_H_
+#define NAUTILUS_CORE_CALIBRATION_H_
+
+#include <string>
+
+#include "nautilus/core/config.h"
+
+namespace nautilus {
+namespace core {
+
+/// Measured hardware characteristics for the optimizer's cost model. The
+/// paper uses pre-configured values "which match the characteristics of the
+/// available hardware" (Section 4.1, c_load discussion) — this helper
+/// measures them instead of trusting defaults: a short dense-matmul probe
+/// for effective FLOP/s and a write/read probe in `scratch_dir` for disk
+/// throughput.
+struct CalibrationResult {
+  double flops_per_second = 0.0;
+  double disk_write_bytes_per_second = 0.0;
+  double disk_read_bytes_per_second = 0.0;
+};
+
+/// Runs the probes; each runs for roughly `probe_seconds`.
+CalibrationResult MeasureHardware(const std::string& scratch_dir,
+                                  double probe_seconds = 0.2);
+
+/// Returns `base` with flops_per_second and disk_bytes_per_second replaced
+/// by measured values (read throughput, the trainer's dominant direction).
+SystemConfig CalibrateConfig(SystemConfig base, const std::string& scratch_dir,
+                             double probe_seconds = 0.2);
+
+}  // namespace core
+}  // namespace nautilus
+
+#endif  // NAUTILUS_CORE_CALIBRATION_H_

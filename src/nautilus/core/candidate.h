@@ -1,0 +1,40 @@
+#ifndef NAUTILUS_CORE_CANDIDATE_H_
+#define NAUTILUS_CORE_CANDIDATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nautilus/graph/model_graph.h"
+
+namespace nautilus {
+namespace core {
+
+/// Training hyperparameters phi_i of one candidate (Table 1).
+struct Hyperparams {
+  int64_t batch_size = 16;
+  double learning_rate = 5e-5;
+  int64_t epochs = 5;
+  /// Decoupled (AdamW-style) weight decay; 0 disables.
+  double weight_decay = 0.0;
+  /// Global-norm gradient clipping threshold; 0 disables.
+  double clip_norm = 0.0;
+
+  std::string ToString() const;
+};
+
+/// One (M_i, phi_i) pair of the model-selection workload Q (Section 2.3).
+struct Candidate {
+  graph::ModelGraph model;
+  Hyperparams hp;
+
+  Candidate(graph::ModelGraph m, Hyperparams h)
+      : model(std::move(m)), hp(h) {}
+};
+
+using Workload = std::vector<Candidate>;
+
+}  // namespace core
+}  // namespace nautilus
+
+#endif  // NAUTILUS_CORE_CANDIDATE_H_

@@ -1,0 +1,67 @@
+#ifndef NAUTILUS_CORE_CONFIG_H_
+#define NAUTILUS_CORE_CONFIG_H_
+
+#include <cstdint>
+
+namespace nautilus {
+namespace core {
+
+/// System configuration the user can override (Section 3, "API"): budgets,
+/// hardware characteristics used by the cost model, and the expected maximum
+/// number of training records for the storage estimate.
+struct SystemConfig {
+  /// Disk storage budget B_disk for materialized layer outputs, in bytes.
+  /// Paper default: 25 GB.
+  double disk_budget_bytes = 25.0 * (1ull << 30);
+
+  /// Runtime memory budget B_mem for fused-model training, in bytes.
+  /// Paper default: 10 GB.
+  double memory_budget_bytes = 10.0 * (1ull << 30);
+
+  /// Sequential disk throughput used by the cost model. Paper: 500 MB/s.
+  double disk_bytes_per_second = 500.0 * (1 << 20);
+
+  /// Effective compute throughput used by the cost model. Paper: 6 TFLOP/s
+  /// (50% of a Titan X's peak).
+  double flops_per_second = 6.0e12;
+
+  /// Workspace memory reserved for kernel scratch (Section 4.3.3, usage
+  /// type 2). Paper suggests a user-set constant, e.g. 1 GB.
+  double workspace_bytes = 1.0 * (1ull << 30);
+
+  /// Effective OS page-cache capacity available for re-reads. The paper's
+  /// Materializer deliberately relies on the OS disk cache (Section 3), and
+  /// Figure 11's read counts hinge on it: a run whose per-cycle working set
+  /// plus write traffic fits stays cached, while Current Practice's huge
+  /// checkpoint churn evicts everything. 16 GB of the paper's 32 GB box.
+  double page_cache_bytes = 16.0 * (1ull << 30);
+
+  /// Expected maximum number of training records r. When the labeled data
+  /// outgrows it, Nautilus doubles r and re-optimizes (Section 4.2.3).
+  int64_t expected_max_records = 10000;
+
+  /// Fixed overheads charged by the simulated executor, calibrated to the
+  /// kind of per-run framework costs the paper's model fusion amortizes
+  /// (checkpoint load/save, graph setup, per-epoch shuffling, per-batch
+  /// dispatch).
+  double per_model_setup_seconds = 2.0;
+  double per_epoch_overhead_seconds = 0.25;
+  double per_batch_overhead_seconds = 0.004;
+
+  /// Convert a byte count into load seconds under the disk model.
+  double LoadSeconds(double bytes) const {
+    return bytes / disk_bytes_per_second;
+  }
+  /// Convert a FLOP count into compute seconds under the compute model.
+  double ComputeSeconds(double flops) const { return flops / flops_per_second; }
+  /// c_load in FLOPs: disk read time expressed as missed compute
+  /// (Section 4.1).
+  double LoadCostFlops(double bytes) const {
+    return LoadSeconds(bytes) * flops_per_second;
+  }
+};
+
+}  // namespace core
+}  // namespace nautilus
+
+#endif  // NAUTILUS_CORE_CONFIG_H_

@@ -1,0 +1,143 @@
+#include "nautilus/core/fusion.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "nautilus/util/logging.h"
+
+namespace nautilus {
+namespace core {
+
+namespace {
+
+constexpr double kMinSaving = 1e-6;
+
+struct Unit {
+  int id;                   // stable identity for the pair cache
+  std::vector<int> models;  // workload indices
+  ExecutionGroup group;
+};
+
+struct PairEval {
+  double saving_seconds = 0.0;
+  bool feasible = false;
+  ExecutionGroup fused;
+};
+
+}  // namespace
+
+FusionOutcome FuseModels(const MultiModelGraph& mm,
+                         const std::vector<bool>& materialized_units,
+                         double memory_budget_bytes, const SystemConfig& config,
+                         bool enable_fusion, bool force_load_materialized,
+                         MemoryEstimatorFn estimator) {
+  FusionOutcome outcome;
+  std::vector<Unit> units;
+  int next_id = 0;
+  for (int i = 0; i < mm.num_models(); ++i) {
+    Unit unit;
+    unit.id = next_id++;
+    unit.models = {i};
+    unit.group = BuildExecutionGroup(mm, unit.models, materialized_units,
+                                     force_load_materialized);
+    units.push_back(std::move(unit));
+  }
+  if (!enable_fusion) {
+    for (Unit& unit : units) outcome.groups.push_back(std::move(unit.group));
+    return outcome;
+  }
+
+  // Pair evaluations survive across rounds; only pairs touching the merged
+  // units need re-evaluation. Savings are measured in modeled seconds at
+  // the expected record count so that computation reuse AND the per-run
+  // training overheads fusion amortizes (Section 4.3: "It also amortizes
+  // model training overheads and I/O overheads") both count.
+  std::map<std::pair<int, int>, PairEval> cache;
+  const double records = static_cast<double>(config.expected_max_records);
+
+  while (true) {
+    int best_a = -1;
+    int best_b = -1;
+    double best_saving = kMinSaving;
+    for (size_t a = 0; a < units.size(); ++a) {
+      for (size_t b = a + 1; b < units.size(); ++b) {
+        if (units[a].group.batch_size != units[b].group.batch_size) continue;
+        const std::pair<int, int> key = {units[a].id, units[b].id};
+        auto it = cache.find(key);
+        if (it == cache.end()) {
+          PairEval eval;
+          std::vector<int> models = units[a].models;
+          models.insert(models.end(), units[b].models.begin(),
+                        units[b].models.end());
+          eval.fused = BuildExecutionGroup(mm, models, materialized_units,
+                                           force_load_materialized);
+          const double flops_saved =
+              units[a].group.epoch_weighted_cost_flops +
+              units[b].group.epoch_weighted_cost_flops -
+              eval.fused.epoch_weighted_cost_flops;
+          // One fewer per-run setup per cycle, plus the reuse saving.
+          eval.saving_seconds = config.ComputeSeconds(flops_saved * records) +
+                                config.per_model_setup_seconds;
+          eval.feasible =
+              estimator(eval.fused, config).total() <= memory_budget_bytes;
+          ++outcome.pairs_evaluated;
+          it = cache.emplace(key, std::move(eval)).first;
+        }
+        if (it->second.feasible && it->second.saving_seconds > best_saving) {
+          best_saving = it->second.saving_seconds;
+          best_a = static_cast<int>(a);
+          best_b = static_cast<int>(b);
+        }
+      }
+    }
+    if (best_a < 0) break;
+
+    // Merge b into a (Algorithm 1 lines 8-9).
+    const std::pair<int, int> key = {units[static_cast<size_t>(best_a)].id,
+                                     units[static_cast<size_t>(best_b)].id};
+    PairEval eval = std::move(cache.at(key));
+    Unit merged;
+    merged.id = next_id++;
+    merged.models = units[static_cast<size_t>(best_a)].models;
+    merged.models.insert(merged.models.end(),
+                         units[static_cast<size_t>(best_b)].models.begin(),
+                         units[static_cast<size_t>(best_b)].models.end());
+    merged.group = std::move(eval.fused);
+    const int dead_a = units[static_cast<size_t>(best_a)].id;
+    const int dead_b = units[static_cast<size_t>(best_b)].id;
+    units.erase(units.begin() + best_b);
+    units.erase(units.begin() + best_a);
+    units.push_back(std::move(merged));
+    ++outcome.fusions_applied;
+    // Drop stale cache entries.
+    for (auto it = cache.begin(); it != cache.end();) {
+      if (it->first.first == dead_a || it->first.first == dead_b ||
+          it->first.second == dead_a || it->first.second == dead_b) {
+        it = cache.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  for (Unit& unit : units) outcome.groups.push_back(std::move(unit.group));
+  return outcome;
+}
+
+std::vector<bool> UnitsLoadedByGroups(
+    const MultiModelGraph& mm, const std::vector<ExecutionGroup>& groups) {
+  std::vector<bool> loaded(mm.units().size(), false);
+  for (const ExecutionGroup& group : groups) {
+    for (const PlanNode& node : group.nodes) {
+      if (node.action != NodeAction::kLoaded || node.is_raw_input) continue;
+      const int unit = mm.UnitByHash(node.expr_hash);
+      NAUTILUS_CHECK_GE(unit, 0) << "loaded plan node without a unit";
+      loaded[static_cast<size_t>(unit)] = true;
+    }
+  }
+  return loaded;
+}
+
+}  // namespace core
+}  // namespace nautilus

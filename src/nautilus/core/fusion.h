@@ -1,0 +1,50 @@
+#ifndef NAUTILUS_CORE_FUSION_H_
+#define NAUTILUS_CORE_FUSION_H_
+
+#include <vector>
+
+#include "nautilus/core/config.h"
+#include "nautilus/core/memory_estimator.h"
+#include "nautilus/core/plan.h"
+
+namespace nautilus {
+namespace core {
+
+struct FusionOutcome {
+  /// Final training plans, one per fused group (singletons when fusion is
+  /// disabled or unprofitable).
+  std::vector<ExecutionGroup> groups;
+  int pairs_evaluated = 0;
+  int fusions_applied = 0;
+};
+
+/// Algorithm 1 (FuseModels): greedy pairwise fusion of candidates with equal
+/// batch sizes. Each pair is evaluated by building the fused multi-model's
+/// optimal reuse plan (max-flow, Section 4.3.2) and estimating its peak
+/// training memory (live-tensor analysis, Section 4.3.3); the
+/// largest-saving pair within the memory budget B_mem is merged until no
+/// profitable pair remains.
+/// Signature of a peak-memory estimator (EstimatePeakMemory or the
+/// EstimatePeakMemoryNaive ablation baseline).
+using MemoryEstimatorFn = MemoryEstimate (*)(const ExecutionGroup&,
+                                             const SystemConfig&);
+
+FusionOutcome FuseModels(const MultiModelGraph& mm,
+                         const std::vector<bool>& materialized_units,
+                         double memory_budget_bytes, const SystemConfig& config,
+                         bool enable_fusion = true,
+                         bool force_load_materialized = false,
+                         MemoryEstimatorFn estimator = &EstimatePeakMemory);
+
+/// Units actually loaded by at least one group's plan. Fusion can make a
+/// materialized unit obsolete (a fused group recomputes the shared prefix
+/// once instead of loading it), so the final materialized set is the
+/// intersection of the optimizer's choice with what the fused plans load —
+/// the post-processing step of Section 4.2.2 applied after Algorithm 1.
+std::vector<bool> UnitsLoadedByGroups(const MultiModelGraph& mm,
+                                      const std::vector<ExecutionGroup>& groups);
+
+}  // namespace core
+}  // namespace nautilus
+
+#endif  // NAUTILUS_CORE_FUSION_H_

@@ -1,0 +1,96 @@
+#include "nautilus/core/materializer.h"
+
+#include <algorithm>
+
+#include "nautilus/graph/executor.h"
+#include "nautilus/util/logging.h"
+
+namespace nautilus {
+namespace core {
+
+Materializer::Materializer(const MultiModelGraph* mm,
+                           storage::TensorStore* store)
+    : mm_(mm), store_(store) {
+  NAUTILUS_CHECK(mm != nullptr);
+  NAUTILUS_CHECK(store != nullptr);
+}
+
+Status Materializer::MaterializeIncrement(
+    const std::vector<bool>& chosen_units, const Tensor& new_inputs,
+    const std::string& split) {
+  const std::vector<MaterializableUnit>& units = mm_->units();
+  NAUTILUS_CHECK_EQ(chosen_units.size(), units.size());
+
+  // Ancestor closure of the chosen units: everything we must compute.
+  std::vector<bool> needed = chosen_units;
+  for (int u = static_cast<int>(units.size()) - 1; u >= 0; --u) {
+    if (!needed[static_cast<size_t>(u)]) continue;
+    for (int p : units[static_cast<size_t>(u)].parents) {
+      needed[static_cast<size_t>(p)] = true;
+    }
+  }
+  bool any = false;
+  for (size_t u = 0; u < units.size(); ++u) {
+    if (chosen_units[u]) any = true;
+  }
+  if (!any) return Status::OK();
+
+  // Build the output-materialization graph over the needed units
+  // (Section 3, Optimizer: "a model checkpoint that is used to generate the
+  // outputs of the chosen materialized layers").
+  graph::ModelGraph mat_graph("materializer");
+  std::vector<int> unit_to_node(units.size(), -1);
+  int input_node = -1;
+  for (size_t u = 0; u < units.size(); ++u) {
+    if (!needed[u]) continue;
+    const MaterializableUnit& unit = units[u];
+    if (unit.is_input) {
+      auto input =
+          std::static_pointer_cast<nn::InputLayer>(unit.layer);
+      unit_to_node[u] = mat_graph.AddInput(input);
+      NAUTILUS_CHECK_EQ(input_node, -1)
+          << "workloads with multiple raw inputs are not supported";
+      input_node = unit_to_node[u];
+      continue;
+    }
+    std::vector<int> parents;
+    for (int p : unit.parents) {
+      NAUTILUS_CHECK_GE(unit_to_node[static_cast<size_t>(p)], 0);
+      parents.push_back(unit_to_node[static_cast<size_t>(p)]);
+    }
+    unit_to_node[u] =
+        mat_graph.AddNode(unit.layer, std::move(parents), /*frozen=*/true);
+  }
+  for (size_t u = 0; u < units.size(); ++u) {
+    if (chosen_units[u] && !units[u].is_input) {
+      mat_graph.MarkOutput(unit_to_node[u]);
+    }
+  }
+  NAUTILUS_CHECK_GE(input_node, 0) << "no raw input unit";
+
+  // Run in batches and append each chosen unit's rows.
+  graph::Executor executor(&mat_graph);
+  const int64_t total = new_inputs.shape().dim(0);
+  const int64_t kBatch = 64;
+  for (int64_t begin = 0; begin < total; begin += kBatch) {
+    const int64_t end = std::min(total, begin + kBatch);
+    Tensor batch = new_inputs.SliceRows(begin, end);
+    executor.Forward({{input_node, batch}}, /*training=*/false);
+    for (size_t u = 0; u < units.size(); ++u) {
+      if (!chosen_units[u]) continue;
+      const MaterializableUnit& unit = units[u];
+      const Tensor& value = unit.is_input
+                                ? batch
+                                : executor.Output(unit_to_node[u]);
+      NAUTILUS_RETURN_IF_ERROR(
+          store_->AppendRows(SplitKey(unit, split), value));
+    }
+  }
+  flops_spent_ += executor.flops_executed();
+  return Status::OK();
+}
+
+Status Materializer::Reset() { return store_->Clear(); }
+
+}  // namespace core
+}  // namespace nautilus

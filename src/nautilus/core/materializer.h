@@ -1,0 +1,51 @@
+#ifndef NAUTILUS_CORE_MATERIALIZER_H_
+#define NAUTILUS_CORE_MATERIALIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "nautilus/core/multi_model.h"
+#include "nautilus/storage/tensor_store.h"
+
+namespace nautilus {
+namespace core {
+
+/// The Materializer component (Section 3): computes the chosen materialized
+/// layer outputs for each new batch of labeled data and appends them to the
+/// on-disk tensor store (incremental feature materialization,
+/// Section 4.2.3). Train and validation splits are stored under separate
+/// keys so training-time row indices align with the dataset splits.
+class Materializer {
+ public:
+  Materializer(const MultiModelGraph* mm, storage::TensorStore* store);
+
+  /// Computes the chosen units' outputs for `new_inputs` (raw records) and
+  /// appends them under "<unit key>.<split>". Unchosen ancestor units are
+  /// computed on the fly but not persisted.
+  Status MaterializeIncrement(const std::vector<bool>& chosen_units,
+                              const Tensor& new_inputs,
+                              const std::string& split);
+
+  /// Drops all materialized outputs (used when the optimizer re-runs after
+  /// an exponential-backoff doubling of r).
+  Status Reset();
+
+  /// Store key for a unit's split.
+  static std::string SplitKey(const MaterializableUnit& unit,
+                              const std::string& split) {
+    return unit.key + "." + split;
+  }
+
+  /// FLOPs spent materializing so far (forward cost of computed units).
+  double flops_spent() const { return flops_spent_; }
+
+ private:
+  const MultiModelGraph* mm_;
+  storage::TensorStore* store_;
+  double flops_spent_ = 0.0;
+};
+
+}  // namespace core
+}  // namespace nautilus
+
+#endif  // NAUTILUS_CORE_MATERIALIZER_H_

@@ -1,0 +1,164 @@
+#include "nautilus/core/memory_estimator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "nautilus/util/logging.h"
+
+namespace nautilus {
+namespace core {
+
+namespace {
+
+// Analysis node: produces one tensor of `bytes`; consumes the outputs of
+// `inputs` (indices of earlier analysis nodes).
+struct AnalysisNode {
+  double bytes = 0.0;
+  std::vector<int> inputs;
+};
+
+}  // namespace
+
+MemoryEstimate EstimatePeakMemory(const ExecutionGroup& group,
+                                  const SystemConfig& config) {
+  MemoryEstimate estimate;
+  estimate.workspace_bytes = config.workspace_bytes;
+  estimate.parameter_bytes = group.ParamBytes();
+
+  const int n = static_cast<int>(group.nodes.size());
+
+  // Gradient flow: a node needs a backward pass iff it is trainable or any
+  // of its (computed-path) parents does.
+  std::vector<bool> needs_grad(static_cast<size_t>(n), false);
+  for (int v = 0; v < n; ++v) {
+    const PlanNode& node = group.nodes[static_cast<size_t>(v)];
+    bool trainable = node.action == NodeAction::kComputed && !node.frozen &&
+                     !node.layer->Params().empty();
+    bool from_parent = false;
+    for (int p : node.parents) {
+      if (needs_grad[static_cast<size_t>(p)]) from_parent = true;
+    }
+    needs_grad[static_cast<size_t>(v)] = trainable || from_parent;
+  }
+
+  // ---- Build the augmented analysis DAG: forward nodes in plan order,
+  // then the loss barrier, then backward nodes in reverse plan order.
+  std::vector<AnalysisNode> analysis;
+  analysis.reserve(static_cast<size_t>(2 * n + 1));
+  std::vector<int> fwd_id(static_cast<size_t>(n), -1);
+  for (int v = 0; v < n; ++v) {
+    const PlanNode& node = group.nodes[static_cast<size_t>(v)];
+    AnalysisNode an;
+    an.bytes = node.memory_bytes;  // output + composite internals
+    for (int p : node.parents) {
+      an.inputs.push_back(fwd_id[static_cast<size_t>(p)]);
+    }
+    fwd_id[static_cast<size_t>(v)] = static_cast<int>(analysis.size());
+    analysis.push_back(std::move(an));
+  }
+
+  // Loss barrier: consumes every branch output; its own tensor (per-branch
+  // scalar losses + logit gradients seed) is charged as the sum of branch
+  // logits.
+  AnalysisNode loss;
+  for (const PlanBranch& branch : group.branches) {
+    loss.inputs.push_back(fwd_id[static_cast<size_t>(branch.output_node)]);
+    loss.bytes +=
+        group.nodes[static_cast<size_t>(branch.output_node)].output_bytes;
+  }
+  const int loss_id = static_cast<int>(analysis.size());
+  analysis.push_back(std::move(loss));
+
+  // Backward nodes, reverse topological order. Backward of v consumes:
+  // the forward output of v, the forward outputs of v's parents, and the
+  // backward outputs of v's children (gradient inflow); branch outputs
+  // additionally consume the loss node.
+  std::vector<std::vector<int>> children(static_cast<size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    for (int p : group.nodes[static_cast<size_t>(v)].parents) {
+      children[static_cast<size_t>(p)].push_back(v);
+    }
+  }
+  std::vector<int> bwd_id(static_cast<size_t>(n), -1);
+  for (int v = n - 1; v >= 0; --v) {
+    if (!needs_grad[static_cast<size_t>(v)]) continue;
+    const PlanNode& node = group.nodes[static_cast<size_t>(v)];
+    AnalysisNode an;
+    an.bytes = node.memory_bytes;  // s_mem(l') == s_mem(l), per the paper
+    an.inputs.push_back(fwd_id[static_cast<size_t>(v)]);
+    for (int p : node.parents) {
+      an.inputs.push_back(fwd_id[static_cast<size_t>(p)]);
+    }
+    bool is_branch_output = false;
+    for (const PlanBranch& branch : group.branches) {
+      if (branch.output_node == v) is_branch_output = true;
+    }
+    if (is_branch_output) an.inputs.push_back(loss_id);
+    for (int c : children[static_cast<size_t>(v)]) {
+      if (bwd_id[static_cast<size_t>(c)] >= 0) {
+        an.inputs.push_back(bwd_id[static_cast<size_t>(c)]);
+      }
+    }
+    bwd_id[static_cast<size_t>(v)] = static_cast<int>(analysis.size());
+    analysis.push_back(std::move(an));
+  }
+
+  // ---- Live-tensor sweep: last consumer of every tensor, then walk the
+  // construction order (a topological order) tracking the live set.
+  const int total = static_cast<int>(analysis.size());
+  std::vector<int> last_use(static_cast<size_t>(total));
+  for (int v = 0; v < total; ++v) {
+    last_use[static_cast<size_t>(v)] = v;  // at least its own production
+  }
+  for (int v = 0; v < total; ++v) {
+    for (int in : analysis[static_cast<size_t>(v)].inputs) {
+      last_use[static_cast<size_t>(in)] =
+          std::max(last_use[static_cast<size_t>(in)], v);
+    }
+  }
+  double live = 0.0;
+  double peak = 0.0;
+  for (int v = 0; v < total; ++v) {
+    live += analysis[static_cast<size_t>(v)].bytes;
+    peak = std::max(peak, live);
+    // Release every tensor whose last consumer has now run.
+    for (int u = 0; u <= v; ++u) {
+      if (last_use[static_cast<size_t>(u)] == v) {
+        live -= analysis[static_cast<size_t>(u)].bytes;
+        last_use[static_cast<size_t>(u)] = -1;  // released
+      }
+    }
+  }
+
+  estimate.activation_bytes =
+      peak * static_cast<double>(group.batch_size);
+  return estimate;
+}
+
+MemoryEstimate EstimatePeakMemoryNaive(const ExecutionGroup& group,
+                                       const SystemConfig& config) {
+  MemoryEstimate estimate;
+  estimate.workspace_bytes = config.workspace_bytes;
+  estimate.parameter_bytes = group.ParamBytes();
+
+  const int n = static_cast<int>(group.nodes.size());
+  std::vector<bool> needs_grad(static_cast<size_t>(n), false);
+  double bytes = 0.0;
+  for (int v = 0; v < n; ++v) {
+    const PlanNode& node = group.nodes[static_cast<size_t>(v)];
+    bool trainable = node.action == NodeAction::kComputed && !node.frozen &&
+                     !node.layer->Params().empty();
+    bool from_parent = false;
+    for (int p : node.parents) {
+      if (needs_grad[static_cast<size_t>(p)]) from_parent = true;
+    }
+    needs_grad[static_cast<size_t>(v)] = trainable || from_parent;
+    bytes += node.memory_bytes;                              // forward
+    if (needs_grad[static_cast<size_t>(v)]) bytes += node.memory_bytes;  // backward
+  }
+  estimate.activation_bytes = bytes * static_cast<double>(group.batch_size);
+  return estimate;
+}
+
+}  // namespace core
+}  // namespace nautilus

@@ -1,0 +1,43 @@
+#ifndef NAUTILUS_CORE_MEMORY_ESTIMATOR_H_
+#define NAUTILUS_CORE_MEMORY_ESTIMATOR_H_
+
+#include "nautilus/core/config.h"
+#include "nautilus/core/plan.h"
+
+namespace nautilus {
+namespace core {
+
+/// Breakdown of the peak-runtime-memory estimate (Section 4.3.3's three
+/// dominant usage types).
+struct MemoryEstimate {
+  double parameter_bytes = 0.0;   // type 1: parameter tensors
+  double workspace_bytes = 0.0;   // type 2: kernel scratch (configured)
+  double activation_bytes = 0.0;  // type 3: live activations at the peak
+  double total() const {
+    return parameter_bytes + workspace_bytes + activation_bytes;
+  }
+};
+
+/// Estimates the peak runtime memory of training `group` at its batch size,
+/// via the paper's topological live-tensor analysis: the plan graph is
+/// augmented with one backward node per gradient-carrying layer and a loss
+/// barrier node, then traversed in topological order tracking live output
+/// tensors. Composite layers are charged their internal activations too.
+/// An upper bound by construction (any topological order's peak is at most
+/// one tensor above the loss-barrier live set, as argued in the paper).
+MemoryEstimate EstimatePeakMemory(const ExecutionGroup& group,
+                                  const SystemConfig& config);
+
+/// Ablation baseline for the live-tensor analysis: assumes every forward
+/// and backward activation stays resident for the whole step (no release),
+/// as a naive estimator would. Always an upper bound on EstimatePeakMemory;
+/// the gap is what the paper's topological liveness tracking buys — naive
+/// estimates push fusible groups over B_mem and forfeit fusion benefit
+/// (see bench_ablation_memory_estimator).
+MemoryEstimate EstimatePeakMemoryNaive(const ExecutionGroup& group,
+                                       const SystemConfig& config);
+
+}  // namespace core
+}  // namespace nautilus
+
+#endif  // NAUTILUS_CORE_MEMORY_ESTIMATOR_H_

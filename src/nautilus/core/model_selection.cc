@@ -1,0 +1,298 @@
+#include "nautilus/core/model_selection.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+#include "nautilus/util/logging.h"
+#include "nautilus/util/stopwatch.h"
+
+namespace nautilus {
+namespace core {
+
+namespace {
+
+std::string InitCheckpointKey(int model_index) {
+  return "init_model" + std::to_string(model_index);
+}
+
+}  // namespace
+
+ModelSelection::ModelSelection(Workload workload, const SystemConfig& config,
+                               std::string work_dir,
+                               const ModelSelectionOptions& options)
+    : workload_(std::move(workload)),
+      config_(config),
+      options_(options),
+      work_dir_(std::move(work_dir)),
+      feature_store_(work_dir_ + "/features", &io_stats_),
+      checkpoint_store_(work_dir_ + "/checkpoints", &io_stats_),
+      max_records_(config.expected_max_records) {
+  NAUTILUS_CHECK(!workload_.empty()) << "empty model-selection workload";
+  Stopwatch init_watch;
+  if (options_.resume) {
+    ResumeSession();
+  } else {
+    SaveInitialWeights();
+    mm_ = std::make_unique<MultiModelGraph>(&workload_, config_);
+    materializer_ =
+        std::make_unique<Materializer>(mm_.get(), &feature_store_);
+    RunOptimizations();
+  }
+  init_seconds_ = init_watch.ElapsedSeconds();
+}
+
+namespace {
+
+// Reserved session keys in the feature store.
+constexpr char kTrainInputs[] = "session.train.inputs";
+constexpr char kTrainLabels[] = "session.train.labels";
+constexpr char kValidInputs[] = "session.valid.inputs";
+constexpr char kValidLabels[] = "session.valid.labels";
+
+Tensor LabelsToTensor(const std::vector<int32_t>& labels) {
+  Tensor t(Shape({static_cast<int64_t>(labels.size())}));
+  for (size_t i = 0; i < labels.size(); ++i) {
+    t.at(static_cast<int64_t>(i)) = static_cast<float>(labels[i]);
+  }
+  return t;
+}
+
+std::vector<int32_t> TensorToLabels(const Tensor& t) {
+  std::vector<int32_t> labels(static_cast<size_t>(t.NumElements()));
+  for (int64_t i = 0; i < t.NumElements(); ++i) {
+    labels[static_cast<size_t>(i)] = static_cast<int32_t>(t.at(i));
+  }
+  return labels;
+}
+
+}  // namespace
+
+Status ModelSelection::SaveSession() {
+  if (!dataset_.train().empty()) {
+    NAUTILUS_RETURN_IF_ERROR(
+        feature_store_.Put(kTrainInputs, dataset_.train().inputs()));
+    NAUTILUS_RETURN_IF_ERROR(feature_store_.Put(
+        kTrainLabels, LabelsToTensor(dataset_.train().labels())));
+    NAUTILUS_RETURN_IF_ERROR(
+        feature_store_.Put(kValidInputs, dataset_.valid().inputs()));
+    NAUTILUS_RETURN_IF_ERROR(feature_store_.Put(
+        kValidLabels, LabelsToTensor(dataset_.valid().labels())));
+  }
+  std::ofstream manifest(work_dir_ + "/session.manifest");
+  if (!manifest.good()) return Status::IoError("cannot write manifest");
+  manifest << cycle_ << " " << max_records_ << " "
+           << dataset_.train().size() << "\n";
+  return Status::OK();
+}
+
+void ModelSelection::ResumeSession() {
+  std::ifstream manifest(work_dir_ + "/session.manifest");
+  NAUTILUS_CHECK(manifest.good())
+      << "resume requested but no session manifest in " << work_dir_;
+  int64_t train_rows = 0;
+  manifest >> cycle_ >> max_records_ >> train_rows;
+
+  if (train_rows > 0) {
+    auto train_inputs = feature_store_.Get(kTrainInputs);
+    auto train_labels = feature_store_.Get(kTrainLabels);
+    auto valid_inputs = feature_store_.Get(kValidInputs);
+    auto valid_labels = feature_store_.Get(kValidLabels);
+    NAUTILUS_CHECK(train_inputs.ok() && train_labels.ok() &&
+                   valid_inputs.ok() && valid_labels.ok())
+        << "session dataset snapshots missing";
+    dataset_.Restore(
+        data::LabeledDataset(std::move(*train_inputs),
+                             TensorToLabels(*train_labels)),
+        data::LabeledDataset(std::move(*valid_inputs),
+                             TensorToLabels(*valid_labels)),
+        cycle_);
+  }
+
+  // Restore the *original* initialized weights from the first session (the
+  // caller rebuilt the workload, so current weights are fresh duplicates).
+  for (size_t i = 0; i < workload_.size(); ++i) {
+    workload_[i].model.Validate();
+    const std::string key = InitCheckpointKey(static_cast<int>(i));
+    if (checkpoint_store_.Contains(key)) {
+      NAUTILUS_CHECK_OK(checkpoint_store_.LoadModel(workload_[i].model, key));
+    } else {
+      NAUTILUS_CHECK_OK(checkpoint_store_.SaveModel(
+          workload_[i].model, key, /*include_frozen=*/false));
+    }
+  }
+  mm_ = std::make_unique<MultiModelGraph>(&workload_, config_);
+  materializer_ = std::make_unique<Materializer>(mm_.get(), &feature_store_);
+  RunOptimizations();
+  ReconcileMaterializedStore();
+
+  // Garbage-collect features keyed by the previous process's expression
+  // hashes (layer UIDs are process-local, so the rebuilt workload owns new
+  // keys; reconcile above re-materialized what the new plan needs).
+  std::set<std::string> live = {kTrainInputs, kTrainLabels, kValidInputs,
+                                kValidLabels};
+  for (const MaterializableUnit& unit : mm_->units()) {
+    live.insert(Materializer::SplitKey(unit, "train"));
+    live.insert(Materializer::SplitKey(unit, "valid"));
+  }
+  for (const std::string& key : feature_store_.ListKeys()) {
+    if (live.count(key) == 0) {
+      NAUTILUS_CHECK_OK(feature_store_.Remove(key));
+    }
+  }
+}
+
+void ModelSelection::SaveInitialWeights() {
+  // Profiler step (Section 3): initialize + validate every candidate and
+  // store the initialized checkpoints so each cycle retrains from the same
+  // starting point.
+  for (size_t i = 0; i < workload_.size(); ++i) {
+    workload_[i].model.Validate();
+    NAUTILUS_CHECK_OK(checkpoint_store_.SaveModel(
+        workload_[i].model, InitCheckpointKey(static_cast<int>(i)),
+        /*include_frozen=*/false));
+  }
+}
+
+void ModelSelection::ReconcileMaterializedStore() {
+  const auto& units = mm_->units();
+  const int64_t train_rows = dataset_.train().size();
+  const int64_t valid_rows = dataset_.valid().size();
+  for (size_t u = 0; u < units.size(); ++u) {
+    const std::string train_key = Materializer::SplitKey(units[u], "train");
+    const std::string valid_key = Materializer::SplitKey(units[u], "valid");
+    if (!plan_.choice.materialize[u]) {
+      if (feature_store_.Contains(train_key)) {
+        NAUTILUS_CHECK_OK(feature_store_.Remove(train_key));
+      }
+      if (feature_store_.Contains(valid_key)) {
+        NAUTILUS_CHECK_OK(feature_store_.Remove(valid_key));
+      }
+      continue;
+    }
+    std::vector<bool> only_this(units.size(), false);
+    only_this[u] = true;
+    // The store is append-only in dataset order, so a short file just needs
+    // its missing suffix backfilled.
+    auto backfill = [&](const std::string& key, const std::string& split,
+                        const Tensor& inputs, int64_t target_rows) {
+      if (target_rows == 0) return;
+      int64_t present = feature_store_.NumRows(key);
+      if (present > target_rows) {
+        NAUTILUS_CHECK_OK(feature_store_.Remove(key));
+        present = 0;
+      }
+      if (present < target_rows) {
+        NAUTILUS_CHECK_OK(materializer_->MaterializeIncrement(
+            only_this, inputs.SliceRows(present, target_rows), split));
+      }
+    };
+    backfill(train_key, "train", dataset_.train().inputs(), train_rows);
+    backfill(valid_key, "valid", dataset_.valid().inputs(), valid_rows);
+  }
+}
+
+void ModelSelection::UpdateWorkload(Workload workload) {
+  NAUTILUS_CHECK(!workload.empty()) << "empty model-selection workload";
+  workload_ = std::move(workload);
+  SaveInitialWeights();
+  mm_ = std::make_unique<MultiModelGraph>(&workload_, config_);
+  materializer_ = std::make_unique<Materializer>(mm_.get(), &feature_store_);
+  RunOptimizations();
+  ReconcileMaterializedStore();
+}
+
+void ModelSelection::RunOptimizations() {
+  SystemConfig config = config_;
+  config.expected_max_records = max_records_;
+  plan_ = PlanWorkload(*mm_, options_.materialization, options_.fusion,
+                       config);
+  // The Optimizer component also emits checkpoints for the rewritten plan
+  // graphs (Section 3) — most frozen parameters pruned — so a restarted
+  // session can resume without the original full checkpoints.
+  for (size_t g = 0; g < plan_.fusion.groups.size(); ++g) {
+    const ExecutableGroup exec =
+        BuildExecutableGraph(plan_.fusion.groups[g]);
+    NAUTILUS_CHECK_OK(checkpoint_store_.SaveModel(
+        *exec.model, "plan_group" + std::to_string(g),
+        /*include_frozen=*/true));
+  }
+}
+
+void ModelSelection::RestoreInitialWeights() {
+  for (size_t i = 0; i < workload_.size(); ++i) {
+    NAUTILUS_CHECK_OK(checkpoint_store_.LoadModel(
+        workload_[i].model, InitCheckpointKey(static_cast<int>(i))));
+  }
+}
+
+FitResult ModelSelection::Fit(const data::LabeledDataset& train_batch,
+                              const data::LabeledDataset& valid_batch) {
+  Stopwatch total_watch;
+  FitResult result;
+  result.cycle = cycle_;
+
+  dataset_.AddCycle(train_batch, valid_batch);
+
+  // Exponential backoff on the expected maximum record count.
+  const int64_t total_records =
+      dataset_.train().size() + dataset_.valid().size();
+  bool replan = false;
+  while (total_records > max_records_) {
+    max_records_ *= 2;
+    replan = true;
+  }
+  if (replan) {
+    Stopwatch watch;
+    RunOptimizations();
+    // Incremental reconciliation: units kept by the new plan keep their
+    // stored outputs (plus the new batch's suffix); others are rebuilt or
+    // dropped.
+    ReconcileMaterializedStore();
+    result.seconds_reoptimize = watch.ElapsedSeconds();
+  } else {
+    Stopwatch watch;
+    NAUTILUS_CHECK_OK(materializer_->MaterializeIncrement(
+        plan_.choice.materialize, train_batch.inputs(), "train"));
+    NAUTILUS_CHECK_OK(materializer_->MaterializeIncrement(
+        plan_.choice.materialize, valid_batch.inputs(), "valid"));
+    result.seconds_materialize = watch.ElapsedSeconds();
+  }
+
+  // Every cycle retrains from the initialized weights (the workload spec is
+  // fixed; only the data snapshot grows).
+  RestoreInitialWeights();
+
+  Stopwatch train_watch;
+  Trainer trainer(&feature_store_, &checkpoint_store_, config_);
+  Trainer::Options train_options;
+  train_options.seed =
+      options_.seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(cycle_);
+  train_options.full_checkpoints = options_.full_checkpoints;
+  train_options.checkpoint_tag = cycle_;
+
+  result.evals.resize(workload_.size());
+  for (const ExecutionGroup& group : plan_.fusion.groups) {
+    GroupRunStats stats = trainer.TrainGroup(
+        group, workload_, dataset_.train(), dataset_.valid(), train_options);
+    for (const BranchEval& eval : stats.branches) {
+      result.evals[static_cast<size_t>(eval.model_index)] = eval;
+    }
+  }
+  result.seconds_train = train_watch.ElapsedSeconds();
+
+  result.best_model = -1;
+  for (const BranchEval& eval : result.evals) {
+    if (result.best_model < 0 ||
+        eval.val_accuracy > result.best_accuracy) {
+      result.best_model = eval.model_index;
+      result.best_accuracy = eval.val_accuracy;
+    }
+  }
+  ++cycle_;
+  result.seconds_total = total_watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace core
+}  // namespace nautilus

@@ -1,0 +1,123 @@
+#ifndef NAUTILUS_CORE_MODEL_SELECTION_H_
+#define NAUTILUS_CORE_MODEL_SELECTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nautilus/core/candidate.h"
+#include "nautilus/core/config.h"
+#include "nautilus/core/materializer.h"
+#include "nautilus/core/multi_model.h"
+#include "nautilus/core/planner.h"
+#include "nautilus/core/trainer.h"
+#include "nautilus/data/dataset.h"
+#include "nautilus/storage/checkpoint_store.h"
+#include "nautilus/storage/io_stats.h"
+#include "nautilus/storage/tensor_store.h"
+
+namespace nautilus {
+namespace core {
+
+struct ModelSelectionOptions {
+  MaterializationMode materialization = MaterializationMode::kOptimized;
+  bool fusion = true;
+  /// Current practice checkpoints every full model; Nautilus writes pruned
+  /// group checkpoints.
+  bool full_checkpoints = false;
+  uint64_t seed = 42;
+  /// Resume a previous session persisted in the same work_dir with
+  /// SaveSession(): restores the accumulated dataset snapshots, cycle
+  /// counter, r, initialized weights, and reuses the on-disk materialized
+  /// features. The caller must rebuild the same workload (same seeds).
+  bool resume = false;
+};
+
+/// Outcome of one model-selection cycle.
+struct FitResult {
+  int cycle = 0;
+  int best_model = -1;
+  float best_accuracy = 0.0f;
+  std::vector<BranchEval> evals;  // one per candidate, workload order
+  double seconds_total = 0.0;
+  double seconds_materialize = 0.0;
+  double seconds_train = 0.0;
+  double seconds_reoptimize = 0.0;  // nonzero when r backoff re-plans
+};
+
+/// Nautilus's user-facing model-selection API (Section 3): construct once
+/// with the workload and budgets, then call Fit with each newly labeled
+/// batch. Initialization profiles the candidates, runs the materialization
+/// and fusion optimizations, and checkpoints the initial weights; every Fit
+/// incrementally materializes the new records, retrains every candidate
+/// from its initial state on the grown snapshot, and reports the best
+/// validation accuracy. When the data outgrows the expected maximum record
+/// count r, r is doubled and the optimization re-runs (Section 4.2.3).
+class ModelSelection {
+ public:
+  ModelSelection(Workload workload, const SystemConfig& config,
+                 std::string work_dir, const ModelSelectionOptions& options);
+
+  /// Runs one model-selection cycle on the newly labeled batch.
+  FitResult Fit(const data::LabeledDataset& train_batch,
+                const data::LabeledDataset& valid_batch);
+
+  /// Extension beyond the paper's fixed-workload assumption (flagged as
+  /// future work in Section 2.5): replaces the candidate set between
+  /// cycles. The optimizer re-runs, and the materialized store is
+  /// reconciled incrementally — units shared with the previous workload
+  /// (identical expressions, hence identical store keys) keep their data,
+  /// newly chosen units are backfilled for the accumulated snapshots, and
+  /// obsolete ones are deleted to free budget.
+  void UpdateWorkload(Workload workload);
+
+  /// Persists the session (dataset snapshots, cycle counter, r) into the
+  /// work_dir so a later process can continue with `resume = true`. The
+  /// initialized checkpoints and materialized features are already on disk.
+  Status SaveSession();
+
+  const Workload& workload() const { return workload_; }
+  const MultiModelGraph& multi_model() const { return *mm_; }
+  const MaterializationChoice& materialization() const {
+    return plan_.choice;
+  }
+  const std::vector<ExecutionGroup>& plan_groups() const {
+    return plan_.fusion.groups;
+  }
+  const data::EvolvingDataset& dataset() const { return dataset_; }
+  const storage::IoStats& io_stats() const { return io_stats_; }
+  double init_seconds() const { return init_seconds_; }
+  int64_t current_max_records() const { return max_records_; }
+  int cycles_completed() const { return cycle_; }
+
+ private:
+  void RunOptimizations();
+  void RestoreInitialWeights();
+  void SaveInitialWeights();
+  /// Loads a persisted session from the work_dir (resume = true path).
+  void ResumeSession();
+  /// Brings the feature store in line with the current materialized set and
+  /// dataset snapshots: backfills missing/stale unit outputs, drops
+  /// unchosen ones.
+  void ReconcileMaterializedStore();
+
+  Workload workload_;
+  SystemConfig config_;
+  ModelSelectionOptions options_;
+  std::string work_dir_;
+  storage::IoStats io_stats_;
+  storage::TensorStore feature_store_;
+  storage::CheckpointStore checkpoint_store_;
+  std::unique_ptr<MultiModelGraph> mm_;
+  std::unique_ptr<Materializer> materializer_;
+  PlannedWorkload plan_;
+  data::EvolvingDataset dataset_;
+  int64_t max_records_;
+  int cycle_ = 0;
+  double init_seconds_ = 0.0;
+};
+
+}  // namespace core
+}  // namespace nautilus
+
+#endif  // NAUTILUS_CORE_MODEL_SELECTION_H_

@@ -1,0 +1,81 @@
+#include "nautilus/core/multi_model.h"
+
+#include "nautilus/util/logging.h"
+
+namespace nautilus {
+namespace core {
+
+MultiModelGraph::MultiModelGraph(const Workload* workload,
+                                 const SystemConfig& config)
+    : workload_(workload), config_(config) {
+  NAUTILUS_CHECK(workload != nullptr);
+  profiles_.reserve(workload_->size());
+  node_units_.resize(workload_->size());
+
+  for (int i = 0; i < num_models(); ++i) {
+    const Candidate& candidate = (*workload_)[static_cast<size_t>(i)];
+    profiles_.push_back(ProfileCandidate(candidate, config_));
+    const ModelProfile& profile = profiles_.back();
+    const graph::ModelGraph& model = candidate.model;
+    std::vector<int>& units_of = node_units_[static_cast<size_t>(i)];
+    units_of.assign(static_cast<size_t>(model.num_nodes()), -1);
+    const std::vector<Shape> record_shapes = model.NodeShapes(1);
+
+    for (const graph::GraphNode& node : model.nodes()) {
+      const size_t j = static_cast<size_t>(node.id);
+      if (!profile.materializable[j]) continue;
+      const uint64_t hash = profile.expr_hashes[j];
+      auto it = by_hash_.find(hash);
+      int unit_index;
+      if (it == by_hash_.end()) {
+        MaterializableUnit unit;
+        unit.expr_hash = hash;
+        unit.layer = node.layer;
+        unit.is_input = node.parents.empty();
+        unit.key = "expr_" + std::to_string(hash);
+        unit.record_shape = record_shapes[j];
+        unit.forward_flops = profile.layers[j].forward_flops;
+        unit.disk_bytes = profile.layers[j].disk_bytes;
+        unit.load_cost_flops = profile.layers[j].load_cost_flops;
+        unit.memory_bytes = profile.layers[j].memory_bytes;
+        unit.output_bytes = profile.layers[j].output_bytes;
+        // Parents of a materializable node are materializable and were
+        // added before this node (topological node order), so their units
+        // already exist.
+        for (int p : node.parents) {
+          const int parent_unit = units_of[static_cast<size_t>(p)];
+          NAUTILUS_CHECK_GE(parent_unit, 0)
+              << "materializable node with unmapped parent";
+          unit.parents.push_back(parent_unit);
+        }
+        unit_index = static_cast<int>(units_.size());
+        units_.push_back(std::move(unit));
+        by_hash_.emplace(hash, unit_index);
+      } else {
+        unit_index = it->second;
+      }
+      MaterializableUnit& unit = units_[static_cast<size_t>(unit_index)];
+      if (unit.used_by_models.empty() || unit.used_by_models.back() != i) {
+        unit.used_by_models.push_back(i);
+      }
+      units_of[j] = unit_index;
+    }
+  }
+}
+
+int MultiModelGraph::UnitOf(int model, int node) const {
+  NAUTILUS_CHECK_GE(model, 0);
+  NAUTILUS_CHECK_LT(model, num_models());
+  const auto& units_of = node_units_[static_cast<size_t>(model)];
+  NAUTILUS_CHECK_GE(node, 0);
+  NAUTILUS_CHECK_LT(node, static_cast<int>(units_of.size()));
+  return units_of[static_cast<size_t>(node)];
+}
+
+int MultiModelGraph::UnitByHash(uint64_t expr_hash) const {
+  auto it = by_hash_.find(expr_hash);
+  return it == by_hash_.end() ? -1 : it->second;
+}
+
+}  // namespace core
+}  // namespace nautilus

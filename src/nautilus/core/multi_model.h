@@ -1,0 +1,74 @@
+#ifndef NAUTILUS_CORE_MULTI_MODEL_H_
+#define NAUTILUS_CORE_MULTI_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nautilus/core/candidate.h"
+#include "nautilus/core/config.h"
+#include "nautilus/core/profile.h"
+
+namespace nautilus {
+namespace core {
+
+/// One merged materializable node of the multi-model graph (an element of U
+/// in Section 4.2): a distinct frozen expression shared by one or more
+/// candidate models, identified by its expression hash.
+struct MaterializableUnit {
+  uint64_t expr_hash = 0;
+  /// Representative layer instance / parent units (closed under parents
+  /// because materializable nodes have materializable parents).
+  nn::LayerPtr layer;
+  std::vector<int> parents;
+  bool is_input = false;
+  /// Store key for materialized outputs of this expression.
+  std::string key;
+  /// Per-record profile (identical across occurrences by Definition 4.3).
+  Shape record_shape;
+  double forward_flops = 0.0;
+  double disk_bytes = 0.0;
+  double load_cost_flops = 0.0;
+  double memory_bytes = 0.0;
+  double output_bytes = 0.0;
+  /// Which candidates contain this expression.
+  std::vector<int> used_by_models;
+};
+
+/// The multi-model graph (Section 4.1): all candidate models with their
+/// identical materializable sub-expressions merged. Non-materializable
+/// (trainable or gradient-crossed) nodes stay model-local and are never
+/// merged here; fusion handles their joint execution separately.
+class MultiModelGraph {
+ public:
+  MultiModelGraph(const Workload* workload, const SystemConfig& config);
+
+  const Workload& workload() const { return *workload_; }
+  const SystemConfig& config() const { return config_; }
+
+  int num_models() const { return static_cast<int>(workload_->size()); }
+  const std::vector<ModelProfile>& profiles() const { return profiles_; }
+
+  /// Merged materializable units (the set U), in a topological order.
+  const std::vector<MaterializableUnit>& units() const { return units_; }
+
+  /// Unit index for (model, node), or -1 if the node is not materializable.
+  int UnitOf(int model, int node) const;
+
+  /// Unit index by expression hash, or -1.
+  int UnitByHash(uint64_t expr_hash) const;
+
+ private:
+  const Workload* workload_;
+  SystemConfig config_;
+  std::vector<ModelProfile> profiles_;
+  std::vector<MaterializableUnit> units_;
+  std::vector<std::vector<int>> node_units_;  // [model][node] -> unit or -1
+  std::unordered_map<uint64_t, int> by_hash_;
+};
+
+}  // namespace core
+}  // namespace nautilus
+
+#endif  // NAUTILUS_CORE_MULTI_MODEL_H_

@@ -1,0 +1,285 @@
+#include "nautilus/core/plan.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "nautilus/util/logging.h"
+#include "nautilus/util/strings.h"
+
+namespace nautilus {
+namespace core {
+
+double ExecutionGroup::LoadBytesPerRecordEpoch() const {
+  double bytes = 0.0;
+  for (const PlanNode& node : nodes) {
+    if (node.action == NodeAction::kLoaded) bytes += node.load_bytes;
+  }
+  return bytes;
+}
+
+double ExecutionGroup::ParamBytes() const {
+  double bytes = 0.0;
+  std::unordered_set<const nn::Layer*> seen;
+  for (const PlanNode& node : nodes) {
+    if (node.action != NodeAction::kComputed) continue;
+    if (!seen.insert(node.layer.get()).second) continue;
+    bytes += node.layer->ParamBytes();
+  }
+  return bytes;
+}
+
+std::string ExecutionGroup::DebugString() const {
+  std::ostringstream os;
+  os << "ExecutionGroup{branches=[";
+  for (size_t b = 0; b < branches.size(); ++b) {
+    if (b > 0) os << ", ";
+    os << branches[b].model_index;
+  }
+  os << "], nodes=" << nodes.size() << " (";
+  int computed = 0, loaded = 0;
+  for (const PlanNode& n : nodes) {
+    (n.action == NodeAction::kComputed ? computed : loaded)++;
+  }
+  os << computed << " computed, " << loaded << " loaded), batch="
+     << batch_size << ", cost/rec="
+     << FormatDouble(epoch_weighted_cost_flops / 1e6, 2) << " MFLOP}";
+  return os.str();
+}
+
+namespace {
+
+// Working representation during the merge.
+struct MergedNode {
+  nn::LayerPtr layer;
+  std::vector<int> parents;  // merged ids
+  bool frozen = true;
+  bool is_input = false;
+  bool materializable = false;
+  int unit = -1;  // multi-model unit when materializable
+  uint64_t expr_hash = 0;
+  Shape record_shape;
+  double forward_flops = 0.0;
+  double compute_cost_flops = 0.0;  // 1x/2x/3x multiplied, un-weighted
+  double load_cost_flops = 0.0;
+  double output_bytes = 0.0;
+  double memory_bytes = 0.0;
+  double disk_bytes = 0.0;
+  bool forced = false;
+  double epochs_weight = 0.0;  // max epochs over models that contain it
+};
+
+}  // namespace
+
+ExecutionGroup BuildExecutionGroup(
+    const MultiModelGraph& mm, const std::vector<int>& models,
+    const std::vector<bool>& materialized_units,
+    bool force_load_materialized) {
+  NAUTILUS_CHECK(!models.empty());
+  const Workload& workload = mm.workload();
+  const int64_t batch_size =
+      workload[static_cast<size_t>(models[0])].hp.batch_size;
+  for (int m : models) {
+    NAUTILUS_CHECK_EQ(workload[static_cast<size_t>(m)].hp.batch_size,
+                      batch_size)
+        << "fused models must share a batch size";
+  }
+
+  // ---- Merge: one node per distinct materializable expression, one per
+  // model-local (non-materializable) node.
+  std::vector<MergedNode> merged;
+  std::unordered_map<uint64_t, int> by_hash;
+  // model -> local node -> merged id
+  std::unordered_map<int, std::vector<int>> local_to_merged;
+  // model -> merged id of its output logits
+  std::unordered_map<int, int> output_merged;
+
+  for (int m : models) {
+    const Candidate& candidate = workload[static_cast<size_t>(m)];
+    const ModelProfile& profile = mm.profiles()[static_cast<size_t>(m)];
+    const double epochs = static_cast<double>(candidate.hp.epochs);
+    std::vector<int>& mapping = local_to_merged[m];
+    mapping.assign(static_cast<size_t>(candidate.model.num_nodes()), -1);
+    const std::vector<Shape> record_shapes = candidate.model.NodeShapes(1);
+
+    for (const graph::GraphNode& node : candidate.model.nodes()) {
+      const size_t j = static_cast<size_t>(node.id);
+      const bool mat = profile.materializable[j];
+      int id = -1;
+      if (mat) {
+        auto it = by_hash.find(profile.expr_hashes[j]);
+        if (it != by_hash.end()) id = it->second;
+      }
+      if (id < 0) {
+        MergedNode mn;
+        mn.layer = node.layer;
+        mn.frozen = node.frozen;
+        mn.is_input = node.parents.empty();
+        mn.materializable = mat;
+        mn.unit = mat ? mm.UnitOf(m, node.id) : -1;
+        mn.expr_hash = profile.expr_hashes[j];
+        mn.record_shape = record_shapes[j];
+        const LayerProfile& lp = profile.layers[j];
+        mn.forward_flops = lp.forward_flops;
+        mn.compute_cost_flops = lp.compute_cost_flops;
+        mn.load_cost_flops = lp.load_cost_flops;
+        mn.output_bytes = lp.output_bytes;
+        mn.memory_bytes = lp.memory_bytes;
+        mn.disk_bytes = lp.disk_bytes;
+        for (int p : node.parents) {
+          mn.parents.push_back(mapping[static_cast<size_t>(p)]);
+        }
+        id = static_cast<int>(merged.size());
+        merged.push_back(std::move(mn));
+        if (mat) by_hash.emplace(profile.expr_hashes[j], id);
+      }
+      MergedNode& mn = merged[static_cast<size_t>(id)];
+      mn.epochs_weight = std::max(mn.epochs_weight, epochs);
+      if (candidate.model.IsOutput(node.id)) {
+        mn.forced = true;
+        output_merged[m] = id;
+      }
+      mapping[j] = id;
+    }
+  }
+
+  // ---- Optimal reuse plan over the merged graph (max-flow reduction).
+  std::vector<PlanningNode> planning(merged.size());
+  for (size_t v = 0; v < merged.size(); ++v) {
+    const MergedNode& mn = merged[v];
+    PlanningNode& pn = planning[v];
+    pn.parents = mn.parents;
+    pn.forced_present = mn.forced;
+    if (mn.is_input) {
+      pn.can_compute = false;
+      pn.can_load = true;
+      pn.load_cost = mn.load_cost_flops * mn.epochs_weight;
+      continue;
+    }
+    pn.compute_cost = mn.compute_cost_flops * mn.epochs_weight;
+    if (mn.materializable && mn.unit >= 0 &&
+        materialized_units[static_cast<size_t>(mn.unit)]) {
+      pn.can_load = true;
+      pn.load_cost = mn.load_cost_flops * mn.epochs_weight;
+      if (force_load_materialized) pn.can_compute = false;
+    }
+  }
+  const PlanningResult plan = SolveOptimalReusePlan(planning);
+
+  // ---- Assemble the retained plan graph.
+  ExecutionGroup group;
+  group.batch_size = batch_size;
+  group.epoch_weighted_cost_flops = plan.total_cost;
+  std::vector<int> merged_to_plan(merged.size(), -1);
+  for (size_t v = 0; v < merged.size(); ++v) {
+    if (plan.actions[v] == NodeAction::kPruned) continue;
+    PlanNode node;
+    const MergedNode& mn = merged[v];
+    node.layer = mn.layer;
+    node.action = plan.actions[v];
+    node.is_raw_input = mn.is_input;
+    node.expr_hash = mn.expr_hash;
+    node.record_shape = mn.record_shape;
+    node.forward_flops = mn.forward_flops;
+    if (plan.actions[v] == NodeAction::kComputed) {
+      node.compute_cost_flops = mn.compute_cost_flops;
+    }
+    node.output_bytes = mn.output_bytes;
+    node.memory_bytes = mn.memory_bytes;
+    node.frozen = mn.frozen;
+    if (plan.actions[v] == NodeAction::kLoaded) {
+      node.load_bytes = mn.disk_bytes;
+      if (!mn.is_input) {
+        NAUTILUS_CHECK_GE(mn.unit, 0);
+        node.store_key = mm.units()[static_cast<size_t>(mn.unit)].key;
+      }
+    } else {
+      for (int p : mn.parents) {
+        const int plan_parent = merged_to_plan[static_cast<size_t>(p)];
+        NAUTILUS_CHECK_GE(plan_parent, 0)
+            << "computed node with pruned parent";
+        node.parents.push_back(plan_parent);
+      }
+    }
+    merged_to_plan[v] = static_cast<int>(group.nodes.size());
+    group.nodes.push_back(std::move(node));
+  }
+
+  // ---- Branches and reverse reachability.
+  for (size_t b = 0; b < models.size(); ++b) {
+    const int m = models[b];
+    PlanBranch branch;
+    branch.model_index = m;
+    branch.hp = workload[static_cast<size_t>(m)].hp;
+    const int out_merged = output_merged.at(m);
+    branch.output_node = merged_to_plan[static_cast<size_t>(out_merged)];
+    NAUTILUS_CHECK_GE(branch.output_node, 0) << "branch output pruned";
+    group.max_epochs = std::max(group.max_epochs, branch.hp.epochs);
+    group.branches.push_back(branch);
+
+    // Mark every plan node this branch depends on.
+    std::vector<bool> visited(group.nodes.size(), false);
+    std::vector<int> stack = {branch.output_node};
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      if (visited[static_cast<size_t>(v)]) continue;
+      visited[static_cast<size_t>(v)] = true;
+      group.nodes[static_cast<size_t>(v)].branches_using.push_back(
+          static_cast<int>(b));
+      for (int p : group.nodes[static_cast<size_t>(v)].parents) {
+        stack.push_back(p);
+      }
+    }
+  }
+  return group;
+}
+
+ExecutableGroup BuildExecutableGraph(const ExecutionGroup& group) {
+  ExecutableGroup out;
+  std::string name = "plan";
+  for (const PlanBranch& b : group.branches) {
+    name += "_" + std::to_string(b.model_index);
+  }
+  out.model = std::make_unique<graph::ModelGraph>(name);
+  std::vector<int> plan_to_graph(group.nodes.size(), -1);
+  for (size_t v = 0; v < group.nodes.size(); ++v) {
+    const PlanNode& node = group.nodes[v];
+    if (node.action == NodeAction::kLoaded) {
+      // PlanNode record shapes carry a leading batch dim of 1; InputLayer
+      // record shapes do not.
+      const std::vector<int64_t>& dims = node.record_shape.dims();
+      auto input = std::make_shared<nn::InputLayer>(
+          "feed_" + std::to_string(v),
+          Shape(std::vector<int64_t>(dims.begin() + 1, dims.end())));
+      const int gid = out.model->AddInput(input);
+      plan_to_graph[v] = gid;
+      FeedSpec feed;
+      feed.graph_node = gid;
+      feed.from_store = !node.is_raw_input;
+      feed.store_key = node.store_key;
+      feed.plan_node = static_cast<int>(v);
+      out.feeds.push_back(feed);
+    } else {
+      std::vector<int> parents;
+      for (int p : node.parents) {
+        NAUTILUS_CHECK_GE(plan_to_graph[static_cast<size_t>(p)], 0);
+        parents.push_back(plan_to_graph[static_cast<size_t>(p)]);
+      }
+      plan_to_graph[v] =
+          out.model->AddNode(node.layer, std::move(parents), node.frozen);
+    }
+  }
+  for (const PlanBranch& branch : group.branches) {
+    const int gid =
+        plan_to_graph[static_cast<size_t>(branch.output_node)];
+    NAUTILUS_CHECK_GE(gid, 0);
+    out.model->MarkOutput(gid);
+    out.branch_outputs.push_back(gid);
+  }
+  out.model->Validate();
+  return out;
+}
+
+}  // namespace core
+}  // namespace nautilus

@@ -1,0 +1,98 @@
+#ifndef NAUTILUS_CORE_PLAN_H_
+#define NAUTILUS_CORE_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nautilus/core/multi_model.h"
+#include "nautilus/core/planning.h"
+
+namespace nautilus {
+namespace core {
+
+/// One retained node of an optimized (possibly fused) training plan.
+struct PlanNode {
+  nn::LayerPtr layer;
+  std::vector<int> parents;  // plan-node ids; empty for loaded/fed nodes
+  NodeAction action = NodeAction::kComputed;
+  bool is_raw_input = false;  // loaded from the dataset, not the store
+  uint64_t expr_hash = 0;
+  std::string store_key;  // set when action == kLoaded and !is_raw_input
+  Shape record_shape;
+  double forward_flops = 0.0;  // per record
+  /// c_comp per record: forward FLOPs times the 1x/2x/3x freezing
+  /// multiplier (zero for loaded nodes).
+  double compute_cost_flops = 0.0;
+  double output_bytes = 0.0;
+  double memory_bytes = 0.0;  // output + composite internals
+  double load_bytes = 0.0;    // per record, when loaded
+  bool frozen = true;
+  /// Branches (fused sub-models) whose output depends on this node.
+  std::vector<int> branches_using;
+};
+
+/// One original candidate inside a fused plan.
+struct PlanBranch {
+  int model_index = -1;  // into the workload
+  Hyperparams hp;
+  int output_node = -1;  // plan node holding this model's logits
+};
+
+/// An optimized training plan for a group of fused candidates: the merged
+/// reuse-plan graph (Section 4.3.2) annotated with per-branch training
+/// state. Materialized and raw inputs appear as loaded nodes.
+struct ExecutionGroup {
+  std::vector<PlanNode> nodes;  // topological order
+  std::vector<PlanBranch> branches;
+  int64_t batch_size = 0;   // identical across branches (fusion precondition)
+  int64_t max_epochs = 0;   // longest branch
+
+  /// Training cost of one *epoch-weighted record*: sum over nodes of
+  /// compute/load cost times the max epochs of the branches using the node,
+  /// in FLOPs. Multiplying by the record count gives Equation 5 aggregated
+  /// over epochs.
+  double epoch_weighted_cost_flops = 0.0;
+
+  /// Bytes loaded from disk per record per epoch (inputs + materialized).
+  double LoadBytesPerRecordEpoch() const;
+
+  /// Unique parameter bytes across the group's layers.
+  double ParamBytes() const;
+
+  std::string DebugString() const;
+};
+
+/// Builds the optimal fused plan for `models` given the set of materialized
+/// units: merges identical materializable expressions, solves the optimal
+/// reuse plan via max-flow (Section 4.3.2), and annotates branches.
+/// Non-pruned nodes only. Models must share a batch size. With
+/// `force_load_materialized`, materialized units must be loaded when present
+/// (MAT-ALL baseline semantics).
+ExecutionGroup BuildExecutionGroup(const MultiModelGraph& mm,
+                                   const std::vector<int>& models,
+                                   const std::vector<bool>& materialized_units,
+                                   bool force_load_materialized = false);
+
+/// Feed requirement of an executable plan graph.
+struct FeedSpec {
+  int graph_node = -1;        // input node id in the executable ModelGraph
+  bool from_store = false;    // false: raw dataset input
+  std::string store_key;      // when from_store
+  int plan_node = -1;         // originating plan node
+};
+
+/// An executable rewrite of a plan: loaded plan nodes become fresh input
+/// nodes of a ModelGraph that the graph::Executor can run directly.
+struct ExecutableGroup {
+  std::unique_ptr<graph::ModelGraph> model;
+  std::vector<FeedSpec> feeds;
+  std::vector<int> branch_outputs;  // graph node id per branch
+};
+
+ExecutableGroup BuildExecutableGraph(const ExecutionGroup& group);
+
+}  // namespace core
+}  // namespace nautilus
+
+#endif  // NAUTILUS_CORE_PLAN_H_

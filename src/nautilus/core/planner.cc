@@ -1,0 +1,93 @@
+#include "nautilus/core/planner.h"
+
+#include "nautilus/core/simulator.h"
+#include "nautilus/util/logging.h"
+
+namespace nautilus {
+namespace core {
+
+double ScorePlan(const MultiModelGraph& mm,
+                 const MaterializationChoice& choice,
+                 const FusionOutcome& fusion, int64_t max_records,
+                 const SystemConfig& config) {
+  double seconds = 0.0;
+  for (const ExecutionGroup& group : fusion.groups) {
+    seconds += config.ComputeSeconds(group.epoch_weighted_cost_flops *
+                                     static_cast<double>(max_records));
+    seconds += config.LoadSeconds(group.LoadBytesPerRecordEpoch() *
+                                  static_cast<double>(max_records) *
+                                  static_cast<double>(group.max_epochs));
+    seconds += config.per_model_setup_seconds;
+  }
+  // Incremental materialization amortizes across cycles; charge one full
+  // pass at max_records (what a whole workload writes in total).
+  seconds += SimulateMaterialization(mm, choice.materialize, max_records,
+                                     config)
+                 .total_seconds();
+  return seconds;
+}
+
+namespace {
+
+PlannedWorkload PlanWithUnits(const MultiModelGraph& mm,
+                              MaterializationChoice choice, bool enable_fusion,
+                              bool force_load, const SystemConfig& config) {
+  PlannedWorkload plan;
+  plan.force_load = force_load;
+  plan.fusion = FuseModels(mm, choice.materialize, config.memory_budget_bytes,
+                           config, enable_fusion, force_load);
+  if (!force_load) {
+    // Keep only units the fused plans actually load.
+    choice.materialize = UnitsLoadedByGroups(mm, plan.fusion.groups);
+  }
+  plan.choice = std::move(choice);
+  plan.score_seconds = ScorePlan(mm, plan.choice, plan.fusion,
+                                 config.expected_max_records, config);
+  return plan;
+}
+
+}  // namespace
+
+PlannedWorkload PlanWorkload(const MultiModelGraph& mm,
+                             MaterializationMode mode, bool enable_fusion,
+                             const SystemConfig& config) {
+  MaterializationOptimizer optimizer(&mm);
+  const size_t num_units = mm.units().size();
+  switch (mode) {
+    case MaterializationMode::kAll: {
+      std::vector<bool> all(num_units, true);
+      for (size_t u = 0; u < num_units; ++u) {
+        if (mm.units()[u].is_input) all[u] = false;
+      }
+      MaterializationChoice choice = optimizer.EvaluateGivenUnits(
+          all, config.expected_max_records, /*force_load=*/true);
+      choice.materialize = all;
+      return PlanWithUnits(mm, std::move(choice), enable_fusion,
+                           /*force_load=*/true, config);
+    }
+    case MaterializationMode::kNone: {
+      MaterializationChoice choice = optimizer.EvaluateGivenUnits(
+          std::vector<bool>(num_units, false), config.expected_max_records);
+      return PlanWithUnits(mm, std::move(choice), enable_fusion,
+                           /*force_load=*/false, config);
+    }
+    case MaterializationMode::kOptimized: {
+      MaterializationChoice choice = optimizer.Optimize(
+          config.disk_budget_bytes, config.expected_max_records);
+      PlannedWorkload with_mat = PlanWithUnits(
+          mm, std::move(choice), enable_fusion, /*force_load=*/false, config);
+      MaterializationChoice none = optimizer.EvaluateGivenUnits(
+          std::vector<bool>(num_units, false), config.expected_max_records);
+      PlannedWorkload without_mat = PlanWithUnits(
+          mm, std::move(none), enable_fusion, /*force_load=*/false, config);
+      return with_mat.score_seconds <= without_mat.score_seconds
+                 ? std::move(with_mat)
+                 : std::move(without_mat);
+    }
+  }
+  NAUTILUS_CHECK(false) << "unreachable";
+  return PlannedWorkload{};
+}
+
+}  // namespace core
+}  // namespace nautilus

@@ -1,0 +1,49 @@
+#ifndef NAUTILUS_CORE_PLANNER_H_
+#define NAUTILUS_CORE_PLANNER_H_
+
+#include "nautilus/core/fusion.h"
+#include "nautilus/core/materialization.h"
+
+namespace nautilus {
+namespace core {
+
+/// How the optimizer picks materialized layers (shared by the API and the
+/// experiment runner).
+enum class MaterializationMode {
+  kOptimized,  // MILP-equivalent exact optimization (Nautilus)
+  kAll,        // materialize everything, always load (MAT-ALL baseline)
+  kNone,       // no materialization (Current Practice / FUSE-only ablation)
+};
+
+/// A complete optimized training plan: the materialized set plus the fused
+/// execution groups, with a one-cycle cost score used for plan comparison.
+struct PlannedWorkload {
+  MaterializationChoice choice;
+  FusionOutcome fusion;
+  bool force_load = false;  // MAT-ALL semantics for downstream rebuilds
+  double score_seconds = 0.0;
+};
+
+/// Scores a plan as the modeled seconds of one model-selection cycle at
+/// `max_records` records: group compute/load time + per-group setup
+/// overhead + incremental materialization cost. Used to compare alternative
+/// plans, not to predict absolute runtimes.
+double ScorePlan(const MultiModelGraph& mm,
+                 const MaterializationChoice& choice,
+                 const FusionOutcome& fusion, int64_t max_records,
+                 const SystemConfig& config);
+
+/// Runs the full optimizer pipeline for the given mode. For kOptimized it
+/// plans both with the MILP-chosen materialized set and without any
+/// materialization, keeps whichever fused plan scores cheaper (the two
+/// optimizations interact: a fused group that recomputes a shared prefix
+/// once can beat per-epoch feature loads), and discards materialized units
+/// no fused plan loads (Section 4.2.2 post-processing after Algorithm 1).
+PlannedWorkload PlanWorkload(const MultiModelGraph& mm,
+                             MaterializationMode mode, bool enable_fusion,
+                             const SystemConfig& config);
+
+}  // namespace core
+}  // namespace nautilus
+
+#endif  // NAUTILUS_CORE_PLANNER_H_

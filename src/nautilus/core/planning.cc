@@ -1,0 +1,95 @@
+#include "nautilus/core/planning.h"
+
+#include "nautilus/solver/closure.h"
+#include "nautilus/util/logging.h"
+
+namespace nautilus {
+namespace core {
+
+const char* NodeActionName(NodeAction a) {
+  switch (a) {
+    case NodeAction::kPruned:
+      return "pruned";
+    case NodeAction::kComputed:
+      return "computed";
+    case NodeAction::kLoaded:
+      return "loaded";
+  }
+  return "?";
+}
+
+PlanningResult SolveOptimalReusePlan(const std::vector<PlanningNode>& nodes) {
+  const int n = static_cast<int>(nodes.size());
+  NAUTILUS_CHECK_GT(n, 0);
+
+  // Closure variables per node:
+  //   present[v] -- the node's output is available (loaded or computed)
+  //   computed[v] -- the node is computed (implies present and parents
+  //                  present); only for can_compute nodes.
+  // Cost of presence for a load-capable node is load_cost; choosing
+  // computed on top swaps it for compute_cost (delta = compute - load).
+  // For compute-only nodes present == computed with cost compute_cost.
+  ClosureProblem problem;
+  std::vector<int> present(static_cast<size_t>(n), -1);
+  std::vector<int> computed(static_cast<size_t>(n), -1);
+
+  for (int v = 0; v < n; ++v) {
+    const PlanningNode& node = nodes[static_cast<size_t>(v)];
+    for (int p : node.parents) {
+      NAUTILUS_CHECK_GE(p, 0);
+      NAUTILUS_CHECK_LT(p, v) << "planning nodes must be topological";
+    }
+    NAUTILUS_CHECK(node.can_compute || node.can_load)
+        << "node " << v << " can neither compute nor load";
+    if (node.can_compute && node.can_load) {
+      present[static_cast<size_t>(v)] = problem.AddNode(-node.load_cost);
+      computed[static_cast<size_t>(v)] =
+          problem.AddNode(-(node.compute_cost - node.load_cost));
+      problem.AddRequirement(computed[static_cast<size_t>(v)],
+                             present[static_cast<size_t>(v)]);
+    } else if (node.can_compute) {
+      const int var = problem.AddNode(-node.compute_cost);
+      present[static_cast<size_t>(v)] = var;
+      computed[static_cast<size_t>(v)] = var;
+    } else {  // load-only (raw data inputs)
+      present[static_cast<size_t>(v)] = problem.AddNode(-node.load_cost);
+    }
+    if (node.forced_present) {
+      problem.ForceInclude(present[static_cast<size_t>(v)]);
+    }
+    // Computing requires every parent's output to be present.
+    if (computed[static_cast<size_t>(v)] >= 0) {
+      for (int p : node.parents) {
+        problem.AddRequirement(computed[static_cast<size_t>(v)],
+                               present[static_cast<size_t>(p)]);
+      }
+    }
+  }
+
+  const ClosureProblem::Solution sol = problem.Solve();
+
+  PlanningResult result;
+  result.actions.assign(static_cast<size_t>(n), NodeAction::kPruned);
+  for (int v = 0; v < n; ++v) {
+    const PlanningNode& node = nodes[static_cast<size_t>(v)];
+    const bool is_present =
+        sol.chosen[static_cast<size_t>(present[static_cast<size_t>(v)])];
+    if (!is_present) continue;
+    const bool is_computed =
+        computed[static_cast<size_t>(v)] >= 0 &&
+        sol.chosen[static_cast<size_t>(computed[static_cast<size_t>(v)])];
+    if (is_computed) {
+      result.actions[static_cast<size_t>(v)] = NodeAction::kComputed;
+      result.total_cost += node.compute_cost;
+    } else {
+      NAUTILUS_CHECK(node.can_load)
+          << "node " << v << " present but neither computed nor loadable";
+      result.actions[static_cast<size_t>(v)] = NodeAction::kLoaded;
+      result.total_cost += node.load_cost;
+    }
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace nautilus

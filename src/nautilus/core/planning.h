@@ -1,0 +1,42 @@
+#ifndef NAUTILUS_CORE_PLANNING_H_
+#define NAUTILUS_CORE_PLANNING_H_
+
+#include <vector>
+
+namespace nautilus {
+namespace core {
+
+/// q(l, M^opt) from the paper: what happens to a layer in an optimal reuse
+/// plan — pruned, retained-and-computed, or retained-and-loaded.
+enum class NodeAction { kPruned, kComputed, kLoaded };
+
+const char* NodeActionName(NodeAction a);
+
+/// One node of a planning instance (a candidate model or a fused
+/// multi-model), reduced to the quantities the reuse-plan decision needs.
+struct PlanningNode {
+  std::vector<int> parents;     // indices of earlier nodes (topological)
+  double compute_cost = 0.0;    // cost if computed (callers pre-weight)
+  double load_cost = 0.0;       // cost if loaded
+  bool can_compute = true;      // false for raw data inputs
+  bool can_load = false;        // true for inputs and materialized layers
+  bool forced_present = false;  // true for model outputs
+};
+
+struct PlanningResult {
+  std::vector<NodeAction> actions;
+  double total_cost = 0.0;
+};
+
+/// Finds the exact minimum-cost reuse plan: which nodes to prune, compute,
+/// or load, subject to (i) forced nodes present, (ii) computed nodes'
+/// parents present, (iii) loads only where allowed. This is the PTIME
+/// subproblem of Section 4.3.2, solved via a max-weight-closure (min-cut)
+/// reduction instead of an MILP call — exactly as the paper prescribes for
+/// the fusion inner loop.
+PlanningResult SolveOptimalReusePlan(const std::vector<PlanningNode>& nodes);
+
+}  // namespace core
+}  // namespace nautilus
+
+#endif  // NAUTILUS_CORE_PLANNING_H_

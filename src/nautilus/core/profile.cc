@@ -1,0 +1,138 @@
+#include "nautilus/core/profile.h"
+
+#include <unordered_set>
+
+#include <cstdio>
+#include <sstream>
+
+#include "nautilus/util/logging.h"
+#include "nautilus/util/strings.h"
+
+namespace nautilus {
+namespace core {
+
+std::string Hyperparams::ToString() const {
+  return "bs=" + std::to_string(batch_size) +
+         ",lr=" + std::to_string(learning_rate) +
+         ",epochs=" + std::to_string(epochs);
+}
+
+double ModelProfile::TotalComputeCost() const {
+  double total = 0.0;
+  for (const LayerProfile& l : layers) total += l.compute_cost_flops;
+  return total;
+}
+
+double ModelProfile::NonMaterializableComputeCost() const {
+  double total = 0.0;
+  for (const LayerProfile& l : layers) {
+    if (!l.materializable) total += l.compute_cost_flops;
+  }
+  return total;
+}
+
+ModelProfile ProfileCandidate(const Candidate& candidate,
+                              const SystemConfig& config) {
+  const graph::ModelGraph& model = candidate.model;
+  ModelProfile profile;
+  profile.expr_hashes = model.ExpressionHashes();
+  profile.materializable = model.MaterializableMask();
+  const std::vector<Shape> shapes = model.NodeShapes(1);
+
+  profile.layers.resize(static_cast<size_t>(model.num_nodes()));
+  for (const graph::GraphNode& node : model.nodes()) {
+    LayerProfile& lp = profile.layers[static_cast<size_t>(node.id)];
+    lp.frozen = node.frozen;
+    lp.materializable = profile.materializable[static_cast<size_t>(node.id)];
+
+    const Shape& out_shape = shapes[static_cast<size_t>(node.id)];
+    lp.output_bytes =
+        static_cast<double>(out_shape.NumElements()) * sizeof(float);
+    lp.disk_bytes = lp.output_bytes;
+    lp.load_cost_flops = config.LoadCostFlops(lp.disk_bytes);
+    lp.param_bytes = node.layer->ParamBytes();
+
+    std::vector<Shape> in_shapes;
+    for (int p : node.parents) {
+      in_shapes.push_back(shapes[static_cast<size_t>(p)]);
+    }
+    if (node.parents.empty()) {
+      // Model input: no compute; it is read from the dataset.
+      lp.forward_flops = 0.0;
+      lp.compute_cost_flops = 0.0;
+      lp.memory_bytes = lp.output_bytes;
+      continue;
+    }
+    lp.forward_flops = node.layer->ForwardFlopsPerRecord(in_shapes);
+    // Section 4.1 multipliers: 3x trainable (forward + input grad + param
+    // grad), 2x frozen non-materializable (forward + input grad), 1x
+    // materializable (forward only).
+    double multiplier = 1.0;
+    if (!node.frozen) {
+      multiplier = 3.0;
+    } else if (!lp.materializable) {
+      multiplier = 2.0;
+    }
+    lp.compute_cost_flops = lp.forward_flops * multiplier;
+    lp.memory_bytes =
+        lp.output_bytes + node.layer->InternalActivationBytesPerRecord(in_shapes);
+  }
+  return profile;
+}
+
+std::string ProfileReport(const Candidate& candidate,
+                          const SystemConfig& config) {
+  const ModelProfile profile = ProfileCandidate(candidate, config);
+  const graph::ModelGraph& model = candidate.model;
+  std::ostringstream os;
+  os << "Profile of " << model.name() << " (" << model.num_nodes()
+     << " layers, " << model.TrainableParamCount()
+     << " trainable / " << model.TotalParamCount() << " total params)\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-24s %-16s %12s %12s %12s %12s %s\n",
+                "layer", "type", "c_comp(MF)", "s_disk", "c_load(MF)",
+                "s_mem", "flags");
+  os << line;
+  for (const graph::GraphNode& node : model.nodes()) {
+    const LayerProfile& lp = profile.layers[static_cast<size_t>(node.id)];
+    std::string flags;
+    if (node.frozen) flags += "frozen ";
+    if (lp.materializable) flags += "materializable ";
+    if (model.IsOutput(node.id)) flags += "output";
+    std::snprintf(line, sizeof(line),
+                  "%-24s %-16s %12.3f %12s %12.3f %12s %s\n",
+                  node.layer->name().substr(0, 23).c_str(),
+                  node.layer->type_name().c_str(),
+                  lp.compute_cost_flops / 1e6, HumanBytes(lp.disk_bytes).c_str(),
+                  lp.load_cost_flops / 1e6, HumanBytes(lp.memory_bytes).c_str(),
+                  flags.c_str());
+    os << line;
+  }
+  std::snprintf(line, sizeof(line),
+                "total c_comp %.3f MFLOP/record (%.3f MFLOP avoidable via "
+                "materialization)\n",
+                profile.TotalComputeCost() / 1e6,
+                (profile.TotalComputeCost() -
+                 profile.NonMaterializableComputeCost()) /
+                    1e6);
+  os << line;
+  return os.str();
+}
+
+double TheoreticalSpeedup(const Workload& workload,
+                          const SystemConfig& config) {
+  double total = 0.0;
+  double non_materializable = 0.0;
+  for (const Candidate& candidate : workload) {
+    const ModelProfile profile = ProfileCandidate(candidate, config);
+    const double epochs = static_cast<double>(candidate.hp.epochs);
+    total += profile.TotalComputeCost() * epochs;
+    non_materializable += profile.NonMaterializableComputeCost() * epochs;
+  }
+  NAUTILUS_CHECK_GT(non_materializable, 0.0)
+      << "workload with zero trainable compute";
+  return total / non_materializable;
+}
+
+}  // namespace core
+}  // namespace nautilus

@@ -1,0 +1,72 @@
+#ifndef NAUTILUS_CORE_PROFILE_H_
+#define NAUTILUS_CORE_PROFILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nautilus/core/candidate.h"
+#include "nautilus/core/config.h"
+
+namespace nautilus {
+namespace core {
+
+/// Per-layer profile for one node of one candidate model, normalized to a
+/// single training record (Section 4.1's four metrics plus bookkeeping).
+struct LayerProfile {
+  /// Forward-pass FLOPs (profiling metric; the 1x base of c_comp).
+  double forward_flops = 0.0;
+  /// c_comp(l): forward FLOPs times the freezing multiplier — 3x trainable,
+  /// 2x frozen non-materializable, 1x materializable.
+  double compute_cost_flops = 0.0;
+  /// s_disk(l): output bytes on disk.
+  double disk_bytes = 0.0;
+  /// c_load(l): load cost in missed-compute FLOPs.
+  double load_cost_flops = 0.0;
+  /// s_mem(l): output bytes in memory; composites add internal activations.
+  double memory_bytes = 0.0;
+  /// Output tensor bytes alone (live-tensor analysis granularity).
+  double output_bytes = 0.0;
+  /// Parameter bytes owned by the layer.
+  double param_bytes = 0.0;
+
+  bool frozen = false;
+  bool materializable = false;
+  bool trainable() const { return !frozen; }
+};
+
+/// Profile of a whole candidate: one LayerProfile per node plus the node
+/// expression hashes used for multi-model merging.
+struct ModelProfile {
+  std::vector<LayerProfile> layers;
+  std::vector<uint64_t> expr_hashes;
+  std::vector<bool> materializable;
+
+  /// Sum of c_comp over all layers (per record): the numerator contribution
+  /// of Equation 11's theoretical-speedup definition.
+  double TotalComputeCost() const;
+  /// Sum of c_comp over non-materializable layers only (the denominator
+  /// contribution of Equation 11).
+  double NonMaterializableComputeCost() const;
+};
+
+/// The Profiler component (Section 3): derives per-layer costs analytically
+/// from the model graphs and the system configuration.
+ModelProfile ProfileCandidate(const Candidate& candidate,
+                              const SystemConfig& config);
+
+/// Equation 11: attainable theoretical speedup for a workload — total
+/// training cost of all layers over the cost of non-materializable layers,
+/// both weighted by each candidate's epochs.
+double TheoreticalSpeedup(const Workload& workload,
+                          const SystemConfig& config);
+
+/// Human-readable per-layer profile of one candidate: the four Section 4.1
+/// metrics (c_comp, s_disk, c_load, s_mem) plus freezing/materializability
+/// flags, one row per node. What the Profiler component reports to users.
+std::string ProfileReport(const Candidate& candidate,
+                          const SystemConfig& config);
+
+}  // namespace core
+}  // namespace nautilus
+
+#endif  // NAUTILUS_CORE_PROFILE_H_

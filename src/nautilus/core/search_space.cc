@@ -1,0 +1,87 @@
+#include "nautilus/core/search_space.h"
+
+#include <algorithm>
+
+#include "nautilus/util/logging.h"
+
+namespace nautilus {
+namespace core {
+
+SearchSpace& SearchSpace::AddBatchSizes(std::vector<int64_t> values) {
+  NAUTILUS_CHECK(!values.empty());
+  batch_sizes_ = std::move(values);
+  return *this;
+}
+
+SearchSpace& SearchSpace::AddLearningRates(std::vector<double> values) {
+  NAUTILUS_CHECK(!values.empty());
+  learning_rates_ = std::move(values);
+  return *this;
+}
+
+SearchSpace& SearchSpace::AddEpochs(std::vector<int64_t> values) {
+  NAUTILUS_CHECK(!values.empty());
+  epochs_ = std::move(values);
+  return *this;
+}
+
+SearchSpace& SearchSpace::AddVariants(std::vector<int64_t> values) {
+  NAUTILUS_CHECK(!values.empty());
+  variants_ = std::move(values);
+  return *this;
+}
+
+int64_t SearchSpace::GridSize() const {
+  return static_cast<int64_t>(batch_sizes_.size()) *
+         static_cast<int64_t>(learning_rates_.size()) *
+         static_cast<int64_t>(epochs_.size()) *
+         static_cast<int64_t>(variants_.size());
+}
+
+std::vector<SearchSpace::Assignment> SearchSpace::Grid() const {
+  std::vector<Assignment> out;
+  out.reserve(static_cast<size_t>(GridSize()));
+  int index = 0;
+  for (int64_t variant : variants_) {
+    for (int64_t batch : batch_sizes_) {
+      for (double lr : learning_rates_) {
+        for (int64_t e : epochs_) {
+          Assignment a;
+          a.variant = variant;
+          a.hp.batch_size = batch;
+          a.hp.learning_rate = lr;
+          a.hp.epochs = e;
+          a.index = index++;
+          out.push_back(a);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<SearchSpace::Assignment> SearchSpace::RandomSample(
+    int64_t n, Rng* rng) const {
+  std::vector<Assignment> grid = Grid();
+  rng->Shuffle(&grid);
+  n = std::min<int64_t>(n, static_cast<int64_t>(grid.size()));
+  grid.resize(static_cast<size_t>(n));
+  // Re-number in sampled order for stable candidate naming.
+  for (size_t i = 0; i < grid.size(); ++i) {
+    grid[i].index = static_cast<int>(i);
+  }
+  return grid;
+}
+
+Workload SearchSpace::BuildWorkload(
+    const std::vector<Assignment>& assignments, const ModelBuilder& builder) {
+  Workload workload;
+  workload.reserve(assignments.size());
+  for (const Assignment& a : assignments) {
+    workload.emplace_back(builder(a), a.hp);
+  }
+  return workload;
+}
+
+}  // namespace core
+}  // namespace nautilus

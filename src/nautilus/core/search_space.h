@@ -1,0 +1,66 @@
+#ifndef NAUTILUS_CORE_SEARCH_SPACE_H_
+#define NAUTILUS_CORE_SEARCH_SPACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nautilus/core/candidate.h"
+#include "nautilus/util/random.h"
+
+namespace nautilus {
+namespace core {
+
+/// Declarative hyperparameter search space, covering the two model-selection
+/// procedures Nautilus supports (Section 6: grid and random search, "an
+/// overwhelming majority of model selection applications").
+///
+/// Architectural choices (which layers to add/freeze/adapt) are expressed as
+/// integer `variant` values interpreted by the user's model-initialization
+/// function, mirroring the paper's API where a user-defined function maps a
+/// parameter assignment to a ready-to-train model (Section 3).
+class SearchSpace {
+ public:
+  SearchSpace& AddBatchSizes(std::vector<int64_t> values);
+  SearchSpace& AddLearningRates(std::vector<double> values);
+  SearchSpace& AddEpochs(std::vector<int64_t> values);
+  /// Architectural variants (e.g. one per feature-transfer strategy or
+  /// freeze depth), forwarded to the builder.
+  SearchSpace& AddVariants(std::vector<int64_t> values);
+
+  /// One point of the space.
+  struct Assignment {
+    int64_t variant = 0;
+    Hyperparams hp;
+    int index = 0;  // position in enumeration order
+  };
+
+  /// The user-defined model-initialization function: maps an assignment to
+  /// a candidate model graph.
+  using ModelBuilder = std::function<graph::ModelGraph(const Assignment&)>;
+
+  /// Cartesian-product enumeration (grid search).
+  std::vector<Assignment> Grid() const;
+
+  /// `n` draws without replacement from the grid (random search); n is
+  /// clamped to the grid size.
+  std::vector<Assignment> RandomSample(int64_t n, Rng* rng) const;
+
+  int64_t GridSize() const;
+
+  /// Materializes a Workload by running the builder on each assignment.
+  static Workload BuildWorkload(const std::vector<Assignment>& assignments,
+                                const ModelBuilder& builder);
+
+ private:
+  std::vector<int64_t> batch_sizes_{16};
+  std::vector<double> learning_rates_{5e-5};
+  std::vector<int64_t> epochs_{5};
+  std::vector<int64_t> variants_{0};
+};
+
+}  // namespace core
+}  // namespace nautilus
+
+#endif  // NAUTILUS_CORE_SEARCH_SPACE_H_

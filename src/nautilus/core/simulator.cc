@@ -1,0 +1,123 @@
+#include "nautilus/core/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nautilus/util/logging.h"
+
+namespace nautilus {
+namespace core {
+
+SimCosts& SimCosts::operator+=(const SimCosts& other) {
+  compute_seconds += other.compute_seconds;
+  read_seconds += other.read_seconds;
+  write_seconds += other.write_seconds;
+  overhead_seconds += other.overhead_seconds;
+  flops += other.flops;
+  bytes_read += other.bytes_read;
+  bytes_written += other.bytes_written;
+  return *this;
+}
+
+SimCosts SimulateGroupTraining(const ExecutionGroup& group,
+                               int64_t train_records, int64_t valid_records,
+                               double checkpoint_bytes,
+                               const SystemConfig& config) {
+  SimCosts costs;
+  const double train = static_cast<double>(train_records);
+  const double valid = static_cast<double>(valid_records);
+
+  // One framework setup per group (loading the plan checkpoint, building
+  // kernels): this is the overhead fusion amortizes across candidates. The
+  // initialized checkpoint is read back before every training run, which is
+  // the dominant read stream of the current practice (full models).
+  costs.overhead_seconds += config.per_model_setup_seconds;
+  costs.bytes_read += checkpoint_bytes;
+
+  for (int64_t epoch = 0; epoch < group.max_epochs; ++epoch) {
+    std::vector<bool> branch_active(group.branches.size(), false);
+    for (size_t b = 0; b < group.branches.size(); ++b) {
+      branch_active[b] = epoch < group.branches[b].hp.epochs;
+    }
+    double epoch_flops = 0.0;
+    double epoch_read = 0.0;
+    for (const PlanNode& node : group.nodes) {
+      bool used = false;
+      for (int b : node.branches_using) {
+        if (branch_active[static_cast<size_t>(b)]) used = true;
+      }
+      if (!used) continue;
+      if (node.action == NodeAction::kComputed) {
+        epoch_flops += node.compute_cost_flops * train;
+      } else {
+        epoch_read += node.load_bytes * train;
+      }
+    }
+    costs.flops += epoch_flops;
+    costs.bytes_read += epoch_read;
+    costs.overhead_seconds += config.per_epoch_overhead_seconds;
+    const double batches =
+        std::ceil(train / static_cast<double>(group.batch_size));
+    costs.overhead_seconds += batches * config.per_batch_overhead_seconds;
+  }
+
+  // One validation pass over every branch (forward-only: 1x forward FLOPs
+  // for all computed nodes, loads for loaded ones).
+  double valid_flops = 0.0;
+  double valid_read = 0.0;
+  for (const PlanNode& node : group.nodes) {
+    if (node.action == NodeAction::kComputed) {
+      valid_flops += node.forward_flops * valid;
+    } else {
+      valid_read += node.load_bytes * valid;
+    }
+  }
+  costs.flops += valid_flops;
+  costs.bytes_read += valid_read;
+
+  costs.bytes_written += checkpoint_bytes;
+  costs.compute_seconds = config.ComputeSeconds(costs.flops);
+  costs.read_seconds = config.LoadSeconds(costs.bytes_read);
+  costs.write_seconds = config.LoadSeconds(costs.bytes_written);
+  return costs;
+}
+
+SimCosts SimulateMaterialization(const MultiModelGraph& mm,
+                                 const std::vector<bool>& chosen_units,
+                                 int64_t new_records,
+                                 const SystemConfig& config) {
+  SimCosts costs;
+  const std::vector<MaterializableUnit>& units = mm.units();
+  NAUTILUS_CHECK_EQ(chosen_units.size(), units.size());
+  bool any = false;
+  for (bool c : chosen_units) any = any || c;
+  if (!any) return costs;
+
+  std::vector<bool> needed = chosen_units;
+  for (int u = static_cast<int>(units.size()) - 1; u >= 0; --u) {
+    if (!needed[static_cast<size_t>(u)]) continue;
+    for (int p : units[static_cast<size_t>(u)].parents) {
+      needed[static_cast<size_t>(p)] = true;
+    }
+  }
+  const double records = static_cast<double>(new_records);
+  for (size_t u = 0; u < units.size(); ++u) {
+    if (needed[u] && !units[u].is_input) {
+      costs.flops += units[u].forward_flops * records;
+    }
+    if (units[u].is_input && needed[u]) {
+      costs.bytes_read += units[u].disk_bytes * records;
+    }
+    if (chosen_units[u]) {
+      costs.bytes_written += units[u].disk_bytes * records;
+    }
+  }
+  costs.overhead_seconds += config.per_model_setup_seconds;
+  costs.compute_seconds = config.ComputeSeconds(costs.flops);
+  costs.read_seconds = config.LoadSeconds(costs.bytes_read);
+  costs.write_seconds = config.LoadSeconds(costs.bytes_written);
+  return costs;
+}
+
+}  // namespace core
+}  // namespace nautilus

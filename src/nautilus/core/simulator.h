@@ -1,0 +1,54 @@
+#ifndef NAUTILUS_CORE_SIMULATOR_H_
+#define NAUTILUS_CORE_SIMULATOR_H_
+
+#include <cstdint>
+
+#include "nautilus/core/config.h"
+#include "nautilus/core/plan.h"
+
+namespace nautilus {
+namespace core {
+
+/// Deterministic cost breakdown of training one execution group, produced
+/// by the simulated executor. Used to evaluate paper-scale workloads
+/// (BERT-base / ResNet-50 profiles) that the real CPU executor could not
+/// train in reasonable time: compute follows the FLOP model at the paper's
+/// 6 TFLOP/s, I/O the 500 MB/s disk model, plus the fixed training
+/// overheads that model fusion amortizes.
+struct SimCosts {
+  double compute_seconds = 0.0;
+  double read_seconds = 0.0;
+  double write_seconds = 0.0;
+  double overhead_seconds = 0.0;
+  double flops = 0.0;
+  double bytes_read = 0.0;
+  double bytes_written = 0.0;
+
+  double total_seconds() const {
+    return compute_seconds + read_seconds + write_seconds + overhead_seconds;
+  }
+
+  SimCosts& operator+=(const SimCosts& other);
+};
+
+/// Simulates training `group` for one model-selection cycle on
+/// `train_records` records (plus one validation pass over `valid_records`),
+/// honoring per-branch epoch deactivation. `checkpoint_bytes` is the size
+/// of the post-training checkpoint write.
+SimCosts SimulateGroupTraining(const ExecutionGroup& group,
+                               int64_t train_records, int64_t valid_records,
+                               double checkpoint_bytes,
+                               const SystemConfig& config);
+
+/// Simulates one incremental materialization step: computing `new_records`
+/// records through the units' ancestor closure and appending the chosen
+/// units' outputs.
+SimCosts SimulateMaterialization(const MultiModelGraph& mm,
+                                 const std::vector<bool>& chosen_units,
+                                 int64_t new_records,
+                                 const SystemConfig& config);
+
+}  // namespace core
+}  // namespace nautilus
+
+#endif  // NAUTILUS_CORE_SIMULATOR_H_

@@ -1,0 +1,142 @@
+#include "nautilus/core/successive_halving.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "nautilus/core/materializer.h"
+#include "nautilus/core/planner.h"
+#include "nautilus/storage/checkpoint_store.h"
+#include "nautilus/storage/tensor_store.h"
+#include "nautilus/util/logging.h"
+
+namespace nautilus {
+namespace core {
+
+namespace {
+
+// Materializes any chosen unit whose stored rows lag the snapshot (rows
+// already present — from earlier rungs with overlapping expressions — are
+// kept untouched).
+void BackfillStore(const MultiModelGraph& mm,
+                   const std::vector<bool>& chosen,
+                   Materializer* materializer, storage::TensorStore* store,
+                   const data::LabeledDataset& train,
+                   const data::LabeledDataset& valid) {
+  for (size_t u = 0; u < mm.units().size(); ++u) {
+    if (!chosen[u]) continue;
+    std::vector<bool> only_this(mm.units().size(), false);
+    only_this[u] = true;
+    const auto backfill = [&](const std::string& split, const Tensor& inputs,
+                              int64_t rows) {
+      const std::string key = Materializer::SplitKey(mm.units()[u], split);
+      int64_t present = store->NumRows(key);
+      if (present > rows) {
+        NAUTILUS_CHECK_OK(store->Remove(key));
+        present = 0;
+      }
+      if (present < rows) {
+        NAUTILUS_CHECK_OK(materializer->MaterializeIncrement(
+            only_this, inputs.SliceRows(present, rows), split));
+      }
+    };
+    backfill("train", train.inputs(), train.size());
+    backfill("valid", valid.inputs(), valid.size());
+  }
+}
+
+}  // namespace
+
+SuccessiveHalvingResult RunSuccessiveHalving(
+    Workload* workload, const SystemConfig& config,
+    const data::LabeledDataset& train, const data::LabeledDataset& valid,
+    const std::string& work_dir, const SuccessiveHalvingOptions& options) {
+  NAUTILUS_CHECK(workload != nullptr);
+  NAUTILUS_CHECK(!workload->empty());
+  NAUTILUS_CHECK_GE(options.eta, 2);
+  SuccessiveHalvingResult result;
+
+  storage::IoStats stats;
+  storage::TensorStore feature_store(work_dir + "/features", &stats);
+  storage::CheckpointStore checkpoint_store(work_dir + "/checkpoints",
+                                            &stats);
+  Trainer trainer(&feature_store, &checkpoint_store, config);
+
+  std::vector<int> alive(workload->size());
+  std::iota(alive.begin(), alive.end(), 0);
+  int rung_index = 0;
+  while (true) {
+    // Sub-workload of survivors, with the per-rung epoch budget.
+    Workload rung_workload;
+    rung_workload.reserve(alive.size());
+    for (int m : alive) {
+      Candidate candidate = (*workload)[static_cast<size_t>(m)];
+      candidate.hp.epochs = options.rung_epochs;
+      rung_workload.push_back(std::move(candidate));
+    }
+    MultiModelGraph mm(&rung_workload, config);
+    Materializer materializer(&mm, &feature_store);
+    PlannedWorkload plan = PlanWorkload(
+        mm, MaterializationMode::kOptimized, /*enable_fusion=*/true, config);
+    BackfillStore(mm, plan.choice.materialize, &materializer, &feature_store,
+                  train, valid);
+
+    SuccessiveHalvingResult::Rung rung;
+    rung.trained_models = alive;
+    std::vector<BranchEval> by_local(alive.size());
+    Trainer::Options train_options;
+    train_options.seed =
+        options.seed * 0x9e3779b97f4a7c15ULL +
+        static_cast<uint64_t>(rung_index);
+    train_options.checkpoint_tag = rung_index;
+    for (const ExecutionGroup& group : plan.fusion.groups) {
+      GroupRunStats group_stats = trainer.TrainGroup(
+          group, rung_workload, train, valid, train_options);
+      for (const BranchEval& eval : group_stats.branches) {
+        BranchEval global = eval;
+        global.model_index = alive[static_cast<size_t>(eval.model_index)];
+        by_local[static_cast<size_t>(eval.model_index)] = global;
+      }
+    }
+    rung.evals = by_local;
+    result.total_model_rungs += static_cast<int>(alive.size());
+
+    // Rank survivors by validation accuracy.
+    std::vector<size_t> order(alive.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return by_local[a].val_accuracy > by_local[b].val_accuracy;
+    });
+    if (result.best_model < 0 ||
+        by_local[order[0]].val_accuracy > result.best_accuracy) {
+      result.best_model = by_local[order[0]].model_index;
+      result.best_accuracy = by_local[order[0]].val_accuracy;
+    }
+
+    const bool last_rung =
+        static_cast<int>(alive.size()) <= options.min_survivors;
+    if (!last_rung) {
+      const size_t keep = std::max<size_t>(
+          static_cast<size_t>(options.min_survivors),
+          (alive.size() + static_cast<size_t>(options.eta) - 1) /
+              static_cast<size_t>(options.eta));
+      std::vector<int> next;
+      next.reserve(keep);
+      for (size_t i = 0; i < keep; ++i) {
+        next.push_back(alive[order[i]]);
+      }
+      std::sort(next.begin(), next.end());
+      rung.survivors = next;
+      result.rungs.push_back(std::move(rung));
+      alive = std::move(next);
+      ++rung_index;
+      continue;
+    }
+    rung.survivors = alive;
+    result.rungs.push_back(std::move(rung));
+    break;
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace nautilus

@@ -1,0 +1,55 @@
+#ifndef NAUTILUS_CORE_SUCCESSIVE_HALVING_H_
+#define NAUTILUS_CORE_SUCCESSIVE_HALVING_H_
+
+#include <string>
+#include <vector>
+
+#include "nautilus/core/candidate.h"
+#include "nautilus/core/config.h"
+#include "nautilus/core/trainer.h"
+#include "nautilus/data/dataset.h"
+
+namespace nautilus {
+namespace core {
+
+/// Successive halving on top of Nautilus's optimized training — one of the
+/// "more complex model selection procedures" the paper defers to future
+/// work (Section 6). Candidates train for a small epoch budget per rung;
+/// after each rung only the top 1/eta by validation accuracy survive and
+/// continue training from their current weights.
+///
+/// Every rung re-runs the Nautilus optimizer over the *surviving* subset:
+/// the expression-addressed feature store means materialized outputs from
+/// earlier rungs are reused as-is (shared frozen expressions keep their
+/// keys), so shrinking the candidate set costs no re-materialization.
+struct SuccessiveHalvingOptions {
+  int eta = 2;               // survivors per rung = ceil(n / eta)
+  int64_t rung_epochs = 1;   // training epochs per rung
+  int min_survivors = 1;     // stop once this few remain (train them last)
+  uint64_t seed = 42;
+};
+
+struct SuccessiveHalvingResult {
+  struct Rung {
+    std::vector<int> trained_models;  // workload indices trained this rung
+    std::vector<BranchEval> evals;    // same order as trained_models
+    std::vector<int> survivors;       // indices advancing to the next rung
+  };
+  std::vector<Rung> rungs;
+  int best_model = -1;
+  float best_accuracy = 0.0f;
+  int total_model_rungs = 0;  // sum of candidates trained across rungs
+};
+
+/// Runs successive halving on a fixed labeled snapshot. `workload` is
+/// mutated: candidates' weights end in their last-trained state.
+SuccessiveHalvingResult RunSuccessiveHalving(
+    Workload* workload, const SystemConfig& config,
+    const data::LabeledDataset& train, const data::LabeledDataset& valid,
+    const std::string& work_dir,
+    const SuccessiveHalvingOptions& options = SuccessiveHalvingOptions());
+
+}  // namespace core
+}  // namespace nautilus
+
+#endif  // NAUTILUS_CORE_SUCCESSIVE_HALVING_H_

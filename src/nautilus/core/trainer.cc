@@ -1,0 +1,217 @@
+#include "nautilus/core/trainer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "nautilus/graph/executor.h"
+#include "nautilus/nn/optimizer.h"
+#include "nautilus/tensor/ops.h"
+#include "nautilus/util/logging.h"
+#include "nautilus/util/random.h"
+#include "nautilus/util/stopwatch.h"
+
+namespace nautilus {
+namespace core {
+
+Trainer::Trainer(storage::TensorStore* store,
+                 storage::CheckpointStore* checkpoints,
+                 const SystemConfig& config)
+    : store_(store), checkpoints_(checkpoints), config_(config) {
+  NAUTILUS_CHECK(store != nullptr);
+  NAUTILUS_CHECK(checkpoints != nullptr);
+}
+
+namespace {
+
+// Reads every feed tensor of the plan for one dataset split. Raw feeds come
+// from the dataset; materialized feeds from the store ("<key>.<split>").
+std::unordered_map<int, Tensor> LoadFeeds(const ExecutionGroup& group,
+                                          const ExecutableGroup& exec,
+                                          const storage::TensorStore& store,
+                                          const Tensor& raw_inputs,
+                                          const std::string& split) {
+  std::unordered_map<int, Tensor> feeds;
+  for (const FeedSpec& feed : exec.feeds) {
+    if (!feed.from_store) {
+      feeds.emplace(feed.graph_node, raw_inputs);
+      continue;
+    }
+    const PlanNode& node =
+        group.nodes[static_cast<size_t>(feed.plan_node)];
+    auto loaded = store.Get(node.store_key + "." + split);
+    NAUTILUS_CHECK(loaded.ok())
+        << "materialized features missing: " << node.store_key << "."
+        << split << " (" << loaded.status() << ")";
+    NAUTILUS_CHECK_EQ(loaded->shape().dim(0), raw_inputs.shape().dim(0))
+        << "materialized rows out of sync with dataset for "
+        << node.store_key;
+    feeds.emplace(feed.graph_node, std::move(*loaded));
+  }
+  return feeds;
+}
+
+std::unordered_map<int, Tensor> GatherFeedRows(
+    const std::unordered_map<int, Tensor>& feeds,
+    const std::vector<int64_t>& rows) {
+  std::unordered_map<int, Tensor> batch;
+  for (const auto& [node, tensor] : feeds) {
+    batch.emplace(node, tensor.GatherRows(rows));
+  }
+  return batch;
+}
+
+}  // namespace
+
+GroupRunStats Trainer::TrainGroup(const ExecutionGroup& group,
+                                  const Workload& workload,
+                                  const data::LabeledDataset& train,
+                                  const data::LabeledDataset& valid,
+                                  const Options& options) {
+  Stopwatch stopwatch;
+  GroupRunStats stats;
+  const ExecutableGroup exec = BuildExecutableGraph(group);
+  graph::Executor executor(exec.model.get());
+
+  // Per-branch optimizers over each branch's own trainable layers.
+  const size_t num_branches = group.branches.size();
+  std::vector<std::vector<nn::Parameter*>> branch_params(num_branches);
+  {
+    std::vector<int> plan_to_graph_branch;  // via plan annotations
+    for (size_t v = 0; v < group.nodes.size(); ++v) {
+      const PlanNode& node = group.nodes[v];
+      if (node.action != NodeAction::kComputed || node.frozen ||
+          node.layer->Params().empty()) {
+        continue;
+      }
+      NAUTILUS_CHECK_EQ(node.branches_using.size(), 1u)
+          << "trainable layer shared across branches";
+      const int b = node.branches_using[0];
+      for (nn::Parameter* p : node.layer->Params()) {
+        branch_params[static_cast<size_t>(b)].push_back(p);
+      }
+    }
+  }
+  std::vector<std::unique_ptr<nn::Optimizer>> optimizers;
+  for (const PlanBranch& branch : group.branches) {
+    optimizers.push_back(std::make_unique<nn::AdamOptimizer>(
+        branch.hp.learning_rate, 0.9, 0.999, 1e-8,
+        branch.hp.weight_decay));
+  }
+
+  Rng rng(options.seed);
+  const int64_t train_records = train.size();
+  const int64_t batch_size = group.batch_size;
+
+  for (int64_t epoch = 0; epoch < group.max_epochs; ++epoch) {
+    // Active branches and the skip mask of exclusively-inactive subgraphs.
+    std::vector<bool> branch_active(num_branches, false);
+    for (size_t b = 0; b < num_branches; ++b) {
+      branch_active[b] = epoch < group.branches[b].hp.epochs;
+    }
+    // Executable graphs preserve plan-node order 1:1, so plan index v is
+    // graph node v.
+    std::vector<bool> skip(static_cast<size_t>(exec.model->num_nodes()),
+                           false);
+    for (size_t v = 0; v < group.nodes.size(); ++v) {
+      bool used_by_active = false;
+      for (int b : group.nodes[v].branches_using) {
+        if (branch_active[static_cast<size_t>(b)]) used_by_active = true;
+      }
+      if (!used_by_active) skip[v] = true;
+    }
+
+    // Per-epoch feed loads (materialized features re-read from disk; the
+    // OS page cache stands in for the paper's reliance on it).
+    std::unordered_map<int, Tensor> feeds =
+        LoadFeeds(group, exec, *store_, train.inputs(), "train");
+
+    // Epoch shuffle, identical for a given (seed, epoch) so that fused and
+    // unfused executions of the same candidate see identical batches.
+    std::vector<int64_t> order(static_cast<size_t>(train_records));
+    for (int64_t i = 0; i < train_records; ++i) {
+      order[static_cast<size_t>(i)] = i;
+    }
+    Rng epoch_rng(options.seed * 1315423911ULL +
+                  static_cast<uint64_t>(epoch) * 2654435761ULL);
+    epoch_rng.Shuffle(&order);
+
+    for (int64_t begin = 0; begin < train_records; begin += batch_size) {
+      const int64_t end = std::min(train_records, begin + batch_size);
+      std::vector<int64_t> rows(order.begin() + begin, order.begin() + end);
+      std::unordered_map<int, Tensor> batch_feeds =
+          GatherFeedRows(feeds, rows);
+      std::vector<int32_t> labels;
+      labels.reserve(rows.size());
+      for (int64_t r : rows) {
+        labels.push_back(train.labels()[static_cast<size_t>(r)]);
+      }
+
+      executor.Forward(batch_feeds, /*training=*/true, &skip);
+      std::unordered_map<int, Tensor> output_grads;
+      for (size_t b = 0; b < num_branches; ++b) {
+        if (!branch_active[b]) continue;
+        const int out = exec.branch_outputs[b];
+        Tensor probs = ops::SoftmaxForward(executor.Output(out));
+        Tensor dlogits;
+        ops::SoftmaxCrossEntropy(probs, labels, &dlogits);
+        output_grads.emplace(out, std::move(dlogits));
+      }
+      executor.ZeroGrads();
+      executor.Backward(output_grads);
+      for (size_t b = 0; b < num_branches; ++b) {
+        if (!branch_active[b]) continue;
+        if (group.branches[b].hp.clip_norm > 0.0) {
+          nn::ClipGradientsByGlobalNorm(branch_params[b],
+                                        group.branches[b].hp.clip_norm);
+        }
+        optimizers[b]->Step(branch_params[b]);
+      }
+      ++stats.batches_run;
+    }
+  }
+
+  // Validation for every branch on the held-out split.
+  {
+    std::unordered_map<int, Tensor> feeds =
+        LoadFeeds(group, exec, *store_, valid.inputs(), "valid");
+    executor.Forward(feeds, /*training=*/false);
+    for (size_t b = 0; b < num_branches; ++b) {
+      BranchEval eval;
+      eval.model_index = group.branches[b].model_index;
+      Tensor probs =
+          ops::SoftmaxForward(executor.Output(exec.branch_outputs[b]));
+      Tensor unused;
+      eval.val_loss =
+          ops::SoftmaxCrossEntropy(probs, valid.labels(), &unused);
+      eval.val_accuracy = ops::Accuracy(probs, valid.labels());
+      stats.branches.push_back(eval);
+    }
+  }
+
+  // Checkpointing: full original models (current practice) vs one pruned
+  // group checkpoint (Nautilus).
+  if (options.full_checkpoints) {
+    for (const PlanBranch& branch : group.branches) {
+      const Candidate& candidate =
+          workload[static_cast<size_t>(branch.model_index)];
+      NAUTILUS_CHECK_OK(checkpoints_->SaveModel(
+          candidate.model,
+          "cycle" + std::to_string(options.checkpoint_tag) + "_model" +
+              std::to_string(branch.model_index),
+          /*include_frozen=*/true));
+    }
+  } else {
+    NAUTILUS_CHECK_OK(checkpoints_->SaveModel(
+        *exec.model,
+        "cycle" + std::to_string(options.checkpoint_tag) + "_" +
+            exec.model->name(),
+        /*include_frozen=*/false));
+  }
+
+  stats.flops_executed = executor.flops_executed();
+  stats.wall_seconds = stopwatch.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace core
+}  // namespace nautilus

@@ -1,0 +1,68 @@
+#ifndef NAUTILUS_CORE_TRAINER_H_
+#define NAUTILUS_CORE_TRAINER_H_
+
+#include <vector>
+
+#include "nautilus/core/config.h"
+#include "nautilus/core/plan.h"
+#include "nautilus/data/dataset.h"
+#include "nautilus/storage/checkpoint_store.h"
+#include "nautilus/storage/tensor_store.h"
+
+namespace nautilus {
+namespace core {
+
+/// Validation outcome of one candidate after a training run.
+struct BranchEval {
+  int model_index = -1;
+  float val_loss = 0.0f;
+  float val_accuracy = 0.0f;
+};
+
+/// Measured statistics of training one execution group.
+struct GroupRunStats {
+  std::vector<BranchEval> branches;
+  double wall_seconds = 0.0;
+  double flops_executed = 0.0;
+  int64_t batches_run = 0;
+};
+
+/// The Trainer component (Section 3): executes optimized training plans on
+/// real tensors. Fused groups train with one optimizer per branch, each
+/// with its own hyperparameters; branches whose epoch budget is exhausted
+/// are deactivated (their exclusive subgraphs skipped). Materialized layer
+/// outputs are loaded from the tensor store once per epoch per split.
+class Trainer {
+ public:
+  Trainer(storage::TensorStore* store, storage::CheckpointStore* checkpoints,
+          const SystemConfig& config);
+
+  struct Options {
+    uint64_t seed = 1;
+    /// Current-practice behavior: checkpoint each candidate's full model
+    /// (frozen weights included); otherwise write one pruned checkpoint per
+    /// group (trainable weights only) — the Figure 11 contrast.
+    bool full_checkpoints = false;
+    /// Identifier mixed into checkpoint keys (e.g. the cycle number).
+    int64_t checkpoint_tag = 0;
+  };
+
+  /// Trains `group` on the given snapshot and evaluates every branch on the
+  /// validation split. `workload` provides the original candidate graphs
+  /// for full-model checkpointing.
+  GroupRunStats TrainGroup(const ExecutionGroup& group,
+                           const Workload& workload,
+                           const data::LabeledDataset& train,
+                           const data::LabeledDataset& valid,
+                           const Options& options);
+
+ private:
+  storage::TensorStore* store_;
+  storage::CheckpointStore* checkpoints_;
+  SystemConfig config_;
+};
+
+}  // namespace core
+}  // namespace nautilus
+
+#endif  // NAUTILUS_CORE_TRAINER_H_

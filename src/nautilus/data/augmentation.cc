@@ -1,0 +1,63 @@
+#include "nautilus/data/augmentation.h"
+
+#include "nautilus/util/random.h"
+
+namespace nautilus {
+namespace data {
+
+LabeledDataset AugmentTextPool(const LabeledDataset& pool, int copies,
+                               double replace_prob, int64_t vocab,
+                               uint64_t seed) {
+  NAUTILUS_CHECK_GE(copies, 0);
+  Rng rng(seed);
+  LabeledDataset out = pool;
+  for (int c = 0; c < copies; ++c) {
+    Tensor ids = pool.inputs();
+    for (int64_t i = 0; i < ids.NumElements(); ++i) {
+      if (rng.Uniform() < replace_prob) {
+        ids.at(i) = static_cast<float>(rng.UniformInt(vocab));
+      }
+    }
+    out.Append(LabeledDataset(std::move(ids), pool.labels()));
+  }
+  return out;
+}
+
+LabeledDataset AugmentImagePool(const LabeledDataset& pool, int copies,
+                                float noise_stddev, uint64_t seed) {
+  NAUTILUS_CHECK_GE(copies, 0);
+  const Shape& shape = pool.inputs().shape();
+  NAUTILUS_CHECK_EQ(shape.rank(), 4);
+  const int64_t n = shape.dim(0);
+  const int64_t c = shape.dim(1);
+  const int64_t h = shape.dim(2);
+  const int64_t w = shape.dim(3);
+  Rng rng(seed);
+  LabeledDataset out = pool;
+  for (int copy = 0; copy < copies; ++copy) {
+    Tensor images = pool.inputs();
+    for (int64_t i = 0; i < n; ++i) {
+      const bool flip = rng.Uniform() < 0.5;
+      float* record = images.data() + i * c * h * w;
+      if (flip) {
+        for (int64_t ch = 0; ch < c; ++ch) {
+          float* plane = record + ch * h * w;
+          for (int64_t y = 0; y < h; ++y) {
+            float* row = plane + y * w;
+            for (int64_t x = 0; x < w / 2; ++x) {
+              std::swap(row[x], row[w - 1 - x]);
+            }
+          }
+        }
+      }
+      for (int64_t j = 0; j < c * h * w; ++j) {
+        record[j] += rng.Normal(noise_stddev);
+      }
+    }
+    out.Append(LabeledDataset(std::move(images), pool.labels()));
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace nautilus

@@ -1,0 +1,33 @@
+#ifndef NAUTILUS_DATA_AUGMENTATION_H_
+#define NAUTILUS_DATA_AUGMENTATION_H_
+
+#include <cstdint>
+
+#include "nautilus/data/dataset.h"
+
+namespace nautilus {
+namespace data {
+
+/// Materialize-then-train data augmentation, per Section 2.5 of the
+/// Nautilus paper: on-the-fly random augmentation would make frozen-layer
+/// outputs non-deterministic (and thus non-materializable), so Nautilus
+/// supports augmentation by materializing an augmented dataset up front and
+/// treating each augmented copy as an ordinary record.
+
+/// Returns the pool plus `copies` augmented duplicates; each duplicate
+/// independently replaces tokens with probability `replace_prob` by uniform
+/// random vocabulary entries (labels preserved).
+LabeledDataset AugmentTextPool(const LabeledDataset& pool, int copies,
+                               double replace_prob, int64_t vocab,
+                               uint64_t seed);
+
+/// Returns the pool plus `copies` augmented duplicates; each duplicate is
+/// horizontally flipped with probability 0.5 and jittered with Gaussian
+/// pixel noise (labels preserved). Inputs must be [n, c, h, w].
+LabeledDataset AugmentImagePool(const LabeledDataset& pool, int copies,
+                                float noise_stddev, uint64_t seed);
+
+}  // namespace data
+}  // namespace nautilus
+
+#endif  // NAUTILUS_DATA_AUGMENTATION_H_

@@ -1,0 +1,93 @@
+#ifndef NAUTILUS_DATA_DATASET_H_
+#define NAUTILUS_DATA_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nautilus/tensor/tensor.h"
+#include "nautilus/util/logging.h"
+
+namespace nautilus {
+namespace data {
+
+/// A labeled dataset: one input tensor (batch-major) plus integer class
+/// labels. Supports appending, which is how evolving snapshots grow
+/// (D_{k+1} = D_k ∪ ΔD+_k, Equation 4 of the Nautilus paper).
+class LabeledDataset {
+ public:
+  LabeledDataset() = default;
+  LabeledDataset(Tensor inputs, std::vector<int32_t> labels)
+      : inputs_(std::move(inputs)), labels_(std::move(labels)) {
+    NAUTILUS_CHECK_EQ(inputs_.shape().dim(0),
+                      static_cast<int64_t>(labels_.size()));
+  }
+
+  int64_t size() const { return static_cast<int64_t>(labels_.size()); }
+  bool empty() const { return labels_.empty(); }
+
+  const Tensor& inputs() const { return inputs_; }
+  const std::vector<int32_t>& labels() const { return labels_; }
+
+  /// Appends another dataset's records.
+  void Append(const LabeledDataset& other) {
+    if (other.empty()) return;
+    inputs_.AppendRows(other.inputs_);
+    labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
+  }
+
+  /// Records [begin, end).
+  LabeledDataset Slice(int64_t begin, int64_t end) const {
+    NAUTILUS_CHECK_LE(end, size());
+    return LabeledDataset(
+        inputs_.SliceRows(begin, end),
+        std::vector<int32_t>(labels_.begin() + begin, labels_.begin() + end));
+  }
+
+  /// Records selected by index (mini-batch assembly).
+  LabeledDataset Gather(const std::vector<int64_t>& rows) const {
+    std::vector<int32_t> labels;
+    labels.reserve(rows.size());
+    for (int64_t r : rows) {
+      NAUTILUS_CHECK_LT(r, size());
+      labels.push_back(labels_[static_cast<size_t>(r)]);
+    }
+    return LabeledDataset(inputs_.GatherRows(rows), std::move(labels));
+  }
+
+ private:
+  Tensor inputs_;
+  std::vector<int32_t> labels_;
+};
+
+/// The evolving train/validation snapshots a data-labeling loop produces:
+/// each cycle appends a freshly labeled batch to both splits.
+class EvolvingDataset {
+ public:
+  void AddCycle(const LabeledDataset& train_batch,
+                const LabeledDataset& valid_batch) {
+    train_.Append(train_batch);
+    valid_.Append(valid_batch);
+    ++cycles_;
+  }
+
+  const LabeledDataset& train() const { return train_; }
+  const LabeledDataset& valid() const { return valid_; }
+  int cycles() const { return cycles_; }
+
+  /// Replaces the snapshots wholesale (session resume).
+  void Restore(LabeledDataset train, LabeledDataset valid, int cycles) {
+    train_ = std::move(train);
+    valid_ = std::move(valid);
+    cycles_ = cycles;
+  }
+
+ private:
+  LabeledDataset train_;
+  LabeledDataset valid_;
+  int cycles_ = 0;
+};
+
+}  // namespace data
+}  // namespace nautilus
+
+#endif  // NAUTILUS_DATA_DATASET_H_

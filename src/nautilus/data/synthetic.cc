@@ -1,0 +1,112 @@
+#include "nautilus/data/synthetic.h"
+
+#include <algorithm>
+
+#include "nautilus/graph/executor.h"
+#include "nautilus/tensor/ops.h"
+#include "nautilus/util/random.h"
+
+namespace nautilus {
+namespace data {
+
+LabeledDataset GenerateTextPool(const zoo::BertLikeModel& encoder,
+                                int64_t num_records, int64_t num_classes,
+                                uint64_t seed, double label_noise) {
+  const zoo::BertConfig& cfg = encoder.config();
+  Rng rng(seed);
+
+  // Random token sequences.
+  Tensor ids(Shape({num_records, cfg.seq_len}));
+  for (int64_t i = 0; i < ids.NumElements(); ++i) {
+    ids.at(i) = static_cast<float>(rng.UniformInt(cfg.vocab));
+  }
+
+  // Hidden teacher: random linear head over the [CLS] feature of the last
+  // hidden layer, evaluated in batches through the real encoder.
+  Tensor teacher =
+      Tensor::Randn(Shape({cfg.hidden, num_classes}), &rng, 1.0f);
+  graph::ModelGraph src = encoder.BuildSourceGraph();
+  graph::Executor ex(&src);
+
+  std::vector<int32_t> labels(static_cast<size_t>(num_records), 0);
+  const int64_t kBatch = 64;
+  for (int64_t begin = 0; begin < num_records; begin += kBatch) {
+    const int64_t end = std::min(num_records, begin + kBatch);
+    Tensor batch = ids.SliceRows(begin, end);
+    ex.Forward({{src.input_ids()[0], batch}}, /*training=*/false);
+    Tensor features =
+        ops::SelectSeqPosition(ex.Output(src.output_ids()[0]), 0);
+    Tensor logits = ops::MatMul(features, teacher);
+    for (int64_t i = 0; i < end - begin; ++i) {
+      int64_t best = 0;
+      for (int64_t c = 1; c < num_classes; ++c) {
+        if (logits.at(i * num_classes + c) > logits.at(i * num_classes + best)) {
+          best = c;
+        }
+      }
+      if (rng.Uniform() < label_noise) {
+        best = rng.UniformInt(num_classes);
+      }
+      labels[static_cast<size_t>(begin + i)] = static_cast<int32_t>(best);
+    }
+  }
+  return LabeledDataset(std::move(ids), std::move(labels));
+}
+
+LabeledDataset GenerateImagePool(const zoo::ResNetConfig& config,
+                                 int64_t num_records, int64_t num_classes,
+                                 uint64_t seed, float noise_stddev) {
+  Rng rng(seed);
+  const Shape record_shape(
+      {config.in_channels, config.image_size, config.image_size});
+  const int64_t record_elems = record_shape.NumElements();
+
+  // Class prototypes: smooth random patterns with unit scale.
+  std::vector<Tensor> prototypes;
+  prototypes.reserve(static_cast<size_t>(num_classes));
+  for (int64_t c = 0; c < num_classes; ++c) {
+    prototypes.push_back(Tensor::Randn(record_shape, &rng, 1.0f));
+  }
+
+  Tensor images(Shape({num_records, config.in_channels, config.image_size,
+                       config.image_size}));
+  std::vector<int32_t> labels(static_cast<size_t>(num_records), 0);
+  for (int64_t i = 0; i < num_records; ++i) {
+    const int64_t label = rng.UniformInt(num_classes);
+    labels[static_cast<size_t>(i)] = static_cast<int32_t>(label);
+    const Tensor& proto = prototypes[static_cast<size_t>(label)];
+    float* dst = images.data() + i * record_elems;
+    for (int64_t j = 0; j < record_elems; ++j) {
+      dst[j] = proto.at(j) + rng.Normal(noise_stddev);
+    }
+  }
+  return LabeledDataset(std::move(images), std::move(labels));
+}
+
+LabelingSimulator::LabelingSimulator(LabeledDataset pool,
+                                     int64_t records_per_cycle,
+                                     double train_fraction)
+    : pool_(std::move(pool)),
+      records_per_cycle_(records_per_cycle),
+      train_fraction_(train_fraction) {
+  NAUTILUS_CHECK_GT(records_per_cycle_, 0);
+  NAUTILUS_CHECK_GT(train_fraction_, 0.0);
+  NAUTILUS_CHECK_LT(train_fraction_, 1.0);
+}
+
+LabelingSimulator::CycleBatch LabelingSimulator::NextCycle() {
+  NAUTILUS_CHECK(HasNextCycle()) << "labeling pool exhausted";
+  const int64_t end = std::min(pool_.size(), offset_ + records_per_cycle_);
+  LabeledDataset batch = pool_.Slice(offset_, end);
+  offset_ = end;
+  ++cycles_;
+  const int64_t train_count = static_cast<int64_t>(
+      static_cast<double>(batch.size()) * train_fraction_);
+  CycleBatch out;
+  out.train = batch.Slice(0, train_count);
+  out.valid = batch.Slice(train_count, batch.size());
+  return out;
+}
+
+}  // namespace data
+}  // namespace nautilus

@@ -1,0 +1,69 @@
+#ifndef NAUTILUS_DATA_SYNTHETIC_H_
+#define NAUTILUS_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "nautilus/data/dataset.h"
+#include "nautilus/zoo/bert_like.h"
+#include "nautilus/zoo/resnet_like.h"
+
+namespace nautilus {
+namespace data {
+
+/// Synthetic stand-ins for the paper's CoNLL-2003 and Malaria datasets.
+/// Labels come from a hidden *teacher*: a random linear head over the frozen
+/// pretrained features (text) or a planted class pattern (images). Both
+/// guarantee a learnable task whose accuracy improves with more labeled
+/// data, which is all the learning-curve experiments (Figure 7) require.
+
+/// Token-sequence classification pool labeled by a teacher head on the
+/// encoder's [CLS] feature of the last hidden layer. `label_noise` flips
+/// that fraction of labels uniformly (keeps accuracy ceilings below 100%).
+LabeledDataset GenerateTextPool(const zoo::BertLikeModel& encoder,
+                                int64_t num_records, int64_t num_classes,
+                                uint64_t seed, double label_noise = 0.1);
+
+/// Image classification pool: each class has a random spatial prototype;
+/// records are prototype + Gaussian noise (a Malaria-like binary screen when
+/// num_classes == 2).
+LabeledDataset GenerateImagePool(const zoo::ResNetConfig& config,
+                                 int64_t num_records, int64_t num_classes,
+                                 uint64_t seed, float noise_stddev = 1.0f);
+
+/// Replays a data-labeling process over a fixed pool: each cycle releases
+/// the next `records_per_cycle` records, split `train_fraction` /
+/// (1 - train_fraction) into train/valid, mirroring the paper's 500-record
+/// cycles with 400/100 splits. Labeling latency is modeled, not slept.
+class LabelingSimulator {
+ public:
+  LabelingSimulator(LabeledDataset pool, int64_t records_per_cycle,
+                    double train_fraction);
+
+  bool HasNextCycle() const { return offset_ < pool_.size(); }
+  int cycles_released() const { return cycles_; }
+
+  struct CycleBatch {
+    LabeledDataset train;
+    LabeledDataset valid;
+  };
+
+  /// Releases the next cycle's labeled batch.
+  CycleBatch NextCycle();
+
+  /// Seconds a human labeler would take for one cycle at the given rate.
+  double CycleLabelingSeconds(double seconds_per_label) const {
+    return static_cast<double>(records_per_cycle_) * seconds_per_label;
+  }
+
+ private:
+  LabeledDataset pool_;
+  int64_t records_per_cycle_;
+  double train_fraction_;
+  int64_t offset_ = 0;
+  int cycles_ = 0;
+};
+
+}  // namespace data
+}  // namespace nautilus
+
+#endif  // NAUTILUS_DATA_SYNTHETIC_H_

@@ -1,0 +1,137 @@
+#include "nautilus/graph/executor.h"
+
+#include <unordered_set>
+
+#include "nautilus/tensor/ops.h"
+#include "nautilus/util/logging.h"
+
+namespace nautilus {
+namespace graph {
+
+Executor::Executor(const ModelGraph* model) : model_(model) {
+  NAUTILUS_CHECK(model != nullptr);
+  const auto& nodes = model_->nodes();
+  needs_grad_.assign(nodes.size(), false);
+  for (const GraphNode& node : nodes) {
+    bool trainable = !node.frozen && !node.layer->Params().empty();
+    bool from_parent = false;
+    for (int p : node.parents) {
+      if (needs_grad_[static_cast<size_t>(p)]) from_parent = true;
+    }
+    needs_grad_[static_cast<size_t>(node.id)] = trainable || from_parent;
+  }
+}
+
+void Executor::Forward(const std::unordered_map<int, Tensor>& feeds,
+                       bool training, const std::vector<bool>* skip) {
+  const auto& nodes = model_->nodes();
+  outputs_.assign(nodes.size(), Tensor());
+  caches_.clear();
+  caches_.resize(nodes.size());
+  forward_was_training_ = training;
+
+  for (const GraphNode& node : nodes) {
+    if (skip != nullptr && (*skip)[static_cast<size_t>(node.id)]) continue;
+    if (node.parents.empty()) {
+      auto it = feeds.find(node.id);
+      NAUTILUS_CHECK(it != feeds.end())
+          << "missing feed for input node " << node.id << " ("
+          << node.layer->name() << ")";
+      outputs_[static_cast<size_t>(node.id)] = it->second;
+      continue;
+    }
+    std::vector<const Tensor*> inputs;
+    std::vector<Shape> record_shapes;
+    inputs.reserve(node.parents.size());
+    for (int p : node.parents) {
+      const Tensor& t = outputs_[static_cast<size_t>(p)];
+      NAUTILUS_CHECK(!t.empty()) << "parent " << p << " not computed";
+      inputs.push_back(&t);
+      record_shapes.push_back(t.shape().WithBatch(1));
+    }
+    const int64_t batch = inputs[0]->shape().dim(0);
+    std::unique_ptr<nn::LayerCache>* cache_slot =
+        training ? &caches_[static_cast<size_t>(node.id)] : nullptr;
+    outputs_[static_cast<size_t>(node.id)] =
+        node.layer->Forward(inputs, cache_slot);
+    flops_executed_ += node.layer->ForwardFlopsPerRecord(record_shapes) *
+                       static_cast<double>(batch);
+  }
+}
+
+const Tensor& Executor::Output(int node_id) const {
+  NAUTILUS_CHECK_GE(node_id, 0);
+  NAUTILUS_CHECK_LT(node_id, static_cast<int>(outputs_.size()));
+  const Tensor& t = outputs_[static_cast<size_t>(node_id)];
+  NAUTILUS_CHECK(!t.empty()) << "node " << node_id << " has no output";
+  return t;
+}
+
+void Executor::Backward(const std::unordered_map<int, Tensor>& output_grads) {
+  NAUTILUS_CHECK(forward_was_training_)
+      << "Backward requires a Forward with training=true";
+  const auto& nodes = model_->nodes();
+  std::vector<Tensor> grads(nodes.size());
+  for (const auto& [id, g] : output_grads) {
+    NAUTILUS_CHECK_GE(id, 0);
+    NAUTILUS_CHECK_LT(id, static_cast<int>(nodes.size()));
+    grads[static_cast<size_t>(id)] = g;
+  }
+
+  for (int id = static_cast<int>(nodes.size()) - 1; id >= 0; --id) {
+    const GraphNode& node = nodes[static_cast<size_t>(id)];
+    if (node.parents.empty()) continue;
+    Tensor& gout = grads[static_cast<size_t>(id)];
+    if (gout.empty()) continue;                       // no gradient flows here
+    if (!needs_grad_[static_cast<size_t>(id)]) continue;  // frozen subtree
+
+    std::vector<const Tensor*> inputs;
+    std::vector<Shape> record_shapes;
+    inputs.reserve(node.parents.size());
+    for (int p : node.parents) {
+      inputs.push_back(&outputs_[static_cast<size_t>(p)]);
+      record_shapes.push_back(
+          outputs_[static_cast<size_t>(p)].shape().WithBatch(1));
+    }
+    const nn::LayerCache* cache = caches_[static_cast<size_t>(id)].get();
+    static const nn::LayerCache kEmptyCache;
+    std::vector<Tensor> input_grads = node.layer->Backward(
+        gout, inputs, cache != nullptr ? *cache : kEmptyCache);
+    NAUTILUS_CHECK_EQ(input_grads.size(), node.parents.size());
+    const int64_t batch = inputs[0]->shape().dim(0);
+    const bool trainable = !node.frozen && !node.layer->Params().empty();
+    // Cost-model-consistent accounting: trainable layers pay ~2x forward in
+    // the backward pass (input + parameter gradients), frozen ones ~1x.
+    flops_executed_ += node.layer->ForwardFlopsPerRecord(record_shapes) *
+                       static_cast<double>(batch) * (trainable ? 2.0 : 1.0);
+    for (size_t k = 0; k < node.parents.size(); ++k) {
+      const int p = node.parents[static_cast<size_t>(k)];
+      // needs_grad_ already covers "parent itself is trainable".
+      if (!needs_grad_[static_cast<size_t>(p)]) continue;
+      Tensor& slot = grads[static_cast<size_t>(p)];
+      if (slot.empty()) {
+        slot = std::move(input_grads[k]);
+      } else {
+        ops::AxpyInPlace(1.0f, input_grads[k], &slot);
+      }
+    }
+  }
+}
+
+void Executor::ZeroGrads() {
+  for (nn::Parameter* p : TrainableParams()) p->ZeroGrad();
+}
+
+std::vector<nn::Parameter*> Executor::TrainableParams() const {
+  std::vector<nn::Parameter*> params;
+  std::unordered_set<const nn::Layer*> seen;
+  for (const GraphNode& node : model_->nodes()) {
+    if (node.frozen) continue;
+    if (!seen.insert(node.layer.get()).second) continue;
+    for (nn::Parameter* p : node.layer->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace graph
+}  // namespace nautilus

@@ -1,0 +1,64 @@
+#ifndef NAUTILUS_GRAPH_EXECUTOR_H_
+#define NAUTILUS_GRAPH_EXECUTOR_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "nautilus/graph/model_graph.h"
+
+namespace nautilus {
+namespace graph {
+
+/// Runs forward and backward passes over a ModelGraph on real tensors.
+///
+/// The same executor drives plain candidate models and Nautilus's rewritten
+/// reuse-plan graphs: in a rewritten graph, materialized layer outputs appear
+/// as extra input nodes and are fed like any other input. Multiple outputs
+/// (fused models) are supported by passing one gradient per output node.
+class Executor {
+ public:
+  explicit Executor(const ModelGraph* model);
+
+  /// Computes all node outputs in topological order. `feeds` must provide a
+  /// batch tensor for every input node. With `training` false, backward
+  /// caches are not retained. `skip` (optional, indexed by node id) marks
+  /// nodes to bypass entirely — used to deactivate fused branches whose
+  /// epoch budget is exhausted; a skipped node's output is absent and its
+  /// feed may be omitted.
+  void Forward(const std::unordered_map<int, Tensor>& feeds, bool training,
+               const std::vector<bool>* skip = nullptr);
+
+  const Tensor& Output(int node_id) const;
+
+  /// Back-propagates from the given output gradients, accumulating parameter
+  /// gradients of non-frozen layers. Subgraphs with no trainable ancestors
+  /// are skipped (the executed-cost analogue of the paper's 1x/2x/3x layer
+  /// cost model).
+  void Backward(const std::unordered_map<int, Tensor>& output_grads);
+
+  /// Zeroes gradients of all trainable parameters (shared layers once).
+  void ZeroGrads();
+
+  /// Trainable parameters of the whole graph (shared layers deduplicated).
+  std::vector<nn::Parameter*> TrainableParams() const;
+
+  /// Total FLOPs executed so far (analytic estimate: forward FLOPs per
+  /// record x records, doubled/tripled for backward per the cost model).
+  double flops_executed() const { return flops_executed_; }
+
+  const ModelGraph& model() const { return *model_; }
+
+ private:
+  const ModelGraph* model_;
+  std::vector<bool> needs_grad_;   // some ancestor (or self) is trainable
+  std::vector<Tensor> outputs_;
+  std::vector<std::unique_ptr<nn::LayerCache>> caches_;
+  bool forward_was_training_ = false;
+  double flops_executed_ = 0.0;
+};
+
+}  // namespace graph
+}  // namespace nautilus
+
+#endif  // NAUTILUS_GRAPH_EXECUTOR_H_

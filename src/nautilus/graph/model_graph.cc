@@ -1,0 +1,208 @@
+#include "nautilus/graph/model_graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "nautilus/util/logging.h"
+
+namespace nautilus {
+namespace graph {
+
+uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  // splitmix64-style avalanche of the combined words.
+  uint64_t x = seed + 0x9e3779b97f4a7c15ULL + value;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+int ModelGraph::AddInput(std::shared_ptr<nn::InputLayer> input) {
+  GraphNode node;
+  node.id = num_nodes();
+  node.layer = std::move(input);
+  node.frozen = true;
+  nodes_.push_back(std::move(node));
+  input_ids_.push_back(nodes_.back().id);
+  return nodes_.back().id;
+}
+
+int ModelGraph::AddNode(nn::LayerPtr layer, std::vector<int> parents,
+                        bool frozen) {
+  NAUTILUS_CHECK(layer != nullptr);
+  NAUTILUS_CHECK(!parents.empty()) << "non-input node needs parents";
+  for (int p : parents) {
+    NAUTILUS_CHECK_GE(p, 0);
+    NAUTILUS_CHECK_LT(p, num_nodes())
+        << "parents must be added before children (topological insertion)";
+  }
+  GraphNode node;
+  node.id = num_nodes();
+  // Definition 2.3: parameter-free layers are frozen.
+  node.frozen = frozen || layer->Params().empty();
+  node.layer = std::move(layer);
+  node.parents = std::move(parents);
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+void ModelGraph::MarkOutput(int id) {
+  NAUTILUS_CHECK_GE(id, 0);
+  NAUTILUS_CHECK_LT(id, num_nodes());
+  output_ids_.push_back(id);
+}
+
+const GraphNode& ModelGraph::node(int id) const {
+  NAUTILUS_CHECK_GE(id, 0);
+  NAUTILUS_CHECK_LT(id, num_nodes());
+  return nodes_[static_cast<size_t>(id)];
+}
+
+bool ModelGraph::IsInput(int id) const {
+  return std::find(input_ids_.begin(), input_ids_.end(), id) !=
+         input_ids_.end();
+}
+
+bool ModelGraph::IsOutput(int id) const {
+  return std::find(output_ids_.begin(), output_ids_.end(), id) !=
+         output_ids_.end();
+}
+
+std::vector<std::vector<int>> ModelGraph::ChildLists() const {
+  std::vector<std::vector<int>> children(nodes_.size());
+  for (const GraphNode& node : nodes_) {
+    for (int p : node.parents) {
+      children[static_cast<size_t>(p)].push_back(node.id);
+    }
+  }
+  return children;
+}
+
+std::vector<bool> ModelGraph::MaterializableMask() const {
+  std::vector<bool> mask(nodes_.size(), false);
+  for (const GraphNode& node : nodes_) {
+    if (node.parents.empty()) {
+      mask[static_cast<size_t>(node.id)] = true;  // model input
+      continue;
+    }
+    if (!node.frozen) continue;
+    bool all_parents = true;
+    for (int p : node.parents) {
+      if (!mask[static_cast<size_t>(p)]) all_parents = false;
+    }
+    mask[static_cast<size_t>(node.id)] = all_parents;
+  }
+  return mask;
+}
+
+std::vector<uint64_t> ModelGraph::ExpressionHashes() const {
+  std::vector<uint64_t> hashes(nodes_.size(), 0);
+  for (const GraphNode& node : nodes_) {
+    uint64_t h = HashCombine(0x5afe5eedULL, node.layer->uid());
+    for (int p : node.parents) {
+      h = HashCombine(h, hashes[static_cast<size_t>(p)]);
+    }
+    hashes[static_cast<size_t>(node.id)] = h;
+  }
+  return hashes;
+}
+
+std::vector<Shape> ModelGraph::NodeShapes(int64_t batch) const {
+  std::vector<Shape> shapes(nodes_.size());
+  for (const GraphNode& node : nodes_) {
+    if (node.parents.empty()) {
+      auto* input = static_cast<nn::InputLayer*>(node.layer.get());
+      std::vector<int64_t> dims = {batch};
+      for (int64_t d : input->record_shape().dims()) dims.push_back(d);
+      shapes[static_cast<size_t>(node.id)] = Shape(dims);
+      continue;
+    }
+    std::vector<Shape> parent_shapes;
+    parent_shapes.reserve(node.parents.size());
+    for (int p : node.parents) {
+      parent_shapes.push_back(shapes[static_cast<size_t>(p)]);
+    }
+    shapes[static_cast<size_t>(node.id)] =
+        node.layer->OutputShape(parent_shapes);
+  }
+  return shapes;
+}
+
+std::vector<double> ModelGraph::NodeOutputBytesPerRecord() const {
+  std::vector<Shape> shapes = NodeShapes(1);
+  std::vector<double> bytes;
+  bytes.reserve(shapes.size());
+  for (const Shape& s : shapes) {
+    bytes.push_back(static_cast<double>(s.NumElements()) * sizeof(float));
+  }
+  return bytes;
+}
+
+int64_t ModelGraph::TrainableParamCount() const {
+  int64_t n = 0;
+  std::unordered_set<const nn::Layer*> seen;
+  for (const GraphNode& node : nodes_) {
+    if (node.frozen) continue;
+    if (!seen.insert(node.layer.get()).second) continue;
+    n += node.layer->ParamCount();
+  }
+  return n;
+}
+
+int64_t ModelGraph::TotalParamCount() const {
+  int64_t n = 0;
+  std::unordered_set<const nn::Layer*> seen;
+  for (const GraphNode& node : nodes_) {
+    if (!seen.insert(node.layer.get()).second) continue;
+    n += node.layer->ParamCount();
+  }
+  return n;
+}
+
+std::string ModelGraph::ToDot() const {
+  const std::vector<bool> materializable = MaterializableMask();
+  std::string dot = "digraph \"" + name_ + "\" {\n  rankdir=LR;\n";
+  for (const GraphNode& node : nodes_) {
+    const size_t j = static_cast<size_t>(node.id);
+    std::string attrs;
+    if (node.parents.empty()) {
+      attrs = "shape=invhouse, style=filled, fillcolor=lightblue";
+    } else if (!node.frozen) {
+      attrs = "shape=box, style=filled, fillcolor=lightyellow";
+    } else if (materializable[j]) {
+      attrs = "shape=doublecircle, style=filled, fillcolor=lightgrey";
+    } else {
+      attrs = "shape=ellipse, style=filled, fillcolor=lightgrey";
+    }
+    if (IsOutput(node.id)) attrs += ", penwidth=3";
+    dot += "  n" + std::to_string(node.id) + " [label=\"" +
+           node.layer->name() + "\\n" + node.layer->type_name() + "\", " +
+           attrs + "];\n";
+  }
+  for (const GraphNode& node : nodes_) {
+    for (int p : node.parents) {
+      dot += "  n" + std::to_string(p) + " -> n" +
+             std::to_string(node.id) + ";\n";
+    }
+  }
+  dot += "}\n";
+  return dot;
+}
+
+void ModelGraph::Validate() const {
+  NAUTILUS_CHECK(!input_ids_.empty()) << name_ << ": no inputs";
+  NAUTILUS_CHECK(!output_ids_.empty()) << name_ << ": no outputs";
+  for (const GraphNode& node : nodes_) {
+    for (int p : node.parents) {
+      NAUTILUS_CHECK_LT(p, node.id) << name_ << ": edge violates topo order";
+    }
+    if (node.parents.empty()) {
+      NAUTILUS_CHECK(IsInput(node.id))
+          << name_ << ": orphan non-input node " << node.id;
+    }
+  }
+  // Shape compatibility: computing shapes CHECK-fails on any mismatch.
+  (void)NodeShapes(1);
+}
+
+}  // namespace graph
+}  // namespace nautilus

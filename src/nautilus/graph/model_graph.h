@@ -1,0 +1,105 @@
+#ifndef NAUTILUS_GRAPH_MODEL_GRAPH_H_
+#define NAUTILUS_GRAPH_MODEL_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nautilus/nn/basic.h"
+#include "nautilus/nn/layer.h"
+
+namespace nautilus {
+namespace graph {
+
+/// One layer occurrence inside a model DAG (Definition 2.2 of the Nautilus
+/// paper). Nodes reference shared layer instances: a frozen pretrained layer
+/// is typically the *same* nn::Layer object across all candidate models,
+/// which is what makes its expression identical (Definition 4.3) and lets
+/// the multi-model graph merge it.
+struct GraphNode {
+  int id = -1;
+  nn::LayerPtr layer;
+  std::vector<int> parents;
+  /// f(l): parameters not updated during training. Parameter-free layers are
+  /// frozen by definition (Definition 2.3).
+  bool frozen = false;
+};
+
+/// A DAG-structured model: layers plus edges, with designated input and
+/// output nodes. Nodes are stored in a topological order (parents always
+/// precede children), which the builder enforces.
+class ModelGraph {
+ public:
+  explicit ModelGraph(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds an input node. Input layers are always frozen and materializable.
+  int AddInput(std::shared_ptr<nn::InputLayer> input);
+
+  /// Adds a layer fed by `parents` (ids of earlier nodes). `frozen` marks
+  /// whether its parameters stay fixed during training; it is forced to true
+  /// for parameter-free layers.
+  int AddNode(nn::LayerPtr layer, std::vector<int> parents, bool frozen);
+
+  /// Marks a node as a model output (O in the paper's notation).
+  void MarkOutput(int id);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const GraphNode& node(int id) const;
+  const std::vector<GraphNode>& nodes() const { return nodes_; }
+  const std::vector<int>& input_ids() const { return input_ids_; }
+  const std::vector<int>& output_ids() const { return output_ids_; }
+
+  bool IsInput(int id) const;
+  bool IsOutput(int id) const;
+
+  /// Children lists (inverse edges).
+  std::vector<std::vector<int>> ChildLists() const;
+
+  /// m(l) per node (Definition 2.4): inputs, and frozen layers all of whose
+  /// parents are materializable.
+  std::vector<bool> MaterializableMask() const;
+
+  /// Structural expression identity per node: equal hashes mean identical
+  /// expressions in the sense of Definition 4.3 (same layer function applied
+  /// to identical input expressions). Collision-free in practice because it
+  /// mixes process-unique layer UIDs.
+  std::vector<uint64_t> ExpressionHashes() const;
+
+  /// Output shape of every node for the given batch size, computed through
+  /// the DAG from the input record shapes.
+  std::vector<Shape> NodeShapes(int64_t batch) const;
+
+  /// Per-record output bytes of every node.
+  std::vector<double> NodeOutputBytesPerRecord() const;
+
+  /// Sum of trainable (non-frozen) parameter elements.
+  int64_t TrainableParamCount() const;
+  /// Sum of all parameter elements, counting shared layers once.
+  int64_t TotalParamCount() const;
+
+  /// Asserts structural sanity: parents precede children, outputs exist,
+  /// every non-input node has >= 1 parent, inputs have none.
+  void Validate() const;
+
+  /// Graphviz DOT rendering: boxes for trainable layers, shaded ellipses
+  /// for frozen ones, double circles for materializable nodes. Handy for
+  /// documentation and debugging freeze schemes.
+  std::string ToDot() const;
+
+ private:
+  std::string name_;
+  std::vector<GraphNode> nodes_;
+  std::vector<int> input_ids_;
+  std::vector<int> output_ids_;
+};
+
+/// 64-bit hash mixing used for expression identity.
+uint64_t HashCombine(uint64_t seed, uint64_t value);
+
+}  // namespace graph
+}  // namespace nautilus
+
+#endif  // NAUTILUS_GRAPH_MODEL_GRAPH_H_

@@ -1,0 +1,237 @@
+#include "nautilus/nn/basic.h"
+
+#include <cmath>
+
+#include "nautilus/tensor/ops.h"
+#include "nautilus/util/logging.h"
+
+namespace nautilus {
+namespace nn {
+
+// ---------------------------------------------------------------------------
+// InputLayer
+// ---------------------------------------------------------------------------
+
+Shape InputLayer::OutputShape(const std::vector<Shape>& inputs) const {
+  NAUTILUS_CHECK_EQ(inputs.size(), 1u);
+  return inputs[0];
+}
+
+Tensor InputLayer::Forward(const std::vector<const Tensor*>& inputs,
+                           std::unique_ptr<LayerCache>* cache) const {
+  NAUTILUS_CHECK_EQ(inputs.size(), 1u);
+  if (cache != nullptr) cache->reset();
+  return *inputs[0];
+}
+
+std::vector<Tensor> InputLayer::Backward(const Tensor& grad_out,
+                                         const std::vector<const Tensor*>&,
+                                         const LayerCache&) {
+  return {grad_out};
+}
+
+std::shared_ptr<Layer> InputLayer::Clone() const {
+  return std::make_shared<InputLayer>(name_, record_shape_);
+}
+
+// ---------------------------------------------------------------------------
+// DenseLayer
+// ---------------------------------------------------------------------------
+
+const char* ActivationName(Activation a) {
+  switch (a) {
+    case Activation::kNone:
+      return "none";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kGelu:
+      return "gelu";
+    case Activation::kTanh:
+      return "tanh";
+  }
+  return "?";
+}
+
+namespace {
+
+// Saves what each activation's backward needs.
+class DenseCache : public LayerCache {
+ public:
+  Tensor pre_activation;  // only kept for gelu
+  Tensor output;          // kept for relu / tanh
+};
+
+}  // namespace
+
+DenseLayer::DenseLayer(std::string name, int64_t in_dim, int64_t out_dim,
+                       Activation activation, Rng* rng)
+    : Layer(std::move(name)),
+      in_dim_(in_dim),
+      out_dim_(out_dim),
+      activation_(activation),
+      weight_(MakeParam(name_ + ".W", Shape({in_dim, out_dim}), rng,
+                        1.0f / std::sqrt(static_cast<float>(in_dim)))),
+      bias_(MakeConstParam(name_ + ".b", Shape({out_dim}), 0.0f)) {}
+
+DenseLayer::DenseLayer(std::string name, int64_t in_dim, int64_t out_dim,
+                       Activation activation, Parameter weight, Parameter bias)
+    : Layer(std::move(name)),
+      in_dim_(in_dim),
+      out_dim_(out_dim),
+      activation_(activation),
+      weight_(std::move(weight)),
+      bias_(std::move(bias)) {}
+
+Shape DenseLayer::OutputShape(const std::vector<Shape>& inputs) const {
+  NAUTILUS_CHECK_EQ(inputs.size(), 1u);
+  const Shape& in = inputs[0];
+  NAUTILUS_CHECK_EQ(in.dim(in.rank() - 1), in_dim_);
+  std::vector<int64_t> dims = in.dims();
+  dims.back() = out_dim_;
+  return Shape(dims);
+}
+
+double DenseLayer::ForwardFlopsPerRecord(
+    const std::vector<Shape>& input_record_shapes) const {
+  NAUTILUS_CHECK_EQ(input_record_shapes.size(), 1u);
+  // Rows per record = elements / in_dim. 2*in*out FLOPs per row (+bias+act,
+  // negligible but counted as out per row).
+  const double rows =
+      static_cast<double>(input_record_shapes[0].NumElements()) /
+      static_cast<double>(in_dim_);
+  return rows * (2.0 * static_cast<double>(in_dim_) *
+                     static_cast<double>(out_dim_) +
+                 2.0 * static_cast<double>(out_dim_));
+}
+
+Tensor DenseLayer::Forward(const std::vector<const Tensor*>& inputs,
+                           std::unique_ptr<LayerCache>* cache) const {
+  NAUTILUS_CHECK_EQ(inputs.size(), 1u);
+  Tensor z = ops::MatMul(*inputs[0], weight_.value);
+  ops::AddBiasInPlace(&z, bias_.value);
+  std::vector<int64_t> dims = inputs[0]->shape().dims();
+  dims.back() = out_dim_;
+  z = z.Reshaped(Shape(dims));
+  auto c = std::make_unique<DenseCache>();
+  Tensor y;
+  switch (activation_) {
+    case Activation::kNone:
+      y = z;
+      break;
+    case Activation::kRelu:
+      y = ops::ReluForward(z);
+      c->output = y;
+      break;
+    case Activation::kGelu:
+      c->pre_activation = z;
+      y = ops::GeluForward(z);
+      break;
+    case Activation::kTanh:
+      y = ops::TanhForward(z);
+      c->output = y;
+      break;
+  }
+  if (cache != nullptr) *cache = std::move(c);
+  return y;
+}
+
+std::vector<Tensor> DenseLayer::Backward(
+    const Tensor& grad_out, const std::vector<const Tensor*>& inputs,
+    const LayerCache& cache) {
+  const auto& c = static_cast<const DenseCache&>(cache);
+  Tensor dz;
+  switch (activation_) {
+    case Activation::kNone:
+      dz = grad_out;
+      break;
+    case Activation::kRelu:
+      dz = ops::ReluBackward(grad_out, c.output);
+      break;
+    case Activation::kGelu:
+      dz = ops::GeluBackward(grad_out, c.pre_activation);
+      break;
+    case Activation::kTanh:
+      dz = ops::TanhBackward(grad_out, c.output);
+      break;
+  }
+  // dW += x^T dz ; db += colsum(dz) ; dx = dz W^T
+  ops::AxpyInPlace(1.0f, ops::MatMulTN(*inputs[0], dz), &weight_.grad);
+  ops::AxpyInPlace(1.0f, ops::ColumnSum(dz), &bias_.grad);
+  Tensor dx = ops::MatMulNT(dz, weight_.value);
+  return {dx.Reshaped(inputs[0]->shape())};
+}
+
+std::shared_ptr<Layer> DenseLayer::Clone() const {
+  return std::shared_ptr<Layer>(
+      new DenseLayer(name_, in_dim_, out_dim_, activation_, weight_, bias_));
+}
+
+// ---------------------------------------------------------------------------
+// LayerNormLayer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class LayerNormLayerCache : public LayerCache {
+ public:
+  ops::LayerNormCache cache;
+};
+
+constexpr float kLayerNormEps = 1e-5f;
+
+}  // namespace
+
+LayerNormLayer::LayerNormLayer(std::string name, int64_t dim)
+    : Layer(std::move(name)),
+      dim_(dim),
+      gamma_(MakeConstParam(name_ + ".gamma", Shape({dim}), 1.0f)),
+      beta_(MakeConstParam(name_ + ".beta", Shape({dim}), 0.0f)) {}
+
+LayerNormLayer::LayerNormLayer(std::string name, int64_t dim, Parameter gamma,
+                               Parameter beta)
+    : Layer(std::move(name)),
+      dim_(dim),
+      gamma_(std::move(gamma)),
+      beta_(std::move(beta)) {}
+
+Shape LayerNormLayer::OutputShape(const std::vector<Shape>& inputs) const {
+  NAUTILUS_CHECK_EQ(inputs.size(), 1u);
+  NAUTILUS_CHECK_EQ(inputs[0].dim(inputs[0].rank() - 1), dim_);
+  return inputs[0];
+}
+
+double LayerNormLayer::ForwardFlopsPerRecord(
+    const std::vector<Shape>& input_record_shapes) const {
+  // ~8 FLOPs per element (two reductions + normalize + affine).
+  return 8.0 * static_cast<double>(input_record_shapes[0].NumElements());
+}
+
+Tensor LayerNormLayer::Forward(const std::vector<const Tensor*>& inputs,
+                               std::unique_ptr<LayerCache>* cache) const {
+  auto c = std::make_unique<LayerNormLayerCache>();
+  Tensor y = ops::LayerNormForward(*inputs[0], gamma_.value, beta_.value,
+                                   kLayerNormEps, &c->cache);
+  if (cache != nullptr) *cache = std::move(c);
+  return y;
+}
+
+std::vector<Tensor> LayerNormLayer::Backward(
+    const Tensor& grad_out, const std::vector<const Tensor*>& inputs,
+    const LayerCache& cache) {
+  (void)inputs;
+  const auto& c = static_cast<const LayerNormLayerCache&>(cache);
+  Tensor dx, dgamma, dbeta;
+  ops::LayerNormBackward(grad_out, gamma_.value, c.cache, &dx, &dgamma,
+                         &dbeta);
+  ops::AxpyInPlace(1.0f, dgamma, &gamma_.grad);
+  ops::AxpyInPlace(1.0f, dbeta, &beta_.grad);
+  return {dx};
+}
+
+std::shared_ptr<Layer> LayerNormLayer::Clone() const {
+  return std::shared_ptr<Layer>(
+      new LayerNormLayer(name_, dim_, gamma_, beta_));
+}
+
+}  // namespace nn
+}  // namespace nautilus

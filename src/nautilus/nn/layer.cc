@@ -1,0 +1,31 @@
+#include "nautilus/nn/layer.h"
+
+#include <atomic>
+
+namespace nautilus {
+namespace nn {
+
+namespace {
+std::atomic<uint64_t> g_next_uid{1};
+std::atomic<bool> g_profile_only{false};
+}  // namespace
+
+uint64_t NextLayerUid() { return g_next_uid.fetch_add(1); }
+
+bool ProfileOnlyMode() { return g_profile_only.load(); }
+
+void SetProfileOnlyMode(bool enabled) { g_profile_only.store(enabled); }
+
+Parameter MakeParam(std::string name, const Shape& shape, Rng* rng,
+                    float stddev) {
+  if (ProfileOnlyMode()) return Parameter(std::move(name), shape);
+  return Parameter(std::move(name), Tensor::Randn(shape, rng, stddev));
+}
+
+Parameter MakeConstParam(std::string name, const Shape& shape, float fill) {
+  if (ProfileOnlyMode()) return Parameter(std::move(name), shape);
+  return Parameter(std::move(name), Tensor::Full(shape, fill));
+}
+
+}  // namespace nn
+}  // namespace nautilus

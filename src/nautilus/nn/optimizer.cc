@@ -1,0 +1,114 @@
+#include "nautilus/nn/optimizer.h"
+
+#include <cmath>
+
+#include "nautilus/util/strings.h"
+
+namespace nautilus {
+namespace nn {
+
+void SgdOptimizer::Step(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) {
+    float* v = p->value.data();
+    const float* g = p->grad.data();
+    const float lr = static_cast<float>(lr_);
+    const int64_t n = p->value.NumElements();
+    for (int64_t i = 0; i < n; ++i) v[i] -= lr * g[i];
+  }
+}
+
+std::unique_ptr<Optimizer> SgdOptimizer::CloneFresh() const {
+  return std::make_unique<SgdOptimizer>(lr_);
+}
+
+std::string SgdOptimizer::DebugString() const {
+  return "SGD(lr=" + FormatDouble(lr_, 6) + ")";
+}
+
+void MomentumOptimizer::Step(const std::vector<Parameter*>& params) {
+  const float lr = static_cast<float>(lr_);
+  const float mu = static_cast<float>(momentum_);
+  for (Parameter* p : params) {
+    auto [it, inserted] = velocity_.try_emplace(p, p->value.shape());
+    Tensor& vel = it->second;
+    float* v = vel.data();
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    const int64_t n = p->value.NumElements();
+    for (int64_t i = 0; i < n; ++i) {
+      v[i] = mu * v[i] + g[i];
+      w[i] -= lr * v[i];
+    }
+  }
+}
+
+std::unique_ptr<Optimizer> MomentumOptimizer::CloneFresh() const {
+  return std::make_unique<MomentumOptimizer>(lr_, momentum_);
+}
+
+std::string MomentumOptimizer::DebugString() const {
+  return "Momentum(lr=" + FormatDouble(lr_, 6) +
+         ", mu=" + FormatDouble(momentum_, 3) + ")";
+}
+
+double GlobalGradNorm(const std::vector<Parameter*>& params) {
+  double sum = 0.0;
+  for (Parameter* p : params) {
+    const float* g = p->grad.data();
+    const int64_t n = p->grad.NumElements();
+    for (int64_t i = 0; i < n; ++i) {
+      sum += static_cast<double>(g[i]) * static_cast<double>(g[i]);
+    }
+  }
+  return std::sqrt(sum);
+}
+
+void ClipGradientsByGlobalNorm(const std::vector<Parameter*>& params,
+                               double max_norm) {
+  if (max_norm <= 0.0) return;
+  const double norm = GlobalGradNorm(params);
+  if (norm <= max_norm) return;
+  const float scale = static_cast<float>(max_norm / norm);
+  for (Parameter* p : params) {
+    float* g = p->grad.data();
+    const int64_t n = p->grad.NumElements();
+    for (int64_t i = 0; i < n; ++i) g[i] *= scale;
+  }
+}
+
+void AdamOptimizer::Step(const std::vector<Parameter*>& params) {
+  ++t_;
+  const float b1 = static_cast<float>(beta1_);
+  const float b2 = static_cast<float>(beta2_);
+  const float eps = static_cast<float>(eps_);
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const float alpha = static_cast<float>(lr_ * std::sqrt(bc2) / bc1);
+  const float decay = static_cast<float>(lr_ * weight_decay_);
+  for (Parameter* p : params) {
+    auto [mit, m_new] = m_.try_emplace(p, p->value.shape());
+    auto [vit, v_new] = v_.try_emplace(p, p->value.shape());
+    float* m = mit->second.data();
+    float* v = vit->second.data();
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    const int64_t n = p->value.NumElements();
+    for (int64_t i = 0; i < n; ++i) {
+      m[i] = b1 * m[i] + (1.0f - b1) * g[i];
+      v[i] = b2 * v[i] + (1.0f - b2) * g[i] * g[i];
+      w[i] -= alpha * m[i] / (std::sqrt(v[i]) + eps) + decay * w[i];
+    }
+  }
+}
+
+std::unique_ptr<Optimizer> AdamOptimizer::CloneFresh() const {
+  return std::make_unique<AdamOptimizer>(lr_, beta1_, beta2_, eps_,
+                                         weight_decay_);
+}
+
+std::string AdamOptimizer::DebugString() const {
+  return "Adam(lr=" + FormatDouble(lr_, 6) + ")";
+}
+
+}  // namespace nn
+}  // namespace nautilus

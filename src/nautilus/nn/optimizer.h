@@ -1,0 +1,97 @@
+#ifndef NAUTILUS_NN_OPTIMIZER_H_
+#define NAUTILUS_NN_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nautilus/nn/layer.h"
+
+namespace nautilus {
+namespace nn {
+
+/// Gradient-descent update rule. One optimizer instance owns the state for
+/// one trainable branch of a (possibly fused) model; Nautilus's Trainer runs
+/// one optimizer per branch, each with its own hyperparameters (Section 3,
+/// "Trainer" component).
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the accumulated gradients, then leaves the
+  /// gradients untouched (callers zero them per mini-batch).
+  virtual void Step(const std::vector<Parameter*>& params) = 0;
+
+  /// Fresh optimizer with identical hyperparameters and empty state.
+  virtual std::unique_ptr<Optimizer> CloneFresh() const = 0;
+
+  virtual std::string DebugString() const = 0;
+  virtual double learning_rate() const = 0;
+};
+
+/// Plain SGD: p -= lr * g.
+class SgdOptimizer : public Optimizer {
+ public:
+  explicit SgdOptimizer(double lr) : lr_(lr) {}
+  void Step(const std::vector<Parameter*>& params) override;
+  std::unique_ptr<Optimizer> CloneFresh() const override;
+  std::string DebugString() const override;
+  double learning_rate() const override { return lr_; }
+
+ private:
+  double lr_;
+};
+
+/// SGD with classical momentum: v = mu*v + g; p -= lr*v.
+class MomentumOptimizer : public Optimizer {
+ public:
+  MomentumOptimizer(double lr, double momentum)
+      : lr_(lr), momentum_(momentum) {}
+  void Step(const std::vector<Parameter*>& params) override;
+  std::unique_ptr<Optimizer> CloneFresh() const override;
+  std::string DebugString() const override;
+  double learning_rate() const override { return lr_; }
+
+ private:
+  double lr_;
+  double momentum_;
+  std::unordered_map<Parameter*, Tensor> velocity_;
+};
+
+/// Total gradient L2 norm across `params`.
+double GlobalGradNorm(const std::vector<Parameter*>& params);
+
+/// Scales all gradients so their global L2 norm is at most `max_norm`
+/// (no-op when already within bounds or max_norm <= 0).
+void ClipGradientsByGlobalNorm(const std::vector<Parameter*>& params,
+                               double max_norm);
+
+/// Adam with bias correction (Kingma & Ba); `weight_decay` > 0 applies
+/// decoupled (AdamW-style) decay, the standard for transformer fine-tuning.
+class AdamOptimizer : public Optimizer {
+ public:
+  AdamOptimizer(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8, double weight_decay = 0.0)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps),
+        weight_decay_(weight_decay) {}
+  void Step(const std::vector<Parameter*>& params) override;
+  std::unique_ptr<Optimizer> CloneFresh() const override;
+  std::string DebugString() const override;
+  double learning_rate() const override { return lr_; }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  double weight_decay_;
+  int64_t t_ = 0;
+  std::unordered_map<Parameter*, Tensor> m_;
+  std::unordered_map<Parameter*, Tensor> v_;
+};
+
+}  // namespace nn
+}  // namespace nautilus
+
+#endif  // NAUTILUS_NN_OPTIMIZER_H_

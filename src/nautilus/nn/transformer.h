@@ -1,0 +1,145 @@
+#ifndef NAUTILUS_NN_TRANSFORMER_H_
+#define NAUTILUS_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nautilus/nn/layer.h"
+#include "nautilus/util/random.h"
+
+namespace nautilus {
+namespace nn {
+
+/// BERT-style input block: token embedding + learned positional embedding +
+/// layer norm. Maps integer token ids [b, s] to [b, s, hidden]. Treated as a
+/// composite layer for memory accounting.
+class EmbeddingBlockLayer : public Layer {
+ public:
+  EmbeddingBlockLayer(std::string name, int64_t vocab, int64_t seq_len,
+                      int64_t hidden, Rng* rng);
+
+  std::string type_name() const override { return "EmbeddingBlock"; }
+  int64_t hidden() const { return hidden_; }
+
+  Shape OutputShape(const std::vector<Shape>& inputs) const override;
+  double ForwardFlopsPerRecord(
+      const std::vector<Shape>& input_record_shapes) const override;
+  double InternalActivationBytesPerRecord(
+      const std::vector<Shape>& input_record_shapes) const override;
+  Tensor Forward(const std::vector<const Tensor*>& inputs,
+                 std::unique_ptr<LayerCache>* cache) const override;
+  std::vector<Tensor> Backward(const Tensor& grad_out,
+                               const std::vector<const Tensor*>& inputs,
+                               const LayerCache& cache) override;
+  std::vector<Parameter*> Params() override;
+  std::shared_ptr<Layer> Clone() const override;
+
+ private:
+  EmbeddingBlockLayer(std::string name, int64_t vocab, int64_t seq_len,
+                      int64_t hidden, Parameter token_table,
+                      Parameter pos_table, Parameter gamma, Parameter beta);
+
+  int64_t vocab_;
+  int64_t seq_len_;
+  int64_t hidden_;
+  Parameter token_table_;  // [vocab, hidden]
+  Parameter pos_table_;    // [seq, hidden]
+  Parameter gamma_;        // [hidden]
+  Parameter beta_;         // [hidden]
+};
+
+/// Post-norm transformer encoder block (multi-head self-attention + FFN with
+/// residual connections and layer norms), as in BERT. A composite layer: the
+/// paper's memory model charges it the sum of its internal activation
+/// tensors (Section 4.3.3).
+class TransformerBlockLayer : public Layer {
+ public:
+  TransformerBlockLayer(std::string name, int64_t hidden, int64_t heads,
+                        int64_t ffn_dim, Rng* rng);
+
+  std::string type_name() const override { return "TransformerBlock"; }
+  int64_t hidden() const { return hidden_; }
+  int64_t heads() const { return heads_; }
+  int64_t ffn_dim() const { return ffn_dim_; }
+
+  Shape OutputShape(const std::vector<Shape>& inputs) const override;
+  double ForwardFlopsPerRecord(
+      const std::vector<Shape>& input_record_shapes) const override;
+  double InternalActivationBytesPerRecord(
+      const std::vector<Shape>& input_record_shapes) const override;
+  Tensor Forward(const std::vector<const Tensor*>& inputs,
+                 std::unique_ptr<LayerCache>* cache) const override;
+  std::vector<Tensor> Backward(const Tensor& grad_out,
+                               const std::vector<const Tensor*>& inputs,
+                               const LayerCache& cache) override;
+  std::vector<Parameter*> Params() override;
+  std::shared_ptr<Layer> Clone() const override;
+
+ private:
+  TransformerBlockLayer(std::string name, int64_t hidden, int64_t heads,
+                        int64_t ffn_dim);
+
+  int64_t hidden_;
+  int64_t heads_;
+  int64_t ffn_dim_;
+  // Attention projections [hidden, hidden] + biases.
+  std::vector<std::unique_ptr<Parameter>> params_;
+  // Named accessors into params_ (set up at construction).
+  Parameter* wq_;
+  Parameter* bq_;
+  Parameter* wk_;
+  Parameter* bk_;
+  Parameter* wv_;
+  Parameter* bv_;
+  Parameter* wo_;
+  Parameter* bo_;
+  Parameter* w1_;
+  Parameter* b1_;
+  Parameter* w2_;
+  Parameter* b2_;
+  Parameter* ln1_gamma_;
+  Parameter* ln1_beta_;
+  Parameter* ln2_gamma_;
+  Parameter* ln2_beta_;
+};
+
+/// Houlsby-style bottleneck adapter with a residual connection:
+/// y = x + W_up(relu(W_down x)). Inserted after frozen transformer blocks in
+/// the adapter-training scheme (Section 2.4 of the paper).
+class AdapterLayer : public Layer {
+ public:
+  AdapterLayer(std::string name, int64_t hidden, int64_t bottleneck, Rng* rng);
+
+  std::string type_name() const override { return "Adapter"; }
+  int64_t bottleneck() const { return bottleneck_; }
+
+  Shape OutputShape(const std::vector<Shape>& inputs) const override;
+  double ForwardFlopsPerRecord(
+      const std::vector<Shape>& input_record_shapes) const override;
+  double InternalActivationBytesPerRecord(
+      const std::vector<Shape>& input_record_shapes) const override;
+  Tensor Forward(const std::vector<const Tensor*>& inputs,
+                 std::unique_ptr<LayerCache>* cache) const override;
+  std::vector<Tensor> Backward(const Tensor& grad_out,
+                               const std::vector<const Tensor*>& inputs,
+                               const LayerCache& cache) override;
+  std::vector<Parameter*> Params() override;
+  std::shared_ptr<Layer> Clone() const override;
+
+ private:
+  AdapterLayer(std::string name, int64_t hidden, int64_t bottleneck,
+               Parameter wd, Parameter bd, Parameter wu, Parameter bu);
+
+  int64_t hidden_;
+  int64_t bottleneck_;
+  Parameter w_down_;  // [hidden, bottleneck]
+  Parameter b_down_;
+  Parameter w_up_;  // [bottleneck, hidden]
+  Parameter b_up_;
+};
+
+}  // namespace nn
+}  // namespace nautilus
+
+#endif  // NAUTILUS_NN_TRANSFORMER_H_

@@ -1,0 +1,82 @@
+#include "nautilus/solver/closure.h"
+
+#include <cmath>
+
+#include "nautilus/solver/maxflow.h"
+#include "nautilus/util/logging.h"
+
+namespace nautilus {
+
+int ClosureProblem::AddNode(double weight) {
+  weights_.push_back(weight);
+  forced_.push_back(false);
+  return static_cast<int>(weights_.size()) - 1;
+}
+
+void ClosureProblem::AddRequirement(int a, int b) {
+  NAUTILUS_CHECK_GE(a, 0);
+  NAUTILUS_CHECK_LT(a, num_nodes());
+  NAUTILUS_CHECK_GE(b, 0);
+  NAUTILUS_CHECK_LT(b, num_nodes());
+  requirements_.emplace_back(a, b);
+}
+
+void ClosureProblem::ForceInclude(int v) {
+  NAUTILUS_CHECK_GE(v, 0);
+  NAUTILUS_CHECK_LT(v, num_nodes());
+  forced_[static_cast<size_t>(v)] = true;
+}
+
+ClosureProblem::Solution ClosureProblem::Solve() const {
+  const int n = num_nodes();
+  NAUTILUS_CHECK_GT(n, 0);
+  // Effective weights: forcing a node is modeled by a large positive bonus
+  // so any optimal closure includes it (and everything it requires).
+  double magnitude = 1.0;
+  for (double w : weights_) magnitude += std::fabs(w);
+  const double kForceBonus = 4.0 * magnitude;
+
+  const int source = n;
+  const int sink = n + 1;
+  MaxFlow flow(n + 2);
+  double positive_sum = 0.0;
+  for (int v = 0; v < n; ++v) {
+    double w = weights_[static_cast<size_t>(v)];
+    if (forced_[static_cast<size_t>(v)]) w += kForceBonus;
+    if (w > 0.0) {
+      positive_sum += w;
+      flow.AddEdge(source, v, w);
+    } else if (w < 0.0) {
+      flow.AddEdge(v, sink, -w);
+    }
+  }
+  const double kInf = 16.0 * magnitude + positive_sum + 1.0;
+  for (const auto& [a, b] : requirements_) {
+    flow.AddEdge(a, b, kInf);
+  }
+
+  const double cut = flow.Solve(source, sink);
+  const std::vector<bool> source_side = flow.SourceSideOfMinCut(source);
+
+  Solution sol;
+  sol.chosen.assign(static_cast<size_t>(n), false);
+  sol.total_weight = 0.0;
+  for (int v = 0; v < n; ++v) {
+    if (source_side[static_cast<size_t>(v)]) {
+      sol.chosen[static_cast<size_t>(v)] = true;
+      sol.total_weight += weights_[static_cast<size_t>(v)];
+    }
+  }
+  // Sanity: max-closure value must equal positive_sum - cut (up to the
+  // forcing bonuses, which we exclude from total_weight).
+  for (int v = 0; v < n; ++v) {
+    if (forced_[static_cast<size_t>(v)]) {
+      NAUTILUS_CHECK(sol.chosen[static_cast<size_t>(v)])
+          << "forced node " << v << " excluded; problem over-constrained";
+    }
+  }
+  (void)cut;
+  return sol;
+}
+
+}  // namespace nautilus

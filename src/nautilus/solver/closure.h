@@ -1,0 +1,50 @@
+#ifndef NAUTILUS_SOLVER_CLOSURE_H_
+#define NAUTILUS_SOLVER_CLOSURE_H_
+
+#include <utility>
+#include <vector>
+
+namespace nautilus {
+
+/// A maximum-weight closure problem: choose a subset S of nodes maximizing
+/// the sum of node weights, subject to closure constraints "if a is chosen
+/// then b must be chosen" for each (a, b) requirement edge.
+///
+/// Solved exactly in polynomial time via the classic Picard reduction to
+/// s-t minimum cut (our Dinic implementation). Nautilus uses this to find
+/// the optimal reuse plan for a model given a fixed set of materialized
+/// layers (Section 4.3.2 of the paper), where "choose x_l" means computing
+/// or retaining a layer and the requirement edges encode
+/// computed-implies-parents-present.
+class ClosureProblem {
+ public:
+  /// Adds a node with the given weight (positive = reward for inclusion,
+  /// negative = cost). Returns the node id.
+  int AddNode(double weight);
+
+  /// Requires: if `a` is in the closure then `b` must also be.
+  void AddRequirement(int a, int b);
+
+  /// Forces node `v` to be part of any optimal closure.
+  void ForceInclude(int v);
+
+  struct Solution {
+    std::vector<bool> chosen;
+    double total_weight = 0.0;
+  };
+
+  /// Solves the instance. The returned total_weight is the exact optimum
+  /// (sum of weights over chosen nodes).
+  Solution Solve() const;
+
+  int num_nodes() const { return static_cast<int>(weights_.size()); }
+
+ private:
+  std::vector<double> weights_;
+  std::vector<bool> forced_;
+  std::vector<std::pair<int, int>> requirements_;
+};
+
+}  // namespace nautilus
+
+#endif  // NAUTILUS_SOLVER_CLOSURE_H_

@@ -1,0 +1,102 @@
+#include "nautilus/solver/maxflow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "nautilus/util/logging.h"
+
+namespace nautilus {
+
+namespace {
+constexpr double kFlowEps = 1e-9;
+}  // namespace
+
+MaxFlow::MaxFlow(int num_nodes) : adj_(static_cast<size_t>(num_nodes)) {
+  NAUTILUS_CHECK_GT(num_nodes, 0);
+}
+
+int MaxFlow::AddEdge(int u, int v, double capacity) {
+  NAUTILUS_CHECK_GE(u, 0);
+  NAUTILUS_CHECK_LT(u, num_nodes());
+  NAUTILUS_CHECK_GE(v, 0);
+  NAUTILUS_CHECK_LT(v, num_nodes());
+  NAUTILUS_CHECK_GE(capacity, 0.0);
+  const int idx = static_cast<int>(adj_[static_cast<size_t>(u)].size());
+  adj_[static_cast<size_t>(u)].push_back(
+      {v, capacity, static_cast<int>(adj_[static_cast<size_t>(v)].size())});
+  adj_[static_cast<size_t>(v)].push_back({u, 0.0, idx});
+  return idx;
+}
+
+bool MaxFlow::Bfs(int source, int sink) {
+  level_.assign(adj_.size(), -1);
+  std::queue<int> q;
+  level_[static_cast<size_t>(source)] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    for (const Edge& e : adj_[static_cast<size_t>(v)]) {
+      if (e.cap > kFlowEps && level_[static_cast<size_t>(e.to)] < 0) {
+        level_[static_cast<size_t>(e.to)] = level_[static_cast<size_t>(v)] + 1;
+        q.push(e.to);
+      }
+    }
+  }
+  return level_[static_cast<size_t>(sink)] >= 0;
+}
+
+double MaxFlow::Dfs(int v, int sink, double pushed) {
+  if (v == sink) return pushed;
+  for (size_t& i = iter_[static_cast<size_t>(v)];
+       i < adj_[static_cast<size_t>(v)].size(); ++i) {
+    Edge& e = adj_[static_cast<size_t>(v)][i];
+    if (e.cap <= kFlowEps ||
+        level_[static_cast<size_t>(e.to)] != level_[static_cast<size_t>(v)] + 1) {
+      continue;
+    }
+    const double d = Dfs(e.to, sink, std::min(pushed, e.cap));
+    if (d > kFlowEps) {
+      e.cap -= d;
+      adj_[static_cast<size_t>(e.to)][static_cast<size_t>(e.rev)].cap += d;
+      return d;
+    }
+  }
+  return 0.0;
+}
+
+double MaxFlow::Solve(int source, int sink) {
+  NAUTILUS_CHECK_NE(source, sink);
+  double flow = 0.0;
+  while (Bfs(source, sink)) {
+    iter_.assign(adj_.size(), 0);
+    while (true) {
+      const double pushed =
+          Dfs(source, sink, std::numeric_limits<double>::infinity());
+      if (pushed <= kFlowEps) break;
+      flow += pushed;
+    }
+  }
+  return flow;
+}
+
+std::vector<bool> MaxFlow::SourceSideOfMinCut(int source) const {
+  std::vector<bool> visited(adj_.size(), false);
+  std::queue<int> q;
+  visited[static_cast<size_t>(source)] = true;
+  q.push(source);
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    for (const Edge& e : adj_[static_cast<size_t>(v)]) {
+      if (e.cap > kFlowEps && !visited[static_cast<size_t>(e.to)]) {
+        visited[static_cast<size_t>(e.to)] = true;
+        q.push(e.to);
+      }
+    }
+  }
+  return visited;
+}
+
+}  // namespace nautilus

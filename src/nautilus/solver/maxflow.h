@@ -1,0 +1,47 @@
+#ifndef NAUTILUS_SOLVER_MAXFLOW_H_
+#define NAUTILUS_SOLVER_MAXFLOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nautilus {
+
+/// Dinic's maximum-flow algorithm on a directed graph with double
+/// capacities. Used to solve max-weight closure (min-cut) instances for the
+/// optimal-reuse-plan subproblem (Section 4.3.2 of the Nautilus paper).
+class MaxFlow {
+ public:
+  explicit MaxFlow(int num_nodes);
+
+  /// Adds a directed edge u -> v with the given capacity (and a zero-capacity
+  /// reverse edge). Returns the edge index.
+  int AddEdge(int u, int v, double capacity);
+
+  /// Computes the maximum s-t flow. May be called once per instance.
+  double Solve(int source, int sink);
+
+  /// After Solve: nodes reachable from the source in the residual graph
+  /// (the source side of a minimum cut).
+  std::vector<bool> SourceSideOfMinCut(int source) const;
+
+  int num_nodes() const { return static_cast<int>(adj_.size()); }
+
+ private:
+  struct Edge {
+    int to;
+    double cap;
+    int rev;  // index of the reverse edge in adj_[to]
+  };
+
+  bool Bfs(int source, int sink);
+  double Dfs(int v, int sink, double pushed);
+
+  std::vector<std::vector<Edge>> adj_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace nautilus
+
+#endif  // NAUTILUS_SOLVER_MAXFLOW_H_

@@ -1,0 +1,220 @@
+#include "nautilus/storage/checkpoint_store.h"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "nautilus/util/logging.h"
+
+namespace nautilus {
+namespace storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr int64_t kMagic = 0x4e4155544350'0001;  // "NAUTCP" + version
+
+// RAII FILE handle (local copy; the stores keep no shared file machinery).
+class File {
+ public:
+  File(const std::string& path, const char* mode)
+      : f_(std::fopen(path.c_str(), mode)) {}
+  ~File() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  std::FILE* get() const { return f_; }
+  bool ok() const { return f_ != nullptr; }
+
+ private:
+  std::FILE* f_;
+};
+
+Status WriteString(std::FILE* f, const std::string& s) {
+  const int64_t len = static_cast<int64_t>(s.size());
+  if (std::fwrite(&len, sizeof(int64_t), 1, f) != 1 ||
+      (len > 0 &&
+       std::fwrite(s.data(), 1, s.size(), f) != s.size())) {
+    return Status::IoError("short string write");
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadString(std::FILE* f) {
+  int64_t len = 0;
+  if (std::fread(&len, sizeof(int64_t), 1, f) != 1 || len < 0 ||
+      len > (1 << 20)) {
+    return Status::IoError("bad string length");
+  }
+  std::string s(static_cast<size_t>(len), '\0');
+  if (len > 0 && std::fread(s.data(), 1, s.size(), f) != s.size()) {
+    return Status::IoError("short string read");
+  }
+  return s;
+}
+
+// Unique layers of the model, in node order, filtered by freezing.
+std::vector<nn::Layer*> UniqueLayers(const graph::ModelGraph& model,
+                                     bool include_frozen) {
+  std::vector<nn::Layer*> layers;
+  std::unordered_set<const nn::Layer*> seen;
+  for (const graph::GraphNode& node : model.nodes()) {
+    if (!include_frozen && node.frozen) continue;
+    if (node.layer->Params().empty()) continue;
+    if (!seen.insert(node.layer.get()).second) continue;
+    layers.push_back(node.layer.get());
+  }
+  return layers;
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::string directory, IoStats* stats)
+    : directory_(std::move(directory)), stats_(stats) {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  NAUTILUS_CHECK(!ec) << "cannot create checkpoint directory " << directory_;
+}
+
+std::string CheckpointStore::PathFor(const std::string& key) const {
+  std::string safe;
+  for (char c : key) {
+    safe.push_back((std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == '-' || c == '.')
+                       ? c
+                       : '_');
+  }
+  return directory_ + "/" + safe + ".ckpt";
+}
+
+Status CheckpointStore::SaveModel(const graph::ModelGraph& model,
+                                  const std::string& key,
+                                  bool include_frozen) {
+  File f(PathFor(key), "wb");
+  if (!f.ok()) return Status::IoError("cannot open checkpoint: " + key);
+  std::vector<nn::Layer*> layers = UniqueLayers(model, include_frozen);
+  int64_t num_params = 0;
+  for (nn::Layer* layer : layers) {
+    num_params += static_cast<int64_t>(layer->Params().size());
+  }
+  if (std::fwrite(&kMagic, sizeof(int64_t), 1, f.get()) != 1 ||
+      std::fwrite(&num_params, sizeof(int64_t), 1, f.get()) != 1) {
+    return Status::IoError("short checkpoint header write");
+  }
+  int64_t bytes = 2 * sizeof(int64_t);
+  for (nn::Layer* layer : layers) {
+    for (nn::Parameter* p : layer->Params()) {
+      NAUTILUS_CHECK(!p->IsStub())
+          << "cannot checkpoint profile-only layer " << layer->name();
+      NAUTILUS_RETURN_IF_ERROR(WriteString(f.get(), p->name));
+      const int64_t rank = p->shape.rank();
+      if (std::fwrite(&rank, sizeof(int64_t), 1, f.get()) != 1) {
+        return Status::IoError("short rank write");
+      }
+      for (int i = 0; i < p->shape.rank(); ++i) {
+        const int64_t d = p->shape.dim(i);
+        if (std::fwrite(&d, sizeof(int64_t), 1, f.get()) != 1) {
+          return Status::IoError("short dim write");
+        }
+      }
+      const size_t n = static_cast<size_t>(p->value.NumElements());
+      if (n > 0 &&
+          std::fwrite(p->value.data(), sizeof(float), n, f.get()) != n) {
+        return Status::IoError("short param write");
+      }
+      bytes += static_cast<int64_t>(sizeof(int64_t)) * (2 + rank) +
+               static_cast<int64_t>(p->name.size()) + p->value.SizeBytes();
+    }
+  }
+  if (stats_ != nullptr) stats_->RecordWrite(bytes);
+  return Status::OK();
+}
+
+Status CheckpointStore::LoadModel(const graph::ModelGraph& model,
+                                  const std::string& key) {
+  File f(PathFor(key), "rb");
+  if (!f.ok()) return Status::NotFound("no checkpoint: " + key);
+  int64_t magic = 0;
+  int64_t num_params = 0;
+  if (std::fread(&magic, sizeof(int64_t), 1, f.get()) != 1 ||
+      magic != kMagic ||
+      std::fread(&num_params, sizeof(int64_t), 1, f.get()) != 1) {
+    return Status::IoError("bad checkpoint header: " + key);
+  }
+  // Index the model's parameters by name.
+  std::unordered_map<std::string, nn::Parameter*> by_name;
+  for (nn::Layer* layer : UniqueLayers(model, /*include_frozen=*/true)) {
+    for (nn::Parameter* p : layer->Params()) by_name[p->name] = p;
+  }
+  int64_t bytes = 2 * sizeof(int64_t);
+  for (int64_t i = 0; i < num_params; ++i) {
+    NAUTILUS_ASSIGN_OR_RETURN(std::string name, ReadString(f.get()));
+    int64_t rank = 0;
+    if (std::fread(&rank, sizeof(int64_t), 1, f.get()) != 1 || rank < 0 ||
+        rank > 8) {
+      return Status::IoError("bad param rank: " + key);
+    }
+    std::vector<int64_t> dims(static_cast<size_t>(rank));
+    for (int64_t d = 0; d < rank; ++d) {
+      if (std::fread(&dims[static_cast<size_t>(d)], sizeof(int64_t), 1,
+                     f.get()) != 1) {
+        return Status::IoError("bad param dims: " + key);
+      }
+    }
+    Shape shape(dims);
+    Tensor value(shape);
+    const size_t n = static_cast<size_t>(value.NumElements());
+    if (n > 0 && std::fread(value.data(), sizeof(float), n, f.get()) != n) {
+      return Status::IoError("short param read: " + key);
+    }
+    bytes += static_cast<int64_t>(sizeof(int64_t)) * (2 + rank) +
+             static_cast<int64_t>(name.size()) + value.SizeBytes();
+    auto it = by_name.find(name);
+    if (it != by_name.end()) {
+      if (it->second->shape != shape) {
+        return Status::InvalidArgument("shape mismatch for param " + name);
+      }
+      it->second->value = std::move(value);
+    }
+  }
+  if (stats_ != nullptr) stats_->RecordRead(bytes);
+  return Status::OK();
+}
+
+bool CheckpointStore::Contains(const std::string& key) const {
+  std::error_code ec;
+  return fs::exists(PathFor(key), ec);
+}
+
+int64_t CheckpointStore::SizeBytes(const std::string& key) const {
+  std::error_code ec;
+  const auto size = fs::file_size(PathFor(key), ec);
+  return ec ? 0 : static_cast<int64_t>(size);
+}
+
+Status CheckpointStore::Remove(const std::string& key) {
+  std::error_code ec;
+  fs::remove(PathFor(key), ec);
+  if (ec) return Status::IoError("remove failed: " + key);
+  return Status::OK();
+}
+
+double CheckpointStore::EstimateBytes(const graph::ModelGraph& model,
+                                      bool include_frozen) {
+  double bytes = 2.0 * sizeof(int64_t);
+  for (nn::Layer* layer : UniqueLayers(model, include_frozen)) {
+    for (nn::Parameter* p : layer->Params()) {
+      bytes += static_cast<double>(sizeof(int64_t)) * (2 + p->shape.rank()) +
+               static_cast<double>(p->name.size()) +
+               static_cast<double>(p->NumElements()) * sizeof(float);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace storage
+}  // namespace nautilus

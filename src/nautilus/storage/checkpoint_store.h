@@ -1,0 +1,50 @@
+#ifndef NAUTILUS_STORAGE_CHECKPOINT_STORE_H_
+#define NAUTILUS_STORAGE_CHECKPOINT_STORE_H_
+
+#include <string>
+
+#include "nautilus/graph/model_graph.h"
+#include "nautilus/storage/io_stats.h"
+#include "nautilus/util/status.h"
+
+namespace nautilus {
+namespace storage {
+
+/// Saves and restores model parameters on disk. The paper's Figure 11
+/// analysis hinges on what gets checkpointed: current practice writes the
+/// whole model (frozen parameters included, ~400-500 MB for BERT-base) after
+/// every training run, while Nautilus checkpoints rewritten graphs whose
+/// frozen parameters are pruned.
+class CheckpointStore {
+ public:
+  CheckpointStore(std::string directory, IoStats* stats);
+
+  /// Serializes parameter values of `model`'s layers (shared layers once).
+  /// With include_frozen=false, only trainable layers are written.
+  Status SaveModel(const graph::ModelGraph& model, const std::string& key,
+                   bool include_frozen);
+
+  /// Restores parameter values into `model`'s layer instances in place.
+  /// Layers absent from the checkpoint are left untouched.
+  Status LoadModel(const graph::ModelGraph& model, const std::string& key);
+
+  bool Contains(const std::string& key) const;
+  int64_t SizeBytes(const std::string& key) const;
+  Status Remove(const std::string& key);
+
+  /// Analytic size of the checkpoint SaveModel would produce, without
+  /// writing (used by the simulated executor; works on stub parameters).
+  static double EstimateBytes(const graph::ModelGraph& model,
+                              bool include_frozen);
+
+ private:
+  std::string PathFor(const std::string& key) const;
+
+  std::string directory_;
+  IoStats* stats_;
+};
+
+}  // namespace storage
+}  // namespace nautilus
+
+#endif  // NAUTILUS_STORAGE_CHECKPOINT_STORE_H_

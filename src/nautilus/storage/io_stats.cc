@@ -1,0 +1,20 @@
+#include "nautilus/storage/io_stats.h"
+
+#include <sstream>
+
+#include "nautilus/util/strings.h"
+
+namespace nautilus {
+namespace storage {
+
+std::string IoStats::ToString() const {
+  std::ostringstream os;
+  os << "reads=" << num_reads() << " ("
+     << HumanBytes(static_cast<double>(bytes_read())) << "), writes="
+     << num_writes() << " ("
+     << HumanBytes(static_cast<double>(bytes_written())) << ")";
+  return os.str();
+}
+
+}  // namespace storage
+}  // namespace nautilus

@@ -1,0 +1,49 @@
+#ifndef NAUTILUS_STORAGE_IO_STATS_H_
+#define NAUTILUS_STORAGE_IO_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace nautilus {
+namespace storage {
+
+/// Cumulative disk I/O counters, the exact analogue of the disk read/write
+/// measurements in Figure 11 of the Nautilus paper. Shared by the tensor and
+/// checkpoint stores so a whole workload's I/O is visible in one place.
+class IoStats {
+ public:
+  void RecordRead(int64_t bytes) {
+    bytes_read_.fetch_add(bytes);
+    reads_.fetch_add(1);
+  }
+  void RecordWrite(int64_t bytes) {
+    bytes_written_.fetch_add(bytes);
+    writes_.fetch_add(1);
+  }
+
+  int64_t bytes_read() const { return bytes_read_.load(); }
+  int64_t bytes_written() const { return bytes_written_.load(); }
+  int64_t num_reads() const { return reads_.load(); }
+  int64_t num_writes() const { return writes_.load(); }
+
+  void Reset() {
+    bytes_read_.store(0);
+    bytes_written_.store(0);
+    reads_.store(0);
+    writes_.store(0);
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::atomic<int64_t> bytes_read_{0};
+  std::atomic<int64_t> bytes_written_{0};
+  std::atomic<int64_t> reads_{0};
+  std::atomic<int64_t> writes_{0};
+};
+
+}  // namespace storage
+}  // namespace nautilus
+
+#endif  // NAUTILUS_STORAGE_IO_STATS_H_

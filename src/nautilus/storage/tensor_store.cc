@@ -1,0 +1,263 @@
+#include "nautilus/storage/tensor_store.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+
+#include "nautilus/util/logging.h"
+
+namespace nautilus {
+namespace storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr int64_t kMagic = 0x4e41555431000001;  // "NAUT1" + version
+
+struct Header {
+  int64_t magic;
+  int64_t rank;
+  int64_t dims[8];
+};
+
+int64_t HeaderBytes(int64_t rank) {
+  return static_cast<int64_t>(sizeof(int64_t)) * (2 + rank);
+}
+
+// RAII FILE handle.
+class File {
+ public:
+  File(const std::string& path, const char* mode)
+      : f_(std::fopen(path.c_str(), mode)) {}
+  ~File() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  std::FILE* get() const { return f_; }
+  bool ok() const { return f_ != nullptr; }
+
+ private:
+  std::FILE* f_;
+};
+
+Status ReadHeader(std::FILE* f, Header* h) {
+  if (std::fread(&h->magic, sizeof(int64_t), 1, f) != 1 ||
+      std::fread(&h->rank, sizeof(int64_t), 1, f) != 1) {
+    return Status::IoError("short read on tensor header");
+  }
+  if (h->magic != kMagic) return Status::IoError("bad tensor-file magic");
+  if (h->rank < 1 || h->rank > 8) {
+    return Status::IoError("unsupported tensor rank on disk");
+  }
+  if (std::fread(h->dims, sizeof(int64_t), static_cast<size_t>(h->rank), f) !=
+      static_cast<size_t>(h->rank)) {
+    return Status::IoError("short read on tensor dims");
+  }
+  return Status::OK();
+}
+
+Status WriteHeader(std::FILE* f, const Shape& shape) {
+  const int64_t magic = kMagic;
+  const int64_t rank = shape.rank();
+  if (std::fwrite(&magic, sizeof(int64_t), 1, f) != 1 ||
+      std::fwrite(&rank, sizeof(int64_t), 1, f) != 1) {
+    return Status::IoError("short write on tensor header");
+  }
+  for (int i = 0; i < shape.rank(); ++i) {
+    const int64_t d = shape.dim(i);
+    if (std::fwrite(&d, sizeof(int64_t), 1, f) != 1) {
+      return Status::IoError("short write on tensor dims");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+TensorStore::TensorStore(std::string directory, IoStats* stats)
+    : directory_(std::move(directory)), stats_(stats) {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  NAUTILUS_CHECK(!ec) << "cannot create store directory " << directory_
+                      << ": " << ec.message();
+}
+
+std::string TensorStore::PathFor(const std::string& key) const {
+  // Keys may contain '/' semantics-free; flatten to a safe filename.
+  std::string safe;
+  safe.reserve(key.size());
+  for (char c : key) {
+    safe.push_back((std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == '-' || c == '.')
+                       ? c
+                       : '_');
+  }
+  return directory_ + "/" + safe + ".tns";
+}
+
+Status TensorStore::Put(const std::string& key, const Tensor& value) {
+  NAUTILUS_CHECK_GE(value.shape().rank(), 1);
+  File f(PathFor(key), "wb");
+  if (!f.ok()) return Status::IoError("cannot open for write: " + key);
+  NAUTILUS_RETURN_IF_ERROR(WriteHeader(f.get(), value.shape()));
+  const size_t n = static_cast<size_t>(value.NumElements());
+  if (n > 0 && std::fwrite(value.data(), sizeof(float), n, f.get()) != n) {
+    return Status::IoError("short write on tensor data: " + key);
+  }
+  if (stats_ != nullptr) {
+    stats_->RecordWrite(HeaderBytes(value.shape().rank()) +
+                        value.SizeBytes());
+  }
+  return Status::OK();
+}
+
+Status TensorStore::AppendRows(const std::string& key, const Tensor& rows) {
+  if (!Contains(key)) return Put(key, rows);
+  const std::string path = PathFor(key);
+  Header h;
+  {
+    File f(path, "rb");
+    if (!f.ok()) return Status::IoError("cannot open for read: " + key);
+    NAUTILUS_RETURN_IF_ERROR(ReadHeader(f.get(), &h));
+  }
+  if (h.rank != rows.shape().rank()) {
+    return Status::InvalidArgument("append rank mismatch for " + key);
+  }
+  int64_t per_record = 1;
+  for (int64_t i = 1; i < h.rank; ++i) {
+    if (h.dims[i] != rows.shape().dim(static_cast<int>(i))) {
+      return Status::InvalidArgument("append dims mismatch for " + key);
+    }
+    per_record *= h.dims[i];
+  }
+  (void)per_record;
+  {
+    File f(path, "rb+");
+    if (!f.ok()) return Status::IoError("cannot open for update: " + key);
+    // Update the row count in place, then append the new data at the end.
+    const int64_t new_rows = h.dims[0] + rows.shape().dim(0);
+    if (std::fseek(f.get(), 2 * sizeof(int64_t), SEEK_SET) != 0 ||
+        std::fwrite(&new_rows, sizeof(int64_t), 1, f.get()) != 1) {
+      return Status::IoError("cannot update row count: " + key);
+    }
+    if (std::fseek(f.get(), 0, SEEK_END) != 0) {
+      return Status::IoError("seek failed: " + key);
+    }
+    const size_t n = static_cast<size_t>(rows.NumElements());
+    if (n > 0 && std::fwrite(rows.data(), sizeof(float), n, f.get()) != n) {
+      return Status::IoError("short append: " + key);
+    }
+  }
+  if (stats_ != nullptr) stats_->RecordWrite(rows.SizeBytes());
+  return Status::OK();
+}
+
+Result<Tensor> TensorStore::Get(const std::string& key) const {
+  File f(PathFor(key), "rb");
+  if (!f.ok()) return Status::NotFound("no tensor stored under " + key);
+  Header h;
+  NAUTILUS_RETURN_IF_ERROR(ReadHeader(f.get(), &h));
+  std::vector<int64_t> dims(h.dims, h.dims + h.rank);
+  Shape shape(dims);
+  Tensor out(shape);
+  const size_t n = static_cast<size_t>(out.NumElements());
+  if (n > 0 && std::fread(out.data(), sizeof(float), n, f.get()) != n) {
+    return Status::IoError("short read on tensor data: " + key);
+  }
+  if (stats_ != nullptr) {
+    stats_->RecordRead(HeaderBytes(h.rank) + out.SizeBytes());
+  }
+  return out;
+}
+
+Result<Tensor> TensorStore::GetRows(const std::string& key, int64_t begin,
+                                    int64_t end) const {
+  File f(PathFor(key), "rb");
+  if (!f.ok()) return Status::NotFound("no tensor stored under " + key);
+  Header h;
+  NAUTILUS_RETURN_IF_ERROR(ReadHeader(f.get(), &h));
+  if (begin < 0 || begin > end || end > h.dims[0]) {
+    return Status::OutOfRange("row range out of bounds for " + key);
+  }
+  int64_t per_record = 1;
+  for (int64_t i = 1; i < h.rank; ++i) per_record *= h.dims[i];
+  std::vector<int64_t> dims(h.dims, h.dims + h.rank);
+  dims[0] = end - begin;
+  Tensor out((Shape(dims)));
+  if (std::fseek(f.get(),
+                 static_cast<long>(HeaderBytes(h.rank) +
+                                   begin * per_record *
+                                       static_cast<int64_t>(sizeof(float))),
+                 SEEK_SET) != 0) {
+    return Status::IoError("seek failed: " + key);
+  }
+  const size_t n = static_cast<size_t>(out.NumElements());
+  if (n > 0 && std::fread(out.data(), sizeof(float), n, f.get()) != n) {
+    return Status::IoError("short row read: " + key);
+  }
+  if (stats_ != nullptr) stats_->RecordRead(out.SizeBytes());
+  return out;
+}
+
+bool TensorStore::Contains(const std::string& key) const {
+  std::error_code ec;
+  return fs::exists(PathFor(key), ec);
+}
+
+Status TensorStore::Remove(const std::string& key) {
+  std::error_code ec;
+  fs::remove(PathFor(key), ec);
+  if (ec) return Status::IoError("remove failed: " + key);
+  return Status::OK();
+}
+
+int64_t TensorStore::NumRows(const std::string& key) const {
+  File f(PathFor(key), "rb");
+  if (!f.ok()) return 0;
+  Header h;
+  if (!ReadHeader(f.get(), &h).ok()) return 0;
+  return h.dims[0];
+}
+
+int64_t TensorStore::SizeBytes(const std::string& key) const {
+  std::error_code ec;
+  const auto size = fs::file_size(PathFor(key), ec);
+  return ec ? 0 : static_cast<int64_t>(size);
+}
+
+int64_t TensorStore::TotalBytes() const {
+  int64_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    if (entry.is_regular_file()) {
+      total += static_cast<int64_t>(entry.file_size());
+    }
+  }
+  return total;
+}
+
+std::vector<std::string> TensorStore::ListKeys() const {
+  std::vector<std::string> keys;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".tns") {
+      keys.push_back(entry.path().stem().string());
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+Status TensorStore::Clear() {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    fs::remove(entry.path(), ec);
+  }
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace nautilus

@@ -1,0 +1,69 @@
+#ifndef NAUTILUS_STORAGE_TENSOR_STORE_H_
+#define NAUTILUS_STORAGE_TENSOR_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "nautilus/storage/io_stats.h"
+#include "nautilus/tensor/tensor.h"
+#include "nautilus/util/status.h"
+
+namespace nautilus {
+namespace storage {
+
+/// File-backed store for materialized layer outputs. One binary file per
+/// key; rows (records) can be appended incrementally as new labeled data
+/// arrives each model-selection cycle (Section 4.2.3 of the Nautilus paper).
+///
+/// File format: magic, rank, dims (int64 little-endian), float32 data.
+class TensorStore {
+ public:
+  /// Creates/uses `directory` (made on demand). `stats` may be shared with
+  /// other stores and must outlive this object; pass nullptr to skip
+  /// accounting.
+  TensorStore(std::string directory, IoStats* stats);
+
+  /// Writes (replacing any previous value).
+  Status Put(const std::string& key, const Tensor& value);
+
+  /// Appends rows along the batch dimension (creates the file if absent).
+  Status AppendRows(const std::string& key, const Tensor& rows);
+
+  /// Reads the whole tensor.
+  Result<Tensor> Get(const std::string& key) const;
+
+  /// Reads only rows [begin, end) without loading the rest of the file.
+  Result<Tensor> GetRows(const std::string& key, int64_t begin,
+                         int64_t end) const;
+
+  bool Contains(const std::string& key) const;
+  Status Remove(const std::string& key);
+
+  /// Rows currently stored under `key` (0 if absent).
+  int64_t NumRows(const std::string& key) const;
+
+  /// Bytes on disk under `key` (0 if absent).
+  int64_t SizeBytes(const std::string& key) const;
+
+  /// Total bytes across all keys.
+  int64_t TotalBytes() const;
+
+  /// Removes every stored tensor.
+  Status Clear();
+
+  /// Sanitized keys of every stored tensor (filename stems).
+  std::vector<std::string> ListKeys() const;
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  std::string PathFor(const std::string& key) const;
+
+  std::string directory_;
+  IoStats* stats_;
+};
+
+}  // namespace storage
+}  // namespace nautilus
+
+#endif  // NAUTILUS_STORAGE_TENSOR_STORE_H_

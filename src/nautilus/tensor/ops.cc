@@ -1,0 +1,922 @@
+#include "nautilus/tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "nautilus/util/parallel.h"
+
+namespace nautilus {
+namespace ops {
+namespace {
+
+// Views a tensor as a [rows, cols] matrix where cols is the last dimension.
+struct MatView {
+  int64_t rows;
+  int64_t cols;
+};
+
+MatView As2D(const Tensor& t) {
+  NAUTILUS_CHECK_GE(t.shape().rank(), 1);
+  const int64_t cols = t.shape().dim(t.shape().rank() - 1);
+  return {t.NumElements() / cols, cols};
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  const MatView av = As2D(a);
+  const MatView bv = As2D(b);
+  NAUTILUS_CHECK_EQ(av.cols, bv.rows)
+      << a.shape().ToString() << " x " << b.shape().ToString();
+  Tensor c(Shape({av.rows, bv.cols}));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // Row-parallel ikj loop: each worker owns disjoint output rows, so the
+  // accumulation order per element is independent of the thread count
+  // (deterministic results either way).
+  ParallelFor(
+      av.rows,
+      [&](int64_t row_begin, int64_t row_end) {
+        for (int64_t i = row_begin; i < row_end; ++i) {
+          float* crow = pc + i * bv.cols;
+          const float* arow = pa + i * av.cols;
+          for (int64_t k = 0; k < av.cols; ++k) {
+            const float aik = arow[k];
+            if (aik == 0.0f) continue;
+            const float* brow = pb + k * bv.cols;
+            for (int64_t j = 0; j < bv.cols; ++j) crow[j] += aik * brow[j];
+          }
+        }
+      },
+      /*min_chunk=*/std::max<int64_t>(1, 4096 / std::max<int64_t>(bv.cols, 1)));
+  return c;
+}
+
+Tensor MatMulNT(const Tensor& a, const Tensor& b) {
+  const MatView av = As2D(a);
+  const MatView bv = As2D(b);
+  NAUTILUS_CHECK_EQ(av.cols, bv.cols)
+      << a.shape().ToString() << " x " << b.shape().ToString() << "^T";
+  Tensor c(Shape({av.rows, bv.rows}));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t i = 0; i < av.rows; ++i) {
+    const float* arow = pa + i * av.cols;
+    float* crow = pc + i * bv.rows;
+    for (int64_t j = 0; j < bv.rows; ++j) {
+      const float* brow = pb + j * bv.cols;
+      float acc = 0.0f;
+      for (int64_t k = 0; k < av.cols; ++k) acc += arow[k] * brow[k];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTN(const Tensor& a, const Tensor& b) {
+  const MatView av = As2D(a);
+  const MatView bv = As2D(b);
+  NAUTILUS_CHECK_EQ(av.rows, bv.rows)
+      << a.shape().ToString() << "^T x " << b.shape().ToString();
+  Tensor c(Shape({av.cols, bv.cols}));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t k = 0; k < av.rows; ++k) {
+    const float* arow = pa + k * av.cols;
+    const float* brow = pb + k * bv.cols;
+    for (int64_t i = 0; i < av.cols; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = pc + i * bv.cols;
+      for (int64_t j = 0; j < bv.cols; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+void AddBiasInPlace(Tensor* x, const Tensor& bias) {
+  const MatView xv = As2D(*x);
+  NAUTILUS_CHECK_EQ(bias.NumElements(), xv.cols);
+  float* px = x->data();
+  const float* pb = bias.data();
+  for (int64_t i = 0; i < xv.rows; ++i) {
+    float* row = px + i * xv.cols;
+    for (int64_t j = 0; j < xv.cols; ++j) row[j] += pb[j];
+  }
+}
+
+Tensor ColumnSum(const Tensor& g) {
+  const MatView gv = As2D(g);
+  Tensor out(Shape({gv.cols}));
+  const float* pg = g.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < gv.rows; ++i) {
+    const float* row = pg + i * gv.cols;
+    for (int64_t j = 0; j < gv.cols; ++j) po[j] += row[j];
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  NAUTILUS_CHECK_EQ(a.NumElements(), b.NumElements());
+  Tensor out = a;
+  AxpyInPlace(1.0f, b, &out);
+  return out;
+}
+
+Tensor AddN(const std::vector<const Tensor*>& xs) {
+  NAUTILUS_CHECK(!xs.empty());
+  Tensor out = *xs[0];
+  for (size_t i = 1; i < xs.size(); ++i) AxpyInPlace(1.0f, *xs[i], &out);
+  return out;
+}
+
+void AxpyInPlace(float alpha, const Tensor& x, Tensor* y) {
+  NAUTILUS_CHECK_EQ(x.NumElements(), y->NumElements());
+  const float* px = x.data();
+  float* py = y->data();
+  const int64_t n = x.NumElements();
+  for (int64_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+}
+
+void ScaleInPlace(float alpha, Tensor* x) {
+  float* px = x->data();
+  const int64_t n = x->NumElements();
+  for (int64_t i = 0; i < n; ++i) px[i] *= alpha;
+}
+
+Tensor ReluForward(const Tensor& x) {
+  Tensor y = x;
+  float* p = y.data();
+  const int64_t n = y.NumElements();
+  for (int64_t i = 0; i < n; ++i) p[i] = p[i] > 0.0f ? p[i] : 0.0f;
+  return y;
+}
+
+Tensor ReluBackward(const Tensor& dy, const Tensor& y) {
+  NAUTILUS_CHECK_EQ(dy.NumElements(), y.NumElements());
+  Tensor dx = dy;
+  float* pdx = dx.data();
+  const float* py = y.data();
+  const int64_t n = dx.NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    if (py[i] <= 0.0f) pdx[i] = 0.0f;
+  }
+  return dx;
+}
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+}  // namespace
+
+Tensor GeluForward(const Tensor& x) {
+  Tensor y = x;
+  float* p = y.data();
+  const int64_t n = y.NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    const float v = p[i];
+    const float t = std::tanh(kGeluC * (v + kGeluA * v * v * v));
+    p[i] = 0.5f * v * (1.0f + t);
+  }
+  return y;
+}
+
+Tensor GeluBackward(const Tensor& dy, const Tensor& x) {
+  NAUTILUS_CHECK_EQ(dy.NumElements(), x.NumElements());
+  Tensor dx = dy;
+  float* pdx = dx.data();
+  const float* px = x.data();
+  const int64_t n = dx.NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    const float v = px[i];
+    const float u = kGeluC * (v + kGeluA * v * v * v);
+    const float t = std::tanh(u);
+    const float dudv = kGeluC * (1.0f + 3.0f * kGeluA * v * v);
+    const float dgelu = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * dudv;
+    pdx[i] *= dgelu;
+  }
+  return dx;
+}
+
+Tensor TanhForward(const Tensor& x) {
+  Tensor y = x;
+  float* p = y.data();
+  const int64_t n = y.NumElements();
+  for (int64_t i = 0; i < n; ++i) p[i] = std::tanh(p[i]);
+  return y;
+}
+
+Tensor TanhBackward(const Tensor& dy, const Tensor& y) {
+  NAUTILUS_CHECK_EQ(dy.NumElements(), y.NumElements());
+  Tensor dx = dy;
+  float* pdx = dx.data();
+  const float* py = y.data();
+  const int64_t n = dx.NumElements();
+  for (int64_t i = 0; i < n; ++i) pdx[i] *= (1.0f - py[i] * py[i]);
+  return dx;
+}
+
+Tensor LayerNormForward(const Tensor& x, const Tensor& gamma,
+                        const Tensor& beta, float eps, LayerNormCache* cache) {
+  const MatView xv = As2D(x);
+  NAUTILUS_CHECK_EQ(gamma.NumElements(), xv.cols);
+  NAUTILUS_CHECK_EQ(beta.NumElements(), xv.cols);
+  Tensor y(x.shape());
+  cache->normalized = Tensor(x.shape());
+  cache->rstd.assign(static_cast<size_t>(xv.rows), 0.0f);
+  const float* px = x.data();
+  const float* pg = gamma.data();
+  const float* pb = beta.data();
+  float* py = y.data();
+  float* pn = cache->normalized.data();
+  for (int64_t i = 0; i < xv.rows; ++i) {
+    const float* row = px + i * xv.cols;
+    float mean = 0.0f;
+    for (int64_t j = 0; j < xv.cols; ++j) mean += row[j];
+    mean /= static_cast<float>(xv.cols);
+    float var = 0.0f;
+    for (int64_t j = 0; j < xv.cols; ++j) {
+      const float d = row[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(xv.cols);
+    const float rstd = 1.0f / std::sqrt(var + eps);
+    cache->rstd[static_cast<size_t>(i)] = rstd;
+    float* nrow = pn + i * xv.cols;
+    float* yrow = py + i * xv.cols;
+    for (int64_t j = 0; j < xv.cols; ++j) {
+      nrow[j] = (row[j] - mean) * rstd;
+      yrow[j] = nrow[j] * pg[j] + pb[j];
+    }
+  }
+  return y;
+}
+
+void LayerNormBackward(const Tensor& dy, const Tensor& gamma,
+                       const LayerNormCache& cache, Tensor* dx, Tensor* dgamma,
+                       Tensor* dbeta) {
+  const MatView v = As2D(dy);
+  *dx = Tensor(dy.shape());
+  *dgamma = Tensor(gamma.shape());
+  *dbeta = Tensor(gamma.shape());
+  const float* pdy = dy.data();
+  const float* pg = gamma.data();
+  const float* pn = cache.normalized.data();
+  float* pdx = dx->data();
+  float* pdg = dgamma->data();
+  float* pdb = dbeta->data();
+  const float inv_n = 1.0f / static_cast<float>(v.cols);
+  for (int64_t i = 0; i < v.rows; ++i) {
+    const float* dyrow = pdy + i * v.cols;
+    const float* nrow = pn + i * v.cols;
+    float* dxrow = pdx + i * v.cols;
+    const float rstd = cache.rstd[static_cast<size_t>(i)];
+    // dxhat = dy * gamma; dx = rstd * (dxhat - mean(dxhat) - n * mean(dxhat*n))
+    float sum_dxhat = 0.0f;
+    float sum_dxhat_n = 0.0f;
+    for (int64_t j = 0; j < v.cols; ++j) {
+      const float dxhat = dyrow[j] * pg[j];
+      sum_dxhat += dxhat;
+      sum_dxhat_n += dxhat * nrow[j];
+      pdg[j] += dyrow[j] * nrow[j];
+      pdb[j] += dyrow[j];
+    }
+    const float m1 = sum_dxhat * inv_n;
+    const float m2 = sum_dxhat_n * inv_n;
+    for (int64_t j = 0; j < v.cols; ++j) {
+      const float dxhat = dyrow[j] * pg[j];
+      dxrow[j] = rstd * (dxhat - m1 - nrow[j] * m2);
+    }
+  }
+}
+
+Tensor SoftmaxForward(const Tensor& logits) {
+  const MatView v = As2D(logits);
+  Tensor probs = logits;
+  float* p = probs.data();
+  for (int64_t i = 0; i < v.rows; ++i) {
+    float* row = p + i * v.cols;
+    float mx = -std::numeric_limits<float>::infinity();
+    for (int64_t j = 0; j < v.cols; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < v.cols; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      sum += row[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t j = 0; j < v.cols; ++j) row[j] *= inv;
+  }
+  return probs;
+}
+
+float SoftmaxCrossEntropy(const Tensor& probs,
+                          const std::vector<int32_t>& labels,
+                          Tensor* dlogits) {
+  const MatView v = As2D(probs);
+  NAUTILUS_CHECK_EQ(static_cast<int64_t>(labels.size()), v.rows);
+  *dlogits = probs;
+  float* pd = dlogits->data();
+  const float* pp = probs.data();
+  float loss = 0.0f;
+  const float inv_m = 1.0f / static_cast<float>(v.rows);
+  for (int64_t i = 0; i < v.rows; ++i) {
+    const int32_t label = labels[static_cast<size_t>(i)];
+    NAUTILUS_CHECK_GE(label, 0);
+    NAUTILUS_CHECK_LT(label, v.cols);
+    const float p = std::max(pp[i * v.cols + label], 1e-12f);
+    loss -= std::log(p);
+    pd[i * v.cols + label] -= 1.0f;
+  }
+  ScaleInPlace(inv_m, dlogits);
+  return loss * inv_m;
+}
+
+float Accuracy(const Tensor& probs, const std::vector<int32_t>& labels) {
+  const MatView v = As2D(probs);
+  NAUTILUS_CHECK_EQ(static_cast<int64_t>(labels.size()), v.rows);
+  const float* pp = probs.data();
+  int64_t correct = 0;
+  for (int64_t i = 0; i < v.rows; ++i) {
+    const float* row = pp + i * v.cols;
+    int64_t best = 0;
+    for (int64_t j = 1; j < v.cols; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    if (best == labels[static_cast<size_t>(i)]) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(v.rows);
+}
+
+Tensor EmbeddingForward(const Tensor& ids, const Tensor& table) {
+  NAUTILUS_CHECK_EQ(table.shape().rank(), 2);
+  const int64_t vocab = table.shape().dim(0);
+  const int64_t h = table.shape().dim(1);
+  std::vector<int64_t> out_dims = ids.shape().dims();
+  out_dims.push_back(h);
+  Tensor out((Shape(out_dims)));
+  const float* pid = ids.data();
+  const float* pt = table.data();
+  float* po = out.data();
+  const int64_t n = ids.NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t id = static_cast<int64_t>(pid[i]);
+    NAUTILUS_CHECK_GE(id, 0);
+    NAUTILUS_CHECK_LT(id, vocab);
+    std::copy(pt + id * h, pt + (id + 1) * h, po + i * h);
+  }
+  return out;
+}
+
+void EmbeddingBackward(const Tensor& ids, const Tensor& dy, Tensor* dtable) {
+  const int64_t h = dtable->shape().dim(1);
+  const int64_t vocab = dtable->shape().dim(0);
+  const float* pid = ids.data();
+  const float* pdy = dy.data();
+  float* pdt = dtable->data();
+  const int64_t n = ids.NumElements();
+  NAUTILUS_CHECK_EQ(dy.NumElements(), n * h);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t id = static_cast<int64_t>(pid[i]);
+    NAUTILUS_CHECK_GE(id, 0);
+    NAUTILUS_CHECK_LT(id, vocab);
+    float* drow = pdt + id * h;
+    const float* gyrow = pdy + i * h;
+    for (int64_t j = 0; j < h; ++j) drow[j] += gyrow[j];
+  }
+}
+
+Tensor MeanPoolSeq(const Tensor& x) {
+  NAUTILUS_CHECK_EQ(x.shape().rank(), 3);
+  const int64_t b = x.shape().dim(0);
+  const int64_t s = x.shape().dim(1);
+  const int64_t h = x.shape().dim(2);
+  Tensor out(Shape({b, h}));
+  const float* px = x.data();
+  float* po = out.data();
+  const float inv_s = 1.0f / static_cast<float>(s);
+  for (int64_t i = 0; i < b; ++i) {
+    float* orow = po + i * h;
+    for (int64_t t = 0; t < s; ++t) {
+      const float* row = px + (i * s + t) * h;
+      for (int64_t j = 0; j < h; ++j) orow[j] += row[j];
+    }
+    for (int64_t j = 0; j < h; ++j) orow[j] *= inv_s;
+  }
+  return out;
+}
+
+Tensor MeanPoolSeqBackward(const Tensor& dy, const Shape& x_shape) {
+  const int64_t b = x_shape.dim(0);
+  const int64_t s = x_shape.dim(1);
+  const int64_t h = x_shape.dim(2);
+  NAUTILUS_CHECK_EQ(dy.NumElements(), b * h);
+  Tensor dx(x_shape);
+  const float* pdy = dy.data();
+  float* pdx = dx.data();
+  const float inv_s = 1.0f / static_cast<float>(s);
+  for (int64_t i = 0; i < b; ++i) {
+    const float* dyrow = pdy + i * h;
+    for (int64_t t = 0; t < s; ++t) {
+      float* row = pdx + (i * s + t) * h;
+      for (int64_t j = 0; j < h; ++j) row[j] = dyrow[j] * inv_s;
+    }
+  }
+  return dx;
+}
+
+Tensor SelectSeqPosition(const Tensor& x, int64_t position) {
+  NAUTILUS_CHECK_EQ(x.shape().rank(), 3);
+  const int64_t b = x.shape().dim(0);
+  const int64_t s = x.shape().dim(1);
+  const int64_t h = x.shape().dim(2);
+  if (position < 0) position += s;
+  NAUTILUS_CHECK_GE(position, 0);
+  NAUTILUS_CHECK_LT(position, s);
+  Tensor out(Shape({b, h}));
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < b; ++i) {
+    const float* row = px + (i * s + position) * h;
+    std::copy(row, row + h, po + i * h);
+  }
+  return out;
+}
+
+Tensor SelectSeqPositionBackward(const Tensor& dy, const Shape& x_shape,
+                                 int64_t position) {
+  const int64_t b = x_shape.dim(0);
+  const int64_t s = x_shape.dim(1);
+  const int64_t h = x_shape.dim(2);
+  if (position < 0) position += s;
+  Tensor dx(x_shape);
+  const float* pdy = dy.data();
+  float* pdx = dx.data();
+  for (int64_t i = 0; i < b; ++i) {
+    float* row = pdx + (i * s + position) * h;
+    const float* dyrow = pdy + i * h;
+    std::copy(dyrow, dyrow + h, row);
+  }
+  return dx;
+}
+
+Tensor ConcatLastDim(const std::vector<const Tensor*>& xs) {
+  NAUTILUS_CHECK(!xs.empty());
+  const MatView first = As2D(*xs[0]);
+  int64_t total_cols = 0;
+  for (const Tensor* t : xs) {
+    const MatView v = As2D(*t);
+    NAUTILUS_CHECK_EQ(v.rows, first.rows);
+    total_cols += v.cols;
+  }
+  std::vector<int64_t> out_dims = xs[0]->shape().dims();
+  out_dims.back() = total_cols;
+  Tensor out((Shape(out_dims)));
+  float* po = out.data();
+  for (int64_t i = 0; i < first.rows; ++i) {
+    int64_t offset = 0;
+    for (const Tensor* t : xs) {
+      const MatView v = As2D(*t);
+      const float* row = t->data() + i * v.cols;
+      std::copy(row, row + v.cols, po + i * total_cols + offset);
+      offset += v.cols;
+    }
+  }
+  return out;
+}
+
+std::vector<Tensor> SplitLastDim(const Tensor& dy,
+                                 const std::vector<int64_t>& sizes) {
+  const MatView v = As2D(dy);
+  int64_t total = 0;
+  for (int64_t s : sizes) total += s;
+  NAUTILUS_CHECK_EQ(total, v.cols);
+  std::vector<Tensor> out;
+  out.reserve(sizes.size());
+  int64_t offset = 0;
+  for (int64_t cols : sizes) {
+    std::vector<int64_t> dims = dy.shape().dims();
+    dims.back() = cols;
+    Tensor piece((Shape(dims)));
+    float* pp = piece.data();
+    const float* pd = dy.data();
+    for (int64_t i = 0; i < v.rows; ++i) {
+      std::copy(pd + i * v.cols + offset, pd + i * v.cols + offset + cols,
+                pp + i * cols);
+    }
+    out.push_back(std::move(piece));
+    offset += cols;
+  }
+  return out;
+}
+
+Tensor SplitHeads(const Tensor& x, int64_t heads) {
+  NAUTILUS_CHECK_EQ(x.shape().rank(), 3);
+  const int64_t b = x.shape().dim(0);
+  const int64_t s = x.shape().dim(1);
+  const int64_t h = x.shape().dim(2);
+  NAUTILUS_CHECK_EQ(h % heads, 0);
+  const int64_t dh = h / heads;
+  Tensor out(Shape({b, heads, s, dh}));
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < b; ++i) {
+    for (int64_t t = 0; t < s; ++t) {
+      const float* row = px + (i * s + t) * h;
+      for (int64_t hd = 0; hd < heads; ++hd) {
+        float* orow = po + ((i * heads + hd) * s + t) * dh;
+        std::copy(row + hd * dh, row + (hd + 1) * dh, orow);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MergeHeads(const Tensor& x) {
+  NAUTILUS_CHECK_EQ(x.shape().rank(), 4);
+  const int64_t b = x.shape().dim(0);
+  const int64_t heads = x.shape().dim(1);
+  const int64_t s = x.shape().dim(2);
+  const int64_t dh = x.shape().dim(3);
+  Tensor out(Shape({b, s, heads * dh}));
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < b; ++i) {
+    for (int64_t hd = 0; hd < heads; ++hd) {
+      for (int64_t t = 0; t < s; ++t) {
+        const float* row = px + ((i * heads + hd) * s + t) * dh;
+        float* orow = po + (i * s + t) * heads * dh + hd * dh;
+        std::copy(row, row + dh, orow);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AttentionForward(const Tensor& q, const Tensor& k, const Tensor& v,
+                        AttentionCache* cache) {
+  NAUTILUS_CHECK_EQ(q.shape().rank(), 4);
+  NAUTILUS_CHECK(q.shape() == k.shape());
+  NAUTILUS_CHECK(q.shape() == v.shape());
+  const int64_t b = q.shape().dim(0);
+  const int64_t heads = q.shape().dim(1);
+  const int64_t s = q.shape().dim(2);
+  const int64_t dh = q.shape().dim(3);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  cache->probs = Tensor(Shape({b, heads, s, s}));
+  Tensor out(q.shape());
+  const int64_t plane = s * dh;
+  for (int64_t bh = 0; bh < b * heads; ++bh) {
+    const float* pq = q.data() + bh * plane;
+    const float* pk = k.data() + bh * plane;
+    const float* pv = v.data() + bh * plane;
+    float* pp = cache->probs.data() + bh * s * s;
+    float* po = out.data() + bh * plane;
+    // scores = Q K^T * scale, then row softmax.
+    for (int64_t i = 0; i < s; ++i) {
+      float* prow = pp + i * s;
+      const float* qrow = pq + i * dh;
+      float mx = -std::numeric_limits<float>::infinity();
+      for (int64_t j = 0; j < s; ++j) {
+        const float* krow = pk + j * dh;
+        float acc = 0.0f;
+        for (int64_t d = 0; d < dh; ++d) acc += qrow[d] * krow[d];
+        prow[j] = acc * scale;
+        mx = std::max(mx, prow[j]);
+      }
+      float sum = 0.0f;
+      for (int64_t j = 0; j < s; ++j) {
+        prow[j] = std::exp(prow[j] - mx);
+        sum += prow[j];
+      }
+      const float inv = 1.0f / sum;
+      float* orow = po + i * dh;
+      for (int64_t j = 0; j < s; ++j) {
+        prow[j] *= inv;
+        const float* vrow = pv + j * dh;
+        for (int64_t d = 0; d < dh; ++d) orow[d] += prow[j] * vrow[d];
+      }
+    }
+  }
+  return out;
+}
+
+void AttentionBackward(const Tensor& dy, const Tensor& q, const Tensor& k,
+                       const Tensor& v, const AttentionCache& cache,
+                       Tensor* dq, Tensor* dk, Tensor* dv) {
+  const int64_t b = q.shape().dim(0);
+  const int64_t heads = q.shape().dim(1);
+  const int64_t s = q.shape().dim(2);
+  const int64_t dh = q.shape().dim(3);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  *dq = Tensor(q.shape());
+  *dk = Tensor(k.shape());
+  *dv = Tensor(v.shape());
+  const int64_t plane = s * dh;
+  std::vector<float> dp(static_cast<size_t>(s));
+  for (int64_t bh = 0; bh < b * heads; ++bh) {
+    const float* pdy = dy.data() + bh * plane;
+    const float* pq = q.data() + bh * plane;
+    const float* pk = k.data() + bh * plane;
+    const float* pv = v.data() + bh * plane;
+    const float* pp = cache.probs.data() + bh * s * s;
+    float* pdq = dq->data() + bh * plane;
+    float* pdk = dk->data() + bh * plane;
+    float* pdv = dv->data() + bh * plane;
+    for (int64_t i = 0; i < s; ++i) {
+      const float* dyrow = pdy + i * dh;
+      const float* prow = pp + i * s;
+      // dP = dY V^T ; dV += P^T dY
+      float dot = 0.0f;
+      for (int64_t j = 0; j < s; ++j) {
+        const float* vrow = pv + j * dh;
+        float acc = 0.0f;
+        for (int64_t d = 0; d < dh; ++d) acc += dyrow[d] * vrow[d];
+        dp[static_cast<size_t>(j)] = acc;
+        dot += acc * prow[j];
+        float* dvrow = pdv + j * dh;
+        for (int64_t d = 0; d < dh; ++d) dvrow[d] += prow[j] * dyrow[d];
+      }
+      // dS = P * (dP - sum(dP * P)) (softmax backward), scaled.
+      const float* qrow = pq + i * dh;
+      float* dqrow = pdq + i * dh;
+      for (int64_t j = 0; j < s; ++j) {
+        const float ds = prow[j] * (dp[static_cast<size_t>(j)] - dot) * scale;
+        if (ds == 0.0f) continue;
+        const float* krow = pk + j * dh;
+        float* dkrow = pdk + j * dh;
+        for (int64_t d = 0; d < dh; ++d) {
+          dqrow[d] += ds * krow[d];
+          dkrow[d] += ds * qrow[d];
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+// Computes conv output spatial size.
+int64_t ConvOut(int64_t in, int64_t kernel, int64_t stride, int64_t pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+}  // namespace
+
+Tensor Conv2DForward(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                     const Conv2DArgs& args) {
+  NAUTILUS_CHECK_EQ(x.shape().rank(), 4);
+  NAUTILUS_CHECK_EQ(weight.shape().rank(), 4);
+  const int64_t b = x.shape().dim(0);
+  const int64_t c = x.shape().dim(1);
+  const int64_t h = x.shape().dim(2);
+  const int64_t w = x.shape().dim(3);
+  const int64_t oc = weight.shape().dim(0);
+  NAUTILUS_CHECK_EQ(weight.shape().dim(1), c);
+  const int64_t kh = weight.shape().dim(2);
+  const int64_t kw = weight.shape().dim(3);
+  const int64_t oh = ConvOut(h, kh, args.stride, args.padding);
+  const int64_t ow = ConvOut(w, kw, args.stride, args.padding);
+  Tensor out(Shape({b, oc, oh, ow}));
+  const float* px = x.data();
+  const float* pw = weight.data();
+  const float* pb = bias.empty() ? nullptr : bias.data();
+  float* po = out.data();
+  for (int64_t n = 0; n < b; ++n) {
+    for (int64_t o = 0; o < oc; ++o) {
+      float* oplane = po + (n * oc + o) * oh * ow;
+      const float bias_v = pb != nullptr ? pb[o] : 0.0f;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          float acc = bias_v;
+          const int64_t iy0 = oy * args.stride - args.padding;
+          const int64_t ix0 = ox * args.stride - args.padding;
+          for (int64_t ci = 0; ci < c; ++ci) {
+            const float* xplane = px + (n * c + ci) * h * w;
+            const float* wplane = pw + ((o * c + ci) * kh) * kw;
+            for (int64_t ky = 0; ky < kh; ++ky) {
+              const int64_t iy = iy0 + ky;
+              if (iy < 0 || iy >= h) continue;
+              for (int64_t kx = 0; kx < kw; ++kx) {
+                const int64_t ix = ix0 + kx;
+                if (ix < 0 || ix >= w) continue;
+                acc += xplane[iy * w + ix] * wplane[ky * kw + kx];
+              }
+            }
+          }
+          oplane[oy * ow + ox] = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void Conv2DBackward(const Tensor& dy, const Tensor& x, const Tensor& weight,
+                    const Conv2DArgs& args, Tensor* dx, Tensor* dweight,
+                    Tensor* dbias) {
+  const int64_t b = x.shape().dim(0);
+  const int64_t c = x.shape().dim(1);
+  const int64_t h = x.shape().dim(2);
+  const int64_t w = x.shape().dim(3);
+  const int64_t oc = weight.shape().dim(0);
+  const int64_t kh = weight.shape().dim(2);
+  const int64_t kw = weight.shape().dim(3);
+  const int64_t oh = dy.shape().dim(2);
+  const int64_t ow = dy.shape().dim(3);
+  if (dx != nullptr) *dx = Tensor(x.shape());
+  if (dweight != nullptr) *dweight = Tensor(weight.shape());
+  if (dbias != nullptr) *dbias = Tensor(Shape({oc}));
+  const float* pdy = dy.data();
+  const float* px = x.data();
+  const float* pw = weight.data();
+  for (int64_t n = 0; n < b; ++n) {
+    for (int64_t o = 0; o < oc; ++o) {
+      const float* dyplane = pdy + (n * oc + o) * oh * ow;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          const float g = dyplane[oy * ow + ox];
+          if (g == 0.0f) continue;
+          if (dbias != nullptr) dbias->data()[o] += g;
+          const int64_t iy0 = oy * args.stride - args.padding;
+          const int64_t ix0 = ox * args.stride - args.padding;
+          for (int64_t ci = 0; ci < c; ++ci) {
+            const float* xplane = px + (n * c + ci) * h * w;
+            const float* wplane = pw + ((o * c + ci) * kh) * kw;
+            float* dxplane =
+                dx != nullptr ? dx->data() + (n * c + ci) * h * w : nullptr;
+            float* dwplane = dweight != nullptr
+                                 ? dweight->data() + ((o * c + ci) * kh) * kw
+                                 : nullptr;
+            for (int64_t ky = 0; ky < kh; ++ky) {
+              const int64_t iy = iy0 + ky;
+              if (iy < 0 || iy >= h) continue;
+              for (int64_t kx = 0; kx < kw; ++kx) {
+                const int64_t ix = ix0 + kx;
+                if (ix < 0 || ix >= w) continue;
+                if (dwplane != nullptr) {
+                  dwplane[ky * kw + kx] += g * xplane[iy * w + ix];
+                }
+                if (dxplane != nullptr) {
+                  dxplane[iy * w + ix] += g * wplane[ky * kw + kx];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor MaxPool2DForward(const Tensor& x, int64_t kernel, MaxPoolCache* cache) {
+  NAUTILUS_CHECK_EQ(x.shape().rank(), 4);
+  const int64_t b = x.shape().dim(0);
+  const int64_t c = x.shape().dim(1);
+  const int64_t h = x.shape().dim(2);
+  const int64_t w = x.shape().dim(3);
+  const int64_t oh = h / kernel;
+  const int64_t ow = w / kernel;
+  NAUTILUS_CHECK_GT(oh, 0);
+  NAUTILUS_CHECK_GT(ow, 0);
+  Tensor out(Shape({b, c, oh, ow}));
+  cache->argmax.assign(static_cast<size_t>(out.NumElements()), 0);
+  const float* px = x.data();
+  float* po = out.data();
+  int64_t oi = 0;
+  for (int64_t n = 0; n < b; ++n) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      const float* xplane = px + (n * c + ci) * h * w;
+      const int64_t plane_base = (n * c + ci) * h * w;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_idx = 0;
+          for (int64_t ky = 0; ky < kernel; ++ky) {
+            for (int64_t kx = 0; kx < kernel; ++kx) {
+              const int64_t iy = oy * kernel + ky;
+              const int64_t ix = ox * kernel + kx;
+              const float v = xplane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = plane_base + iy * w + ix;
+              }
+            }
+          }
+          po[oi] = best;
+          cache->argmax[static_cast<size_t>(oi)] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2DBackward(const Tensor& dy, const Shape& x_shape,
+                         const MaxPoolCache& cache) {
+  Tensor dx(x_shape);
+  const float* pdy = dy.data();
+  float* pdx = dx.data();
+  NAUTILUS_CHECK_EQ(static_cast<int64_t>(cache.argmax.size()),
+                    dy.NumElements());
+  for (int64_t i = 0; i < dy.NumElements(); ++i) {
+    pdx[cache.argmax[static_cast<size_t>(i)]] += pdy[i];
+  }
+  return dx;
+}
+
+Tensor GlobalAvgPool(const Tensor& x) {
+  NAUTILUS_CHECK_EQ(x.shape().rank(), 4);
+  const int64_t b = x.shape().dim(0);
+  const int64_t c = x.shape().dim(1);
+  const int64_t hw = x.shape().dim(2) * x.shape().dim(3);
+  Tensor out(Shape({b, c}));
+  const float* px = x.data();
+  float* po = out.data();
+  const float inv = 1.0f / static_cast<float>(hw);
+  for (int64_t i = 0; i < b * c; ++i) {
+    const float* plane = px + i * hw;
+    float acc = 0.0f;
+    for (int64_t j = 0; j < hw; ++j) acc += plane[j];
+    po[i] = acc * inv;
+  }
+  return out;
+}
+
+Tensor GlobalAvgPoolBackward(const Tensor& dy, const Shape& x_shape) {
+  const int64_t b = x_shape.dim(0);
+  const int64_t c = x_shape.dim(1);
+  const int64_t hw = x_shape.dim(2) * x_shape.dim(3);
+  Tensor dx(x_shape);
+  const float* pdy = dy.data();
+  float* pdx = dx.data();
+  const float inv = 1.0f / static_cast<float>(hw);
+  for (int64_t i = 0; i < b * c; ++i) {
+    const float g = pdy[i] * inv;
+    float* plane = pdx + i * hw;
+    for (int64_t j = 0; j < hw; ++j) plane[j] = g;
+  }
+  return dx;
+}
+
+Tensor ChannelAffineForward(const Tensor& x, const Tensor& scale,
+                            const Tensor& shift) {
+  NAUTILUS_CHECK_EQ(x.shape().rank(), 4);
+  const int64_t b = x.shape().dim(0);
+  const int64_t c = x.shape().dim(1);
+  const int64_t hw = x.shape().dim(2) * x.shape().dim(3);
+  NAUTILUS_CHECK_EQ(scale.NumElements(), c);
+  NAUTILUS_CHECK_EQ(shift.NumElements(), c);
+  Tensor out(x.shape());
+  const float* px = x.data();
+  const float* ps = scale.data();
+  const float* pt = shift.data();
+  float* po = out.data();
+  for (int64_t n = 0; n < b; ++n) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      const float s = ps[ci];
+      const float t = pt[ci];
+      const float* xplane = px + (n * c + ci) * hw;
+      float* oplane = po + (n * c + ci) * hw;
+      for (int64_t j = 0; j < hw; ++j) oplane[j] = xplane[j] * s + t;
+    }
+  }
+  return out;
+}
+
+void ChannelAffineBackward(const Tensor& dy, const Tensor& x,
+                           const Tensor& scale, Tensor* dx, Tensor* dscale,
+                           Tensor* dshift) {
+  const int64_t b = x.shape().dim(0);
+  const int64_t c = x.shape().dim(1);
+  const int64_t hw = x.shape().dim(2) * x.shape().dim(3);
+  if (dx != nullptr) *dx = Tensor(x.shape());
+  if (dscale != nullptr) *dscale = Tensor(Shape({c}));
+  if (dshift != nullptr) *dshift = Tensor(Shape({c}));
+  const float* pdy = dy.data();
+  const float* px = x.data();
+  const float* ps = scale.data();
+  for (int64_t n = 0; n < b; ++n) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      const float* dyplane = pdy + (n * c + ci) * hw;
+      const float* xplane = px + (n * c + ci) * hw;
+      float* dxplane = dx != nullptr ? dx->data() + (n * c + ci) * hw : nullptr;
+      float acc_scale = 0.0f;
+      float acc_shift = 0.0f;
+      for (int64_t j = 0; j < hw; ++j) {
+        acc_scale += dyplane[j] * xplane[j];
+        acc_shift += dyplane[j];
+        if (dxplane != nullptr) dxplane[j] = dyplane[j] * ps[ci];
+      }
+      if (dscale != nullptr) dscale->data()[ci] += acc_scale;
+      if (dshift != nullptr) dshift->data()[ci] += acc_shift;
+    }
+  }
+}
+
+}  // namespace ops
+}  // namespace nautilus

@@ -1,0 +1,190 @@
+#ifndef NAUTILUS_TENSOR_OPS_H_
+#define NAUTILUS_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nautilus/tensor/tensor.h"
+
+namespace nautilus {
+namespace ops {
+
+// ---------------------------------------------------------------------------
+// Dense linear algebra.
+// ---------------------------------------------------------------------------
+
+/// C = A[m,k] * B[k,n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// C = A[m,k] * B[n,k]^T -> [m,n]. Used for dL/dX = dY * W^T.
+Tensor MatMulNT(const Tensor& a, const Tensor& b);
+
+/// C = A[k,m]^T * B[k,n] -> [m,n]. Used for dL/dW = X^T * dY.
+Tensor MatMulTN(const Tensor& a, const Tensor& b);
+
+/// Adds bias[n] to every row of x[m,n] in place.
+void AddBiasInPlace(Tensor* x, const Tensor& bias);
+
+/// Column sums of g[m,n] -> [n]. Gradient of a broadcast bias.
+Tensor ColumnSum(const Tensor& g);
+
+// ---------------------------------------------------------------------------
+// Elementwise.
+// ---------------------------------------------------------------------------
+
+/// out = a + b (same shape).
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/// Elementwise sum of all inputs (same shape, >= 1 input).
+Tensor AddN(const std::vector<const Tensor*>& xs);
+
+/// y += alpha * x.
+void AxpyInPlace(float alpha, const Tensor& x, Tensor* y);
+
+/// x *= alpha.
+void ScaleInPlace(float alpha, Tensor* x);
+
+Tensor ReluForward(const Tensor& x);
+/// dx from dy and the forward *output* y (relu gradient mask is y > 0).
+Tensor ReluBackward(const Tensor& dy, const Tensor& y);
+
+/// Tanh-approximation GELU.
+Tensor GeluForward(const Tensor& x);
+/// dx from dy and the forward *input* x.
+Tensor GeluBackward(const Tensor& dy, const Tensor& x);
+
+Tensor TanhForward(const Tensor& x);
+/// dx from dy and the forward output y.
+Tensor TanhBackward(const Tensor& dy, const Tensor& y);
+
+// ---------------------------------------------------------------------------
+// Normalization.
+// ---------------------------------------------------------------------------
+
+struct LayerNormCache {
+  Tensor normalized;  // (x - mean) * rstd, shape of x
+  std::vector<float> rstd;  // one per row
+};
+
+/// Layer normalization over the last dimension of x (viewed as [rows, n]),
+/// with per-feature gain/bias. Fills `cache` for the backward pass.
+Tensor LayerNormForward(const Tensor& x, const Tensor& gamma,
+                        const Tensor& beta, float eps, LayerNormCache* cache);
+
+/// Backward of LayerNormForward. Outputs dgamma/dbeta accumulated over rows.
+void LayerNormBackward(const Tensor& dy, const Tensor& gamma,
+                       const LayerNormCache& cache, Tensor* dx, Tensor* dgamma,
+                       Tensor* dbeta);
+
+// ---------------------------------------------------------------------------
+// Softmax / losses.
+// ---------------------------------------------------------------------------
+
+/// Row-wise softmax of logits [m, c].
+Tensor SoftmaxForward(const Tensor& logits);
+
+/// Mean cross-entropy of row-softmax probabilities vs integer labels, plus
+/// the gradient w.r.t. logits ((p - onehot) / m).
+float SoftmaxCrossEntropy(const Tensor& probs,
+                          const std::vector<int32_t>& labels, Tensor* dlogits);
+
+/// Fraction of rows whose argmax equals the label.
+float Accuracy(const Tensor& probs, const std::vector<int32_t>& labels);
+
+// ---------------------------------------------------------------------------
+// Embedding.
+// ---------------------------------------------------------------------------
+
+/// ids [b, s] (integer-valued floats) gathered from table [vocab, h] into
+/// [b, s, h].
+Tensor EmbeddingForward(const Tensor& ids, const Tensor& table);
+
+/// Scatter-adds dy [b, s, h] into dtable [vocab, h] at the id rows.
+void EmbeddingBackward(const Tensor& ids, const Tensor& dy, Tensor* dtable);
+
+// ---------------------------------------------------------------------------
+// Sequence reductions / reshaping.
+// ---------------------------------------------------------------------------
+
+/// Mean over the sequence axis: [b, s, h] -> [b, h].
+Tensor MeanPoolSeq(const Tensor& x);
+Tensor MeanPoolSeqBackward(const Tensor& dy, const Shape& x_shape);
+
+/// Takes the feature vector at `position` along the sequence axis:
+/// [b, s, h] -> [b, h]. Position may be negative (from the end).
+Tensor SelectSeqPosition(const Tensor& x, int64_t position);
+Tensor SelectSeqPositionBackward(const Tensor& dy, const Shape& x_shape,
+                                 int64_t position);
+
+/// Concatenation along the last dimension.
+Tensor ConcatLastDim(const std::vector<const Tensor*>& xs);
+/// Splits dy back into pieces with last-dims `sizes`.
+std::vector<Tensor> SplitLastDim(const Tensor& dy,
+                                 const std::vector<int64_t>& sizes);
+
+// ---------------------------------------------------------------------------
+// Attention (used by the transformer block).
+// ---------------------------------------------------------------------------
+
+struct AttentionCache {
+  Tensor probs;  // [b, heads, s, s] post-softmax attention weights
+};
+
+/// Scaled dot-product attention. q, k, v are [b, heads, s, dh]; returns
+/// [b, heads, s, dh] and fills the cache for the backward pass.
+Tensor AttentionForward(const Tensor& q, const Tensor& k, const Tensor& v,
+                        AttentionCache* cache);
+
+/// Backward of AttentionForward.
+void AttentionBackward(const Tensor& dy, const Tensor& q, const Tensor& k,
+                       const Tensor& v, const AttentionCache& cache,
+                       Tensor* dq, Tensor* dk, Tensor* dv);
+
+/// [b, s, heads*dh] -> [b, heads, s, dh] and back.
+Tensor SplitHeads(const Tensor& x, int64_t heads);
+Tensor MergeHeads(const Tensor& x);
+
+// ---------------------------------------------------------------------------
+// Convolutional kernels (used by the ResNet-like model).
+// ---------------------------------------------------------------------------
+
+struct Conv2DArgs {
+  int64_t stride = 1;
+  int64_t padding = 0;
+};
+
+/// x [b, c, h, w] convolved with w [oc, c, kh, kw] (+ bias [oc]) ->
+/// [b, oc, oh, ow].
+Tensor Conv2DForward(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                     const Conv2DArgs& args);
+
+/// Backward of Conv2DForward; any of dx/dweight/dbias may be null to skip.
+void Conv2DBackward(const Tensor& dy, const Tensor& x, const Tensor& weight,
+                    const Conv2DArgs& args, Tensor* dx, Tensor* dweight,
+                    Tensor* dbias);
+
+struct MaxPoolCache {
+  std::vector<int64_t> argmax;  // flat input index per output element
+};
+
+/// 2x2 / kxk max pooling with stride == kernel.
+Tensor MaxPool2DForward(const Tensor& x, int64_t kernel, MaxPoolCache* cache);
+Tensor MaxPool2DBackward(const Tensor& dy, const Shape& x_shape,
+                         const MaxPoolCache& cache);
+
+/// [b, c, h, w] -> [b, c] (mean over spatial dims).
+Tensor GlobalAvgPool(const Tensor& x);
+Tensor GlobalAvgPoolBackward(const Tensor& dy, const Shape& x_shape);
+
+/// Per-channel affine y = x * scale[c] + shift[c] for [b, c, h, w] tensors.
+/// Stands in for batch-norm with frozen statistics (standard in fine-tuning).
+Tensor ChannelAffineForward(const Tensor& x, const Tensor& scale,
+                            const Tensor& shift);
+void ChannelAffineBackward(const Tensor& dy, const Tensor& x,
+                           const Tensor& scale, Tensor* dx, Tensor* dscale,
+                           Tensor* dshift);
+
+}  // namespace ops
+}  // namespace nautilus
+
+#endif  // NAUTILUS_TENSOR_OPS_H_

@@ -1,0 +1,64 @@
+#ifndef NAUTILUS_TENSOR_SHAPE_H_
+#define NAUTILUS_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "nautilus/util/logging.h"
+
+namespace nautilus {
+
+/// Dimensions of a dense tensor. All tensors in Nautilus have fixed shapes
+/// known up front (Definition 2.1 in the paper); the leading dimension is the
+/// batch dimension by convention.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+  int64_t dim(int i) const {
+    NAUTILUS_CHECK_GE(i, 0);
+    NAUTILUS_CHECK_LT(i, rank());
+    return dims_[static_cast<size_t>(i)];
+  }
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  int64_t NumElements() const {
+    int64_t n = 1;
+    for (int64_t d : dims_) n *= d;
+    return n;
+  }
+
+  /// Number of elements per record, i.e. ignoring the batch (first) dim.
+  /// For a rank-0/empty shape this is 1.
+  int64_t ElementsPerRecord() const {
+    int64_t n = 1;
+    for (size_t i = 1; i < dims_.size(); ++i) n *= dims_[i];
+    return n;
+  }
+
+  /// Returns this shape with the batch (first) dimension replaced.
+  Shape WithBatch(int64_t batch) const {
+    NAUTILUS_CHECK_GE(rank(), 1);
+    Shape s = *this;
+    s.dims_[0] = batch;
+    return s;
+  }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace nautilus
+
+#endif  // NAUTILUS_TENSOR_SHAPE_H_

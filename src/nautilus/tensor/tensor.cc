@@ -1,0 +1,107 @@
+#include "nautilus/tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace nautilus {
+
+std::string Shape::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << dims_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor Tensor::Randn(const Shape& shape, Rng* rng, float stddev) {
+  Tensor t(shape);
+  for (int64_t i = 0; i < t.NumElements(); ++i) {
+    t.data_[static_cast<size_t>(i)] = rng->Normal(stddev);
+  }
+  return t;
+}
+
+Tensor Tensor::Full(const Shape& shape, float value) {
+  Tensor t(shape);
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Reshaped(const Shape& new_shape) const {
+  NAUTILUS_CHECK_EQ(new_shape.NumElements(), NumElements())
+      << "reshape " << shape_.ToString() << " -> " << new_shape.ToString();
+  Tensor t = *this;
+  t.shape_ = new_shape;
+  return t;
+}
+
+Tensor Tensor::SliceRows(int64_t begin, int64_t end) const {
+  NAUTILUS_CHECK_GE(shape_.rank(), 1);
+  NAUTILUS_CHECK_GE(begin, 0);
+  NAUTILUS_CHECK_LE(begin, end);
+  NAUTILUS_CHECK_LE(end, shape_.dim(0));
+  const int64_t stride = shape_.ElementsPerRecord();
+  Tensor out(shape_.WithBatch(end - begin));
+  std::copy(data_.begin() + begin * stride, data_.begin() + end * stride,
+            out.data_.begin());
+  return out;
+}
+
+Tensor Tensor::GatherRows(const std::vector<int64_t>& rows) const {
+  NAUTILUS_CHECK_GE(shape_.rank(), 1);
+  const int64_t stride = shape_.ElementsPerRecord();
+  Tensor out(shape_.WithBatch(static_cast<int64_t>(rows.size())));
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const int64_t src = rows[r];
+    NAUTILUS_CHECK_GE(src, 0);
+    NAUTILUS_CHECK_LT(src, shape_.dim(0));
+    std::copy(data_.begin() + src * stride, data_.begin() + (src + 1) * stride,
+              out.data_.begin() + static_cast<int64_t>(r) * stride);
+  }
+  return out;
+}
+
+void Tensor::AppendRows(const Tensor& other) {
+  if (empty()) {
+    *this = other;
+    return;
+  }
+  NAUTILUS_CHECK_EQ(shape_.rank(), other.shape_.rank());
+  NAUTILUS_CHECK_EQ(shape_.ElementsPerRecord(),
+                    other.shape_.ElementsPerRecord());
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  shape_ = shape_.WithBatch(shape_.dim(0) + other.shape_.dim(0));
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+float Tensor::MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  NAUTILUS_CHECK_EQ(a.NumElements(), b.NumElements());
+  float m = 0.0f;
+  for (int64_t i = 0; i < a.NumElements(); ++i) {
+    m = std::max(m, std::fabs(a.data_[static_cast<size_t>(i)] -
+                              b.data_[static_cast<size_t>(i)]));
+  }
+  return m;
+}
+
+std::string Tensor::DebugString(int max_elements) const {
+  std::ostringstream os;
+  os << "Tensor" << shape_.ToString() << " {";
+  const int64_t n = std::min<int64_t>(NumElements(), max_elements);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) os << ", ";
+    os << data_[static_cast<size_t>(i)];
+  }
+  if (NumElements() > n) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace nautilus

@@ -1,0 +1,87 @@
+#ifndef NAUTILUS_TENSOR_TENSOR_H_
+#define NAUTILUS_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nautilus/tensor/shape.h"
+#include "nautilus/util/logging.h"
+#include "nautilus/util/random.h"
+
+namespace nautilus {
+
+/// Dense float32 tensor with row-major layout. Copyable and movable; large
+/// tensors should be passed by const reference or moved.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<size_t>(shape_.NumElements()), 0.0f) {}
+  Tensor(Shape shape, std::vector<float> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    NAUTILUS_CHECK_EQ(static_cast<int64_t>(data_.size()),
+                      shape_.NumElements());
+  }
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  /// Tensor filled with normal noise; used for weight initialization.
+  static Tensor Randn(const Shape& shape, Rng* rng, float stddev);
+  static Tensor Zeros(const Shape& shape) { return Tensor(shape); }
+  static Tensor Full(const Shape& shape, float value);
+
+  const Shape& shape() const { return shape_; }
+  int64_t NumElements() const { return shape_.NumElements(); }
+  int64_t SizeBytes() const {
+    return NumElements() * static_cast<int64_t>(sizeof(float));
+  }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float at(int64_t i) const {
+    NAUTILUS_CHECK_GE(i, 0);
+    NAUTILUS_CHECK_LT(i, NumElements());
+    return data_[static_cast<size_t>(i)];
+  }
+  float& at(int64_t i) {
+    NAUTILUS_CHECK_GE(i, 0);
+    NAUTILUS_CHECK_LT(i, NumElements());
+    return data_[static_cast<size_t>(i)];
+  }
+
+  /// Reinterprets the tensor with a new shape of the same element count.
+  Tensor Reshaped(const Shape& new_shape) const;
+
+  /// Rows [begin, end) along the batch (first) dimension, copied out.
+  Tensor SliceRows(int64_t begin, int64_t end) const;
+
+  /// Copies `rows.size()` records selected by index along the batch dim.
+  Tensor GatherRows(const std::vector<int64_t>& rows) const;
+
+  /// Appends the rows of `other` (same per-record shape) after this
+  /// tensor's rows. Used for incremental feature materialization.
+  void AppendRows(const Tensor& other);
+
+  void Fill(float value);
+  void SetZero() { Fill(0.0f); }
+
+  /// Largest absolute elementwise difference; used by equivalence tests.
+  static float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+  std::string DebugString(int max_elements = 8) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace nautilus
+
+#endif  // NAUTILUS_TENSOR_TENSOR_H_

@@ -1,0 +1,99 @@
+#ifndef NAUTILUS_UTIL_LOGGING_H_
+#define NAUTILUS_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace nautilus {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level below which log messages are dropped. Defaults to
+/// kInfo; set to kDebug for verbose optimizer traces.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log line; emits to stderr on destruction. If `fatal`, aborts
+/// the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+/// Lower-precedence-than-<< adapter so CHECK macros can both short-circuit
+/// via ?: and support streaming extra context.
+class Voidify {
+ public:
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace nautilus
+
+/// Usage: NAUTILUS_LOG(INFO) << "message " << value;
+/// The message is formatted eagerly but only emitted when the global log
+/// level admits it (see SetLogLevel).
+#define NAUTILUS_LOG(severity) \
+  NAUTILUS_LOG_##severity##_IMPL()
+
+#define NAUTILUS_LOG_DEBUG_IMPL()                                        \
+  ::nautilus::internal::LogMessage(::nautilus::LogLevel::kDebug, __FILE__, \
+                                   __LINE__)
+#define NAUTILUS_LOG_INFO_IMPL()                                        \
+  ::nautilus::internal::LogMessage(::nautilus::LogLevel::kInfo, __FILE__, \
+                                   __LINE__)
+#define NAUTILUS_LOG_WARNING_IMPL()                                        \
+  ::nautilus::internal::LogMessage(::nautilus::LogLevel::kWarning, __FILE__, \
+                                   __LINE__)
+#define NAUTILUS_LOG_ERROR_IMPL()                                        \
+  ::nautilus::internal::LogMessage(::nautilus::LogLevel::kError, __FILE__, \
+                                   __LINE__)
+
+/// Fatal assertion used for programming errors (not recoverable conditions).
+#define NAUTILUS_CHECK(cond)                                              \
+  (cond) ? (void)0                                                        \
+         : ::nautilus::internal::Voidify() &                              \
+               ::nautilus::internal::LogMessage(                          \
+                   ::nautilus::LogLevel::kError, __FILE__, __LINE__,      \
+                   /*fatal=*/true)                                        \
+                   << "Check failed: " #cond " "
+
+#define NAUTILUS_CHECK_OK(expr)                                          \
+  do {                                                                   \
+    const ::nautilus::Status _s = (expr);                                \
+    NAUTILUS_CHECK(_s.ok()) << _s.ToString();                            \
+  } while (false)
+
+#define NAUTILUS_CHECK_EQ(a, b) \
+  NAUTILUS_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NAUTILUS_CHECK_NE(a, b) \
+  NAUTILUS_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NAUTILUS_CHECK_LT(a, b) \
+  NAUTILUS_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NAUTILUS_CHECK_LE(a, b) \
+  NAUTILUS_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NAUTILUS_CHECK_GT(a, b) \
+  NAUTILUS_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NAUTILUS_CHECK_GE(a, b) \
+  NAUTILUS_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // NAUTILUS_UTIL_LOGGING_H_

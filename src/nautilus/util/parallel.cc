@@ -1,0 +1,54 @@
+#include "nautilus/util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "nautilus/util/logging.h"
+
+namespace nautilus {
+
+namespace {
+std::atomic<int> g_degree{0};  // 0 = uninitialized, resolve lazily
+}  // namespace
+
+int ParallelismDegree() {
+  int degree = g_degree.load();
+  if (degree == 0) {
+    degree = std::max(1u, std::thread::hardware_concurrency());
+    g_degree.store(degree);
+  }
+  return degree;
+}
+
+void SetParallelismDegree(int degree) {
+  NAUTILUS_CHECK_GE(degree, 1);
+  g_degree.store(degree);
+}
+
+void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
+                 int64_t min_chunk) {
+  if (n <= 0) return;
+  const int degree = ParallelismDegree();
+  const int64_t max_workers = std::max<int64_t>(
+      1, std::min<int64_t>(degree, n / std::max<int64_t>(min_chunk, 1)));
+  if (max_workers == 1) {
+    fn(0, n);
+    return;
+  }
+  // Fixed even partition: deterministic assignment of indices to ranges.
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(max_workers - 1));
+  const int64_t chunk = (n + max_workers - 1) / max_workers;
+  for (int64_t w = 1; w < max_workers; ++w) {
+    const int64_t begin = w * chunk;
+    const int64_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  fn(0, std::min(n, chunk));
+  for (std::thread& t : workers) t.join();
+}
+
+}  // namespace nautilus

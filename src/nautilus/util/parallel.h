@@ -1,0 +1,24 @@
+#ifndef NAUTILUS_UTIL_PARALLEL_H_
+#define NAUTILUS_UTIL_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace nautilus {
+
+/// Number of worker threads the kernels may use (hardware concurrency by
+/// default; 1 disables threading). Deterministic regardless of the value:
+/// work is split into fixed ranges and every output element is written by
+/// exactly one range.
+int ParallelismDegree();
+void SetParallelismDegree(int degree);
+
+/// Runs fn(begin, end) over a partition of [0, n). Executes inline when the
+/// range is small or only one worker is configured. fn must only write to
+/// disjoint state per index (no reduction support).
+void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
+                 int64_t min_chunk = 1);
+
+}  // namespace nautilus
+
+#endif  // NAUTILUS_UTIL_PARALLEL_H_

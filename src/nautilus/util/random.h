@@ -1,0 +1,60 @@
+#ifndef NAUTILUS_UTIL_RANDOM_H_
+#define NAUTILUS_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace nautilus {
+
+/// Deterministic random source used throughout Nautilus so that experiments
+/// and tests are reproducible. Wraps std::mt19937_64 with the distributions
+/// the library needs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform in [0, 1).
+  double Uniform() { return unit_(engine_); }
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  int64_t UniformInt(int64_t n) {
+    return static_cast<int64_t>(engine_() % static_cast<uint64_t>(n));
+  }
+
+  /// Standard normal sample scaled by `stddev`.
+  float Normal(float stddev = 1.0f) {
+    return static_cast<float>(normal_(engine_)) * stddev;
+  }
+
+  /// Fills `out` with normal samples of the given stddev.
+  void FillNormal(std::vector<float>* out, float stddev) {
+    for (float& v : *out) v = Normal(stddev);
+  }
+
+  /// A derived seed, useful for forking independent deterministic streams.
+  uint64_t Fork() { return engine_(); }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(static_cast<int64_t>(i)));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace nautilus
+
+#endif  // NAUTILUS_UTIL_RANDOM_H_

@@ -1,0 +1,27 @@
+#ifndef NAUTILUS_UTIL_STOPWATCH_H_
+#define NAUTILUS_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace nautilus {
+
+/// Wall-clock stopwatch for measuring real execution times.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace nautilus
+
+#endif  // NAUTILUS_UTIL_STOPWATCH_H_

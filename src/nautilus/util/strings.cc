@@ -1,0 +1,37 @@
+#include "nautilus/util/strings.h"
+
+#include <cstdio>
+
+namespace nautilus {
+
+std::string HumanBytes(double bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, kUnits[unit]);
+  return buf;
+}
+
+std::string HumanSeconds(double seconds) {
+  char buf[64];
+  if (seconds >= 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f h", seconds / 3600.0);
+  } else if (seconds >= 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f min", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  }
+  return buf;
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace nautilus

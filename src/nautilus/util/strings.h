@@ -1,0 +1,33 @@
+#ifndef NAUTILUS_UTIL_STRINGS_H_
+#define NAUTILUS_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace nautilus {
+
+/// Renders a byte count with a binary-unit suffix, e.g. "1.50 GiB".
+std::string HumanBytes(double bytes);
+
+/// Renders a second count as e.g. "2.4 min" or "13.1 s".
+std::string HumanSeconds(double seconds);
+
+/// Joins elements with `sep` using operator<<.
+template <typename T>
+std::string Join(const std::vector<T>& items, const std::string& sep) {
+  std::ostringstream os;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) os << sep;
+    os << items[i];
+  }
+  return os.str();
+}
+
+/// Fixed-precision double formatting (std::to_string prints 6 digits always).
+std::string FormatDouble(double v, int precision);
+
+}  // namespace nautilus
+
+#endif  // NAUTILUS_UTIL_STRINGS_H_

@@ -1,0 +1,159 @@
+#include "nautilus/workloads/definitions.h"
+
+#include "nautilus/util/logging.h"
+
+namespace nautilus {
+namespace workloads {
+
+namespace {
+
+constexpr int64_t kBatchSizes[] = {16, 32};
+constexpr double kLearningRates[] = {5e-5, 3e-5, 2e-5};
+constexpr int64_t kNumClasses = 4;  // NER-style tag set / image classes
+
+struct GridCallback {
+  core::Workload* workload;
+};
+
+// Expands the common {batch} x {lr} grid for one architecture variant.
+template <typename BuildFn>
+void ExpandGrid(core::Workload* workload, const std::vector<int64_t>& epochs,
+                BuildFn&& build) {
+  for (int64_t batch : kBatchSizes) {
+    for (double lr : kLearningRates) {
+      for (int64_t e : epochs) {
+        core::Hyperparams hp;
+        hp.batch_size = batch;
+        hp.learning_rate = lr;
+        hp.epochs = e;
+        workload->emplace_back(build(workload->size()), hp);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const char* WorkloadName(WorkloadId id) {
+  switch (id) {
+    case WorkloadId::kFtr1:
+      return "FTR-1";
+    case WorkloadId::kFtr2:
+      return "FTR-2";
+    case WorkloadId::kFtr3:
+      return "FTR-3";
+    case WorkloadId::kAtr:
+      return "ATR";
+    case WorkloadId::kFtu:
+      return "FTU";
+  }
+  return "?";
+}
+
+std::vector<WorkloadId> AllWorkloads() {
+  return {WorkloadId::kFtr1, WorkloadId::kFtr2, WorkloadId::kFtr3,
+          WorkloadId::kAtr, WorkloadId::kFtu};
+}
+
+BuiltWorkload BuildWorkload(WorkloadId id, Scale scale, uint64_t seed) {
+  BuiltWorkload built;
+  built.id = id;
+  built.name = WorkloadName(id);
+  const bool paper = scale == Scale::kPaper;
+  const std::vector<int64_t> epochs =
+      paper ? std::vector<int64_t>{5} : std::vector<int64_t>{2};
+  const std::vector<int64_t> epochs_ftr3 =
+      paper ? std::vector<int64_t>{5, 10} : std::vector<int64_t>{2, 3};
+
+  const zoo::BertConfig bert_cfg =
+      paper ? zoo::BertConfig::PaperScale() : zoo::BertConfig::MiniScale();
+  const zoo::ResNetConfig resnet_cfg = paper
+                                           ? zoo::ResNetConfig::PaperScale()
+                                           : zoo::ResNetConfig::MiniScale();
+
+  switch (id) {
+    case WorkloadId::kFtr1:
+    case WorkloadId::kFtr2:
+    case WorkloadId::kFtr3: {
+      built.bert = std::make_shared<zoo::BertLikeModel>(bert_cfg, seed);
+      std::vector<zoo::BertFeature> features;
+      if (id == WorkloadId::kFtr1) {
+        features = {zoo::BertFeature::kEmbedding,
+                    zoo::BertFeature::kSecondLastHidden,
+                    zoo::BertFeature::kLastHidden,
+                    zoo::BertFeature::kSumLast4,
+                    zoo::BertFeature::kConcatLast4,
+                    zoo::BertFeature::kSumAllHidden};
+        built.description =
+            "feature transfer from {embedding, 2nd-last, last, sum-last-4, "
+            "concat-last-4, sum-all}";
+      } else if (id == WorkloadId::kFtr2) {
+        features = {zoo::BertFeature::kSecondLastHidden,
+                    zoo::BertFeature::kLastHidden,
+                    zoo::BertFeature::kSumLast4,
+                    zoo::BertFeature::kConcatLast4};
+        built.description =
+            "feature transfer from {2nd-last, last, sum-last-4, "
+            "concat-last-4}";
+      } else {
+        features = {zoo::BertFeature::kConcatLast4};
+        built.description = "feature transfer from {concat-last-4}";
+      }
+      for (zoo::BertFeature feature : features) {
+        ExpandGrid(&built.workload,
+                   id == WorkloadId::kFtr3 ? epochs_ftr3 : epochs,
+                   [&](size_t index) {
+                     return zoo::BuildBertFeatureTransferModel(
+                         *built.bert, feature, kNumClasses,
+                         std::string(built.name) + "_m" +
+                             std::to_string(index),
+                         seed + 1000 + index);
+                   });
+      }
+      break;
+    }
+    case WorkloadId::kAtr: {
+      built.bert = std::make_shared<zoo::BertLikeModel>(bert_cfg, seed);
+      built.description = "adapters on last {1, 2, 3, 4} blocks";
+      for (int64_t adapted : {1, 2, 3, 4}) {
+        ExpandGrid(&built.workload, epochs, [&](size_t index) {
+          return zoo::BuildBertAdapterModel(
+              *built.bert, adapted, kNumClasses,
+              std::string(built.name) + "_m" + std::to_string(index),
+              seed + 2000 + index);
+        });
+      }
+      break;
+    }
+    case WorkloadId::kFtu: {
+      built.resnet =
+          std::make_shared<zoo::ResNetLikeModel>(resnet_cfg, seed);
+      const int64_t total = built.resnet->config().TotalBlocks();
+      std::vector<int64_t> depths;
+      if (paper) {
+        depths = {3, 6, 9, 12};  // of 16 blocks, as in the paper
+      } else {
+        // Proportional depths for the 4-block mini model.
+        depths = {1, 2, 3, 4};
+      }
+      built.description = "fine-tune last {" +
+                          std::to_string(depths[0]) + ".." +
+                          std::to_string(depths.back()) +
+                          "} residual blocks";
+      for (int64_t depth : depths) {
+        NAUTILUS_CHECK_LE(depth, total);
+        ExpandGrid(&built.workload, epochs, [&](size_t index) {
+          return zoo::BuildResNetFineTuneModel(
+              *built.resnet, depth, /*num_classes=*/2,
+              std::string(built.name) + "_m" + std::to_string(index),
+              seed + 3000 + index);
+        });
+      }
+      break;
+    }
+  }
+  return built;
+}
+
+}  // namespace workloads
+}  // namespace nautilus

@@ -1,0 +1,55 @@
+#ifndef NAUTILUS_WORKLOADS_DEFINITIONS_H_
+#define NAUTILUS_WORKLOADS_DEFINITIONS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nautilus/core/candidate.h"
+#include "nautilus/zoo/bert_like.h"
+#include "nautilus/zoo/resnet_like.h"
+
+namespace nautilus {
+namespace workloads {
+
+/// The five end-to-end workloads of Table 3.
+enum class WorkloadId { kFtr1, kFtr2, kFtr3, kAtr, kFtu };
+
+const char* WorkloadName(WorkloadId id);
+std::vector<WorkloadId> AllWorkloads();
+
+/// Model scale: paper-scale profiles (BERT-base / ResNet-50; profile-only
+/// stub weights, for the simulated executor) or mini scale (CPU-trainable,
+/// for measured runs and the accuracy experiments).
+enum class Scale { kPaper, kMini };
+
+/// A constructed workload plus the shared pretrained sources that its
+/// candidate graphs reference (kept alive here).
+struct BuiltWorkload {
+  WorkloadId id = WorkloadId::kFtr1;
+  std::string name;
+  std::string description;  // Table 3 "tuning parameters" summary
+  core::Workload workload;
+  std::shared_ptr<zoo::BertLikeModel> bert;
+  std::shared_ptr<zoo::ResNetLikeModel> resnet;
+};
+
+/// Builds one of the Table 3 workloads.
+///
+/// Grids follow the paper exactly: batch sizes {16, 32}, learning rates
+/// {5, 3, 2}e-5, epochs {5} ({5, 10} for FTR-3):
+///   FTR-1: 6 feature-transfer strategies        -> 36 models
+///   FTR-2: 4 strategies                         -> 24 models
+///   FTR-3: concat-last-4 only, epochs {5, 10}   -> 12 models
+///   ATR:   adapters on last {1, 2, 3, 4} blocks -> 24 models
+///   FTU:   fine-tune last {3, 6, 9, 12} residual blocks of the
+///          ResNet-50-like model                 -> 24 models
+/// At mini scale the FTU freeze depths shrink proportionally to the smaller
+/// block count and epochs drop to {2} ({2, 3} for FTR-3) so real CPU
+/// training stays tractable; the grid sizes are unchanged.
+BuiltWorkload BuildWorkload(WorkloadId id, Scale scale, uint64_t seed);
+
+}  // namespace workloads
+}  // namespace nautilus
+
+#endif  // NAUTILUS_WORKLOADS_DEFINITIONS_H_

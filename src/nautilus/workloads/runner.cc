@@ -1,0 +1,245 @@
+#include "nautilus/workloads/runner.h"
+
+#include <algorithm>
+
+#include "nautilus/core/planner.h"
+#include "nautilus/core/profile.h"
+#include "nautilus/storage/checkpoint_store.h"
+#include "nautilus/util/logging.h"
+#include "nautilus/util/stopwatch.h"
+
+namespace nautilus {
+namespace workloads {
+
+const char* ApproachName(Approach approach) {
+  switch (approach) {
+    case Approach::kCurrentPractice:
+      return "Current Practice";
+    case Approach::kMatAll:
+      return "MAT-ALL";
+    case Approach::kNautilus:
+      return "Nautilus";
+    case Approach::kMatOnly:
+      return "Nautilus w/o FUSE OPT";
+    case Approach::kFuseOnly:
+      return "Nautilus w/o MAT OPT";
+  }
+  return "?";
+}
+
+core::ModelSelectionOptions ApproachOptions(Approach approach) {
+  core::ModelSelectionOptions options;
+  switch (approach) {
+    case Approach::kCurrentPractice:
+      options.materialization = core::MaterializationMode::kNone;
+      options.fusion = false;
+      options.full_checkpoints = true;
+      break;
+    case Approach::kMatAll:
+      options.materialization = core::MaterializationMode::kAll;
+      options.fusion = false;
+      break;
+    case Approach::kNautilus:
+      options.materialization = core::MaterializationMode::kOptimized;
+      options.fusion = true;
+      break;
+    case Approach::kMatOnly:
+      options.materialization = core::MaterializationMode::kOptimized;
+      options.fusion = false;
+      break;
+    case Approach::kFuseOnly:
+      options.materialization = core::MaterializationMode::kNone;
+      options.fusion = true;
+      break;
+  }
+  return options;
+}
+
+namespace {
+
+// Per-model framework initialization charge used by the simulated runner
+// (graph construction + initialized-checkpoint write).
+double InitCheckpointSeconds(const core::Workload& workload,
+                             const core::SystemConfig& config) {
+  double seconds = 0.0;
+  for (const core::Candidate& candidate : workload) {
+    seconds += config.per_model_setup_seconds;
+    seconds += config.LoadSeconds(storage::CheckpointStore::EstimateBytes(
+        candidate.model, /*include_frozen=*/true));
+  }
+  return seconds;
+}
+
+// Simulated profiling cost: one forward trace per model.
+double ProfileSeconds(const core::Workload& workload) {
+  return 1.0 * static_cast<double>(workload.size());
+}
+
+double GroupCheckpointBytes(const core::ExecutionGroup& group,
+                            const core::Workload& workload,
+                            bool full_checkpoints) {
+  if (!full_checkpoints) return group.ParamBytes();
+  double bytes = 0.0;
+  for (const core::PlanBranch& branch : group.branches) {
+    bytes += storage::CheckpointStore::EstimateBytes(
+        workload[static_cast<size_t>(branch.model_index)].model,
+        /*include_frozen=*/true);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+SimulatedRun SimulateRun(const BuiltWorkload& built, Approach approach,
+                         const core::SystemConfig& config,
+                         const RunParams& params) {
+  const core::ModelSelectionOptions options = ApproachOptions(approach);
+  SimulatedRun run;
+  run.workload = built.name;
+  run.approach = ApproachName(approach);
+  run.theoretical_speedup = core::TheoreticalSpeedup(built.workload, config);
+
+  // ---- Initialization.
+  run.init_checkpoint_seconds = InitCheckpointSeconds(built.workload, config);
+  core::MultiModelGraph mm(&built.workload, config);
+
+  Stopwatch optimize_watch;
+  core::PlannedWorkload plan = core::PlanWorkload(
+      mm, options.materialization, options.fusion, config);
+  const core::MaterializationChoice& choice = plan.choice;
+  const core::FusionOutcome& fusion = plan.fusion;
+  run.init_optimize_seconds = optimize_watch.ElapsedSeconds();
+
+  run.num_groups = static_cast<int>(fusion.groups.size());
+  for (size_t u = 0; u < choice.materialize.size(); ++u) {
+    if (choice.materialize[u]) {
+      ++run.num_materialized_units;
+      run.storage_bytes +=
+          mm.units()[u].disk_bytes *
+          static_cast<double>(config.expected_max_records);
+    }
+  }
+
+  const bool is_nautilus_like =
+      approach != Approach::kCurrentPractice;
+  if (is_nautilus_like) {
+    run.init_profile_seconds = ProfileSeconds(built.workload);
+    // Plan checkpoint generation: read original checkpoints, write one
+    // rewritten checkpoint per group (pruned graphs).
+    double read_bytes = 0.0;
+    for (const core::Candidate& candidate : built.workload) {
+      read_bytes += storage::CheckpointStore::EstimateBytes(
+          candidate.model, /*include_frozen=*/true);
+    }
+    double write_bytes = 0.0;
+    for (const core::ExecutionGroup& group : fusion.groups) {
+      write_bytes += group.ParamBytes();
+    }
+    run.init_plan_gen_seconds =
+        config.LoadSeconds(read_bytes + write_bytes);
+    run.bytes_read += read_bytes;
+    run.bytes_written += write_bytes;
+  }
+  run.init_seconds = run.init_checkpoint_seconds + run.init_profile_seconds +
+                     run.init_optimize_seconds + run.init_plan_gen_seconds;
+
+  // ---- Model-selection cycles.
+  const int64_t per_cycle = params.records_per_cycle;
+  const int64_t train_per_cycle = static_cast<int64_t>(
+      static_cast<double>(per_cycle) * params.train_fraction);
+  const int64_t valid_per_cycle = per_cycle - train_per_cycle;
+  for (int cycle = 0; cycle < params.cycles; ++cycle) {
+    core::SimCosts cycle_costs;
+    cycle_costs += core::SimulateMaterialization(mm, choice.materialize,
+                                                 per_cycle, config);
+    const int64_t train_total =
+        train_per_cycle * static_cast<int64_t>(cycle + 1);
+    const int64_t valid_total =
+        valid_per_cycle * static_cast<int64_t>(cycle + 1);
+    double working_set = 0.0;  // bytes the cycle's reads touch once
+    for (const core::ExecutionGroup& group : fusion.groups) {
+      const double ckpt_bytes = GroupCheckpointBytes(
+          group, built.workload, options.full_checkpoints);
+      cycle_costs += core::SimulateGroupTraining(group, train_total,
+                                                 valid_total, ckpt_bytes,
+                                                 config);
+      working_set += group.LoadBytesPerRecordEpoch() *
+                         static_cast<double>(train_total + valid_total) +
+                     ckpt_bytes;
+    }
+    // Page-cache model (the Materializer relies on the OS cache,
+    // Section 3): when the cycle's read working set plus its write traffic
+    // fits in the cache, re-reads are free — only cold first-touch bytes
+    // hit the disk. Current Practice's checkpoint churn blows the cache,
+    // making every logical read physical.
+    const double pressure = working_set + cycle_costs.bytes_written;
+    if (pressure <= config.page_cache_bytes) {
+      const double physical = cycle == 0 ? working_set : 0.0;
+      cycle_costs.bytes_read = physical;
+      cycle_costs.read_seconds = config.LoadSeconds(physical);
+    }
+    run.cycle_seconds.push_back(cycle_costs.total_seconds());
+    run.compute_seconds += cycle_costs.compute_seconds;
+    run.bytes_read += cycle_costs.bytes_read;
+    run.bytes_written += cycle_costs.bytes_written;
+  }
+
+  run.total_seconds = run.init_seconds;
+  for (double s : run.cycle_seconds) run.total_seconds += s;
+  run.utilization = run.compute_seconds / run.total_seconds;
+  return run;
+}
+
+data::LabeledDataset MakePoolFor(const BuiltWorkload& built, int64_t records,
+                                 uint64_t seed) {
+  if (built.bert != nullptr) {
+    return data::GenerateTextPool(*built.bert, records, /*num_classes=*/4,
+                                  seed);
+  }
+  NAUTILUS_CHECK(built.resnet != nullptr);
+  return data::GenerateImagePool(built.resnet->config(), records,
+                                 /*num_classes=*/2, seed);
+}
+
+MeasuredRun MeasureRun(const BuiltWorkload& built, Approach approach,
+                       const core::SystemConfig& config,
+                       const RunParams& params,
+                       const data::LabeledDataset& pool,
+                       const std::string& work_dir, uint64_t seed) {
+  MeasuredRun run;
+  run.workload = built.name;
+  run.approach = ApproachName(approach);
+
+  core::ModelSelectionOptions options = ApproachOptions(approach);
+  options.seed = seed;
+  // Candidate graphs reference shared pretrained layers whose trainable
+  // clones are re-initialized per cycle by ModelSelection; copying the
+  // workload vector is intentional (graphs share layer instances).
+  core::ModelSelection selection(built.workload, config, work_dir, options);
+  run.init_seconds = selection.init_seconds();
+
+  data::LabelingSimulator simulator(pool, params.records_per_cycle,
+                                    params.train_fraction);
+  double cumulative = run.init_seconds;
+  for (int cycle = 0; cycle < params.cycles; ++cycle) {
+    NAUTILUS_CHECK(simulator.HasNextCycle())
+        << "pool too small for " << params.cycles << " cycles";
+    auto batch = simulator.NextCycle();
+    core::FitResult result = selection.Fit(batch.train, batch.valid);
+    MeasuredCycle mc;
+    mc.cycle = cycle;
+    mc.cycle_seconds = result.seconds_total;
+    cumulative += result.seconds_total;
+    mc.cumulative_seconds = cumulative;
+    mc.best_accuracy = result.best_accuracy;
+    mc.best_model = result.best_model;
+    run.cycles.push_back(mc);
+  }
+  run.total_seconds = cumulative;
+  run.bytes_read = selection.io_stats().bytes_read();
+  run.bytes_written = selection.io_stats().bytes_written();
+  return run;
+}
+
+}  // namespace workloads
+}  // namespace nautilus

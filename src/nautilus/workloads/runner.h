@@ -1,0 +1,97 @@
+#ifndef NAUTILUS_WORKLOADS_RUNNER_H_
+#define NAUTILUS_WORKLOADS_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "nautilus/core/model_selection.h"
+#include "nautilus/core/simulator.h"
+#include "nautilus/data/synthetic.h"
+#include "nautilus/workloads/definitions.h"
+
+namespace nautilus {
+namespace workloads {
+
+/// The execution approaches compared in Section 5.
+enum class Approach {
+  kCurrentPractice,  // naive baseline: no reuse, full checkpoints
+  kMatAll,           // materialize everything, always load (strong baseline)
+  kNautilus,         // both optimizations (optimizer-picked plan)
+  kMatOnly,          // Nautilus w/o FUSE OPT (Figures 8-10)
+  kFuseOnly,         // Nautilus w/o MAT OPT
+};
+
+const char* ApproachName(Approach approach);
+core::ModelSelectionOptions ApproachOptions(Approach approach);
+
+/// Data-labeling cadence (paper: 10 cycles x 500 records, 400/100 split).
+struct RunParams {
+  int cycles = 10;
+  int64_t records_per_cycle = 500;
+  double train_fraction = 0.8;
+};
+
+/// Result of a paper-scale simulated end-to-end run: the optimizer runs for
+/// real on the real profiles; training/I/O time comes from the cost model.
+struct SimulatedRun {
+  std::string workload;
+  std::string approach;
+  // Initialization breakdown (Figure 6(B) discussion).
+  double init_checkpoint_seconds = 0.0;
+  double init_profile_seconds = 0.0;
+  double init_optimize_seconds = 0.0;  // measured wall time of our optimizer
+  double init_plan_gen_seconds = 0.0;
+  double init_seconds = 0.0;
+  std::vector<double> cycle_seconds;
+  double total_seconds = 0.0;   // init + all cycles
+  double compute_seconds = 0.0;
+  double bytes_read = 0.0;
+  double bytes_written = 0.0;
+  double utilization = 0.0;  // compute / total (GPU-utilization analogue)
+  double storage_bytes = 0.0;
+  int num_groups = 0;
+  int num_materialized_units = 0;
+  double theoretical_speedup = 0.0;  // Equation 11 (per workload)
+};
+
+SimulatedRun SimulateRun(const BuiltWorkload& built, Approach approach,
+                         const core::SystemConfig& config,
+                         const RunParams& params);
+
+/// One measured (real training) cycle at mini scale.
+struct MeasuredCycle {
+  int cycle = 0;
+  double cycle_seconds = 0.0;
+  double cumulative_seconds = 0.0;
+  float best_accuracy = 0.0f;
+  int best_model = -1;
+};
+
+struct MeasuredRun {
+  std::string workload;
+  std::string approach;
+  double init_seconds = 0.0;
+  std::vector<MeasuredCycle> cycles;
+  double total_seconds = 0.0;
+  int64_t bytes_read = 0;
+  int64_t bytes_written = 0;
+};
+
+/// Runs a mini-scale workload end to end with real CPU training. The pool
+/// must hold at least cycles * records_per_cycle records with inputs
+/// matching the workload's source model.
+MeasuredRun MeasureRun(const BuiltWorkload& built, Approach approach,
+                       const core::SystemConfig& config,
+                       const RunParams& params,
+                       const data::LabeledDataset& pool,
+                       const std::string& work_dir, uint64_t seed = 42);
+
+/// Generates an appropriate labeled pool for a workload (text pool for the
+/// BERT-based workloads, image pool for FTU).
+data::LabeledDataset MakePoolFor(const BuiltWorkload& built, int64_t records,
+                                 uint64_t seed);
+
+}  // namespace workloads
+}  // namespace nautilus
+
+#endif  // NAUTILUS_WORKLOADS_RUNNER_H_

@@ -1,0 +1,232 @@
+#include "nautilus/zoo/bert_like.h"
+
+#include "nautilus/nn/combine.h"
+#include "nautilus/util/logging.h"
+#include "nautilus/util/random.h"
+
+namespace nautilus {
+namespace zoo {
+
+BertLikeModel::BertLikeModel(const BertConfig& config, uint64_t seed)
+    : config_(config) {
+  Rng rng(seed);
+  input_ = std::make_shared<nn::InputLayer>("tokens",
+                                            Shape({config.seq_len}));
+  embedding_ = std::make_shared<nn::EmbeddingBlockLayer>(
+      "embedding", config.vocab, config.seq_len, config.hidden, &rng);
+  blocks_.reserve(static_cast<size_t>(config.num_blocks));
+  for (int64_t i = 0; i < config.num_blocks; ++i) {
+    blocks_.push_back(std::make_shared<nn::TransformerBlockLayer>(
+        "block" + std::to_string(i), config.hidden, config.heads, config.ffn,
+        &rng));
+  }
+}
+
+graph::ModelGraph BertLikeModel::BuildSourceGraph() const {
+  graph::ModelGraph g("bert_src");
+  int prev = g.AddInput(input_);
+  prev = g.AddNode(embedding_, {prev}, /*frozen=*/true);
+  for (const auto& block : blocks_) {
+    prev = g.AddNode(block, {prev}, /*frozen=*/true);
+  }
+  g.MarkOutput(prev);
+  g.Validate();
+  return g;
+}
+
+const char* BertFeatureName(BertFeature f) {
+  switch (f) {
+    case BertFeature::kEmbedding:
+      return "embedding";
+    case BertFeature::kSecondLastHidden:
+      return "second_last_hidden";
+    case BertFeature::kLastHidden:
+      return "last_hidden";
+    case BertFeature::kSumLast4:
+      return "sum_last_4";
+    case BertFeature::kConcatLast4:
+      return "concat_last_4";
+    case BertFeature::kSumAllHidden:
+      return "sum_all_hidden";
+  }
+  return "?";
+}
+
+namespace {
+
+// Adds the frozen pretrained stack (embedding + all blocks) to `g`, sharing
+// the source layer instances, and returns the node ids: [embedding, block0,
+// block1, ...].
+std::vector<int> AddFrozenStack(const BertLikeModel& source,
+                                graph::ModelGraph* g, int input_id,
+                                int64_t num_blocks) {
+  std::vector<int> ids;
+  int prev = g->AddNode(source.embedding(), {input_id}, /*frozen=*/true);
+  ids.push_back(prev);
+  for (int64_t i = 0; i < num_blocks; ++i) {
+    prev = g->AddNode(source.blocks()[static_cast<size_t>(i)], {prev},
+                      /*frozen=*/true);
+    ids.push_back(prev);
+  }
+  return ids;
+}
+
+// Adds the trainable classification head: SelectToken(0) -> Dense.
+int AddClassifierHead(graph::ModelGraph* g, int features_id, int64_t width,
+                      int64_t num_classes, const std::string& prefix,
+                      Rng* rng) {
+  int cls = g->AddNode(
+      std::make_shared<nn::SelectTokenLayer>(prefix + ".cls", 0),
+      {features_id}, /*frozen=*/false);
+  int logits = g->AddNode(
+      std::make_shared<nn::DenseLayer>(prefix + ".classifier", width,
+                                       num_classes, nn::Activation::kNone,
+                                       rng),
+      {cls}, /*frozen=*/false);
+  return logits;
+}
+
+}  // namespace
+
+graph::ModelGraph BuildBertFeatureTransferModel(const BertLikeModel& source,
+                                                BertFeature feature,
+                                                int64_t num_classes,
+                                                const std::string& name,
+                                                uint64_t seed) {
+  const BertConfig& cfg = source.config();
+  NAUTILUS_CHECK_GE(cfg.num_blocks, 4)
+      << "feature strategies need >= 4 blocks";
+  Rng rng(seed);
+  graph::ModelGraph g(name);
+  const int input_id = g.AddInput(source.input());
+  const std::vector<int> stack =
+      AddFrozenStack(source, &g, input_id, cfg.num_blocks);
+  const int emb_id = stack[0];
+  auto block_id = [&](int64_t i) {  // i-th block, 0-based
+    return stack[static_cast<size_t>(i + 1)];
+  };
+  const int64_t n = cfg.num_blocks;
+
+  int features = -1;
+  int64_t width = cfg.hidden;
+  switch (feature) {
+    case BertFeature::kEmbedding:
+      features = emb_id;
+      break;
+    case BertFeature::kSecondLastHidden:
+      features = block_id(n - 2);
+      break;
+    case BertFeature::kLastHidden:
+      features = block_id(n - 1);
+      break;
+    case BertFeature::kSumLast4: {
+      features = g.AddNode(
+          std::make_shared<nn::AddLayer>(name + ".sum_last4"),
+          {block_id(n - 4), block_id(n - 3), block_id(n - 2), block_id(n - 1)},
+          /*frozen=*/true);
+      break;
+    }
+    case BertFeature::kConcatLast4: {
+      features = g.AddNode(
+          std::make_shared<nn::ConcatLayer>(name + ".concat_last4"),
+          {block_id(n - 4), block_id(n - 3), block_id(n - 2), block_id(n - 1)},
+          /*frozen=*/true);
+      width = 4 * cfg.hidden;
+      break;
+    }
+    case BertFeature::kSumAllHidden: {
+      std::vector<int> parents;
+      for (int64_t i = 0; i < n; ++i) parents.push_back(block_id(i));
+      features =
+          g.AddNode(std::make_shared<nn::AddLayer>(name + ".sum_all"),
+                    std::move(parents), /*frozen=*/true);
+      break;
+    }
+  }
+
+  // New trainable transformer block over the extracted features, as in the
+  // paper's FTR workloads. Wide feature combinations (concat) are first
+  // projected back to the encoder width so the added block stays standard
+  // sized, keeping the trainable compute a small fraction of the frozen
+  // encoder (which is what makes feature transfer FLOPs-light).
+  int block_input = features;
+  if (width != cfg.hidden) {
+    block_input = g.AddNode(
+        std::make_shared<nn::DenseLayer>(name + ".proj", width, cfg.hidden,
+                                         nn::Activation::kGelu, &rng),
+        {features}, /*frozen=*/false);
+  }
+  const int new_block = g.AddNode(
+      std::make_shared<nn::TransformerBlockLayer>(
+          name + ".new_block", cfg.hidden, cfg.heads, cfg.ffn, &rng),
+      {block_input}, /*frozen=*/false);
+  const int logits =
+      AddClassifierHead(&g, new_block, cfg.hidden, num_classes, name, &rng);
+  g.MarkOutput(logits);
+  g.Validate();
+  return g;
+}
+
+graph::ModelGraph BuildBertAdapterModel(const BertLikeModel& source,
+                                        int64_t num_adapted,
+                                        int64_t num_classes,
+                                        const std::string& name,
+                                        uint64_t seed) {
+  const BertConfig& cfg = source.config();
+  NAUTILUS_CHECK_GE(num_adapted, 1);
+  NAUTILUS_CHECK_LE(num_adapted, cfg.num_blocks);
+  Rng rng(seed);
+  graph::ModelGraph g(name);
+  const int input_id = g.AddInput(source.input());
+  int prev = g.AddNode(source.embedding(), {input_id}, /*frozen=*/true);
+  const int64_t first_adapted = cfg.num_blocks - num_adapted;
+  for (int64_t i = 0; i < cfg.num_blocks; ++i) {
+    prev = g.AddNode(source.blocks()[static_cast<size_t>(i)], {prev},
+                     /*frozen=*/true);
+    if (i >= first_adapted) {
+      prev = g.AddNode(
+          std::make_shared<nn::AdapterLayer>(
+              name + ".adapter" + std::to_string(i), cfg.hidden,
+              /*bottleneck=*/std::max<int64_t>(cfg.hidden / 8, 2), &rng),
+          {prev}, /*frozen=*/false);
+    }
+  }
+  const int logits =
+      AddClassifierHead(&g, prev, cfg.hidden, num_classes, name, &rng);
+  g.MarkOutput(logits);
+  g.Validate();
+  return g;
+}
+
+graph::ModelGraph BuildBertFineTuneModel(const BertLikeModel& source,
+                                         int64_t num_unfrozen,
+                                         int64_t num_classes,
+                                         const std::string& name,
+                                         uint64_t seed) {
+  const BertConfig& cfg = source.config();
+  NAUTILUS_CHECK_GE(num_unfrozen, 0);
+  NAUTILUS_CHECK_LE(num_unfrozen, cfg.num_blocks);
+  Rng rng(seed);
+  graph::ModelGraph g(name);
+  const int input_id = g.AddInput(source.input());
+  int prev = g.AddNode(source.embedding(), {input_id}, /*frozen=*/true);
+  const int64_t first_unfrozen = cfg.num_blocks - num_unfrozen;
+  for (int64_t i = 0; i < cfg.num_blocks; ++i) {
+    if (i < first_unfrozen) {
+      prev = g.AddNode(source.blocks()[static_cast<size_t>(i)], {prev},
+                       /*frozen=*/true);
+    } else {
+      // Cloned so this candidate trains its own copy of the weights.
+      prev = g.AddNode(source.blocks()[static_cast<size_t>(i)]->Clone(),
+                       {prev}, /*frozen=*/false);
+    }
+  }
+  const int logits =
+      AddClassifierHead(&g, prev, cfg.hidden, num_classes, name, &rng);
+  g.MarkOutput(logits);
+  g.Validate();
+  return g;
+}
+
+}  // namespace zoo
+}  // namespace nautilus

@@ -1,0 +1,123 @@
+#ifndef NAUTILUS_ZOO_BERT_LIKE_H_
+#define NAUTILUS_ZOO_BERT_LIKE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nautilus/graph/model_graph.h"
+#include "nautilus/nn/basic.h"
+#include "nautilus/nn/transformer.h"
+
+namespace nautilus {
+namespace zoo {
+
+/// Configuration of the BERT-like transformer encoder. PaperScale matches
+/// BERT-base (the source model of the FTR-* and ATR workloads in the paper);
+/// MiniScale/TinyScale are CPU-trainable shrunken versions used for measured
+/// runs and tests.
+struct BertConfig {
+  int64_t vocab = 1000;
+  int64_t seq_len = 16;
+  int64_t hidden = 32;
+  int64_t heads = 4;
+  int64_t ffn = 64;
+  int64_t num_blocks = 4;
+
+  static BertConfig PaperScale() {
+    return {.vocab = 30522,
+            .seq_len = 128,
+            .hidden = 768,
+            .heads = 12,
+            .ffn = 3072,
+            .num_blocks = 12};
+  }
+  static BertConfig MiniScale() {
+    return {.vocab = 500,
+            .seq_len = 12,
+            .hidden = 32,
+            .heads = 4,
+            .ffn = 64,
+            .num_blocks = 4};
+  }
+  static BertConfig TinyScale() {
+    return {.vocab = 50,
+            .seq_len = 6,
+            .hidden = 8,
+            .heads = 2,
+            .ffn = 16,
+            .num_blocks = 4};
+  }
+};
+
+/// A "pretrained" BERT-like encoder: deterministic seeded weights standing
+/// in for a model-hub checkpoint. Holds the shared layer instances that all
+/// candidate models reference, which is what makes their frozen prefixes
+/// identical expressions (Definition 4.3) for the multi-model graph.
+class BertLikeModel {
+ public:
+  BertLikeModel(const BertConfig& config, uint64_t seed);
+
+  const BertConfig& config() const { return config_; }
+  const std::shared_ptr<nn::InputLayer>& input() const { return input_; }
+  const std::shared_ptr<nn::EmbeddingBlockLayer>& embedding() const {
+    return embedding_;
+  }
+  const std::vector<std::shared_ptr<nn::TransformerBlockLayer>>& blocks()
+      const {
+    return blocks_;
+  }
+
+  /// The source graph M_src with every layer frozen.
+  graph::ModelGraph BuildSourceGraph() const;
+
+ private:
+  BertConfig config_;
+  std::shared_ptr<nn::InputLayer> input_;
+  std::shared_ptr<nn::EmbeddingBlockLayer> embedding_;
+  std::vector<std::shared_ptr<nn::TransformerBlockLayer>> blocks_;
+};
+
+/// The six feature-extraction strategies of the paper's FTR-1 workload
+/// (Table 3, following Devlin et al.'s BERT feature-based experiments).
+enum class BertFeature {
+  kEmbedding,
+  kSecondLastHidden,
+  kLastHidden,
+  kSumLast4,
+  kConcatLast4,
+  kSumAllHidden,
+};
+
+const char* BertFeatureName(BertFeature f);
+
+/// Feature transfer (Section 2.4): all source layers frozen; a new trainable
+/// transformer block + [CLS] classifier head on the chosen features.
+graph::ModelGraph BuildBertFeatureTransferModel(const BertLikeModel& source,
+                                                BertFeature feature,
+                                                int64_t num_classes,
+                                                const std::string& name,
+                                                uint64_t seed);
+
+/// Adapter training (Section 2.4): Houlsby-style adapters after each of the
+/// top `num_adapted` blocks; everything pretrained stays frozen.
+graph::ModelGraph BuildBertAdapterModel(const BertLikeModel& source,
+                                        int64_t num_adapted,
+                                        int64_t num_classes,
+                                        const std::string& name,
+                                        uint64_t seed);
+
+/// Fine-tuning (Section 2.4): the top `num_unfrozen` blocks are unfrozen
+/// (cloned so training does not corrupt the shared pretrained weights); a
+/// classifier head is added on the [CLS] position.
+graph::ModelGraph BuildBertFineTuneModel(const BertLikeModel& source,
+                                         int64_t num_unfrozen,
+                                         int64_t num_classes,
+                                         const std::string& name,
+                                         uint64_t seed);
+
+}  // namespace zoo
+}  // namespace nautilus
+
+#endif  // NAUTILUS_ZOO_BERT_LIKE_H_

@@ -1,0 +1,108 @@
+#include "nautilus/zoo/resnet_like.h"
+
+#include "nautilus/nn/basic.h"
+#include "nautilus/util/logging.h"
+#include "nautilus/util/random.h"
+
+namespace nautilus {
+namespace zoo {
+
+ResNetLikeModel::ResNetLikeModel(const ResNetConfig& config, uint64_t seed)
+    : config_(config) {
+  Rng rng(seed);
+  input_ = std::make_shared<nn::InputLayer>(
+      "image",
+      Shape({config.in_channels, config.image_size, config.image_size}));
+  // Stem: strided conv + 2x2 max pool, as in ResNet (7x7 at paper scale is
+  // approximated with a 3x3; the FLOP profile is set by channel counts).
+  stem_ = std::make_shared<nn::ConvBlockLayer>(
+      "stem", config.in_channels, config.stem_channels, /*kernel=*/3,
+      /*stride=*/2, /*padding=*/1, /*relu=*/true, &rng);
+  stem_pool_ = std::make_shared<nn::MaxPoolLayer>("stem_pool", 2);
+
+  int64_t in_ch = config.stem_channels;
+  int block_index = 0;
+  for (size_t stage = 0; stage < config.blocks_per_stage.size(); ++stage) {
+    const int64_t mid = config.stem_channels << stage;
+    const int64_t out = mid * 4;
+    for (int64_t b = 0; b < config.blocks_per_stage[stage]; ++b) {
+      // First block of stages > 0 downsamples spatially.
+      const int64_t stride = (b == 0 && stage > 0) ? 2 : 1;
+      blocks_.push_back(std::make_shared<nn::ResidualBlockLayer>(
+          "res" + std::to_string(block_index++), in_ch, mid, out, stride,
+          &rng));
+      in_ch = out;
+    }
+  }
+  feature_channels_ = in_ch;
+}
+
+graph::ModelGraph ResNetLikeModel::BuildSourceGraph() const {
+  graph::ModelGraph g("resnet_src");
+  int prev = g.AddInput(input_);
+  prev = g.AddNode(stem_, {prev}, /*frozen=*/true);
+  prev = g.AddNode(stem_pool_, {prev}, /*frozen=*/true);
+  for (const auto& block : blocks_) {
+    prev = g.AddNode(block, {prev}, /*frozen=*/true);
+  }
+  g.MarkOutput(prev);
+  g.Validate();
+  return g;
+}
+
+namespace {
+
+int AddResNetHead(graph::ModelGraph* g, int features_id, int64_t channels,
+                  int64_t num_classes, const std::string& prefix, Rng* rng) {
+  int pooled = g->AddNode(
+      std::make_shared<nn::GlobalAvgPoolLayer>(prefix + ".gap"),
+      {features_id}, /*frozen=*/false);
+  return g->AddNode(
+      std::make_shared<nn::DenseLayer>(prefix + ".classifier", channels,
+                                       num_classes, nn::Activation::kNone,
+                                       rng),
+      {pooled}, /*frozen=*/false);
+}
+
+}  // namespace
+
+graph::ModelGraph BuildResNetFineTuneModel(const ResNetLikeModel& source,
+                                           int64_t num_unfrozen,
+                                           int64_t num_classes,
+                                           const std::string& name,
+                                           uint64_t seed) {
+  const int64_t total = source.config().TotalBlocks();
+  NAUTILUS_CHECK_GE(num_unfrozen, 0);
+  NAUTILUS_CHECK_LE(num_unfrozen, total);
+  Rng rng(seed);
+  graph::ModelGraph g(name);
+  int prev = g.AddInput(source.input());
+  prev = g.AddNode(source.stem(), {prev}, /*frozen=*/true);
+  prev = g.AddNode(source.stem_pool(), {prev}, /*frozen=*/true);
+  const int64_t first_unfrozen = total - num_unfrozen;
+  for (int64_t i = 0; i < total; ++i) {
+    if (i < first_unfrozen) {
+      prev = g.AddNode(source.blocks()[static_cast<size_t>(i)], {prev},
+                       /*frozen=*/true);
+    } else {
+      prev = g.AddNode(source.blocks()[static_cast<size_t>(i)]->Clone(),
+                       {prev}, /*frozen=*/false);
+    }
+  }
+  const int logits = AddResNetHead(&g, prev, source.feature_channels(),
+                                   num_classes, name, &rng);
+  g.MarkOutput(logits);
+  g.Validate();
+  return g;
+}
+
+graph::ModelGraph BuildResNetFeatureTransferModel(const ResNetLikeModel& source,
+                                                  int64_t num_classes,
+                                                  const std::string& name,
+                                                  uint64_t seed) {
+  return BuildResNetFineTuneModel(source, /*num_unfrozen=*/0, num_classes,
+                                  name, seed);
+}
+
+}  // namespace zoo
+}  // namespace nautilus

@@ -1,0 +1,93 @@
+#ifndef NAUTILUS_ZOO_RESNET_LIKE_H_
+#define NAUTILUS_ZOO_RESNET_LIKE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nautilus/graph/model_graph.h"
+#include "nautilus/nn/conv.h"
+
+namespace nautilus {
+namespace zoo {
+
+/// Configuration of the ResNet-like residual CNN. PaperScale matches
+/// ResNet-50 (stem + [3,4,6,3] bottleneck blocks), the source model of the
+/// paper's FTU workload on the Malaria dataset, whose thin-blood-smear cell
+/// crops average ~130x130 pixels (we use 128).
+struct ResNetConfig {
+  int64_t in_channels = 3;
+  int64_t image_size = 32;
+  int64_t stem_channels = 8;
+  std::vector<int64_t> blocks_per_stage = {1, 1, 1, 1};
+
+  static ResNetConfig PaperScale() {
+    return {.in_channels = 3,
+            .image_size = 128,
+            .stem_channels = 64,
+            .blocks_per_stage = {3, 4, 6, 3}};
+  }
+  static ResNetConfig MiniScale() {
+    return {.in_channels = 3,
+            .image_size = 16,
+            .stem_channels = 4,
+            .blocks_per_stage = {1, 1, 1, 1}};
+  }
+
+  int64_t TotalBlocks() const {
+    int64_t n = 0;
+    for (int64_t b : blocks_per_stage) n += b;
+    return n;
+  }
+};
+
+/// A "pretrained" ResNet-like CNN with shared stem/block instances, standing
+/// in for a model-zoo ResNet-50 checkpoint.
+class ResNetLikeModel {
+ public:
+  ResNetLikeModel(const ResNetConfig& config, uint64_t seed);
+
+  const ResNetConfig& config() const { return config_; }
+  const std::shared_ptr<nn::InputLayer>& input() const { return input_; }
+  const std::shared_ptr<nn::ConvBlockLayer>& stem() const { return stem_; }
+  const std::shared_ptr<nn::MaxPoolLayer>& stem_pool() const {
+    return stem_pool_;
+  }
+  const std::vector<std::shared_ptr<nn::ResidualBlockLayer>>& blocks() const {
+    return blocks_;
+  }
+  /// Output channels of the final block (the feature width fed to the head).
+  int64_t feature_channels() const { return feature_channels_; }
+
+  graph::ModelGraph BuildSourceGraph() const;
+
+ private:
+  ResNetConfig config_;
+  std::shared_ptr<nn::InputLayer> input_;
+  std::shared_ptr<nn::ConvBlockLayer> stem_;
+  std::shared_ptr<nn::MaxPoolLayer> stem_pool_;
+  std::vector<std::shared_ptr<nn::ResidualBlockLayer>> blocks_;
+  int64_t feature_channels_ = 0;
+};
+
+/// Fine-tuning adaptation (the paper's FTU workload): the top `num_unfrozen`
+/// residual blocks are unfrozen (cloned); a global-average-pool + dense
+/// classifier head is added.
+graph::ModelGraph BuildResNetFineTuneModel(const ResNetLikeModel& source,
+                                           int64_t num_unfrozen,
+                                           int64_t num_classes,
+                                           const std::string& name,
+                                           uint64_t seed);
+
+/// Feature transfer on the CNN: everything frozen, head trained on pooled
+/// features (used by examples and extension tests).
+graph::ModelGraph BuildResNetFeatureTransferModel(const ResNetLikeModel& source,
+                                                  int64_t num_classes,
+                                                  const std::string& name,
+                                                  uint64_t seed);
+
+}  // namespace zoo
+}  // namespace nautilus
+
+#endif  // NAUTILUS_ZOO_RESNET_LIKE_H_

@@ -1,0 +1,96 @@
+#include "nautilus/zoo/rnn_like.h"
+
+#include "nautilus/nn/basic.h"
+#include "nautilus/nn/combine.h"
+#include "nautilus/util/random.h"
+
+namespace nautilus {
+namespace zoo {
+
+RnnLikeModel::RnnLikeModel(const RnnConfig& config, uint64_t seed)
+    : config_(config) {
+  Rng rng(seed);
+  input_ = std::make_shared<nn::InputLayer>("rnn_tokens",
+                                            Shape({config.seq_len}));
+  embedding_ = std::make_shared<nn::EmbeddingBlockLayer>(
+      "rnn_embedding", config.vocab, config.seq_len, config.embed_dim, &rng);
+  cell_ = std::make_shared<nn::RnnCellLayer>("rnn_cell", config.embed_dim,
+                                             config.hidden, &rng);
+  h0_ = std::make_shared<nn::ZeroStateLayer>("rnn_h0", config.hidden);
+  for (int64_t t = 0; t < config.seq_len; ++t) {
+    selectors_.push_back(std::make_shared<nn::SelectTokenLayer>(
+        "rnn_x" + std::to_string(t), t));
+  }
+}
+
+namespace {
+
+// Unrolls the shared cell over the embedded sequence; returns the node id
+// of the final hidden state. All added nodes are frozen iff `frozen_cell`.
+int UnrollChain(const RnnLikeModel& source, graph::ModelGraph* g,
+                int input_id, const nn::LayerPtr& cell, bool frozen_cell) {
+  const RnnConfig& cfg = source.config();
+  const int emb =
+      g->AddNode(source.embedding(), {input_id}, /*frozen=*/true);
+  // Shared scaffolding instances keep the unrolled expressions identical
+  // across candidate models (Definition 4.3), so the chain merges.
+  int h = g->AddNode(source.h0(), {emb}, /*frozen=*/true);
+  for (int64_t t = 0; t < cfg.seq_len; ++t) {
+    const int xt = g->AddNode(source.selectors()[static_cast<size_t>(t)],
+                              {emb}, /*frozen=*/true);
+    h = g->AddNode(cell, {xt, h}, frozen_cell);
+  }
+  return h;
+}
+
+}  // namespace
+
+graph::ModelGraph RnnLikeModel::BuildSourceGraph() const {
+  graph::ModelGraph g("rnn_src");
+  const int input_id = g.AddInput(input_);
+  const int h = UnrollChain(*this, &g, input_id, cell_, /*frozen_cell=*/true);
+  g.MarkOutput(h);
+  g.Validate();
+  return g;
+}
+
+graph::ModelGraph BuildRnnFeatureTransferModel(const RnnLikeModel& source,
+                                               int64_t num_classes,
+                                               const std::string& name,
+                                               uint64_t seed) {
+  Rng rng(seed);
+  graph::ModelGraph g(name);
+  const int input_id = g.AddInput(source.input());
+  const int h = UnrollChain(source, &g, input_id, source.cell(),
+                            /*frozen_cell=*/true);
+  const int logits = g.AddNode(
+      std::make_shared<nn::DenseLayer>(name + ".classifier",
+                                       source.config().hidden, num_classes,
+                                       nn::Activation::kNone, &rng),
+      {h}, /*frozen=*/false);
+  g.MarkOutput(logits);
+  g.Validate();
+  return g;
+}
+
+graph::ModelGraph BuildRnnFineTuneModel(const RnnLikeModel& source,
+                                        int64_t num_classes,
+                                        const std::string& name,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  graph::ModelGraph g(name);
+  const int input_id = g.AddInput(source.input());
+  const int h = UnrollChain(source, &g, input_id, source.cell()->Clone(),
+                            /*frozen_cell=*/false);
+  const int logits = g.AddNode(
+      std::make_shared<nn::DenseLayer>(name + ".classifier",
+                                       source.config().hidden, num_classes,
+                                       nn::Activation::kNone, &rng),
+      {h}, /*frozen=*/false);
+  g.MarkOutput(logits);
+  g.Validate();
+  return g;
+}
+
+}  // namespace zoo
+}  // namespace nautilus

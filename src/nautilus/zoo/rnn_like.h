@@ -1,0 +1,87 @@
+#ifndef NAUTILUS_ZOO_RNN_LIKE_H_
+#define NAUTILUS_ZOO_RNN_LIKE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include <vector>
+
+#include "nautilus/graph/model_graph.h"
+#include "nautilus/nn/combine.h"
+#include "nautilus/nn/recurrent.h"
+#include "nautilus/nn/transformer.h"
+
+namespace nautilus {
+namespace zoo {
+
+/// Configuration of a small recurrent encoder. Recurrent models fall
+/// outside the paper's DAG formalization; Section 2.5 states Nautilus
+/// "can support recurrent models by unraveling them in time" — this zoo
+/// entry implements that unrolling, producing a DAG with one shared-cell
+/// node per timestep.
+struct RnnConfig {
+  int64_t vocab = 200;
+  int64_t seq_len = 8;
+  int64_t embed_dim = 16;
+  int64_t hidden = 24;
+
+  static RnnConfig MiniScale() { return {}; }
+  static RnnConfig TinyScale() {
+    return {.vocab = 40, .seq_len = 5, .embed_dim = 6, .hidden = 8};
+  }
+};
+
+/// A "pretrained" recurrent encoder: embedding block + one Elman cell,
+/// shared across all timesteps and all candidate models.
+class RnnLikeModel {
+ public:
+  RnnLikeModel(const RnnConfig& config, uint64_t seed);
+
+  const RnnConfig& config() const { return config_; }
+  const std::shared_ptr<nn::InputLayer>& input() const { return input_; }
+  const std::shared_ptr<nn::EmbeddingBlockLayer>& embedding() const {
+    return embedding_;
+  }
+  const std::shared_ptr<nn::RnnCellLayer>& cell() const { return cell_; }
+  /// Shared unrolling scaffolding (timestep selectors and h_0): the same
+  /// instances across all candidates, so unrolled chains merge in the
+  /// multi-model graph.
+  const std::shared_ptr<nn::ZeroStateLayer>& h0() const { return h0_; }
+  const std::vector<std::shared_ptr<nn::SelectTokenLayer>>& selectors() const {
+    return selectors_;
+  }
+
+  /// The unrolled source DAG (all layers frozen): one cell application per
+  /// timestep, ending at the final hidden state.
+  graph::ModelGraph BuildSourceGraph() const;
+
+ private:
+  RnnConfig config_;
+  std::shared_ptr<nn::InputLayer> input_;
+  std::shared_ptr<nn::EmbeddingBlockLayer> embedding_;
+  std::shared_ptr<nn::RnnCellLayer> cell_;
+  std::shared_ptr<nn::ZeroStateLayer> h0_;
+  std::vector<std::shared_ptr<nn::SelectTokenLayer>> selectors_;
+};
+
+/// Feature transfer over the unrolled recurrent encoder: the frozen cell
+/// chain is materializable end to end (its final hidden state is a prime
+/// materialization candidate); a trainable classifier head is added.
+graph::ModelGraph BuildRnnFeatureTransferModel(const RnnLikeModel& source,
+                                               int64_t num_classes,
+                                               const std::string& name,
+                                               uint64_t seed);
+
+/// Fine-tuning variant: the cell is cloned and unfrozen — because every
+/// timestep shares it, the whole unrolled chain becomes trainable and
+/// nothing beyond the embedding remains materializable.
+graph::ModelGraph BuildRnnFineTuneModel(const RnnLikeModel& source,
+                                        int64_t num_classes,
+                                        const std::string& name,
+                                        uint64_t seed);
+
+}  // namespace zoo
+}  // namespace nautilus
+
+#endif  // NAUTILUS_ZOO_RNN_LIKE_H_

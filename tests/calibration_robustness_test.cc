@@ -1,0 +1,124 @@
+// Hardware calibration, DOT export, and storage fault-handling tests.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "nautilus/core/calibration.h"
+#include "nautilus/storage/tensor_store.h"
+#include "nautilus/zoo/bert_like.h"
+
+namespace nautilus {
+namespace {
+
+TEST(CalibrationTest, MeasuresPositiveThroughputs) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "nautilus_calibration";
+  std::filesystem::remove_all(dir);
+  core::CalibrationResult result =
+      core::MeasureHardware(dir.string(), /*probe_seconds=*/0.05);
+  // Any real machine computes at least 10 MFLOP/s and moves 1 MB/s.
+  EXPECT_GT(result.flops_per_second, 1e7);
+  EXPECT_LT(result.flops_per_second, 1e15);
+  EXPECT_GT(result.disk_write_bytes_per_second, 1e6);
+  EXPECT_GT(result.disk_read_bytes_per_second, 1e6);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CalibrationTest, CalibrateConfigOverridesThroughputFields) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "nautilus_calibration2";
+  std::filesystem::remove_all(dir);
+  core::SystemConfig base;
+  base.disk_budget_bytes = 123.0;
+  core::SystemConfig tuned =
+      core::CalibrateConfig(base, dir.string(), 0.05);
+  EXPECT_GT(tuned.flops_per_second, 0.0);
+  EXPECT_GT(tuned.disk_bytes_per_second, 0.0);
+  EXPECT_DOUBLE_EQ(tuned.disk_budget_bytes, 123.0);  // budgets untouched
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DotExportTest, ContainsEveryNodeAndEdge) {
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 1);
+  graph::ModelGraph m = zoo::BuildBertFeatureTransferModel(
+      source, zoo::BertFeature::kSumLast4, 3, "dot_m", 5);
+  const std::string dot = m.ToDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  for (const auto& node : m.nodes()) {
+    EXPECT_NE(dot.find("n" + std::to_string(node.id) + " [label="),
+              std::string::npos)
+        << "missing node " << node.id;
+  }
+  // Frozen nodes render grey, trainable ones yellow.
+  EXPECT_NE(dot.find("lightgrey"), std::string::npos);
+  EXPECT_NE(dot.find("lightyellow"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+}
+
+class StoreFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "nautilus_store_fault";
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(StoreFaultTest, BadMagicRejected) {
+  storage::IoStats stats;
+  storage::TensorStore store(dir_.string(), &stats);
+  ASSERT_TRUE(store.Put("t", Tensor(Shape({2, 2}))).ok());
+  // Corrupt the magic number.
+  {
+    std::fstream f(dir_ / "t.tns",
+                   std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.good());
+    const char junk[8] = {0, 1, 2, 3, 4, 5, 6, 7};
+    f.write(junk, 8);
+  }
+  auto result = store.Get("t");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(StoreFaultTest, TruncatedDataRejected) {
+  storage::IoStats stats;
+  storage::TensorStore store(dir_.string(), &stats);
+  ASSERT_TRUE(store.Put("t", Tensor(Shape({64, 64}))).ok());
+  std::filesystem::resize_file(dir_ / "t.tns", 64);
+  auto result = store.Get("t");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(StoreFaultTest, AbsurdRankRejected) {
+  // Hand-craft a header with rank 99.
+  {
+    std::ofstream f(dir_ / "t.tns", std::ios::binary);
+    const int64_t magic = 0x4e41555431000001;
+    const int64_t rank = 99;
+    f.write(reinterpret_cast<const char*>(&magic), 8);
+    f.write(reinterpret_cast<const char*>(&rank), 8);
+  }
+  storage::IoStats stats;
+  storage::TensorStore store(dir_.string(), &stats);
+  auto result = store.Get("t");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(StoreFaultTest, KeySanitizationKeepsKeysDistinctFiles) {
+  storage::IoStats stats;
+  storage::TensorStore store(dir_.string(), &stats);
+  ASSERT_TRUE(store.Put("a/b", Tensor(Shape({1}), {1.0f})).ok());
+  ASSERT_TRUE(store.Put("a:b", Tensor(Shape({1}), {2.0f})).ok());
+  // Both sanitize to a_b: last write wins on the same file; the store must
+  // at least not crash and must return the latest value.
+  auto v = store.Get("a/b");
+  ASSERT_TRUE(v.ok());
+  EXPECT_FLOAT_EQ(v->at(0), 2.0f);
+}
+
+}  // namespace
+}  // namespace nautilus

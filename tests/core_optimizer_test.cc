@@ -1,0 +1,328 @@
+// Tests for the multi-model graph, materialization optimizer (including the
+// structured-B&B vs MILP cross-check), memory estimator, and fusion.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "nautilus/core/fusion.h"
+#include "nautilus/core/materialization.h"
+#include "nautilus/core/memory_estimator.h"
+#include "nautilus/core/multi_model.h"
+#include "nautilus/core/profile.h"
+#include "nautilus/zoo/bert_like.h"
+
+namespace nautilus {
+namespace core {
+namespace {
+
+SystemConfig TestConfig() {
+  SystemConfig config;
+  config.expected_max_records = 1000;
+  config.disk_budget_bytes = 10.0 * (1 << 20);
+  config.memory_budget_bytes = 256.0 * (1 << 20);
+  config.workspace_bytes = 1 << 20;
+  // Slow-ish disk so load-vs-compute tradeoffs are non-trivial at tiny
+  // scale.
+  config.disk_bytes_per_second = 2.0 * (1 << 20);
+  config.flops_per_second = 1.0e9;
+  return config;
+}
+
+// A small FTR-style workload over a shared tiny encoder.
+Workload MakeTinyWorkload(zoo::BertLikeModel* source, int num_models) {
+  Workload workload;
+  const zoo::BertFeature kFeatures[] = {
+      zoo::BertFeature::kLastHidden, zoo::BertFeature::kSecondLastHidden,
+      zoo::BertFeature::kSumLast4, zoo::BertFeature::kConcatLast4};
+  for (int i = 0; i < num_models; ++i) {
+    Hyperparams hp;
+    hp.batch_size = 8;
+    hp.learning_rate = 1e-3;
+    hp.epochs = 2 + (i % 2);
+    workload.emplace_back(
+        zoo::BuildBertFeatureTransferModel(
+            *source, kFeatures[i % 4], 3, "m" + std::to_string(i),
+            100 + static_cast<uint64_t>(i)),
+        hp);
+  }
+  return workload;
+}
+
+TEST(MultiModelGraphTest, MergesSharedFrozenPrefix) {
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 1);
+  Workload workload = MakeTinyWorkload(&source, 4);
+  MultiModelGraph mm(&workload, TestConfig());
+  // Shared units: input + embedding + 4 blocks, plus per-model combiners
+  // (sum_last4 and concat_last4 add one frozen combiner each).
+  EXPECT_EQ(static_cast<int>(mm.units().size()), 6 + 2);
+  // The embedding unit is used by all four models.
+  int max_usage = 0;
+  for (const auto& unit : mm.units()) {
+    max_usage = std::max(max_usage,
+                         static_cast<int>(unit.used_by_models.size()));
+  }
+  EXPECT_EQ(max_usage, 4);
+}
+
+TEST(MultiModelGraphTest, UnitsAreTopological) {
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 2);
+  Workload workload = MakeTinyWorkload(&source, 3);
+  MultiModelGraph mm(&workload, TestConfig());
+  for (size_t u = 0; u < mm.units().size(); ++u) {
+    for (int p : mm.units()[u].parents) {
+      EXPECT_LT(p, static_cast<int>(u));
+    }
+  }
+}
+
+TEST(MaterializationTest, ZeroBudgetMatchesNoMaterialization) {
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 3);
+  Workload workload = MakeTinyWorkload(&source, 3);
+  SystemConfig config = TestConfig();
+  MultiModelGraph mm(&workload, config);
+  MaterializationOptimizer optimizer(&mm);
+
+  auto none = optimizer.EvaluateGivenUnits(
+      std::vector<bool>(mm.units().size(), false),
+      config.expected_max_records);
+  auto zero_budget = optimizer.Optimize(0.0, config.expected_max_records);
+  EXPECT_NEAR(zero_budget.total_cost_flops, none.total_cost_flops, 1e-3);
+  for (bool z : zero_budget.materialize) EXPECT_FALSE(z);
+}
+
+TEST(MaterializationTest, CostMonotoneInBudget) {
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 4);
+  Workload workload = MakeTinyWorkload(&source, 4);
+  SystemConfig config = TestConfig();
+  MultiModelGraph mm(&workload, config);
+  MaterializationOptimizer optimizer(&mm);
+
+  double prev_cost = -1.0;
+  for (double budget :
+       {0.0, 64.0 * 1024, 512.0 * 1024, 4.0 * (1 << 20), 64.0 * (1 << 20)}) {
+    auto choice = optimizer.Optimize(budget, config.expected_max_records);
+    EXPECT_TRUE(choice.proved_optimal);
+    EXPECT_LE(choice.storage_bytes, budget + 1e-6);
+    if (prev_cost >= 0.0) {
+      EXPECT_LE(choice.total_cost_flops, prev_cost + 1e-3)
+          << "more budget must never cost more";
+    }
+    prev_cost = choice.total_cost_flops;
+  }
+}
+
+TEST(MaterializationTest, StructuredSolverMatchesMilp) {
+  // The exact B&B (Gurobi substitute) and the literal Eq. 9/10 MILP must
+  // agree on the optimum across budgets.
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 5);
+  Workload workload = MakeTinyWorkload(&source, 2);
+  SystemConfig config = TestConfig();
+  MultiModelGraph mm(&workload, config);
+  MaterializationOptimizer optimizer(&mm);
+
+  for (double budget : {0.0, 32.0 * 1024, 1.0 * (1 << 20), 32.0 * (1 << 20)}) {
+    auto structured = optimizer.Optimize(budget, 200);
+    auto milp = optimizer.OptimizeWithMilp(budget, 200);
+    EXPECT_NEAR(structured.total_cost_flops, milp.total_cost_flops,
+                1e-6 * std::max(1.0, structured.total_cost_flops))
+        << "budget " << budget;
+  }
+}
+
+TEST(MaterializationTest, UnusedMaterializationsDiscarded) {
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 6);
+  Workload workload = MakeTinyWorkload(&source, 3);
+  SystemConfig config = TestConfig();
+  MultiModelGraph mm(&workload, config);
+  MaterializationOptimizer optimizer(&mm);
+  auto choice = optimizer.Optimize(1e12, config.expected_max_records);
+  // Every materialized unit must actually be loaded by some plan.
+  std::set<std::string> loaded_keys;
+  for (int i = 0; i < mm.num_models(); ++i) {
+    const auto& plan = choice.model_plans[static_cast<size_t>(i)];
+    const auto& model = workload[static_cast<size_t>(i)].model;
+    for (int j = 0; j < model.num_nodes(); ++j) {
+      if (plan.actions[static_cast<size_t>(j)] == NodeAction::kLoaded &&
+          !model.node(j).parents.empty()) {
+        loaded_keys.insert(
+            mm.units()[static_cast<size_t>(mm.UnitOf(i, j))].key);
+      }
+    }
+  }
+  for (size_t u = 0; u < mm.units().size(); ++u) {
+    if (choice.materialize[u]) {
+      EXPECT_TRUE(loaded_keys.count(mm.units()[u].key) > 0)
+          << "unit " << u << " materialized but never loaded";
+    }
+  }
+}
+
+TEST(ExecutionGroupTest, SingletonMatchesModelPlanCost) {
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 7);
+  Workload workload = MakeTinyWorkload(&source, 2);
+  SystemConfig config = TestConfig();
+  MultiModelGraph mm(&workload, config);
+  MaterializationOptimizer optimizer(&mm);
+  auto choice = optimizer.Optimize(config.disk_budget_bytes, 1000);
+
+  for (int i = 0; i < mm.num_models(); ++i) {
+    ExecutionGroup group = BuildExecutionGroup(mm, {i}, choice.materialize);
+    // Group costs are epoch-weighted per record; model plans additionally
+    // weight by r.
+    const double expected =
+        choice.model_plans[static_cast<size_t>(i)].total_cost / 1000.0;
+    EXPECT_NEAR(group.epoch_weighted_cost_flops, expected,
+                1e-6 * std::max(1.0, expected));
+  }
+}
+
+TEST(ExecutionGroupTest, FusedCostNeverExceedsSumOfParts) {
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 8);
+  Workload workload = MakeTinyWorkload(&source, 4);
+  SystemConfig config = TestConfig();
+  MultiModelGraph mm(&workload, config);
+  MaterializationOptimizer optimizer(&mm);
+  auto choice = optimizer.Optimize(config.disk_budget_bytes, 1000);
+
+  for (int i = 0; i < mm.num_models(); ++i) {
+    for (int j = i + 1; j < mm.num_models(); ++j) {
+      if (workload[static_cast<size_t>(i)].hp.batch_size !=
+          workload[static_cast<size_t>(j)].hp.batch_size) {
+        continue;
+      }
+      ExecutionGroup a = BuildExecutionGroup(mm, {i}, choice.materialize);
+      ExecutionGroup b = BuildExecutionGroup(mm, {j}, choice.materialize);
+      ExecutionGroup ab =
+          BuildExecutionGroup(mm, {i, j}, choice.materialize);
+      EXPECT_LE(ab.epoch_weighted_cost_flops,
+                a.epoch_weighted_cost_flops + b.epoch_weighted_cost_flops +
+                    1e-6);
+      EXPECT_EQ(ab.branches.size(), 2u);
+    }
+  }
+}
+
+TEST(MemoryEstimatorTest, ScalesWithBatchAndFusion) {
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 9);
+  Workload workload = MakeTinyWorkload(&source, 2);
+  SystemConfig config = TestConfig();
+  MultiModelGraph mm(&workload, config);
+  std::vector<bool> no_mat(mm.units().size(), false);
+
+  ExecutionGroup single = BuildExecutionGroup(mm, {0}, no_mat);
+  ExecutionGroup fused = BuildExecutionGroup(mm, {0, 1}, no_mat);
+
+  MemoryEstimate m1 = EstimatePeakMemory(single, config);
+  MemoryEstimate m2 = EstimatePeakMemory(fused, config);
+  EXPECT_GT(m1.activation_bytes, 0.0);
+  EXPECT_GT(m2.total(), m1.total());  // fusion costs memory
+  EXPECT_GE(m1.parameter_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(m1.workspace_bytes, config.workspace_bytes);
+
+  // Doubling the batch doubles the activation estimate.
+  ExecutionGroup bigger = single;
+  bigger.batch_size *= 2;
+  MemoryEstimate m3 = EstimatePeakMemory(bigger, config);
+  EXPECT_NEAR(m3.activation_bytes, 2.0 * m1.activation_bytes,
+              1e-6 * m1.activation_bytes);
+}
+
+TEST(FusionTest, DisabledYieldsSingletons) {
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 10);
+  Workload workload = MakeTinyWorkload(&source, 3);
+  SystemConfig config = TestConfig();
+  MultiModelGraph mm(&workload, config);
+  std::vector<bool> no_mat(mm.units().size(), false);
+  FusionOutcome outcome =
+      FuseModels(mm, no_mat, config.memory_budget_bytes, config,
+                 /*enable_fusion=*/false);
+  EXPECT_EQ(outcome.groups.size(), workload.size());
+  EXPECT_EQ(outcome.fusions_applied, 0);
+}
+
+TEST(FusionTest, GroupsPartitionTheWorkload) {
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 11);
+  Workload workload = MakeTinyWorkload(&source, 5);
+  SystemConfig config = TestConfig();
+  MultiModelGraph mm(&workload, config);
+  MaterializationOptimizer optimizer(&mm);
+  auto choice = optimizer.Optimize(config.disk_budget_bytes, 1000);
+  FusionOutcome outcome = FuseModels(mm, choice.materialize,
+                                     config.memory_budget_bytes, config);
+  std::set<int> seen;
+  for (const ExecutionGroup& group : outcome.groups) {
+    for (const PlanBranch& branch : group.branches) {
+      EXPECT_TRUE(seen.insert(branch.model_index).second)
+          << "model in two groups";
+    }
+  }
+  EXPECT_EQ(seen.size(), workload.size());
+}
+
+TEST(FusionTest, FusesSharedPrefixWorkloads) {
+  // With a generous memory budget, models sharing a frozen encoder should
+  // fuse (shared compute dominates).
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 12);
+  Workload workload = MakeTinyWorkload(&source, 4);
+  SystemConfig config = TestConfig();
+  config.memory_budget_bytes = 1e12;
+  MultiModelGraph mm(&workload, config);
+  std::vector<bool> no_mat(mm.units().size(), false);
+  FusionOutcome outcome =
+      FuseModels(mm, no_mat, config.memory_budget_bytes, config);
+  EXPECT_LT(outcome.groups.size(), workload.size());
+  EXPECT_GT(outcome.fusions_applied, 0);
+}
+
+TEST(FusionTest, TinyMemoryBudgetPreventsFusion) {
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 13);
+  Workload workload = MakeTinyWorkload(&source, 4);
+  SystemConfig config = TestConfig();
+  MultiModelGraph mm(&workload, config);
+  std::vector<bool> no_mat(mm.units().size(), false);
+  FusionOutcome outcome = FuseModels(mm, no_mat, /*memory_budget_bytes=*/1.0,
+                                     config);
+  EXPECT_EQ(outcome.groups.size(), workload.size());
+}
+
+TEST(FusionTest, RespectsBatchSizeBoundary) {
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 14);
+  Workload workload = MakeTinyWorkload(&source, 4);
+  workload[0].hp.batch_size = 8;
+  workload[1].hp.batch_size = 8;
+  workload[2].hp.batch_size = 16;
+  workload[3].hp.batch_size = 16;
+  SystemConfig config = TestConfig();
+  config.memory_budget_bytes = 1e12;
+  MultiModelGraph mm(&workload, config);
+  std::vector<bool> no_mat(mm.units().size(), false);
+  FusionOutcome outcome =
+      FuseModels(mm, no_mat, config.memory_budget_bytes, config);
+  for (const ExecutionGroup& group : outcome.groups) {
+    for (const PlanBranch& branch : group.branches) {
+      EXPECT_EQ(branch.hp.batch_size, group.batch_size);
+    }
+  }
+}
+
+TEST(TheoreticalSpeedupTest, GreaterForFrozenHeavyWorkloads) {
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 15);
+  SystemConfig config = TestConfig();
+
+  Workload feature_transfer = MakeTinyWorkload(&source, 2);
+  Workload fine_tune;
+  fine_tune.emplace_back(
+      zoo::BuildBertFineTuneModel(source, source.config().num_blocks, 3,
+                                  "ft_all", 50),
+      Hyperparams{});
+
+  const double ft_speedup = TheoreticalSpeedup(feature_transfer, config);
+  const double tune_speedup = TheoreticalSpeedup(fine_tune, config);
+  EXPECT_GT(ft_speedup, 1.5);
+  EXPECT_LT(tune_speedup, ft_speedup);
+  EXPECT_GE(tune_speedup, 1.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace nautilus

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "nautilus/data/dataset.h"
+#include "nautilus/data/synthetic.h"
+
+namespace nautilus {
+namespace data {
+namespace {
+
+TEST(LabeledDatasetTest, AppendAndSlice) {
+  LabeledDataset a(Tensor(Shape({2, 3})), {0, 1});
+  LabeledDataset b(Tensor(Shape({1, 3})), {2});
+  a.Append(b);
+  EXPECT_EQ(a.size(), 3);
+  LabeledDataset s = a.Slice(1, 3);
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_EQ(s.labels()[1], 2);
+}
+
+TEST(LabeledDatasetTest, Gather) {
+  Tensor x(Shape({3, 2}), {0, 0, 1, 1, 2, 2});
+  LabeledDataset d(x, {10, 11, 12});
+  LabeledDataset g = d.Gather({2, 0});
+  EXPECT_EQ(g.labels()[0], 12);
+  EXPECT_EQ(g.labels()[1], 10);
+  EXPECT_FLOAT_EQ(g.inputs().at(0), 2.0f);
+}
+
+TEST(EvolvingDatasetTest, SnapshotsAccumulate) {
+  EvolvingDataset ds;
+  ds.AddCycle(LabeledDataset(Tensor(Shape({4, 2})), {0, 0, 1, 1}),
+              LabeledDataset(Tensor(Shape({1, 2})), {0}));
+  ds.AddCycle(LabeledDataset(Tensor(Shape({4, 2})), {1, 1, 0, 0}),
+              LabeledDataset(Tensor(Shape({1, 2})), {1}));
+  EXPECT_EQ(ds.cycles(), 2);
+  EXPECT_EQ(ds.train().size(), 8);
+  EXPECT_EQ(ds.valid().size(), 2);
+}
+
+TEST(SyntheticTextTest, PoolHasValidTokensAndLabels) {
+  zoo::BertLikeModel encoder(zoo::BertConfig::TinyScale(), 3);
+  LabeledDataset pool = GenerateTextPool(encoder, 60, 3, 11);
+  EXPECT_EQ(pool.size(), 60);
+  EXPECT_EQ(pool.inputs().shape(),
+            Shape({60, encoder.config().seq_len}));
+  int label_counts[3] = {0, 0, 0};
+  for (int32_t label : pool.labels()) {
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, 3);
+    ++label_counts[label];
+  }
+  for (int64_t i = 0; i < pool.inputs().NumElements(); ++i) {
+    const float v = pool.inputs().at(i);
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, static_cast<float>(encoder.config().vocab));
+    EXPECT_EQ(v, std::floor(v));
+  }
+}
+
+TEST(SyntheticTextTest, DeterministicGivenSeed) {
+  zoo::BertLikeModel encoder(zoo::BertConfig::TinyScale(), 3);
+  LabeledDataset a = GenerateTextPool(encoder, 40, 2, 5);
+  LabeledDataset b = GenerateTextPool(encoder, 40, 2, 5);
+  EXPECT_EQ(Tensor::MaxAbsDiff(a.inputs(), b.inputs()), 0.0f);
+  EXPECT_EQ(a.labels(), b.labels());
+}
+
+TEST(SyntheticImageTest, ClassesAreSeparableByPrototype) {
+  zoo::ResNetConfig cfg = zoo::ResNetConfig::MiniScale();
+  LabeledDataset pool = GenerateImagePool(cfg, 100, 2, 9, /*noise=*/0.5f);
+  EXPECT_EQ(pool.size(), 100);
+  // Nearest-prototype classification on the raw pixels should beat chance
+  // comfortably: estimate prototypes from the first half, evaluate on the
+  // second half.
+  const int64_t elems = pool.inputs().shape().ElementsPerRecord();
+  std::vector<double> mean0(static_cast<size_t>(elems), 0.0);
+  std::vector<double> mean1(static_cast<size_t>(elems), 0.0);
+  int n0 = 0, n1 = 0;
+  for (int64_t i = 0; i < 50; ++i) {
+    const float* rec = pool.inputs().data() + i * elems;
+    auto& mean = pool.labels()[static_cast<size_t>(i)] == 0 ? mean0 : mean1;
+    (pool.labels()[static_cast<size_t>(i)] == 0 ? n0 : n1)++;
+    for (int64_t j = 0; j < elems; ++j) mean[static_cast<size_t>(j)] += rec[j];
+  }
+  for (int64_t j = 0; j < elems; ++j) {
+    mean0[static_cast<size_t>(j)] /= std::max(n0, 1);
+    mean1[static_cast<size_t>(j)] /= std::max(n1, 1);
+  }
+  int correct = 0;
+  for (int64_t i = 50; i < 100; ++i) {
+    const float* rec = pool.inputs().data() + i * elems;
+    double d0 = 0.0, d1 = 0.0;
+    for (int64_t j = 0; j < elems; ++j) {
+      d0 += (rec[j] - mean0[static_cast<size_t>(j)]) *
+            (rec[j] - mean0[static_cast<size_t>(j)]);
+      d1 += (rec[j] - mean1[static_cast<size_t>(j)]) *
+            (rec[j] - mean1[static_cast<size_t>(j)]);
+    }
+    const int32_t pred = d0 <= d1 ? 0 : 1;
+    if (pred == pool.labels()[static_cast<size_t>(i)]) ++correct;
+  }
+  EXPECT_GT(correct, 40);  // >80% accuracy
+}
+
+TEST(LabelingSimulatorTest, ReleasesCyclesWithSplit) {
+  zoo::ResNetConfig cfg = zoo::ResNetConfig::MiniScale();
+  LabeledDataset pool = GenerateImagePool(cfg, 50, 2, 13);
+  LabelingSimulator sim(pool, /*records_per_cycle=*/20, /*train_fraction=*/0.8);
+  ASSERT_TRUE(sim.HasNextCycle());
+  auto cycle1 = sim.NextCycle();
+  EXPECT_EQ(cycle1.train.size(), 16);
+  EXPECT_EQ(cycle1.valid.size(), 4);
+  auto cycle2 = sim.NextCycle();
+  (void)cycle2;
+  auto cycle3 = sim.NextCycle();  // only 10 left
+  EXPECT_EQ(cycle3.train.size(), 8);
+  EXPECT_EQ(cycle3.valid.size(), 2);
+  EXPECT_FALSE(sim.HasNextCycle());
+  EXPECT_EQ(sim.cycles_released(), 3);
+}
+
+TEST(LabelingSimulatorTest, LabelingTimeScalesWithRate) {
+  zoo::ResNetConfig cfg = zoo::ResNetConfig::MiniScale();
+  LabeledDataset pool = GenerateImagePool(cfg, 10, 2, 13);
+  LabelingSimulator sim(pool, 10, 0.8);
+  EXPECT_DOUBLE_EQ(sim.CycleLabelingSeconds(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(sim.CycleLabelingSeconds(8.0), 80.0);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace nautilus

@@ -1,0 +1,186 @@
+// Tests of the evolving-workload extension (the paper's Section 2.5 future
+// work): swapping the candidate set mid-stream with incremental
+// materialized-store reconciliation.
+#include <algorithm>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "nautilus/core/materializer.h"
+#include "nautilus/core/model_selection.h"
+#include "nautilus/data/synthetic.h"
+#include "nautilus/zoo/bert_like.h"
+
+namespace nautilus {
+namespace core {
+namespace {
+
+class EvolvingWorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("nautilus_evolving_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+SystemConfig LoadFriendlyConfig() {
+  SystemConfig config;
+  config.expected_max_records = 500;
+  config.disk_budget_bytes = 1ull << 30;
+  config.memory_budget_bytes = 2ull << 30;
+  config.workspace_bytes = 1 << 20;
+  config.flops_per_second = 2e8;
+  config.disk_bytes_per_second = 1ull << 30;
+  config.per_model_setup_seconds = 0.01;
+  return config;
+}
+
+Workload MakeWorkload(const zoo::BertLikeModel& source,
+                      const std::vector<zoo::BertFeature>& features,
+                      uint64_t seed) {
+  Workload workload;
+  Hyperparams hp;
+  hp.batch_size = 10;
+  hp.learning_rate = 1e-3;
+  hp.epochs = 2;
+  int index = 0;
+  for (zoo::BertFeature feature : features) {
+    workload.emplace_back(
+        zoo::BuildBertFeatureTransferModel(
+            source, feature, 3, "ev_m" + std::to_string(index),
+            seed + static_cast<uint64_t>(index)),
+        hp);
+    ++index;
+  }
+  return workload;
+}
+
+TEST_F(EvolvingWorkloadTest, SharedUnitsSurviveWorkloadSwap) {
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 11);
+  data::LabeledDataset pool = data::GenerateTextPool(source, 200, 3, 5);
+
+  ModelSelection selection(
+      MakeWorkload(source, {zoo::BertFeature::kLastHidden}, 100),
+      LoadFriendlyConfig(), dir_.string(), {});
+
+  data::LabelingSimulator labeler(pool, 60, 0.75);
+  auto c1 = labeler.NextCycle();
+  FitResult r1 = selection.Fit(c1.train, c1.valid);
+  EXPECT_GE(r1.best_model, 0);
+  // Last-hidden features must be materialized under this config.
+  const auto& mm1 = selection.multi_model();
+  int chosen1 = static_cast<int>(
+      std::count(selection.materialization().materialize.begin(),
+                 selection.materialization().materialize.end(), true));
+  ASSERT_GT(chosen1, 0);
+  (void)mm1;
+
+  const int64_t written_before = selection.io_stats().bytes_written();
+
+  // Swap in a workload that still uses the last-hidden feature (same
+  // expression, same store key) plus a new second-last-hidden model.
+  selection.UpdateWorkload(MakeWorkload(
+      source,
+      {zoo::BertFeature::kLastHidden, zoo::BertFeature::kSecondLastHidden},
+      200));
+
+  const int64_t written_after_swap = selection.io_stats().bytes_written();
+  // Reconciliation wrote at most the new unit's backfill + checkpoints for
+  // the new candidates, not a full re-materialization: bound it by 4x the
+  // pre-swap traffic.
+  EXPECT_LT(written_after_swap - written_before, 4 * written_before);
+
+  // Further cycles run fine on the new workload.
+  auto c2 = labeler.NextCycle();
+  FitResult r2 = selection.Fit(c2.train, c2.valid);
+  EXPECT_EQ(r2.evals.size(), 2u);
+  EXPECT_GE(r2.best_model, 0);
+  EXPECT_GE(r2.best_accuracy, 0.0f);
+}
+
+TEST_F(EvolvingWorkloadTest, SwapMatchesFreshSelectionResults) {
+  // A selection whose workload is swapped to B after cycle 1 must produce
+  // the same cycle-2 metrics as a fresh selection constructed with B that
+  // sees both cycles (both retrain candidates from identical initialized
+  // weights on identical snapshots).
+  zoo::BertLikeModel source_a(zoo::BertConfig::TinyScale(), 12);
+  zoo::BertLikeModel source_b(zoo::BertConfig::TinyScale(), 12);
+  data::LabeledDataset pool = data::GenerateTextPool(source_a, 160, 3, 6);
+  data::LabelingSimulator labeler_a(pool, 60, 0.75);
+  data::LabelingSimulator labeler_b(pool, 60, 0.75);
+
+  ModelSelectionOptions options;
+  options.seed = 9;
+
+  // Run 1: start with one model, swap to the two-model workload.
+  ModelSelection evolving(
+      MakeWorkload(source_a, {zoo::BertFeature::kLastHidden}, 100),
+      LoadFriendlyConfig(), (dir_ / "a").string(), options);
+  auto a1 = labeler_a.NextCycle();
+  evolving.Fit(a1.train, a1.valid);
+  evolving.UpdateWorkload(MakeWorkload(
+      source_a,
+      {zoo::BertFeature::kLastHidden, zoo::BertFeature::kSumLast4}, 300));
+  auto a2 = labeler_a.NextCycle();
+  FitResult evolved = evolving.Fit(a2.train, a2.valid);
+
+  // Run 2: fresh selection with the final workload from the start.
+  ModelSelection fresh(
+      MakeWorkload(source_b,
+                   {zoo::BertFeature::kLastHidden,
+                    zoo::BertFeature::kSumLast4},
+                   300),
+      LoadFriendlyConfig(), (dir_ / "b").string(), options);
+  auto b1 = labeler_b.NextCycle();
+  fresh.Fit(b1.train, b1.valid);
+  auto b2 = labeler_b.NextCycle();
+  FitResult reference = fresh.Fit(b2.train, b2.valid);
+
+  ASSERT_EQ(evolved.evals.size(), reference.evals.size());
+  for (size_t m = 0; m < evolved.evals.size(); ++m) {
+    EXPECT_NEAR(evolved.evals[m].val_accuracy,
+                reference.evals[m].val_accuracy, 1e-5);
+  }
+}
+
+TEST_F(EvolvingWorkloadTest, ObsoleteUnitsDropped) {
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 13);
+  data::LabeledDataset pool = data::GenerateTextPool(source, 120, 3, 7);
+  ModelSelection selection(
+      MakeWorkload(source, {zoo::BertFeature::kLastHidden}, 100),
+      LoadFriendlyConfig(), dir_.string(), {});
+  data::LabelingSimulator labeler(pool, 60, 0.75);
+  auto c1 = labeler.NextCycle();
+  selection.Fit(c1.train, c1.valid);
+  const int64_t bytes_with_features =
+      static_cast<int64_t>(selection.io_stats().bytes_written());
+  ASSERT_GT(bytes_with_features, 0);
+
+  // Swap to a fine-tuning workload that unfreezes everything: nothing left
+  // to materialize, the store must shrink to zero feature bytes.
+  Workload all_tuned;
+  Hyperparams hp;
+  hp.batch_size = 10;
+  hp.epochs = 1;
+  all_tuned.emplace_back(
+      zoo::BuildBertFineTuneModel(source, source.config().num_blocks, 3,
+                                  "tuned", 400),
+      hp);
+  selection.UpdateWorkload(std::move(all_tuned));
+  int chosen = 0;
+  for (bool b : selection.materialization().materialize) chosen += b;
+  EXPECT_EQ(chosen, 0);
+  auto c2 = labeler.NextCycle();
+  FitResult r = selection.Fit(c2.train, c2.valid);
+  EXPECT_EQ(r.evals.size(), 1u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace nautilus

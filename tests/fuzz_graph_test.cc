@@ -1,0 +1,211 @@
+// Randomized structural property tests: random layer DAGs with random
+// freezing schemes, checked for materializability laws, reuse-plan
+// legality under random materialized sets, and multi-model merge soundness.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "nautilus/core/materialization.h"
+#include "nautilus/core/multi_model.h"
+#include "nautilus/core/plan.h"
+#include "nautilus/graph/model_graph.h"
+#include "nautilus/nn/basic.h"
+#include "nautilus/nn/combine.h"
+#include "nautilus/util/random.h"
+
+namespace nautilus {
+namespace {
+
+constexpr int64_t kWidth = 4;
+
+// Builds a random DAG of Dense/Add layers over a shared input, with random
+// freezing. Shared pretrained prefix layers come from `shared` so multiple
+// models can overlap.
+graph::ModelGraph RandomModel(const std::string& name,
+                              const std::shared_ptr<nn::InputLayer>& input,
+                              std::vector<nn::LayerPtr>* shared, Rng* rng) {
+  graph::ModelGraph g(name);
+  const int in = g.AddInput(input);
+  std::vector<int> nodes = {in};
+  const int depth = 3 + static_cast<int>(rng->UniformInt(5));
+  bool trainable_seen = false;
+  for (int d = 0; d < depth; ++d) {
+    // Reuse a shared pretrained layer for the prefix when available and we
+    // have not diverged into trainable territory yet.
+    const bool can_share =
+        !trainable_seen && d < static_cast<int>(shared->size());
+    nn::LayerPtr layer;
+    bool frozen;
+    std::vector<int> parents;
+    if (rng->Uniform() < 0.3 && nodes.size() >= 2) {
+      // Combiner over two random earlier nodes.
+      int a = nodes[static_cast<size_t>(
+          rng->UniformInt(static_cast<int64_t>(nodes.size())))];
+      int b = nodes[static_cast<size_t>(
+          rng->UniformInt(static_cast<int64_t>(nodes.size())))];
+      if (a == b) b = nodes[0];
+      layer = std::make_shared<nn::AddLayer>(name + "_add" +
+                                             std::to_string(d));
+      parents = {a, b};
+      frozen = true;  // parameter-free
+    } else if (can_share && rng->Uniform() < 0.7) {
+      layer = (*shared)[static_cast<size_t>(d)];
+      parents = {nodes.back()};
+      frozen = true;
+    } else {
+      layer = std::make_shared<nn::DenseLayer>(
+          name + "_d" + std::to_string(d), kWidth, kWidth,
+          nn::Activation::kRelu, rng);
+      parents = {nodes.back()};
+      frozen = rng->Uniform() < 0.4;
+      if (!frozen) trainable_seen = true;
+    }
+    nodes.push_back(g.AddNode(layer, parents, frozen));
+  }
+  // Trainable head so the model has something to learn.
+  const int head = g.AddNode(
+      std::make_shared<nn::DenseLayer>(name + "_head", kWidth, 2,
+                                       nn::Activation::kNone, rng),
+      {nodes.back()}, /*frozen=*/false);
+  g.MarkOutput(head);
+  g.Validate();
+  return g;
+}
+
+TEST(FuzzGraphTest, MaterializabilityLawsHoldOnRandomDags) {
+  Rng rng(1234);
+  auto input = std::make_shared<nn::InputLayer>("fz_in", Shape({kWidth}));
+  std::vector<nn::LayerPtr> shared;
+  for (int d = 0; d < 4; ++d) {
+    shared.push_back(std::make_shared<nn::DenseLayer>(
+        "fz_shared" + std::to_string(d), kWidth, kWidth,
+        nn::Activation::kRelu, &rng));
+  }
+  for (int trial = 0; trial < 60; ++trial) {
+    graph::ModelGraph g =
+        RandomModel("fz" + std::to_string(trial), input, &shared, &rng);
+    const auto mask = g.MaterializableMask();
+    for (const auto& node : g.nodes()) {
+      const size_t j = static_cast<size_t>(node.id);
+      if (node.parents.empty()) {
+        EXPECT_TRUE(mask[j]);
+        continue;
+      }
+      bool parents_mat = true;
+      for (int p : node.parents) {
+        parents_mat = parents_mat && mask[static_cast<size_t>(p)];
+      }
+      // Definition 2.4 exactly: materializable <=> frozen && parents
+      // materializable.
+      EXPECT_EQ(mask[j], node.frozen && parents_mat)
+          << "trial " << trial << " node " << node.id;
+    }
+  }
+}
+
+TEST(FuzzGraphTest, RandomWorkloadPlansAreLegalAtAnyBudget) {
+  Rng rng(99);
+  auto input = std::make_shared<nn::InputLayer>("fz_in2", Shape({kWidth}));
+  std::vector<nn::LayerPtr> shared;
+  for (int d = 0; d < 4; ++d) {
+    shared.push_back(std::make_shared<nn::DenseLayer>(
+        "fz2_shared" + std::to_string(d), kWidth, kWidth,
+        nn::Activation::kRelu, &rng));
+  }
+  core::SystemConfig config;
+  config.expected_max_records = 100;
+  config.flops_per_second = 1e6;  // make loading attractive
+  config.disk_bytes_per_second = 1e9;
+
+  for (int trial = 0; trial < 12; ++trial) {
+    core::Workload workload;
+    const int models = 2 + static_cast<int>(rng.UniformInt(3));
+    for (int m = 0; m < models; ++m) {
+      core::Hyperparams hp;
+      hp.batch_size = 8;
+      hp.epochs = 1 + rng.UniformInt(3);
+      workload.emplace_back(
+          RandomModel("fzw" + std::to_string(trial) + "_" +
+                          std::to_string(m),
+                      input, &shared, &rng),
+          hp);
+    }
+    core::MultiModelGraph mm(&workload, config);
+    core::MaterializationOptimizer optimizer(&mm);
+    for (double budget : {0.0, 1e4, 1e9}) {
+      auto choice = optimizer.Optimize(budget, 100);
+      EXPECT_LE(choice.storage_bytes, budget + 1e-6);
+      // Per-model plan legality.
+      for (int m = 0; m < mm.num_models(); ++m) {
+        const auto& plan = choice.model_plans[static_cast<size_t>(m)];
+        const auto& model = workload[static_cast<size_t>(m)].model;
+        for (int j = 0; j < model.num_nodes(); ++j) {
+          const auto action = plan.actions[static_cast<size_t>(j)];
+          if (model.IsOutput(j)) {
+            EXPECT_NE(action, core::NodeAction::kPruned);
+          }
+          if (action == core::NodeAction::kComputed) {
+            for (int p : model.node(j).parents) {
+              EXPECT_NE(plan.actions[static_cast<size_t>(p)],
+                        core::NodeAction::kPruned);
+            }
+          }
+          if (action == core::NodeAction::kLoaded &&
+              !model.node(j).parents.empty()) {
+            const int unit = mm.UnitOf(m, j);
+            ASSERT_GE(unit, 0);
+            EXPECT_TRUE(choice.materialize[static_cast<size_t>(unit)]);
+          }
+        }
+      }
+      // Fused groups stay legal too.
+      std::vector<int> all_models(static_cast<size_t>(mm.num_models()));
+      for (int m = 0; m < mm.num_models(); ++m) {
+        all_models[static_cast<size_t>(m)] = m;
+      }
+      core::ExecutionGroup group =
+          core::BuildExecutionGroup(mm, all_models, choice.materialize);
+      EXPECT_EQ(group.branches.size(), all_models.size());
+      for (const auto& node : group.nodes) {
+        EXPECT_FALSE(node.branches_using.empty());
+      }
+    }
+  }
+}
+
+TEST(FuzzGraphTest, MergeNeverCrossesDifferentExpressions) {
+  // Multi-model units map back to identical expression hashes only.
+  Rng rng(321);
+  auto input = std::make_shared<nn::InputLayer>("fz_in3", Shape({kWidth}));
+  std::vector<nn::LayerPtr> shared;
+  for (int d = 0; d < 4; ++d) {
+    shared.push_back(std::make_shared<nn::DenseLayer>(
+        "fz3_shared" + std::to_string(d), kWidth, kWidth,
+        nn::Activation::kRelu, &rng));
+  }
+  core::SystemConfig config;
+  for (int trial = 0; trial < 20; ++trial) {
+    core::Workload workload;
+    for (int m = 0; m < 3; ++m) {
+      workload.emplace_back(
+          RandomModel("fzm" + std::to_string(trial) + "_" +
+                          std::to_string(m),
+                      input, &shared, &rng),
+          core::Hyperparams{});
+    }
+    core::MultiModelGraph mm(&workload, config);
+    for (int m = 0; m < mm.num_models(); ++m) {
+      const auto& profile = mm.profiles()[static_cast<size_t>(m)];
+      const auto& model = workload[static_cast<size_t>(m)].model;
+      for (int j = 0; j < model.num_nodes(); ++j) {
+        const int unit = mm.UnitOf(m, j);
+        if (unit < 0) continue;
+        EXPECT_EQ(mm.units()[static_cast<size_t>(unit)].expr_hash,
+                  profile.expr_hashes[static_cast<size_t>(j)]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nautilus

@@ -1,0 +1,42 @@
+#ifndef NAUTILUS_TESTS_GRADCHECK_H_
+#define NAUTILUS_TESTS_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "nautilus/tensor/tensor.h"
+
+namespace nautilus {
+namespace testing_util {
+
+/// Verifies `analytic_grad` against a central-difference numerical gradient
+/// of the scalar function `f` with respect to `x`. Tolerances are loose
+/// because everything is float32.
+inline void ExpectGradientsClose(
+    const std::function<double(const Tensor&)>& f, const Tensor& x,
+    const Tensor& analytic_grad, double eps = 1e-2, double atol = 2e-2,
+    double rtol = 5e-2) {
+  ASSERT_EQ(x.NumElements(), analytic_grad.NumElements());
+  Tensor probe = x;
+  for (int64_t i = 0; i < x.NumElements(); ++i) {
+    const float orig = probe.at(i);
+    probe.at(i) = orig + static_cast<float>(eps);
+    const double fp = f(probe);
+    probe.at(i) = orig - static_cast<float>(eps);
+    const double fm = f(probe);
+    probe.at(i) = orig;
+    const double numeric = (fp - fm) / (2.0 * eps);
+    const double analytic = analytic_grad.at(i);
+    const double tol = atol + rtol * std::max(std::fabs(numeric),
+                                              std::fabs(analytic));
+    EXPECT_NEAR(analytic, numeric, tol)
+        << "gradient mismatch at flat index " << i;
+  }
+}
+
+}  // namespace testing_util
+}  // namespace nautilus
+
+#endif  // NAUTILUS_TESTS_GRADCHECK_H_

@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include "nautilus/graph/executor.h"
+#include "nautilus/graph/model_graph.h"
+#include "nautilus/nn/basic.h"
+#include "nautilus/nn/combine.h"
+#include "nautilus/tensor/ops.h"
+#include "nautilus/util/random.h"
+
+namespace nautilus {
+namespace graph {
+namespace {
+
+// Builds: input -> dense_a (frozen?) -> dense_b -> output, configurable.
+struct ChainParts {
+  std::shared_ptr<nn::InputLayer> input;
+  std::shared_ptr<nn::DenseLayer> a;
+  std::shared_ptr<nn::DenseLayer> b;
+};
+
+ChainParts MakeChainParts(Rng* rng) {
+  ChainParts p;
+  p.input = std::make_shared<nn::InputLayer>("x", Shape({4}));
+  p.a = std::make_shared<nn::DenseLayer>("a", 4, 4, nn::Activation::kRelu,
+                                         rng);
+  p.b = std::make_shared<nn::DenseLayer>("b", 4, 2, nn::Activation::kNone,
+                                         rng);
+  return p;
+}
+
+TEST(ModelGraphTest, BasicConstruction) {
+  Rng rng(1);
+  ChainParts p = MakeChainParts(&rng);
+  ModelGraph g("m");
+  int in = g.AddInput(p.input);
+  int a = g.AddNode(p.a, {in}, true);
+  int b = g.AddNode(p.b, {a}, false);
+  g.MarkOutput(b);
+  g.Validate();
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_TRUE(g.IsInput(in));
+  EXPECT_TRUE(g.IsOutput(b));
+  EXPECT_FALSE(g.IsOutput(a));
+}
+
+TEST(ModelGraphTest, MaterializableMaskChain) {
+  Rng rng(2);
+  ChainParts p = MakeChainParts(&rng);
+  ModelGraph g("m");
+  int in = g.AddInput(p.input);
+  int a = g.AddNode(p.a, {in}, /*frozen=*/true);
+  int b = g.AddNode(p.b, {a}, /*frozen=*/false);
+  g.MarkOutput(b);
+  auto mask = g.MaterializableMask();
+  EXPECT_TRUE(mask[static_cast<size_t>(in)]);
+  EXPECT_TRUE(mask[static_cast<size_t>(a)]);
+  EXPECT_FALSE(mask[static_cast<size_t>(b)]);
+}
+
+TEST(ModelGraphTest, FrozenLayerWithTrainableAncestorNotMaterializable) {
+  // Definition 2.4: frozen layer below a trainable one is not materializable
+  // (its input changes every step).
+  Rng rng(3);
+  auto input = std::make_shared<nn::InputLayer>("x", Shape({4}));
+  auto t = std::make_shared<nn::DenseLayer>("t", 4, 4, nn::Activation::kNone,
+                                            &rng);
+  auto f = std::make_shared<nn::DenseLayer>("f", 4, 4, nn::Activation::kNone,
+                                            &rng);
+  ModelGraph g("m");
+  int in = g.AddInput(input);
+  int tid = g.AddNode(t, {in}, /*frozen=*/false);
+  int fid = g.AddNode(f, {tid}, /*frozen=*/true);
+  g.MarkOutput(fid);
+  auto mask = g.MaterializableMask();
+  EXPECT_TRUE(mask[static_cast<size_t>(in)]);
+  EXPECT_FALSE(mask[static_cast<size_t>(tid)]);
+  EXPECT_FALSE(mask[static_cast<size_t>(fid)]);
+}
+
+TEST(ModelGraphTest, ParameterFreeLayersAreFrozen) {
+  Rng rng(4);
+  auto input = std::make_shared<nn::InputLayer>("x", Shape({2, 4}));
+  ModelGraph g("m");
+  int in = g.AddInput(input);
+  // Request frozen=false; parameter-free Add must still be frozen.
+  int add = g.AddNode(std::make_shared<nn::AddLayer>("add"), {in, in},
+                      /*frozen=*/false);
+  g.MarkOutput(add);
+  EXPECT_TRUE(g.node(add).frozen);
+}
+
+TEST(ModelGraphTest, ExpressionHashesSharedVsCloned) {
+  Rng rng(5);
+  auto input = std::make_shared<nn::InputLayer>("x", Shape({4}));
+  auto shared_dense =
+      std::make_shared<nn::DenseLayer>("d", 4, 4, nn::Activation::kNone, &rng);
+
+  ModelGraph g1("m1");
+  int in1 = g1.AddInput(input);
+  int d1 = g1.AddNode(shared_dense, {in1}, true);
+  g1.MarkOutput(d1);
+
+  ModelGraph g2("m2");
+  int in2 = g2.AddInput(input);
+  int d2 = g2.AddNode(shared_dense, {in2}, true);
+  g2.MarkOutput(d2);
+
+  ModelGraph g3("m3");
+  int in3 = g3.AddInput(input);
+  int d3 = g3.AddNode(shared_dense->Clone(), {in3}, true);
+  g3.MarkOutput(d3);
+
+  auto h1 = g1.ExpressionHashes();
+  auto h2 = g2.ExpressionHashes();
+  auto h3 = g3.ExpressionHashes();
+  // Same shared instance on the same input -> identical expressions.
+  EXPECT_EQ(h1[static_cast<size_t>(d1)], h2[static_cast<size_t>(d2)]);
+  // A clone has a fresh UID -> different expression.
+  EXPECT_NE(h1[static_cast<size_t>(d1)], h3[static_cast<size_t>(d3)]);
+}
+
+TEST(ModelGraphTest, ExpressionHashDependsOnParents) {
+  Rng rng(6);
+  auto input = std::make_shared<nn::InputLayer>("x", Shape({4}));
+  auto a = std::make_shared<nn::DenseLayer>("a", 4, 4, nn::Activation::kNone,
+                                            &rng);
+  auto b = std::make_shared<nn::DenseLayer>("b", 4, 4, nn::Activation::kNone,
+                                            &rng);
+
+  // b(input) vs b(a(input)) must hash differently.
+  ModelGraph g1("m1");
+  int in1 = g1.AddInput(input);
+  int b1 = g1.AddNode(b, {in1}, true);
+  g1.MarkOutput(b1);
+
+  ModelGraph g2("m2");
+  int in2 = g2.AddInput(input);
+  int a2 = g2.AddNode(a, {in2}, true);
+  int b2 = g2.AddNode(b, {a2}, true);
+  g2.MarkOutput(b2);
+
+  EXPECT_NE(g1.ExpressionHashes()[static_cast<size_t>(b1)],
+            g2.ExpressionHashes()[static_cast<size_t>(b2)]);
+}
+
+TEST(ModelGraphTest, NodeShapesThroughChain) {
+  Rng rng(7);
+  ChainParts p = MakeChainParts(&rng);
+  ModelGraph g("m");
+  int in = g.AddInput(p.input);
+  int a = g.AddNode(p.a, {in}, true);
+  int b = g.AddNode(p.b, {a}, false);
+  g.MarkOutput(b);
+  auto shapes = g.NodeShapes(8);
+  EXPECT_EQ(shapes[static_cast<size_t>(in)], Shape({8, 4}));
+  EXPECT_EQ(shapes[static_cast<size_t>(a)], Shape({8, 4}));
+  EXPECT_EQ(shapes[static_cast<size_t>(b)], Shape({8, 2}));
+}
+
+TEST(ModelGraphTest, ChildLists) {
+  Rng rng(8);
+  auto input = std::make_shared<nn::InputLayer>("x", Shape({2, 4}));
+  ModelGraph g("m");
+  int in = g.AddInput(input);
+  int add = g.AddNode(std::make_shared<nn::AddLayer>("add"), {in, in}, true);
+  g.MarkOutput(add);
+  auto children = g.ChildLists();
+  ASSERT_EQ(children[static_cast<size_t>(in)].size(), 2u);
+  EXPECT_EQ(children[static_cast<size_t>(in)][0], add);
+}
+
+TEST(ModelGraphTest, TrainableParamCount) {
+  Rng rng(9);
+  ChainParts p = MakeChainParts(&rng);
+  ModelGraph g("m");
+  int in = g.AddInput(p.input);
+  int a = g.AddNode(p.a, {in}, /*frozen=*/true);
+  int b = g.AddNode(p.b, {a}, /*frozen=*/false);
+  g.MarkOutput(b);
+  EXPECT_EQ(g.TrainableParamCount(), 4 * 2 + 2);
+  EXPECT_EQ(g.TotalParamCount(), (4 * 4 + 4) + (4 * 2 + 2));
+}
+
+TEST(ExecutorTest, ForwardMatchesManualComputation) {
+  Rng rng(10);
+  auto input = std::make_shared<nn::InputLayer>("x", Shape({3}));
+  auto dense = std::make_shared<nn::DenseLayer>(
+      "d", 3, 2, nn::Activation::kNone, &rng);
+  ModelGraph g("m");
+  int in = g.AddInput(input);
+  int d = g.AddNode(dense, {in}, false);
+  g.MarkOutput(d);
+
+  Tensor x(Shape({1, 3}), {1.0f, 2.0f, 3.0f});
+  Executor ex(&g);
+  ex.Forward({{in, x}}, /*training=*/false);
+  const Tensor& y = ex.Output(d);
+  // Manual: y = x W + b.
+  std::unique_ptr<nn::LayerCache> cache;
+  Tensor expected = dense->Forward({&x}, &cache);
+  EXPECT_LT(Tensor::MaxAbsDiff(y, expected), 1e-6f);
+}
+
+TEST(ExecutorTest, BackwardAccumulatesOnlyTrainableParams) {
+  Rng rng(11);
+  ChainParts p = MakeChainParts(&rng);
+  ModelGraph g("m");
+  int in = g.AddInput(p.input);
+  int a = g.AddNode(p.a, {in}, /*frozen=*/true);
+  int b = g.AddNode(p.b, {a}, /*frozen=*/false);
+  g.MarkOutput(b);
+
+  Executor ex(&g);
+  ex.ZeroGrads();
+  Tensor x = Tensor::Randn(Shape({4, 4}), &rng, 1.0f);
+  ex.Forward({{in, x}}, /*training=*/true);
+  Tensor gout = Tensor::Full(Shape({4, 2}), 1.0f);
+  ex.Backward({{b, gout}});
+
+  // Trainable layer must have nonzero gradient.
+  float b_grad_norm = 0.0f;
+  for (nn::Parameter* param : p.b->Params()) {
+    for (int64_t i = 0; i < param->grad.NumElements(); ++i) {
+      b_grad_norm += std::abs(param->grad.at(i));
+    }
+  }
+  EXPECT_GT(b_grad_norm, 0.0f);
+
+  // Frozen layer's gradients remain untouched (never even computed).
+  for (nn::Parameter* param : p.a->Params()) {
+    for (int64_t i = 0; i < param->grad.NumElements(); ++i) {
+      EXPECT_EQ(param->grad.at(i), 0.0f);
+    }
+  }
+}
+
+TEST(ExecutorTest, TrainingStepReducesLoss) {
+  // Tiny regression-style sanity: a dense stack trained with SGD fits random
+  // labels better after a few steps.
+  Rng rng(12);
+  auto input = std::make_shared<nn::InputLayer>("x", Shape({4}));
+  auto h = std::make_shared<nn::DenseLayer>("h", 4, 8, nn::Activation::kRelu,
+                                            &rng);
+  auto out = std::make_shared<nn::DenseLayer>(
+      "out", 8, 2, nn::Activation::kNone, &rng);
+  ModelGraph g("m");
+  int in = g.AddInput(input);
+  int hid = g.AddNode(h, {in}, false);
+  int logits = g.AddNode(out, {hid}, false);
+  g.MarkOutput(logits);
+
+  Tensor x = Tensor::Randn(Shape({16, 4}), &rng, 1.0f);
+  std::vector<int32_t> labels;
+  for (int i = 0; i < 16; ++i) {
+    labels.push_back(x.at(i * 4) > 0 ? 1 : 0);
+  }
+
+  Executor ex(&g);
+  auto params = ex.TrainableParams();
+  float first_loss = -1.0f;
+  float last_loss = -1.0f;
+  for (int step = 0; step < 60; ++step) {
+    ex.ZeroGrads();
+    ex.Forward({{in, x}}, true);
+    Tensor probs = ops::SoftmaxForward(ex.Output(logits));
+    Tensor dlogits;
+    float loss = ops::SoftmaxCrossEntropy(probs, labels, &dlogits);
+    if (step == 0) first_loss = loss;
+    last_loss = loss;
+    ex.Backward({{logits, dlogits}});
+    for (nn::Parameter* param : params) {
+      for (int64_t i = 0; i < param->value.NumElements(); ++i) {
+        param->value.at(i) -= 0.5f * param->grad.at(i);
+      }
+    }
+  }
+  EXPECT_LT(last_loss, first_loss * 0.7f);
+}
+
+TEST(ModelGraphDeathTest, ForwardReferenceRejected) {
+  Rng rng(13);
+  ChainParts p = MakeChainParts(&rng);
+  ModelGraph g("m");
+  (void)g.AddInput(p.input);
+  EXPECT_DEATH(g.AddNode(p.a, {5}, true), "Check failed");
+}
+
+TEST(ModelGraphDeathTest, ValidateRequiresOutputs) {
+  Rng rng(14);
+  ChainParts p = MakeChainParts(&rng);
+  ModelGraph g("m");
+  (void)g.AddInput(p.input);
+  EXPECT_DEATH(g.Validate(), "no outputs");
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace nautilus

@@ -1,0 +1,79 @@
+// Long-horizon integration: a ten-cycle mini run through the full API,
+// exercising incremental materialization, two exponential-backoff re-plans,
+// growing snapshots, and stable best-model selection — the closest test
+// analogue of the paper's end-to-end protocol.
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "nautilus/core/model_selection.h"
+#include "nautilus/data/synthetic.h"
+#include "nautilus/zoo/bert_like.h"
+
+namespace nautilus {
+namespace core {
+namespace {
+
+TEST(LongHorizonTest, TenCyclesWithBackoffsStayConsistent) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "nautilus_long_horizon";
+  std::filesystem::remove_all(dir);
+
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 61);
+  Workload workload;
+  Hyperparams hp;
+  hp.batch_size = 10;
+  hp.learning_rate = 2e-3;
+  hp.epochs = 1;
+  workload.emplace_back(
+      zoo::BuildBertFeatureTransferModel(
+          source, zoo::BertFeature::kLastHidden, 3, "lh_m0", 700),
+      hp);
+  workload.emplace_back(
+      zoo::BuildBertAdapterModel(source, 1, 3, "lh_m1", 701), hp);
+  workload.emplace_back(
+      zoo::BuildBertFineTuneModel(source, 1, 3, "lh_m2", 702), hp);
+
+  SystemConfig config;
+  config.expected_max_records = 80;  // forces two doublings over 10 cycles
+  config.disk_budget_bytes = 1ull << 30;
+  config.memory_budget_bytes = 2ull << 30;
+  config.workspace_bytes = 1 << 20;
+  config.flops_per_second = 2e8;
+  config.disk_bytes_per_second = 1ull << 30;
+  config.per_model_setup_seconds = 0.01;
+
+  ModelSelection selection(workload, config, dir.string(), {});
+  data::LabeledDataset pool = data::GenerateTextPool(source, 400, 3, 62);
+  data::LabelingSimulator sim(pool, 40, 0.75);
+
+  int replans = 0;
+  int64_t prev_train = 0;
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    auto batch = sim.NextCycle();
+    FitResult result = selection.Fit(batch.train, batch.valid);
+    EXPECT_EQ(result.cycle, cycle);
+    EXPECT_EQ(result.evals.size(), 3u);
+    EXPECT_GE(result.best_model, 0);
+    EXPECT_LT(result.best_model, 3);
+    EXPECT_GE(result.best_accuracy, 0.0f);
+    EXPECT_LE(result.best_accuracy, 1.0f);
+    // Snapshots grow by exactly the labeled batch.
+    EXPECT_EQ(selection.dataset().train().size(), prev_train + 30);
+    prev_train = selection.dataset().train().size();
+    if (result.seconds_reoptimize > 0.0) ++replans;
+    // r never lags the data.
+    EXPECT_GE(selection.current_max_records(),
+              selection.dataset().train().size() +
+                  selection.dataset().valid().size());
+  }
+  EXPECT_EQ(selection.cycles_completed(), 10);
+  // 400 records vs r starting at 80: 80 -> 160 -> 320 -> 640.
+  EXPECT_EQ(selection.current_max_records(), 640);
+  EXPECT_GE(replans, 2);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace nautilus

@@ -1,0 +1,243 @@
+// Finite-difference gradient checks for every backward kernel in
+// nautilus/tensor/ops.h. Each test builds a scalar objective (sum of the
+// forward output weighted by a fixed random cotangent), computes the analytic
+// gradient via the backward kernel, and compares against central differences.
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+#include "nautilus/tensor/ops.h"
+#include "nautilus/util/random.h"
+
+namespace nautilus {
+namespace {
+
+using testing_util::ExpectGradientsClose;
+
+// Weighted sum of all elements; gradient of this w.r.t. the tensor is `w`.
+double WeightedSum(const Tensor& t, const Tensor& w) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < t.NumElements(); ++i) {
+    acc += static_cast<double>(t.at(i)) * static_cast<double>(w.at(i));
+  }
+  return acc;
+}
+
+TEST(GradCheck, MatMulInputs) {
+  Rng rng(10);
+  Tensor a = Tensor::Randn(Shape({3, 4}), &rng, 0.5f);
+  Tensor b = Tensor::Randn(Shape({4, 2}), &rng, 0.5f);
+  Tensor w = Tensor::Randn(Shape({3, 2}), &rng, 1.0f);
+  // d(sum(w*AB))/dA = w B^T ; /dB = A^T w
+  Tensor da = ops::MatMulNT(w, b);
+  Tensor db = ops::MatMulTN(a, w);
+  ExpectGradientsClose(
+      [&](const Tensor& x) { return WeightedSum(ops::MatMul(x, b), w); }, a,
+      da);
+  ExpectGradientsClose(
+      [&](const Tensor& x) { return WeightedSum(ops::MatMul(a, x), w); }, b,
+      db);
+}
+
+TEST(GradCheck, Gelu) {
+  Rng rng(11);
+  Tensor x = Tensor::Randn(Shape({12}), &rng, 1.0f);
+  Tensor w = Tensor::Randn(Shape({12}), &rng, 1.0f);
+  Tensor dx = ops::GeluBackward(w, x);
+  ExpectGradientsClose(
+      [&](const Tensor& p) { return WeightedSum(ops::GeluForward(p), w); }, x,
+      dx, 1e-3, 1e-2, 5e-2);
+}
+
+TEST(GradCheck, Tanh) {
+  Rng rng(12);
+  Tensor x = Tensor::Randn(Shape({10}), &rng, 0.8f);
+  Tensor w = Tensor::Randn(Shape({10}), &rng, 1.0f);
+  Tensor y = ops::TanhForward(x);
+  Tensor dx = ops::TanhBackward(w, y);
+  ExpectGradientsClose(
+      [&](const Tensor& p) { return WeightedSum(ops::TanhForward(p), w); }, x,
+      dx, 1e-3);
+}
+
+TEST(GradCheck, LayerNorm) {
+  Rng rng(13);
+  Tensor x = Tensor::Randn(Shape({3, 6}), &rng, 1.0f);
+  Tensor gamma = Tensor::Randn(Shape({6}), &rng, 0.3f);
+  ops::AxpyInPlace(1.0f, Tensor::Full(Shape({6}), 1.0f), &gamma);
+  Tensor beta = Tensor::Randn(Shape({6}), &rng, 0.3f);
+  Tensor w = Tensor::Randn(Shape({3, 6}), &rng, 1.0f);
+  const float eps = 1e-5f;
+
+  ops::LayerNormCache cache;
+  Tensor y = ops::LayerNormForward(x, gamma, beta, eps, &cache);
+  (void)y;
+  Tensor dx, dgamma, dbeta;
+  ops::LayerNormBackward(w, gamma, cache, &dx, &dgamma, &dbeta);
+
+  auto f_x = [&](const Tensor& p) {
+    ops::LayerNormCache c;
+    return WeightedSum(ops::LayerNormForward(p, gamma, beta, eps, &c), w);
+  };
+  ExpectGradientsClose(f_x, x, dx, 1e-3, 2e-2, 8e-2);
+
+  auto f_gamma = [&](const Tensor& p) {
+    ops::LayerNormCache c;
+    return WeightedSum(ops::LayerNormForward(x, p, beta, eps, &c), w);
+  };
+  ExpectGradientsClose(f_gamma, gamma, dgamma, 1e-3);
+
+  auto f_beta = [&](const Tensor& p) {
+    ops::LayerNormCache c;
+    return WeightedSum(ops::LayerNormForward(x, gamma, p, eps, &c), w);
+  };
+  ExpectGradientsClose(f_beta, beta, dbeta, 1e-3);
+}
+
+TEST(GradCheck, SoftmaxCrossEntropy) {
+  Rng rng(14);
+  Tensor logits = Tensor::Randn(Shape({4, 3}), &rng, 1.0f);
+  std::vector<int32_t> labels = {0, 2, 1, 2};
+  Tensor probs = ops::SoftmaxForward(logits);
+  Tensor dlogits;
+  ops::SoftmaxCrossEntropy(probs, labels, &dlogits);
+  auto f = [&](const Tensor& p) {
+    Tensor pr = ops::SoftmaxForward(p);
+    Tensor unused;
+    return static_cast<double>(ops::SoftmaxCrossEntropy(pr, labels, &unused));
+  };
+  ExpectGradientsClose(f, logits, dlogits, 1e-3);
+}
+
+TEST(GradCheck, MeanPoolSeq) {
+  Rng rng(15);
+  Tensor x = Tensor::Randn(Shape({2, 3, 4}), &rng, 1.0f);
+  Tensor w = Tensor::Randn(Shape({2, 4}), &rng, 1.0f);
+  Tensor y = ops::MeanPoolSeq(x);
+  (void)y;
+  Tensor dx = ops::MeanPoolSeqBackward(w, x.shape());
+  ExpectGradientsClose(
+      [&](const Tensor& p) { return WeightedSum(ops::MeanPoolSeq(p), w); }, x,
+      dx, 1e-3);
+}
+
+TEST(GradCheck, SelectSeqPosition) {
+  Rng rng(16);
+  Tensor x = Tensor::Randn(Shape({2, 3, 2}), &rng, 1.0f);
+  Tensor w = Tensor::Randn(Shape({2, 2}), &rng, 1.0f);
+  Tensor dx = ops::SelectSeqPositionBackward(w, x.shape(), -1);
+  ExpectGradientsClose(
+      [&](const Tensor& p) {
+        return WeightedSum(ops::SelectSeqPosition(p, -1), w);
+      },
+      x, dx, 1e-3);
+}
+
+TEST(GradCheck, Attention) {
+  Rng rng(17);
+  const Shape qkv({1, 2, 3, 2});  // b=1, heads=2, s=3, dh=2
+  Tensor q = Tensor::Randn(qkv, &rng, 0.7f);
+  Tensor k = Tensor::Randn(qkv, &rng, 0.7f);
+  Tensor v = Tensor::Randn(qkv, &rng, 0.7f);
+  Tensor w = Tensor::Randn(qkv, &rng, 1.0f);
+
+  ops::AttentionCache cache;
+  Tensor y = ops::AttentionForward(q, k, v, &cache);
+  (void)y;
+  Tensor dq, dk, dv;
+  ops::AttentionBackward(w, q, k, v, cache, &dq, &dk, &dv);
+
+  auto run = [&](const Tensor& qq, const Tensor& kk, const Tensor& vv) {
+    ops::AttentionCache c;
+    return WeightedSum(ops::AttentionForward(qq, kk, vv, &c), w);
+  };
+  ExpectGradientsClose([&](const Tensor& p) { return run(p, k, v); }, q, dq,
+                       1e-3, 2e-2, 8e-2);
+  ExpectGradientsClose([&](const Tensor& p) { return run(q, p, v); }, k, dk,
+                       1e-3, 2e-2, 8e-2);
+  ExpectGradientsClose([&](const Tensor& p) { return run(q, k, p); }, v, dv,
+                       1e-3, 2e-2, 8e-2);
+}
+
+TEST(GradCheck, Conv2D) {
+  Rng rng(18);
+  Tensor x = Tensor::Randn(Shape({1, 2, 4, 4}), &rng, 0.5f);
+  Tensor weight = Tensor::Randn(Shape({2, 2, 3, 3}), &rng, 0.3f);
+  Tensor bias = Tensor::Randn(Shape({2}), &rng, 0.1f);
+  const ops::Conv2DArgs args{.stride = 1, .padding = 1};
+  Tensor w = Tensor::Randn(Shape({1, 2, 4, 4}), &rng, 1.0f);
+
+  Tensor dx, dweight, dbias;
+  ops::Conv2DBackward(w, x, weight, args, &dx, &dweight, &dbias);
+
+  ExpectGradientsClose(
+      [&](const Tensor& p) {
+        return WeightedSum(ops::Conv2DForward(p, weight, bias, args), w);
+      },
+      x, dx, 1e-2, 3e-2, 8e-2);
+  ExpectGradientsClose(
+      [&](const Tensor& p) {
+        return WeightedSum(ops::Conv2DForward(x, p, bias, args), w);
+      },
+      weight, dweight, 1e-2, 3e-2, 8e-2);
+  ExpectGradientsClose(
+      [&](const Tensor& p) {
+        return WeightedSum(ops::Conv2DForward(x, weight, p, args), w);
+      },
+      bias, dbias, 1e-2, 3e-2, 8e-2);
+}
+
+TEST(GradCheck, Conv2DStride2) {
+  Rng rng(19);
+  Tensor x = Tensor::Randn(Shape({1, 1, 4, 4}), &rng, 0.5f);
+  Tensor weight = Tensor::Randn(Shape({1, 1, 3, 3}), &rng, 0.3f);
+  Tensor bias(Shape({1}));
+  const ops::Conv2DArgs args{.stride = 2, .padding = 1};
+  Tensor y = ops::Conv2DForward(x, weight, bias, args);
+  Tensor w = Tensor::Randn(y.shape(), &rng, 1.0f);
+  Tensor dx, dweight, dbias;
+  ops::Conv2DBackward(w, x, weight, args, &dx, &dweight, &dbias);
+  ExpectGradientsClose(
+      [&](const Tensor& p) {
+        return WeightedSum(ops::Conv2DForward(p, weight, bias, args), w);
+      },
+      x, dx, 1e-2, 3e-2, 8e-2);
+}
+
+TEST(GradCheck, ChannelAffine) {
+  Rng rng(20);
+  Tensor x = Tensor::Randn(Shape({2, 3, 2, 2}), &rng, 0.5f);
+  Tensor scale = Tensor::Randn(Shape({3}), &rng, 0.2f);
+  ops::AxpyInPlace(1.0f, Tensor::Full(Shape({3}), 1.0f), &scale);
+  Tensor shift = Tensor::Randn(Shape({3}), &rng, 0.2f);
+  Tensor w = Tensor::Randn(x.shape(), &rng, 1.0f);
+  Tensor dx, dscale, dshift;
+  ops::ChannelAffineBackward(w, x, scale, &dx, &dscale, &dshift);
+  ExpectGradientsClose(
+      [&](const Tensor& p) {
+        return WeightedSum(ops::ChannelAffineForward(p, scale, shift), w);
+      },
+      x, dx, 1e-3);
+  ExpectGradientsClose(
+      [&](const Tensor& p) {
+        return WeightedSum(ops::ChannelAffineForward(x, p, shift), w);
+      },
+      scale, dscale, 1e-3);
+  ExpectGradientsClose(
+      [&](const Tensor& p) {
+        return WeightedSum(ops::ChannelAffineForward(x, scale, p), w);
+      },
+      shift, dshift, 1e-3);
+}
+
+TEST(GradCheck, GlobalAvgPool) {
+  Rng rng(21);
+  Tensor x = Tensor::Randn(Shape({2, 2, 2, 2}), &rng, 1.0f);
+  Tensor w = Tensor::Randn(Shape({2, 2}), &rng, 1.0f);
+  Tensor dx = ops::GlobalAvgPoolBackward(w, x.shape());
+  ExpectGradientsClose(
+      [&](const Tensor& p) { return WeightedSum(ops::GlobalAvgPool(p), w); },
+      x, dx, 1e-3);
+}
+
+}  // namespace
+}  // namespace nautilus

@@ -1,0 +1,300 @@
+// Parameterized property sweeps over the tensor kernels: reference
+// comparisons and algebraic invariants across a grid of shapes, so the
+// kernels are exercised far beyond the single-shape unit tests.
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "nautilus/tensor/ops.h"
+#include "nautilus/util/random.h"
+
+namespace nautilus {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MatMul family vs a naive triple-loop reference across shapes.
+// ---------------------------------------------------------------------------
+
+class MatMulShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b, int m, int k, int n) {
+  Tensor c(Shape({m, n}));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p) {
+        acc += static_cast<double>(a.at(i * k + p)) * b.at(p * n + j);
+      }
+      c.at(i * n + j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+TEST_P(MatMulShapes, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 10007 + k * 101 + n));
+  Tensor a = Tensor::Randn(Shape({m, k}), &rng, 1.0f);
+  Tensor b = Tensor::Randn(Shape({k, n}), &rng, 1.0f);
+  Tensor c = ops::MatMul(a, b);
+  EXPECT_LT(Tensor::MaxAbsDiff(c, NaiveMatMul(a, b, m, k, n)),
+            1e-4f * static_cast<float>(k));
+}
+
+TEST_P(MatMulShapes, TransposedVariantsConsistent) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m + k + n));
+  Tensor a = Tensor::Randn(Shape({m, k}), &rng, 1.0f);
+  Tensor b = Tensor::Randn(Shape({k, n}), &rng, 1.0f);
+  // (A B)^T == B^T A^T: check one entry relation via NT/TN forms.
+  Tensor ab = ops::MatMul(a, b);
+  // NT: a [m,k] x b' [n,k]^T where b' = B^T.
+  Tensor bt(Shape({n, k}));
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < n; ++j) bt.at(j * k + i) = b.at(i * n + j);
+  }
+  Tensor ab2 = ops::MatMulNT(a, bt);
+  EXPECT_LT(Tensor::MaxAbsDiff(ab, ab2), 1e-4f * static_cast<float>(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MatMulShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 7, 3),
+                      std::make_tuple(5, 1, 4), std::make_tuple(8, 8, 8),
+                      std::make_tuple(3, 17, 5), std::make_tuple(16, 4, 16),
+                      std::make_tuple(2, 33, 9), std::make_tuple(13, 13, 1)));
+
+// ---------------------------------------------------------------------------
+// Softmax cross-entropy invariants across class counts and batch sizes.
+// ---------------------------------------------------------------------------
+
+class SoftmaxShapes
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SoftmaxShapes, ProbabilitiesAndGradientsWellFormed) {
+  const auto [batch, classes] = GetParam();
+  Rng rng(static_cast<uint64_t>(batch * 31 + classes));
+  Tensor logits = Tensor::Randn(Shape({batch, classes}), &rng, 2.0f);
+  Tensor probs = ops::SoftmaxForward(logits);
+  std::vector<int32_t> labels;
+  for (int i = 0; i < batch; ++i) {
+    labels.push_back(static_cast<int32_t>(rng.UniformInt(classes)));
+  }
+  Tensor dlogits;
+  const float loss = ops::SoftmaxCrossEntropy(probs, labels, &dlogits);
+  EXPECT_GE(loss, 0.0f);
+  for (int i = 0; i < batch; ++i) {
+    float psum = 0.0f;
+    float gsum = 0.0f;
+    for (int c = 0; c < classes; ++c) {
+      const float p = probs.at(i * classes + c);
+      EXPECT_GE(p, 0.0f);
+      EXPECT_LE(p, 1.0f);
+      psum += p;
+      gsum += dlogits.at(i * classes + c);
+    }
+    EXPECT_NEAR(psum, 1.0f, 1e-4f);
+    // Softmax-CE gradient rows sum to zero.
+    EXPECT_NEAR(gsum, 0.0f, 1e-5f);
+  }
+  EXPECT_GE(ops::Accuracy(probs, labels), 0.0f);
+  EXPECT_LE(ops::Accuracy(probs, labels), 1.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SoftmaxShapes,
+                         ::testing::Combine(::testing::Values(1, 3, 16),
+                                            ::testing::Values(2, 5, 11)));
+
+// ---------------------------------------------------------------------------
+// LayerNorm invariants across widths.
+// ---------------------------------------------------------------------------
+
+class LayerNormWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(LayerNormWidths, UnitGammaZeroBetaNormalizes) {
+  const int width = GetParam();
+  Rng rng(static_cast<uint64_t>(width));
+  Tensor x = Tensor::Randn(Shape({4, width}), &rng, 3.0f);
+  Tensor gamma = Tensor::Full(Shape({width}), 1.0f);
+  Tensor beta = Tensor::Zeros(Shape({width}));
+  ops::LayerNormCache cache;
+  Tensor y = ops::LayerNormForward(x, gamma, beta, 1e-5f, &cache);
+  for (int i = 0; i < 4; ++i) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (int j = 0; j < width; ++j) mean += y.at(i * width + j);
+    mean /= width;
+    for (int j = 0; j < width; ++j) {
+      var += (y.at(i * width + j) - mean) * (y.at(i * width + j) - mean);
+    }
+    var /= width;
+    EXPECT_NEAR(mean, 0.0, 1e-3);
+    if (width > 1) {
+      EXPECT_NEAR(var, 1.0, 2e-2);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, LayerNormWidths,
+                         ::testing::Values(2, 3, 8, 17, 64));
+
+// ---------------------------------------------------------------------------
+// Attention invariants across (heads, seq, head-dim).
+// ---------------------------------------------------------------------------
+
+class AttentionShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(AttentionShapes, RowsAreConvexCombinationsOfValues) {
+  const auto [heads, seq, dh] = GetParam();
+  Rng rng(static_cast<uint64_t>(heads * 97 + seq * 13 + dh));
+  const Shape shape({2, heads, seq, dh});
+  Tensor q = Tensor::Randn(shape, &rng, 0.8f);
+  Tensor k = Tensor::Randn(shape, &rng, 0.8f);
+  Tensor v = Tensor::Randn(shape, &rng, 0.8f);
+  ops::AttentionCache cache;
+  Tensor y = ops::AttentionForward(q, k, v, &cache);
+  EXPECT_EQ(y.shape(), shape);
+  // Attention probabilities: non-negative, rows sum to 1.
+  const int64_t rows = 2 * heads * seq;
+  for (int64_t r = 0; r < rows; ++r) {
+    float sum = 0.0f;
+    for (int s = 0; s < seq; ++s) {
+      const float p = cache.probs.at(r * seq + s);
+      EXPECT_GE(p, 0.0f);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-4f);
+  }
+  // Output values bounded by min/max of V along the sequence (convexity).
+  for (int64_t b = 0; b < 2; ++b) {
+    for (int64_t hidx = 0; hidx < heads; ++hidx) {
+      for (int64_t d = 0; d < dh; ++d) {
+        float lo = 1e30f;
+        float hi = -1e30f;
+        for (int64_t s = 0; s < seq; ++s) {
+          const float val =
+              v.at(((b * heads + hidx) * seq + s) * dh + d);
+          lo = std::min(lo, val);
+          hi = std::max(hi, val);
+        }
+        for (int64_t s = 0; s < seq; ++s) {
+          const float out =
+              y.at(((b * heads + hidx) * seq + s) * dh + d);
+          EXPECT_GE(out, lo - 1e-4f);
+          EXPECT_LE(out, hi + 1e-4f);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AttentionShapes,
+    ::testing::Values(std::make_tuple(1, 1, 4), std::make_tuple(2, 3, 2),
+                      std::make_tuple(4, 8, 8), std::make_tuple(1, 16, 1)));
+
+// ---------------------------------------------------------------------------
+// Conv2D output shapes and linearity across stride/padding/kernel.
+// ---------------------------------------------------------------------------
+
+class ConvShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ConvShapes, ShapeFormulaAndLinearity) {
+  const auto [kernel, stride, padding] = GetParam();
+  const int in = 9;
+  if (in + 2 * padding < kernel) GTEST_SKIP();
+  Rng rng(static_cast<uint64_t>(kernel * 7 + stride * 3 + padding));
+  Tensor x = Tensor::Randn(Shape({1, 2, in, in}), &rng, 1.0f);
+  Tensor w = Tensor::Randn(Shape({3, 2, kernel, kernel}), &rng, 0.3f);
+  Tensor bias(Shape({3}));
+  const ops::Conv2DArgs args{.stride = stride, .padding = padding};
+  Tensor y = ops::Conv2DForward(x, w, bias, args);
+  const int expected = (in + 2 * padding - kernel) / stride + 1;
+  EXPECT_EQ(y.shape(), Shape({1, 3, expected, expected}));
+
+  // Linearity in the input: conv(2x) == 2 conv(x) with zero bias.
+  Tensor x2 = x;
+  ops::ScaleInPlace(2.0f, &x2);
+  Tensor y2 = ops::Conv2DForward(x2, w, bias, args);
+  Tensor y_scaled = y;
+  ops::ScaleInPlace(2.0f, &y_scaled);
+  EXPECT_LT(Tensor::MaxAbsDiff(y2, y_scaled), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConvShapes,
+    ::testing::Values(std::make_tuple(1, 1, 0), std::make_tuple(3, 1, 1),
+                      std::make_tuple(3, 2, 1), std::make_tuple(5, 1, 2),
+                      std::make_tuple(3, 3, 0), std::make_tuple(7, 2, 3)));
+
+// ---------------------------------------------------------------------------
+// Concat/split and head split/merge round trips across widths.
+// ---------------------------------------------------------------------------
+
+class ConcatWidths
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ConcatWidths, SplitInvertsConcat) {
+  const auto [w1, w2, w3] = GetParam();
+  Rng rng(static_cast<uint64_t>(w1 * 100 + w2 * 10 + w3));
+  Tensor a = Tensor::Randn(Shape({3, w1}), &rng, 1.0f);
+  Tensor b = Tensor::Randn(Shape({3, w2}), &rng, 1.0f);
+  Tensor c = Tensor::Randn(Shape({3, w3}), &rng, 1.0f);
+  Tensor cat = ops::ConcatLastDim({&a, &b, &c});
+  EXPECT_EQ(cat.shape(), Shape({3, w1 + w2 + w3}));
+  auto parts = ops::SplitLastDim(cat, {w1, w2, w3});
+  EXPECT_EQ(Tensor::MaxAbsDiff(parts[0], a), 0.0f);
+  EXPECT_EQ(Tensor::MaxAbsDiff(parts[1], b), 0.0f);
+  EXPECT_EQ(Tensor::MaxAbsDiff(parts[2], c), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConcatWidths,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(4, 2, 6),
+                      std::make_tuple(1, 9, 3), std::make_tuple(8, 8, 8)));
+
+class HeadSplits : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+};
+
+TEST_P(HeadSplits, MergeInvertsSplit) {
+  const auto [batch, seq, heads] = GetParam();
+  const int dh = 3;
+  Rng rng(static_cast<uint64_t>(batch + seq + heads));
+  Tensor x = Tensor::Randn(Shape({batch, seq, heads * dh}), &rng, 1.0f);
+  EXPECT_EQ(Tensor::MaxAbsDiff(ops::MergeHeads(ops::SplitHeads(x, heads)), x),
+            0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, HeadSplits,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 5, 3),
+                      std::make_tuple(4, 2, 8), std::make_tuple(3, 7, 2)));
+
+// ---------------------------------------------------------------------------
+// Pooling invariants.
+// ---------------------------------------------------------------------------
+
+class PoolKernels : public ::testing::TestWithParam<int> {};
+
+TEST_P(PoolKernels, MaxPoolDominatesAvgOfWindow) {
+  const int kernel = GetParam();
+  const int in = kernel * 3;
+  Rng rng(static_cast<uint64_t>(kernel));
+  Tensor x = Tensor::Randn(Shape({1, 2, in, in}), &rng, 1.0f);
+  ops::MaxPoolCache cache;
+  Tensor y = ops::MaxPool2DForward(x, kernel, &cache);
+  EXPECT_EQ(y.shape(), Shape({1, 2, 3, 3}));
+  // Every pooled value appears in the input (argmax validity).
+  for (int64_t i = 0; i < y.NumElements(); ++i) {
+    EXPECT_EQ(y.at(i), x.at(cache.argmax[static_cast<size_t>(i)]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PoolKernels, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace nautilus

@@ -1,0 +1,119 @@
+// Tests for the ParallelFor abstraction, the parallel matmul's determinism,
+// and the optimizer upgrades (weight decay, gradient clipping).
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nautilus/nn/optimizer.h"
+#include "nautilus/tensor/ops.h"
+#include "nautilus/util/parallel.h"
+#include "nautilus/util/random.h"
+
+namespace nautilus {
+namespace {
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (int degree : {1, 2, 4, 7}) {
+    SetParallelismDegree(degree);
+    std::vector<std::atomic<int>> counts(103);
+    for (auto& c : counts) c.store(0);
+    ParallelFor(103, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        counts[static_cast<size_t>(i)].fetch_add(1);
+      }
+    });
+    for (size_t i = 0; i < counts.size(); ++i) {
+      EXPECT_EQ(counts[i].load(), 1) << "index " << i << " degree " << degree;
+    }
+  }
+  SetParallelismDegree(1);
+}
+
+TEST(ParallelForTest, EmptyAndMinChunk) {
+  SetParallelismDegree(4);
+  int calls = 0;
+  ParallelFor(0, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // min_chunk larger than n forces a single inline call.
+  std::atomic<int> ranges{0};
+  ParallelFor(5, [&](int64_t begin, int64_t end) {
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 5);
+    ranges.fetch_add(1);
+  }, /*min_chunk=*/100);
+  EXPECT_EQ(ranges.load(), 1);
+  SetParallelismDegree(1);
+}
+
+TEST(ParallelMatMulTest, DeterministicAcrossDegrees) {
+  Rng rng(1);
+  Tensor a = Tensor::Randn(Shape({37, 23}), &rng, 1.0f);
+  Tensor b = Tensor::Randn(Shape({23, 19}), &rng, 1.0f);
+  SetParallelismDegree(1);
+  Tensor serial = ops::MatMul(a, b);
+  for (int degree : {2, 3, 8}) {
+    SetParallelismDegree(degree);
+    Tensor parallel = ops::MatMul(a, b);
+    EXPECT_EQ(Tensor::MaxAbsDiff(serial, parallel), 0.0f)
+        << "degree " << degree;
+  }
+  SetParallelismDegree(1);
+}
+
+TEST(GradClipTest, GlobalNormComputedAcrossParams) {
+  nn::Parameter a("a", Tensor(Shape({2}), {3.0f, 0.0f}));
+  nn::Parameter b("b", Tensor(Shape({1}), {0.0f}));
+  a.grad = Tensor(Shape({2}), {3.0f, 0.0f});
+  b.grad = Tensor(Shape({1}), {4.0f});
+  EXPECT_DOUBLE_EQ(nn::GlobalGradNorm({&a, &b}), 5.0);
+}
+
+TEST(GradClipTest, ScalesDownOnlyWhenAboveThreshold) {
+  nn::Parameter p("p", Tensor(Shape({2}), {0.0f, 0.0f}));
+  p.grad = Tensor(Shape({2}), {3.0f, 4.0f});  // norm 5
+  nn::ClipGradientsByGlobalNorm({&p}, 10.0);
+  EXPECT_FLOAT_EQ(p.grad.at(0), 3.0f);  // untouched
+  nn::ClipGradientsByGlobalNorm({&p}, 2.5);
+  EXPECT_NEAR(nn::GlobalGradNorm({&p}), 2.5, 1e-6);
+  EXPECT_NEAR(p.grad.at(0) / p.grad.at(1), 0.75, 1e-5);  // direction kept
+}
+
+TEST(GradClipTest, ZeroThresholdDisables) {
+  nn::Parameter p("p", Tensor(Shape({1}), {0.0f}));
+  p.grad = Tensor(Shape({1}), {100.0f});
+  nn::ClipGradientsByGlobalNorm({&p}, 0.0);
+  EXPECT_FLOAT_EQ(p.grad.at(0), 100.0f);
+}
+
+TEST(WeightDecayTest, DecaysTowardZeroWithoutGradients) {
+  nn::Parameter p("p", Tensor(Shape({2}), {1.0f, -2.0f}));
+  nn::AdamOptimizer adam(/*lr=*/0.1, 0.9, 0.999, 1e-8, /*weight_decay=*/0.5);
+  for (int step = 0; step < 50; ++step) {
+    p.ZeroGrad();
+    adam.Step({&p});
+  }
+  // With zero gradients the decoupled decay shrinks weights geometrically.
+  EXPECT_LT(std::abs(p.value.at(0)), 0.1f);
+  EXPECT_LT(std::abs(p.value.at(1)), 0.2f);
+}
+
+TEST(WeightDecayTest, ZeroDecayLeavesWeightsAloneWithZeroGrad) {
+  nn::Parameter p("p", Tensor(Shape({1}), {1.5f}));
+  nn::AdamOptimizer adam(0.1);
+  p.ZeroGrad();
+  adam.Step({&p});
+  EXPECT_FLOAT_EQ(p.value.at(0), 1.5f);
+}
+
+TEST(WeightDecayTest, CloneFreshPreservesDecay) {
+  nn::AdamOptimizer adam(0.1, 0.9, 0.999, 1e-8, 0.25);
+  auto fresh = adam.CloneFresh();
+  nn::Parameter p("p", Tensor(Shape({1}), {1.0f}));
+  p.ZeroGrad();
+  fresh->Step({&p});
+  EXPECT_LT(p.value.at(0), 1.0f);  // decay applied by the clone too
+}
+
+}  // namespace
+}  // namespace nautilus

@@ -1,0 +1,213 @@
+// Parameterized property tests across all five workloads: structural
+// invariants of optimized plans, simulator monotonicity, and the
+// equivalence of Nautilus vs Current Practice on real training for every
+// workload family (not just feature transfer).
+#include <filesystem>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "nautilus/core/memory_estimator.h"
+#include "nautilus/core/planner.h"
+#include "nautilus/core/simulator.h"
+#include "nautilus/nn/layer.h"
+#include "nautilus/workloads/runner.h"
+
+namespace nautilus {
+namespace workloads {
+namespace {
+
+class PlanInvariantsTest : public ::testing::TestWithParam<WorkloadId> {};
+
+// Every structural invariant an ExecutionGroup must satisfy.
+void CheckGroupInvariants(const core::MultiModelGraph& mm,
+                          const core::ExecutionGroup& group) {
+  ASSERT_FALSE(group.nodes.empty());
+  ASSERT_FALSE(group.branches.empty());
+  std::set<int> outputs;
+  for (const core::PlanBranch& branch : group.branches) {
+    ASSERT_GE(branch.output_node, 0);
+    ASSERT_LT(branch.output_node, static_cast<int>(group.nodes.size()));
+    EXPECT_TRUE(outputs.insert(branch.output_node).second)
+        << "two branches share an output node";
+    EXPECT_EQ(branch.hp.batch_size, group.batch_size);
+  }
+  for (size_t v = 0; v < group.nodes.size(); ++v) {
+    const core::PlanNode& node = group.nodes[v];
+    EXPECT_NE(node.action, core::NodeAction::kPruned)
+        << "plans must only retain non-pruned nodes";
+    EXPECT_FALSE(node.branches_using.empty())
+        << "node " << v << " serves no branch (dead code in plan)";
+    if (node.action == core::NodeAction::kComputed) {
+      EXPECT_GE(node.compute_cost_flops, 0.0);
+      for (int p : node.parents) {
+        EXPECT_GE(p, 0);
+        EXPECT_LT(p, static_cast<int>(v)) << "non-topological parent";
+      }
+    } else {
+      EXPECT_TRUE(node.parents.empty()) << "loaded node with parents";
+      EXPECT_GT(node.load_bytes, 0.0);
+      if (!node.is_raw_input) {
+        EXPECT_FALSE(node.store_key.empty());
+        EXPECT_GE(mm.UnitByHash(node.expr_hash), 0);
+      }
+    }
+  }
+}
+
+TEST_P(PlanInvariantsTest, OptimizedPlansAreWellFormed) {
+  nn::ProfileOnlyScope profile_only;
+  BuiltWorkload built = BuildWorkload(GetParam(), Scale::kPaper, 3);
+  core::SystemConfig config;
+  config.expected_max_records = 5000;
+  core::MultiModelGraph mm(&built.workload, config);
+  core::PlannedWorkload plan = core::PlanWorkload(
+      mm, core::MaterializationMode::kOptimized, /*enable_fusion=*/true,
+      config);
+
+  std::set<int> covered;
+  for (const core::ExecutionGroup& group : plan.fusion.groups) {
+    CheckGroupInvariants(mm, group);
+    for (const core::PlanBranch& branch : group.branches) {
+      EXPECT_TRUE(covered.insert(branch.model_index).second);
+    }
+    // Fused groups must respect the paper's memory budget.
+    EXPECT_LE(core::EstimatePeakMemory(group, config).total(),
+              config.memory_budget_bytes * 1.0 + 1e6)
+        << group.DebugString();
+  }
+  EXPECT_EQ(covered.size(), built.workload.size());
+
+  // The storage budget holds for the final materialized set.
+  double bytes = 0.0;
+  for (size_t u = 0; u < plan.choice.materialize.size(); ++u) {
+    if (plan.choice.materialize[u]) {
+      bytes += mm.units()[u].disk_bytes *
+               static_cast<double>(config.expected_max_records);
+    }
+  }
+  EXPECT_LE(bytes, config.disk_budget_bytes + 1e-6);
+}
+
+TEST_P(PlanInvariantsTest, NautilusPlanNeverCostsMoreThanAblations) {
+  nn::ProfileOnlyScope profile_only;
+  BuiltWorkload built = BuildWorkload(GetParam(), Scale::kPaper, 3);
+  core::SystemConfig config;
+  config.expected_max_records = 5000;
+  core::MultiModelGraph mm(&built.workload, config);
+  const double full =
+      core::PlanWorkload(mm, core::MaterializationMode::kOptimized, true,
+                         config)
+          .score_seconds;
+  const double no_fuse =
+      core::PlanWorkload(mm, core::MaterializationMode::kOptimized, false,
+                         config)
+          .score_seconds;
+  const double no_mat =
+      core::PlanWorkload(mm, core::MaterializationMode::kNone, true, config)
+          .score_seconds;
+  const double neither =
+      core::PlanWorkload(mm, core::MaterializationMode::kNone, false, config)
+          .score_seconds;
+  EXPECT_LE(full, no_fuse + 1e-9);
+  EXPECT_LE(full, no_mat + 1e-9);
+  EXPECT_LE(no_fuse, neither + 1e-9);
+  EXPECT_LE(no_mat, neither + 1e-9);
+}
+
+TEST_P(PlanInvariantsTest, SimulatedTrainingMonotoneInRecords) {
+  nn::ProfileOnlyScope profile_only;
+  BuiltWorkload built = BuildWorkload(GetParam(), Scale::kPaper, 3);
+  core::SystemConfig config;
+  config.expected_max_records = 5000;
+  core::MultiModelGraph mm(&built.workload, config);
+  core::PlannedWorkload plan = core::PlanWorkload(
+      mm, core::MaterializationMode::kOptimized, true, config);
+  const core::ExecutionGroup& group = plan.fusion.groups.front();
+  double prev = 0.0;
+  for (int64_t records : {500, 1000, 2000, 4000}) {
+    const double seconds =
+        core::SimulateGroupTraining(group, records, records / 4, 1e6, config)
+            .total_seconds();
+    EXPECT_GT(seconds, prev);
+    prev = seconds;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, PlanInvariantsTest,
+                         ::testing::Values(WorkloadId::kFtr1,
+                                           WorkloadId::kFtr2,
+                                           WorkloadId::kFtr3, WorkloadId::kAtr,
+                                           WorkloadId::kFtu),
+                         [](const auto& info) {
+                           return std::string(WorkloadName(info.param))
+                                      .substr(0, 3) +
+                                  (info.param == WorkloadId::kFtr1   ? "1"
+                                   : info.param == WorkloadId::kFtr2 ? "2"
+                                   : info.param == WorkloadId::kFtr3 ? "3"
+                                                                     : "");
+                         });
+
+// ---------------------------------------------------------------------------
+// Equivalence for every workload family at mini scale, on real training.
+// ---------------------------------------------------------------------------
+
+class EquivalenceTest : public ::testing::TestWithParam<WorkloadId> {};
+
+TEST_P(EquivalenceTest, NautilusMatchesNaiveTraining) {
+  const WorkloadId id = GetParam();
+  core::SystemConfig config;
+  config.expected_max_records = 400;
+  config.disk_budget_bytes = 256.0 * (1 << 20);
+  config.memory_budget_bytes = 2.0 * (1ull << 30);
+  config.workspace_bytes = 1 << 20;
+  config.flops_per_second = 2e8;
+  config.disk_bytes_per_second = 1ull << 30;
+  config.per_model_setup_seconds = 0.01;
+  RunParams params;
+  params.cycles = 2;
+  params.records_per_cycle = 60;
+  params.train_fraction = 0.75;
+
+  MeasuredRun runs[2];
+  const Approach approaches[2] = {Approach::kCurrentPractice,
+                                  Approach::kNautilus};
+  const auto base = std::filesystem::temp_directory_path() /
+                    ("nautilus_equiv_" + std::string(WorkloadName(id)));
+  std::filesystem::remove_all(base);
+  for (int i = 0; i < 2; ++i) {
+    // Fresh identically-seeded sources per run (training mutates weights).
+    BuiltWorkload built = BuildWorkload(id, Scale::kMini, 5);
+    // Subset for speed: every 5th candidate.
+    core::Workload subset;
+    for (size_t m = 0; m < built.workload.size(); m += 5) {
+      subset.push_back(built.workload[m]);
+    }
+    built.workload = std::move(subset);
+    data::LabeledDataset pool = MakePoolFor(built, 150, 7);
+    runs[i] = MeasureRun(built, approaches[i], config, params, pool,
+                         (base / std::to_string(i)).string(), /*seed=*/3);
+  }
+  std::filesystem::remove_all(base);
+  ASSERT_EQ(runs[0].cycles.size(), runs[1].cycles.size());
+  for (size_t k = 0; k < runs[0].cycles.size(); ++k) {
+    EXPECT_NEAR(runs[0].cycles[k].best_accuracy,
+                runs[1].cycles[k].best_accuracy, 1e-5)
+        << WorkloadName(id) << " cycle " << k;
+    EXPECT_EQ(runs[0].cycles[k].best_model, runs[1].cycles[k].best_model)
+        << WorkloadName(id) << " cycle " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, EquivalenceTest,
+                         ::testing::Values(WorkloadId::kFtr3, WorkloadId::kAtr,
+                                           WorkloadId::kFtu),
+                         [](const auto& info) {
+                           return info.param == WorkloadId::kFtr3  ? "FTR3"
+                                  : info.param == WorkloadId::kAtr ? "ATR"
+                                                                   : "FTU";
+                         });
+
+}  // namespace
+}  // namespace workloads
+}  // namespace nautilus

@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include "nautilus/core/profile.h"
+#include "nautilus/zoo/bert_like.h"
+
+namespace nautilus {
+namespace core {
+namespace {
+
+TEST(ProfileReportTest, ListsEveryLayerWithFlags) {
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 3);
+  Candidate candidate(
+      zoo::BuildBertFeatureTransferModel(source,
+                                         zoo::BertFeature::kLastHidden, 3,
+                                         "report_m", 9),
+      Hyperparams{});
+  SystemConfig config;
+  const std::string report = ProfileReport(candidate, config);
+  for (const auto& node : candidate.model.nodes()) {
+    EXPECT_NE(report.find(node.layer->name().substr(0, 23)),
+              std::string::npos)
+        << "missing layer " << node.layer->name();
+  }
+  EXPECT_NE(report.find("materializable"), std::string::npos);
+  EXPECT_NE(report.find("output"), std::string::npos);
+  EXPECT_NE(report.find("total c_comp"), std::string::npos);
+}
+
+TEST(ProfileReportTest, AvoidableComputeMatchesEquation11Terms) {
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 4);
+  Candidate candidate(
+      zoo::BuildBertFeatureTransferModel(source,
+                                         zoo::BertFeature::kSumLast4, 3,
+                                         "report_m2", 10),
+      Hyperparams{});
+  SystemConfig config;
+  ModelProfile profile = ProfileCandidate(candidate, config);
+  EXPECT_GT(profile.TotalComputeCost(),
+            profile.NonMaterializableComputeCost());
+  EXPECT_GT(profile.NonMaterializableComputeCost(), 0.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace nautilus

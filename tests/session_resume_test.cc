@@ -1,0 +1,164 @@
+// Session persistence: a ModelSelection saved mid-workload and resumed by a
+// "new process" (fresh identically-seeded workload objects) must continue
+// exactly where the uninterrupted run would be.
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "nautilus/core/model_selection.h"
+#include "nautilus/data/synthetic.h"
+#include "nautilus/zoo/bert_like.h"
+
+namespace nautilus {
+namespace core {
+namespace {
+
+SystemConfig ResumeConfig() {
+  SystemConfig config;
+  config.expected_max_records = 400;
+  config.disk_budget_bytes = 1ull << 30;
+  config.memory_budget_bytes = 2ull << 30;
+  config.workspace_bytes = 1 << 20;
+  config.flops_per_second = 2e8;
+  config.disk_bytes_per_second = 1ull << 30;
+  config.per_model_setup_seconds = 0.01;
+  return config;
+}
+
+Workload ResumeWorkload(const zoo::BertLikeModel& source) {
+  Workload workload;
+  Hyperparams hp;
+  hp.batch_size = 10;
+  hp.learning_rate = 1e-3;
+  hp.epochs = 2;
+  workload.emplace_back(
+      zoo::BuildBertFeatureTransferModel(
+          source, zoo::BertFeature::kLastHidden, 3, "rs_m0", 600),
+      hp);
+  hp.learning_rate = 5e-4;
+  workload.emplace_back(
+      zoo::BuildBertFeatureTransferModel(
+          source, zoo::BertFeature::kSumLast4, 3, "rs_m1", 601),
+      hp);
+  return workload;
+}
+
+TEST(SessionResumeTest, ResumedRunMatchesUninterruptedRun) {
+  const auto base =
+      std::filesystem::temp_directory_path() / "nautilus_resume";
+  std::filesystem::remove_all(base);
+  ModelSelectionOptions options;
+  options.seed = 77;
+
+  // Shared data stream.
+  zoo::BertLikeModel pool_source(zoo::BertConfig::TinyScale(), 31);
+  data::LabeledDataset pool =
+      data::GenerateTextPool(pool_source, 180, 3, 41);
+  data::LabelingSimulator sim_a(pool, 60, 0.75);
+  data::LabelingSimulator sim_b(pool, 60, 0.75);
+
+  // Uninterrupted reference: three cycles in one object.
+  FitResult reference;
+  {
+    zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 31);
+    ModelSelection selection(ResumeWorkload(source), ResumeConfig(),
+                             (base / "ref").string(), options);
+    for (int cycle = 0; cycle < 3; ++cycle) {
+      auto batch = sim_a.NextCycle();
+      reference = selection.Fit(batch.train, batch.valid);
+    }
+  }
+
+  // Interrupted run: two cycles, save, destroy, resume, third cycle.
+  {
+    zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 31);
+    ModelSelection selection(ResumeWorkload(source), ResumeConfig(),
+                             (base / "sess").string(), options);
+    for (int cycle = 0; cycle < 2; ++cycle) {
+      auto batch = sim_b.NextCycle();
+      selection.Fit(batch.train, batch.valid);
+    }
+    ASSERT_TRUE(selection.SaveSession().ok());
+  }
+  FitResult resumed;
+  {
+    // "New process": fresh workload objects with the same seeds.
+    zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 31);
+    ModelSelectionOptions resume_options = options;
+    resume_options.resume = true;
+    ModelSelection selection(ResumeWorkload(source), ResumeConfig(),
+                             (base / "sess").string(), resume_options);
+    EXPECT_EQ(selection.cycles_completed(), 2);
+    EXPECT_EQ(selection.dataset().train().size(), 90);
+    auto batch = sim_b.NextCycle();
+    resumed = selection.Fit(batch.train, batch.valid);
+  }
+  std::filesystem::remove_all(base);
+
+  ASSERT_EQ(resumed.evals.size(), reference.evals.size());
+  EXPECT_EQ(resumed.cycle, reference.cycle);
+  for (size_t m = 0; m < resumed.evals.size(); ++m) {
+    EXPECT_NEAR(resumed.evals[m].val_accuracy,
+                reference.evals[m].val_accuracy, 1e-5)
+        << "model " << m;
+    EXPECT_NEAR(resumed.evals[m].val_loss, reference.evals[m].val_loss,
+                1e-4);
+  }
+  EXPECT_EQ(resumed.best_model, reference.best_model);
+}
+
+TEST(SessionResumeTest, ResumeWithoutManifestDies) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "nautilus_resume_missing";
+  std::filesystem::remove_all(dir);
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 32);
+  ModelSelectionOptions options;
+  options.resume = true;
+  EXPECT_DEATH(ModelSelection(ResumeWorkload(source), ResumeConfig(),
+                              dir.string(), options),
+               "no session manifest");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SessionResumeTest, StaleFeatureKeysGarbageCollected) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "nautilus_resume_gc";
+  std::filesystem::remove_all(dir);
+  ModelSelectionOptions options;
+  {
+    zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 33);
+    ModelSelection selection(ResumeWorkload(source), ResumeConfig(),
+                             dir.string(), options);
+    data::LabeledDataset pool = data::GenerateTextPool(source, 60, 3, 42);
+    selection.Fit(pool.Slice(0, 45), pool.Slice(45, 60));
+    ASSERT_TRUE(selection.SaveSession().ok());
+  }
+  {
+    zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 33);
+    ModelSelectionOptions resume_options;
+    resume_options.resume = true;
+    ModelSelection selection(ResumeWorkload(source), ResumeConfig(),
+                             dir.string(), resume_options);
+    // Every surviving feature key must belong to the new process's units or
+    // the session snapshot.
+    const auto& mm = selection.multi_model();
+    std::set<std::string> live = {"session.train.inputs",
+                                  "session.train.labels",
+                                  "session.valid.inputs",
+                                  "session.valid.labels"};
+    for (const auto& unit : mm.units()) {
+      live.insert(unit.key + ".train");
+      live.insert(unit.key + ".valid");
+    }
+    storage::IoStats stats;
+    storage::TensorStore store(dir.string() + "/features", &stats);
+    for (const std::string& key : store.ListKeys()) {
+      EXPECT_TRUE(live.count(key) > 0) << "stale key " << key;
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace nautilus

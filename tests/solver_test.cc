@@ -1,0 +1,372 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nautilus/solver/closure.h"
+#include "nautilus/solver/maxflow.h"
+#include "nautilus/solver/milp.h"
+#include "nautilus/solver/simplex.h"
+#include "nautilus/util/random.h"
+
+namespace nautilus {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MaxFlow
+// ---------------------------------------------------------------------------
+
+TEST(MaxFlowTest, SingleEdge) {
+  MaxFlow f(2);
+  f.AddEdge(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(f.Solve(0, 1), 5.0);
+}
+
+TEST(MaxFlowTest, SeriesBottleneck) {
+  MaxFlow f(3);
+  f.AddEdge(0, 1, 5.0);
+  f.AddEdge(1, 2, 3.0);
+  EXPECT_DOUBLE_EQ(f.Solve(0, 2), 3.0);
+}
+
+TEST(MaxFlowTest, ParallelPaths) {
+  MaxFlow f(4);
+  f.AddEdge(0, 1, 2.0);
+  f.AddEdge(1, 3, 2.0);
+  f.AddEdge(0, 2, 3.0);
+  f.AddEdge(2, 3, 1.0);
+  EXPECT_DOUBLE_EQ(f.Solve(0, 3), 3.0);
+}
+
+TEST(MaxFlowTest, ClassicCLRSExample) {
+  // Known max flow of 23.
+  MaxFlow f(6);
+  f.AddEdge(0, 1, 16);
+  f.AddEdge(0, 2, 13);
+  f.AddEdge(1, 2, 10);
+  f.AddEdge(2, 1, 4);
+  f.AddEdge(1, 3, 12);
+  f.AddEdge(3, 2, 9);
+  f.AddEdge(2, 4, 14);
+  f.AddEdge(4, 3, 7);
+  f.AddEdge(3, 5, 20);
+  f.AddEdge(4, 5, 4);
+  EXPECT_DOUBLE_EQ(f.Solve(0, 5), 23.0);
+}
+
+TEST(MaxFlowTest, MinCutSeparatesSourceAndSink) {
+  MaxFlow f(3);
+  f.AddEdge(0, 1, 1.0);
+  f.AddEdge(1, 2, 10.0);
+  f.Solve(0, 2);
+  std::vector<bool> side = f.SourceSideOfMinCut(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_FALSE(side[1]);  // the 0->1 edge is the bottleneck
+  EXPECT_FALSE(side[2]);
+}
+
+TEST(MaxFlowTest, DisconnectedIsZero) {
+  MaxFlow f(3);
+  f.AddEdge(0, 1, 4.0);
+  EXPECT_DOUBLE_EQ(f.Solve(0, 2), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Closure
+// ---------------------------------------------------------------------------
+
+// Brute-force reference for closure instances.
+double BruteForceClosure(int n, const std::vector<double>& weights,
+                         const std::vector<std::pair<int, int>>& reqs,
+                         const std::vector<int>& forced) {
+  double best = -1e18;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    bool ok = true;
+    for (int v : forced) {
+      if (!(mask & (1 << v))) ok = false;
+    }
+    for (const auto& [a, b] : reqs) {
+      if ((mask & (1 << a)) && !(mask & (1 << b))) ok = false;
+    }
+    if (!ok) continue;
+    double w = 0.0;
+    for (int v = 0; v < n; ++v) {
+      if (mask & (1 << v)) w += weights[static_cast<size_t>(v)];
+    }
+    best = std::max(best, w);
+  }
+  return best;
+}
+
+TEST(ClosureTest, PicksOnlyProfitable) {
+  ClosureProblem p;
+  int a = p.AddNode(5.0);
+  int b = p.AddNode(-2.0);
+  int c = p.AddNode(-10.0);
+  p.AddRequirement(a, b);  // choosing a requires b
+  (void)c;
+  auto sol = p.Solve();
+  EXPECT_TRUE(sol.chosen[static_cast<size_t>(a)]);
+  EXPECT_TRUE(sol.chosen[static_cast<size_t>(b)]);
+  EXPECT_FALSE(sol.chosen[static_cast<size_t>(c)]);
+  EXPECT_DOUBLE_EQ(sol.total_weight, 3.0);
+}
+
+TEST(ClosureTest, RejectsUnprofitableChain) {
+  ClosureProblem p;
+  int a = p.AddNode(5.0);
+  int b = p.AddNode(-9.0);
+  p.AddRequirement(a, b);
+  auto sol = p.Solve();
+  EXPECT_FALSE(sol.chosen[static_cast<size_t>(a)]);
+  EXPECT_DOUBLE_EQ(sol.total_weight, 0.0);
+}
+
+TEST(ClosureTest, ForcedNodePullsDependencies) {
+  ClosureProblem p;
+  int a = p.AddNode(-3.0);
+  int b = p.AddNode(-4.0);
+  p.AddRequirement(a, b);
+  p.ForceInclude(a);
+  auto sol = p.Solve();
+  EXPECT_TRUE(sol.chosen[static_cast<size_t>(a)]);
+  EXPECT_TRUE(sol.chosen[static_cast<size_t>(b)]);
+  EXPECT_DOUBLE_EQ(sol.total_weight, -7.0);
+}
+
+TEST(ClosureTest, RandomInstancesMatchBruteForce) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = 2 + static_cast<int>(rng.UniformInt(8));  // up to 9 nodes
+    ClosureProblem p;
+    std::vector<double> weights;
+    for (int v = 0; v < n; ++v) {
+      double w = std::round(rng.Uniform(-10.0, 10.0));
+      p.AddNode(w);
+      weights.push_back(w);
+    }
+    std::vector<std::pair<int, int>> reqs;
+    const int num_edges = static_cast<int>(rng.UniformInt(2 * n));
+    for (int e = 0; e < num_edges; ++e) {
+      // Edges only from lower to higher index: guarantees a DAG.
+      int a = static_cast<int>(rng.UniformInt(n));
+      int b = static_cast<int>(rng.UniformInt(n));
+      if (a == b) continue;
+      if (a > b) std::swap(a, b);
+      p.AddRequirement(a, b);
+      reqs.emplace_back(a, b);
+    }
+    std::vector<int> forced;
+    if (rng.Uniform() < 0.5) {
+      int v = static_cast<int>(rng.UniformInt(n));
+      p.ForceInclude(v);
+      forced.push_back(v);
+    }
+    auto sol = p.Solve();
+    const double ref = BruteForceClosure(n, weights, reqs, forced);
+    EXPECT_NEAR(sol.total_weight, ref, 1e-6) << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Simplex
+// ---------------------------------------------------------------------------
+
+TEST(SimplexTest, SimpleTwoVar) {
+  // min -x - y s.t. x + y <= 4, x <= 2 => optimum -4 at (2,2) or (anything
+  // summing to 4 with x<=2); objective is -4.
+  LinearProgram lp(2);
+  lp.SetObjective(0, -1.0);
+  lp.SetObjective(1, -1.0);
+  lp.AddLeqRow({{0, 1.0}, {1, 1.0}}, 4.0);
+  lp.SetUpperBound(0, 2.0);
+  auto sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -4.0, 1e-7);
+}
+
+TEST(SimplexTest, EqualityRow) {
+  // min x + 2y s.t. x + y = 3, y <= 1 => x=2, y=1, obj=4.
+  LinearProgram lp(2);
+  lp.SetObjective(0, 1.0);
+  lp.SetObjective(1, 2.0);
+  lp.AddEqRow({{0, 1.0}, {1, 1.0}}, 3.0);
+  lp.SetUpperBound(1, 1.0);
+  auto sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  // min pushes y down to 0 actually: x=3, y=0 obj 3. y<=1 not binding.
+  EXPECT_NEAR(sol.objective, 3.0, 1e-7);
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-7);
+}
+
+TEST(SimplexTest, GeqRowsNeedPhase1) {
+  // min x s.t. x >= 5 => x = 5.
+  LinearProgram lp(1);
+  lp.SetObjective(0, 1.0);
+  lp.AddGeqRow({{0, 1.0}}, 5.0);
+  auto sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 5.0, 1e-7);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  LinearProgram lp(1);
+  lp.AddGeqRow({{0, 1.0}}, 5.0);
+  lp.SetUpperBound(0, 2.0);
+  auto sol = SolveLp(lp);
+  EXPECT_EQ(sol.status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  LinearProgram lp(1);
+  lp.SetObjective(0, -1.0);
+  auto sol = SolveLp(lp);
+  EXPECT_EQ(sol.status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, DegenerateDoesNotCycle) {
+  // Classic degenerate instance; Bland's rule must terminate.
+  LinearProgram lp(4);
+  lp.SetObjective(0, -0.75);
+  lp.SetObjective(1, 150.0);
+  lp.SetObjective(2, -0.02);
+  lp.SetObjective(3, 6.0);
+  lp.AddLeqRow({{0, 0.25}, {1, -60.0}, {2, -0.04}, {3, 9.0}}, 0.0);
+  lp.AddLeqRow({{0, 0.5}, {1, -90.0}, {2, -0.02}, {3, 3.0}}, 0.0);
+  lp.AddLeqRow({{2, 1.0}}, 1.0);
+  auto sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -0.05, 1e-6);
+}
+
+// Brute-force LP check on random binary-box LPs by enumerating vertices is
+// hard; instead cross-check MILP against exhaustive enumeration below, which
+// also exercises the simplex.
+
+// ---------------------------------------------------------------------------
+// MILP
+// ---------------------------------------------------------------------------
+
+TEST(MilpTest, SimpleKnapsack) {
+  // max 10a + 6b + 4c (i.e. min negative) s.t. a+b+c <= 2 (binary).
+  MilpProblem p(3);
+  for (int j = 0; j < 3; ++j) {
+    p.is_integer[static_cast<size_t>(j)] = true;
+    p.lp.SetUpperBound(j, 1.0);
+  }
+  p.lp.SetObjective(0, -10.0);
+  p.lp.SetObjective(1, -6.0);
+  p.lp.SetObjective(2, -4.0);
+  p.lp.AddLeqRow({{0, 1.0}, {1, 1.0}, {2, 1.0}}, 2.0);
+  auto sol = SolveMilp(p);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -16.0, 1e-6);
+  EXPECT_NEAR(sol.x[0], 1.0, 1e-6);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-6);
+  EXPECT_NEAR(sol.x[2], 0.0, 1e-6);
+}
+
+TEST(MilpTest, FractionalLpIntegerGap) {
+  // Knapsack where the LP relaxation is fractional: weights 3,3,3 cap 5,
+  // values 5,5,5 -> LP picks 5/3 items (value 25/3), MILP only 1 item.
+  MilpProblem p(3);
+  for (int j = 0; j < 3; ++j) {
+    p.is_integer[static_cast<size_t>(j)] = true;
+    p.lp.SetUpperBound(j, 1.0);
+    p.lp.SetObjective(j, -5.0);
+  }
+  p.lp.AddLeqRow({{0, 3.0}, {1, 3.0}, {2, 3.0}}, 5.0);
+  auto sol = SolveMilp(p);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -5.0, 1e-6);
+}
+
+TEST(MilpTest, InfeasibleInteger) {
+  // 2x = 1 with x binary has LP solution x=0.5 but no integer solution.
+  MilpProblem p(1);
+  p.is_integer[0] = true;
+  p.lp.SetUpperBound(0, 1.0);
+  p.lp.AddEqRow({{0, 2.0}}, 1.0);
+  auto sol = SolveMilp(p);
+  EXPECT_EQ(sol.status, LpStatus::kInfeasible);
+}
+
+// Exhaustive reference for small binary MILPs.
+double BruteForceBinaryMilp(const MilpProblem& p, bool* feasible) {
+  const int n = p.lp.num_vars();
+  double best = 1e18;
+  *feasible = false;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    std::vector<double> x(static_cast<size_t>(n));
+    for (int j = 0; j < n; ++j) x[static_cast<size_t>(j)] = (mask >> j) & 1;
+    bool ok = true;
+    for (const auto& row : p.lp.rows()) {
+      double lhs = 0.0;
+      for (const auto& [var, coeff] : row.coeffs) {
+        lhs += coeff * x[static_cast<size_t>(var)];
+      }
+      if (lhs > row.rhs + 1e-9) ok = false;
+    }
+    if (!ok) continue;
+    double obj = 0.0;
+    for (int j = 0; j < n; ++j) {
+      obj += p.lp.objective()[static_cast<size_t>(j)] *
+             x[static_cast<size_t>(j)];
+    }
+    if (obj < best) best = obj;
+    *feasible = true;
+  }
+  return best;
+}
+
+TEST(MilpTest, RandomBinaryInstancesMatchBruteForce) {
+  Rng rng(123);
+  for (int trial = 0; trial < 120; ++trial) {
+    const int n = 2 + static_cast<int>(rng.UniformInt(7));  // up to 8 binaries
+    MilpProblem p(n);
+    for (int j = 0; j < n; ++j) {
+      p.is_integer[static_cast<size_t>(j)] = true;
+      p.lp.SetUpperBound(j, 1.0);
+      p.lp.SetObjective(j, std::round(rng.Uniform(-10.0, 10.0)));
+    }
+    const int rows = 1 + static_cast<int>(rng.UniformInt(4));
+    for (int r = 0; r < rows; ++r) {
+      std::vector<std::pair<int, double>> coeffs;
+      for (int j = 0; j < n; ++j) {
+        if (rng.Uniform() < 0.6) {
+          coeffs.emplace_back(j, std::round(rng.Uniform(-5.0, 5.0)));
+        }
+      }
+      if (coeffs.empty()) continue;
+      p.lp.AddLeqRow(coeffs, std::round(rng.Uniform(-3.0, 8.0)));
+    }
+    bool ref_feasible = false;
+    const double ref = BruteForceBinaryMilp(p, &ref_feasible);
+    auto sol = SolveMilp(p);
+    if (!ref_feasible) {
+      EXPECT_EQ(sol.status, LpStatus::kInfeasible) << "trial " << trial;
+    } else {
+      ASSERT_EQ(sol.status, LpStatus::kOptimal) << "trial " << trial;
+      EXPECT_NEAR(sol.objective, ref, 1e-6) << "trial " << trial;
+    }
+  }
+}
+
+TEST(MilpTest, MixedIntegerAndContinuous) {
+  // min -x - 10y, x continuous in [0, 1.5], y binary, x + y <= 2.
+  MilpProblem p(2);
+  p.is_integer[1] = true;
+  p.lp.SetUpperBound(0, 1.5);
+  p.lp.SetUpperBound(1, 1.0);
+  p.lp.SetObjective(0, -1.0);
+  p.lp.SetObjective(1, -10.0);
+  p.lp.AddLeqRow({{0, 1.0}, {1, 1.0}}, 2.0);
+  auto sol = SolveMilp(p);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-6);
+  EXPECT_NEAR(sol.x[0], 1.0, 1e-6);
+  EXPECT_NEAR(sol.objective, -11.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace nautilus

@@ -1,0 +1,162 @@
+#include <filesystem>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "nautilus/core/successive_halving.h"
+#include "nautilus/data/synthetic.h"
+#include "nautilus/zoo/bert_like.h"
+
+namespace nautilus {
+namespace core {
+namespace {
+
+SystemConfig ShConfig() {
+  SystemConfig config;
+  config.expected_max_records = 200;
+  config.disk_budget_bytes = 1ull << 30;
+  config.memory_budget_bytes = 2ull << 30;
+  config.workspace_bytes = 1 << 20;
+  config.flops_per_second = 2e8;
+  config.disk_bytes_per_second = 1ull << 30;
+  config.per_model_setup_seconds = 0.01;
+  return config;
+}
+
+Workload EightCandidates(const zoo::BertLikeModel& source) {
+  Workload workload;
+  const zoo::BertFeature kFeatures[] = {
+      zoo::BertFeature::kLastHidden, zoo::BertFeature::kSecondLastHidden,
+      zoo::BertFeature::kSumLast4, zoo::BertFeature::kConcatLast4};
+  int index = 0;
+  for (zoo::BertFeature feature : kFeatures) {
+    for (double lr : {5e-3, 5e-4}) {
+      Hyperparams hp;
+      hp.batch_size = 10;
+      hp.learning_rate = lr;
+      hp.epochs = 99;  // ignored: rung budget overrides
+      workload.emplace_back(
+          zoo::BuildBertFeatureTransferModel(
+              source, feature, 3, "sh_m" + std::to_string(index),
+              800 + static_cast<uint64_t>(index)),
+          hp);
+      ++index;
+    }
+  }
+  return workload;
+}
+
+class SuccessiveHalvingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("nautilus_sh_" + std::string(::testing::UnitTest::GetInstance()
+                                             ->current_test_info()
+                                             ->name()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(SuccessiveHalvingTest, HalvesDownToOneSurvivor) {
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 21);
+  Workload workload = EightCandidates(source);
+  data::LabeledDataset pool = data::GenerateTextPool(source, 120, 3, 9);
+  data::LabeledDataset train = pool.Slice(0, 90);
+  data::LabeledDataset valid = pool.Slice(90, 120);
+
+  SuccessiveHalvingOptions options;
+  options.eta = 2;
+  options.rung_epochs = 1;
+  SuccessiveHalvingResult result = RunSuccessiveHalving(
+      &workload, ShConfig(), train, valid, dir_.string(), options);
+
+  // 8 -> 4 -> 2 -> 1: four rungs, 15 model-rungs total (vs 8 * 4 = 32 for
+  // training everything to the full budget).
+  ASSERT_EQ(result.rungs.size(), 4u);
+  EXPECT_EQ(result.rungs[0].trained_models.size(), 8u);
+  EXPECT_EQ(result.rungs[1].trained_models.size(), 4u);
+  EXPECT_EQ(result.rungs[2].trained_models.size(), 2u);
+  EXPECT_EQ(result.rungs[3].trained_models.size(), 1u);
+  EXPECT_EQ(result.total_model_rungs, 15);
+  EXPECT_GE(result.best_model, 0);
+  EXPECT_LT(result.best_model, 8);
+
+  // Survivors of each rung are a subset of what was trained, ranked by
+  // accuracy.
+  for (const auto& rung : result.rungs) {
+    std::set<int> trained(rung.trained_models.begin(),
+                          rung.trained_models.end());
+    float min_survivor_acc = 2.0f;
+    float max_loser_acc = -1.0f;
+    std::set<int> survivors(rung.survivors.begin(), rung.survivors.end());
+    for (size_t i = 0; i < rung.trained_models.size(); ++i) {
+      EXPECT_TRUE(trained.count(rung.evals[i].model_index));
+      if (survivors.count(rung.evals[i].model_index)) {
+        min_survivor_acc =
+            std::min(min_survivor_acc, rung.evals[i].val_accuracy);
+      } else {
+        max_loser_acc = std::max(max_loser_acc, rung.evals[i].val_accuracy);
+      }
+    }
+    if (max_loser_acc >= 0.0f) {
+      EXPECT_GE(min_survivor_acc, max_loser_acc);
+    }
+  }
+}
+
+TEST_F(SuccessiveHalvingTest, MinSurvivorsStopsEarly) {
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 22);
+  Workload workload = EightCandidates(source);
+  data::LabeledDataset pool = data::GenerateTextPool(source, 80, 3, 10);
+  SuccessiveHalvingOptions options;
+  options.eta = 2;
+  options.min_survivors = 4;
+  SuccessiveHalvingResult result = RunSuccessiveHalving(
+      &workload, ShConfig(), pool.Slice(0, 60), pool.Slice(60, 80),
+      dir_.string(), options);
+  // 8 -> 4, then the final rung trains the 4 survivors and stops.
+  ASSERT_EQ(result.rungs.size(), 2u);
+  EXPECT_EQ(result.rungs.back().trained_models.size(), 4u);
+}
+
+TEST_F(SuccessiveHalvingTest, SurvivorsKeepTraining) {
+  // A candidate surviving every rung accumulates training: its final-rung
+  // accuracy should (weakly) beat its rung-0 accuracy on this learnable
+  // task. We assert the mechanism rather than luck: weights persist, so
+  // evals across rungs for the same model must differ.
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 23);
+  Workload workload = EightCandidates(source);
+  data::LabeledDataset pool =
+      data::GenerateTextPool(source, 120, 3, 11, /*label_noise=*/0.02);
+  SuccessiveHalvingOptions options;
+  options.rung_epochs = 1;
+  SuccessiveHalvingResult result = RunSuccessiveHalving(
+      &workload, ShConfig(), pool.Slice(0, 90), pool.Slice(90, 120),
+      dir_.string(), options);
+  const int winner = result.rungs.back().trained_models[0];
+  float first_acc = -1.0f;
+  float last_acc = -1.0f;
+  float first_loss = -1.0f;
+  float last_loss = -1.0f;
+  for (const auto& rung : result.rungs) {
+    for (const auto& eval : rung.evals) {
+      if (eval.model_index == winner) {
+        if (first_acc < 0.0f) {
+          first_acc = eval.val_accuracy;
+          first_loss = eval.val_loss;
+        }
+        last_acc = eval.val_accuracy;
+        last_loss = eval.val_loss;
+      }
+    }
+  }
+  ASSERT_GE(first_acc, 0.0f);
+  // Training continued: loss or accuracy must have moved.
+  EXPECT_TRUE(last_loss != first_loss || last_acc != first_acc);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace nautilus

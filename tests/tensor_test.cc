@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include "nautilus/tensor/ops.h"
+#include "nautilus/tensor/tensor.h"
+#include "nautilus/util/random.h"
+
+namespace nautilus {
+namespace {
+
+TEST(ShapeTest, Basics) {
+  Shape s({2, 3, 4});
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.NumElements(), 24);
+  EXPECT_EQ(s.ElementsPerRecord(), 12);
+  EXPECT_EQ(s.dim(1), 3);
+  EXPECT_EQ(s.ToString(), "[2, 3, 4]");
+  EXPECT_EQ(s.WithBatch(5).dim(0), 5);
+  EXPECT_EQ(s.WithBatch(5).dim(1), 3);
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t(Shape({2, 2}));
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(TensorTest, FullAndFill) {
+  Tensor t = Tensor::Full(Shape({3}), 2.5f);
+  EXPECT_EQ(t.at(2), 2.5f);
+  t.Fill(-1.0f);
+  EXPECT_EQ(t.at(0), -1.0f);
+}
+
+TEST(TensorTest, RandnDeterministic) {
+  Rng a(5), b(5);
+  Tensor t1 = Tensor::Randn(Shape({10}), &a, 0.1f);
+  Tensor t2 = Tensor::Randn(Shape({10}), &b, 0.1f);
+  EXPECT_EQ(Tensor::MaxAbsDiff(t1, t2), 0.0f);
+}
+
+TEST(TensorTest, Reshape) {
+  Tensor t(Shape({2, 6}), std::vector<float>(12, 1.0f));
+  Tensor r = t.Reshaped(Shape({3, 4}));
+  EXPECT_EQ(r.shape(), Shape({3, 4}));
+  EXPECT_EQ(r.at(11), 1.0f);
+}
+
+TEST(TensorTest, SliceRows) {
+  Tensor t(Shape({4, 2}), {0, 1, 2, 3, 4, 5, 6, 7});
+  Tensor s = t.SliceRows(1, 3);
+  EXPECT_EQ(s.shape(), Shape({2, 2}));
+  EXPECT_EQ(s.at(0), 2.0f);
+  EXPECT_EQ(s.at(3), 5.0f);
+}
+
+TEST(TensorTest, GatherRows) {
+  Tensor t(Shape({3, 2}), {0, 1, 2, 3, 4, 5});
+  Tensor g = t.GatherRows({2, 0});
+  EXPECT_EQ(g.shape(), Shape({2, 2}));
+  EXPECT_EQ(g.at(0), 4.0f);
+  EXPECT_EQ(g.at(2), 0.0f);
+}
+
+TEST(TensorTest, AppendRows) {
+  Tensor a(Shape({2, 2}), {1, 2, 3, 4});
+  Tensor b(Shape({1, 2}), {5, 6});
+  a.AppendRows(b);
+  EXPECT_EQ(a.shape(), Shape({3, 2}));
+  EXPECT_EQ(a.at(5), 6.0f);
+}
+
+TEST(TensorTest, AppendRowsToEmpty) {
+  Tensor a;
+  Tensor b(Shape({1, 2}), {5, 6});
+  a.AppendRows(b);
+  EXPECT_EQ(a.shape(), Shape({1, 2}));
+}
+
+TEST(TensorTest, MaxAbsDiff) {
+  Tensor a(Shape({2}), {1.0f, 2.0f});
+  Tensor b(Shape({2}), {1.5f, 1.0f});
+  EXPECT_FLOAT_EQ(Tensor::MaxAbsDiff(a, b), 1.0f);
+}
+
+TEST(TensorTest, SizeBytes) {
+  Tensor t(Shape({3, 4}));
+  EXPECT_EQ(t.SizeBytes(), 48);
+}
+
+TEST(OpsTest, MatMulSmall) {
+  Tensor a(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  Tensor b(Shape({3, 2}), {7, 8, 9, 10, 11, 12});
+  Tensor c = ops::MatMul(a, b);
+  EXPECT_EQ(c.shape(), Shape({2, 2}));
+  EXPECT_FLOAT_EQ(c.at(0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(2), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(3), 154.0f);
+}
+
+TEST(OpsTest, MatMulNTMatchesExplicitTranspose) {
+  Rng rng(1);
+  Tensor a = Tensor::Randn(Shape({3, 4}), &rng, 1.0f);
+  Tensor b = Tensor::Randn(Shape({5, 4}), &rng, 1.0f);
+  // b_t = transpose(b)
+  Tensor bt(Shape({4, 5}));
+  for (int64_t i = 0; i < 5; ++i) {
+    for (int64_t j = 0; j < 4; ++j) bt.at(j * 5 + i) = b.at(i * 4 + j);
+  }
+  Tensor c1 = ops::MatMulNT(a, b);
+  Tensor c2 = ops::MatMul(a, bt);
+  EXPECT_LT(Tensor::MaxAbsDiff(c1, c2), 1e-5f);
+}
+
+TEST(OpsTest, MatMulTNMatchesExplicitTranspose) {
+  Rng rng(2);
+  Tensor a = Tensor::Randn(Shape({4, 3}), &rng, 1.0f);
+  Tensor b = Tensor::Randn(Shape({4, 5}), &rng, 1.0f);
+  Tensor at(Shape({3, 4}));
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 3; ++j) at.at(j * 4 + i) = a.at(i * 3 + j);
+  }
+  Tensor c1 = ops::MatMulTN(a, b);
+  Tensor c2 = ops::MatMul(at, b);
+  EXPECT_LT(Tensor::MaxAbsDiff(c1, c2), 1e-5f);
+}
+
+TEST(OpsTest, AddBiasAndColumnSum) {
+  Tensor x(Shape({2, 3}), {0, 0, 0, 1, 1, 1});
+  Tensor bias(Shape({3}), {1, 2, 3});
+  ops::AddBiasInPlace(&x, bias);
+  EXPECT_FLOAT_EQ(x.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(x.at(5), 4.0f);
+  Tensor cs = ops::ColumnSum(x);
+  EXPECT_FLOAT_EQ(cs.at(0), 3.0f);
+  EXPECT_FLOAT_EQ(cs.at(2), 7.0f);
+}
+
+TEST(OpsTest, AddAndAddN) {
+  Tensor a(Shape({2}), {1, 2});
+  Tensor b(Shape({2}), {10, 20});
+  Tensor c(Shape({2}), {100, 200});
+  Tensor s = ops::AddN({&a, &b, &c});
+  EXPECT_FLOAT_EQ(s.at(0), 111.0f);
+  EXPECT_FLOAT_EQ(s.at(1), 222.0f);
+  Tensor d = ops::Add(a, b);
+  EXPECT_FLOAT_EQ(d.at(1), 22.0f);
+}
+
+TEST(OpsTest, ReluForwardBackward) {
+  Tensor x(Shape({4}), {-1, 0, 2, -3});
+  Tensor y = ops::ReluForward(x);
+  EXPECT_FLOAT_EQ(y.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(2), 2.0f);
+  Tensor dy = Tensor::Full(Shape({4}), 1.0f);
+  Tensor dx = ops::ReluBackward(dy, y);
+  EXPECT_FLOAT_EQ(dx.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(dx.at(2), 1.0f);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Rng rng(3);
+  Tensor logits = Tensor::Randn(Shape({5, 7}), &rng, 2.0f);
+  Tensor p = ops::SoftmaxForward(logits);
+  for (int64_t i = 0; i < 5; ++i) {
+    float sum = 0.0f;
+    for (int64_t j = 0; j < 7; ++j) sum += p.at(i * 7 + j);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(OpsTest, SoftmaxCrossEntropyPerfectPrediction) {
+  Tensor logits(Shape({1, 2}), {100.0f, -100.0f});
+  Tensor p = ops::SoftmaxForward(logits);
+  Tensor dlogits;
+  float loss = ops::SoftmaxCrossEntropy(p, {0}, &dlogits);
+  EXPECT_NEAR(loss, 0.0f, 1e-5f);
+}
+
+TEST(OpsTest, AccuracyCounts) {
+  Tensor probs(Shape({3, 2}), {0.9f, 0.1f, 0.2f, 0.8f, 0.6f, 0.4f});
+  EXPECT_FLOAT_EQ(ops::Accuracy(probs, {0, 1, 1}), 2.0f / 3.0f);
+}
+
+TEST(OpsTest, EmbeddingForwardGathersRows) {
+  Tensor table(Shape({3, 2}), {0, 1, 10, 11, 20, 21});
+  Tensor ids(Shape({1, 2}), {2, 0});
+  Tensor out = ops::EmbeddingForward(ids, table);
+  EXPECT_EQ(out.shape(), Shape({1, 2, 2}));
+  EXPECT_FLOAT_EQ(out.at(0), 20.0f);
+  EXPECT_FLOAT_EQ(out.at(2), 0.0f);
+}
+
+TEST(OpsTest, EmbeddingBackwardScatters) {
+  Tensor ids(Shape({1, 2}), {1, 1});
+  Tensor dy(Shape({1, 2, 2}), {1, 2, 3, 4});
+  Tensor dtable(Shape({3, 2}));
+  ops::EmbeddingBackward(ids, dy, &dtable);
+  EXPECT_FLOAT_EQ(dtable.at(2), 4.0f);  // row 1 col 0: 1 + 3
+  EXPECT_FLOAT_EQ(dtable.at(3), 6.0f);  // row 1 col 1: 2 + 4
+  EXPECT_FLOAT_EQ(dtable.at(0), 0.0f);
+}
+
+TEST(OpsTest, MeanPoolSeq) {
+  Tensor x(Shape({1, 2, 2}), {1, 2, 3, 4});
+  Tensor y = ops::MeanPoolSeq(x);
+  EXPECT_EQ(y.shape(), Shape({1, 2}));
+  EXPECT_FLOAT_EQ(y.at(0), 2.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 3.0f);
+}
+
+TEST(OpsTest, SelectSeqPosition) {
+  Tensor x(Shape({1, 3, 2}), {1, 2, 3, 4, 5, 6});
+  Tensor y = ops::SelectSeqPosition(x, 1);
+  EXPECT_FLOAT_EQ(y.at(0), 3.0f);
+  Tensor last = ops::SelectSeqPosition(x, -1);
+  EXPECT_FLOAT_EQ(last.at(0), 5.0f);
+}
+
+TEST(OpsTest, ConcatSplitRoundTrip) {
+  Tensor a(Shape({2, 1}), {1, 2});
+  Tensor b(Shape({2, 2}), {3, 4, 5, 6});
+  Tensor c = ops::ConcatLastDim({&a, &b});
+  EXPECT_EQ(c.shape(), Shape({2, 3}));
+  EXPECT_FLOAT_EQ(c.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(c.at(1), 3.0f);
+  EXPECT_FLOAT_EQ(c.at(4), 5.0f);
+  std::vector<Tensor> parts = ops::SplitLastDim(c, {1, 2});
+  EXPECT_LT(Tensor::MaxAbsDiff(parts[0], a), 1e-6f);
+  EXPECT_LT(Tensor::MaxAbsDiff(parts[1], b), 1e-6f);
+}
+
+TEST(OpsTest, SplitMergeHeadsRoundTrip) {
+  Rng rng(4);
+  Tensor x = Tensor::Randn(Shape({2, 3, 8}), &rng, 1.0f);
+  Tensor split = ops::SplitHeads(x, 4);
+  EXPECT_EQ(split.shape(), Shape({2, 4, 3, 2}));
+  Tensor merged = ops::MergeHeads(split);
+  EXPECT_LT(Tensor::MaxAbsDiff(x, merged), 1e-6f);
+}
+
+TEST(OpsTest, MaxPoolForwardBackward) {
+  Tensor x(Shape({1, 1, 2, 2}), {1, 5, 3, 2});
+  ops::MaxPoolCache cache;
+  Tensor y = ops::MaxPool2DForward(x, 2, &cache);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y.at(0), 5.0f);
+  Tensor dy(Shape({1, 1, 1, 1}), {2.0f});
+  Tensor dx = ops::MaxPool2DBackward(dy, x.shape(), cache);
+  EXPECT_FLOAT_EQ(dx.at(1), 2.0f);
+  EXPECT_FLOAT_EQ(dx.at(0), 0.0f);
+}
+
+TEST(OpsTest, GlobalAvgPool) {
+  Tensor x(Shape({1, 2, 1, 2}), {1, 3, 10, 20});
+  Tensor y = ops::GlobalAvgPool(x);
+  EXPECT_EQ(y.shape(), Shape({1, 2}));
+  EXPECT_FLOAT_EQ(y.at(0), 2.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 15.0f);
+}
+
+TEST(OpsTest, Conv2DIdentityKernel) {
+  // 1x1 kernel with weight 1 reproduces the input.
+  Tensor x(Shape({1, 1, 2, 2}), {1, 2, 3, 4});
+  Tensor w(Shape({1, 1, 1, 1}), {1.0f});
+  Tensor bias(Shape({1}), {0.0f});
+  Tensor y = ops::Conv2DForward(x, w, bias, {.stride = 1, .padding = 0});
+  EXPECT_LT(Tensor::MaxAbsDiff(x, y), 1e-6f);
+}
+
+TEST(OpsTest, Conv2DKnownResult) {
+  // 3x3 input, 2x2 kernel of ones, no padding -> 2x2 output of window sums.
+  Tensor x(Shape({1, 1, 3, 3}), {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor w(Shape({1, 1, 2, 2}), {1, 1, 1, 1});
+  Tensor bias(Shape({1}), {0.5f});
+  Tensor y = ops::Conv2DForward(x, w, bias, {.stride = 1, .padding = 0});
+  EXPECT_EQ(y.shape(), Shape({1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.at(0), 12.5f);
+  EXPECT_FLOAT_EQ(y.at(3), 28.5f);
+}
+
+TEST(OpsTest, Conv2DStridePadding) {
+  Tensor x(Shape({1, 1, 4, 4}), std::vector<float>(16, 1.0f));
+  Tensor w(Shape({1, 1, 3, 3}), std::vector<float>(9, 1.0f));
+  Tensor bias(Shape({1}), {0.0f});
+  Tensor y = ops::Conv2DForward(x, w, bias, {.stride = 2, .padding = 1});
+  EXPECT_EQ(y.shape(), Shape({1, 1, 2, 2}));
+  // Top-left window covers 2x2 of the input (padded corners).
+  EXPECT_FLOAT_EQ(y.at(0), 4.0f);
+}
+
+TEST(OpsTest, ChannelAffine) {
+  Tensor x(Shape({1, 2, 1, 1}), {2, 3});
+  Tensor scale(Shape({2}), {10, 100});
+  Tensor shift(Shape({2}), {1, -1});
+  Tensor y = ops::ChannelAffineForward(x, scale, shift);
+  EXPECT_FLOAT_EQ(y.at(0), 21.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 299.0f);
+}
+
+}  // namespace
+}  // namespace nautilus

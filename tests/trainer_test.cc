@@ -1,0 +1,210 @@
+// Focused tests of the Materializer, Trainer, and simulated executor.
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "nautilus/core/materializer.h"
+#include "nautilus/core/planner.h"
+#include "nautilus/core/simulator.h"
+#include "nautilus/core/trainer.h"
+#include "nautilus/data/synthetic.h"
+#include "nautilus/graph/executor.h"
+#include "nautilus/zoo/bert_like.h"
+
+namespace nautilus {
+namespace core {
+namespace {
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("nautilus_trainer_test_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+SystemConfig FastDiskConfig() {
+  SystemConfig config;
+  config.expected_max_records = 500;
+  config.disk_budget_bytes = 1ull << 30;
+  config.memory_budget_bytes = 1ull << 30;
+  config.workspace_bytes = 1 << 20;
+  config.flops_per_second = 2e8;
+  config.disk_bytes_per_second = 1ull << 30;
+  config.per_model_setup_seconds = 0.01;
+  return config;
+}
+
+Workload TwoModelWorkload(zoo::BertLikeModel* source, int64_t epochs_b) {
+  Workload workload;
+  Hyperparams hp;
+  hp.batch_size = 8;
+  hp.learning_rate = 1e-3;
+  hp.epochs = 2;
+  workload.emplace_back(
+      zoo::BuildBertFeatureTransferModel(
+          *source, zoo::BertFeature::kLastHidden, 3, "a", 100),
+      hp);
+  hp.epochs = epochs_b;
+  workload.emplace_back(
+      zoo::BuildBertFeatureTransferModel(
+          *source, zoo::BertFeature::kLastHidden, 3, "b", 101),
+      hp);
+  return workload;
+}
+
+TEST_F(TrainerTest, IncrementalMaterializationMatchesOneShot) {
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 1);
+  Workload workload = TwoModelWorkload(&source, 2);
+  SystemConfig config = FastDiskConfig();
+  MultiModelGraph mm(&workload, config);
+
+  Rng rng(5);
+  Tensor all_inputs(Shape({30, source.config().seq_len}));
+  for (int64_t i = 0; i < all_inputs.NumElements(); ++i) {
+    all_inputs.at(i) =
+        static_cast<float>(rng.UniformInt(source.config().vocab));
+  }
+  std::vector<bool> chosen(mm.units().size(), false);
+  // Materialize the deepest non-input unit.
+  chosen.back() = true;
+
+  storage::IoStats stats;
+  storage::TensorStore inc_store((dir_ / "inc").string(), &stats);
+  storage::TensorStore full_store((dir_ / "full").string(), &stats);
+  Materializer inc(&mm, &inc_store);
+  Materializer full(&mm, &full_store);
+
+  ASSERT_TRUE(inc.MaterializeIncrement(chosen, all_inputs.SliceRows(0, 10),
+                                       "train")
+                  .ok());
+  ASSERT_TRUE(inc.MaterializeIncrement(chosen, all_inputs.SliceRows(10, 30),
+                                       "train")
+                  .ok());
+  ASSERT_TRUE(full.MaterializeIncrement(chosen, all_inputs, "train").ok());
+
+  const std::string key =
+      Materializer::SplitKey(mm.units().back(), "train");
+  auto a = inc_store.Get(key);
+  auto b = full_store.Get(key);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->shape(), b->shape());
+  EXPECT_EQ(Tensor::MaxAbsDiff(*a, *b), 0.0f);
+}
+
+TEST_F(TrainerTest, MaterializerSkipsWhenNothingChosen) {
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 2);
+  Workload workload = TwoModelWorkload(&source, 2);
+  SystemConfig config = FastDiskConfig();
+  MultiModelGraph mm(&workload, config);
+  storage::IoStats stats;
+  storage::TensorStore store(dir_.string(), &stats);
+  Materializer materializer(&mm, &store);
+  Tensor inputs(Shape({4, source.config().seq_len}));
+  ASSERT_TRUE(materializer
+                  .MaterializeIncrement(
+                      std::vector<bool>(mm.units().size(), false), inputs,
+                      "train")
+                  .ok());
+  EXPECT_EQ(stats.bytes_written(), 0);
+  EXPECT_EQ(materializer.flops_spent(), 0.0);
+}
+
+TEST_F(TrainerTest, FusedMixedEpochBranchesMatchSeparateRuns) {
+  // Branch b trains 3 epochs, branch a only 2 (deactivated in epoch 3);
+  // both must match their singleton-group counterparts exactly.
+  SystemConfig config = FastDiskConfig();
+  data::LabeledDataset train, valid;
+  {
+    zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 3);
+    train = data::GenerateTextPool(source, 24, 3, 9);
+    valid = data::GenerateTextPool(source, 8, 3, 10);
+  }
+
+  float fused_acc[2];
+  float separate_acc[2];
+  for (int mode = 0; mode < 2; ++mode) {
+    zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 3);
+    Workload workload = TwoModelWorkload(&source, 3);
+    MultiModelGraph mm(&workload, config);
+    std::vector<bool> no_mat(mm.units().size(), false);
+    storage::IoStats stats;
+    storage::TensorStore store((dir_ / std::to_string(mode)).string(),
+                               &stats);
+    storage::CheckpointStore ckpts(
+        (dir_ / (std::to_string(mode) + "c")).string(), &stats);
+    Trainer trainer(&store, &ckpts, config);
+    Trainer::Options options;
+    options.seed = 77;
+
+    if (mode == 0) {
+      ExecutionGroup fused = BuildExecutionGroup(mm, {0, 1}, no_mat);
+      ASSERT_EQ(fused.max_epochs, 3);
+      GroupRunStats stats_run =
+          trainer.TrainGroup(fused, workload, train, valid, options);
+      for (const BranchEval& eval : stats_run.branches) {
+        fused_acc[eval.model_index] = eval.val_accuracy;
+      }
+    } else {
+      for (int m = 0; m < 2; ++m) {
+        ExecutionGroup single = BuildExecutionGroup(mm, {m}, no_mat);
+        GroupRunStats stats_run =
+            trainer.TrainGroup(single, workload, train, valid, options);
+        separate_acc[stats_run.branches[0].model_index] =
+            stats_run.branches[0].val_accuracy;
+      }
+    }
+  }
+  EXPECT_FLOAT_EQ(fused_acc[0], separate_acc[0]);
+  EXPECT_FLOAT_EQ(fused_acc[1], separate_acc[1]);
+}
+
+TEST_F(TrainerTest, SimulatorBranchDeactivationReducesCost) {
+  nn::ProfileOnlyScope profile_only;
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 4);
+  SystemConfig config = FastDiskConfig();
+  Workload short_epochs = TwoModelWorkload(&source, 2);
+  Workload long_epochs = TwoModelWorkload(&source, 6);
+  MultiModelGraph mm_short(&short_epochs, config);
+  MultiModelGraph mm_long(&long_epochs, config);
+  std::vector<bool> no_mat_s(mm_short.units().size(), false);
+  std::vector<bool> no_mat_l(mm_long.units().size(), false);
+  ExecutionGroup g_short = BuildExecutionGroup(mm_short, {0, 1}, no_mat_s);
+  ExecutionGroup g_long = BuildExecutionGroup(mm_long, {0, 1}, no_mat_l);
+  const SimCosts c_short =
+      SimulateGroupTraining(g_short, 400, 100, 1e6, config);
+  const SimCosts c_long =
+      SimulateGroupTraining(g_long, 400, 100, 1e6, config);
+  // Branch 1 training 6 epochs instead of 2 costs more, but less than 3x
+  // the whole group (branch 0 deactivates after epoch 2).
+  EXPECT_GT(c_long.flops, c_short.flops);
+  EXPECT_LT(c_long.flops, 3.0 * c_short.flops);
+}
+
+TEST_F(TrainerTest, SimulatedMaterializationCountsAncestors) {
+  nn::ProfileOnlyScope profile_only;
+  zoo::BertLikeModel source(zoo::BertConfig::TinyScale(), 5);
+  SystemConfig config = FastDiskConfig();
+  Workload workload = TwoModelWorkload(&source, 2);
+  MultiModelGraph mm(&workload, config);
+  // Choosing only the deepest unit still has to compute the whole chain.
+  std::vector<bool> deepest(mm.units().size(), false);
+  deepest.back() = true;
+  std::vector<bool> all(mm.units().size(), true);
+  const SimCosts c_deep = SimulateMaterialization(mm, deepest, 100, config);
+  const SimCosts c_all = SimulateMaterialization(mm, all, 100, config);
+  EXPECT_GT(c_deep.flops, 0.0);
+  EXPECT_DOUBLE_EQ(c_deep.flops, c_all.flops);  // same ancestor closure
+  EXPECT_LT(c_deep.bytes_written, c_all.bytes_written);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace nautilus

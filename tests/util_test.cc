@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "nautilus/util/logging.h"
+#include "nautilus/util/random.h"
+#include "nautilus/util/status.h"
+#include "nautilus/util/stopwatch.h"
+#include "nautilus/util/strings.h"
+
+namespace nautilus {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad shape");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad shape");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad shape");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Status FailingOp() { return Status::IoError("disk full"); }
+
+Status Chained() {
+  NAUTILUS_RETURN_IF_ERROR(FailingOp());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(Chained().code(), StatusCode::kIoError);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(10);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 10);
+  }
+}
+
+TEST(RngTest, NormalHasRoughlyZeroMean) {
+  Rng rng(3);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(1.0f);
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(11);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512.00 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KiB");
+  EXPECT_EQ(HumanBytes(3.5 * 1024 * 1024), "3.50 MiB");
+  EXPECT_EQ(HumanBytes(25.0 * 1024 * 1024 * 1024), "25.00 GiB");
+}
+
+TEST(StringsTest, HumanSeconds) {
+  EXPECT_EQ(HumanSeconds(12.0), "12.00 s");
+  EXPECT_EQ(HumanSeconds(90.0), "1.50 min");
+  EXPECT_EQ(HumanSeconds(7200.0), "2.00 h");
+}
+
+TEST(StringsTest, Join) {
+  std::vector<int> v = {1, 2, 3};
+  EXPECT_EQ(Join(v, ", "), "1, 2, 3");
+  EXPECT_EQ(Join(std::vector<int>{}, ","), "");
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeTime) {
+  Stopwatch sw;
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+  sw.Restart();
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+}
+
+TEST(LoggingTest, LevelRoundTrips) {
+  LogLevel old = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(old);
+}
+
+TEST(CheckTest, PassingCheckDoesNotAbort) {
+  NAUTILUS_CHECK(true) << "never printed";
+  NAUTILUS_CHECK_EQ(1, 1);
+  NAUTILUS_CHECK_LT(1, 2);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(NAUTILUS_CHECK(false) << "boom", "Check failed");
+  EXPECT_DEATH(NAUTILUS_CHECK_EQ(1, 2), "Check failed");
+}
+
+}  // namespace
+}  // namespace nautilus

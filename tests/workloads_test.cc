@@ -1,0 +1,159 @@
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "nautilus/nn/layer.h"
+#include "nautilus/workloads/definitions.h"
+#include "nautilus/workloads/runner.h"
+
+namespace nautilus {
+namespace workloads {
+namespace {
+
+TEST(DefinitionsTest, Table3ModelCounts) {
+  // Grid sizes must match Table 3 exactly.
+  nn::ProfileOnlyScope profile_only;
+  EXPECT_EQ(BuildWorkload(WorkloadId::kFtr1, Scale::kPaper, 1).workload.size(),
+            36u);
+  EXPECT_EQ(BuildWorkload(WorkloadId::kFtr2, Scale::kPaper, 1).workload.size(),
+            24u);
+  EXPECT_EQ(BuildWorkload(WorkloadId::kFtr3, Scale::kPaper, 1).workload.size(),
+            12u);
+  EXPECT_EQ(BuildWorkload(WorkloadId::kAtr, Scale::kPaper, 1).workload.size(),
+            24u);
+  EXPECT_EQ(BuildWorkload(WorkloadId::kFtu, Scale::kPaper, 1).workload.size(),
+            24u);
+}
+
+TEST(DefinitionsTest, PaperEpochGrids) {
+  nn::ProfileOnlyScope profile_only;
+  auto ftr3 = BuildWorkload(WorkloadId::kFtr3, Scale::kPaper, 1);
+  std::set<int64_t> epochs;
+  for (const auto& candidate : ftr3.workload) {
+    epochs.insert(candidate.hp.epochs);
+  }
+  EXPECT_EQ(epochs, (std::set<int64_t>{5, 10}));
+
+  auto ftr1 = BuildWorkload(WorkloadId::kFtr1, Scale::kPaper, 1);
+  for (const auto& candidate : ftr1.workload) {
+    EXPECT_EQ(candidate.hp.epochs, 5);
+  }
+}
+
+TEST(DefinitionsTest, AllModelsValidateAtMiniScale) {
+  for (WorkloadId id : AllWorkloads()) {
+    BuiltWorkload built = BuildWorkload(id, Scale::kMini, 3);
+    for (const auto& candidate : built.workload) {
+      candidate.model.Validate();
+      EXPECT_GT(candidate.model.TrainableParamCount(), 0)
+          << built.name << "/" << candidate.model.name();
+    }
+  }
+}
+
+TEST(DefinitionsTest, BatchAndLrGrid) {
+  nn::ProfileOnlyScope profile_only;
+  auto ftr2 = BuildWorkload(WorkloadId::kFtr2, Scale::kPaper, 1);
+  std::set<int64_t> batches;
+  std::set<double> lrs;
+  for (const auto& candidate : ftr2.workload) {
+    batches.insert(candidate.hp.batch_size);
+    lrs.insert(candidate.hp.learning_rate);
+  }
+  EXPECT_EQ(batches, (std::set<int64_t>{16, 32}));
+  EXPECT_EQ(lrs.size(), 3u);
+}
+
+TEST(RunnerTest, ApproachOptionsDifferentiate) {
+  auto cp = ApproachOptions(Approach::kCurrentPractice);
+  EXPECT_EQ(cp.materialization, core::MaterializationMode::kNone);
+  EXPECT_FALSE(cp.fusion);
+  EXPECT_TRUE(cp.full_checkpoints);
+  auto nautilus = ApproachOptions(Approach::kNautilus);
+  EXPECT_EQ(nautilus.materialization, core::MaterializationMode::kOptimized);
+  EXPECT_TRUE(nautilus.fusion);
+  EXPECT_FALSE(nautilus.full_checkpoints);
+}
+
+TEST(RunnerTest, SimulatedPaperScaleOrderings) {
+  // The headline orderings of Figure 6(A) at paper scale, on FTR-2:
+  // Nautilus < MAT-ALL < Current Practice, and Nautilus beats the others by
+  // a solid factor.
+  nn::ProfileOnlyScope profile_only;
+  BuiltWorkload built = BuildWorkload(WorkloadId::kFtr2, Scale::kPaper, 7);
+  core::SystemConfig config;
+  config.expected_max_records = 5000;
+  RunParams params;
+  params.cycles = 3;  // keep the unit test quick
+
+  SimulatedRun cp = SimulateRun(built, Approach::kCurrentPractice, config,
+                                params);
+  SimulatedRun mat_all = SimulateRun(built, Approach::kMatAll, config,
+                                     params);
+  SimulatedRun nautilus = SimulateRun(built, Approach::kNautilus, config,
+                                      params);
+
+  EXPECT_LT(nautilus.total_seconds, mat_all.total_seconds);
+  EXPECT_LT(mat_all.total_seconds, cp.total_seconds);
+  EXPECT_GT(cp.total_seconds / nautilus.total_seconds, 2.0);
+  // Nautilus reads and writes less than MAT-ALL.
+  EXPECT_LT(nautilus.bytes_read, mat_all.bytes_read);
+  // Fewer groups than models under fusion.
+  EXPECT_LT(nautilus.num_groups,
+            static_cast<int>(built.workload.size()));
+  EXPECT_GT(nautilus.num_materialized_units, 0);
+  EXPECT_LE(nautilus.storage_bytes, config.disk_budget_bytes);
+}
+
+TEST(RunnerTest, SimulatedAblationBothHelp) {
+  nn::ProfileOnlyScope profile_only;
+  BuiltWorkload built = BuildWorkload(WorkloadId::kFtr2, Scale::kPaper, 7);
+  core::SystemConfig config;
+  config.expected_max_records = 5000;
+  RunParams params;
+  params.cycles = 2;
+
+  const double full =
+      SimulateRun(built, Approach::kNautilus, config, params).total_seconds;
+  const double no_fuse =
+      SimulateRun(built, Approach::kMatOnly, config, params).total_seconds;
+  const double no_mat =
+      SimulateRun(built, Approach::kFuseOnly, config, params).total_seconds;
+  const double cp = SimulateRun(built, Approach::kCurrentPractice, config,
+                                params)
+                        .total_seconds;
+  EXPECT_LE(full, no_fuse + 1e-6);
+  EXPECT_LE(full, no_mat + 1e-6);
+  EXPECT_LT(no_fuse, cp);
+  EXPECT_LT(no_mat, cp);
+}
+
+TEST(RunnerTest, MeasuredMiniRunExecutes) {
+  BuiltWorkload built = BuildWorkload(WorkloadId::kFtr3, Scale::kMini, 11);
+  // Shrink to a fast smoke test: a few candidates, 2 cycles.
+  built.workload.erase(built.workload.begin() + 4, built.workload.end());
+  core::SystemConfig config;
+  config.expected_max_records = 200;
+  config.flops_per_second = 1e9;
+  RunParams params;
+  params.cycles = 2;
+  params.records_per_cycle = 60;
+  params.train_fraction = 0.75;
+
+  data::LabeledDataset pool = MakePoolFor(built, 150, 5);
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "nautilus_runner_test";
+  std::filesystem::remove_all(dir);
+  MeasuredRun run = MeasureRun(built, Approach::kNautilus, config, params,
+                               pool, dir.string());
+  std::filesystem::remove_all(dir);
+  ASSERT_EQ(run.cycles.size(), 2u);
+  EXPECT_GT(run.cycles[1].cumulative_seconds,
+            run.cycles[0].cumulative_seconds);
+  EXPECT_GE(run.cycles[1].best_accuracy, 0.0f);
+  EXPECT_GT(run.bytes_written, 0);
+}
+
+}  // namespace
+}  // namespace workloads
+}  // namespace nautilus

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include "nautilus/graph/executor.h"
+#include "nautilus/tensor/ops.h"
+#include "nautilus/util/random.h"
+#include "nautilus/zoo/bert_like.h"
+#include "nautilus/zoo/resnet_like.h"
+
+namespace nautilus {
+namespace zoo {
+namespace {
+
+Tensor RandomTokenBatch(const BertConfig& cfg, int64_t batch, Rng* rng) {
+  Tensor ids(Shape({batch, cfg.seq_len}));
+  for (int64_t i = 0; i < ids.NumElements(); ++i) {
+    ids.at(i) = static_cast<float>(rng->UniformInt(cfg.vocab));
+  }
+  return ids;
+}
+
+TEST(BertLikeTest, SourceGraphStructure) {
+  BertLikeModel source(BertConfig::TinyScale(), 1);
+  graph::ModelGraph g = source.BuildSourceGraph();
+  // input + embedding + blocks.
+  EXPECT_EQ(g.num_nodes(), 2 + source.config().num_blocks);
+  auto mask = g.MaterializableMask();
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    EXPECT_TRUE(mask[static_cast<size_t>(i)]) << "node " << i;
+  }
+}
+
+TEST(BertLikeTest, PretrainedWeightsDeterministic) {
+  BertLikeModel a(BertConfig::TinyScale(), 42);
+  BertLikeModel b(BertConfig::TinyScale(), 42);
+  Rng rng(7);
+  Tensor ids = RandomTokenBatch(a.config(), 2, &rng);
+  graph::ModelGraph ga = a.BuildSourceGraph();
+  graph::ModelGraph gb = b.BuildSourceGraph();
+  graph::Executor ea(&ga), eb(&gb);
+  ea.Forward({{ga.input_ids()[0], ids}}, false);
+  eb.Forward({{gb.input_ids()[0], ids}}, false);
+  EXPECT_EQ(Tensor::MaxAbsDiff(ea.Output(ga.output_ids()[0]),
+                               eb.Output(gb.output_ids()[0])),
+            0.0f);
+}
+
+class FeatureTransferTest : public ::testing::TestWithParam<BertFeature> {};
+
+TEST_P(FeatureTransferTest, BuildsValidModelAndRuns) {
+  BertLikeModel source(BertConfig::TinyScale(), 2);
+  graph::ModelGraph m = BuildBertFeatureTransferModel(
+      source, GetParam(), /*num_classes=*/3, "ftr", 99);
+  m.Validate();
+
+  // All pretrained layers materializable; new layers not.
+  auto mask = m.MaterializableMask();
+  int materializable = 0;
+  for (bool b : mask) materializable += b ? 1 : 0;
+  // input + embedding + blocks (+ possibly the frozen combiner node).
+  EXPECT_GE(materializable, 2 + source.config().num_blocks);
+
+  Rng rng(3);
+  Tensor ids = RandomTokenBatch(source.config(), 2, &rng);
+  graph::Executor ex(&m);
+  ex.Forward({{m.input_ids()[0], ids}}, false);
+  const Tensor& logits = ex.Output(m.output_ids()[0]);
+  EXPECT_EQ(logits.shape(), Shape({2, 3}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, FeatureTransferTest,
+    ::testing::Values(BertFeature::kEmbedding, BertFeature::kSecondLastHidden,
+                      BertFeature::kLastHidden, BertFeature::kSumLast4,
+                      BertFeature::kConcatLast4, BertFeature::kSumAllHidden));
+
+TEST(BertLikeTest, FeatureTransferSharesFrozenExpressions) {
+  BertLikeModel source(BertConfig::TinyScale(), 4);
+  graph::ModelGraph m1 = BuildBertFeatureTransferModel(
+      source, BertFeature::kLastHidden, 3, "m1", 10);
+  graph::ModelGraph m2 = BuildBertFeatureTransferModel(
+      source, BertFeature::kSumLast4, 3, "m2", 11);
+  auto h1 = m1.ExpressionHashes();
+  auto h2 = m2.ExpressionHashes();
+  // The last pretrained block is node index (1 + num_blocks) in both.
+  const size_t last_block = static_cast<size_t>(1 + source.config().num_blocks);
+  EXPECT_EQ(h1[last_block], h2[last_block]);
+}
+
+TEST(BertLikeTest, AdapterModelMaterializability) {
+  BertLikeModel source(BertConfig::TinyScale(), 5);
+  // Adapters on the last block only: everything below stays materializable,
+  // the adapter and anything above it does not.
+  graph::ModelGraph m =
+      BuildBertAdapterModel(source, /*num_adapted=*/1, 3, "atr", 12);
+  auto mask = m.MaterializableMask();
+  const auto& nodes = m.nodes();
+  int first_nonmat = -1;
+  for (int i = 0; i < m.num_nodes(); ++i) {
+    if (!mask[static_cast<size_t>(i)]) {
+      first_nonmat = i;
+      break;
+    }
+  }
+  ASSERT_GE(first_nonmat, 0);
+  EXPECT_EQ(nodes[static_cast<size_t>(first_nonmat)].layer->type_name(),
+            "Adapter");
+  for (int i = first_nonmat; i < m.num_nodes(); ++i) {
+    EXPECT_FALSE(mask[static_cast<size_t>(i)]) << "node " << i;
+  }
+}
+
+TEST(BertLikeTest, FineTuneCloneDoesNotCorruptSource) {
+  BertLikeModel source(BertConfig::TinyScale(), 6);
+  graph::ModelGraph m =
+      BuildBertFineTuneModel(source, /*num_unfrozen=*/1, 3, "ftu", 13);
+  // Train one step; the shared pretrained block weights must not change.
+  Rng rng(8);
+  Tensor ids = RandomTokenBatch(source.config(), 4, &rng);
+  std::vector<int32_t> labels = {0, 1, 2, 0};
+  graph::Executor ex(&m);
+  auto params = ex.TrainableParams();
+  ASSERT_FALSE(params.empty());
+
+  // Snapshot source block weights.
+  auto* last_block = source.blocks().back().get();
+  std::vector<Tensor> before;
+  for (nn::Parameter* p : last_block->Params()) before.push_back(p->value);
+
+  ex.ZeroGrads();
+  ex.Forward({{m.input_ids()[0], ids}}, true);
+  Tensor probs = ops::SoftmaxForward(ex.Output(m.output_ids()[0]));
+  Tensor dlogits;
+  ops::SoftmaxCrossEntropy(probs, labels, &dlogits);
+  ex.Backward({{m.output_ids()[0], dlogits}});
+  for (nn::Parameter* p : params) {
+    for (int64_t i = 0; i < p->value.NumElements(); ++i) {
+      p->value.at(i) -= 0.1f * p->grad.at(i);
+    }
+  }
+
+  auto after = last_block->Params();
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(Tensor::MaxAbsDiff(before[i], after[i]->value), 0.0f)
+        << "pretrained weights were modified by fine-tuning a clone";
+  }
+}
+
+TEST(BertLikeTest, FineTuneMaterializableFrontierMatchesFreezeDepth) {
+  BertLikeModel source(BertConfig::TinyScale(), 7);
+  for (int64_t unfrozen = 0; unfrozen <= source.config().num_blocks;
+       ++unfrozen) {
+    graph::ModelGraph m = BuildBertFineTuneModel(
+        source, unfrozen, 3, "ftu" + std::to_string(unfrozen), 20 + unfrozen);
+    auto mask = m.MaterializableMask();
+    int materializable = 0;
+    for (bool b : mask) materializable += b ? 1 : 0;
+    // input + embedding + frozen blocks. With zero unfrozen blocks the
+    // parameter-free SelectToken head node is also materializable
+    // (Definition 2.4: frozen with all-materializable parents).
+    const int head_extra = unfrozen == 0 ? 1 : 0;
+    EXPECT_EQ(materializable,
+              2 + static_cast<int>(source.config().num_blocks - unfrozen) +
+                  head_extra);
+  }
+}
+
+TEST(ResNetLikeTest, SourceGraphRunsForward) {
+  ResNetLikeModel source(ResNetConfig::MiniScale(), 9);
+  graph::ModelGraph g = source.BuildSourceGraph();
+  Rng rng(10);
+  Tensor images = Tensor::Randn(
+      Shape({2, source.config().in_channels, source.config().image_size,
+             source.config().image_size}),
+      &rng, 1.0f);
+  graph::Executor ex(&g);
+  ex.Forward({{g.input_ids()[0], images}}, false);
+  const Tensor& features = ex.Output(g.output_ids()[0]);
+  EXPECT_EQ(features.shape().dim(0), 2);
+  EXPECT_EQ(features.shape().dim(1), source.feature_channels());
+}
+
+TEST(ResNetLikeTest, FineTuneModelTrainsAndClassifies) {
+  ResNetLikeModel source(ResNetConfig::MiniScale(), 11);
+  graph::ModelGraph m =
+      BuildResNetFineTuneModel(source, /*num_unfrozen=*/1, 2, "ftu", 30);
+  Rng rng(12);
+  Tensor images = Tensor::Randn(
+      Shape({4, source.config().in_channels, source.config().image_size,
+             source.config().image_size}),
+      &rng, 1.0f);
+  std::vector<int32_t> labels = {0, 1, 0, 1};
+  graph::Executor ex(&m);
+  ex.ZeroGrads();
+  ex.Forward({{m.input_ids()[0], images}}, true);
+  Tensor probs = ops::SoftmaxForward(ex.Output(m.output_ids()[0]));
+  EXPECT_EQ(probs.shape(), Shape({4, 2}));
+  Tensor dlogits;
+  float loss = ops::SoftmaxCrossEntropy(probs, labels, &dlogits);
+  EXPECT_GT(loss, 0.0f);
+  ex.Backward({{m.output_ids()[0], dlogits}});
+}
+
+TEST(ResNetLikeTest, MaterializableCountTracksFreezing) {
+  ResNetLikeModel source(ResNetConfig::MiniScale(), 13);
+  const int64_t total = source.config().TotalBlocks();
+  for (int64_t unfrozen : {int64_t{0}, int64_t{2}, total}) {
+    graph::ModelGraph m = BuildResNetFineTuneModel(
+        source, unfrozen, 2, "m" + std::to_string(unfrozen), 40 + unfrozen);
+    auto mask = m.MaterializableMask();
+    int materializable = 0;
+    for (bool b : mask) materializable += b ? 1 : 0;
+    // input + stem + pool + frozen blocks; with everything frozen the
+    // parameter-free GlobalAvgPool head node is materializable too.
+    const int head_extra = unfrozen == 0 ? 1 : 0;
+    EXPECT_EQ(materializable, 3 + static_cast<int>(total - unfrozen) +
+                                  head_extra);
+  }
+}
+
+TEST(ResNetLikeTest, PaperScaleProfileMatchesResNet50Order) {
+  // Profile-only construction at paper scale: no forward pass, just check
+  // the FLOP count is in the right ballpark (ResNet-50 is ~4 GFLOPs/image
+  // forward at 224x224).
+  nn::ProfileOnlyScope profile_only;
+  ResNetLikeModel source(ResNetConfig::PaperScale(), 14);
+  graph::ModelGraph g = source.BuildSourceGraph();
+  auto shapes = g.NodeShapes(1);
+  double flops = 0.0;
+  for (const auto& node : g.nodes()) {
+    if (node.parents.empty()) continue;
+    std::vector<Shape> in;
+    for (int p : node.parents) in.push_back(shapes[static_cast<size_t>(p)]);
+    flops += node.layer->ForwardFlopsPerRecord(in);
+  }
+  EXPECT_GT(flops, 5e8);
+  EXPECT_LT(flops, 2e10);
+}
+
+TEST(BertLikeTest, PaperScaleProfileMatchesBertBaseOrder) {
+  // BERT-base forward is ~22 GFLOPs at sequence length 128... within 2x.
+  nn::ProfileOnlyScope profile_only;
+  BertLikeModel source(BertConfig::PaperScale(), 15);
+  graph::ModelGraph g = source.BuildSourceGraph();
+  auto shapes = g.NodeShapes(1);
+  double flops = 0.0;
+  for (const auto& node : g.nodes()) {
+    if (node.parents.empty()) continue;
+    std::vector<Shape> in;
+    for (int p : node.parents) in.push_back(shapes[static_cast<size_t>(p)]);
+    flops += node.layer->ForwardFlopsPerRecord(in);
+  }
+  EXPECT_GT(flops, 1e10);
+  EXPECT_LT(flops, 5e10);
+}
+
+TEST(ProfileOnlyTest, StubParamsKeepShapesWithoutStorage) {
+  nn::ProfileOnlyScope profile_only;
+  BertLikeModel source(BertConfig::PaperScale(), 16);
+  // BERT-base has ~110M parameters; stub construction must report them
+  // without allocating.
+  int64_t params = source.embedding()->ParamCount();
+  for (const auto& b : source.blocks()) params += b->ParamCount();
+  EXPECT_GT(params, 80'000'000);
+  EXPECT_LT(params, 150'000'000);
+  for (nn::Parameter* p : source.blocks()[0]->Params()) {
+    EXPECT_TRUE(p->IsStub());
+    EXPECT_TRUE(p->value.empty());
+  }
+}
+
+TEST(ProfileOnlyTest, ScopeRestoresMode) {
+  EXPECT_FALSE(nn::ProfileOnlyMode());
+  {
+    nn::ProfileOnlyScope scope;
+    EXPECT_TRUE(nn::ProfileOnlyMode());
+  }
+  EXPECT_FALSE(nn::ProfileOnlyMode());
+}
+
+TEST(ProfileOnlyTest, CloneOfStubStaysStub) {
+  nn::ProfileOnlyScope profile_only;
+  Rng rng(17);
+  nn::DenseLayer d("d", 128, 64, nn::Activation::kNone, &rng);
+  auto copy = d.Clone();
+  EXPECT_EQ(copy->ParamCount(), d.ParamCount());
+  for (nn::Parameter* p : copy->Params()) EXPECT_TRUE(p->IsStub());
+}
+
+}  // namespace
+}  // namespace zoo
+}  // namespace nautilus

@@ -1,0 +1,191 @@
+// Command-line workbench: run any Table 3 workload under any evaluated
+// approach, either simulated at paper scale or measured with real training
+// at mini scale.
+//
+// Usage:
+//   nautilus_cli [--workload=FTR-2] [--approach=nautilus] [--mode=simulate]
+//                [--cycles=10] [--records=500] [--disk-gb=25] [--mem-gb=10]
+//                [--seed=1]
+//
+//   --workload  FTR-1 | FTR-2 | FTR-3 | ATR | FTU
+//   --approach  cp | mat-all | nautilus | mat-only | fuse-only
+//   --mode      simulate (paper scale, modeled time)
+//               measure  (mini scale, real CPU training)
+//               halving  (mini scale, successive-halving selection)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "nautilus/core/successive_halving.h"
+#include "nautilus/nn/layer.h"
+#include "nautilus/util/strings.h"
+#include "nautilus/workloads/runner.h"
+
+using namespace nautilus;
+
+namespace {
+
+std::string FlagValue(int argc, char** argv, const std::string& name,
+                      const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+workloads::WorkloadId ParseWorkload(const std::string& name) {
+  for (workloads::WorkloadId id : workloads::AllWorkloads()) {
+    if (name == workloads::WorkloadName(id)) return id;
+  }
+  std::fprintf(stderr, "unknown workload '%s' (use FTR-1..3, ATR, FTU)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+workloads::Approach ParseApproach(const std::string& name) {
+  if (name == "cp") return workloads::Approach::kCurrentPractice;
+  if (name == "mat-all") return workloads::Approach::kMatAll;
+  if (name == "nautilus") return workloads::Approach::kNautilus;
+  if (name == "mat-only") return workloads::Approach::kMatOnly;
+  if (name == "fuse-only") return workloads::Approach::kFuseOnly;
+  std::fprintf(stderr,
+               "unknown approach '%s' (cp, mat-all, nautilus, mat-only, "
+               "fuse-only)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      std::printf(
+          "usage: %s [--workload=FTR-2] [--approach=nautilus]\n"
+          "          [--mode=simulate|measure] [--cycles=N] [--records=N]\n"
+          "          [--disk-gb=25] [--mem-gb=10] [--seed=1]\n",
+          argv[0]);
+      return 0;
+    }
+  }
+  const workloads::WorkloadId id =
+      ParseWorkload(FlagValue(argc, argv, "workload", "FTR-2"));
+  const workloads::Approach approach =
+      ParseApproach(FlagValue(argc, argv, "approach", "nautilus"));
+  const std::string mode = FlagValue(argc, argv, "mode", "simulate");
+  workloads::RunParams params;
+  params.cycles = std::atoi(FlagValue(argc, argv, "cycles", "10").c_str());
+  params.records_per_cycle =
+      std::atol(FlagValue(argc, argv, "records", "500").c_str());
+  const uint64_t seed =
+      std::strtoull(FlagValue(argc, argv, "seed", "1").c_str(), nullptr, 10);
+
+  core::SystemConfig config;
+  config.disk_budget_bytes =
+      std::atof(FlagValue(argc, argv, "disk-gb", "25").c_str()) *
+      static_cast<double>(1ull << 30);
+  config.memory_budget_bytes =
+      std::atof(FlagValue(argc, argv, "mem-gb", "10").c_str()) *
+      static_cast<double>(1ull << 30);
+  config.expected_max_records = params.cycles * params.records_per_cycle;
+
+  if (mode == "simulate") {
+    nn::ProfileOnlyScope profile_only;
+    workloads::BuiltWorkload built =
+        workloads::BuildWorkload(id, workloads::Scale::kPaper, seed);
+    workloads::SimulatedRun run =
+        workloads::SimulateRun(built, approach, config, params);
+    std::printf("%s / %s (paper scale, modeled)\n", run.workload.c_str(),
+                run.approach.c_str());
+    std::printf("  candidates: %zu, plan groups: %d, materialized units: %d "
+                "(%s)\n",
+                built.workload.size(), run.num_groups,
+                run.num_materialized_units,
+                HumanBytes(run.storage_bytes).c_str());
+    std::printf("  init: %s (optimizer %s)\n",
+                HumanSeconds(run.init_seconds).c_str(),
+                HumanSeconds(run.init_optimize_seconds).c_str());
+    for (size_t k = 0; k < run.cycle_seconds.size(); ++k) {
+      std::printf("  cycle %2zu: %s\n", k + 1,
+                  HumanSeconds(run.cycle_seconds[k]).c_str());
+    }
+    std::printf("  total: %s, utilization %.1f%%, io reads %s writes %s\n",
+                HumanSeconds(run.total_seconds).c_str(),
+                100.0 * run.utilization, HumanBytes(run.bytes_read).c_str(),
+                HumanBytes(run.bytes_written).c_str());
+    std::printf("  theoretical speedup bound (Eq. 11): %.2fx\n",
+                run.theoretical_speedup);
+    return 0;
+  }
+  if (mode == "measure") {
+    // CPU-scale hardware model for planning decisions.
+    config.flops_per_second = 2.0e9;
+    config.disk_bytes_per_second = 200.0 * (1 << 20);
+    config.workspace_bytes = 64.0 * (1 << 20);
+    config.per_model_setup_seconds = 0.01;
+    workloads::BuiltWorkload built =
+        workloads::BuildWorkload(id, workloads::Scale::kMini, seed);
+    data::LabeledDataset pool = workloads::MakePoolFor(
+        built, params.cycles * params.records_per_cycle, seed + 1);
+    const auto dir =
+        std::filesystem::temp_directory_path() / "nautilus_cli_run";
+    std::filesystem::remove_all(dir);
+    workloads::MeasuredRun run = workloads::MeasureRun(
+        built, approach, config, params, pool, dir.string(), seed);
+    std::filesystem::remove_all(dir);
+    std::printf("%s / %s (mini scale, measured)\n", run.workload.c_str(),
+                run.approach.c_str());
+    std::printf("  init: %.2fs\n", run.init_seconds);
+    for (const workloads::MeasuredCycle& c : run.cycles) {
+      std::printf("  cycle %2d: %.2fs (cumulative %.2fs), best model %d, "
+                  "val-acc %.3f\n",
+                  c.cycle + 1, c.cycle_seconds, c.cumulative_seconds,
+                  c.best_model, c.best_accuracy);
+    }
+    std::printf("  total: %.2fs, io reads %s writes %s\n", run.total_seconds,
+                HumanBytes(static_cast<double>(run.bytes_read)).c_str(),
+                HumanBytes(static_cast<double>(run.bytes_written)).c_str());
+    return 0;
+  }
+  if (mode == "halving") {
+    config.flops_per_second = 2.0e9;
+    config.disk_bytes_per_second = 200.0 * (1 << 20);
+    config.workspace_bytes = 64.0 * (1 << 20);
+    config.per_model_setup_seconds = 0.01;
+    workloads::BuiltWorkload built =
+        workloads::BuildWorkload(id, workloads::Scale::kMini, seed);
+    data::LabeledDataset pool = workloads::MakePoolFor(
+        built, params.records_per_cycle * 2, seed + 1);
+    const int64_t train_count = (pool.size() * 4) / 5;
+    const auto dir =
+        std::filesystem::temp_directory_path() / "nautilus_cli_halving";
+    std::filesystem::remove_all(dir);
+    core::SuccessiveHalvingOptions options;
+    options.seed = seed;
+    core::SuccessiveHalvingResult result = core::RunSuccessiveHalving(
+        &built.workload, config, pool.Slice(0, train_count),
+        pool.Slice(train_count, pool.size()), dir.string(), options);
+    std::filesystem::remove_all(dir);
+    std::printf("%s successive halving (mini scale)\n",
+                workloads::WorkloadName(id));
+    for (size_t r = 0; r < result.rungs.size(); ++r) {
+      std::printf("  rung %zu: trained %zu candidates, kept %zu\n", r,
+                  result.rungs[r].trained_models.size(),
+                  result.rungs[r].survivors.size());
+    }
+    std::printf("  winner: model %d (val-acc %.3f); %d model-rungs vs %zu "
+                "full trainings\n",
+                result.best_model, result.best_accuracy,
+                result.total_model_rungs, built.workload.size());
+    return 0;
+  }
+  std::fprintf(stderr, "unknown mode '%s' (simulate | measure | halving)\n",
+               mode.c_str());
+  return 2;
+}
