@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_memory_estimator.dir/bench/bench_ablation_memory_estimator.cpp.o"
+  "CMakeFiles/bench_ablation_memory_estimator.dir/bench/bench_ablation_memory_estimator.cpp.o.d"
+  "bench/bench_ablation_memory_estimator"
+  "bench/bench_ablation_memory_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_memory_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10a_storage_budget.dir/bench/bench_fig10a_storage_budget.cpp.o"
+  "CMakeFiles/bench_fig10a_storage_budget.dir/bench/bench_fig10a_storage_budget.cpp.o.d"
+  "bench/bench_fig10a_storage_budget"
+  "bench/bench_fig10a_storage_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10a_storage_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_resources.dir/bench/bench_fig11_resources.cpp.o"
+  "CMakeFiles/bench_fig11_resources.dir/bench/bench_fig11_resources.cpp.o.d"
+  "bench/bench_fig11_resources"
+  "bench/bench_fig11_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6b_cycle_breakdown.dir/bench/bench_fig6b_cycle_breakdown.cpp.o"
+  "CMakeFiles/bench_fig6b_cycle_breakdown.dir/bench/bench_fig6b_cycle_breakdown.cpp.o.d"
+  "bench/bench_fig6b_cycle_breakdown"
+  "bench/bench_fig6b_cycle_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_cycle_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_learning_curves.dir/bench/bench_fig7_learning_curves.cpp.o"
+  "CMakeFiles/bench_fig7_learning_curves.dir/bench/bench_fig7_learning_curves.cpp.o.d"
+  "bench/bench_fig7_learning_curves"
+  "bench/bench_fig7_learning_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_learning_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapter_training.dir/adapter_training.cpp.o"
+  "CMakeFiles/adapter_training.dir/adapter_training.cpp.o.d"
+  "adapter_training"
+  "adapter_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapter_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ner_active_learning.dir/ner_active_learning.cpp.o"
+  "CMakeFiles/ner_active_learning.dir/ner_active_learning.cpp.o.d"
+  "ner_active_learning"
+  "ner_active_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ner_active_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/successive_halving_demo.dir/successive_halving_demo.cpp.o"
+  "CMakeFiles/successive_halving_demo.dir/successive_halving_demo.cpp.o.d"
+  "successive_halving_demo"
+  "successive_halving_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/successive_halving_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vision_finetuning.dir/vision_finetuning.cpp.o"
+  "CMakeFiles/vision_finetuning.dir/vision_finetuning.cpp.o.d"
+  "vision_finetuning"
+  "vision_finetuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vision_finetuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("nautilus/util")
+subdirs("nautilus/tensor")
+subdirs("nautilus/solver")
+subdirs("nautilus/graph")
+subdirs("nautilus/nn")
+subdirs("nautilus/zoo")
+subdirs("nautilus/data")
+subdirs("nautilus/storage")
+subdirs("nautilus/core")
+subdirs("nautilus/workloads")

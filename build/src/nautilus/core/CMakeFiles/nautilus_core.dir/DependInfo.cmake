@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nautilus/core/calibration.cc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/calibration.cc.o" "gcc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/calibration.cc.o.d"
+  "/root/repo/src/nautilus/core/fusion.cc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/fusion.cc.o" "gcc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/fusion.cc.o.d"
+  "/root/repo/src/nautilus/core/materialization.cc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/materialization.cc.o" "gcc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/materialization.cc.o.d"
+  "/root/repo/src/nautilus/core/materializer.cc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/materializer.cc.o" "gcc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/materializer.cc.o.d"
+  "/root/repo/src/nautilus/core/memory_estimator.cc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/memory_estimator.cc.o" "gcc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/memory_estimator.cc.o.d"
+  "/root/repo/src/nautilus/core/model_selection.cc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/model_selection.cc.o" "gcc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/model_selection.cc.o.d"
+  "/root/repo/src/nautilus/core/multi_model.cc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/multi_model.cc.o" "gcc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/multi_model.cc.o.d"
+  "/root/repo/src/nautilus/core/plan.cc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/plan.cc.o" "gcc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/plan.cc.o.d"
+  "/root/repo/src/nautilus/core/planner.cc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/planner.cc.o" "gcc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/planner.cc.o.d"
+  "/root/repo/src/nautilus/core/planning.cc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/planning.cc.o" "gcc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/planning.cc.o.d"
+  "/root/repo/src/nautilus/core/profile.cc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/profile.cc.o" "gcc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/profile.cc.o.d"
+  "/root/repo/src/nautilus/core/search_space.cc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/search_space.cc.o" "gcc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/search_space.cc.o.d"
+  "/root/repo/src/nautilus/core/simulator.cc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/simulator.cc.o" "gcc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/simulator.cc.o.d"
+  "/root/repo/src/nautilus/core/successive_halving.cc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/successive_halving.cc.o" "gcc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/successive_halving.cc.o.d"
+  "/root/repo/src/nautilus/core/trainer.cc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/trainer.cc.o" "gcc" "src/nautilus/core/CMakeFiles/nautilus_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nautilus/graph/CMakeFiles/nautilus_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nautilus/nn/CMakeFiles/nautilus_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/nautilus/solver/CMakeFiles/nautilus_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/nautilus/storage/CMakeFiles/nautilus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/nautilus/data/CMakeFiles/nautilus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nautilus/util/CMakeFiles/nautilus_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nautilus/zoo/CMakeFiles/nautilus_zoo.dir/DependInfo.cmake"
+  "/root/repo/build/src/nautilus/tensor/CMakeFiles/nautilus_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nautilus_core.dir/calibration.cc.o"
+  "CMakeFiles/nautilus_core.dir/calibration.cc.o.d"
+  "CMakeFiles/nautilus_core.dir/fusion.cc.o"
+  "CMakeFiles/nautilus_core.dir/fusion.cc.o.d"
+  "CMakeFiles/nautilus_core.dir/materialization.cc.o"
+  "CMakeFiles/nautilus_core.dir/materialization.cc.o.d"
+  "CMakeFiles/nautilus_core.dir/materializer.cc.o"
+  "CMakeFiles/nautilus_core.dir/materializer.cc.o.d"
+  "CMakeFiles/nautilus_core.dir/memory_estimator.cc.o"
+  "CMakeFiles/nautilus_core.dir/memory_estimator.cc.o.d"
+  "CMakeFiles/nautilus_core.dir/model_selection.cc.o"
+  "CMakeFiles/nautilus_core.dir/model_selection.cc.o.d"
+  "CMakeFiles/nautilus_core.dir/multi_model.cc.o"
+  "CMakeFiles/nautilus_core.dir/multi_model.cc.o.d"
+  "CMakeFiles/nautilus_core.dir/plan.cc.o"
+  "CMakeFiles/nautilus_core.dir/plan.cc.o.d"
+  "CMakeFiles/nautilus_core.dir/planner.cc.o"
+  "CMakeFiles/nautilus_core.dir/planner.cc.o.d"
+  "CMakeFiles/nautilus_core.dir/planning.cc.o"
+  "CMakeFiles/nautilus_core.dir/planning.cc.o.d"
+  "CMakeFiles/nautilus_core.dir/profile.cc.o"
+  "CMakeFiles/nautilus_core.dir/profile.cc.o.d"
+  "CMakeFiles/nautilus_core.dir/search_space.cc.o"
+  "CMakeFiles/nautilus_core.dir/search_space.cc.o.d"
+  "CMakeFiles/nautilus_core.dir/simulator.cc.o"
+  "CMakeFiles/nautilus_core.dir/simulator.cc.o.d"
+  "CMakeFiles/nautilus_core.dir/successive_halving.cc.o"
+  "CMakeFiles/nautilus_core.dir/successive_halving.cc.o.d"
+  "CMakeFiles/nautilus_core.dir/trainer.cc.o"
+  "CMakeFiles/nautilus_core.dir/trainer.cc.o.d"
+  "libnautilus_core.a"
+  "libnautilus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nautilus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

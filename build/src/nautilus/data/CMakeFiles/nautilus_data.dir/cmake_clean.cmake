@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nautilus_data.dir/augmentation.cc.o"
+  "CMakeFiles/nautilus_data.dir/augmentation.cc.o.d"
+  "CMakeFiles/nautilus_data.dir/synthetic.cc.o"
+  "CMakeFiles/nautilus_data.dir/synthetic.cc.o.d"
+  "libnautilus_data.a"
+  "libnautilus_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nautilus_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

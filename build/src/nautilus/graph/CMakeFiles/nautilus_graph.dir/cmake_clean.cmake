@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nautilus_graph.dir/executor.cc.o"
+  "CMakeFiles/nautilus_graph.dir/executor.cc.o.d"
+  "CMakeFiles/nautilus_graph.dir/model_graph.cc.o"
+  "CMakeFiles/nautilus_graph.dir/model_graph.cc.o.d"
+  "libnautilus_graph.a"
+  "libnautilus_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nautilus_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nautilus/nn/basic.cc" "src/nautilus/nn/CMakeFiles/nautilus_nn.dir/basic.cc.o" "gcc" "src/nautilus/nn/CMakeFiles/nautilus_nn.dir/basic.cc.o.d"
+  "/root/repo/src/nautilus/nn/combine.cc" "src/nautilus/nn/CMakeFiles/nautilus_nn.dir/combine.cc.o" "gcc" "src/nautilus/nn/CMakeFiles/nautilus_nn.dir/combine.cc.o.d"
+  "/root/repo/src/nautilus/nn/conv.cc" "src/nautilus/nn/CMakeFiles/nautilus_nn.dir/conv.cc.o" "gcc" "src/nautilus/nn/CMakeFiles/nautilus_nn.dir/conv.cc.o.d"
+  "/root/repo/src/nautilus/nn/layer.cc" "src/nautilus/nn/CMakeFiles/nautilus_nn.dir/layer.cc.o" "gcc" "src/nautilus/nn/CMakeFiles/nautilus_nn.dir/layer.cc.o.d"
+  "/root/repo/src/nautilus/nn/optimizer.cc" "src/nautilus/nn/CMakeFiles/nautilus_nn.dir/optimizer.cc.o" "gcc" "src/nautilus/nn/CMakeFiles/nautilus_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nautilus/nn/recurrent.cc" "src/nautilus/nn/CMakeFiles/nautilus_nn.dir/recurrent.cc.o" "gcc" "src/nautilus/nn/CMakeFiles/nautilus_nn.dir/recurrent.cc.o.d"
+  "/root/repo/src/nautilus/nn/transformer.cc" "src/nautilus/nn/CMakeFiles/nautilus_nn.dir/transformer.cc.o" "gcc" "src/nautilus/nn/CMakeFiles/nautilus_nn.dir/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nautilus/tensor/CMakeFiles/nautilus_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nautilus/util/CMakeFiles/nautilus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

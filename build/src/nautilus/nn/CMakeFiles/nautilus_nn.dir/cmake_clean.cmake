@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nautilus_nn.dir/basic.cc.o"
+  "CMakeFiles/nautilus_nn.dir/basic.cc.o.d"
+  "CMakeFiles/nautilus_nn.dir/combine.cc.o"
+  "CMakeFiles/nautilus_nn.dir/combine.cc.o.d"
+  "CMakeFiles/nautilus_nn.dir/conv.cc.o"
+  "CMakeFiles/nautilus_nn.dir/conv.cc.o.d"
+  "CMakeFiles/nautilus_nn.dir/layer.cc.o"
+  "CMakeFiles/nautilus_nn.dir/layer.cc.o.d"
+  "CMakeFiles/nautilus_nn.dir/optimizer.cc.o"
+  "CMakeFiles/nautilus_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/nautilus_nn.dir/recurrent.cc.o"
+  "CMakeFiles/nautilus_nn.dir/recurrent.cc.o.d"
+  "CMakeFiles/nautilus_nn.dir/transformer.cc.o"
+  "CMakeFiles/nautilus_nn.dir/transformer.cc.o.d"
+  "libnautilus_nn.a"
+  "libnautilus_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nautilus_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

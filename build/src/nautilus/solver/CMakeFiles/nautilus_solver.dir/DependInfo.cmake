@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nautilus/solver/closure.cc" "src/nautilus/solver/CMakeFiles/nautilus_solver.dir/closure.cc.o" "gcc" "src/nautilus/solver/CMakeFiles/nautilus_solver.dir/closure.cc.o.d"
+  "/root/repo/src/nautilus/solver/maxflow.cc" "src/nautilus/solver/CMakeFiles/nautilus_solver.dir/maxflow.cc.o" "gcc" "src/nautilus/solver/CMakeFiles/nautilus_solver.dir/maxflow.cc.o.d"
+  "/root/repo/src/nautilus/solver/milp.cc" "src/nautilus/solver/CMakeFiles/nautilus_solver.dir/milp.cc.o" "gcc" "src/nautilus/solver/CMakeFiles/nautilus_solver.dir/milp.cc.o.d"
+  "/root/repo/src/nautilus/solver/simplex.cc" "src/nautilus/solver/CMakeFiles/nautilus_solver.dir/simplex.cc.o" "gcc" "src/nautilus/solver/CMakeFiles/nautilus_solver.dir/simplex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nautilus/util/CMakeFiles/nautilus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nautilus_solver.dir/closure.cc.o"
+  "CMakeFiles/nautilus_solver.dir/closure.cc.o.d"
+  "CMakeFiles/nautilus_solver.dir/maxflow.cc.o"
+  "CMakeFiles/nautilus_solver.dir/maxflow.cc.o.d"
+  "CMakeFiles/nautilus_solver.dir/milp.cc.o"
+  "CMakeFiles/nautilus_solver.dir/milp.cc.o.d"
+  "CMakeFiles/nautilus_solver.dir/simplex.cc.o"
+  "CMakeFiles/nautilus_solver.dir/simplex.cc.o.d"
+  "libnautilus_solver.a"
+  "libnautilus_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nautilus_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nautilus/storage/checkpoint_store.cc" "src/nautilus/storage/CMakeFiles/nautilus_storage.dir/checkpoint_store.cc.o" "gcc" "src/nautilus/storage/CMakeFiles/nautilus_storage.dir/checkpoint_store.cc.o.d"
+  "/root/repo/src/nautilus/storage/io_stats.cc" "src/nautilus/storage/CMakeFiles/nautilus_storage.dir/io_stats.cc.o" "gcc" "src/nautilus/storage/CMakeFiles/nautilus_storage.dir/io_stats.cc.o.d"
+  "/root/repo/src/nautilus/storage/tensor_store.cc" "src/nautilus/storage/CMakeFiles/nautilus_storage.dir/tensor_store.cc.o" "gcc" "src/nautilus/storage/CMakeFiles/nautilus_storage.dir/tensor_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nautilus/graph/CMakeFiles/nautilus_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nautilus/tensor/CMakeFiles/nautilus_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nautilus/util/CMakeFiles/nautilus_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nautilus/nn/CMakeFiles/nautilus_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

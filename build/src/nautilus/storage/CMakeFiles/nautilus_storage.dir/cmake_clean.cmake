@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nautilus_storage.dir/checkpoint_store.cc.o"
+  "CMakeFiles/nautilus_storage.dir/checkpoint_store.cc.o.d"
+  "CMakeFiles/nautilus_storage.dir/io_stats.cc.o"
+  "CMakeFiles/nautilus_storage.dir/io_stats.cc.o.d"
+  "CMakeFiles/nautilus_storage.dir/tensor_store.cc.o"
+  "CMakeFiles/nautilus_storage.dir/tensor_store.cc.o.d"
+  "libnautilus_storage.a"
+  "libnautilus_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nautilus_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nautilus_tensor.dir/ops.cc.o"
+  "CMakeFiles/nautilus_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/nautilus_tensor.dir/tensor.cc.o"
+  "CMakeFiles/nautilus_tensor.dir/tensor.cc.o.d"
+  "libnautilus_tensor.a"
+  "libnautilus_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nautilus_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

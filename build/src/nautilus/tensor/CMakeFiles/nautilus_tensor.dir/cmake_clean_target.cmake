@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnautilus_tensor.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nautilus_util.dir/logging.cc.o"
+  "CMakeFiles/nautilus_util.dir/logging.cc.o.d"
+  "CMakeFiles/nautilus_util.dir/parallel.cc.o"
+  "CMakeFiles/nautilus_util.dir/parallel.cc.o.d"
+  "CMakeFiles/nautilus_util.dir/status.cc.o"
+  "CMakeFiles/nautilus_util.dir/status.cc.o.d"
+  "CMakeFiles/nautilus_util.dir/strings.cc.o"
+  "CMakeFiles/nautilus_util.dir/strings.cc.o.d"
+  "libnautilus_util.a"
+  "libnautilus_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nautilus_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

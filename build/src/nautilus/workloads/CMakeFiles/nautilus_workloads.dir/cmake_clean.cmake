@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nautilus_workloads.dir/definitions.cc.o"
+  "CMakeFiles/nautilus_workloads.dir/definitions.cc.o.d"
+  "CMakeFiles/nautilus_workloads.dir/runner.cc.o"
+  "CMakeFiles/nautilus_workloads.dir/runner.cc.o.d"
+  "libnautilus_workloads.a"
+  "libnautilus_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nautilus_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nautilus/zoo/bert_like.cc" "src/nautilus/zoo/CMakeFiles/nautilus_zoo.dir/bert_like.cc.o" "gcc" "src/nautilus/zoo/CMakeFiles/nautilus_zoo.dir/bert_like.cc.o.d"
+  "/root/repo/src/nautilus/zoo/resnet_like.cc" "src/nautilus/zoo/CMakeFiles/nautilus_zoo.dir/resnet_like.cc.o" "gcc" "src/nautilus/zoo/CMakeFiles/nautilus_zoo.dir/resnet_like.cc.o.d"
+  "/root/repo/src/nautilus/zoo/rnn_like.cc" "src/nautilus/zoo/CMakeFiles/nautilus_zoo.dir/rnn_like.cc.o" "gcc" "src/nautilus/zoo/CMakeFiles/nautilus_zoo.dir/rnn_like.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nautilus/graph/CMakeFiles/nautilus_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nautilus/nn/CMakeFiles/nautilus_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/nautilus/tensor/CMakeFiles/nautilus_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nautilus/util/CMakeFiles/nautilus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nautilus_zoo.dir/bert_like.cc.o"
+  "CMakeFiles/nautilus_zoo.dir/bert_like.cc.o.d"
+  "CMakeFiles/nautilus_zoo.dir/resnet_like.cc.o"
+  "CMakeFiles/nautilus_zoo.dir/resnet_like.cc.o.d"
+  "CMakeFiles/nautilus_zoo.dir/rnn_like.cc.o"
+  "CMakeFiles/nautilus_zoo.dir/rnn_like.cc.o.d"
+  "libnautilus_zoo.a"
+  "libnautilus_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nautilus_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolving_workload_test.dir/evolving_workload_test.cc.o"
+  "CMakeFiles/evolving_workload_test.dir/evolving_workload_test.cc.o.d"
+  "evolving_workload_test"
+  "evolving_workload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolving_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_graph_test.dir/fuzz_graph_test.cc.o"
+  "CMakeFiles/fuzz_graph_test.dir/fuzz_graph_test.cc.o.d"
+  "fuzz_graph_test"
+  "fuzz_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

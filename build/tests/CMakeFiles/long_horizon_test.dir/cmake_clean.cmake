@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/long_horizon_test.dir/long_horizon_test.cc.o"
+  "CMakeFiles/long_horizon_test.dir/long_horizon_test.cc.o.d"
+  "long_horizon_test"
+  "long_horizon_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/long_horizon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_param_test.dir/ops_param_test.cc.o"
+  "CMakeFiles/ops_param_test.dir/ops_param_test.cc.o.d"
+  "ops_param_test"
+  "ops_param_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

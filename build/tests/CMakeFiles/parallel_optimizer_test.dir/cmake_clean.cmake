@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_optimizer_test.dir/parallel_optimizer_test.cc.o"
+  "CMakeFiles/parallel_optimizer_test.dir/parallel_optimizer_test.cc.o.d"
+  "parallel_optimizer_test"
+  "parallel_optimizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/successive_halving_test.dir/successive_halving_test.cc.o"
+  "CMakeFiles/successive_halving_test.dir/successive_halving_test.cc.o.d"
+  "successive_halving_test"
+  "successive_halving_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/successive_halving_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

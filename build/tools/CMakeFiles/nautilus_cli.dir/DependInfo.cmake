@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/nautilus_cli.cpp" "tools/CMakeFiles/nautilus_cli.dir/nautilus_cli.cpp.o" "gcc" "tools/CMakeFiles/nautilus_cli.dir/nautilus_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nautilus/workloads/CMakeFiles/nautilus_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/nautilus/core/CMakeFiles/nautilus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nautilus/data/CMakeFiles/nautilus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nautilus/zoo/CMakeFiles/nautilus_zoo.dir/DependInfo.cmake"
+  "/root/repo/build/src/nautilus/solver/CMakeFiles/nautilus_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/nautilus/storage/CMakeFiles/nautilus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/nautilus/graph/CMakeFiles/nautilus_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nautilus/nn/CMakeFiles/nautilus_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/nautilus/tensor/CMakeFiles/nautilus_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nautilus/util/CMakeFiles/nautilus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
