@@ -3,6 +3,7 @@
 // optimizer leans on.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "nautilus/core/planning.h"
 #include "nautilus/solver/maxflow.h"
 #include "nautilus/solver/milp.h"

@@ -2,14 +2,64 @@
 #define NAUTILUS_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "nautilus/core/config.h"
+#include "nautilus/obs/metrics.h"
+#include "nautilus/obs/trace.h"
 #include "nautilus/workloads/runner.h"
 
 namespace nautilus {
 namespace bench {
+
+/// Environment-driven observability for every bench binary that includes
+/// this header (see docs/OBSERVABILITY.md):
+///
+///   NAUTILUS_TRACE=/tmp/fig6a.json ./build/bench/bench_fig6a_end_to_end
+///
+/// enables the global tracer for the whole run and writes a Chrome/Perfetto
+/// trace on exit. Setting NAUTILUS_METRICS=1 additionally prints the metrics
+/// registry summary to stderr. With neither variable set this is a no-op and
+/// tracing stays disabled.
+class ObsSession {
+ public:
+  ObsSession() {
+    const char* path = std::getenv("NAUTILUS_TRACE");
+    if (path != nullptr && *path != '\0') {
+      trace_path_ = path;
+      obs::Tracer::Global().Enable();
+    }
+  }
+  ~ObsSession() {
+    if (!trace_path_.empty()) {
+      const Status s = obs::Tracer::Global().WriteChromeJson(trace_path_);
+      if (s.ok()) {
+        std::fprintf(stderr, "trace written to %s (%zu events)\n",
+                     trace_path_.c_str(),
+                     obs::Tracer::Global().event_count());
+      } else {
+        std::fprintf(stderr, "trace export failed: %s\n",
+                     s.ToString().c_str());
+      }
+    }
+    const char* metrics = std::getenv("NAUTILUS_METRICS");
+    if (metrics != nullptr && *metrics != '\0') {
+      std::fprintf(stderr, "---- metrics summary ----\n%s",
+                   obs::MetricsRegistry::Global().Summary().c_str());
+    }
+  }
+
+ private:
+  std::string trace_path_;
+};
+
+namespace internal {
+// One static session per bench binary: constructed before main starts the
+// workload, exports the trace at normal process exit.
+[[maybe_unused]] inline ObsSession obs_session;
+}  // namespace internal
 
 /// The paper's experimental setup (Section 5): 10 cycles x 500 records with
 /// a 400/100 split; B_disk 25 GB, B_mem 10 GB, 500 MB/s disk, 6 TFLOP/s.

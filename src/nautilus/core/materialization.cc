@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "nautilus/obs/metrics.h"
 #include "nautilus/util/logging.h"
 
 namespace nautilus {
@@ -216,6 +217,9 @@ MaterializationChoice MaterializationOptimizer::Optimize(
   best.storage_bytes = UnitBytes(*mm_, used, max_records);
   best.nodes_explored = explored;
   best.proved_optimal = !capped;
+  static obs::Counter& search_nodes = obs::MetricsRegistry::Global().counter(
+      "planner.search_nodes_explored");
+  search_nodes.Add(explored);
   return best;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "nautilus/graph/executor.h"
+#include "nautilus/obs/metrics.h"
+#include "nautilus/obs/trace.h"
 #include "nautilus/util/logging.h"
 
 namespace nautilus {
@@ -30,10 +32,35 @@ Status Materializer::MaterializeIncrement(
     }
   }
   bool any = false;
+  int64_t num_chosen = 0;
+  int64_t num_recomputed = 0;  // ancestors computed only to feed chosen units
   for (size_t u = 0; u < units.size(); ++u) {
-    if (chosen_units[u]) any = true;
+    if (chosen_units[u]) {
+      any = true;
+      ++num_chosen;
+    } else if (needed[u] && !units[u].is_input) {
+      ++num_recomputed;
+    }
   }
   if (!any) return Status::OK();
+
+  static obs::Counter& increments =
+      obs::MetricsRegistry::Global().counter("materializer.increments");
+  static obs::Counter& units_written =
+      obs::MetricsRegistry::Global().counter("materializer.units_written");
+  static obs::Counter& units_recomputed =
+      obs::MetricsRegistry::Global().counter("materializer.units_recomputed");
+  static obs::Counter& rows_written =
+      obs::MetricsRegistry::Global().counter("materializer.rows_written");
+  increments.Add();
+  units_written.Add(num_chosen);
+  units_recomputed.Add(num_recomputed);
+  rows_written.Add(new_inputs.shape().dim(0));
+  obs::TraceScope span("mat", "materializer.increment");
+  span.AddArg("split", split)
+      .AddArg("rows", new_inputs.shape().dim(0))
+      .AddArg("units_written", num_chosen)
+      .AddArg("units_recomputed", num_recomputed);
 
   // Build the output-materialization graph over the needed units
   // (Section 3, Optimizer: "a model checkpoint that is used to generate the
@@ -82,6 +109,9 @@ Status Materializer::MaterializeIncrement(
       const Tensor& value = unit.is_input
                                 ? batch
                                 : executor.Output(unit_to_node[u]);
+      static obs::Counter& bytes_materialized = obs::MetricsRegistry::Global()
+          .counter("materializer.bytes_materialized");
+      bytes_materialized.Add(value.SizeBytes());
       NAUTILUS_RETURN_IF_ERROR(
           store_->AppendRows(SplitKey(unit, split), value));
     }

@@ -1,6 +1,8 @@
 #include "nautilus/core/planner.h"
 
 #include "nautilus/core/simulator.h"
+#include "nautilus/obs/metrics.h"
+#include "nautilus/obs/trace.h"
 #include "nautilus/util/logging.h"
 
 namespace nautilus {
@@ -34,8 +36,15 @@ PlannedWorkload PlanWithUnits(const MultiModelGraph& mm,
                               bool force_load, const SystemConfig& config) {
   PlannedWorkload plan;
   plan.force_load = force_load;
-  plan.fusion = FuseModels(mm, choice.materialize, config.memory_budget_bytes,
-                           config, enable_fusion, force_load);
+  {
+    obs::TraceScope fuse_span("plan", "planner.fuse_models");
+    fuse_span.AddArg("enable_fusion", enable_fusion)
+        .AddArg("force_load", force_load);
+    plan.fusion =
+        FuseModels(mm, choice.materialize, config.memory_budget_bytes,
+                   config, enable_fusion, force_load);
+    fuse_span.AddArg("groups", plan.fusion.groups.size());
+  }
   if (!force_load) {
     // Keep only units the fused plans actually load.
     choice.materialize = UnitsLoadedByGroups(mm, plan.fusion.groups);
@@ -51,6 +60,15 @@ PlannedWorkload PlanWithUnits(const MultiModelGraph& mm,
 PlannedWorkload PlanWorkload(const MultiModelGraph& mm,
                              MaterializationMode mode, bool enable_fusion,
                              const SystemConfig& config) {
+  static obs::Counter& plans =
+      obs::MetricsRegistry::Global().counter("planner.plans");
+  plans.Add();
+  obs::TraceScope span("plan", "planner.plan_workload");
+  span.AddArg("mode", mode == MaterializationMode::kAll     ? "all"
+                      : mode == MaterializationMode::kNone  ? "none"
+                                                            : "optimized")
+      .AddArg("fusion", enable_fusion)
+      .AddArg("units", mm.units().size());
   MaterializationOptimizer optimizer(&mm);
   const size_t num_units = mm.units().size();
   switch (mode) {
@@ -72,8 +90,12 @@ PlannedWorkload PlanWorkload(const MultiModelGraph& mm,
                            /*force_load=*/false, config);
     }
     case MaterializationMode::kOptimized: {
-      MaterializationChoice choice = optimizer.Optimize(
-          config.disk_budget_bytes, config.expected_max_records);
+      MaterializationChoice choice;
+      {
+        obs::TraceScope opt_span("plan", "planner.optimize_materialization");
+        choice = optimizer.Optimize(config.disk_budget_bytes,
+                                    config.expected_max_records);
+      }
       PlannedWorkload with_mat = PlanWithUnits(
           mm, std::move(choice), enable_fusion, /*force_load=*/false, config);
       MaterializationChoice none = optimizer.EvaluateGivenUnits(

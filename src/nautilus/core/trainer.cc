@@ -5,6 +5,8 @@
 
 #include "nautilus/graph/executor.h"
 #include "nautilus/nn/optimizer.h"
+#include "nautilus/obs/metrics.h"
+#include "nautilus/obs/trace.h"
 #include "nautilus/tensor/ops.h"
 #include "nautilus/util/logging.h"
 #include "nautilus/util/random.h"
@@ -30,14 +32,25 @@ std::unordered_map<int, Tensor> LoadFeeds(const ExecutionGroup& group,
                                           const storage::TensorStore& store,
                                           const Tensor& raw_inputs,
                                           const std::string& split) {
+  // Materialized-feed loads are the "cache hits" of the reuse plan: each one
+  // replaces recomputing a frozen prefix. Raw feeds go down the recompute
+  // path instead.
+  static obs::Counter& materialized_loads = obs::MetricsRegistry::Global()
+      .counter("trainer.feed_loads.materialized");
+  static obs::Counter& raw_feeds =
+      obs::MetricsRegistry::Global().counter("trainer.feed_loads.raw");
   std::unordered_map<int, Tensor> feeds;
   for (const FeedSpec& feed : exec.feeds) {
     if (!feed.from_store) {
+      raw_feeds.Add();
       feeds.emplace(feed.graph_node, raw_inputs);
       continue;
     }
     const PlanNode& node =
         group.nodes[static_cast<size_t>(feed.plan_node)];
+    materialized_loads.Add();
+    obs::TraceScope span("trainer", "trainer.feed_load");
+    span.AddArg("key", node.store_key).AddArg("split", split);
     auto loaded = store.Get(node.store_key + "." + split);
     NAUTILUS_CHECK(loaded.ok())
         << "materialized features missing: " << node.store_key << "."
@@ -69,6 +82,17 @@ GroupRunStats Trainer::TrainGroup(const ExecutionGroup& group,
                                   const Options& options) {
   Stopwatch stopwatch;
   GroupRunStats stats;
+  static obs::Counter& groups_trained =
+      obs::MetricsRegistry::Global().counter("trainer.groups_trained");
+  static obs::Counter& epochs_run =
+      obs::MetricsRegistry::Global().counter("trainer.epochs");
+  static obs::Counter& batches_run =
+      obs::MetricsRegistry::Global().counter("trainer.batches");
+  groups_trained.Add();
+  obs::TraceScope group_span("trainer", "trainer.train_group");
+  group_span.AddArg("branches", group.branches.size())
+      .AddArg("max_epochs", group.max_epochs)
+      .AddArg("batch_size", group.batch_size);
   const ExecutableGroup exec = BuildExecutableGraph(group);
   graph::Executor executor(exec.model.get());
 
@@ -103,6 +127,9 @@ GroupRunStats Trainer::TrainGroup(const ExecutionGroup& group,
   const int64_t batch_size = group.batch_size;
 
   for (int64_t epoch = 0; epoch < group.max_epochs; ++epoch) {
+    epochs_run.Add();
+    obs::TraceScope epoch_span("trainer", "trainer.epoch");
+    epoch_span.AddArg("epoch", epoch);
     // Active branches and the skip mask of exclusively-inactive subgraphs.
     std::vector<bool> branch_active(num_branches, false);
     for (size_t b = 0; b < num_branches; ++b) {
@@ -136,6 +163,9 @@ GroupRunStats Trainer::TrainGroup(const ExecutionGroup& group,
     epoch_rng.Shuffle(&order);
 
     for (int64_t begin = 0; begin < train_records; begin += batch_size) {
+      batches_run.Add();
+      obs::TraceScope batch_span("trainer", "trainer.batch");
+      batch_span.AddArg("begin", begin);
       const int64_t end = std::min(train_records, begin + batch_size);
       std::vector<int64_t> rows(order.begin() + begin, order.begin() + end);
       std::unordered_map<int, Tensor> batch_feeds =
@@ -172,6 +202,7 @@ GroupRunStats Trainer::TrainGroup(const ExecutionGroup& group,
 
   // Validation for every branch on the held-out split.
   {
+    obs::TraceScope valid_span("trainer", "trainer.validate");
     std::unordered_map<int, Tensor> feeds =
         LoadFeeds(group, exec, *store_, valid.inputs(), "valid");
     executor.Forward(feeds, /*training=*/false);
@@ -190,22 +221,26 @@ GroupRunStats Trainer::TrainGroup(const ExecutionGroup& group,
 
   // Checkpointing: full original models (current practice) vs one pruned
   // group checkpoint (Nautilus).
-  if (options.full_checkpoints) {
-    for (const PlanBranch& branch : group.branches) {
-      const Candidate& candidate =
-          workload[static_cast<size_t>(branch.model_index)];
+  {
+    obs::TraceScope ckpt_span("trainer", "trainer.checkpoint");
+    ckpt_span.AddArg("full", options.full_checkpoints);
+    if (options.full_checkpoints) {
+      for (const PlanBranch& branch : group.branches) {
+        const Candidate& candidate =
+            workload[static_cast<size_t>(branch.model_index)];
+        NAUTILUS_CHECK_OK(checkpoints_->SaveModel(
+            candidate.model,
+            "cycle" + std::to_string(options.checkpoint_tag) + "_model" +
+                std::to_string(branch.model_index),
+            /*include_frozen=*/true));
+      }
+    } else {
       NAUTILUS_CHECK_OK(checkpoints_->SaveModel(
-          candidate.model,
-          "cycle" + std::to_string(options.checkpoint_tag) + "_model" +
-              std::to_string(branch.model_index),
-          /*include_frozen=*/true));
+          *exec.model,
+          "cycle" + std::to_string(options.checkpoint_tag) + "_" +
+              exec.model->name(),
+          /*include_frozen=*/false));
     }
-  } else {
-    NAUTILUS_CHECK_OK(checkpoints_->SaveModel(
-        *exec.model,
-        "cycle" + std::to_string(options.checkpoint_tag) + "_" +
-            exec.model->name(),
-        /*include_frozen=*/false));
   }
 
   stats.flops_executed = executor.flops_executed();

@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "nautilus/obs/metrics.h"
+#include "nautilus/obs/trace.h"
 #include "nautilus/tensor/ops.h"
 #include "nautilus/util/logging.h"
 
@@ -22,8 +24,28 @@ Executor::Executor(const ModelGraph* model) : model_(model) {
   }
 }
 
+void Executor::EnsureTraceTags() {
+  if (!expr_hashes_.empty()) return;
+  expr_hashes_ = model_->ExpressionHashes();
+  materializable_ = model_->MaterializableMask();
+}
+
 void Executor::Forward(const std::unordered_map<int, Tensor>& feeds,
                        bool training, const std::vector<bool>* skip) {
+  static obs::Counter& passes =
+      obs::MetricsRegistry::Global().counter("executor.forward_passes");
+  static obs::Counter& node_forwards =
+      obs::MetricsRegistry::Global().counter("executor.node_forwards");
+  static obs::Histogram& node_ns =
+      obs::MetricsRegistry::Global().histogram("executor.node_forward_ns");
+  passes.Add();
+  const bool tracing = obs::TracingEnabled();
+  if (tracing) EnsureTraceTags();
+  obs::TraceScope pass_span("exec", "executor.forward");
+  pass_span.AddArg("model", model_->name())
+      .AddArg("training", training)
+      .AddArg("nodes", model_->num_nodes());
+
   const auto& nodes = model_->nodes();
   outputs_.assign(nodes.size(), Tensor());
   caches_.clear();
@@ -52,8 +74,22 @@ void Executor::Forward(const std::unordered_map<int, Tensor>& feeds,
     const int64_t batch = inputs[0]->shape().dim(0);
     std::unique_ptr<nn::LayerCache>* cache_slot =
         training ? &caches_[static_cast<size_t>(node.id)] : nullptr;
-    outputs_[static_cast<size_t>(node.id)] =
-        node.layer->Forward(inputs, cache_slot);
+    node_forwards.Add();
+    {
+      obs::TraceScope node_span("exec.node.fwd", node.layer->name());
+      node_span.AddArg("node", node.id)
+          .AddArg("batch", batch)
+          .AddArg("frozen", node.frozen);
+      if (node_span.active()) {
+        node_span
+            .AddArgHex("expr", expr_hashes_[static_cast<size_t>(node.id)])
+            .AddArg("materializable",
+                    bool{materializable_[static_cast<size_t>(node.id)]});
+      }
+      outputs_[static_cast<size_t>(node.id)] =
+          node.layer->Forward(inputs, cache_slot);
+      if (node_span.active()) node_ns.Record(node_span.ElapsedNs());
+    }
     flops_executed_ += node.layer->ForwardFlopsPerRecord(record_shapes) *
                        static_cast<double>(batch);
   }
@@ -70,6 +106,17 @@ const Tensor& Executor::Output(int node_id) const {
 void Executor::Backward(const std::unordered_map<int, Tensor>& output_grads) {
   NAUTILUS_CHECK(forward_was_training_)
       << "Backward requires a Forward with training=true";
+  static obs::Counter& passes =
+      obs::MetricsRegistry::Global().counter("executor.backward_passes");
+  static obs::Counter& node_backwards =
+      obs::MetricsRegistry::Global().counter("executor.node_backwards");
+  static obs::Histogram& node_ns =
+      obs::MetricsRegistry::Global().histogram("executor.node_backward_ns");
+  passes.Add();
+  if (obs::TracingEnabled()) EnsureTraceTags();
+  obs::TraceScope pass_span("exec", "executor.backward");
+  pass_span.AddArg("model", model_->name())
+      .AddArg("outputs", output_grads.size());
   const auto& nodes = model_->nodes();
   std::vector<Tensor> grads(nodes.size());
   for (const auto& [id, g] : output_grads) {
@@ -95,8 +142,20 @@ void Executor::Backward(const std::unordered_map<int, Tensor>& output_grads) {
     }
     const nn::LayerCache* cache = caches_[static_cast<size_t>(id)].get();
     static const nn::LayerCache kEmptyCache;
-    std::vector<Tensor> input_grads = node.layer->Backward(
-        gout, inputs, cache != nullptr ? *cache : kEmptyCache);
+    node_backwards.Add();
+    std::vector<Tensor> input_grads;
+    {
+      obs::TraceScope node_span("exec.node.bwd", node.layer->name());
+      node_span.AddArg("node", id).AddArg("frozen", node.frozen);
+      if (node_span.active()) {
+        node_span.AddArgHex("expr", expr_hashes_[static_cast<size_t>(id)])
+            .AddArg("materializable",
+                    bool{materializable_[static_cast<size_t>(id)]});
+      }
+      input_grads = node.layer->Backward(
+          gout, inputs, cache != nullptr ? *cache : kEmptyCache);
+      if (node_span.active()) node_ns.Record(node_span.ElapsedNs());
+    }
     NAUTILUS_CHECK_EQ(input_grads.size(), node.parents.size());
     const int64_t batch = inputs[0]->shape().dim(0);
     const bool trainable = !node.frozen && !node.layer->Params().empty();

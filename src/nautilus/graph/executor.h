@@ -50,12 +50,19 @@ class Executor {
   const ModelGraph& model() const { return *model_; }
 
  private:
+  // Populates the per-node trace tags (expression hashes, materializable
+  // mask) the first time a traced pass runs; no-op when tracing is off.
+  void EnsureTraceTags();
+
   const ModelGraph* model_;
   std::vector<bool> needs_grad_;   // some ancestor (or self) is trainable
   std::vector<Tensor> outputs_;
   std::vector<std::unique_ptr<nn::LayerCache>> caches_;
   bool forward_was_training_ = false;
   double flops_executed_ = 0.0;
+  // Trace-only annotations, computed lazily (empty until a traced pass).
+  std::vector<uint64_t> expr_hashes_;
+  std::vector<bool> materializable_;
 };
 
 }  // namespace graph

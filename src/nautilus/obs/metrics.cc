@@ -1,0 +1,167 @@
+#include "nautilus/obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "nautilus/obs/trace.h"
+
+namespace nautilus {
+namespace obs {
+
+namespace {
+
+int BucketFor(int64_t v) {
+  if (v <= 1) return 0;
+  // Index of the highest set bit, clamped to the table.
+  int b = 63 - __builtin_clzll(static_cast<uint64_t>(v));
+  return std::min(b, Histogram::kBuckets - 1);
+}
+
+void AtomicMin(std::atomic<int64_t>* slot, int64_t v) {
+  int64_t cur = slot->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<int64_t>* slot, int64_t v) {
+  int64_t cur = slot->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::Record(int64_t v) {
+  if (v < 0) v = 0;
+  buckets_[BucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  AtomicMin(&min_, v);
+  AtomicMax(&max_, v);
+}
+
+int64_t Histogram::min() const {
+  const int64_t v = min_.load(std::memory_order_relaxed);
+  return v == INT64_MAX ? 0 : v;
+}
+
+int64_t Histogram::max() const {
+  const int64_t v = max_.load(std::memory_order_relaxed);
+  return v == INT64_MIN ? 0 : v;
+}
+
+double Histogram::mean() const {
+  const int64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+int64_t Histogram::ApproxPercentile(double p) const {
+  const int64_t n = count();
+  if (n == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(p * static_cast<double>(n) + 0.5));
+  int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += bucket_count(b);
+    if (seen >= rank) return int64_t{1} << std::min(b + 1, 62);
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(INT64_MIN, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::vector<std::string> MetricsRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) names.push_back(name);
+  for (const auto& [name, g] : gauges_) names.push_back(name);
+  for (const auto& [name, h] : histograms_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string MetricsRegistry::Summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[256];
+  for (const auto& [name, c] : counters_) {
+    if (c->value() == 0) continue;
+    std::snprintf(buf, sizeof(buf), "%-44s %" PRId64 "\n", name.c_str(),
+                  c->value());
+    out += buf;
+  }
+  for (const auto& [name, g] : gauges_) {
+    if (g->value() == 0.0) continue;
+    std::snprintf(buf, sizeof(buf), "%-44s %.6g\n", name.c_str(), g->value());
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    if (h->count() == 0) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "%-44s count %" PRId64 "  mean %.3f ms  p50 %.3f ms  "
+                  "p99 %.3f ms  max %.3f ms\n",
+                  name.c_str(), h->count(), h->mean() / 1e6,
+                  static_cast<double>(h->ApproxPercentile(0.5)) / 1e6,
+                  static_cast<double>(h->ApproxPercentile(0.99)) / 1e6,
+                  static_cast<double>(h->max()) / 1e6);
+    out += buf;
+  }
+  return out;
+}
+
+ScopedLatency::ScopedLatency(Histogram& hist) {
+  if (!TracingEnabled()) return;
+  hist_ = &hist;
+  start_ns_ = NowNs();
+}
+
+ScopedLatency::~ScopedLatency() {
+  if (hist_ != nullptr) hist_->Record(NowNs() - start_ns_);
+}
+
+}  // namespace obs
+}  // namespace nautilus

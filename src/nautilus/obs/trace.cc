@@ -1,0 +1,280 @@
+#include "nautilus/obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace nautilus {
+namespace obs {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+uint64_t Tracer::NextSeq() {
+  thread_local uint64_t seq = 0;
+  return ++seq;
+}
+
+Tracer& Tracer::Global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::Record(TraceEvent event) {
+  Stripe& stripe = stripes_[event.tid % kStripes];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.events.push_back(std::move(event));
+}
+
+void Tracer::RecordSpan(const char* category, std::string name,
+                        int64_t start_ns, uint64_t start_seq, int64_t end_ns,
+                        uint64_t end_seq, std::vector<TraceArg> args) {
+  if (!enabled()) return;
+  const uint32_t tid = CurrentThreadId();
+  TraceEvent begin;
+  begin.phase = 'B';
+  begin.category = category;
+  begin.name = name;
+  begin.ts_ns = start_ns;
+  begin.tid = tid;
+  begin.seq = start_seq;
+  begin.args = std::move(args);
+  TraceEvent end;
+  end.phase = 'E';
+  end.category = category;
+  end.name = std::move(name);
+  end.ts_ns = end_ns;
+  end.tid = tid;
+  end.seq = end_seq;
+  // One lock acquisition for the pair keeps B/E adjacent per stripe.
+  Stripe& stripe = stripes_[tid % kStripes];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.events.push_back(std::move(begin));
+  stripe.events.push_back(std::move(end));
+}
+
+void Tracer::RecordInstant(const char* category, std::string name,
+                           std::vector<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.phase = 'i';
+  event.category = category;
+  event.name = std::move(name);
+  event.ts_ns = NowNs();
+  event.tid = CurrentThreadId();
+  event.seq = NextSeq();
+  event.args = std::move(args);
+  Record(std::move(event));
+}
+
+size_t Tracer::event_count() const {
+  size_t count = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    count += stripe.events.size();
+  }
+  return count;
+}
+
+void Tracer::Clear() {
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.events.clear();
+  }
+}
+
+namespace {
+
+void AppendJsonEscaped(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+void AppendNumber(double v, std::string* out) {
+  if (!std::isfinite(v)) {
+    *out += "0";
+    return;
+  }
+  // Integers inside the exact-double range print without a fraction.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+    *out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+void AppendArgs(const std::vector<TraceArg>& args, std::string* out) {
+  *out += ",\"args\":{";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) *out += ",";
+    const TraceArg& arg = args[i];
+    *out += "\"";
+    AppendJsonEscaped(arg.key, out);
+    *out += "\":";
+    switch (arg.type) {
+      case TraceArg::Type::kString:
+        *out += "\"";
+        AppendJsonEscaped(arg.str_value, out);
+        *out += "\"";
+        break;
+      case TraceArg::Type::kNumber:
+        AppendNumber(arg.num_value, out);
+        break;
+      case TraceArg::Type::kBool:
+        *out += arg.bool_value ? "true" : "false";
+        break;
+    }
+  }
+  *out += "}";
+}
+
+void AppendEvent(const TraceEvent& event, std::string* out) {
+  *out += "{\"name\":\"";
+  AppendJsonEscaped(event.name, out);
+  *out += "\",\"cat\":\"";
+  AppendJsonEscaped(event.category, out);
+  *out += "\",\"ph\":\"";
+  out->push_back(event.phase);
+  *out += "\",\"pid\":1,\"tid\":";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%u", event.tid);
+  *out += buf;
+  // Chrome-trace "ts" is microseconds; keep nanosecond precision as a
+  // fraction.
+  std::snprintf(buf, sizeof(buf), ",\"ts\":%" PRId64 ".%03d",
+                event.ts_ns / 1000, static_cast<int>(event.ts_ns % 1000));
+  *out += buf;
+  if (event.phase == 'i') *out += ",\"s\":\"t\"";
+  if (!event.args.empty()) AppendArgs(event.args, out);
+  *out += "}";
+}
+
+}  // namespace
+
+std::string Tracer::ExportChromeJson() const {
+  std::vector<TraceEvent> events;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    events.insert(events.end(), stripe.events.begin(), stripe.events.end());
+  }
+  // Timestamp-major so viewers see a chronological stream; per-thread seq
+  // restores correct B/E nesting when two events share a nanosecond.
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.seq < b.seq;
+            });
+
+  std::string out;
+  out.reserve(events.size() * 96 + 256);
+  out += "{\"traceEvents\":[";
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"nautilus\"}}";
+  for (const TraceEvent& event : events) {
+    out += ",\n";
+    AppendEvent(event, &out);
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+Status Tracer::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace output file: " + path);
+  }
+  const std::string json = ExportChromeJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IoError("short write on trace output file: " + path);
+  }
+  return Status::OK();
+}
+
+TraceScope& TraceScope::AddArg(const char* key, std::string_view value) {
+  if (tracer_ == nullptr) return *this;
+  TraceArg arg;
+  arg.key = key;
+  arg.type = TraceArg::Type::kString;
+  arg.str_value.assign(value);
+  args_.push_back(std::move(arg));
+  return *this;
+}
+
+TraceScope& TraceScope::AddArg(const char* key, double value) {
+  if (tracer_ == nullptr) return *this;
+  TraceArg arg;
+  arg.key = key;
+  arg.type = TraceArg::Type::kNumber;
+  arg.num_value = value;
+  args_.push_back(std::move(arg));
+  return *this;
+}
+
+TraceScope& TraceScope::AddArg(const char* key, int64_t value) {
+  return AddArg(key, static_cast<double>(value));
+}
+
+TraceScope& TraceScope::AddArg(const char* key, bool value) {
+  if (tracer_ == nullptr) return *this;
+  TraceArg arg;
+  arg.key = key;
+  arg.type = TraceArg::Type::kBool;
+  arg.bool_value = value;
+  args_.push_back(std::move(arg));
+  return *this;
+}
+
+TraceScope& TraceScope::AddArgHex(const char* key, uint64_t value) {
+  if (tracer_ == nullptr) return *this;
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, value);
+  return AddArg(key, std::string_view(buf));
+}
+
+}  // namespace obs
+}  // namespace nautilus

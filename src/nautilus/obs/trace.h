@@ -1,0 +1,189 @@
+#ifndef NAUTILUS_OBS_TRACE_H_
+#define NAUTILUS_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nautilus/util/status.h"
+
+namespace nautilus {
+namespace obs {
+
+/// Nanoseconds on the steady (monotonic) clock; the time base of every trace
+/// event. Only differences are meaningful.
+int64_t NowNs();
+
+/// Small sequential id for the calling thread (assigned on first use).
+/// Exported as the Chrome-trace "tid" so per-thread tracks stay readable.
+uint32_t CurrentThreadId();
+
+/// One key/value annotation on a trace event ("args" in the Chrome trace
+/// format). Values are either strings or JSON numbers/booleans.
+struct TraceArg {
+  enum class Type { kString, kNumber, kBool };
+  std::string key;
+  Type type = Type::kString;
+  std::string str_value;
+  double num_value = 0.0;
+  bool bool_value = false;
+};
+
+/// One recorded event. `phase` follows the Chrome trace_event phases we emit:
+/// 'B' (span begin), 'E' (span end), 'i' (instant).
+struct TraceEvent {
+  char phase = 'i';
+  const char* category = "";  // must point at a string with static lifetime
+  std::string name;
+  int64_t ts_ns = 0;
+  uint32_t tid = 0;
+  uint64_t seq = 0;  // per-thread monotonic order (breaks timestamp ties)
+  std::vector<TraceArg> args;
+};
+
+/// Thread-safe in-memory trace recorder with Chrome/Perfetto JSON export.
+///
+/// Events land in a fixed set of lock-striped buffers (stripe = tid modulo
+/// stripe count), so concurrent recorders rarely contend on the same mutex.
+/// When disabled (the default) every record call is a single relaxed atomic
+/// load and no allocation happens anywhere — see TraceScope.
+///
+/// Use Tracer::Global() for the process-wide instance that all built-in
+/// instrumentation targets; independent instances are supported for tests.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  static Tracer& Global();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records a completed span as a balanced B/E event pair. The sequence
+  /// numbers must come from NextSeq() at the actual begin/end moments so
+  /// export can restore per-thread nesting order even under timestamp ties.
+  void RecordSpan(const char* category, std::string name, int64_t start_ns,
+                  uint64_t start_seq, int64_t end_ns, uint64_t end_seq,
+                  std::vector<TraceArg> args);
+
+  /// Records a zero-duration instant event.
+  void RecordInstant(const char* category, std::string name,
+                     std::vector<TraceArg> args = {});
+
+  /// Per-thread monotonic sequence counter used to order events.
+  static uint64_t NextSeq();
+
+  /// Number of events recorded so far (spans count as two: B + E).
+  size_t event_count() const;
+
+  /// Drops all recorded events (enabled/disabled state is unchanged).
+  void Clear();
+
+  /// Serializes everything recorded so far as a Chrome trace_event JSON
+  /// document ({"traceEvents":[...]}), loadable in Perfetto and
+  /// chrome://tracing. Timestamps are exported in microseconds.
+  std::string ExportChromeJson() const;
+
+  /// ExportChromeJson() to a file.
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  static constexpr int kStripes = 16;
+  struct Stripe {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+  };
+
+  void Record(TraceEvent event);
+
+  std::atomic<bool> enabled_{false};
+  Stripe stripes_[kStripes];
+};
+
+/// RAII span: captures begin on construction, records a balanced B/E pair on
+/// destruction. When the tracer is disabled at construction time the scope is
+/// inert: no clock reads, no allocations, no locking — just one atomic load.
+///
+///   {
+///     obs::TraceScope span("exec", "executor.forward");
+///     span.AddArg("batch", batch_size);
+///     ... work ...
+///   }  // span recorded here
+class TraceScope {
+ public:
+  /// Records into Tracer::Global().
+  TraceScope(const char* category, std::string_view name)
+      : TraceScope(Tracer::Global(), category, name) {}
+
+  TraceScope(Tracer& tracer, const char* category, std::string_view name) {
+    if (!tracer.enabled()) return;
+    tracer_ = &tracer;
+    category_ = category;
+    name_.assign(name);
+    start_seq_ = Tracer::NextSeq();
+    start_ns_ = NowNs();
+  }
+
+  ~TraceScope() {
+    if (tracer_ == nullptr) return;
+    const int64_t end_ns = NowNs();
+    tracer_->RecordSpan(category_, std::move(name_), start_ns_, start_seq_,
+                        end_ns, Tracer::NextSeq(), std::move(args_));
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  /// True when this scope will be recorded. Gate any argument computation
+  /// that itself costs something on active().
+  bool active() const { return tracer_ != nullptr; }
+
+  /// Elapsed nanoseconds since construction; 0 when inactive. Lets callers
+  /// feed the same interval into a latency histogram without extra clocking.
+  int64_t ElapsedNs() const {
+    return tracer_ != nullptr ? NowNs() - start_ns_ : 0;
+  }
+
+  // Argument appenders; all are no-ops when inactive so call sites need no
+  // branching (but avoid building expensive values without checking active()).
+  TraceScope& AddArg(const char* key, std::string_view value);
+  // Exact match for string literals; without it a const char* value would
+  // prefer the pointer->bool standard conversion over string_view's
+  // converting constructor and log as true/false.
+  TraceScope& AddArg(const char* key, const char* value) {
+    return AddArg(key, std::string_view(value));
+  }
+  TraceScope& AddArg(const char* key, double value);
+  TraceScope& AddArg(const char* key, int64_t value);
+  TraceScope& AddArg(const char* key, int value) {
+    return AddArg(key, static_cast<int64_t>(value));
+  }
+  TraceScope& AddArg(const char* key, size_t value) {
+    return AddArg(key, static_cast<int64_t>(value));
+  }
+  TraceScope& AddArg(const char* key, bool value);
+  /// Formats as "0x..." (64-bit hashes exceed JSON's exact-integer range).
+  TraceScope& AddArgHex(const char* key, uint64_t value);
+
+ private:
+  Tracer* tracer_ = nullptr;
+  const char* category_ = "";
+  std::string name_;
+  int64_t start_ns_ = 0;
+  uint64_t start_seq_ = 0;
+  std::vector<TraceArg> args_;
+};
+
+/// Convenience: is the global tracer recording?
+inline bool TracingEnabled() { return Tracer::Global().enabled(); }
+
+}  // namespace obs
+}  // namespace nautilus
+
+#endif  // NAUTILUS_OBS_TRACE_H_

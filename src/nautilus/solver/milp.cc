@@ -5,6 +5,8 @@
 #include <queue>
 #include <vector>
 
+#include "nautilus/obs/metrics.h"
+#include "nautilus/obs/trace.h"
 #include "nautilus/util/logging.h"
 
 namespace nautilus {
@@ -25,9 +27,8 @@ struct NodeOrder {
   }
 };
 
-}  // namespace
-
-MilpSolution SolveMilp(const MilpProblem& problem, const MilpOptions& options) {
+MilpSolution SolveMilpImpl(const MilpProblem& problem,
+                           const MilpOptions& options) {
   NAUTILUS_CHECK_EQ(static_cast<int>(problem.is_integer.size()),
                     problem.lp.num_vars());
   MilpSolution best;
@@ -130,6 +131,29 @@ MilpSolution SolveMilp(const MilpProblem& problem, const MilpOptions& options) {
     best.status = LpStatus::kIterationLimit;
   }
   return best;
+}
+
+}  // namespace
+
+MilpSolution SolveMilp(const MilpProblem& problem, const MilpOptions& options) {
+  static obs::Counter& solves =
+      obs::MetricsRegistry::Global().counter("milp.solves");
+  static obs::Counter& nodes_explored =
+      obs::MetricsRegistry::Global().counter("milp.nodes_explored");
+  static obs::Histogram& solve_ns =
+      obs::MetricsRegistry::Global().histogram("milp.solve_ns");
+  solves.Add();
+  obs::TraceScope span("plan", "milp.solve");
+  span.AddArg("vars", problem.lp.num_vars());
+  const MilpSolution solution = SolveMilpImpl(problem, options);
+  nodes_explored.Add(solution.nodes_explored);
+  if (span.active()) {
+    solve_ns.Record(span.ElapsedNs());
+    span.AddArg("status", LpStatusToString(solution.status))
+        .AddArg("nodes_explored", solution.nodes_explored)
+        .AddArg("objective", solution.objective);
+  }
+  return solution;
 }
 
 }  // namespace nautilus

@@ -2,10 +2,33 @@
 
 #include <sstream>
 
+#include "nautilus/obs/metrics.h"
 #include "nautilus/util/strings.h"
 
 namespace nautilus {
 namespace storage {
+
+void IoStats::RecordRead(int64_t bytes) {
+  bytes_read_.fetch_add(bytes);
+  reads_.fetch_add(1);
+  static obs::Counter& global_bytes =
+      obs::MetricsRegistry::Global().counter("io.bytes_read");
+  static obs::Counter& global_reads =
+      obs::MetricsRegistry::Global().counter("io.reads");
+  global_bytes.Add(bytes);
+  global_reads.Add();
+}
+
+void IoStats::RecordWrite(int64_t bytes) {
+  bytes_written_.fetch_add(bytes);
+  writes_.fetch_add(1);
+  static obs::Counter& global_bytes =
+      obs::MetricsRegistry::Global().counter("io.bytes_written");
+  static obs::Counter& global_writes =
+      obs::MetricsRegistry::Global().counter("io.writes");
+  global_bytes.Add(bytes);
+  global_writes.Add();
+}
 
 std::string IoStats::ToString() const {
   std::ostringstream os;

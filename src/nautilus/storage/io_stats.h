@@ -11,16 +11,14 @@ namespace storage {
 /// Cumulative disk I/O counters, the exact analogue of the disk read/write
 /// measurements in Figure 11 of the Nautilus paper. Shared by the tensor and
 /// checkpoint stores so a whole workload's I/O is visible in one place.
+///
+/// Every record call is also folded into the global obs::MetricsRegistry
+/// ("io.reads", "io.bytes_read", "io.writes", "io.bytes_written"), so traces
+/// and metric summaries see the same I/O the per-run stats object sees.
 class IoStats {
  public:
-  void RecordRead(int64_t bytes) {
-    bytes_read_.fetch_add(bytes);
-    reads_.fetch_add(1);
-  }
-  void RecordWrite(int64_t bytes) {
-    bytes_written_.fetch_add(bytes);
-    writes_.fetch_add(1);
-  }
+  void RecordRead(int64_t bytes);
+  void RecordWrite(int64_t bytes);
 
   int64_t bytes_read() const { return bytes_read_.load(); }
   int64_t bytes_written() const { return bytes_written_.load(); }

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "nautilus/obs/trace.h"
 #include "nautilus/util/logging.h"
 
 namespace nautilus {
@@ -100,6 +101,8 @@ std::string TensorStore::PathFor(const std::string& key) const {
 
 Status TensorStore::Put(const std::string& key, const Tensor& value) {
   NAUTILUS_CHECK_GE(value.shape().rank(), 1);
+  obs::TraceScope span("io", "store.put");
+  span.AddArg("key", key).AddArg("bytes", value.SizeBytes());
   File f(PathFor(key), "wb");
   if (!f.ok()) return Status::IoError("cannot open for write: " + key);
   NAUTILUS_RETURN_IF_ERROR(WriteHeader(f.get(), value.shape()));
@@ -116,6 +119,8 @@ Status TensorStore::Put(const std::string& key, const Tensor& value) {
 
 Status TensorStore::AppendRows(const std::string& key, const Tensor& rows) {
   if (!Contains(key)) return Put(key, rows);
+  obs::TraceScope span("io", "store.append");
+  span.AddArg("key", key).AddArg("bytes", rows.SizeBytes());
   const std::string path = PathFor(key);
   Header h;
   {
@@ -156,6 +161,8 @@ Status TensorStore::AppendRows(const std::string& key, const Tensor& rows) {
 }
 
 Result<Tensor> TensorStore::Get(const std::string& key) const {
+  obs::TraceScope span("io", "store.get");
+  span.AddArg("key", key);
   File f(PathFor(key), "rb");
   if (!f.ok()) return Status::NotFound("no tensor stored under " + key);
   Header h;
@@ -175,6 +182,8 @@ Result<Tensor> TensorStore::Get(const std::string& key) const {
 
 Result<Tensor> TensorStore::GetRows(const std::string& key, int64_t begin,
                                     int64_t end) const {
+  obs::TraceScope span("io", "store.get_rows");
+  span.AddArg("key", key).AddArg("begin", begin).AddArg("end", end);
   File f(PathFor(key), "rb");
   if (!f.ok()) return Status::NotFound("no tensor stored under " + key);
   Header h;

@@ -63,16 +63,24 @@ Tensor MatMulNT(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (int64_t i = 0; i < av.rows; ++i) {
-    const float* arow = pa + i * av.cols;
-    float* crow = pc + i * bv.rows;
-    for (int64_t j = 0; j < bv.rows; ++j) {
-      const float* brow = pb + j * bv.cols;
-      float acc = 0.0f;
-      for (int64_t k = 0; k < av.cols; ++k) acc += arow[k] * brow[k];
-      crow[j] = acc;
-    }
-  }
+  // Row-parallel like MatMul: workers own disjoint output rows and every
+  // element is a single dot product over ascending k, so results match the
+  // serial loop bit-for-bit at any thread count.
+  ParallelFor(
+      av.rows,
+      [&](int64_t row_begin, int64_t row_end) {
+        for (int64_t i = row_begin; i < row_end; ++i) {
+          const float* arow = pa + i * av.cols;
+          float* crow = pc + i * bv.rows;
+          for (int64_t j = 0; j < bv.rows; ++j) {
+            const float* brow = pb + j * bv.cols;
+            float acc = 0.0f;
+            for (int64_t k = 0; k < av.cols; ++k) acc += arow[k] * brow[k];
+            crow[j] = acc;
+          }
+        }
+      },
+      /*min_chunk=*/std::max<int64_t>(1, 4096 / std::max<int64_t>(bv.rows, 1)));
   return c;
 }
 
@@ -85,16 +93,24 @@ Tensor MatMulTN(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (int64_t k = 0; k < av.rows; ++k) {
-    const float* arow = pa + k * av.cols;
-    const float* brow = pb + k * bv.cols;
-    for (int64_t i = 0; i < av.cols; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) continue;
-      float* crow = pc + i * bv.cols;
-      for (int64_t j = 0; j < bv.cols; ++j) crow[j] += aki * brow[j];
-    }
-  }
+  // Split over output rows i (columns of A): each worker accumulates its
+  // rows over ascending k, the same per-element order as the serial k-outer
+  // loop, so results are deterministic at any thread count.
+  ParallelFor(
+      av.cols,
+      [&](int64_t row_begin, int64_t row_end) {
+        for (int64_t k = 0; k < av.rows; ++k) {
+          const float* arow = pa + k * av.cols;
+          const float* brow = pb + k * bv.cols;
+          for (int64_t i = row_begin; i < row_end; ++i) {
+            const float aki = arow[i];
+            if (aki == 0.0f) continue;
+            float* crow = pc + i * bv.cols;
+            for (int64_t j = 0; j < bv.cols; ++j) crow[j] += aki * brow[j];
+          }
+        }
+      },
+      /*min_chunk=*/std::max<int64_t>(1, 4096 / std::max<int64_t>(bv.cols, 1)));
   return c;
 }
 

@@ -12,6 +12,10 @@
 //   --mode      simulate (paper scale, modeled time)
 //               measure  (mini scale, real CPU training)
 //               halving  (mini scale, successive-halving selection)
+//
+// Observability (docs/OBSERVABILITY.md):
+//   --trace-out=FILE    record a Chrome/Perfetto trace of the run to FILE
+//   --metrics-summary   print the global metrics registry after the run
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +24,8 @@
 
 #include "nautilus/core/successive_halving.h"
 #include "nautilus/nn/layer.h"
+#include "nautilus/obs/metrics.h"
+#include "nautilus/obs/trace.h"
 #include "nautilus/util/strings.h"
 #include "nautilus/workloads/runner.h"
 
@@ -60,20 +66,9 @@ workloads::Approach ParseApproach(const std::string& name) {
   std::exit(2);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--help") == 0 ||
-        std::strcmp(argv[i], "-h") == 0) {
-      std::printf(
-          "usage: %s [--workload=FTR-2] [--approach=nautilus]\n"
-          "          [--mode=simulate|measure] [--cycles=N] [--records=N]\n"
-          "          [--disk-gb=25] [--mem-gb=10] [--seed=1]\n",
-          argv[0]);
-      return 0;
-    }
-  }
+// Runs the selected mode; extracted from main so observability teardown
+// (trace export, metrics summary) runs on every exit path.
+int Run(int argc, char** argv) {
   const workloads::WorkloadId id =
       ParseWorkload(FlagValue(argc, argv, "workload", "FTR-2"));
   const workloads::Approach approach =
@@ -188,4 +183,46 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "unknown mode '%s' (simulate | measure | halving)\n",
                mode.c_str());
   return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      std::printf(
+          "usage: %s [--workload=FTR-2] [--approach=nautilus]\n"
+          "          [--mode=simulate|measure] [--cycles=N] [--records=N]\n"
+          "          [--disk-gb=25] [--mem-gb=10] [--seed=1]\n"
+          "          [--trace-out=FILE] [--metrics-summary]\n",
+          argv[0]);
+      return 0;
+    }
+  }
+  const std::string trace_out = FlagValue(argc, argv, "trace-out", "");
+  bool metrics_summary = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-summary") == 0) {
+      metrics_summary = true;
+    }
+  }
+  if (!trace_out.empty()) obs::Tracer::Global().Enable();
+
+  const int exit_code = Run(argc, argv);
+
+  if (!trace_out.empty()) {
+    const Status s = obs::Tracer::Global().WriteChromeJson(trace_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n", s.ToString().c_str());
+      return exit_code == 0 ? 1 : exit_code;
+    }
+    std::fprintf(stderr, "trace written to %s (%zu events)\n",
+                 trace_out.c_str(), obs::Tracer::Global().event_count());
+  }
+  if (metrics_summary) {
+    std::printf("---- metrics summary ----\n%s",
+                obs::MetricsRegistry::Global().Summary().c_str());
+  }
+  return exit_code;
 }
