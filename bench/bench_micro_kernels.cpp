@@ -1,17 +1,38 @@
 // Microbenchmarks (google-benchmark) of the hot substrate kernels: the
-// tensor ops that dominate real training, and the solver primitives the
-// optimizer leans on.
+// tensor ops that dominate real training, the solver primitives the
+// optimizer leans on, and the parallel runtime itself (dispatch overhead,
+// thread scaling, and inter-operator wavefront speedup).
 #include <benchmark/benchmark.h>
+
+#include <thread>
 
 #include "bench_util.h"
 #include "nautilus/core/planning.h"
+#include "nautilus/graph/executor.h"
+#include "nautilus/graph/model_graph.h"
+#include "nautilus/nn/basic.h"
 #include "nautilus/solver/maxflow.h"
 #include "nautilus/solver/milp.h"
 #include "nautilus/tensor/ops.h"
+#include "nautilus/util/parallel.h"
 #include "nautilus/util/random.h"
 
 namespace nautilus {
 namespace {
+
+// Pins the global parallelism degree for the duration of one benchmark and
+// restores the previous value, so thread-count sweeps do not leak into the
+// single-argument benchmarks that follow them in registration order.
+class ScopedDegree {
+ public:
+  explicit ScopedDegree(int degree) : saved_(ParallelismDegree()) {
+    SetParallelismDegree(degree);
+  }
+  ~ScopedDegree() { SetParallelismDegree(saved_); }
+
+ private:
+  int saved_;
+};
 
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -110,6 +131,200 @@ void BM_SimplexLp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimplexLp)->Arg(16)->Arg(48);
+
+// ---------------------------------------------------------------------------
+// Parallel runtime: dispatch overhead, thread scaling, wavefront speedup.
+// ---------------------------------------------------------------------------
+
+// The pre-pool ParallelFor: spawn a fresh std::thread per chunk, join, repeat.
+// Kept here (identical partition math) as the dispatch-overhead baseline.
+void SpawnParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
+                      int64_t min_chunk = 1) {
+  if (n <= 0) return;
+  const int64_t degree = ParallelismDegree();
+  const int64_t max_workers = std::max<int64_t>(
+      1, std::min<int64_t>(degree, n / std::max<int64_t>(min_chunk, 1)));
+  const int64_t chunk = (n + max_workers - 1) / max_workers;
+  if (max_workers == 1) {
+    fn(0, n);
+    return;
+  }
+  std::vector<std::thread> threads;
+  for (int64_t begin = chunk; begin < n; begin += chunk) {
+    threads.emplace_back(fn, begin, std::min(n, begin + chunk));
+  }
+  fn(0, std::min(n, chunk));
+  for (auto& t : threads) t.join();
+}
+
+// Per-call cost of fanning tiny work out to `threads` workers. The body is
+// near-free, so the measured time is almost entirely dispatch + join.
+void BM_DispatchSpawn(benchmark::State& state) {
+  ScopedDegree degree(static_cast<int>(state.range(0)));
+  std::vector<int64_t> sink(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    SpawnParallelFor(state.range(0), [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) sink[static_cast<size_t>(i)] += i;
+    });
+    benchmark::DoNotOptimize(sink.data());
+  }
+}
+BENCHMARK(BM_DispatchSpawn)->ArgName("threads")->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DispatchPool(benchmark::State& state) {
+  ScopedDegree degree(static_cast<int>(state.range(0)));
+  std::vector<int64_t> sink(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    ParallelFor(state.range(0), [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) sink[static_cast<size_t>(i)] += i;
+    });
+    benchmark::DoNotOptimize(sink.data());
+  }
+}
+BENCHMARK(BM_DispatchPool)->ArgName("threads")->Arg(2)->Arg(4)->Arg(8);
+
+// Thread-scaling sweeps over the kernels that dominate real training. Each
+// benchmark takes {problem size, thread count}.
+void BM_MatMulThreads(benchmark::State& state) {
+  ScopedDegree degree(static_cast<int>(state.range(1)));
+  const int64_t n = state.range(0);
+  Rng rng(11);
+  Tensor a = Tensor::Randn(Shape({n, n}), &rng, 1.0f);
+  Tensor b = Tensor::Randn(Shape({n, n}), &rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMulThreads)
+    ->ArgNames({"n", "threads"})
+    ->ArgsProduct({{256}, {1, 2, 4, 8}});
+
+void BM_GeluThreads(benchmark::State& state) {
+  ScopedDegree degree(static_cast<int>(state.range(1)));
+  const int64_t n = state.range(0);
+  Rng rng(12);
+  Tensor x = Tensor::Randn(Shape({n}), &rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::GeluForward(x));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GeluThreads)
+    ->ArgNames({"n", "threads"})
+    ->ArgsProduct({{1 << 20}, {1, 2, 4, 8}});
+
+void BM_SoftmaxCrossEntropyThreads(benchmark::State& state) {
+  ScopedDegree degree(static_cast<int>(state.range(1)));
+  const int64_t rows = state.range(0);
+  const int64_t cols = 128;
+  Rng rng(13);
+  Tensor logits = Tensor::Randn(Shape({rows, cols}), &rng, 1.0f);
+  std::vector<int32_t> labels(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    labels[static_cast<size_t>(r)] = static_cast<int32_t>(r % cols);
+  }
+  for (auto _ : state) {
+    Tensor probs = ops::SoftmaxForward(logits);
+    Tensor dlogits;
+    benchmark::DoNotOptimize(
+        ops::SoftmaxCrossEntropy(probs, labels, &dlogits));
+  }
+  state.SetItemsProcessed(state.iterations() * rows * cols);
+}
+BENCHMARK(BM_SoftmaxCrossEntropyThreads)
+    ->ArgNames({"rows", "threads"})
+    ->ArgsProduct({{4096}, {1, 2, 4, 8}});
+
+void BM_LayerNormThreads(benchmark::State& state) {
+  ScopedDegree degree(static_cast<int>(state.range(1)));
+  const int64_t rows = state.range(0);
+  const int64_t cols = 256;
+  Rng rng(14);
+  Tensor x = Tensor::Randn(Shape({rows, cols}), &rng, 1.0f);
+  Tensor gamma = Tensor::Full(Shape({cols}), 1.0f);
+  Tensor beta = Tensor::Zeros(Shape({cols}));
+  for (auto _ : state) {
+    ops::LayerNormCache cache;
+    benchmark::DoNotOptimize(
+        ops::LayerNormForward(x, gamma, beta, 1e-5f, &cache));
+  }
+  state.SetItemsProcessed(state.iterations() * rows * cols);
+}
+BENCHMARK(BM_LayerNormThreads)
+    ->ArgNames({"rows", "threads"})
+    ->ArgsProduct({{4096}, {1, 2, 4, 8}});
+
+void BM_Conv2DThreads(benchmark::State& state) {
+  ScopedDegree degree(static_cast<int>(state.range(1)));
+  Rng rng(15);
+  Tensor x = Tensor::Randn(Shape({8, 16, 16, 16}), &rng, 0.5f);
+  Tensor w = Tensor::Randn(Shape({32, 16, 3, 3}), &rng, 0.1f);
+  Tensor bias(Shape({32}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ops::Conv2DForward(x, w, bias, {.stride = 1, .padding = 1}));
+  }
+}
+BENCHMARK(BM_Conv2DThreads)
+    ->ArgNames({"unused", "threads"})
+    ->ArgsProduct({{0}, {1, 2, 4, 8}});
+
+// Inter-operator parallelism: a fused multi-model group (one shared frozen
+// trunk fanning out into several independently trainable heads) through a
+// full forward + backward step. The wavefront executor runs the heads
+// concurrently, so this should scale with the thread count well beyond what
+// intra-op kernel splitting alone achieves at this batch size.
+void BM_FusedGroupFwdBwd(benchmark::State& state) {
+  ScopedDegree degree(static_cast<int>(state.range(0)));
+  constexpr int64_t kBatch = 64;
+  constexpr int64_t kDim = 256;
+  constexpr int64_t kHidden = 128;
+  constexpr int64_t kClasses = 8;
+  constexpr int kHeads = 4;
+
+  Rng rng(16);
+  graph::ModelGraph model("fused_bench_group");
+  const int input_id = model.AddInput(
+      std::make_shared<nn::InputLayer>("input", Shape({kDim})));
+  const int trunk_id = model.AddNode(
+      std::make_shared<nn::DenseLayer>("trunk", kDim, kDim,
+                                       nn::Activation::kGelu, &rng),
+      {input_id}, /*frozen=*/true);
+  std::vector<int> head_outputs;
+  for (int h = 0; h < kHeads; ++h) {
+    const std::string tag = std::to_string(h);
+    const int hidden_id = model.AddNode(
+        std::make_shared<nn::DenseLayer>("head" + tag + "_fc1", kDim, kHidden,
+                                         nn::Activation::kRelu, &rng),
+        {trunk_id}, /*frozen=*/false);
+    const int logits_id = model.AddNode(
+        std::make_shared<nn::DenseLayer>("head" + tag + "_fc2", kHidden,
+                                         kClasses, nn::Activation::kNone,
+                                         &rng),
+        {hidden_id}, /*frozen=*/false);
+    model.MarkOutput(logits_id);
+    head_outputs.push_back(logits_id);
+  }
+  model.Validate();
+
+  graph::Executor exec(&model);
+  std::unordered_map<int, Tensor> feeds;
+  feeds[input_id] = Tensor::Randn(Shape({kBatch, kDim}), &rng, 1.0f);
+  std::unordered_map<int, Tensor> output_grads;
+  for (int id : head_outputs) {
+    output_grads[id] =
+        Tensor::Full(Shape({kBatch, kClasses}), 1.0f / kBatch);
+  }
+
+  for (auto _ : state) {
+    exec.ZeroGrads();
+    exec.Forward(feeds, /*training=*/true);
+    exec.Backward(output_grads);
+    benchmark::DoNotOptimize(exec.flops_executed());
+  }
+}
+BENCHMARK(BM_FusedGroupFwdBwd)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 }  // namespace nautilus

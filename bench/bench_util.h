@@ -9,6 +9,7 @@
 #include "nautilus/core/config.h"
 #include "nautilus/obs/metrics.h"
 #include "nautilus/obs/trace.h"
+#include "nautilus/util/parallel.h"
 #include "nautilus/workloads/runner.h"
 
 namespace nautilus {
@@ -21,15 +22,27 @@ namespace bench {
 ///
 /// enables the global tracer for the whole run and writes a Chrome/Perfetto
 /// trace on exit. Setting NAUTILUS_METRICS=1 additionally prints the metrics
-/// registry summary to stderr. With neither variable set this is a no-op and
-/// tracing stays disabled.
+/// registry summary to stderr. NAUTILUS_THREADS=N caps the global thread
+/// pool's worker budget before any benchmark runs. With none of the
+/// variables set this is a no-op and tracing stays disabled.
 class ObsSession {
  public:
   ObsSession() {
+    const char* threads = std::getenv("NAUTILUS_THREADS");
+    if (threads != nullptr && *threads != '\0') {
+      const int degree = std::atoi(threads);
+      if (degree > 0) SetParallelismDegree(degree);
+    }
     const char* path = std::getenv("NAUTILUS_TRACE");
     if (path != nullptr && *path != '\0') {
       trace_path_ = path;
       obs::Tracer::Global().Enable();
+      // Stamp the worker budget into the trace so it is self-describing.
+      obs::TraceArg degree_arg;
+      degree_arg.key = "degree";
+      degree_arg.type = obs::TraceArg::Type::kNumber;
+      degree_arg.num_value = static_cast<double>(ParallelismDegree());
+      obs::Tracer::Global().RecordInstant("meta", "parallelism", {degree_arg});
     }
   }
   ~ObsSession() {

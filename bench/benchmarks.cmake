@@ -24,6 +24,6 @@ nautilus_add_bench(bench_fig11_resources)
 nautilus_add_bench(bench_milp_solver)
 
 add_executable(bench_micro_kernels ${NAUTILUS_BENCH_DIR}/bench_micro_kernels.cpp)
-target_link_libraries(bench_micro_kernels PRIVATE nautilus_core nautilus_solver nautilus_tensor benchmark::benchmark)
+target_link_libraries(bench_micro_kernels PRIVATE nautilus_core nautilus_graph nautilus_nn nautilus_solver nautilus_tensor nautilus_util benchmark::benchmark)
 set_target_properties(bench_micro_kernels PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 nautilus_add_bench(bench_ablation_memory_estimator)

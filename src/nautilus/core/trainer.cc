@@ -9,6 +9,7 @@
 #include "nautilus/obs/trace.h"
 #include "nautilus/tensor/ops.h"
 #include "nautilus/util/logging.h"
+#include "nautilus/util/parallel.h"
 #include "nautilus/util/random.h"
 #include "nautilus/util/stopwatch.h"
 
@@ -73,6 +74,43 @@ std::unordered_map<int, Tensor> GatherFeedRows(
   return batch;
 }
 
+// Double-buffered feed staging: Start() submits a load to the global thread
+// pool so it overlaps with the compute of the current epoch/batch, Take()
+// blocks on it (helping the pool if needed) and hands the result over.
+// Consumers fall back to a synchronous load — counted as a miss — when
+// nothing was staged.
+class FeedPrefetcher {
+ public:
+  void Start(std::function<std::unordered_map<int, Tensor>()> load) {
+    NAUTILUS_CHECK(!inflight_);
+    inflight_ = true;
+    group_.Submit([this, load = std::move(load)] { staged_ = load(); });
+  }
+
+  bool inflight() const { return inflight_; }
+
+  std::unordered_map<int, Tensor> Take() {
+    static obs::Counter& hits =
+        obs::MetricsRegistry::Global().counter("trainer.feed_prefetch.hits");
+    NAUTILUS_CHECK(inflight_);
+    group_.Wait();
+    inflight_ = false;
+    hits.Add();
+    return std::move(staged_);
+  }
+
+ private:
+  TaskGroup group_;
+  std::unordered_map<int, Tensor> staged_;
+  bool inflight_ = false;
+};
+
+obs::Counter& PrefetchMisses() {
+  static obs::Counter& misses =
+      obs::MetricsRegistry::Global().counter("trainer.feed_prefetch.misses");
+  return misses;
+}
+
 }  // namespace
 
 GroupRunStats Trainer::TrainGroup(const ExecutionGroup& group,
@@ -126,6 +164,11 @@ GroupRunStats Trainer::TrainGroup(const ExecutionGroup& group,
   const int64_t train_records = train.size();
   const int64_t batch_size = group.batch_size;
 
+  // Epoch-level double buffer for the per-epoch store reads: while epoch e
+  // trains, epoch e+1's materialized feeds (or, on the last epoch, the
+  // validation feeds) load in the background.
+  FeedPrefetcher epoch_prefetch;
+
   for (int64_t epoch = 0; epoch < group.max_epochs; ++epoch) {
     epochs_run.Add();
     obs::TraceScope epoch_span("trainer", "trainer.epoch");
@@ -149,8 +192,22 @@ GroupRunStats Trainer::TrainGroup(const ExecutionGroup& group,
 
     // Per-epoch feed loads (materialized features re-read from disk; the
     // OS page cache stands in for the paper's reliance on it).
-    std::unordered_map<int, Tensor> feeds =
-        LoadFeeds(group, exec, *store_, train.inputs(), "train");
+    std::unordered_map<int, Tensor> feeds;
+    if (epoch_prefetch.inflight()) {
+      feeds = epoch_prefetch.Take();
+    } else {
+      PrefetchMisses().Add();
+      feeds = LoadFeeds(group, exec, *store_, train.inputs(), "train");
+    }
+    if (epoch + 1 < group.max_epochs) {
+      epoch_prefetch.Start([&group, &exec, this, &train] {
+        return LoadFeeds(group, exec, *store_, train.inputs(), "train");
+      });
+    } else {
+      epoch_prefetch.Start([&group, &exec, this, &valid] {
+        return LoadFeeds(group, exec, *store_, valid.inputs(), "valid");
+      });
+    }
 
     // Epoch shuffle, identical for a given (seed, epoch) so that fused and
     // unfused executions of the same candidate see identical batches.
@@ -162,14 +219,30 @@ GroupRunStats Trainer::TrainGroup(const ExecutionGroup& group,
                   static_cast<uint64_t>(epoch) * 2654435761ULL);
     epoch_rng.Shuffle(&order);
 
+    // Batch-level double buffer: the next batch's feed rows gather on the
+    // pool while the current batch runs forward/backward.
+    FeedPrefetcher batch_prefetch;
     for (int64_t begin = 0; begin < train_records; begin += batch_size) {
       batches_run.Add();
       obs::TraceScope batch_span("trainer", "trainer.batch");
       batch_span.AddArg("begin", begin);
       const int64_t end = std::min(train_records, begin + batch_size);
       std::vector<int64_t> rows(order.begin() + begin, order.begin() + end);
-      std::unordered_map<int, Tensor> batch_feeds =
-          GatherFeedRows(feeds, rows);
+      std::unordered_map<int, Tensor> batch_feeds;
+      if (batch_prefetch.inflight()) {
+        batch_feeds = batch_prefetch.Take();
+      } else {
+        PrefetchMisses().Add();
+        batch_feeds = GatherFeedRows(feeds, rows);
+      }
+      if (end < train_records) {
+        const int64_t next_end = std::min(train_records, end + batch_size);
+        std::vector<int64_t> next_rows(order.begin() + end,
+                                       order.begin() + next_end);
+        batch_prefetch.Start([&feeds, next_rows = std::move(next_rows)] {
+          return GatherFeedRows(feeds, next_rows);
+        });
+      }
       std::vector<int32_t> labels;
       labels.reserve(rows.size());
       for (int64_t r : rows) {
@@ -200,11 +273,17 @@ GroupRunStats Trainer::TrainGroup(const ExecutionGroup& group,
     }
   }
 
-  // Validation for every branch on the held-out split.
+  // Validation for every branch on the held-out split. The feeds were
+  // prefetched during the last training epoch when there was one.
   {
     obs::TraceScope valid_span("trainer", "trainer.validate");
-    std::unordered_map<int, Tensor> feeds =
-        LoadFeeds(group, exec, *store_, valid.inputs(), "valid");
+    std::unordered_map<int, Tensor> feeds;
+    if (epoch_prefetch.inflight()) {
+      feeds = epoch_prefetch.Take();
+    } else {
+      PrefetchMisses().Add();
+      feeds = LoadFeeds(group, exec, *store_, valid.inputs(), "valid");
+    }
     executor.Forward(feeds, /*training=*/false);
     for (size_t b = 0; b < num_branches; ++b) {
       BranchEval eval;

@@ -1,11 +1,14 @@
 #include "nautilus/graph/executor.h"
 
+#include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "nautilus/obs/metrics.h"
 #include "nautilus/obs/trace.h"
 #include "nautilus/tensor/ops.h"
 #include "nautilus/util/logging.h"
+#include "nautilus/util/parallel.h"
 
 namespace nautilus {
 namespace graph {
@@ -21,6 +24,33 @@ Executor::Executor(const ModelGraph* model) : model_(model) {
       if (needs_grad_[static_cast<size_t>(p)]) from_parent = true;
     }
     needs_grad_[static_cast<size_t>(node.id)] = trainable || from_parent;
+  }
+
+  parents_unique_.assign(nodes.size(), {});
+  children_unique_.assign(nodes.size(), {});
+  for (const GraphNode& node : nodes) {
+    std::vector<int> ps = node.parents;
+    std::sort(ps.begin(), ps.end());
+    ps.erase(std::unique(ps.begin(), ps.end()), ps.end());
+    for (int p : ps) {
+      children_unique_[static_cast<size_t>(p)].push_back(node.id);
+    }
+    parents_unique_[static_cast<size_t>(node.id)] = std::move(ps);
+  }
+
+  // Backward calls Layer::Backward on every grad-carrying node, and that
+  // accumulates the layer's parameter gradients in place. If one layer
+  // instance with parameters sits at more than one such node, concurrent
+  // backward would race on those accumulations, so fall back to the
+  // sequential loop for the whole pass.
+  std::unordered_map<const nn::Layer*, int> grad_nodes_per_layer;
+  for (const GraphNode& node : nodes) {
+    if (node.parents.empty()) continue;
+    if (!needs_grad_[static_cast<size_t>(node.id)]) continue;
+    if (node.layer->Params().empty()) continue;
+    if (++grad_nodes_per_layer[node.layer.get()] > 1) {
+      serial_backward_only_ = true;
+    }
   }
 }
 
@@ -38,6 +68,8 @@ void Executor::Forward(const std::unordered_map<int, Tensor>& feeds,
       obs::MetricsRegistry::Global().counter("executor.node_forwards");
   static obs::Histogram& node_ns =
       obs::MetricsRegistry::Global().histogram("executor.node_forward_ns");
+  static obs::Histogram& width_hist =
+      obs::MetricsRegistry::Global().histogram("executor.wavefront_width");
   passes.Add();
   const bool tracing = obs::TracingEnabled();
   if (tracing) EnsureTraceTags();
@@ -52,16 +84,11 @@ void Executor::Forward(const std::unordered_map<int, Tensor>& feeds,
   caches_.resize(nodes.size());
   forward_was_training_ = training;
 
-  for (const GraphNode& node : nodes) {
-    if (skip != nullptr && (*skip)[static_cast<size_t>(node.id)]) continue;
-    if (node.parents.empty()) {
-      auto it = feeds.find(node.id);
-      NAUTILUS_CHECK(it != feeds.end())
-          << "missing feed for input node " << node.id << " ("
-          << node.layer->name() << ")";
-      outputs_[static_cast<size_t>(node.id)] = it->second;
-      continue;
-    }
+  // FLOPs land in per-node slots and are summed in ascending id order after
+  // the pass, so the double total has the same bits at every thread count.
+  std::vector<double> node_flops(nodes.size(), 0.0);
+
+  auto run_node = [&](const GraphNode& node) {
     std::vector<const Tensor*> inputs;
     std::vector<Shape> record_shapes;
     inputs.reserve(node.parents.size());
@@ -90,8 +117,66 @@ void Executor::Forward(const std::unordered_map<int, Tensor>& feeds,
           node.layer->Forward(inputs, cache_slot);
       if (node_span.active()) node_ns.Record(node_span.ElapsedNs());
     }
-    flops_executed_ += node.layer->ForwardFlopsPerRecord(record_shapes) *
-                       static_cast<double>(batch);
+    node_flops[static_cast<size_t>(node.id)] =
+        node.layer->ForwardFlopsPerRecord(record_shapes) *
+        static_cast<double>(batch);
+  };
+
+  // Wavefront levels: deps[id] counts unsatisfied unique parents; a level is
+  // every node whose count hit zero. Skipped nodes complete immediately
+  // (producing nothing), so their non-skipped children fail the parent check
+  // exactly as the sequential walk did.
+  std::vector<int> deps(nodes.size(), 0);
+  std::vector<int> ready;
+  for (const GraphNode& node : nodes) {
+    deps[static_cast<size_t>(node.id)] =
+        static_cast<int>(parents_unique_[static_cast<size_t>(node.id)].size());
+    if (deps[static_cast<size_t>(node.id)] == 0) ready.push_back(node.id);
+  }
+
+  while (!ready.empty()) {
+    std::sort(ready.begin(), ready.end());
+    std::vector<int> work;
+    for (int id : ready) {
+      const GraphNode& node = nodes[static_cast<size_t>(id)];
+      if (skip != nullptr && (*skip)[static_cast<size_t>(id)]) continue;
+      if (node.parents.empty()) {
+        auto it = feeds.find(id);
+        NAUTILUS_CHECK(it != feeds.end())
+            << "missing feed for input node " << id << " ("
+            << node.layer->name() << ")";
+        outputs_[static_cast<size_t>(id)] = it->second;
+        continue;
+      }
+      work.push_back(id);
+    }
+    if (!work.empty()) {
+      width_hist.Record(static_cast<int64_t>(work.size()));
+      if (work.size() == 1 || ParallelismDegree() == 1) {
+        // Single-node levels run on the caller so the kernel keeps its full
+        // intra-op ParallelFor budget (inside a pool task it would collapse
+        // to serial).
+        for (int id : work) run_node(nodes[static_cast<size_t>(id)]);
+      } else {
+        TaskGroup group;
+        for (int id : work) {
+          group.Submit(
+              [&run_node, &nodes, id] { run_node(nodes[static_cast<size_t>(id)]); });
+        }
+        group.Wait();
+      }
+    }
+    std::vector<int> next;
+    for (int id : ready) {
+      for (int c : children_unique_[static_cast<size_t>(id)]) {
+        if (--deps[static_cast<size_t>(c)] == 0) next.push_back(c);
+      }
+    }
+    ready = std::move(next);
+  }
+
+  for (size_t id = 0; id < nodes.size(); ++id) {
+    flops_executed_ += node_flops[id];
   }
 }
 
@@ -108,10 +193,6 @@ void Executor::Backward(const std::unordered_map<int, Tensor>& output_grads) {
       << "Backward requires a Forward with training=true";
   static obs::Counter& passes =
       obs::MetricsRegistry::Global().counter("executor.backward_passes");
-  static obs::Counter& node_backwards =
-      obs::MetricsRegistry::Global().counter("executor.node_backwards");
-  static obs::Histogram& node_ns =
-      obs::MetricsRegistry::Global().histogram("executor.node_backward_ns");
   passes.Add();
   if (obs::TracingEnabled()) EnsureTraceTags();
   obs::TraceScope pass_span("exec", "executor.backward");
@@ -124,6 +205,138 @@ void Executor::Backward(const std::unordered_map<int, Tensor>& output_grads) {
     NAUTILUS_CHECK_LT(id, static_cast<int>(nodes.size()));
     grads[static_cast<size_t>(id)] = g;
   }
+
+  if (serial_backward_only_) {
+    BackwardSerial(&grads);
+    return;
+  }
+
+  static obs::Counter& node_backwards =
+      obs::MetricsRegistry::Global().counter("executor.node_backwards");
+  static obs::Histogram& node_ns =
+      obs::MetricsRegistry::Global().histogram("executor.node_backward_ns");
+  static obs::Histogram& width_hist =
+      obs::MetricsRegistry::Global().histogram("executor.wavefront_width");
+
+  // Reverse wavefront over the grad-carrying subgraph. needs_grad_ is
+  // downward closed (every child of a grad-carrying node carries grad), so
+  // counting unique children is exactly counting the contributions a slot
+  // must wait for. Each node's slot is reduced on the caller thread, seed
+  // first then children in descending id order — the same order the
+  // sequential reverse-topological loop applies — before its own backward
+  // runs; only the Layer::Backward calls of a level run concurrently.
+  std::vector<std::vector<Tensor>> contrib(nodes.size());
+  std::vector<double> node_flops(nodes.size(), 0.0);
+  std::vector<int> rdeps(nodes.size(), 0);
+  std::vector<int> ready;
+  for (const GraphNode& node : nodes) {
+    const auto id = static_cast<size_t>(node.id);
+    if (!needs_grad_[id]) continue;
+    rdeps[id] = static_cast<int>(children_unique_[id].size());
+    if (rdeps[id] == 0) ready.push_back(node.id);
+  }
+
+  auto run_node = [&](int id) {
+    const GraphNode& node = nodes[static_cast<size_t>(id)];
+    std::vector<const Tensor*> inputs;
+    std::vector<Shape> record_shapes;
+    inputs.reserve(node.parents.size());
+    for (int p : node.parents) {
+      inputs.push_back(&outputs_[static_cast<size_t>(p)]);
+      record_shapes.push_back(
+          outputs_[static_cast<size_t>(p)].shape().WithBatch(1));
+    }
+    const nn::LayerCache* cache = caches_[static_cast<size_t>(id)].get();
+    static const nn::LayerCache kEmptyCache;
+    node_backwards.Add();
+    {
+      obs::TraceScope node_span("exec.node.bwd", node.layer->name());
+      node_span.AddArg("node", id).AddArg("frozen", node.frozen);
+      if (node_span.active()) {
+        node_span.AddArgHex("expr", expr_hashes_[static_cast<size_t>(id)])
+            .AddArg("materializable",
+                    bool{materializable_[static_cast<size_t>(id)]});
+      }
+      contrib[static_cast<size_t>(id)] = node.layer->Backward(
+          grads[static_cast<size_t>(id)], inputs,
+          cache != nullptr ? *cache : kEmptyCache);
+      if (node_span.active()) node_ns.Record(node_span.ElapsedNs());
+    }
+    NAUTILUS_CHECK_EQ(contrib[static_cast<size_t>(id)].size(),
+                      node.parents.size());
+    const int64_t batch = inputs[0]->shape().dim(0);
+    const bool trainable = !node.frozen && !node.layer->Params().empty();
+    // Cost-model-consistent accounting: trainable layers pay ~2x forward in
+    // the backward pass (input + parameter gradients), frozen ones ~1x.
+    node_flops[static_cast<size_t>(id)] =
+        node.layer->ForwardFlopsPerRecord(record_shapes) *
+        static_cast<double>(batch) * (trainable ? 2.0 : 1.0);
+  };
+
+  while (!ready.empty()) {
+    std::sort(ready.begin(), ready.end(), std::greater<int>());
+    // Reduce every ready slot deterministically before dispatch.
+    for (int id : ready) {
+      Tensor& slot = grads[static_cast<size_t>(id)];
+      const auto& children = children_unique_[static_cast<size_t>(id)];
+      for (auto it = children.rbegin(); it != children.rend(); ++it) {
+        const int c = *it;
+        std::vector<Tensor>& cg = contrib[static_cast<size_t>(c)];
+        if (cg.empty()) continue;  // child carried no gradient
+        const auto& cps = nodes[static_cast<size_t>(c)].parents;
+        for (size_t k = 0; k < cps.size(); ++k) {
+          if (cps[k] != id) continue;
+          Tensor& g = cg[k];
+          if (g.empty()) continue;
+          if (slot.empty()) {
+            slot = std::move(g);
+          } else {
+            ops::AxpyInPlace(1.0f, g, &slot);
+          }
+        }
+      }
+    }
+    std::vector<int> work;
+    for (int id : ready) {
+      const GraphNode& node = nodes[static_cast<size_t>(id)];
+      if (node.parents.empty()) continue;
+      if (grads[static_cast<size_t>(id)].empty()) continue;
+      work.push_back(id);
+    }
+    if (!work.empty()) {
+      width_hist.Record(static_cast<int64_t>(work.size()));
+      if (work.size() == 1 || ParallelismDegree() == 1) {
+        for (int id : work) run_node(id);
+      } else {
+        TaskGroup group;
+        for (int id : work) {
+          group.Submit([&run_node, id] { run_node(id); });
+        }
+        group.Wait();
+      }
+    }
+    std::vector<int> next;
+    for (int id : ready) {
+      for (int p : parents_unique_[static_cast<size_t>(id)]) {
+        if (!needs_grad_[static_cast<size_t>(p)]) continue;
+        if (--rdeps[static_cast<size_t>(p)] == 0) next.push_back(p);
+      }
+    }
+    ready = std::move(next);
+  }
+
+  for (int id = static_cast<int>(nodes.size()) - 1; id >= 0; --id) {
+    flops_executed_ += node_flops[static_cast<size_t>(id)];
+  }
+}
+
+void Executor::BackwardSerial(std::vector<Tensor>* grads_in) {
+  static obs::Counter& node_backwards =
+      obs::MetricsRegistry::Global().counter("executor.node_backwards");
+  static obs::Histogram& node_ns =
+      obs::MetricsRegistry::Global().histogram("executor.node_backward_ns");
+  const auto& nodes = model_->nodes();
+  std::vector<Tensor>& grads = *grads_in;
 
   for (int id = static_cast<int>(nodes.size()) - 1; id >= 0; --id) {
     const GraphNode& node = nodes[static_cast<size_t>(id)];

@@ -16,6 +16,15 @@ namespace graph {
 /// reuse-plan graphs: in a rewritten graph, materialized layer outputs appear
 /// as extra input nodes and are fed like any other input. Multiple outputs
 /// (fused models) are supported by passing one gradient per output node.
+///
+/// Both passes use wavefront scheduling: nodes whose dependencies are all
+/// satisfied form a level and run concurrently on the global thread pool, so
+/// the inter-operator parallelism that model fusion creates (one shared
+/// trunk fanning out into many heads) is actually harvested. Results are
+/// bitwise identical at every thread count: each gradient slot accumulates
+/// its seed first and then its children's contributions in descending child
+/// id order — exactly the order the sequential reverse-topological loop
+/// produces — and FLOP totals are summed in fixed node order.
 class Executor {
  public:
   explicit Executor(const ModelGraph* model);
@@ -54,8 +63,19 @@ class Executor {
   // mask) the first time a traced pass runs; no-op when tracing is off.
   void EnsureTraceTags();
 
+  // Sequential reverse-topological backward, used when a parameterized layer
+  // instance is shared by several grad-carrying nodes: Layer::Backward
+  // accumulates parameter gradients in place, so concurrent calls on the
+  // same layer would race (and reorder float adds).
+  void BackwardSerial(std::vector<Tensor>* grads);
+
   const ModelGraph* model_;
   std::vector<bool> needs_grad_;   // some ancestor (or self) is trainable
+  // Deduplicated adjacency (a node listing the same parent twice still
+  // yields one scheduling edge); both sorted ascending by id.
+  std::vector<std::vector<int>> parents_unique_;
+  std::vector<std::vector<int>> children_unique_;
+  bool serial_backward_only_ = false;
   std::vector<Tensor> outputs_;
   std::vector<std::unique_ptr<nn::LayerCache>> caches_;
   bool forward_was_training_ = false;

@@ -5,11 +5,21 @@
 #include <cstdio>
 
 #include "nautilus/obs/trace.h"
+#include "nautilus/util/parallel.h"
 
 namespace nautilus {
 namespace obs {
 
 namespace {
+
+// Target of the thread-pool queue observer (util cannot link obs, so the
+// pool exposes a function-pointer hook instead of setting a gauge itself).
+// Runs with the pool's queue lock held: a relaxed atomic store only.
+Gauge* g_pool_queue_gauge = nullptr;
+
+void PoolQueueObserver(int64_t depth) {
+  g_pool_queue_gauge->Set(static_cast<double>(depth));
+}
 
 int BucketFor(int64_t v) {
   if (v <= 1) return 0;
@@ -82,6 +92,12 @@ void Histogram::Reset() {
 
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry registry;
+  static const bool observer_installed = [] {
+    g_pool_queue_gauge = &registry.gauge("pool.queue_depth");
+    SetThreadPoolQueueObserver(&PoolQueueObserver);
+    return true;
+  }();
+  (void)observer_installed;
   return registry;
 }
 
@@ -141,13 +157,24 @@ std::string MetricsRegistry::Summary() const {
   }
   for (const auto& [name, h] : histograms_) {
     if (h->count() == 0) continue;
-    std::snprintf(buf, sizeof(buf),
-                  "%-44s count %" PRId64 "  mean %.3f ms  p50 %.3f ms  "
-                  "p99 %.3f ms  max %.3f ms\n",
-                  name.c_str(), h->count(), h->mean() / 1e6,
-                  static_cast<double>(h->ApproxPercentile(0.5)) / 1e6,
-                  static_cast<double>(h->ApproxPercentile(0.99)) / 1e6,
-                  static_cast<double>(h->max()) / 1e6);
+    // Histograms named *_ns hold durations and print in ms; the rest hold
+    // plain sizes/counts (e.g. wavefront widths) and print raw values.
+    if (name.size() >= 3 && name.compare(name.size() - 3, 3, "_ns") == 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "%-44s count %" PRId64 "  mean %.3f ms  p50 %.3f ms  "
+                    "p99 %.3f ms  max %.3f ms\n",
+                    name.c_str(), h->count(), h->mean() / 1e6,
+                    static_cast<double>(h->ApproxPercentile(0.5)) / 1e6,
+                    static_cast<double>(h->ApproxPercentile(0.99)) / 1e6,
+                    static_cast<double>(h->max()) / 1e6);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "%-44s count %" PRId64 "  mean %.2f  p50 <=%" PRId64
+                    "  p99 <=%" PRId64 "  max %" PRId64 "\n",
+                    name.c_str(), h->count(), h->mean(),
+                    h->ApproxPercentile(0.5), h->ApproxPercentile(0.99),
+                    h->max());
+    }
     out += buf;
   }
   return out;

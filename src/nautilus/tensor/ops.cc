@@ -22,6 +22,17 @@ MatView As2D(const Tensor& t) {
   return {t.NumElements() / cols, cols};
 }
 
+// Fixed-size chunking for parallel reductions. The chunk count depends only
+// on the problem size — never on the thread count — and the partial results
+// merge serially in ascending chunk order, so reduced sums are bitwise
+// identical at any parallelism degree (though grouped differently than a
+// single sequential accumulation).
+constexpr int64_t kReduceChunkRows = 256;
+
+int64_t ReduceChunks(int64_t rows) {
+  return (rows + kReduceChunkRows - 1) / kReduceChunkRows;
+}
+
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -119,10 +130,15 @@ void AddBiasInPlace(Tensor* x, const Tensor& bias) {
   NAUTILUS_CHECK_EQ(bias.NumElements(), xv.cols);
   float* px = x->data();
   const float* pb = bias.data();
-  for (int64_t i = 0; i < xv.rows; ++i) {
-    float* row = px + i * xv.cols;
-    for (int64_t j = 0; j < xv.cols; ++j) row[j] += pb[j];
-  }
+  ParallelFor(
+      xv.rows,
+      [&](int64_t row_begin, int64_t row_end) {
+        for (int64_t i = row_begin; i < row_end; ++i) {
+          float* row = px + i * xv.cols;
+          for (int64_t j = 0; j < xv.cols; ++j) row[j] += pb[j];
+        }
+      },
+      /*min_chunk=*/std::max<int64_t>(1, 4096 / std::max<int64_t>(xv.cols, 1)));
 }
 
 Tensor ColumnSum(const Tensor& g) {
@@ -130,9 +146,29 @@ Tensor ColumnSum(const Tensor& g) {
   Tensor out(Shape({gv.cols}));
   const float* pg = g.data();
   float* po = out.data();
-  for (int64_t i = 0; i < gv.rows; ++i) {
-    const float* row = pg + i * gv.cols;
-    for (int64_t j = 0; j < gv.cols; ++j) po[j] += row[j];
+  const int64_t chunks = ReduceChunks(gv.rows);
+  if (chunks <= 1) {
+    for (int64_t i = 0; i < gv.rows; ++i) {
+      const float* row = pg + i * gv.cols;
+      for (int64_t j = 0; j < gv.cols; ++j) po[j] += row[j];
+    }
+    return out;
+  }
+  std::vector<float> partial(static_cast<size_t>(chunks * gv.cols), 0.0f);
+  ParallelFor(chunks, [&](int64_t cb, int64_t ce) {
+    for (int64_t ch = cb; ch < ce; ++ch) {
+      float* acc = partial.data() + ch * gv.cols;
+      const int64_t r0 = ch * kReduceChunkRows;
+      const int64_t r1 = std::min(gv.rows, r0 + kReduceChunkRows);
+      for (int64_t i = r0; i < r1; ++i) {
+        const float* row = pg + i * gv.cols;
+        for (int64_t j = 0; j < gv.cols; ++j) acc[j] += row[j];
+      }
+    }
+  });
+  for (int64_t ch = 0; ch < chunks; ++ch) {
+    const float* acc = partial.data() + ch * gv.cols;
+    for (int64_t j = 0; j < gv.cols; ++j) po[j] += acc[j];
   }
   return out;
 }
@@ -156,20 +192,35 @@ void AxpyInPlace(float alpha, const Tensor& x, Tensor* y) {
   const float* px = x.data();
   float* py = y->data();
   const int64_t n = x.NumElements();
-  for (int64_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+  ParallelFor(
+      n,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) py[i] += alpha * px[i];
+      },
+      /*min_chunk=*/16384);
 }
 
 void ScaleInPlace(float alpha, Tensor* x) {
   float* px = x->data();
   const int64_t n = x->NumElements();
-  for (int64_t i = 0; i < n; ++i) px[i] *= alpha;
+  ParallelFor(
+      n,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) px[i] *= alpha;
+      },
+      /*min_chunk=*/16384);
 }
 
 Tensor ReluForward(const Tensor& x) {
   Tensor y = x;
   float* p = y.data();
   const int64_t n = y.NumElements();
-  for (int64_t i = 0; i < n; ++i) p[i] = p[i] > 0.0f ? p[i] : 0.0f;
+  ParallelFor(
+      n,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) p[i] = p[i] > 0.0f ? p[i] : 0.0f;
+      },
+      /*min_chunk=*/16384);
   return y;
 }
 
@@ -179,9 +230,14 @@ Tensor ReluBackward(const Tensor& dy, const Tensor& y) {
   float* pdx = dx.data();
   const float* py = y.data();
   const int64_t n = dx.NumElements();
-  for (int64_t i = 0; i < n; ++i) {
-    if (py[i] <= 0.0f) pdx[i] = 0.0f;
-  }
+  ParallelFor(
+      n,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          if (py[i] <= 0.0f) pdx[i] = 0.0f;
+        }
+      },
+      /*min_chunk=*/16384);
   return dx;
 }
 
@@ -194,11 +250,16 @@ Tensor GeluForward(const Tensor& x) {
   Tensor y = x;
   float* p = y.data();
   const int64_t n = y.NumElements();
-  for (int64_t i = 0; i < n; ++i) {
-    const float v = p[i];
-    const float t = std::tanh(kGeluC * (v + kGeluA * v * v * v));
-    p[i] = 0.5f * v * (1.0f + t);
-  }
+  ParallelFor(
+      n,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          const float v = p[i];
+          const float t = std::tanh(kGeluC * (v + kGeluA * v * v * v));
+          p[i] = 0.5f * v * (1.0f + t);
+        }
+      },
+      /*min_chunk=*/4096);
   return y;
 }
 
@@ -208,14 +269,20 @@ Tensor GeluBackward(const Tensor& dy, const Tensor& x) {
   float* pdx = dx.data();
   const float* px = x.data();
   const int64_t n = dx.NumElements();
-  for (int64_t i = 0; i < n; ++i) {
-    const float v = px[i];
-    const float u = kGeluC * (v + kGeluA * v * v * v);
-    const float t = std::tanh(u);
-    const float dudv = kGeluC * (1.0f + 3.0f * kGeluA * v * v);
-    const float dgelu = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * dudv;
-    pdx[i] *= dgelu;
-  }
+  ParallelFor(
+      n,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          const float v = px[i];
+          const float u = kGeluC * (v + kGeluA * v * v * v);
+          const float t = std::tanh(u);
+          const float dudv = kGeluC * (1.0f + 3.0f * kGeluA * v * v);
+          const float dgelu =
+              0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * dudv;
+          pdx[i] *= dgelu;
+        }
+      },
+      /*min_chunk=*/4096);
   return dx;
 }
 
@@ -223,7 +290,12 @@ Tensor TanhForward(const Tensor& x) {
   Tensor y = x;
   float* p = y.data();
   const int64_t n = y.NumElements();
-  for (int64_t i = 0; i < n; ++i) p[i] = std::tanh(p[i]);
+  ParallelFor(
+      n,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) p[i] = std::tanh(p[i]);
+      },
+      /*min_chunk=*/4096);
   return y;
 }
 
@@ -233,7 +305,12 @@ Tensor TanhBackward(const Tensor& dy, const Tensor& y) {
   float* pdx = dx.data();
   const float* py = y.data();
   const int64_t n = dx.NumElements();
-  for (int64_t i = 0; i < n; ++i) pdx[i] *= (1.0f - py[i] * py[i]);
+  ParallelFor(
+      n,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) pdx[i] *= (1.0f - py[i] * py[i]);
+      },
+      /*min_chunk=*/16384);
   return dx;
 }
 
@@ -250,26 +327,33 @@ Tensor LayerNormForward(const Tensor& x, const Tensor& gamma,
   const float* pb = beta.data();
   float* py = y.data();
   float* pn = cache->normalized.data();
-  for (int64_t i = 0; i < xv.rows; ++i) {
-    const float* row = px + i * xv.cols;
-    float mean = 0.0f;
-    for (int64_t j = 0; j < xv.cols; ++j) mean += row[j];
-    mean /= static_cast<float>(xv.cols);
-    float var = 0.0f;
-    for (int64_t j = 0; j < xv.cols; ++j) {
-      const float d = row[j] - mean;
-      var += d * d;
-    }
-    var /= static_cast<float>(xv.cols);
-    const float rstd = 1.0f / std::sqrt(var + eps);
-    cache->rstd[static_cast<size_t>(i)] = rstd;
-    float* nrow = pn + i * xv.cols;
-    float* yrow = py + i * xv.cols;
-    for (int64_t j = 0; j < xv.cols; ++j) {
-      nrow[j] = (row[j] - mean) * rstd;
-      yrow[j] = nrow[j] * pg[j] + pb[j];
-    }
-  }
+  float* prstd = cache->rstd.data();
+  // Row-parallel: every row's statistics and outputs are independent.
+  ParallelFor(
+      xv.rows,
+      [&](int64_t row_begin, int64_t row_end) {
+        for (int64_t i = row_begin; i < row_end; ++i) {
+          const float* row = px + i * xv.cols;
+          float mean = 0.0f;
+          for (int64_t j = 0; j < xv.cols; ++j) mean += row[j];
+          mean /= static_cast<float>(xv.cols);
+          float var = 0.0f;
+          for (int64_t j = 0; j < xv.cols; ++j) {
+            const float d = row[j] - mean;
+            var += d * d;
+          }
+          var /= static_cast<float>(xv.cols);
+          const float rstd = 1.0f / std::sqrt(var + eps);
+          prstd[i] = rstd;
+          float* nrow = pn + i * xv.cols;
+          float* yrow = py + i * xv.cols;
+          for (int64_t j = 0; j < xv.cols; ++j) {
+            nrow[j] = (row[j] - mean) * rstd;
+            yrow[j] = nrow[j] * pg[j] + pb[j];
+          }
+        }
+      },
+      /*min_chunk=*/std::max<int64_t>(1, 2048 / std::max<int64_t>(xv.cols, 1)));
   return y;
 }
 
@@ -287,26 +371,54 @@ void LayerNormBackward(const Tensor& dy, const Tensor& gamma,
   float* pdg = dgamma->data();
   float* pdb = dbeta->data();
   const float inv_n = 1.0f / static_cast<float>(v.cols);
-  for (int64_t i = 0; i < v.rows; ++i) {
-    const float* dyrow = pdy + i * v.cols;
-    const float* nrow = pn + i * v.cols;
-    float* dxrow = pdx + i * v.cols;
-    const float rstd = cache.rstd[static_cast<size_t>(i)];
-    // dxhat = dy * gamma; dx = rstd * (dxhat - mean(dxhat) - n * mean(dxhat*n))
-    float sum_dxhat = 0.0f;
-    float sum_dxhat_n = 0.0f;
-    for (int64_t j = 0; j < v.cols; ++j) {
-      const float dxhat = dyrow[j] * pg[j];
-      sum_dxhat += dxhat;
-      sum_dxhat_n += dxhat * nrow[j];
-      pdg[j] += dyrow[j] * nrow[j];
-      pdb[j] += dyrow[j];
+  // dx rows are independent; dgamma/dbeta reduce over rows via fixed-size
+  // chunk partials merged in chunk order (degree-independent bits).
+  const int64_t chunks = ReduceChunks(v.rows);
+  std::vector<float> partial_g;
+  std::vector<float> partial_b;
+  if (chunks > 1) {
+    partial_g.assign(static_cast<size_t>(chunks * v.cols), 0.0f);
+    partial_b.assign(static_cast<size_t>(chunks * v.cols), 0.0f);
+  }
+  ParallelFor(chunks, [&](int64_t cb, int64_t ce) {
+    for (int64_t ch = cb; ch < ce; ++ch) {
+      float* dg = chunks > 1 ? partial_g.data() + ch * v.cols : pdg;
+      float* db = chunks > 1 ? partial_b.data() + ch * v.cols : pdb;
+      const int64_t r0 = ch * kReduceChunkRows;
+      const int64_t r1 = std::min(v.rows, r0 + kReduceChunkRows);
+      for (int64_t i = r0; i < r1; ++i) {
+        const float* dyrow = pdy + i * v.cols;
+        const float* nrow = pn + i * v.cols;
+        float* dxrow = pdx + i * v.cols;
+        const float rstd = cache.rstd[static_cast<size_t>(i)];
+        // dxhat = dy * gamma;
+        // dx = rstd * (dxhat - mean(dxhat) - n * mean(dxhat*n))
+        float sum_dxhat = 0.0f;
+        float sum_dxhat_n = 0.0f;
+        for (int64_t j = 0; j < v.cols; ++j) {
+          const float dxhat = dyrow[j] * pg[j];
+          sum_dxhat += dxhat;
+          sum_dxhat_n += dxhat * nrow[j];
+          dg[j] += dyrow[j] * nrow[j];
+          db[j] += dyrow[j];
+        }
+        const float m1 = sum_dxhat * inv_n;
+        const float m2 = sum_dxhat_n * inv_n;
+        for (int64_t j = 0; j < v.cols; ++j) {
+          const float dxhat = dyrow[j] * pg[j];
+          dxrow[j] = rstd * (dxhat - m1 - nrow[j] * m2);
+        }
+      }
     }
-    const float m1 = sum_dxhat * inv_n;
-    const float m2 = sum_dxhat_n * inv_n;
-    for (int64_t j = 0; j < v.cols; ++j) {
-      const float dxhat = dyrow[j] * pg[j];
-      dxrow[j] = rstd * (dxhat - m1 - nrow[j] * m2);
+  });
+  if (chunks > 1) {
+    for (int64_t ch = 0; ch < chunks; ++ch) {
+      const float* dg = partial_g.data() + ch * v.cols;
+      const float* db = partial_b.data() + ch * v.cols;
+      for (int64_t j = 0; j < v.cols; ++j) {
+        pdg[j] += dg[j];
+        pdb[j] += db[j];
+      }
     }
   }
 }
@@ -315,18 +427,24 @@ Tensor SoftmaxForward(const Tensor& logits) {
   const MatView v = As2D(logits);
   Tensor probs = logits;
   float* p = probs.data();
-  for (int64_t i = 0; i < v.rows; ++i) {
-    float* row = p + i * v.cols;
-    float mx = -std::numeric_limits<float>::infinity();
-    for (int64_t j = 0; j < v.cols; ++j) mx = std::max(mx, row[j]);
-    float sum = 0.0f;
-    for (int64_t j = 0; j < v.cols; ++j) {
-      row[j] = std::exp(row[j] - mx);
-      sum += row[j];
-    }
-    const float inv = 1.0f / sum;
-    for (int64_t j = 0; j < v.cols; ++j) row[j] *= inv;
-  }
+  // Row-parallel: each row's max/exp/normalize is independent.
+  ParallelFor(
+      v.rows,
+      [&](int64_t row_begin, int64_t row_end) {
+        for (int64_t i = row_begin; i < row_end; ++i) {
+          float* row = p + i * v.cols;
+          float mx = -std::numeric_limits<float>::infinity();
+          for (int64_t j = 0; j < v.cols; ++j) mx = std::max(mx, row[j]);
+          float sum = 0.0f;
+          for (int64_t j = 0; j < v.cols; ++j) {
+            row[j] = std::exp(row[j] - mx);
+            sum += row[j];
+          }
+          const float inv = 1.0f / sum;
+          for (int64_t j = 0; j < v.cols; ++j) row[j] *= inv;
+        }
+      },
+      /*min_chunk=*/std::max<int64_t>(1, 2048 / std::max<int64_t>(v.cols, 1)));
   return probs;
 }
 
@@ -338,15 +456,30 @@ float SoftmaxCrossEntropy(const Tensor& probs,
   *dlogits = probs;
   float* pd = dlogits->data();
   const float* pp = probs.data();
-  float loss = 0.0f;
   const float inv_m = 1.0f / static_cast<float>(v.rows);
-  for (int64_t i = 0; i < v.rows; ++i) {
-    const int32_t label = labels[static_cast<size_t>(i)];
-    NAUTILUS_CHECK_GE(label, 0);
-    NAUTILUS_CHECK_LT(label, v.cols);
-    const float p = std::max(pp[i * v.cols + label], 1e-12f);
-    loss -= std::log(p);
-    pd[i * v.cols + label] -= 1.0f;
+  // The per-row label writes are disjoint; the scalar loss reduces via
+  // fixed-size chunk partials merged in chunk order (degree-independent).
+  const int64_t chunks = ReduceChunks(v.rows);
+  std::vector<float> partial(static_cast<size_t>(chunks), 0.0f);
+  ParallelFor(chunks, [&](int64_t cb, int64_t ce) {
+    for (int64_t ch = cb; ch < ce; ++ch) {
+      const int64_t r0 = ch * kReduceChunkRows;
+      const int64_t r1 = std::min(v.rows, r0 + kReduceChunkRows);
+      float acc = 0.0f;
+      for (int64_t i = r0; i < r1; ++i) {
+        const int32_t label = labels[static_cast<size_t>(i)];
+        NAUTILUS_CHECK_GE(label, 0);
+        NAUTILUS_CHECK_LT(label, v.cols);
+        const float p = std::max(pp[i * v.cols + label], 1e-12f);
+        acc -= std::log(p);
+        pd[i * v.cols + label] -= 1.0f;
+      }
+      partial[static_cast<size_t>(ch)] = acc;
+    }
+  });
+  float loss = 0.0f;
+  for (int64_t ch = 0; ch < chunks; ++ch) {
+    loss += partial[static_cast<size_t>(ch)];
   }
   ScaleInPlace(inv_m, dlogits);
   return loss * inv_m;
@@ -356,14 +489,28 @@ float Accuracy(const Tensor& probs, const std::vector<int32_t>& labels) {
   const MatView v = As2D(probs);
   NAUTILUS_CHECK_EQ(static_cast<int64_t>(labels.size()), v.rows);
   const float* pp = probs.data();
-  int64_t correct = 0;
-  for (int64_t i = 0; i < v.rows; ++i) {
-    const float* row = pp + i * v.cols;
-    int64_t best = 0;
-    for (int64_t j = 1; j < v.cols; ++j) {
-      if (row[j] > row[best]) best = j;
+  // Integer partials: exact at any chunking, so just one partial per chunk.
+  const int64_t chunks = ReduceChunks(v.rows);
+  std::vector<int64_t> partial(static_cast<size_t>(chunks), 0);
+  ParallelFor(chunks, [&](int64_t cb, int64_t ce) {
+    for (int64_t ch = cb; ch < ce; ++ch) {
+      const int64_t r0 = ch * kReduceChunkRows;
+      const int64_t r1 = std::min(v.rows, r0 + kReduceChunkRows);
+      int64_t acc = 0;
+      for (int64_t i = r0; i < r1; ++i) {
+        const float* row = pp + i * v.cols;
+        int64_t best = 0;
+        for (int64_t j = 1; j < v.cols; ++j) {
+          if (row[j] > row[best]) best = j;
+        }
+        if (best == labels[static_cast<size_t>(i)]) ++acc;
+      }
+      partial[static_cast<size_t>(ch)] = acc;
     }
-    if (best == labels[static_cast<size_t>(i)]) ++correct;
+  });
+  int64_t correct = 0;
+  for (int64_t ch = 0; ch < chunks; ++ch) {
+    correct += partial[static_cast<size_t>(ch)];
   }
   return static_cast<float>(correct) / static_cast<float>(v.rows);
 }
@@ -379,12 +526,17 @@ Tensor EmbeddingForward(const Tensor& ids, const Tensor& table) {
   const float* pt = table.data();
   float* po = out.data();
   const int64_t n = ids.NumElements();
-  for (int64_t i = 0; i < n; ++i) {
-    const int64_t id = static_cast<int64_t>(pid[i]);
-    NAUTILUS_CHECK_GE(id, 0);
-    NAUTILUS_CHECK_LT(id, vocab);
-    std::copy(pt + id * h, pt + (id + 1) * h, po + i * h);
-  }
+  ParallelFor(
+      n,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          const int64_t id = static_cast<int64_t>(pid[i]);
+          NAUTILUS_CHECK_GE(id, 0);
+          NAUTILUS_CHECK_LT(id, vocab);
+          std::copy(pt + id * h, pt + (id + 1) * h, po + i * h);
+        }
+      },
+      /*min_chunk=*/std::max<int64_t>(1, 4096 / std::max<int64_t>(h, 1)));
   return out;
 }
 
@@ -396,6 +548,8 @@ void EmbeddingBackward(const Tensor& ids, const Tensor& dy, Tensor* dtable) {
   float* pdt = dtable->data();
   const int64_t n = ids.NumElements();
   NAUTILUS_CHECK_EQ(dy.NumElements(), n * h);
+  // Scatter-add: duplicate ids collide on table rows, so this stays serial
+  // (and keeps the exact sequential accumulation order).
   for (int64_t i = 0; i < n; ++i) {
     const int64_t id = static_cast<int64_t>(pid[i]);
     NAUTILUS_CHECK_GE(id, 0);
@@ -415,14 +569,19 @@ Tensor MeanPoolSeq(const Tensor& x) {
   const float* px = x.data();
   float* po = out.data();
   const float inv_s = 1.0f / static_cast<float>(s);
-  for (int64_t i = 0; i < b; ++i) {
-    float* orow = po + i * h;
-    for (int64_t t = 0; t < s; ++t) {
-      const float* row = px + (i * s + t) * h;
-      for (int64_t j = 0; j < h; ++j) orow[j] += row[j];
-    }
-    for (int64_t j = 0; j < h; ++j) orow[j] *= inv_s;
-  }
+  ParallelFor(
+      b,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          float* orow = po + i * h;
+          for (int64_t t = 0; t < s; ++t) {
+            const float* row = px + (i * s + t) * h;
+            for (int64_t j = 0; j < h; ++j) orow[j] += row[j];
+          }
+          for (int64_t j = 0; j < h; ++j) orow[j] *= inv_s;
+        }
+      },
+      /*min_chunk=*/std::max<int64_t>(1, 4096 / std::max<int64_t>(s * h, 1)));
   return out;
 }
 
@@ -435,13 +594,18 @@ Tensor MeanPoolSeqBackward(const Tensor& dy, const Shape& x_shape) {
   const float* pdy = dy.data();
   float* pdx = dx.data();
   const float inv_s = 1.0f / static_cast<float>(s);
-  for (int64_t i = 0; i < b; ++i) {
-    const float* dyrow = pdy + i * h;
-    for (int64_t t = 0; t < s; ++t) {
-      float* row = pdx + (i * s + t) * h;
-      for (int64_t j = 0; j < h; ++j) row[j] = dyrow[j] * inv_s;
-    }
-  }
+  ParallelFor(
+      b,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          const float* dyrow = pdy + i * h;
+          for (int64_t t = 0; t < s; ++t) {
+            float* row = pdx + (i * s + t) * h;
+            for (int64_t j = 0; j < h; ++j) row[j] = dyrow[j] * inv_s;
+          }
+        }
+      },
+      /*min_chunk=*/std::max<int64_t>(1, 4096 / std::max<int64_t>(s * h, 1)));
   return dx;
 }
 
@@ -493,15 +657,21 @@ Tensor ConcatLastDim(const std::vector<const Tensor*>& xs) {
   out_dims.back() = total_cols;
   Tensor out((Shape(out_dims)));
   float* po = out.data();
-  for (int64_t i = 0; i < first.rows; ++i) {
-    int64_t offset = 0;
-    for (const Tensor* t : xs) {
-      const MatView v = As2D(*t);
-      const float* row = t->data() + i * v.cols;
-      std::copy(row, row + v.cols, po + i * total_cols + offset);
-      offset += v.cols;
-    }
-  }
+  ParallelFor(
+      first.rows,
+      [&](int64_t row_begin, int64_t row_end) {
+        for (int64_t i = row_begin; i < row_end; ++i) {
+          int64_t offset = 0;
+          for (const Tensor* t : xs) {
+            const MatView v = As2D(*t);
+            const float* row = t->data() + i * v.cols;
+            std::copy(row, row + v.cols, po + i * total_cols + offset);
+            offset += v.cols;
+          }
+        }
+      },
+      /*min_chunk=*/
+      std::max<int64_t>(1, 4096 / std::max<int64_t>(total_cols, 1)));
   return out;
 }
 
@@ -520,10 +690,15 @@ std::vector<Tensor> SplitLastDim(const Tensor& dy,
     Tensor piece((Shape(dims)));
     float* pp = piece.data();
     const float* pd = dy.data();
-    for (int64_t i = 0; i < v.rows; ++i) {
-      std::copy(pd + i * v.cols + offset, pd + i * v.cols + offset + cols,
-                pp + i * cols);
-    }
+    ParallelFor(
+        v.rows,
+        [&](int64_t row_begin, int64_t row_end) {
+          for (int64_t i = row_begin; i < row_end; ++i) {
+            std::copy(pd + i * v.cols + offset, pd + i * v.cols + offset + cols,
+                      pp + i * cols);
+          }
+        },
+        /*min_chunk=*/std::max<int64_t>(1, 4096 / std::max<int64_t>(cols, 1)));
     out.push_back(std::move(piece));
     offset += cols;
   }
@@ -540,15 +715,20 @@ Tensor SplitHeads(const Tensor& x, int64_t heads) {
   Tensor out(Shape({b, heads, s, dh}));
   const float* px = x.data();
   float* po = out.data();
-  for (int64_t i = 0; i < b; ++i) {
-    for (int64_t t = 0; t < s; ++t) {
-      const float* row = px + (i * s + t) * h;
-      for (int64_t hd = 0; hd < heads; ++hd) {
-        float* orow = po + ((i * heads + hd) * s + t) * dh;
-        std::copy(row + hd * dh, row + (hd + 1) * dh, orow);
-      }
-    }
-  }
+  ParallelFor(
+      b,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          for (int64_t t = 0; t < s; ++t) {
+            const float* row = px + (i * s + t) * h;
+            for (int64_t hd = 0; hd < heads; ++hd) {
+              float* orow = po + ((i * heads + hd) * s + t) * dh;
+              std::copy(row + hd * dh, row + (hd + 1) * dh, orow);
+            }
+          }
+        }
+      },
+      /*min_chunk=*/std::max<int64_t>(1, 4096 / std::max<int64_t>(s * h, 1)));
   return out;
 }
 
@@ -561,15 +741,21 @@ Tensor MergeHeads(const Tensor& x) {
   Tensor out(Shape({b, s, heads * dh}));
   const float* px = x.data();
   float* po = out.data();
-  for (int64_t i = 0; i < b; ++i) {
-    for (int64_t hd = 0; hd < heads; ++hd) {
-      for (int64_t t = 0; t < s; ++t) {
-        const float* row = px + ((i * heads + hd) * s + t) * dh;
-        float* orow = po + (i * s + t) * heads * dh + hd * dh;
-        std::copy(row, row + dh, orow);
-      }
-    }
-  }
+  ParallelFor(
+      b,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          for (int64_t hd = 0; hd < heads; ++hd) {
+            for (int64_t t = 0; t < s; ++t) {
+              const float* row = px + ((i * heads + hd) * s + t) * dh;
+              float* orow = po + (i * s + t) * heads * dh + hd * dh;
+              std::copy(row, row + dh, orow);
+            }
+          }
+        }
+      },
+      /*min_chunk=*/
+      std::max<int64_t>(1, 4096 / std::max<int64_t>(s * heads * dh, 1)));
   return out;
 }
 
@@ -586,7 +772,9 @@ Tensor AttentionForward(const Tensor& q, const Tensor& k, const Tensor& v,
   cache->probs = Tensor(Shape({b, heads, s, s}));
   Tensor out(q.shape());
   const int64_t plane = s * dh;
-  for (int64_t bh = 0; bh < b * heads; ++bh) {
+  // Each (batch, head) plane touches disjoint slices of probs and out.
+  ParallelFor(b * heads, [&](int64_t bh_begin, int64_t bh_end) {
+  for (int64_t bh = bh_begin; bh < bh_end; ++bh) {
     const float* pq = q.data() + bh * plane;
     const float* pk = k.data() + bh * plane;
     const float* pv = v.data() + bh * plane;
@@ -618,6 +806,7 @@ Tensor AttentionForward(const Tensor& q, const Tensor& k, const Tensor& v,
       }
     }
   }
+  });
   return out;
 }
 
@@ -633,8 +822,11 @@ void AttentionBackward(const Tensor& dy, const Tensor& q, const Tensor& k,
   *dk = Tensor(k.shape());
   *dv = Tensor(v.shape());
   const int64_t plane = s * dh;
+  // Plane-parallel like the forward pass: dq/dk/dv slices are disjoint per
+  // (batch, head), so accumulation order within a plane never changes.
+  ParallelFor(b * heads, [&](int64_t bh_begin, int64_t bh_end) {
   std::vector<float> dp(static_cast<size_t>(s));
-  for (int64_t bh = 0; bh < b * heads; ++bh) {
+  for (int64_t bh = bh_begin; bh < bh_end; ++bh) {
     const float* pdy = dy.data() + bh * plane;
     const float* pq = q.data() + bh * plane;
     const float* pk = k.data() + bh * plane;
@@ -672,6 +864,7 @@ void AttentionBackward(const Tensor& dy, const Tensor& q, const Tensor& k,
       }
     }
   }
+  });
 }
 
 namespace {
@@ -702,8 +895,11 @@ Tensor Conv2DForward(const Tensor& x, const Tensor& weight, const Tensor& bias,
   const float* pw = weight.data();
   const float* pb = bias.empty() ? nullptr : bias.data();
   float* po = out.data();
-  for (int64_t n = 0; n < b; ++n) {
-    for (int64_t o = 0; o < oc; ++o) {
+  // One output plane per (sample, output channel): all writes disjoint.
+  ParallelFor(b * oc, [&](int64_t p_begin, int64_t p_end) {
+    for (int64_t pidx = p_begin; pidx < p_end; ++pidx) {
+      const int64_t n = pidx / oc;
+      const int64_t o = pidx % oc;
       float* oplane = po + (n * oc + o) * oh * ow;
       const float bias_v = pb != nullptr ? pb[o] : 0.0f;
       for (int64_t oy = 0; oy < oh; ++oy) {
@@ -728,7 +924,7 @@ Tensor Conv2DForward(const Tensor& x, const Tensor& weight, const Tensor& bias,
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -750,40 +946,84 @@ void Conv2DBackward(const Tensor& dy, const Tensor& x, const Tensor& weight,
   const float* pdy = dy.data();
   const float* px = x.data();
   const float* pw = weight.data();
-  for (int64_t n = 0; n < b; ++n) {
-    for (int64_t o = 0; o < oc; ++o) {
-      const float* dyplane = pdy + (n * oc + o) * oh * ow;
-      for (int64_t oy = 0; oy < oh; ++oy) {
-        for (int64_t ox = 0; ox < ow; ++ox) {
-          const float g = dyplane[oy * ow + ox];
-          if (g == 0.0f) continue;
-          if (dbias != nullptr) dbias->data()[o] += g;
-          const int64_t iy0 = oy * args.stride - args.padding;
-          const int64_t ix0 = ox * args.stride - args.padding;
-          for (int64_t ci = 0; ci < c; ++ci) {
-            const float* xplane = px + (n * c + ci) * h * w;
-            const float* wplane = pw + ((o * c + ci) * kh) * kw;
-            float* dxplane =
-                dx != nullptr ? dx->data() + (n * c + ci) * h * w : nullptr;
-            float* dwplane = dweight != nullptr
-                                 ? dweight->data() + ((o * c + ci) * kh) * kw
-                                 : nullptr;
-            for (int64_t ky = 0; ky < kh; ++ky) {
-              const int64_t iy = iy0 + ky;
-              if (iy < 0 || iy >= h) continue;
-              for (int64_t kx = 0; kx < kw; ++kx) {
-                const int64_t ix = ix0 + kx;
-                if (ix < 0 || ix >= w) continue;
-                if (dwplane != nullptr) {
-                  dwplane[ky * kw + kx] += g * xplane[iy * w + ix];
-                }
-                if (dxplane != nullptr) {
-                  dxplane[iy * w + ix] += g * wplane[ky * kw + kx];
+  // dx is disjoint per sample; dweight/dbias reduce over samples via
+  // fixed-size batch chunks (size depends only on b), with chunk partials
+  // merged serially in chunk order so gradients are bitwise identical at
+  // any parallelism degree.
+  const int64_t wsize = weight.NumElements();
+  const int64_t chunk_b = std::max<int64_t>(1, (b + 15) / 16);
+  const int64_t chunks = (b + chunk_b - 1) / chunk_b;
+  std::vector<float> partial_w;
+  std::vector<float> partial_b;
+  if (chunks > 1) {
+    if (dweight != nullptr) {
+      partial_w.assign(static_cast<size_t>(chunks * wsize), 0.0f);
+    }
+    if (dbias != nullptr) {
+      partial_b.assign(static_cast<size_t>(chunks * oc), 0.0f);
+    }
+  }
+  ParallelFor(chunks, [&](int64_t cb, int64_t ce) {
+    for (int64_t ch = cb; ch < ce; ++ch) {
+      float* dw = nullptr;
+      if (dweight != nullptr) {
+        dw = chunks > 1 ? partial_w.data() + ch * wsize : dweight->data();
+      }
+      float* db = nullptr;
+      if (dbias != nullptr) {
+        db = chunks > 1 ? partial_b.data() + ch * oc : dbias->data();
+      }
+      const int64_t n0 = ch * chunk_b;
+      const int64_t n1 = std::min(b, n0 + chunk_b);
+      for (int64_t n = n0; n < n1; ++n) {
+        for (int64_t o = 0; o < oc; ++o) {
+          const float* dyplane = pdy + (n * oc + o) * oh * ow;
+          for (int64_t oy = 0; oy < oh; ++oy) {
+            for (int64_t ox = 0; ox < ow; ++ox) {
+              const float g = dyplane[oy * ow + ox];
+              if (g == 0.0f) continue;
+              if (db != nullptr) db[o] += g;
+              const int64_t iy0 = oy * args.stride - args.padding;
+              const int64_t ix0 = ox * args.stride - args.padding;
+              for (int64_t ci = 0; ci < c; ++ci) {
+                const float* xplane = px + (n * c + ci) * h * w;
+                const float* wplane = pw + ((o * c + ci) * kh) * kw;
+                float* dxplane =
+                    dx != nullptr ? dx->data() + (n * c + ci) * h * w : nullptr;
+                float* dwplane =
+                    dw != nullptr ? dw + ((o * c + ci) * kh) * kw : nullptr;
+                for (int64_t ky = 0; ky < kh; ++ky) {
+                  const int64_t iy = iy0 + ky;
+                  if (iy < 0 || iy >= h) continue;
+                  for (int64_t kx = 0; kx < kw; ++kx) {
+                    const int64_t ix = ix0 + kx;
+                    if (ix < 0 || ix >= w) continue;
+                    if (dwplane != nullptr) {
+                      dwplane[ky * kw + kx] += g * xplane[iy * w + ix];
+                    }
+                    if (dxplane != nullptr) {
+                      dxplane[iy * w + ix] += g * wplane[ky * kw + kx];
+                    }
+                  }
                 }
               }
             }
           }
         }
+      }
+    }
+  });
+  if (chunks > 1) {
+    for (int64_t ch = 0; ch < chunks; ++ch) {
+      if (dweight != nullptr) {
+        const float* dw = partial_w.data() + ch * wsize;
+        float* out_w = dweight->data();
+        for (int64_t i = 0; i < wsize; ++i) out_w[i] += dw[i];
+      }
+      if (dbias != nullptr) {
+        const float* db = partial_b.data() + ch * oc;
+        float* out_b = dbias->data();
+        for (int64_t o = 0; o < oc; ++o) out_b[o] += db[o];
       }
     }
   }
@@ -803,11 +1043,12 @@ Tensor MaxPool2DForward(const Tensor& x, int64_t kernel, MaxPoolCache* cache) {
   cache->argmax.assign(static_cast<size_t>(out.NumElements()), 0);
   const float* px = x.data();
   float* po = out.data();
-  int64_t oi = 0;
-  for (int64_t n = 0; n < b; ++n) {
-    for (int64_t ci = 0; ci < c; ++ci) {
-      const float* xplane = px + (n * c + ci) * h * w;
-      const int64_t plane_base = (n * c + ci) * h * w;
+  // Plane-parallel: each (sample, channel) plane owns its output slice.
+  ParallelFor(b * c, [&](int64_t p_begin, int64_t p_end) {
+    for (int64_t pidx = p_begin; pidx < p_end; ++pidx) {
+      const float* xplane = px + pidx * h * w;
+      const int64_t plane_base = pidx * h * w;
+      int64_t oi = pidx * oh * ow;
       for (int64_t oy = 0; oy < oh; ++oy) {
         for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
           float best = -std::numeric_limits<float>::infinity();
@@ -828,7 +1069,7 @@ Tensor MaxPool2DForward(const Tensor& x, int64_t kernel, MaxPoolCache* cache) {
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -839,9 +1080,16 @@ Tensor MaxPool2DBackward(const Tensor& dy, const Shape& x_shape,
   float* pdx = dx.data();
   NAUTILUS_CHECK_EQ(static_cast<int64_t>(cache.argmax.size()),
                     dy.NumElements());
-  for (int64_t i = 0; i < dy.NumElements(); ++i) {
-    pdx[cache.argmax[static_cast<size_t>(i)]] += pdy[i];
-  }
+  // Pooling windows are disjoint (stride == kernel), so every argmax target
+  // is written by exactly one output element — the scatter is race-free.
+  ParallelFor(
+      dy.NumElements(),
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          pdx[cache.argmax[static_cast<size_t>(i)]] += pdy[i];
+        }
+      },
+      /*min_chunk=*/16384);
   return dx;
 }
 
@@ -854,12 +1102,17 @@ Tensor GlobalAvgPool(const Tensor& x) {
   const float* px = x.data();
   float* po = out.data();
   const float inv = 1.0f / static_cast<float>(hw);
-  for (int64_t i = 0; i < b * c; ++i) {
-    const float* plane = px + i * hw;
-    float acc = 0.0f;
-    for (int64_t j = 0; j < hw; ++j) acc += plane[j];
-    po[i] = acc * inv;
-  }
+  ParallelFor(
+      b * c,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          const float* plane = px + i * hw;
+          float acc = 0.0f;
+          for (int64_t j = 0; j < hw; ++j) acc += plane[j];
+          po[i] = acc * inv;
+        }
+      },
+      /*min_chunk=*/std::max<int64_t>(1, 4096 / std::max<int64_t>(hw, 1)));
   return out;
 }
 
@@ -871,11 +1124,16 @@ Tensor GlobalAvgPoolBackward(const Tensor& dy, const Shape& x_shape) {
   const float* pdy = dy.data();
   float* pdx = dx.data();
   const float inv = 1.0f / static_cast<float>(hw);
-  for (int64_t i = 0; i < b * c; ++i) {
-    const float g = pdy[i] * inv;
-    float* plane = pdx + i * hw;
-    for (int64_t j = 0; j < hw; ++j) plane[j] = g;
-  }
+  ParallelFor(
+      b * c,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          const float g = pdy[i] * inv;
+          float* plane = pdx + i * hw;
+          for (int64_t j = 0; j < hw; ++j) plane[j] = g;
+        }
+      },
+      /*min_chunk=*/std::max<int64_t>(1, 4096 / std::max<int64_t>(hw, 1)));
   return dx;
 }
 
@@ -892,15 +1150,19 @@ Tensor ChannelAffineForward(const Tensor& x, const Tensor& scale,
   const float* ps = scale.data();
   const float* pt = shift.data();
   float* po = out.data();
-  for (int64_t n = 0; n < b; ++n) {
-    for (int64_t ci = 0; ci < c; ++ci) {
-      const float s = ps[ci];
-      const float t = pt[ci];
-      const float* xplane = px + (n * c + ci) * hw;
-      float* oplane = po + (n * c + ci) * hw;
-      for (int64_t j = 0; j < hw; ++j) oplane[j] = xplane[j] * s + t;
-    }
-  }
+  ParallelFor(
+      b * c,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t pidx = begin; pidx < end; ++pidx) {
+          const int64_t ci = pidx % c;
+          const float s = ps[ci];
+          const float t = pt[ci];
+          const float* xplane = px + pidx * hw;
+          float* oplane = po + pidx * hw;
+          for (int64_t j = 0; j < hw; ++j) oplane[j] = xplane[j] * s + t;
+        }
+      },
+      /*min_chunk=*/std::max<int64_t>(1, 4096 / std::max<int64_t>(hw, 1)));
   return out;
 }
 
@@ -916,22 +1178,35 @@ void ChannelAffineBackward(const Tensor& dy, const Tensor& x,
   const float* pdy = dy.data();
   const float* px = x.data();
   const float* ps = scale.data();
-  for (int64_t n = 0; n < b; ++n) {
-    for (int64_t ci = 0; ci < c; ++ci) {
-      const float* dyplane = pdy + (n * c + ci) * hw;
-      const float* xplane = px + (n * c + ci) * hw;
-      float* dxplane = dx != nullptr ? dx->data() + (n * c + ci) * hw : nullptr;
-      float acc_scale = 0.0f;
-      float acc_shift = 0.0f;
-      for (int64_t j = 0; j < hw; ++j) {
-        acc_scale += dyplane[j] * xplane[j];
-        acc_shift += dyplane[j];
-        if (dxplane != nullptr) dxplane[j] = dyplane[j] * ps[ci];
-      }
-      if (dscale != nullptr) dscale->data()[ci] += acc_scale;
-      if (dshift != nullptr) dshift->data()[ci] += acc_shift;
-    }
-  }
+  // Channel-parallel: each worker owns dscale[ci]/dshift[ci] and the (n, ci)
+  // dx planes for its channels, accumulating over samples in ascending order
+  // — the same per-channel order as the sequential loop, so bits match.
+  ParallelFor(
+      c,
+      [&](int64_t c_begin, int64_t c_end) {
+        for (int64_t ci = c_begin; ci < c_end; ++ci) {
+          float acc_scale = 0.0f;
+          float acc_shift = 0.0f;
+          for (int64_t n = 0; n < b; ++n) {
+            const float* dyplane = pdy + (n * c + ci) * hw;
+            const float* xplane = px + (n * c + ci) * hw;
+            float* dxplane =
+                dx != nullptr ? dx->data() + (n * c + ci) * hw : nullptr;
+            float plane_scale = 0.0f;
+            float plane_shift = 0.0f;
+            for (int64_t j = 0; j < hw; ++j) {
+              plane_scale += dyplane[j] * xplane[j];
+              plane_shift += dyplane[j];
+              if (dxplane != nullptr) dxplane[j] = dyplane[j] * ps[ci];
+            }
+            acc_scale += plane_scale;
+            acc_shift += plane_shift;
+          }
+          if (dscale != nullptr) dscale->data()[ci] += acc_scale;
+          if (dshift != nullptr) dshift->data()[ci] += acc_shift;
+        }
+      },
+      /*min_chunk=*/std::max<int64_t>(1, 4096 / std::max<int64_t>(b * hw, 1)));
 }
 
 }  // namespace ops

@@ -1,9 +1,6 @@
 #include "nautilus/util/parallel.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
-#include <vector>
 
 #include "nautilus/util/logging.h"
 
@@ -11,6 +8,14 @@ namespace nautilus {
 
 namespace {
 std::atomic<int> g_degree{0};  // 0 = uninitialized, resolve lazily
+std::atomic<void (*)(int64_t)> g_queue_observer{nullptr};
+thread_local bool t_in_pool_task = false;
+
+void NotifyQueueDepth(size_t depth) {
+  if (auto* observer = g_queue_observer.load(std::memory_order_relaxed)) {
+    observer(static_cast<int64_t>(depth));
+  }
+}
 }  // namespace
 
 int ParallelismDegree() {
@@ -27,28 +32,176 @@ void SetParallelismDegree(int degree) {
   g_degree.store(degree);
 }
 
+bool InParallelWorker() { return t_in_pool_task; }
+
+void SetThreadPoolQueueObserver(void (*observer)(int64_t depth)) {
+  g_queue_observer.store(observer, std::memory_order_relaxed);
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    cv_.notify_all();
+  }
+  std::lock_guard<std::mutex> sl(structure_mu_);
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  worker_count_.store(0, std::memory_order_relaxed);
+}
+
+int64_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+void ThreadPool::EnsureWorkers() {
+  const int desired = std::max(0, ParallelismDegree() - 1);
+  if (worker_count_.load(std::memory_order_relaxed) == desired) return;
+  // Pool tasks may Submit follow-up work (wavefront children); they must not
+  // try to join the very workers running them. The resize happens at the
+  // next top-level Submit instead.
+  if (t_in_pool_task) return;
+  std::lock_guard<std::mutex> sl(structure_mu_);
+  if (static_cast<int>(workers_.size()) == desired) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    cv_.notify_all();
+  }
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = false;
+  }
+  workers_.reserve(static_cast<size_t>(desired));
+  for (int i = 0; i < desired; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  worker_count_.store(desired, std::memory_order_relaxed);
+}
+
+void ThreadPool::Submit(Task task) {
+  EnsureWorkers();
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.push_back(std::move(task));
+  NotifyQueueDepth(queue_.size());
+  cv_.notify_one();
+}
+
+bool ThreadPool::RunOneTask(std::unique_lock<std::mutex>& lock) {
+  if (queue_.empty()) return false;
+  Task task = std::move(queue_.front());
+  queue_.pop_front();
+  NotifyQueueDepth(queue_.size());
+  lock.unlock();
+  Execute(task);
+  lock.lock();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) return;  // pending tasks stay queued for respawned workers
+    RunOneTask(lock);
+  }
+}
+
+void ThreadPool::Execute(const Task& task) {
+  const bool prev = t_in_pool_task;
+  t_in_pool_task = true;
+  try {
+    task.fn();
+  } catch (...) {
+    task.group->StoreException(task.index, std::current_exception());
+  }
+  t_in_pool_task = prev;
+  task.group->OnTaskDone();
+}
+
+TaskGroup::~TaskGroup() {
+  // Drain without throwing: Wait may have been skipped because the caller's
+  // own inline work threw, but queued tasks still reference caller state.
+  std::unique_lock<std::mutex> lock(pool_->mu_);
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (pool_->RunOneTask(lock)) continue;
+    if (pending_.load(std::memory_order_acquire) == 0) break;
+    pool_->cv_.wait(lock);
+  }
+}
+
+void TaskGroup::Submit(std::function<void()> fn) {
+  const size_t index = submitted_.fetch_add(1, std::memory_order_relaxed);
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  pool_->Submit(ThreadPool::Task{std::move(fn), this, index});
+}
+
+void TaskGroup::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(pool_->mu_);
+    while (pending_.load(std::memory_order_acquire) != 0) {
+      if (pool_->RunOneTask(lock)) continue;
+      if (pending_.load(std::memory_order_acquire) == 0) break;
+      pool_->cv_.wait(lock);
+    }
+  }
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(err_mu_);
+    err = err_;
+    err_ = nullptr;
+    err_index_ = SIZE_MAX;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void TaskGroup::OnTaskDone() {
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Waiters re-check pending under the pool mutex; taking it here makes
+    // the decrement-then-notify atomic with respect to their wait.
+    std::lock_guard<std::mutex> lock(pool_->mu_);
+    pool_->cv_.notify_all();
+  }
+}
+
+void TaskGroup::StoreException(size_t index, std::exception_ptr e) {
+  std::lock_guard<std::mutex> lock(err_mu_);
+  if (index < err_index_) {
+    err_index_ = index;
+    err_ = std::move(e);
+  }
+}
+
 void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
                  int64_t min_chunk) {
   if (n <= 0) return;
   const int degree = ParallelismDegree();
   const int64_t max_workers = std::max<int64_t>(
       1, std::min<int64_t>(degree, n / std::max<int64_t>(min_chunk, 1)));
-  if (max_workers == 1) {
+  if (max_workers == 1 || InParallelWorker()) {
     fn(0, n);
     return;
   }
-  // Fixed even partition: deterministic assignment of indices to ranges.
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(max_workers - 1));
+  // Fixed even partition: deterministic assignment of indices to ranges,
+  // independent of which thread runs which range.
   const int64_t chunk = (n + max_workers - 1) / max_workers;
+  TaskGroup group;
   for (int64_t w = 1; w < max_workers; ++w) {
     const int64_t begin = w * chunk;
     const int64_t end = std::min(n, begin + chunk);
     if (begin >= end) break;
-    workers.emplace_back([&fn, begin, end] { fn(begin, end); });
+    group.Submit([&fn, begin, end] { fn(begin, end); });
   }
   fn(0, std::min(n, chunk));
-  for (std::thread& t : workers) t.join();
+  group.Wait();
 }
 
 }  // namespace nautilus

@@ -1,8 +1,15 @@
 #ifndef NAUTILUS_UTIL_PARALLEL_H_
 #define NAUTILUS_UTIL_PARALLEL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <exception>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace nautilus {
 
@@ -13,9 +20,115 @@ namespace nautilus {
 int ParallelismDegree();
 void SetParallelismDegree(int degree);
 
+/// True when the calling thread is currently executing a pool task. Nested
+/// ParallelFor calls from inside a task run inline (serially) so one worker
+/// budget is never oversubscribed and waiting cannot deadlock.
+bool InParallelWorker();
+
+/// Observability hook: called (when set) with the pool's pending-task count
+/// every time it changes. Installed once by the obs layer (util cannot link
+/// obs); must be cheap and thread-safe — it runs with the queue lock held.
+void SetThreadPoolQueueObserver(void (*observer)(int64_t depth));
+
+class TaskGroup;
+
+/// Persistent, lazily started worker pool shared by every parallel primitive
+/// in the process (kernel ParallelFor ranges, executor wavefront node tasks,
+/// trainer feed prefetch). Workers are spawned on first use, resized when
+/// SetParallelismDegree changes, and joined cleanly at process exit via the
+/// Global() static's destructor. The pool holds ParallelismDegree()-1
+/// workers: the submitting thread always contributes itself by executing
+/// queued tasks while it waits (see TaskGroup::Wait), so the configured
+/// degree is the total worker budget.
+class ThreadPool {
+ public:
+  ThreadPool() = default;
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  static ThreadPool& Global();
+
+  /// Worker threads currently running (degree - 1, possibly 0).
+  int num_workers() const {
+    return worker_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Tasks queued but not yet picked up.
+  int64_t queue_depth() const;
+
+ private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+    size_t index = 0;  // submit order within the group
+  };
+
+  /// Enqueues a task and wakes a worker, (re)spawning workers first if the
+  /// configured degree changed since the last call.
+  void Submit(Task task);
+
+  /// Pops and runs one queued task if any; returns false when idle. Used by
+  /// waiting threads to help drain the queue.
+  bool RunOneTask(std::unique_lock<std::mutex>& lock);
+
+  void EnsureWorkers();
+  void WorkerLoop();
+  static void Execute(const Task& task);
+
+  mutable std::mutex mu_;            // guards queue_ and stop_
+  std::condition_variable cv_;       // queue pushes + group completions
+  std::deque<Task> queue_;
+  bool stop_ = false;
+
+  std::mutex structure_mu_;          // guards workers_ (spawn/join)
+  std::vector<std::thread> workers_;
+  std::atomic<int> worker_count_{0};
+};
+
+/// A batch of tasks submitted to the pool that can be waited on together.
+/// Wait() executes queued tasks itself while waiting (so progress is made
+/// even with zero pool workers at degree 1) and rethrows the first-submitted
+/// task's exception, if any. Tasks may Submit further tasks into their own
+/// group before they return (used by the executor's wavefront scheduler).
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool = ThreadPool::Global()) : pool_(&pool) {}
+  ~TaskGroup();
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every submitted task has finished, helping to run queued
+  /// tasks meanwhile. Rethrows the stored exception with the lowest submit
+  /// index (deterministic under racing failures).
+  void Wait();
+
+ private:
+  friend class ThreadPool;
+
+  void OnTaskDone();
+  void StoreException(size_t index, std::exception_ptr e);
+
+  ThreadPool* pool_;
+  std::atomic<size_t> submitted_{0};
+  std::atomic<size_t> pending_{0};
+  std::mutex err_mu_;
+  size_t err_index_ = SIZE_MAX;
+  std::exception_ptr err_;
+};
+
 /// Runs fn(begin, end) over a partition of [0, n). Executes inline when the
-/// range is small or only one worker is configured. fn must only write to
-/// disjoint state per index (no reduction support).
+/// range is small, only one worker is configured, or the caller is itself a
+/// pool task (nested parallelism collapses to serial so intra- and inter-op
+/// parallelism compose under one worker budget). fn must only write to
+/// disjoint state per index (no reduction support). The partition depends
+/// only on n, min_chunk, and the configured degree — never on scheduling —
+/// so results stay deterministic. Exceptions thrown by fn propagate to the
+/// caller (first failing chunk wins).
 void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
                  int64_t min_chunk = 1);
 

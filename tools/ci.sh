@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Minimal CI gate: tier-1 verify (configure + build + ctest) plus an
+# Minimal CI gate: tier-1 verify (configure + build + ctest), an
 # observability smoke test that exercises nautilus_cli --trace-out and
 # asserts the emitted Chrome trace is non-empty valid JSON containing the
-# executor/planner spans documented in docs/OBSERVABILITY.md.
+# executor/planner spans documented in docs/OBSERVABILITY.md, and (when
+# libtsan is available) a ThreadSanitizer build running the threaded
+# pool/executor/trainer tests.
 #
 # Usage: tools/ci.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -55,6 +57,22 @@ else
   grep -q '"executor.forward"' "$TRACE_FILE"
   grep -q '"planner.plan_workload"' "$TRACE_FILE"
   echo "trace OK (grep fallback)"
+fi
+
+echo "==> thread sanitizer"
+# Probe for libtsan: some toolchains ship the compiler flag but not the
+# runtime, in which case the TSAN stage is skipped rather than failed.
+if echo 'int main(){return 0;}' | \
+   c++ -x c++ -fsanitize=thread -o /tmp/nautilus_tsan_probe - >/dev/null 2>&1; then
+  rm -f /tmp/nautilus_tsan_probe
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  cmake -B "$TSAN_DIR" -S . -DNAUTILUS_TSAN=ON
+  cmake --build "$TSAN_DIR" -j "$(nproc)" \
+    --target parallel_exec_test graph_test trainer_test
+  ctest --test-dir "$TSAN_DIR" --output-on-failure \
+    -R '^(parallel_exec_test|graph_test|trainer_test)$'
+else
+  echo "libtsan unavailable; skipping TSAN stage"
 fi
 
 echo "==> CI PASSED"

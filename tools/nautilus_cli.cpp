@@ -12,6 +12,7 @@
 //   --mode      simulate (paper scale, modeled time)
 //               measure  (mini scale, real CPU training)
 //               halving  (mini scale, successive-halving selection)
+//   --threads   worker budget for the global thread pool (default: all cores)
 //
 // Observability (docs/OBSERVABILITY.md):
 //   --trace-out=FILE    record a Chrome/Perfetto trace of the run to FILE
@@ -26,6 +27,7 @@
 #include "nautilus/nn/layer.h"
 #include "nautilus/obs/metrics.h"
 #include "nautilus/obs/trace.h"
+#include "nautilus/util/parallel.h"
 #include "nautilus/util/strings.h"
 #include "nautilus/workloads/runner.h"
 
@@ -80,6 +82,15 @@ int Run(int argc, char** argv) {
       std::atol(FlagValue(argc, argv, "records", "500").c_str());
   const uint64_t seed =
       std::strtoull(FlagValue(argc, argv, "seed", "1").c_str(), nullptr, 10);
+  const int threads = std::atoi(FlagValue(argc, argv, "threads", "0").c_str());
+  if (threads > 0) SetParallelismDegree(threads);
+  // Stamp the effective worker budget into the trace so exported runs are
+  // self-describing (no-op when tracing is disabled).
+  obs::TraceArg degree_arg;
+  degree_arg.key = "degree";
+  degree_arg.type = obs::TraceArg::Type::kNumber;
+  degree_arg.num_value = static_cast<double>(ParallelismDegree());
+  obs::Tracer::Global().RecordInstant("meta", "parallelism", {degree_arg});
 
   core::SystemConfig config;
   config.disk_budget_bytes =
@@ -194,7 +205,7 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: %s [--workload=FTR-2] [--approach=nautilus]\n"
           "          [--mode=simulate|measure] [--cycles=N] [--records=N]\n"
-          "          [--disk-gb=25] [--mem-gb=10] [--seed=1]\n"
+          "          [--disk-gb=25] [--mem-gb=10] [--seed=1] [--threads=N]\n"
           "          [--trace-out=FILE] [--metrics-summary]\n",
           argv[0]);
       return 0;
