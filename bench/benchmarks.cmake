@@ -22,6 +22,7 @@ nautilus_add_bench(bench_fig10a_storage_budget)
 nautilus_add_bench(bench_fig10b_memory_budget)
 nautilus_add_bench(bench_fig11_resources)
 nautilus_add_bench(bench_milp_solver)
+nautilus_add_bench(bench_io_engine)
 
 add_executable(bench_micro_kernels ${NAUTILUS_BENCH_DIR}/bench_micro_kernels.cpp)
 target_link_libraries(bench_micro_kernels PRIVATE nautilus_core nautilus_graph nautilus_nn nautilus_solver nautilus_tensor nautilus_util benchmark::benchmark)

@@ -33,11 +33,16 @@ CalibrationResult MeasureHardware(const std::string& scratch_dir,
     result.flops_per_second = flops / watch.ElapsedSeconds();
   }
 
-  // Disk probe: write then read an 8 MiB tensor through the store.
+  // Disk probe: write then read an 8 MiB tensor through the store. The
+  // cache budget must be 0 and the read must go through GetRows (the
+  // forced-disk path): a cached or mmap-served read would calibrate the
+  // disk model against memory bandwidth.
   {
     storage::IoStats stats;
-    storage::TensorStore store(scratch_dir, &stats);
-    Tensor blob(Shape({2048, 1024}));  // 8 MiB of float32
+    storage::TensorStore store(scratch_dir, &stats,
+                               /*cache_budget_bytes=*/0);
+    constexpr int64_t kRows = 2048;
+    Tensor blob(Shape({kRows, 1024}));  // 8 MiB of float32
     Stopwatch write_watch;
     double written = 0.0;
     while (write_watch.ElapsedSeconds() < probe_seconds) {
@@ -49,7 +54,7 @@ CalibrationResult MeasureHardware(const std::string& scratch_dir,
     Stopwatch read_watch;
     double read = 0.0;
     while (read_watch.ElapsedSeconds() < probe_seconds) {
-      auto loaded = store.Get("calibration_probe");
+      auto loaded = store.GetRows("calibration_probe", 0, kRows);
       NAUTILUS_CHECK(loaded.ok());
       read += static_cast<double>(loaded->SizeBytes());
     }

@@ -36,6 +36,12 @@ struct SystemConfig {
   /// checkpoint churn evicts everything. 16 GB of the paper's 32 GB box.
   double page_cache_bytes = 16.0 * (1ull << 30);
 
+  /// In-process shard-cache budget for materialized-feed reads, in bytes
+  /// (--io-cache-mb). 0 disables the cache; negative means auto — the
+  /// smaller of TensorStore::DefaultCacheBudgetBytes() (NAUTILUS_IO_CACHE_MB
+  /// env, else 256 MiB) and a quarter of the disk budget.
+  double io_cache_bytes = -1.0;
+
   /// Expected maximum number of training records r. When the labeled data
   /// outgrows it, Nautilus doubles r and re-optimizes (Section 4.2.3).
   int64_t expected_max_records = 10000;
@@ -47,6 +53,16 @@ struct SystemConfig {
   double per_model_setup_seconds = 2.0;
   double per_epoch_overhead_seconds = 0.25;
   double per_batch_overhead_seconds = 0.004;
+
+  /// Shard-cache budget in bytes given the environment default
+  /// (TensorStore::DefaultCacheBudgetBytes(); config.h cannot name storage).
+  /// Explicit io_cache_bytes wins; auto caps the default at a quarter of the
+  /// disk budget so cache memory scales down with small test configs.
+  int64_t ResolvedIoCacheBytes(int64_t env_default_bytes) const {
+    if (io_cache_bytes >= 0.0) return static_cast<int64_t>(io_cache_bytes);
+    const auto cap = static_cast<int64_t>(disk_budget_bytes / 4.0);
+    return env_default_bytes < cap ? env_default_bytes : cap;
+  }
 
   /// Convert a byte count into load seconds under the disk model.
   double LoadSeconds(double bytes) const {

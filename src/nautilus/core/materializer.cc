@@ -95,26 +95,32 @@ Status Materializer::MaterializeIncrement(
   }
   NAUTILUS_CHECK_GE(input_node, 0) << "no raw input unit";
 
-  // Run in batches and append each chosen unit's rows.
+  // Run in batches, buffering each chosen unit's rows in memory; one append
+  // per unit per increment instead of one open+seek+append per unit per
+  // batch, so the store sees O(units) writes rather than O(units x batches).
   graph::Executor executor(&mat_graph);
   const int64_t total = new_inputs.shape().dim(0);
   const int64_t kBatch = 64;
+  std::vector<Tensor> pending(units.size());
   for (int64_t begin = 0; begin < total; begin += kBatch) {
     const int64_t end = std::min(total, begin + kBatch);
     Tensor batch = new_inputs.SliceRows(begin, end);
     executor.Forward({{input_node, batch}}, /*training=*/false);
     for (size_t u = 0; u < units.size(); ++u) {
       if (!chosen_units[u]) continue;
-      const MaterializableUnit& unit = units[u];
-      const Tensor& value = unit.is_input
+      const Tensor& value = units[u].is_input
                                 ? batch
                                 : executor.Output(unit_to_node[u]);
-      static obs::Counter& bytes_materialized = obs::MetricsRegistry::Global()
-          .counter("materializer.bytes_materialized");
-      bytes_materialized.Add(value.SizeBytes());
-      NAUTILUS_RETURN_IF_ERROR(
-          store_->AppendRows(SplitKey(unit, split), value));
+      pending[u].AppendRows(value);
     }
+  }
+  static obs::Counter& bytes_materialized = obs::MetricsRegistry::Global()
+      .counter("materializer.bytes_materialized");
+  for (size_t u = 0; u < units.size(); ++u) {
+    if (!chosen_units[u] || pending[u].empty()) continue;
+    bytes_materialized.Add(pending[u].SizeBytes());
+    NAUTILUS_RETURN_IF_ERROR(
+        store_->AppendRows(SplitKey(units[u], split), pending[u]));
   }
   flops_spent_ += executor.flops_executed();
   return Status::OK();

@@ -25,7 +25,9 @@ ModelSelection::ModelSelection(Workload workload, const SystemConfig& config,
       config_(config),
       options_(options),
       work_dir_(std::move(work_dir)),
-      feature_store_(work_dir_ + "/features", &io_stats_),
+      feature_store_(work_dir_ + "/features", &io_stats_,
+                     config.ResolvedIoCacheBytes(
+                         storage::TensorStore::DefaultCacheBudgetBytes())),
       checkpoint_store_(work_dir_ + "/checkpoints", &io_stats_),
       max_records_(config.expected_max_records) {
   NAUTILUS_CHECK(!workload_.empty()) << "empty model-selection workload";

@@ -56,7 +56,10 @@ SuccessiveHalvingResult RunSuccessiveHalving(
   SuccessiveHalvingResult result;
 
   storage::IoStats stats;
-  storage::TensorStore feature_store(work_dir + "/features", &stats);
+  storage::TensorStore feature_store(
+      work_dir + "/features", &stats,
+      config.ResolvedIoCacheBytes(
+          storage::TensorStore::DefaultCacheBudgetBytes()));
   storage::CheckpointStore checkpoint_store(work_dir + "/checkpoints",
                                             &stats);
   Trainer trainer(&feature_store, &checkpoint_store, config);

@@ -41,6 +41,9 @@ std::unordered_map<int, Tensor> LoadFeeds(const ExecutionGroup& group,
   static obs::Counter& raw_feeds =
       obs::MetricsRegistry::Global().counter("trainer.feed_loads.raw");
   std::unordered_map<int, Tensor> feeds;
+  std::vector<storage::KeyRange> ranges;
+  std::vector<int> range_nodes;                 // graph node per range
+  std::vector<const PlanNode*> range_sources;   // plan node per range
   for (const FeedSpec& feed : exec.feeds) {
     if (!feed.from_store) {
       raw_feeds.Add();
@@ -50,16 +53,25 @@ std::unordered_map<int, Tensor> LoadFeeds(const ExecutionGroup& group,
     const PlanNode& node =
         group.nodes[static_cast<size_t>(feed.plan_node)];
     materialized_loads.Add();
-    obs::TraceScope span("trainer", "trainer.feed_load");
-    span.AddArg("key", node.store_key).AddArg("split", split);
-    auto loaded = store.Get(node.store_key + "." + split);
-    NAUTILUS_CHECK(loaded.ok())
-        << "materialized features missing: " << node.store_key << "."
-        << split << " (" << loaded.status() << ")";
-    NAUTILUS_CHECK_EQ(loaded->shape().dim(0), raw_inputs.shape().dim(0))
+    ranges.push_back({node.store_key + "." + split, 0, -1});
+    range_nodes.push_back(feed.graph_node);
+    range_sources.push_back(&node);
+  }
+  if (ranges.empty()) return feeds;
+  // One batched gather: all of the group's materialized feeds load
+  // concurrently on the pool (zero-copy views on warm shards).
+  obs::TraceScope span("trainer", "trainer.feed_load_batch");
+  span.AddArg("feeds", ranges.size()).AddArg("split", split);
+  auto loaded = store.GetBatch(ranges);
+  NAUTILUS_CHECK(loaded.ok())
+      << "materialized features missing for split " << split << " ("
+      << loaded.status() << ")";
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    Tensor& tensor = (*loaded)[i];
+    NAUTILUS_CHECK_EQ(tensor.shape().dim(0), raw_inputs.shape().dim(0))
         << "materialized rows out of sync with dataset for "
-        << node.store_key;
-    feeds.emplace(feed.graph_node, std::move(*loaded));
+        << range_sources[i]->store_key;
+    feeds.emplace(range_nodes[i], std::move(tensor));
   }
   return feeds;
 }

@@ -1,0 +1,120 @@
+#include "nautilus/storage/io_cache.h"
+
+#include "nautilus/obs/metrics.h"
+
+namespace nautilus {
+namespace storage {
+
+namespace {
+
+obs::Counter& HitCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().counter("io.cache.hits");
+  return c;
+}
+
+obs::Counter& MissCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("io.cache.misses");
+  return c;
+}
+
+obs::Counter& EvictionCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("io.cache.evictions");
+  return c;
+}
+
+obs::Gauge& ResidentGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Global().gauge("io.cache.resident_bytes");
+  return g;
+}
+
+}  // namespace
+
+std::shared_ptr<const Tensor> IoCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    MissCounter().Add();
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  HitCounter().Add();
+  return it->second->value;
+}
+
+void IoCache::Insert(const std::string& key,
+                     std::shared_ptr<const Tensor> value) {
+  const int64_t bytes = value == nullptr ? 0 : value->SizeBytes();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (value == nullptr || budget_bytes_ <= 0 || bytes > budget_bytes_) return;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    resident_bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Entry{key, std::move(value), bytes});
+  index_[key] = lru_.begin();
+  resident_bytes_ += bytes;
+  EvictToBudgetLocked();
+  PublishResidentLocked();
+}
+
+void IoCache::Invalidate(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  resident_bytes_ -= it->second->bytes;
+  lru_.erase(it->second);
+  index_.erase(it);
+  PublishResidentLocked();
+}
+
+void IoCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  resident_bytes_ = 0;
+  PublishResidentLocked();
+}
+
+void IoCache::SetBudget(int64_t budget_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_bytes_ = budget_bytes;
+  EvictToBudgetLocked();
+  PublishResidentLocked();
+}
+
+int64_t IoCache::budget_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_bytes_;
+}
+
+int64_t IoCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
+int64_t IoCache::entry_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(lru_.size());
+}
+
+void IoCache::EvictToBudgetLocked() {
+  while (resident_bytes_ > budget_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    resident_bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    EvictionCounter().Add();
+  }
+}
+
+void IoCache::PublishResidentLocked() {
+  ResidentGauge().Set(static_cast<double>(resident_bytes_));
+}
+
+}  // namespace storage
+}  // namespace nautilus

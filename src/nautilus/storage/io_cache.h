@@ -1,0 +1,77 @@
+#ifndef NAUTILUS_STORAGE_IO_CACHE_H_
+#define NAUTILUS_STORAGE_IO_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "nautilus/tensor/tensor.h"
+
+namespace nautilus {
+namespace storage {
+
+/// Byte-budgeted LRU cache over fully-loaded store shards, keyed by the raw
+/// store key (keys already embed the split, e.g. "unit3.train"). Entries are
+/// shared immutable tensors: a hit hands out a `shared_ptr<const Tensor>`
+/// which callers wrap into a borrowed `Tensor` view, so eviction never
+/// invalidates tensors already handed out — the shared_ptr keeps the bytes
+/// alive until the last view drops.
+///
+/// Writers (`Put`/`AppendRows`/`Remove`/`Clear`) must Invalidate their key;
+/// the cache itself never reads or watches the filesystem.
+///
+/// A budget of 0 disables the cache entirely (every Lookup misses, Insert is
+/// a no-op) — used by calibration, which must measure real disk reads.
+class IoCache {
+ public:
+  explicit IoCache(int64_t budget_bytes) : budget_bytes_(budget_bytes) {}
+  IoCache(const IoCache&) = delete;
+  IoCache& operator=(const IoCache&) = delete;
+
+  /// Returns the cached shard and marks it most-recently-used, or nullptr on
+  /// a miss. Feeds io.cache.hits / io.cache.misses.
+  std::shared_ptr<const Tensor> Lookup(const std::string& key);
+
+  /// Inserts (or replaces) `key`, evicting least-recently-used entries until
+  /// the budget holds. Entries larger than the whole budget are not cached.
+  void Insert(const std::string& key, std::shared_ptr<const Tensor> value);
+
+  /// Drops `key` if resident. Does not count as an eviction.
+  void Invalidate(const std::string& key);
+
+  /// Drops every entry.
+  void Clear();
+
+  /// Changes the budget, evicting down to the new limit if needed.
+  void SetBudget(int64_t budget_bytes);
+
+  int64_t budget_bytes() const;
+  int64_t resident_bytes() const;
+  int64_t entry_count() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const Tensor> value;
+    int64_t bytes = 0;
+  };
+
+  /// Evicts from the LRU tail until resident_bytes_ <= budget_bytes_.
+  /// Requires mu_ held.
+  void EvictToBudgetLocked();
+  void PublishResidentLocked();
+
+  mutable std::mutex mu_;
+  int64_t budget_bytes_;
+  int64_t resident_bytes_ = 0;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace storage
+}  // namespace nautilus
+
+#endif  // NAUTILUS_STORAGE_IO_CACHE_H_

@@ -1,0 +1,76 @@
+#include "nautilus/storage/mmap_file.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define NAUTILUS_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace nautilus {
+namespace storage {
+
+MappedFile::~MappedFile() {
+#if NAUTILUS_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), static_cast<size_t>(size_));
+  }
+#endif
+}
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Open(const std::string& path) {
+#if NAUTILUS_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::NotFound("cannot open for mapping: " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("stat failed: " + path);
+  }
+  const int64_t size = static_cast<int64_t>(st.st_size);
+  if (size <= 0) {
+    ::close(fd);
+    return Status::IoError("empty file cannot back a mapping: " + path);
+  }
+  void* addr =
+      ::mmap(nullptr, static_cast<size_t>(size), PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference to the inode
+  if (addr != MAP_FAILED) {
+    std::shared_ptr<MappedFile> f(new MappedFile());
+    f->data_ = static_cast<const char*>(addr);
+    f->size_ = size;
+    f->mapped_ = true;
+    return f;
+  }
+  // Fall through to the buffered path below.
+#endif
+  // Heap fallback: slurp the whole file. Used when mmap is unavailable or
+  // fails (e.g. an exotic filesystem); keeps Open's contract uniform.
+  std::FILE* stream = std::fopen(path.c_str(), "rb");
+  if (stream == nullptr) {
+    return Status::NotFound("cannot open for mapping: " + path);
+  }
+  std::error_code ec;
+  const auto fsize = std::filesystem::file_size(path, ec);
+  if (ec || fsize == 0) {
+    std::fclose(stream);
+    return Status::IoError("empty file cannot back a mapping: " + path);
+  }
+  std::shared_ptr<MappedFile> f(new MappedFile());
+  f->size_ = static_cast<int64_t>(fsize);
+  f->fallback_ = std::make_unique<char[]>(fsize);
+  f->data_ = f->fallback_.get();
+  const bool ok =
+      std::fread(f->fallback_.get(), 1, static_cast<size_t>(fsize), stream) ==
+      fsize;
+  std::fclose(stream);
+  if (!ok) return Status::IoError("short read while buffering: " + path);
+  return f;
+}
+
+}  // namespace storage
+}  // namespace nautilus

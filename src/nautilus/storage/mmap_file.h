@@ -1,0 +1,48 @@
+#ifndef NAUTILUS_STORAGE_MMAP_FILE_H_
+#define NAUTILUS_STORAGE_MMAP_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "nautilus/util/status.h"
+
+namespace nautilus {
+namespace storage {
+
+/// Refcounted read-only file mapping. The mapping stays valid for the
+/// lifetime of the MappedFile object even if the file is later unlinked or
+/// atomically replaced (POSIX keeps the inode's pages alive), which is what
+/// lets zero-copy tensor views outlive `TensorStore::Remove`/`Put`.
+///
+/// On platforms without mmap (or when mapping fails) Open falls back to
+/// reading the whole file into an owned heap buffer, so callers never need a
+/// second code path.
+class MappedFile {
+ public:
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. NotFound when the file does not exist; IoError
+  /// on open/stat/map failures that the heap fallback cannot absorb.
+  static Result<std::shared_ptr<MappedFile>> Open(const std::string& path);
+
+  const char* data() const { return data_; }
+  int64_t size() const { return size_; }
+  /// True when the bytes come from a real mmap (false: heap fallback).
+  bool is_mapped() const { return mapped_; }
+
+ private:
+  MappedFile() = default;
+
+  const char* data_ = nullptr;
+  int64_t size_ = 0;
+  bool mapped_ = false;
+  std::unique_ptr<char[]> fallback_;  // owns the bytes when !mapped_
+};
+
+}  // namespace storage
+}  // namespace nautilus
+
+#endif  // NAUTILUS_STORAGE_MMAP_FILE_H_

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 
 #include "nautilus/obs/trace.h"
+#include "nautilus/storage/mmap_file.h"
 #include "nautilus/util/logging.h"
+#include "nautilus/util/parallel.h"
 
 namespace nautilus {
 namespace storage {
@@ -25,6 +29,101 @@ struct Header {
 
 int64_t HeaderBytes(int64_t rank) {
   return static_cast<int64_t>(sizeof(int64_t)) * (2 + rank);
+}
+
+// 64-bit-clean absolute seek; plain fseek takes a long, which truncates byte
+// offsets past 2 GiB on LP64-hostile platforms.
+int Seek64(std::FILE* f, int64_t offset, int whence) {
+#if defined(_WIN32)
+  return ::_fseeki64(f, offset, whence);
+#else
+  return ::fseeko(f, static_cast<off_t>(offset), whence);
+#endif
+}
+
+// --- Filename encoding -----------------------------------------------------
+//
+// Keys are arbitrary strings; filenames must be safe and collision-free.
+// Reversible escape: alnum / '-' / '.' pass through, every other byte
+// (including '_', the escape introducer) becomes '_' + two hex digits. An
+// FNV-1a hash suffix ("-xxxxxxxx") guards against foreign files and makes
+// any residual collision impossible in practice; ListKeys decodes stems back
+// to the raw keys callers wrote.
+
+bool IsPlainChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' ||
+         c == '.';
+}
+
+int HexVal(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+std::string EncodeKey(const std::string& key) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(key.size());
+  for (char c : key) {
+    if (IsPlainChar(c)) {
+      out.push_back(c);
+    } else {
+      const auto b = static_cast<unsigned char>(c);
+      out.push_back('_');
+      out.push_back(kHex[b >> 4]);
+      out.push_back(kHex[b & 0xf]);
+    }
+  }
+  return out;
+}
+
+bool DecodeKey(const std::string& encoded, std::string* out) {
+  out->clear();
+  out->reserve(encoded.size());
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    const char c = encoded[i];
+    if (c == '_') {
+      if (i + 2 >= encoded.size()) return false;
+      const int hi = HexVal(encoded[i + 1]);
+      const int lo = HexVal(encoded[i + 2]);
+      if (hi < 0 || lo < 0) return false;
+      out->push_back(static_cast<char>(hi * 16 + lo));
+      i += 2;
+    } else if (IsPlainChar(c)) {
+      out->push_back(c);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string KeyHash8(const std::string& key) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a 64
+  for (char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  const uint32_t folded = static_cast<uint32_t>(h ^ (h >> 32));
+  static const char kHex[] = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 0; i < 8; ++i) {
+    out[7 - i] = kHex[(folded >> (4 * i)) & 0xf];
+  }
+  return out;
+}
+
+constexpr size_t kHashSuffixLen = 9;  // '-' + 8 hex digits
+
+// Inverse of PathFor's stem: "<encoded>-<hash8>" -> raw key, verifying the
+// hash so files not written by this store are skipped.
+bool StemToKey(const std::string& stem, std::string* key) {
+  if (stem.size() < kHashSuffixLen + 1) return false;
+  const size_t dash = stem.size() - kHashSuffixLen;
+  if (stem[dash] != '-') return false;
+  if (!DecodeKey(stem.substr(0, dash), key)) return false;
+  return stem.compare(dash + 1, 8, KeyHash8(*key)) == 0;
 }
 
 // RAII FILE handle.
@@ -76,40 +175,89 @@ Status WriteHeader(std::FILE* f, const Shape& shape) {
   return Status::OK();
 }
 
+// Validates the header at the front of a mapped file and returns its shape.
+// memcpy keeps the int64 loads alignment-safe regardless of mapping origin.
+Result<Shape> ParseMappedHeader(const char* data, int64_t size,
+                                const std::string& key) {
+  if (size < HeaderBytes(0)) {
+    return Status::IoError("short read on tensor header: " + key);
+  }
+  int64_t magic = 0;
+  int64_t rank = 0;
+  std::memcpy(&magic, data, sizeof(int64_t));
+  std::memcpy(&rank, data + sizeof(int64_t), sizeof(int64_t));
+  if (magic != kMagic) return Status::IoError("bad tensor-file magic: " + key);
+  if (rank < 1 || rank > 8) {
+    return Status::IoError("unsupported tensor rank on disk: " + key);
+  }
+  if (size < HeaderBytes(rank)) {
+    return Status::IoError("short read on tensor dims: " + key);
+  }
+  std::vector<int64_t> dims(static_cast<size_t>(rank));
+  std::memcpy(dims.data(), data + 2 * sizeof(int64_t),
+              static_cast<size_t>(rank) * sizeof(int64_t));
+  for (int64_t d : dims) {
+    if (d < 0) return Status::IoError("negative dim on disk: " + key);
+  }
+  Shape shape(dims);
+  const int64_t need =
+      HeaderBytes(rank) +
+      shape.NumElements() * static_cast<int64_t>(sizeof(float));
+  if (size < need) {
+    return Status::IoError("short read on tensor data: " + key);
+  }
+  return shape;
+}
+
 }  // namespace
 
-TensorStore::TensorStore(std::string directory, IoStats* stats)
-    : directory_(std::move(directory)), stats_(stats) {
+TensorStore::TensorStore(std::string directory, IoStats* stats,
+                         int64_t cache_budget_bytes)
+    : directory_(std::move(directory)),
+      stats_(stats),
+      cache_(cache_budget_bytes < 0 ? DefaultCacheBudgetBytes()
+                                    : cache_budget_bytes) {
   std::error_code ec;
   fs::create_directories(directory_, ec);
   NAUTILUS_CHECK(!ec) << "cannot create store directory " << directory_
                       << ": " << ec.message();
 }
 
+int64_t TensorStore::DefaultCacheBudgetBytes() {
+  constexpr int64_t kDefault = 256ll * 1024 * 1024;
+  const char* env = std::getenv("NAUTILUS_IO_CACHE_MB");
+  if (env == nullptr || *env == '\0') return kDefault;
+  char* end = nullptr;
+  const long long mb = std::strtoll(env, &end, 10);
+  if (end == env || mb < 0) return kDefault;
+  return static_cast<int64_t>(mb) * 1024 * 1024;
+}
+
 std::string TensorStore::PathFor(const std::string& key) const {
-  // Keys may contain '/' semantics-free; flatten to a safe filename.
-  std::string safe;
-  safe.reserve(key.size());
-  for (char c : key) {
-    safe.push_back((std::isalnum(static_cast<unsigned char>(c)) != 0 ||
-                    c == '_' || c == '-' || c == '.')
-                       ? c
-                       : '_');
-  }
-  return directory_ + "/" + safe + ".tns";
+  return directory_ + "/" + EncodeKey(key) + "-" + KeyHash8(key) + ".tns";
 }
 
 Status TensorStore::Put(const std::string& key, const Tensor& value) {
   NAUTILUS_CHECK_GE(value.shape().rank(), 1);
   obs::TraceScope span("io", "store.put");
   span.AddArg("key", key).AddArg("bytes", value.SizeBytes());
-  File f(PathFor(key), "wb");
-  if (!f.ok()) return Status::IoError("cannot open for write: " + key);
-  NAUTILUS_RETURN_IF_ERROR(WriteHeader(f.get(), value.shape()));
-  const size_t n = static_cast<size_t>(value.NumElements());
-  if (n > 0 && std::fwrite(value.data(), sizeof(float), n, f.get()) != n) {
-    return Status::IoError("short write on tensor data: " + key);
+  const std::string path = PathFor(key);
+  // Write-then-rename: live mmap views of the old inode keep their bytes;
+  // truncating in place would SIGBUS concurrent readers.
+  const std::string tmp = path + ".tmp";
+  {
+    File f(tmp, "wb");
+    if (!f.ok()) return Status::IoError("cannot open for write: " + key);
+    NAUTILUS_RETURN_IF_ERROR(WriteHeader(f.get(), value.shape()));
+    const size_t n = static_cast<size_t>(value.NumElements());
+    if (n > 0 && std::fwrite(value.data(), sizeof(float), n, f.get()) != n) {
+      return Status::IoError("short write on tensor data: " + key);
+    }
   }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) return Status::IoError("rename failed for " + key + ": " + ec.message());
+  cache_.Invalidate(key);
   if (stats_ != nullptr) {
     stats_->RecordWrite(HeaderBytes(value.shape().rank()) +
                         value.SizeBytes());
@@ -122,12 +270,10 @@ Status TensorStore::AppendRows(const std::string& key, const Tensor& rows) {
   obs::TraceScope span("io", "store.append");
   span.AddArg("key", key).AddArg("bytes", rows.SizeBytes());
   const std::string path = PathFor(key);
+  File f(path, "rb+");
+  if (!f.ok()) return Status::IoError("cannot open for update: " + key);
   Header h;
-  {
-    File f(path, "rb");
-    if (!f.ok()) return Status::IoError("cannot open for read: " + key);
-    NAUTILUS_RETURN_IF_ERROR(ReadHeader(f.get(), &h));
-  }
+  NAUTILUS_RETURN_IF_ERROR(ReadHeader(f.get(), &h));
   if (h.rank != rows.shape().rank()) {
     return Status::InvalidArgument("append rank mismatch for " + key);
   }
@@ -138,52 +284,108 @@ Status TensorStore::AppendRows(const std::string& key, const Tensor& rows) {
     }
     per_record *= h.dims[i];
   }
-  (void)per_record;
-  {
-    File f(path, "rb+");
-    if (!f.ok()) return Status::IoError("cannot open for update: " + key);
-    // Update the row count in place, then append the new data at the end.
-    const int64_t new_rows = h.dims[0] + rows.shape().dim(0);
-    if (std::fseek(f.get(), 2 * sizeof(int64_t), SEEK_SET) != 0 ||
-        std::fwrite(&new_rows, sizeof(int64_t), 1, f.get()) != 1) {
-      return Status::IoError("cannot update row count: " + key);
-    }
-    if (std::fseek(f.get(), 0, SEEK_END) != 0) {
-      return Status::IoError("seek failed: " + key);
-    }
-    const size_t n = static_cast<size_t>(rows.NumElements());
-    if (n > 0 && std::fwrite(rows.data(), sizeof(float), n, f.get()) != n) {
-      return Status::IoError("short append: " + key);
-    }
+  // The payload must be exactly (new rows) x (stored per-record elements);
+  // anything else would silently shear every row after this one.
+  if (rows.NumElements() != rows.shape().dim(0) * per_record) {
+    return Status::InvalidArgument("append payload size mismatch for " + key);
   }
+  // Append the data first, then bump the row count, so a crash mid-append
+  // leaves a consistent (pre-append) tensor plus ignorable trailing bytes.
+  if (Seek64(f.get(), 0, SEEK_END) != 0) {
+    return Status::IoError("seek failed: " + key);
+  }
+  const size_t n = static_cast<size_t>(rows.NumElements());
+  if (n > 0 && std::fwrite(rows.data(), sizeof(float), n, f.get()) != n) {
+    return Status::IoError("short append: " + key);
+  }
+  const int64_t new_rows = h.dims[0] + rows.shape().dim(0);
+  if (Seek64(f.get(), 2 * static_cast<int64_t>(sizeof(int64_t)), SEEK_SET) !=
+          0 ||
+      std::fwrite(&new_rows, sizeof(int64_t), 1, f.get()) != 1) {
+    return Status::IoError("cannot update row count: " + key);
+  }
+  cache_.Invalidate(key);
   if (stats_ != nullptr) stats_->RecordWrite(rows.SizeBytes());
   return Status::OK();
+}
+
+Result<std::shared_ptr<const Tensor>> TensorStore::LoadShared(
+    const std::string& key) const {
+  if (std::shared_ptr<const Tensor> cached = cache_.Lookup(key)) {
+    obs::TraceScope span("io", "store.cache_hit");
+    span.AddArg("key", key).AddArg("bytes", cached->SizeBytes());
+    return cached;
+  }
+  const std::string path = PathFor(key);
+  auto mapped_or = MappedFile::Open(path);
+  if (!mapped_or.ok()) {
+    if (mapped_or.status().code() == StatusCode::kNotFound) {
+      return Status::NotFound("no tensor stored under " + key);
+    }
+    return mapped_or.status();
+  }
+  std::shared_ptr<MappedFile> mapped = std::move(mapped_or).value();
+  obs::TraceScope span("io", "store.mmap");
+  NAUTILUS_ASSIGN_OR_RETURN(
+      Shape shape, ParseMappedHeader(mapped->data(), mapped->size(), key));
+  span.AddArg("key", key)
+      .AddArg("bytes", mapped->size())
+      .AddArg("mapped", mapped->is_mapped());
+  const char* payload = mapped->data() + HeaderBytes(shape.rank());
+  const float* elements = reinterpret_cast<const float*>(payload);
+  auto shard = std::make_shared<Tensor>(
+      Tensor::FromBorrowed(elements, shape, std::move(mapped)));
+  if (stats_ != nullptr) {
+    stats_->RecordRead(HeaderBytes(shape.rank()) + shard->SizeBytes());
+  }
+  cache_.Insert(key, shard);
+  return std::shared_ptr<const Tensor>(std::move(shard));
 }
 
 Result<Tensor> TensorStore::Get(const std::string& key) const {
   obs::TraceScope span("io", "store.get");
   span.AddArg("key", key);
-  File f(PathFor(key), "rb");
-  if (!f.ok()) return Status::NotFound("no tensor stored under " + key);
-  Header h;
-  NAUTILUS_RETURN_IF_ERROR(ReadHeader(f.get(), &h));
-  std::vector<int64_t> dims(h.dims, h.dims + h.rank);
-  Shape shape(dims);
-  Tensor out(shape);
-  const size_t n = static_cast<size_t>(out.NumElements());
-  if (n > 0 && std::fread(out.data(), sizeof(float), n, f.get()) != n) {
-    return Status::IoError("short read on tensor data: " + key);
+  NAUTILUS_ASSIGN_OR_RETURN(std::shared_ptr<const Tensor> shard,
+                            LoadShared(key));
+  return Tensor::FromBorrowed(shard->data(), shard->shape(), shard);
+}
+
+Result<Tensor> TensorStore::GetView(const std::string& key) const {
+  return Get(key);
+}
+
+Result<Tensor> TensorStore::GetRowsView(const std::string& key, int64_t begin,
+                                        int64_t end) const {
+  obs::TraceScope span("io", "store.get_rows");
+  span.AddArg("key", key).AddArg("begin", begin).AddArg("end", end);
+  NAUTILUS_ASSIGN_OR_RETURN(std::shared_ptr<const Tensor> shard,
+                            LoadShared(key));
+  if (begin < 0 || begin > end || end > shard->shape().dim(0)) {
+    return Status::OutOfRange("row range out of bounds for " + key);
   }
-  if (stats_ != nullptr) {
-    stats_->RecordRead(HeaderBytes(h.rank) + out.SizeBytes());
-  }
-  return out;
+  const int64_t stride = shard->shape().ElementsPerRecord();
+  return Tensor::FromBorrowed(shard->data() + begin * stride,
+                              shard->shape().WithBatch(end - begin), shard);
 }
 
 Result<Tensor> TensorStore::GetRows(const std::string& key, int64_t begin,
                                     int64_t end) const {
   obs::TraceScope span("io", "store.get_rows");
   span.AddArg("key", key).AddArg("begin", begin).AddArg("end", end);
+  // A resident shard serves the slice zero-copy. On a miss, read just the
+  // requested byte range from disk and do NOT populate the cache: GetRows is
+  // the forced-disk path (calibration measures real reads through it).
+  if (std::shared_ptr<const Tensor> cached = cache_.Lookup(key)) {
+    obs::TraceScope hit("io", "store.cache_hit");
+    hit.AddArg("key", key);
+    if (begin < 0 || begin > end || end > cached->shape().dim(0)) {
+      return Status::OutOfRange("row range out of bounds for " + key);
+    }
+    const int64_t stride = cached->shape().ElementsPerRecord();
+    return Tensor::FromBorrowed(cached->data() + begin * stride,
+                                cached->shape().WithBatch(end - begin),
+                                cached);
+  }
   File f(PathFor(key), "rb");
   if (!f.ok()) return Status::NotFound("no tensor stored under " + key);
   Header h;
@@ -196,11 +398,10 @@ Result<Tensor> TensorStore::GetRows(const std::string& key, int64_t begin,
   std::vector<int64_t> dims(h.dims, h.dims + h.rank);
   dims[0] = end - begin;
   Tensor out((Shape(dims)));
-  if (std::fseek(f.get(),
-                 static_cast<long>(HeaderBytes(h.rank) +
-                                   begin * per_record *
-                                       static_cast<int64_t>(sizeof(float))),
-                 SEEK_SET) != 0) {
+  const int64_t offset =
+      HeaderBytes(h.rank) +
+      begin * per_record * static_cast<int64_t>(sizeof(float));
+  if (Seek64(f.get(), offset, SEEK_SET) != 0) {
     return Status::IoError("seek failed: " + key);
   }
   const size_t n = static_cast<size_t>(out.NumElements());
@@ -208,6 +409,32 @@ Result<Tensor> TensorStore::GetRows(const std::string& key, int64_t begin,
     return Status::IoError("short row read: " + key);
   }
   if (stats_ != nullptr) stats_->RecordRead(out.SizeBytes());
+  return out;
+}
+
+Result<std::vector<Tensor>> TensorStore::GetBatch(
+    const std::vector<KeyRange>& ranges) const {
+  obs::TraceScope span("io", "store.get_batch");
+  span.AddArg("keys", ranges.size());
+  std::vector<Tensor> out(ranges.size());
+  std::vector<Status> errors(ranges.size());
+  TaskGroup group;
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    group.Submit([this, &ranges, &out, &errors, i] {
+      const KeyRange& r = ranges[i];
+      Result<Tensor> t = r.end < 0 ? Get(r.key)
+                                   : GetRowsView(r.key, r.begin, r.end);
+      if (t.ok()) {
+        out[i] = std::move(t).value();
+      } else {
+        errors[i] = t.status();
+      }
+    });
+  }
+  group.Wait();
+  for (const Status& s : errors) {
+    if (!s.ok()) return s;
+  }
   return out;
 }
 
@@ -219,6 +446,7 @@ bool TensorStore::Contains(const std::string& key) const {
 Status TensorStore::Remove(const std::string& key) {
   std::error_code ec;
   fs::remove(PathFor(key), ec);
+  cache_.Invalidate(key);
   if (ec) return Status::IoError("remove failed: " + key);
   return Status::OK();
 }
@@ -252,8 +480,12 @@ std::vector<std::string> TensorStore::ListKeys() const {
   std::vector<std::string> keys;
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(directory_, ec)) {
-    if (entry.is_regular_file() && entry.path().extension() == ".tns") {
-      keys.push_back(entry.path().stem().string());
+    if (!entry.is_regular_file() || entry.path().extension() != ".tns") {
+      continue;
+    }
+    std::string key;
+    if (StemToKey(entry.path().stem().string(), &key)) {
+      keys.push_back(std::move(key));
     }
   }
   std::sort(keys.begin(), keys.end());
@@ -265,6 +497,7 @@ Status TensorStore::Clear() {
   for (const auto& entry : fs::directory_iterator(directory_, ec)) {
     fs::remove(entry.path(), ec);
   }
+  cache_.Clear();
   return Status::OK();
 }
 

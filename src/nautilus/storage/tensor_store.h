@@ -1,9 +1,12 @@
 #ifndef NAUTILUS_STORAGE_TENSOR_STORE_H_
 #define NAUTILUS_STORAGE_TENSOR_STORE_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "nautilus/storage/io_cache.h"
 #include "nautilus/storage/io_stats.h"
 #include "nautilus/tensor/tensor.h"
 #include "nautilus/util/status.h"
@@ -11,30 +14,69 @@
 namespace nautilus {
 namespace storage {
 
+/// One entry of a batched multi-key read. `end == -1` means "all rows".
+struct KeyRange {
+  std::string key;
+  int64_t begin = 0;
+  int64_t end = -1;
+};
+
 /// File-backed store for materialized layer outputs. One binary file per
 /// key; rows (records) can be appended incrementally as new labeled data
 /// arrives each model-selection cycle (Section 4.2.3 of the Nautilus paper).
 ///
 /// File format: magic, rank, dims (int64 little-endian), float32 data.
+///
+/// Reads are zero-copy: a miss mmaps the shard (`MappedFile`) and parks a
+/// borrowed tensor in a byte-budgeted LRU cache (`IoCache`); hits and misses
+/// alike return non-owning `Tensor` views whose holder pins the backing
+/// bytes, so views stay valid after eviction, `Remove`, or a replacing `Put`
+/// (writes go to a temp file and rename over, never truncating a mapped
+/// inode; appends only grow the file past the mapped region). Writers
+/// invalidate their key so the next read sees fresh bytes.
 class TensorStore {
  public:
   /// Creates/uses `directory` (made on demand). `stats` may be shared with
   /// other stores and must outlive this object; pass nullptr to skip
-  /// accounting.
-  TensorStore(std::string directory, IoStats* stats);
+  /// accounting. `cache_budget_bytes` bounds the in-memory shard cache:
+  /// 0 disables caching, negative means DefaultCacheBudgetBytes().
+  TensorStore(std::string directory, IoStats* stats,
+              int64_t cache_budget_bytes = -1);
 
-  /// Writes (replacing any previous value).
+  /// Cache budget from the NAUTILUS_IO_CACHE_MB environment variable, or
+  /// 256 MiB when unset/unparsable.
+  static int64_t DefaultCacheBudgetBytes();
+
+  /// Writes (replacing any previous value). Writes a temp file and renames
+  /// it into place so concurrently live mmap views never see truncation.
   Status Put(const std::string& key, const Tensor& value);
 
   /// Appends rows along the batch dimension (creates the file if absent).
   Status AppendRows(const std::string& key, const Tensor& rows);
 
-  /// Reads the whole tensor.
+  /// Reads the whole tensor. Returns a zero-copy view backed by the shard
+  /// cache / file mapping; mutating the result detaches it (copy-on-write).
   Result<Tensor> Get(const std::string& key) const;
 
-  /// Reads only rows [begin, end) without loading the rest of the file.
+  /// Explicitly view-typed alias of Get for call sites that want to state
+  /// they rely on zero-copy semantics.
+  Result<Tensor> GetView(const std::string& key) const;
+
+  /// Reads only rows [begin, end). On a cache hit this is a zero-copy slice
+  /// view; on a miss it reads exactly the requested byte range from disk
+  /// (64-bit seek) without populating the cache.
   Result<Tensor> GetRows(const std::string& key, int64_t begin,
                          int64_t end) const;
+
+  /// Zero-copy variant of GetRows: loads (and caches) the whole shard via
+  /// mmap on a miss, then returns a view over the requested rows.
+  Result<Tensor> GetRowsView(const std::string& key, int64_t begin,
+                             int64_t end) const;
+
+  /// Reads several keys/ranges concurrently on the global thread pool.
+  /// Result order matches `ranges`; fails with the error of the
+  /// lowest-indexed failing entry.
+  Result<std::vector<Tensor>> GetBatch(const std::vector<KeyRange>& ranges) const;
 
   bool Contains(const std::string& key) const;
   Status Remove(const std::string& key);
@@ -51,16 +93,27 @@ class TensorStore {
   /// Removes every stored tensor.
   Status Clear();
 
-  /// Sanitized keys of every stored tensor (filename stems).
+  /// Raw keys of every stored tensor, decoded from the reversible filename
+  /// encoding (so callers can compare against the keys they wrote).
   std::vector<std::string> ListKeys() const;
 
   const std::string& directory() const { return directory_; }
 
+  /// Adjusts the shard-cache budget at runtime (0 disables; evicts down).
+  void SetCacheBudget(int64_t budget_bytes) { cache_.SetBudget(budget_bytes); }
+  int64_t cache_budget_bytes() const { return cache_.budget_bytes(); }
+  int64_t cache_resident_bytes() const { return cache_.resident_bytes(); }
+  int64_t cache_entry_count() const { return cache_.entry_count(); }
+
  private:
   std::string PathFor(const std::string& key) const;
 
+  /// Cache-then-mmap load of a whole shard as a shared immutable tensor.
+  Result<std::shared_ptr<const Tensor>> LoadShared(const std::string& key) const;
+
   std::string directory_;
   IoStats* stats_;
+  mutable IoCache cache_;
 };
 
 }  // namespace storage

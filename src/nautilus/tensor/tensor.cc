@@ -31,6 +31,23 @@ Tensor Tensor::Full(const Shape& shape, float value) {
   return t;
 }
 
+Tensor Tensor::FromBorrowed(const float* data, Shape shape,
+                            std::shared_ptr<const void> holder) {
+  NAUTILUS_CHECK(data != nullptr || shape.NumElements() == 0);
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.view_ = data;
+  t.holder_ = std::move(holder);
+  return t;
+}
+
+void Tensor::EnsureOwned() {
+  if (view_ == nullptr) return;
+  data_.assign(view_, view_ + NumElements());
+  view_ = nullptr;
+  holder_.reset();
+}
+
 Tensor Tensor::Reshaped(const Shape& new_shape) const {
   NAUTILUS_CHECK_EQ(new_shape.NumElements(), NumElements())
       << "reshape " << shape_.ToString() << " -> " << new_shape.ToString();
@@ -46,8 +63,8 @@ Tensor Tensor::SliceRows(int64_t begin, int64_t end) const {
   NAUTILUS_CHECK_LE(end, shape_.dim(0));
   const int64_t stride = shape_.ElementsPerRecord();
   Tensor out(shape_.WithBatch(end - begin));
-  std::copy(data_.begin() + begin * stride, data_.begin() + end * stride,
-            out.data_.begin());
+  const float* src = data();
+  std::copy(src + begin * stride, src + end * stride, out.data_.begin());
   return out;
 }
 
@@ -55,11 +72,12 @@ Tensor Tensor::GatherRows(const std::vector<int64_t>& rows) const {
   NAUTILUS_CHECK_GE(shape_.rank(), 1);
   const int64_t stride = shape_.ElementsPerRecord();
   Tensor out(shape_.WithBatch(static_cast<int64_t>(rows.size())));
+  const float* base = data();
   for (size_t r = 0; r < rows.size(); ++r) {
     const int64_t src = rows[r];
     NAUTILUS_CHECK_GE(src, 0);
     NAUTILUS_CHECK_LT(src, shape_.dim(0));
-    std::copy(data_.begin() + src * stride, data_.begin() + (src + 1) * stride,
+    std::copy(base + src * stride, base + (src + 1) * stride,
               out.data_.begin() + static_cast<int64_t>(r) * stride);
   }
   return out;
@@ -73,20 +91,24 @@ void Tensor::AppendRows(const Tensor& other) {
   NAUTILUS_CHECK_EQ(shape_.rank(), other.shape_.rank());
   NAUTILUS_CHECK_EQ(shape_.ElementsPerRecord(),
                     other.shape_.ElementsPerRecord());
-  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  EnsureOwned();
+  const float* src = other.data();
+  data_.insert(data_.end(), src, src + other.NumElements());
   shape_ = shape_.WithBatch(shape_.dim(0) + other.shape_.dim(0));
 }
 
 void Tensor::Fill(float value) {
+  EnsureOwned();
   std::fill(data_.begin(), data_.end(), value);
 }
 
 float Tensor::MaxAbsDiff(const Tensor& a, const Tensor& b) {
   NAUTILUS_CHECK_EQ(a.NumElements(), b.NumElements());
   float m = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
   for (int64_t i = 0; i < a.NumElements(); ++i) {
-    m = std::max(m, std::fabs(a.data_[static_cast<size_t>(i)] -
-                              b.data_[static_cast<size_t>(i)]));
+    m = std::max(m, std::fabs(pa[i] - pb[i]));
   }
   return m;
 }
@@ -95,9 +117,10 @@ std::string Tensor::DebugString(int max_elements) const {
   std::ostringstream os;
   os << "Tensor" << shape_.ToString() << " {";
   const int64_t n = std::min<int64_t>(NumElements(), max_elements);
+  const float* p = data();
   for (int64_t i = 0; i < n; ++i) {
     if (i > 0) os << ", ";
-    os << data_[static_cast<size_t>(i)];
+    os << p[i];
   }
   if (NumElements() > n) os << ", ...";
   os << "}";

@@ -2,6 +2,7 @@
 #define NAUTILUS_TENSOR_TENSOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,13 @@ namespace nautilus {
 
 /// Dense float32 tensor with row-major layout. Copyable and movable; large
 /// tensors should be passed by const reference or moved.
+///
+/// A tensor either owns its elements (the default) or *borrows* them from
+/// external storage — a refcounted file mapping or a cache entry — via
+/// FromBorrowed. Borrowed tensors are read-only views with copy-on-write
+/// semantics: const accessors read the borrowed bytes in place (zero-copy),
+/// while any mutating accessor first detaches into owned storage, so every
+/// existing call site stays correct regardless of where a tensor came from.
 class Tensor {
  public:
   Tensor() = default;
@@ -35,25 +43,42 @@ class Tensor {
   static Tensor Zeros(const Shape& shape) { return Tensor(shape); }
   static Tensor Full(const Shape& shape, float value);
 
+  /// Non-owning view over `shape.NumElements()` floats at `data`. `holder`
+  /// keeps the backing storage (an mmap-ed file, a cache entry) alive for as
+  /// long as this tensor — or any copy of it — exists. Copies share the
+  /// holder; mutation detaches (copies the bytes into owned storage) first.
+  static Tensor FromBorrowed(const float* data, Shape shape,
+                             std::shared_ptr<const void> holder);
+
+  /// True when this tensor currently aliases external storage.
+  bool IsView() const { return view_ != nullptr; }
+
   const Shape& shape() const { return shape_; }
   int64_t NumElements() const { return shape_.NumElements(); }
   int64_t SizeBytes() const {
     return NumElements() * static_cast<int64_t>(sizeof(float));
   }
-  bool empty() const { return data_.empty(); }
+  bool empty() const {
+    return view_ == nullptr ? data_.empty() : NumElements() == 0;
+  }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
+  float* data() {
+    EnsureOwned();
+    return data_.data();
+  }
+  const float* data() const {
+    return view_ != nullptr ? view_ : data_.data();
+  }
 
   float at(int64_t i) const {
     NAUTILUS_CHECK_GE(i, 0);
     NAUTILUS_CHECK_LT(i, NumElements());
-    return data_[static_cast<size_t>(i)];
+    return data()[i];
   }
   float& at(int64_t i) {
     NAUTILUS_CHECK_GE(i, 0);
     NAUTILUS_CHECK_LT(i, NumElements());
-    return data_[static_cast<size_t>(i)];
+    return data()[i];
   }
 
   /// Reinterprets the tensor with a new shape of the same element count.
@@ -78,8 +103,15 @@ class Tensor {
   std::string DebugString(int max_elements = 8) const;
 
  private:
+  /// Detaches a borrowed view into owned storage (no-op when already owned).
+  void EnsureOwned();
+
   Shape shape_;
   std::vector<float> data_;
+  /// Borrowed storage (copy-on-write): when non-null, elements live at
+  /// `view_` and `holder_` pins them; `data_` is empty until detach.
+  const float* view_ = nullptr;
+  std::shared_ptr<const void> holder_;
 };
 
 }  // namespace nautilus

@@ -64,6 +64,22 @@ class StoreFaultTest : public ::testing::Test {
     std::filesystem::remove_all(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  // Filenames embed a key hash, so fault injection locates the single file
+  // the store just wrote instead of hardcoding a name.
+  std::filesystem::path SoleTnsFile() const {
+    std::filesystem::path found;
+    int count = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+      if (entry.path().extension() == ".tns") {
+        found = entry.path();
+        ++count;
+      }
+    }
+    EXPECT_EQ(count, 1);
+    return found;
+  }
+
   std::filesystem::path dir_;
 };
 
@@ -73,7 +89,7 @@ TEST_F(StoreFaultTest, BadMagicRejected) {
   ASSERT_TRUE(store.Put("t", Tensor(Shape({2, 2}))).ok());
   // Corrupt the magic number.
   {
-    std::fstream f(dir_ / "t.tns",
+    std::fstream f(SoleTnsFile(),
                    std::ios::binary | std::ios::in | std::ios::out);
     ASSERT_TRUE(f.good());
     const char junk[8] = {0, 1, 2, 3, 4, 5, 6, 7};
@@ -88,22 +104,23 @@ TEST_F(StoreFaultTest, TruncatedDataRejected) {
   storage::IoStats stats;
   storage::TensorStore store(dir_.string(), &stats);
   ASSERT_TRUE(store.Put("t", Tensor(Shape({64, 64}))).ok());
-  std::filesystem::resize_file(dir_ / "t.tns", 64);
+  std::filesystem::resize_file(SoleTnsFile(), 64);
   auto result = store.Get("t");
   EXPECT_FALSE(result.ok());
 }
 
 TEST_F(StoreFaultTest, AbsurdRankRejected) {
-  // Hand-craft a header with rank 99.
+  storage::IoStats stats;
+  storage::TensorStore store(dir_.string(), &stats);
+  ASSERT_TRUE(store.Put("t", Tensor(Shape({2, 2}))).ok());
+  // Overwrite the stored file with a header claiming rank 99.
   {
-    std::ofstream f(dir_ / "t.tns", std::ios::binary);
+    std::ofstream f(SoleTnsFile(), std::ios::binary);
     const int64_t magic = 0x4e41555431000001;
     const int64_t rank = 99;
     f.write(reinterpret_cast<const char*>(&magic), 8);
     f.write(reinterpret_cast<const char*>(&rank), 8);
   }
-  storage::IoStats stats;
-  storage::TensorStore store(dir_.string(), &stats);
   auto result = store.Get("t");
   EXPECT_FALSE(result.ok());
 }
@@ -113,11 +130,21 @@ TEST_F(StoreFaultTest, KeySanitizationKeepsKeysDistinctFiles) {
   storage::TensorStore store(dir_.string(), &stats);
   ASSERT_TRUE(store.Put("a/b", Tensor(Shape({1}), {1.0f})).ok());
   ASSERT_TRUE(store.Put("a:b", Tensor(Shape({1}), {2.0f})).ok());
-  // Both sanitize to a_b: last write wins on the same file; the store must
-  // at least not crash and must return the latest value.
-  auto v = store.Get("a/b");
-  ASSERT_TRUE(v.ok());
-  EXPECT_FLOAT_EQ(v->at(0), 2.0f);
+  ASSERT_TRUE(store.Put("a_b", Tensor(Shape({1}), {3.0f})).ok());
+  // Every key maps to its own file (the filename carries a key hash), so
+  // keys that flatten to the same safe name stay distinct.
+  auto v1 = store.Get("a/b");
+  auto v2 = store.Get("a:b");
+  auto v3 = store.Get("a_b");
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+  ASSERT_TRUE(v3.ok());
+  EXPECT_FLOAT_EQ(v1->at(0), 1.0f);
+  EXPECT_FLOAT_EQ(v2->at(0), 2.0f);
+  EXPECT_FLOAT_EQ(v3->at(0), 3.0f);
+  // And ListKeys round-trips the raw keys.
+  const std::vector<std::string> keys = store.ListKeys();
+  EXPECT_EQ(keys, (std::vector<std::string>{"a/b", "a:b", "a_b"}));
 }
 
 }  // namespace

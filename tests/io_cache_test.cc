@@ -1,0 +1,173 @@
+// I/O engine tests: LRU cache policy, invalidation, view lifetime, and
+// bitwise equality of the copy / mmap / cached read paths under concurrency.
+#include <filesystem>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nautilus/storage/io_cache.h"
+#include "nautilus/storage/io_stats.h"
+#include "nautilus/storage/tensor_store.h"
+#include "nautilus/util/random.h"
+
+namespace nautilus {
+namespace storage {
+namespace {
+
+std::shared_ptr<const Tensor> MakeShard(int64_t rows, float fill) {
+  auto t = std::make_shared<Tensor>(Shape({rows, 1}));
+  t->Fill(fill);
+  return t;
+}
+
+TEST(IoCacheTest, EvictsLeastRecentlyUsedUnderTinyBudget) {
+  // Budget fits exactly two 4-byte single-row shards.
+  IoCache cache(2 * sizeof(float));
+  cache.Insert("a", MakeShard(1, 1.0f));
+  cache.Insert("b", MakeShard(1, 2.0f));
+  EXPECT_EQ(cache.entry_count(), 2);
+  // Touch "a" so "b" becomes the LRU victim.
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  cache.Insert("c", MakeShard(1, 3.0f));
+  EXPECT_EQ(cache.entry_count(), 2);
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+}
+
+TEST(IoCacheTest, OversizedEntryIsNotCached) {
+  IoCache cache(sizeof(float));
+  cache.Insert("big", MakeShard(2, 1.0f));
+  EXPECT_EQ(cache.entry_count(), 0);
+  EXPECT_EQ(cache.resident_bytes(), 0);
+}
+
+TEST(IoCacheTest, InsertReplacesExistingEntry) {
+  IoCache cache(1024);
+  cache.Insert("a", MakeShard(1, 1.0f));
+  cache.Insert("a", MakeShard(2, 5.0f));
+  EXPECT_EQ(cache.entry_count(), 1);
+  auto hit = cache.Lookup("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->shape().dim(0), 2);
+  EXPECT_FLOAT_EQ(hit->at(0), 5.0f);
+}
+
+TEST(IoCacheTest, EvictedEntryStaysAliveThroughHandedOutPointer) {
+  IoCache cache(2 * sizeof(float));
+  cache.Insert("a", MakeShard(2, 7.0f));
+  auto held = cache.Lookup("a");
+  ASSERT_NE(held, nullptr);
+  cache.Insert("b", MakeShard(2, 8.0f));  // evicts "a"
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  // The shared_ptr keeps the evicted shard's bytes valid.
+  EXPECT_FLOAT_EQ(held->at(1), 7.0f);
+}
+
+TEST(IoCacheTest, SetBudgetEvictsDownAndZeroDisables) {
+  IoCache cache(4 * sizeof(float));
+  cache.Insert("a", MakeShard(2, 1.0f));
+  cache.Insert("b", MakeShard(2, 2.0f));
+  EXPECT_EQ(cache.entry_count(), 2);
+  cache.SetBudget(2 * sizeof(float));
+  EXPECT_EQ(cache.entry_count(), 1);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);  // "a" was least recently used
+  cache.SetBudget(0);
+  EXPECT_EQ(cache.entry_count(), 0);
+  cache.Insert("c", MakeShard(1, 3.0f));
+  EXPECT_EQ(cache.entry_count(), 0);
+}
+
+class IoEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("nautilus_io_engine_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoEngineTest, CacheInvalidatedAfterAppendRows) {
+  IoStats stats;
+  TensorStore store(dir_.string(), &stats);
+  Tensor a(Shape({2, 2}), {1, 2, 3, 4});
+  ASSERT_TRUE(store.Put("f", a).ok());
+  ASSERT_TRUE(store.Get("f").ok());  // warm the cache
+  EXPECT_EQ(store.cache_entry_count(), 1);
+  ASSERT_TRUE(store.AppendRows("f", Tensor(Shape({1, 2}), {5, 6})).ok());
+  EXPECT_EQ(store.cache_entry_count(), 0);
+  auto grown = store.Get("f");
+  ASSERT_TRUE(grown.ok());
+  EXPECT_EQ(grown->shape(), Shape({3, 2}));
+  EXPECT_FLOAT_EQ(grown->at(5), 6.0f);
+}
+
+TEST_F(IoEngineTest, ZeroBudgetStoreAlwaysReadsDisk) {
+  IoStats stats;
+  TensorStore store(dir_.string(), &stats, /*cache_budget_bytes=*/0);
+  ASSERT_TRUE(store.Put("f", Tensor(Shape({16, 4}))).ok());
+  ASSERT_TRUE(store.Get("f").ok());
+  const int64_t after_first = stats.bytes_read();
+  ASSERT_TRUE(store.Get("f").ok());
+  EXPECT_GT(stats.bytes_read(), after_first);  // every read hits disk
+  EXPECT_EQ(store.cache_entry_count(), 0);
+}
+
+TEST_F(IoEngineTest, MmapViewLifetimeOutlivesRemove) {
+  IoStats stats;
+  TensorStore store(dir_.string(), &stats, /*cache_budget_bytes=*/0);
+  Rng rng(3);
+  Tensor t = Tensor::Randn(Shape({32, 8}), &rng, 1.0f);
+  ASSERT_TRUE(store.Put("f", t).ok());
+  auto view = store.Get("f");  // uncached: the view pins the mapping itself
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->IsView());
+  ASSERT_TRUE(store.Remove("f").ok());
+  EXPECT_FALSE(store.Contains("f"));
+  EXPECT_EQ(Tensor::MaxAbsDiff(*view, t), 0.0f);
+}
+
+TEST_F(IoEngineTest, CopyMmapAndCachedPathsAreBitwiseIdentical) {
+  IoStats stats;
+  // Two stores over the same directory: one cached (mmap + cache paths),
+  // one with the cache disabled (forced-disk copy path).
+  TensorStore cached(dir_.string(), &stats);
+  TensorStore copying(dir_.string(), &stats, /*cache_budget_bytes=*/0);
+  Rng rng(11);
+  const int64_t kRows = 64;
+  Tensor t = Tensor::Randn(Shape({kRows, 16}), &rng, 1.0f);
+  ASSERT_TRUE(cached.Put("f", t).ok());
+
+  std::vector<std::thread> readers;
+  std::vector<int> failures(8, 0);
+  for (int i = 0; i < 8; ++i) {
+    readers.emplace_back([&, i] {
+      for (int iter = 0; iter < 20; ++iter) {
+        auto via_cache = cached.Get("f");          // mmap then cached hits
+        auto via_rows = cached.GetRowsView("f", 0, kRows);
+        auto via_copy = copying.GetRows("f", 0, kRows);  // buffered disk read
+        if (!via_cache.ok() || !via_rows.ok() || !via_copy.ok() ||
+            Tensor::MaxAbsDiff(*via_cache, t) != 0.0f ||
+            Tensor::MaxAbsDiff(*via_rows, t) != 0.0f ||
+            Tensor::MaxAbsDiff(*via_copy, t) != 0.0f) {
+          failures[static_cast<size_t>(i)] = 1;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& th : readers) th.join();
+  for (int f : failures) EXPECT_EQ(f, 0);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace nautilus

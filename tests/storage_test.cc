@@ -1,4 +1,7 @@
+#include <algorithm>
 #include <filesystem>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -120,6 +123,125 @@ TEST_F(StorageTest, TotalBytesTracksBudgetAccounting) {
   // 1000 floats + header.
   EXPECT_GE(store.TotalBytes(), 4000);
   EXPECT_LE(store.TotalBytes(), 4200);
+}
+
+TEST_F(StorageTest, GetReturnsZeroCopyViewWithCopyOnWrite) {
+  IoStats stats;
+  TensorStore store(dir_.string(), &stats);
+  Tensor t(Shape({2, 2}), {1, 2, 3, 4});
+  ASSERT_TRUE(store.Put("f", t).ok());
+  auto view = store.GetView("f");
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->IsView());
+  EXPECT_EQ(Tensor::MaxAbsDiff(*view, t), 0.0f);
+  // Mutation detaches the view without touching the stored bytes.
+  view->Fill(9.0f);
+  EXPECT_FALSE(view->IsView());
+  auto reread = store.Get("f");
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(Tensor::MaxAbsDiff(*reread, t), 0.0f);
+}
+
+TEST_F(StorageTest, ViewOutlivesRemoveAndReplacingPut) {
+  IoStats stats;
+  TensorStore store(dir_.string(), &stats);
+  Tensor t(Shape({3, 2}), {1, 2, 3, 4, 5, 6});
+  ASSERT_TRUE(store.Put("f", t).ok());
+  auto view = store.Get("f");
+  ASSERT_TRUE(view.ok());
+  // The mapping pins the inode: unlinking and replacing the file must not
+  // change the bytes an existing view sees.
+  ASSERT_TRUE(store.Remove("f").ok());
+  EXPECT_EQ(Tensor::MaxAbsDiff(*view, t), 0.0f);
+  ASSERT_TRUE(store.Put("f", Tensor(Shape({3, 2}))).ok());
+  EXPECT_EQ(Tensor::MaxAbsDiff(*view, t), 0.0f);
+  auto fresh = store.Get("f");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FLOAT_EQ(fresh->at(0), 0.0f);
+}
+
+TEST_F(StorageTest, GetRowsViewSlicesWithoutCopy) {
+  IoStats stats;
+  TensorStore store(dir_.string(), &stats);
+  Tensor t(Shape({4, 2}), {0, 1, 2, 3, 4, 5, 6, 7});
+  ASSERT_TRUE(store.Put("f", t).ok());
+  auto rows = store.GetRowsView("f", 1, 3);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->IsView());
+  EXPECT_EQ(rows->shape(), Shape({2, 2}));
+  EXPECT_FLOAT_EQ(rows->at(0), 2.0f);
+  EXPECT_FLOAT_EQ(rows->at(3), 5.0f);
+  EXPECT_FALSE(store.GetRowsView("f", 2, 9).ok());
+}
+
+TEST_F(StorageTest, GetBatchMatchesSerialReads) {
+  IoStats stats;
+  TensorStore store(dir_.string(), &stats);
+  Rng rng(7);
+  Tensor a = Tensor::Randn(Shape({8, 3}), &rng, 1.0f);
+  Tensor b = Tensor::Randn(Shape({5, 4}), &rng, 1.0f);
+  ASSERT_TRUE(store.Put("a", a).ok());
+  ASSERT_TRUE(store.Put("b", b).ok());
+  auto batch = store.GetBatch({{"a", 0, -1}, {"b", 1, 4}, {"a", 0, -1}});
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 3u);
+  EXPECT_EQ(Tensor::MaxAbsDiff((*batch)[0], a), 0.0f);
+  EXPECT_EQ(Tensor::MaxAbsDiff((*batch)[1], b.SliceRows(1, 4)), 0.0f);
+  EXPECT_EQ(Tensor::MaxAbsDiff((*batch)[2], a), 0.0f);
+}
+
+TEST_F(StorageTest, GetBatchReportsLowestIndexedError) {
+  IoStats stats;
+  TensorStore store(dir_.string(), &stats);
+  ASSERT_TRUE(store.Put("a", Tensor(Shape({2, 2}))).ok());
+  auto batch = store.GetBatch({{"a", 0, -1}, {"missing", 0, -1}});
+  EXPECT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(StorageTest, WarmReadsSkipDisk) {
+  IoStats stats;
+  TensorStore store(dir_.string(), &stats);
+  ASSERT_TRUE(store.Put("f", Tensor(Shape({64, 8}))).ok());
+  ASSERT_TRUE(store.Get("f").ok());
+  const int64_t cold_bytes = stats.bytes_read();
+  EXPECT_GT(cold_bytes, 0);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store.Get("f").ok());
+  }
+  EXPECT_EQ(stats.bytes_read(), cold_bytes);  // warm reads are memory-only
+  EXPECT_EQ(store.cache_entry_count(), 1);
+}
+
+TEST_F(StorageTest, ListKeysRoundTripsRawKeys) {
+  IoStats stats;
+  TensorStore store(dir_.string(), &stats);
+  const std::vector<std::string> raw = {
+      "session.train.inputs", "unit_3.valid", "weird/key:with spaces",
+      "unicode\xc3\xa9"};
+  for (const std::string& key : raw) {
+    ASSERT_TRUE(store.Put(key, Tensor(Shape({1}), {1.0f})).ok());
+  }
+  std::vector<std::string> expected = raw;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(store.ListKeys(), expected);
+}
+
+TEST_F(StorageTest, AppendAfterCachedReadReturnsGrownTensor) {
+  IoStats stats;
+  TensorStore store(dir_.string(), &stats);
+  Tensor a(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  ASSERT_TRUE(store.Put("f", a).ok());
+  auto before = store.Get("f");  // populate the cache
+  ASSERT_TRUE(before.ok());
+  Tensor b(Shape({1, 3}), {7, 8, 9});
+  ASSERT_TRUE(store.AppendRows("f", b).ok());
+  auto after = store.Get("f");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->shape(), Shape({3, 3}));
+  EXPECT_FLOAT_EQ(after->at(8), 9.0f);
+  // The stale view still sees the pre-append rows (append-only growth).
+  EXPECT_EQ(Tensor::MaxAbsDiff(*before, a), 0.0f);
 }
 
 TEST_F(StorageTest, CheckpointSaveLoadRoundTrip) {

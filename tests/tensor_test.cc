@@ -91,6 +91,53 @@ TEST(TensorTest, SizeBytes) {
   EXPECT_EQ(t.SizeBytes(), 48);
 }
 
+TEST(TensorTest, FromBorrowedReadsInPlace) {
+  auto backing = std::make_shared<std::vector<float>>(
+      std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor view = Tensor::FromBorrowed(backing->data(), Shape({2, 3}), backing);
+  const Tensor& cview = view;  // non-const data()/at() would detach
+  EXPECT_TRUE(view.IsView());
+  EXPECT_EQ(cview.data(), backing->data());  // const access: zero-copy
+  EXPECT_FLOAT_EQ(cview.at(4), 5.0f);
+  Tensor slice = view.SliceRows(1, 2);
+  EXPECT_FLOAT_EQ(slice.at(2), 6.0f);
+}
+
+TEST(TensorTest, BorrowedTensorDetachesOnMutation) {
+  auto backing = std::make_shared<std::vector<float>>(
+      std::vector<float>{1, 2, 3, 4});
+  Tensor view = Tensor::FromBorrowed(backing->data(), Shape({4}), backing);
+  Tensor copy = view;  // copies share the borrowed storage
+  view.at(0) = 99.0f;  // mutating access detaches
+  EXPECT_FALSE(view.IsView());
+  EXPECT_TRUE(copy.IsView());
+  EXPECT_FLOAT_EQ((*backing)[0], 1.0f);  // backing untouched
+  EXPECT_FLOAT_EQ(copy.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(view.at(0), 99.0f);
+}
+
+TEST(TensorTest, BorrowedHolderKeepsBackingAlive) {
+  Tensor view;
+  {
+    auto backing = std::make_shared<std::vector<float>>(
+        std::vector<float>{7, 8});
+    view = Tensor::FromBorrowed(backing->data(), Shape({2}), backing);
+  }  // the only named reference dies; the holder keeps the bytes alive
+  EXPECT_FLOAT_EQ(view.at(0), 7.0f);
+  EXPECT_FLOAT_EQ(view.at(1), 8.0f);
+}
+
+TEST(TensorTest, BorrowedAppendRowsDetaches) {
+  auto backing = std::make_shared<std::vector<float>>(
+      std::vector<float>{1, 2});
+  Tensor view = Tensor::FromBorrowed(backing->data(), Shape({1, 2}), backing);
+  view.AppendRows(Tensor(Shape({1, 2}), {3, 4}));
+  EXPECT_FALSE(view.IsView());
+  EXPECT_EQ(view.shape(), Shape({2, 2}));
+  EXPECT_FLOAT_EQ(view.at(3), 4.0f);
+  EXPECT_EQ(backing->size(), 2u);  // backing untouched
+}
+
 TEST(OpsTest, MatMulSmall) {
   Tensor a(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
   Tensor b(Shape({3, 2}), {7, 8, 9, 10, 11, 12});

@@ -59,6 +59,24 @@ else
   echo "trace OK (grep fallback)"
 fi
 
+echo "==> io-engine smoke test"
+# The bench self-checks: warm-cache epochs must read 0 disk bytes and every
+# read path must return bitwise-identical tensors (non-zero exit otherwise).
+"$BUILD_DIR/bench/bench_io_engine"
+# And a measured CLI run must actually hit the shard cache: epoch 2+ feed
+# loads are served from memory, so a cache regression zeroes this counter.
+IO_SMOKE_OUT="$(mktemp /tmp/nautilus_ci_io_smoke.XXXXXX.txt)"
+trap 'rm -f "$TRACE_FILE" "$IO_SMOKE_OUT"' EXIT
+"$BUILD_DIR/tools/nautilus_cli" \
+  --workload=FTR-2 --approach=nautilus --mode=measure \
+  --cycles=2 --records=60 --metrics-summary > "$IO_SMOKE_OUT"
+CACHE_HITS="$(awk '$1 == "io.cache.hits" {print $2}' "$IO_SMOKE_OUT")"
+if [ -z "$CACHE_HITS" ] || [ "$CACHE_HITS" -le 0 ]; then
+  echo "FAIL: io.cache.hits is '${CACHE_HITS:-absent}' (expected > 0)"
+  exit 1
+fi
+echo "io engine OK: io.cache.hits=$CACHE_HITS"
+
 echo "==> thread sanitizer"
 # Probe for libtsan: some toolchains ship the compiler flag but not the
 # runtime, in which case the TSAN stage is skipped rather than failed.

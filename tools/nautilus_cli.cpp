@@ -13,6 +13,9 @@
 //               measure  (mini scale, real CPU training)
 //               halving  (mini scale, successive-halving selection)
 //   --threads   worker budget for the global thread pool (default: all cores)
+//   --io-cache-mb  in-memory shard-cache budget for materialized-feed reads
+//                  (0 disables; default: NAUTILUS_IO_CACHE_MB env or 256,
+//                  capped at a quarter of --disk-gb)
 //
 // Observability (docs/OBSERVABILITY.md):
 //   --trace-out=FILE    record a Chrome/Perfetto trace of the run to FILE
@@ -100,6 +103,13 @@ int Run(int argc, char** argv) {
       std::atof(FlagValue(argc, argv, "mem-gb", "10").c_str()) *
       static_cast<double>(1ull << 30);
   config.expected_max_records = params.cycles * params.records_per_cycle;
+  // Shard-cache budget for materialized-feed reads; empty/absent keeps the
+  // auto default (NAUTILUS_IO_CACHE_MB capped by the disk budget).
+  const std::string io_cache_mb = FlagValue(argc, argv, "io-cache-mb", "");
+  if (!io_cache_mb.empty()) {
+    config.io_cache_bytes =
+        std::atof(io_cache_mb.c_str()) * static_cast<double>(1 << 20);
+  }
 
   if (mode == "simulate") {
     nn::ProfileOnlyScope profile_only;
@@ -206,7 +216,8 @@ int main(int argc, char** argv) {
           "usage: %s [--workload=FTR-2] [--approach=nautilus]\n"
           "          [--mode=simulate|measure] [--cycles=N] [--records=N]\n"
           "          [--disk-gb=25] [--mem-gb=10] [--seed=1] [--threads=N]\n"
-          "          [--trace-out=FILE] [--metrics-summary]\n",
+          "          [--io-cache-mb=N] [--trace-out=FILE] "
+          "[--metrics-summary]\n",
           argv[0]);
       return 0;
     }
