@@ -123,6 +123,18 @@ int main() {
   const double warm_serial = TimeEpoch(store, kShards, reference, false);
   const double warm_batched = TimeEpoch(store, kShards, reference, true);
 
+  // Full integrity scrub: streaming CRC32C pass over every shard's payload.
+  double scrub_seconds = 0.0;
+  {
+    Stopwatch watch;
+    const storage::ScrubReport report = store.Scrub();
+    scrub_seconds = watch.ElapsedSeconds();
+    NAUTILUS_CHECK_EQ(report.checked, kShards);
+    NAUTILUS_CHECK_EQ(report.ok, kShards);
+    NAUTILUS_CHECK_EQ(report.quarantined, 0)
+        << "scrub quarantined a freshly written shard";
+  }
+
   bench::PrintRow({"path", "seconds", "MB/s", "disk read"});
   const double total_mb = shard_mb * kShards;
   const auto row = [&](const char* name, double secs, int64_t disk) {
@@ -137,6 +149,7 @@ int main() {
   row("warm cache", epoch_seconds[1], epoch_read_bytes[1]);
   row("warm serial", warm_serial, 0);
   row("warm batched", warm_batched, 0);
+  row("scrub verify", scrub_seconds, 0);
 
   const int64_t hits =
       obs::MetricsRegistry::Global().counter("io.cache.hits").value();

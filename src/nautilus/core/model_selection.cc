@@ -4,6 +4,8 @@
 #include <fstream>
 #include <set>
 
+#include "nautilus/obs/metrics.h"
+#include "nautilus/obs/trace.h"
 #include "nautilus/util/logging.h"
 #include "nautilus/util/stopwatch.h"
 
@@ -32,6 +34,16 @@ ModelSelection::ModelSelection(Workload workload, const SystemConfig& config,
       max_records_(config.expected_max_records) {
   NAUTILUS_CHECK(!workload_.empty()) << "empty model-selection workload";
   Stopwatch init_watch;
+  // Startup integrity pass: torn or bit-flipped shards (e.g. from a crash
+  // mid-write under durability=none) are quarantined before anything reads
+  // them. A quarantined feed reads as absent, so reconciliation and the
+  // trainer's recovery hook recompute it from the frozen prefix.
+  const storage::ScrubReport scrub = feature_store_.Scrub();
+  if (scrub.quarantined > 0) {
+    NAUTILUS_LOG(WARNING) << "feature store scrub quarantined "
+                          << scrub.quarantined << " of " << scrub.checked
+                          << " shards in " << work_dir_;
+  }
   if (options_.resume) {
     ResumeSession();
   } else {
@@ -194,6 +206,32 @@ void ModelSelection::ReconcileMaterializedStore() {
   }
 }
 
+Status ModelSelection::RecoverMaterializedFeed(const std::string& store_key) {
+  obs::TraceScope span("mat", "materializer.recompute_fallback");
+  span.AddArg("key", store_key);
+  static obs::Counter& fallbacks = obs::MetricsRegistry::Global().counter(
+      "materializer.recompute_fallbacks");
+  fallbacks.Add();
+  const auto& units = mm_->units();
+  for (size_t u = 0; u < units.size(); ++u) {
+    for (const char* split : {"train", "valid"}) {
+      if (Materializer::SplitKey(units[u], split) != store_key) continue;
+      // Drop whatever damaged bytes remain under the key, then recompute
+      // the unit's output over the full accumulated snapshot.
+      NAUTILUS_RETURN_IF_ERROR(feature_store_.Remove(store_key));
+      std::vector<bool> only_this(units.size(), false);
+      only_this[u] = true;
+      const data::LabeledDataset& snapshot = std::string(split) == "train"
+                                                 ? dataset_.train()
+                                                 : dataset_.valid();
+      span.AddArg("rows", snapshot.size());
+      return materializer_->MaterializeIncrement(only_this,
+                                                 snapshot.inputs(), split);
+    }
+  }
+  return Status::NotFound("no materializable unit produces " + store_key);
+}
+
 void ModelSelection::UpdateWorkload(Workload workload) {
   NAUTILUS_CHECK(!workload.empty()) << "empty model-selection workload";
   workload_ = std::move(workload);
@@ -272,6 +310,9 @@ FitResult ModelSelection::Fit(const data::LabeledDataset& train_batch,
       options_.seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(cycle_);
   train_options.full_checkpoints = options_.full_checkpoints;
   train_options.checkpoint_tag = cycle_;
+  train_options.recover_feed = [this](const std::string& store_key) {
+    return RecoverMaterializedFeed(store_key);
+  };
 
   result.evals.resize(workload_.size());
   for (const ExecutionGroup& group : plan_.fusion.groups) {

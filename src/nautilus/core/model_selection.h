@@ -96,6 +96,10 @@ class ModelSelection {
   void SaveInitialWeights();
   /// Loads a persisted session from the work_dir (resume = true path).
   void ResumeSession();
+  /// Trainer recovery hook: rebuilds one unreadable materialized feed
+  /// (store key "expr_<hash>.<split>") from the frozen prefix over the
+  /// accumulated dataset snapshot.
+  Status RecoverMaterializedFeed(const std::string& store_key);
   /// Brings the feature store in line with the current materialized set and
   /// dataset snapshots: backfills missing/stale unit outputs, drops
   /// unchosen ones.

@@ -28,11 +28,15 @@ namespace {
 
 // Reads every feed tensor of the plan for one dataset split. Raw feeds come
 // from the dataset; materialized feeds from the store ("<key>.<split>").
+// When a materialized feed is unreadable (corrupt, quarantined, or missing
+// shard) and `options.recover_feed` is set, the bad feeds are rebuilt
+// through the callback and the load retried once before giving up.
 std::unordered_map<int, Tensor> LoadFeeds(const ExecutionGroup& group,
                                           const ExecutableGroup& exec,
                                           const storage::TensorStore& store,
                                           const Tensor& raw_inputs,
-                                          const std::string& split) {
+                                          const std::string& split,
+                                          const Trainer::Options& options) {
   // Materialized-feed loads are the "cache hits" of the reuse plan: each one
   // replaces recomputing a frozen prefix. Raw feeds go down the recompute
   // path instead.
@@ -63,6 +67,29 @@ std::unordered_map<int, Tensor> LoadFeeds(const ExecutionGroup& group,
   obs::TraceScope span("trainer", "trainer.feed_load_batch");
   span.AddArg("feeds", ranges.size()).AddArg("split", split);
   auto loaded = store.GetBatch(ranges);
+  if (!loaded.ok()) {
+    // Graceful degradation: find which feeds actually fail, rebuild each
+    // through the recovery hook, then retry the whole batch once. Only an
+    // unrecoverable feed (or no hook) aborts the run.
+    static obs::Counter& recoveries =
+        obs::MetricsRegistry::Global().counter("trainer.feed_recoveries");
+    for (const storage::KeyRange& range : ranges) {
+      const auto one = store.Get(range.key);
+      if (one.ok()) continue;
+      NAUTILUS_CHECK(options.recover_feed != nullptr)
+          << "materialized features missing for split " << split << " ("
+          << one.status() << ")";
+      NAUTILUS_LOG(WARNING) << "materialized feed " << range.key
+                            << " unreadable (" << one.status()
+                            << "); recomputing from frozen prefix";
+      const Status recovered = options.recover_feed(range.key);
+      NAUTILUS_CHECK(recovered.ok())
+          << "cannot recompute materialized feed " << range.key << " ("
+          << recovered << ")";
+      recoveries.Add();
+    }
+    loaded = store.GetBatch(ranges);
+  }
   NAUTILUS_CHECK(loaded.ok())
       << "materialized features missing for split " << split << " ("
       << loaded.status() << ")";
@@ -209,15 +236,18 @@ GroupRunStats Trainer::TrainGroup(const ExecutionGroup& group,
       feeds = epoch_prefetch.Take();
     } else {
       PrefetchMisses().Add();
-      feeds = LoadFeeds(group, exec, *store_, train.inputs(), "train");
+      feeds = LoadFeeds(group, exec, *store_, train.inputs(), "train",
+                        options);
     }
     if (epoch + 1 < group.max_epochs) {
-      epoch_prefetch.Start([&group, &exec, this, &train] {
-        return LoadFeeds(group, exec, *store_, train.inputs(), "train");
+      epoch_prefetch.Start([&group, &exec, this, &train, &options] {
+        return LoadFeeds(group, exec, *store_, train.inputs(), "train",
+                         options);
       });
     } else {
-      epoch_prefetch.Start([&group, &exec, this, &valid] {
-        return LoadFeeds(group, exec, *store_, valid.inputs(), "valid");
+      epoch_prefetch.Start([&group, &exec, this, &valid, &options] {
+        return LoadFeeds(group, exec, *store_, valid.inputs(), "valid",
+                         options);
       });
     }
 
@@ -294,7 +324,8 @@ GroupRunStats Trainer::TrainGroup(const ExecutionGroup& group,
       feeds = epoch_prefetch.Take();
     } else {
       PrefetchMisses().Add();
-      feeds = LoadFeeds(group, exec, *store_, valid.inputs(), "valid");
+      feeds = LoadFeeds(group, exec, *store_, valid.inputs(), "valid",
+                        options);
     }
     executor.Forward(feeds, /*training=*/false);
     for (size_t b = 0; b < num_branches; ++b) {

@@ -1,6 +1,8 @@
 #ifndef NAUTILUS_CORE_TRAINER_H_
 #define NAUTILUS_CORE_TRAINER_H_
 
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "nautilus/core/config.h"
@@ -45,6 +47,12 @@ class Trainer {
     bool full_checkpoints = false;
     /// Identifier mixed into checkpoint keys (e.g. the cycle number).
     int64_t checkpoint_tag = 0;
+    /// Recovery hook for unreadable materialized feeds: invoked with the
+    /// store key (e.g. "expr_ab12.train") of a feed whose load failed —
+    /// corrupt, quarantined, or missing shard — and should rebuild it so a
+    /// retried load succeeds. ModelSelection wires this to a recompute of
+    /// the frozen prefix from the raw snapshot. Unset, a bad feed aborts.
+    std::function<Status(const std::string& store_key)> recover_feed;
   };
 
   /// Trains `group` on the given snapshot and evaluates every branch on the

@@ -1,11 +1,16 @@
 #include "nautilus/storage/checkpoint_store.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
+#include "nautilus/storage/fault_injection.h"
+#include "nautilus/storage/integrity.h"
 #include "nautilus/util/logging.h"
 
 namespace nautilus {
@@ -16,6 +21,7 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr int64_t kMagic = 0x4e4155544350'0001;  // "NAUTCP" + version
+constexpr int64_t kHeaderBytes = 2 * static_cast<int64_t>(sizeof(int64_t));
 
 // RAII FILE handle (local copy; the stores keep no shared file machinery).
 class File {
@@ -34,11 +40,34 @@ class File {
   std::FILE* f_;
 };
 
-Status WriteString(std::FILE* f, const std::string& s) {
-  const int64_t len = static_cast<int64_t>(s.size());
-  if (std::fwrite(&len, sizeof(int64_t), 1, f) != 1 ||
-      (len > 0 &&
-       std::fwrite(s.data(), 1, s.size(), f) != s.size())) {
+int Seek64(std::FILE* f, int64_t offset, int whence) {
+#if defined(_WIN32)
+  return ::_fseeki64(f, offset, whence);
+#else
+  return ::fseeko(f, static_cast<off_t>(offset), whence);
+#endif
+}
+
+// Write funnel that keeps a running CRC32C and byte count of everything it
+// emits, so the footer checksums drop out of the normal serialization pass.
+struct CrcWriter {
+  std::FILE* f = nullptr;
+  uint32_t crc = 0;
+  int64_t bytes = 0;
+
+  bool Write(const void* p, size_t n) {
+    if (n == 0) return true;
+    if (std::fwrite(p, 1, n, f) != n) return false;
+    crc = Crc32c(crc, p, n);
+    bytes += static_cast<int64_t>(n);
+    return true;
+  }
+  bool WriteI64(int64_t v) { return Write(&v, sizeof(int64_t)); }
+};
+
+Status WriteString(CrcWriter* w, const std::string& s) {
+  if (!w->WriteI64(static_cast<int64_t>(s.size())) ||
+      !w->Write(s.data(), s.size())) {
     return Status::IoError("short string write");
   }
   return Status::OK();
@@ -71,6 +100,11 @@ std::vector<nn::Layer*> UniqueLayers(const graph::ModelGraph& model,
   return layers;
 }
 
+void SerializeCheckpointHeader(int64_t num_params, char* out) {
+  std::memcpy(out, &kMagic, sizeof(int64_t));
+  std::memcpy(out + sizeof(int64_t), &num_params, sizeof(int64_t));
+}
+
 }  // namespace
 
 CheckpointStore::CheckpointStore(std::string directory, IoStats* stats)
@@ -94,94 +128,206 @@ std::string CheckpointStore::PathFor(const std::string& key) const {
 Status CheckpointStore::SaveModel(const graph::ModelGraph& model,
                                   const std::string& key,
                                   bool include_frozen) {
-  File f(PathFor(key), "wb");
-  if (!f.ok()) return Status::IoError("cannot open checkpoint: " + key);
-  std::vector<nn::Layer*> layers = UniqueLayers(model, include_frozen);
-  int64_t num_params = 0;
-  for (nn::Layer* layer : layers) {
-    num_params += static_cast<int64_t>(layer->Params().size());
-  }
-  if (std::fwrite(&kMagic, sizeof(int64_t), 1, f.get()) != 1 ||
-      std::fwrite(&num_params, sizeof(int64_t), 1, f.get()) != 1) {
-    return Status::IoError("short checkpoint header write");
-  }
-  int64_t bytes = 2 * sizeof(int64_t);
-  for (nn::Layer* layer : layers) {
-    for (nn::Parameter* p : layer->Params()) {
-      NAUTILUS_CHECK(!p->IsStub())
-          << "cannot checkpoint profile-only layer " << layer->name();
-      NAUTILUS_RETURN_IF_ERROR(WriteString(f.get(), p->name));
-      const int64_t rank = p->shape.rank();
-      if (std::fwrite(&rank, sizeof(int64_t), 1, f.get()) != 1) {
-        return Status::IoError("short rank write");
-      }
-      for (int i = 0; i < p->shape.rank(); ++i) {
-        const int64_t d = p->shape.dim(i);
-        if (std::fwrite(&d, sizeof(int64_t), 1, f.get()) != 1) {
-          return Status::IoError("short dim write");
+  const std::string path = PathFor(key);
+  const Durability durability = GlobalDurability();
+  // Write-then-rename: the previous checkpoint under this key stays intact
+  // until the replacement is fully written (and synced, per the durability
+  // policy). A crash mid-save leaves a stale .tmp and the old checkpoint,
+  // never a torn file under the live name.
+  const std::string tmp = path + ".tmp";
+  int64_t payload_bytes = 0;
+  {
+    File f(tmp, "wb");
+    if (!f.ok()) return Status::IoError("cannot open checkpoint: " + key);
+    std::vector<nn::Layer*> layers = UniqueLayers(model, include_frozen);
+    int64_t num_params = 0;
+    for (nn::Layer* layer : layers) {
+      num_params += static_cast<int64_t>(layer->Params().size());
+    }
+    char header[kHeaderBytes];
+    SerializeCheckpointHeader(num_params, header);
+    if (std::fwrite(header, 1, sizeof(header), f.get()) != sizeof(header)) {
+      return Status::IoError("short checkpoint header write");
+    }
+    CrcWriter w{f.get()};
+    for (nn::Layer* layer : layers) {
+      for (nn::Parameter* p : layer->Params()) {
+        NAUTILUS_CHECK(!p->IsStub())
+            << "cannot checkpoint profile-only layer " << layer->name();
+        NAUTILUS_RETURN_IF_ERROR(WriteString(&w, p->name));
+        if (!w.WriteI64(p->shape.rank())) {
+          return Status::IoError("short rank write");
+        }
+        for (int i = 0; i < p->shape.rank(); ++i) {
+          if (!w.WriteI64(p->shape.dim(i))) {
+            return Status::IoError("short dim write");
+          }
+        }
+        const size_t n = static_cast<size_t>(p->value.NumElements());
+        if (!w.Write(p->value.data(), n * sizeof(float))) {
+          return Status::IoError("short param write");
         }
       }
-      const size_t n = static_cast<size_t>(p->value.NumElements());
-      if (n > 0 &&
-          std::fwrite(p->value.data(), sizeof(float), n, f.get()) != n) {
-        return Status::IoError("short param write");
-      }
-      bytes += static_cast<int64_t>(sizeof(int64_t)) * (2 + rank) +
-               static_cast<int64_t>(p->name.size()) + p->value.SizeBytes();
     }
+    ShardFooter footer;
+    footer.header_crc = Crc32c(0, header, sizeof(header));
+    footer.payload_crc = w.crc;
+    footer.payload_bytes = w.bytes;
+    payload_bytes = w.bytes;
+    NAUTILUS_RETURN_IF_ERROR(WriteShardFooter(f.get(), footer));
+    NAUTILUS_RETURN_IF_ERROR(SyncFile(f.get(), durability));
   }
-  if (stats_ != nullptr) stats_->RecordWrite(bytes);
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IoError("rename failed for " + key + ": " + ec.message());
+  }
+  NAUTILUS_RETURN_IF_ERROR(SyncParentDir(path, durability));
+  if (stats_ != nullptr) {
+    stats_->RecordWrite(kHeaderBytes + payload_bytes + kShardFooterBytes);
+  }
+  FaultInjector::Global().OnWriteCommitted(path);
   return Status::OK();
 }
 
 Status CheckpointStore::LoadModel(const graph::ModelGraph& model,
                                   const std::string& key) {
-  File f(PathFor(key), "rb");
+  const std::string path = PathFor(key);
+  std::error_code ec;
+  const auto size_or = fs::file_size(path, ec);
+  if (ec) return Status::NotFound("no checkpoint: " + key);
+  const int64_t file_size = static_cast<int64_t>(size_or);
+  File f(path, "rb");
   if (!f.ok()) return Status::NotFound("no checkpoint: " + key);
+  if (file_size < kHeaderBytes) {
+    return CorruptionError("checkpoint too small: " + key);
+  }
   int64_t magic = 0;
   int64_t num_params = 0;
   if (std::fread(&magic, sizeof(int64_t), 1, f.get()) != 1 ||
-      magic != kMagic ||
       std::fread(&num_params, sizeof(int64_t), 1, f.get()) != 1) {
-    return Status::IoError("bad checkpoint header: " + key);
+    return CorruptionError("short checkpoint header: " + key);
+  }
+  if (magic != kMagic || num_params < 0) {
+    return CorruptionError("bad checkpoint header: " + key);
+  }
+  // Classify the tail: a valid footer means a v2 checkpoint whose checksums
+  // we verify in full before parsing a single parameter; no magic means a
+  // legacy v1 file (accepted, unverifiable); a damaged footer is a tear.
+  bool has_footer = false;
+  ShardFooter footer;
+  if (file_size >= kHeaderBytes + kShardFooterBytes) {
+    char tail[kShardFooterBytes];
+    if (Seek64(f.get(), file_size - kShardFooterBytes, SEEK_SET) != 0 ||
+        std::fread(tail, 1, sizeof(tail), f.get()) != sizeof(tail)) {
+      return CorruptionError("short checkpoint read: " + key);
+    }
+    switch (DecodeShardFooter(tail, &footer)) {
+      case FooterState::kValid:
+        has_footer = true;
+        break;
+      case FooterState::kAbsent:
+        break;
+      case FooterState::kTorn:
+        return CorruptionError("torn checkpoint footer: " + key);
+    }
+  }
+  const int64_t payload_end =
+      file_size - (has_footer ? kShardFooterBytes : 0);
+  if (has_footer) {
+    char header[kHeaderBytes];
+    SerializeCheckpointHeader(num_params, header);
+    if (footer.header_crc != Crc32c(0, header, sizeof(header))) {
+      return CorruptionError("checkpoint header checksum mismatch: " + key);
+    }
+    if (footer.payload_bytes != payload_end - kHeaderBytes) {
+      return CorruptionError("checkpoint size mismatch (torn write?): " + key);
+    }
+    // Whole-file checksum pass BEFORE the parse touches any parameter, so a
+    // bit-flip anywhere in the file rejects the checkpoint outright.
+    if (Seek64(f.get(), kHeaderBytes, SEEK_SET) != 0) {
+      return Status::IoError("seek failed: " + key);
+    }
+    std::vector<char> buf(1 << 20);
+    uint32_t payload_crc = 0;
+    int64_t left = footer.payload_bytes;
+    while (left > 0) {
+      const size_t chunk = static_cast<size_t>(
+          std::min<int64_t>(left, static_cast<int64_t>(buf.size())));
+      if (std::fread(buf.data(), 1, chunk, f.get()) != chunk) {
+        return CorruptionError("short checkpoint read: " + key);
+      }
+      payload_crc = Crc32c(payload_crc, buf.data(), chunk);
+      left -= static_cast<int64_t>(chunk);
+    }
+    if (payload_crc != footer.payload_crc) {
+      return CorruptionError("checkpoint payload checksum mismatch: " + key);
+    }
+    if (Seek64(f.get(), kHeaderBytes, SEEK_SET) != 0) {
+      return Status::IoError("seek failed: " + key);
+    }
   }
   // Index the model's parameters by name.
   std::unordered_map<std::string, nn::Parameter*> by_name;
   for (nn::Layer* layer : UniqueLayers(model, /*include_frozen=*/true)) {
     for (nn::Parameter* p : layer->Params()) by_name[p->name] = p;
   }
-  int64_t bytes = 2 * sizeof(int64_t);
+  // Parse every parameter into a staging area first and apply only after the
+  // whole file deserializes cleanly: a checkpoint either loads entirely or
+  // leaves the model untouched, never half-overwritten.
+  struct StagedParam {
+    nn::Parameter* target;
+    Tensor value;
+  };
+  std::vector<StagedParam> staged;
+  int64_t pos = kHeaderBytes;
   for (int64_t i = 0; i < num_params; ++i) {
     NAUTILUS_ASSIGN_OR_RETURN(std::string name, ReadString(f.get()));
+    pos += static_cast<int64_t>(sizeof(int64_t) + name.size());
     int64_t rank = 0;
     if (std::fread(&rank, sizeof(int64_t), 1, f.get()) != 1 || rank < 0 ||
         rank > 8) {
-      return Status::IoError("bad param rank: " + key);
+      return CorruptionError("bad param rank: " + key);
     }
+    pos += static_cast<int64_t>(sizeof(int64_t));
     std::vector<int64_t> dims(static_cast<size_t>(rank));
+    int64_t elements = 1;
     for (int64_t d = 0; d < rank; ++d) {
-      if (std::fread(&dims[static_cast<size_t>(d)], sizeof(int64_t), 1,
-                     f.get()) != 1) {
-        return Status::IoError("bad param dims: " + key);
+      int64_t& dim = dims[static_cast<size_t>(d)];
+      if (std::fread(&dim, sizeof(int64_t), 1, f.get()) != 1 || dim < 0) {
+        return CorruptionError("bad param dims: " + key);
       }
+      if (dim > 0 && elements > (INT64_MAX / 4) / dim) {
+        return CorruptionError("bad param dims: " + key);
+      }
+      elements *= dim;
+      pos += static_cast<int64_t>(sizeof(int64_t));
+    }
+    // Cross-check against the actual bytes left in the file before the
+    // allocation: corrupt dims can never drive a huge or past-EOF read.
+    const int64_t value_bytes = elements * static_cast<int64_t>(sizeof(float));
+    if (value_bytes > payload_end - pos) {
+      return CorruptionError("param overruns checkpoint: " + key);
     }
     Shape shape(dims);
     Tensor value(shape);
     const size_t n = static_cast<size_t>(value.NumElements());
     if (n > 0 && std::fread(value.data(), sizeof(float), n, f.get()) != n) {
-      return Status::IoError("short param read: " + key);
+      return CorruptionError("short param read: " + key);
     }
-    bytes += static_cast<int64_t>(sizeof(int64_t)) * (2 + rank) +
-             static_cast<int64_t>(name.size()) + value.SizeBytes();
+    pos += value_bytes;
     auto it = by_name.find(name);
     if (it != by_name.end()) {
       if (it->second->shape != shape) {
         return Status::InvalidArgument("shape mismatch for param " + name);
       }
-      it->second->value = std::move(value);
+      staged.push_back(StagedParam{it->second, std::move(value)});
     }
   }
-  if (stats_ != nullptr) stats_->RecordRead(bytes);
+  for (StagedParam& s : staged) {
+    s.target->value = std::move(s.value);
+  }
+  if (stats_ != nullptr) stats_->RecordRead(pos);
   return Status::OK();
 }
 

@@ -15,17 +15,27 @@ namespace storage {
 /// whole model (frozen parameters included, ~400-500 MB for BERT-base) after
 /// every training run, while Nautilus checkpoints rewritten graphs whose
 /// frozen parameters are pruned.
+///
+/// Checkpoints carry the same 32-byte CRC32C footer as tensor shards
+/// (integrity.h); legacy footer-less files remain readable but unverifiable.
+/// Saves are atomic (temp file + rename, honoring the process durability
+/// policy) and loads are all-or-nothing: the whole file is checksum-verified
+/// and parsed before any parameter is overwritten.
 class CheckpointStore {
  public:
   CheckpointStore(std::string directory, IoStats* stats);
 
   /// Serializes parameter values of `model`'s layers (shared layers once).
-  /// With include_frozen=false, only trainable layers are written.
+  /// With include_frozen=false, only trainable layers are written. Writes a
+  /// temp file and renames it into place, so a crash mid-save leaves the
+  /// previous checkpoint intact under the live name.
   Status SaveModel(const graph::ModelGraph& model, const std::string& key,
                    bool include_frozen);
 
   /// Restores parameter values into `model`'s layer instances in place.
-  /// Layers absent from the checkpoint are left untouched.
+  /// Layers absent from the checkpoint are left untouched. Verifies the
+  /// file's checksums and fully deserializes it before applying anything: on
+  /// any error (IoError for corruption) the model is left untouched.
   Status LoadModel(const graph::ModelGraph& model, const std::string& key);
 
   bool Contains(const std::string& key) const;

@@ -1,0 +1,132 @@
+#include "nautilus/storage/fault_injection.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+
+#include "nautilus/obs/metrics.h"
+#include "nautilus/util/logging.h"
+
+namespace nautilus {
+namespace storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Chops the last 17 bytes off `path`: enough to destroy the 32-byte footer's
+// magic and bleed into the payload, the classic torn tail.
+void TruncateTail(const std::string& path) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec || size == 0) return;
+  const uintmax_t cut = size > 17 ? 17 : size;
+  fs::resize_file(path, size - cut, ec);
+}
+
+// Flips bit 3 of the byte in the middle of `path` — deep inside the payload
+// for any realistically-sized shard.
+void FlipMiddleBit(const std::string& path) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec || size == 0) return;
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) return;
+  const long long mid = static_cast<long long>(size / 2);
+  unsigned char byte = 0;
+  if (std::fseek(f, static_cast<long>(mid), SEEK_SET) == 0 &&
+      std::fread(&byte, 1, 1, f) == 1) {
+    byte ^= 0x08;
+    if (std::fseek(f, static_cast<long>(mid), SEEK_SET) == 0) {
+      std::fwrite(&byte, 1, 1, f);
+    }
+  }
+  std::fclose(f);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector() {
+  const char* env = std::getenv("NAUTILUS_FAULT");
+  if (env != nullptr && *env != '\0') {
+    if (!ArmFromSpec(env)) {
+      NAUTILUS_LOG(WARNING) << "ignoring unparsable NAUTILUS_FAULT='" << env
+                            << "' (want truncate:N | bitflip:N | "
+                               "crash_after_write:N)";
+    }
+  }
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(Kind kind, int64_t countdown) {
+  std::lock_guard<std::mutex> lock(mu_);
+  kind_ = kind;
+  countdown_ = countdown < 1 ? 1 : countdown;
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  kind_ = Kind::kNone;
+  countdown_ = 0;
+}
+
+bool FaultInjector::armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return kind_ != Kind::kNone;
+}
+
+bool FaultInjector::ArmFromSpec(const std::string& spec) {
+  const size_t colon = spec.find(':');
+  if (colon == std::string::npos) return false;
+  const std::string name = spec.substr(0, colon);
+  Kind kind;
+  if (name == "truncate") {
+    kind = Kind::kTruncate;
+  } else if (name == "bitflip") {
+    kind = Kind::kBitflip;
+  } else if (name == "crash_after_write") {
+    kind = Kind::kCrashAfterWrite;
+  } else {
+    return false;
+  }
+  char* end = nullptr;
+  const std::string count = spec.substr(colon + 1);
+  const long long n = std::strtoll(count.c_str(), &end, 10);
+  if (end == count.c_str() || *end != '\0' || n < 1) return false;
+  Arm(kind, n);
+  return true;
+}
+
+void FaultInjector::OnWriteCommitted(const std::string& path) {
+  static obs::Counter& commits =
+      obs::MetricsRegistry::Global().counter("store.write_commits");
+  commits.Add();
+  Kind fire = Kind::kNone;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (kind_ == Kind::kNone) return;
+    if (--countdown_ > 0) return;
+    fire = kind_;
+    kind_ = Kind::kNone;
+  }
+  if (fire == Kind::kCrashAfterWrite) {
+    // A real crash: no stdio flushing, no atexit, no destructors. Everything
+    // not yet pushed past the durability policy is lost.
+    std::fprintf(stderr, "nautilus: injected crash after write to %s\n",
+                 path.c_str());
+    std::_Exit(kCrashExitCode);
+  }
+  static obs::Counter& injected =
+      obs::MetricsRegistry::Global().counter("store.faults_injected");
+  injected.Add();
+  if (fire == Kind::kTruncate) TruncateTail(path);
+  if (fire == Kind::kBitflip) FlipMiddleBit(path);
+}
+
+}  // namespace storage
+}  // namespace nautilus

@@ -1,0 +1,63 @@
+#ifndef NAUTILUS_STORAGE_FAULT_INJECTION_H_
+#define NAUTILUS_STORAGE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace nautilus {
+namespace storage {
+
+/// Process-wide write-fault injector for crash-recovery testing. The stores
+/// call OnWriteCommitted(path) after every durable commit (TensorStore::Put /
+/// AppendRows, CheckpointStore::SaveModel); the injector counts down and, on
+/// the Nth commit, damages the just-written file or kills the process:
+///
+///   truncate:N           chop the tail of the Nth committed file (simulated
+///                        torn write: the footer and part of the payload are
+///                        lost)
+///   bitflip:N            flip one payload bit of the Nth committed file
+///                        (simulated silent media corruption)
+///   crash_after_write:N  _Exit(kCrashExitCode) right after the Nth commit
+///                        (simulated hard crash; no flushing, no destructors)
+///
+/// Armed from the NAUTILUS_FAULT environment variable ("kind:N") on first
+/// use, or programmatically via Arm() in tests. Each armed fault fires once,
+/// then disarms. Fires bump the `store.faults_injected` counter (except the
+/// crash, which never returns).
+class FaultInjector {
+ public:
+  enum class Kind { kNone, kTruncate, kBitflip, kCrashAfterWrite };
+
+  /// Exit code of an injected crash; distinguishable from normal failures.
+  static constexpr int kCrashExitCode = 86;
+
+  static FaultInjector& Global();
+
+  /// Arms `kind` to fire on the `countdown`-th commit from now (1 = next).
+  void Arm(Kind kind, int64_t countdown);
+  void Disarm();
+  bool armed() const;
+
+  /// Parses "truncate:N" / "bitflip:N" / "crash_after_write:N"; returns
+  /// false (leaving the injector untouched) on anything else.
+  bool ArmFromSpec(const std::string& spec);
+
+  /// Commit hook for the stores. Counts every commit into the
+  /// `store.write_commits` counter, fires the armed fault when its countdown
+  /// reaches zero. Never fails: injection errors are silently dropped (the
+  /// harness must not perturb production paths).
+  void OnWriteCommitted(const std::string& path);
+
+ private:
+  FaultInjector();
+
+  mutable std::mutex mu_;
+  Kind kind_ = Kind::kNone;
+  int64_t countdown_ = 0;
+};
+
+}  // namespace storage
+}  // namespace nautilus
+
+#endif  // NAUTILUS_STORAGE_FAULT_INJECTION_H_

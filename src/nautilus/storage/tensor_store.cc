@@ -7,7 +7,10 @@
 #include <cstring>
 #include <filesystem>
 
+#include "nautilus/obs/metrics.h"
 #include "nautilus/obs/trace.h"
+#include "nautilus/storage/fault_injection.h"
+#include "nautilus/storage/integrity.h"
 #include "nautilus/storage/mmap_file.h"
 #include "nautilus/util/logging.h"
 #include "nautilus/util/parallel.h"
@@ -29,6 +32,30 @@ struct Header {
 
 int64_t HeaderBytes(int64_t rank) {
   return static_cast<int64_t>(sizeof(int64_t)) * (2 + rank);
+}
+
+constexpr int64_t kMaxHeaderBytes = 10 * static_cast<int64_t>(sizeof(int64_t));
+
+// Serializes `h` exactly as it lays on disk (for CRC computation); returns
+// the byte count. `buf` must hold kMaxHeaderBytes.
+int64_t SerializeHeader(const Header& h, char* buf) {
+  std::memcpy(buf, &h.magic, sizeof(int64_t));
+  std::memcpy(buf + sizeof(int64_t), &h.rank, sizeof(int64_t));
+  std::memcpy(buf + 2 * sizeof(int64_t), h.dims,
+              static_cast<size_t>(h.rank) * sizeof(int64_t));
+  return HeaderBytes(h.rank);
+}
+
+// Payload bytes implied by the header dims, or -1 on overflow/negative dims.
+int64_t PayloadBytesFor(const Header& h) {
+  int64_t elements = 1;
+  for (int64_t i = 0; i < h.rank; ++i) {
+    const int64_t d = h.dims[i];
+    if (d < 0) return -1;
+    if (d > 0 && elements > (INT64_MAX / 4) / d) return -1;
+    elements *= d;
+  }
+  return elements * static_cast<int64_t>(sizeof(float));
 }
 
 // 64-bit-clean absolute seek; plain fseek takes a long, which truncates byte
@@ -143,70 +170,193 @@ class File {
   std::FILE* f_;
 };
 
-Status ReadHeader(std::FILE* f, Header* h) {
-  if (std::fread(&h->magic, sizeof(int64_t), 1, f) != 1 ||
-      std::fread(&h->rank, sizeof(int64_t), 1, f) != 1) {
-    return Status::IoError("short read on tensor header");
+// Parsed and structurally-validated on-disk shard metadata, shared by the
+// buffered and mapped read paths.
+struct ShardInfo {
+  Header header;
+  int64_t header_bytes = 0;
+  int64_t payload_bytes = 0;
+  bool has_footer = false;  // false: legacy v1 (no checksums to verify)
+  ShardFooter footer;
+};
+
+// Validates a header already read from disk against the actual file size:
+// rank bounds, non-negative dims, overflow-safe payload size, and an exact
+// size match against either the v2 (footer) or v1 (legacy) layout. A corrupt
+// header can therefore never drive a huge or undersized allocation. Fills
+// everything except footer verification (the footer bytes still need to be
+// read and checked by the caller for the buffered path).
+Status ValidateHeader(const Header& h, int64_t file_size,
+                      const std::string& key, ShardInfo* info) {
+  if (h.magic != kMagic) {
+    return CorruptionError("bad tensor-file magic: " + key);
   }
-  if (h->magic != kMagic) return Status::IoError("bad tensor-file magic");
-  if (h->rank < 1 || h->rank > 8) {
-    return Status::IoError("unsupported tensor rank on disk");
+  if (h.rank < 1 || h.rank > 8) {
+    return CorruptionError("unsupported tensor rank on disk: " + key);
   }
-  if (std::fread(h->dims, sizeof(int64_t), static_cast<size_t>(h->rank), f) !=
-      static_cast<size_t>(h->rank)) {
-    return Status::IoError("short read on tensor dims");
+  const int64_t payload = PayloadBytesFor(h);
+  if (payload < 0) {
+    return CorruptionError("corrupt tensor dims on disk: " + key);
+  }
+  info->header = h;
+  info->header_bytes = HeaderBytes(h.rank);
+  info->payload_bytes = payload;
+  const int64_t v1_size = info->header_bytes + payload;
+  if (file_size == v1_size) {
+    info->has_footer = false;  // legacy footer-less shard, read-only trust
+    return Status::OK();
+  }
+  if (file_size == v1_size + kShardFooterBytes) {
+    info->has_footer = true;  // footer bytes verified by the caller
+    return Status::OK();
+  }
+  return CorruptionError("tensor file size mismatch (torn write?): " + key);
+}
+
+// Cross-checks a decoded footer against the header it should cover.
+Status CheckFooterAgainstHeader(const ShardInfo& info, const std::string& key) {
+  char buf[kMaxHeaderBytes];
+  const int64_t n = SerializeHeader(info.header, buf);
+  if (info.footer.header_crc != Crc32c(0, buf, static_cast<size_t>(n))) {
+    return CorruptionError("header checksum mismatch: " + key);
+  }
+  if (info.footer.payload_bytes != info.payload_bytes) {
+    return CorruptionError("footer/header payload size mismatch: " + key);
   }
   return Status::OK();
 }
 
-Status WriteHeader(std::FILE* f, const Shape& shape) {
-  const int64_t magic = kMagic;
-  const int64_t rank = shape.rank();
-  if (std::fwrite(&magic, sizeof(int64_t), 1, f) != 1 ||
-      std::fwrite(&rank, sizeof(int64_t), 1, f) != 1) {
+// Reads and validates header + footer of an open shard file. On return the
+// stream position is unspecified; payload checksums are NOT yet verified
+// (callers do that while streaming the payload they read anyway).
+Status ReadShardInfo(std::FILE* f, int64_t file_size, const std::string& key,
+                     ShardInfo* info) {
+  Header h;
+  if (Seek64(f, 0, SEEK_SET) != 0 ||
+      std::fread(&h.magic, sizeof(int64_t), 1, f) != 1 ||
+      std::fread(&h.rank, sizeof(int64_t), 1, f) != 1) {
+    return CorruptionError("short read on tensor header: " + key);
+  }
+  if (h.magic != kMagic) {
+    return CorruptionError("bad tensor-file magic: " + key);
+  }
+  if (h.rank < 1 || h.rank > 8) {
+    return CorruptionError("unsupported tensor rank on disk: " + key);
+  }
+  if (std::fread(h.dims, sizeof(int64_t), static_cast<size_t>(h.rank), f) !=
+      static_cast<size_t>(h.rank)) {
+    return CorruptionError("short read on tensor dims: " + key);
+  }
+  NAUTILUS_RETURN_IF_ERROR(ValidateHeader(h, file_size, key, info));
+  if (!info->has_footer) return Status::OK();
+  char bytes[kShardFooterBytes];
+  if (Seek64(f, file_size - kShardFooterBytes, SEEK_SET) != 0 ||
+      std::fread(bytes, 1, sizeof(bytes), f) != sizeof(bytes)) {
+    return CorruptionError("short read on tensor footer: " + key);
+  }
+  switch (DecodeShardFooter(bytes, &info->footer)) {
+    case FooterState::kValid:
+      break;
+    case FooterState::kAbsent:
+    case FooterState::kTorn:
+      return CorruptionError("torn tensor footer: " + key);
+  }
+  return CheckFooterAgainstHeader(*info, key);
+}
+
+// Full offline verification of one shard file: structural cross-checks plus
+// a streaming payload CRC pass for v2 files. Legacy v1 files pass on
+// structure alone (no checksum exists to verify); *legacy reports which.
+Status VerifyShardFile(const std::string& path, const std::string& key,
+                       bool* legacy) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec) return CorruptionError("cannot stat shard: " + key);
+  File f(path, "rb");
+  if (!f.ok()) return CorruptionError("cannot open shard: " + key);
+  ShardInfo info;
+  NAUTILUS_RETURN_IF_ERROR(
+      ReadShardInfo(f.get(), static_cast<int64_t>(size), key, &info));
+  *legacy = !info.has_footer;
+  if (!info.has_footer) return Status::OK();
+  if (Seek64(f.get(), info.header_bytes, SEEK_SET) != 0) {
+    return Status::IoError("seek failed: " + key);
+  }
+  std::vector<char> buf(1 << 20);
+  uint32_t payload_crc = 0;
+  int64_t left = info.payload_bytes;
+  while (left > 0) {
+    const size_t chunk = static_cast<size_t>(
+        std::min<int64_t>(left, static_cast<int64_t>(buf.size())));
+    if (std::fread(buf.data(), 1, chunk, f.get()) != chunk) {
+      return CorruptionError("short read on shard payload: " + key);
+    }
+    payload_crc = Crc32c(payload_crc, buf.data(), chunk);
+    left -= static_cast<int64_t>(chunk);
+  }
+  if (payload_crc != info.footer.payload_crc) {
+    return CorruptionError("payload checksum mismatch: " + key);
+  }
+  return Status::OK();
+}
+
+Status WriteHeader(std::FILE* f, const Shape& shape, uint32_t* header_crc) {
+  Header h;
+  h.magic = kMagic;
+  h.rank = shape.rank();
+  for (int i = 0; i < shape.rank(); ++i) h.dims[i] = shape.dim(i);
+  char buf[kMaxHeaderBytes];
+  const int64_t n = SerializeHeader(h, buf);
+  *header_crc = Crc32c(0, buf, static_cast<size_t>(n));
+  if (std::fwrite(buf, 1, static_cast<size_t>(n), f) !=
+      static_cast<size_t>(n)) {
     return Status::IoError("short write on tensor header");
   }
-  for (int i = 0; i < shape.rank(); ++i) {
-    const int64_t d = shape.dim(i);
-    if (std::fwrite(&d, sizeof(int64_t), 1, f) != 1) {
-      return Status::IoError("short write on tensor dims");
-    }
-  }
   return Status::OK();
 }
 
-// Validates the header at the front of a mapped file and returns its shape.
-// memcpy keeps the int64 loads alignment-safe regardless of mapping origin.
-Result<Shape> ParseMappedHeader(const char* data, int64_t size,
-                                const std::string& key) {
+// Validates header, footer, and payload checksum of a fully mapped file and
+// returns its shape. memcpy keeps the int64 loads alignment-safe regardless
+// of mapping origin.
+Result<Shape> ParseAndVerifyMapped(const char* data, int64_t size,
+                                   const std::string& key) {
   if (size < HeaderBytes(0)) {
-    return Status::IoError("short read on tensor header: " + key);
+    return CorruptionError("short read on tensor header: " + key);
   }
-  int64_t magic = 0;
-  int64_t rank = 0;
-  std::memcpy(&magic, data, sizeof(int64_t));
-  std::memcpy(&rank, data + sizeof(int64_t), sizeof(int64_t));
-  if (magic != kMagic) return Status::IoError("bad tensor-file magic: " + key);
-  if (rank < 1 || rank > 8) {
-    return Status::IoError("unsupported tensor rank on disk: " + key);
+  Header h;
+  std::memcpy(&h.magic, data, sizeof(int64_t));
+  std::memcpy(&h.rank, data + sizeof(int64_t), sizeof(int64_t));
+  if (h.magic != kMagic) {
+    return CorruptionError("bad tensor-file magic: " + key);
   }
-  if (size < HeaderBytes(rank)) {
-    return Status::IoError("short read on tensor dims: " + key);
+  if (h.rank < 1 || h.rank > 8) {
+    return CorruptionError("unsupported tensor rank on disk: " + key);
   }
-  std::vector<int64_t> dims(static_cast<size_t>(rank));
-  std::memcpy(dims.data(), data + 2 * sizeof(int64_t),
-              static_cast<size_t>(rank) * sizeof(int64_t));
-  for (int64_t d : dims) {
-    if (d < 0) return Status::IoError("negative dim on disk: " + key);
+  if (size < HeaderBytes(h.rank)) {
+    return CorruptionError("short read on tensor dims: " + key);
   }
-  Shape shape(dims);
-  const int64_t need =
-      HeaderBytes(rank) +
-      shape.NumElements() * static_cast<int64_t>(sizeof(float));
-  if (size < need) {
-    return Status::IoError("short read on tensor data: " + key);
+  std::memcpy(h.dims, data + 2 * sizeof(int64_t),
+              static_cast<size_t>(h.rank) * sizeof(int64_t));
+  ShardInfo info;
+  NAUTILUS_RETURN_IF_ERROR(ValidateHeader(h, size, key, &info));
+  if (info.has_footer) {
+    switch (DecodeShardFooter(data + size - kShardFooterBytes, &info.footer)) {
+      case FooterState::kValid:
+        break;
+      case FooterState::kAbsent:
+      case FooterState::kTorn:
+        return CorruptionError("torn tensor footer: " + key);
+    }
+    NAUTILUS_RETURN_IF_ERROR(CheckFooterAgainstHeader(info, key));
+    const uint32_t payload_crc =
+        Crc32c(0, data + info.header_bytes,
+               static_cast<size_t>(info.payload_bytes));
+    if (payload_crc != info.footer.payload_crc) {
+      return CorruptionError("payload checksum mismatch: " + key);
+    }
   }
-  return shape;
+  std::vector<int64_t> dims(h.dims, h.dims + h.rank);
+  return Shape(dims);
 }
 
 }  // namespace
@@ -242,26 +392,36 @@ Status TensorStore::Put(const std::string& key, const Tensor& value) {
   obs::TraceScope span("io", "store.put");
   span.AddArg("key", key).AddArg("bytes", value.SizeBytes());
   const std::string path = PathFor(key);
+  const Durability durability = GlobalDurability();
   // Write-then-rename: live mmap views of the old inode keep their bytes;
-  // truncating in place would SIGBUS concurrent readers.
+  // truncating in place would SIGBUS concurrent readers. A crash mid-write
+  // leaves only a stale .tmp (swept by Scrub), never a torn shard.
   const std::string tmp = path + ".tmp";
   {
     File f(tmp, "wb");
     if (!f.ok()) return Status::IoError("cannot open for write: " + key);
-    NAUTILUS_RETURN_IF_ERROR(WriteHeader(f.get(), value.shape()));
+    ShardFooter footer;
+    NAUTILUS_RETURN_IF_ERROR(
+        WriteHeader(f.get(), value.shape(), &footer.header_crc));
     const size_t n = static_cast<size_t>(value.NumElements());
     if (n > 0 && std::fwrite(value.data(), sizeof(float), n, f.get()) != n) {
       return Status::IoError("short write on tensor data: " + key);
     }
+    footer.payload_crc = Crc32c(0, value.data(), n * sizeof(float));
+    footer.payload_bytes = static_cast<int64_t>(n * sizeof(float));
+    NAUTILUS_RETURN_IF_ERROR(WriteShardFooter(f.get(), footer));
+    NAUTILUS_RETURN_IF_ERROR(SyncFile(f.get(), durability));
   }
   std::error_code ec;
   fs::rename(tmp, path, ec);
   if (ec) return Status::IoError("rename failed for " + key + ": " + ec.message());
+  NAUTILUS_RETURN_IF_ERROR(SyncParentDir(path, durability));
   cache_.Invalidate(key);
   if (stats_ != nullptr) {
     stats_->RecordWrite(HeaderBytes(value.shape().rank()) +
-                        value.SizeBytes());
+                        value.SizeBytes() + kShardFooterBytes);
   }
+  FaultInjector::Global().OnWriteCommitted(path);
   return Status::OK();
 }
 
@@ -270,42 +430,101 @@ Status TensorStore::AppendRows(const std::string& key, const Tensor& rows) {
   obs::TraceScope span("io", "store.append");
   span.AddArg("key", key).AddArg("bytes", rows.SizeBytes());
   const std::string path = PathFor(key);
-  File f(path, "rb+");
-  if (!f.ok()) return Status::IoError("cannot open for update: " + key);
-  Header h;
-  NAUTILUS_RETURN_IF_ERROR(ReadHeader(f.get(), &h));
-  if (h.rank != rows.shape().rank()) {
-    return Status::InvalidArgument("append rank mismatch for " + key);
-  }
-  int64_t per_record = 1;
-  for (int64_t i = 1; i < h.rank; ++i) {
-    if (h.dims[i] != rows.shape().dim(static_cast<int>(i))) {
-      return Status::InvalidArgument("append dims mismatch for " + key);
-    }
-    per_record *= h.dims[i];
-  }
-  // The payload must be exactly (new rows) x (stored per-record elements);
-  // anything else would silently shear every row after this one.
-  if (rows.NumElements() != rows.shape().dim(0) * per_record) {
-    return Status::InvalidArgument("append payload size mismatch for " + key);
-  }
-  // Append the data first, then bump the row count, so a crash mid-append
-  // leaves a consistent (pre-append) tensor plus ignorable trailing bytes.
-  if (Seek64(f.get(), 0, SEEK_END) != 0) {
-    return Status::IoError("seek failed: " + key);
-  }
-  const size_t n = static_cast<size_t>(rows.NumElements());
-  if (n > 0 && std::fwrite(rows.data(), sizeof(float), n, f.get()) != n) {
-    return Status::IoError("short append: " + key);
-  }
-  const int64_t new_rows = h.dims[0] + rows.shape().dim(0);
-  if (Seek64(f.get(), 2 * static_cast<int64_t>(sizeof(int64_t)), SEEK_SET) !=
-          0 ||
-      std::fwrite(&new_rows, sizeof(int64_t), 1, f.get()) != 1) {
-    return Status::IoError("cannot update row count: " + key);
-  }
+  const Durability durability = GlobalDurability();
+  // Invalidate before mutating: from here until the post-commit invalidate,
+  // no reader may latch a cached shard that could disagree with the bytes a
+  // crashed append leaves behind.
   cache_.Invalidate(key);
-  if (stats_ != nullptr) stats_->RecordWrite(rows.SizeBytes());
+  std::error_code ec;
+  const auto size_or = fs::file_size(path, ec);
+  if (ec) return Status::IoError("cannot stat for update: " + key);
+  const int64_t file_size = static_cast<int64_t>(size_or);
+  {
+    File f(path, "rb+");
+    if (!f.ok()) return Status::IoError("cannot open for update: " + key);
+    ShardInfo info;
+    NAUTILUS_RETURN_IF_ERROR(ReadShardInfo(f.get(), file_size, key, &info));
+    const Header& h = info.header;
+    if (h.rank != rows.shape().rank()) {
+      return Status::InvalidArgument("append rank mismatch for " + key);
+    }
+    int64_t per_record = 1;
+    for (int64_t i = 1; i < h.rank; ++i) {
+      if (h.dims[i] != rows.shape().dim(static_cast<int>(i))) {
+        return Status::InvalidArgument("append dims mismatch for " + key);
+      }
+      per_record *= h.dims[i];
+    }
+    // The payload must be exactly (new rows) x (stored per-record elements);
+    // anything else would silently shear every row after this one.
+    if (rows.NumElements() != rows.shape().dim(0) * per_record) {
+      return Status::InvalidArgument("append payload size mismatch for " +
+                                     key);
+    }
+    // Running payload checksum: extended from the stored footer, or — for a
+    // legacy v1 file being upgraded in place — recomputed over the existing
+    // payload in one streaming pass.
+    uint32_t payload_crc = 0;
+    if (info.has_footer) {
+      payload_crc = info.footer.payload_crc;
+    } else {
+      if (Seek64(f.get(), info.header_bytes, SEEK_SET) != 0) {
+        return Status::IoError("seek failed: " + key);
+      }
+      std::vector<char> buf(1 << 20);
+      int64_t left = info.payload_bytes;
+      while (left > 0) {
+        const size_t chunk = static_cast<size_t>(
+            std::min<int64_t>(left, static_cast<int64_t>(buf.size())));
+        if (std::fread(buf.data(), 1, chunk, f.get()) != chunk) {
+          return CorruptionError("short read on legacy payload: " + key);
+        }
+        payload_crc = Crc32c(payload_crc, buf.data(), chunk);
+        left -= static_cast<int64_t>(chunk);
+      }
+    }
+    // Commit order: (1) new payload rows land over the old footer, (2) the
+    // header row count bumps, (3) a fresh footer seals the file, (4) the
+    // durability policy pushes it down and the handle closes. A crash at any
+    // intermediate point leaves a file whose size/footer/header cross-checks
+    // fail, so a reopened store detects the tear (and quarantines it)
+    // instead of serving rows past the durable payload.
+    if (Seek64(f.get(), info.header_bytes + info.payload_bytes, SEEK_SET) !=
+        0) {
+      return Status::IoError("seek failed: " + key);
+    }
+    const size_t n = static_cast<size_t>(rows.NumElements());
+    if (n > 0 && std::fwrite(rows.data(), sizeof(float), n, f.get()) != n) {
+      return Status::IoError("short append: " + key);
+    }
+    payload_crc = Crc32c(payload_crc, rows.data(), n * sizeof(float));
+    Header updated = h;
+    updated.dims[0] = h.dims[0] + rows.shape().dim(0);
+    const int64_t new_rows = updated.dims[0];
+    if (Seek64(f.get(), 2 * static_cast<int64_t>(sizeof(int64_t)),
+               SEEK_SET) != 0 ||
+        std::fwrite(&new_rows, sizeof(int64_t), 1, f.get()) != 1) {
+      return Status::IoError("cannot update row count: " + key);
+    }
+    char hdr_buf[kMaxHeaderBytes];
+    const int64_t hdr_n = SerializeHeader(updated, hdr_buf);
+    ShardFooter footer;
+    footer.header_crc = Crc32c(0, hdr_buf, static_cast<size_t>(hdr_n));
+    footer.payload_crc = payload_crc;
+    footer.payload_bytes =
+        info.payload_bytes + static_cast<int64_t>(n * sizeof(float));
+    if (Seek64(f.get(), info.header_bytes + footer.payload_bytes, SEEK_SET) !=
+        0) {
+      return Status::IoError("seek failed: " + key);
+    }
+    NAUTILUS_RETURN_IF_ERROR(WriteShardFooter(f.get(), footer));
+    NAUTILUS_RETURN_IF_ERROR(SyncFile(f.get(), durability));
+  }  // commit: the handle closes (flushing stdio buffers) before the hook
+  cache_.Invalidate(key);
+  if (stats_ != nullptr) {
+    stats_->RecordWrite(rows.SizeBytes() + kShardFooterBytes);
+  }
+  FaultInjector::Global().OnWriteCommitted(path);
   return Status::OK();
 }
 
@@ -326,8 +545,11 @@ Result<std::shared_ptr<const Tensor>> TensorStore::LoadShared(
   }
   std::shared_ptr<MappedFile> mapped = std::move(mapped_or).value();
   obs::TraceScope span("io", "store.mmap");
+  // Verifies header + payload checksums over the mapped bytes before the
+  // shard can enter the cache, so cache hits serve pre-verified bytes and
+  // stay checksum-free on the hot path.
   NAUTILUS_ASSIGN_OR_RETURN(
-      Shape shape, ParseMappedHeader(mapped->data(), mapped->size(), key));
+      Shape shape, ParseAndVerifyMapped(mapped->data(), mapped->size(), key));
   span.AddArg("key", key)
       .AddArg("bytes", mapped->size())
       .AddArg("mapped", mapped->is_mapped());
@@ -386,10 +608,16 @@ Result<Tensor> TensorStore::GetRows(const std::string& key, int64_t begin,
                                 cached->shape().WithBatch(end - begin),
                                 cached);
   }
-  File f(PathFor(key), "rb");
+  const std::string path = PathFor(key);
+  std::error_code ec;
+  const auto size_or = fs::file_size(path, ec);
+  if (ec) return Status::NotFound("no tensor stored under " + key);
+  File f(path, "rb");
   if (!f.ok()) return Status::NotFound("no tensor stored under " + key);
-  Header h;
-  NAUTILUS_RETURN_IF_ERROR(ReadHeader(f.get(), &h));
+  ShardInfo info;
+  NAUTILUS_RETURN_IF_ERROR(
+      ReadShardInfo(f.get(), static_cast<int64_t>(size_or), key, &info));
+  const Header& h = info.header;
   if (begin < 0 || begin > end || end > h.dims[0]) {
     return Status::OutOfRange("row range out of bounds for " + key);
   }
@@ -398,17 +626,54 @@ Result<Tensor> TensorStore::GetRows(const std::string& key, int64_t begin,
   std::vector<int64_t> dims(h.dims, h.dims + h.rank);
   dims[0] = end - begin;
   Tensor out((Shape(dims)));
-  const int64_t offset =
-      HeaderBytes(h.rank) +
+  const int64_t slice_begin =
       begin * per_record * static_cast<int64_t>(sizeof(float));
-  if (Seek64(f.get(), offset, SEEK_SET) != 0) {
+  const int64_t slice_bytes = out.SizeBytes();
+  if (!info.has_footer) {
+    // Legacy v1 shard: no checksum exists, read exactly the slice.
+    if (Seek64(f.get(), info.header_bytes + slice_begin, SEEK_SET) != 0) {
+      return Status::IoError("seek failed: " + key);
+    }
+    const size_t n = static_cast<size_t>(out.NumElements());
+    if (n > 0 && std::fread(out.data(), sizeof(float), n, f.get()) != n) {
+      return CorruptionError("short row read: " + key);
+    }
+    if (stats_ != nullptr) stats_->RecordRead(out.SizeBytes());
+    return out;
+  }
+  // v2 shard: the payload checksum covers the whole payload, so the forced-
+  // disk path streams every payload byte once — checksumming as it goes and
+  // copying the requested slice out of the stream — before any float is
+  // surfaced. A bit-flip anywhere in the shard fails the read even when the
+  // flip is outside the requested rows (it may sit under a row served next).
+  if (Seek64(f.get(), info.header_bytes, SEEK_SET) != 0) {
     return Status::IoError("seek failed: " + key);
   }
-  const size_t n = static_cast<size_t>(out.NumElements());
-  if (n > 0 && std::fread(out.data(), sizeof(float), n, f.get()) != n) {
-    return Status::IoError("short row read: " + key);
+  std::vector<char> buf(1 << 20);
+  char* out_bytes = reinterpret_cast<char*>(out.data());
+  uint32_t payload_crc = 0;
+  int64_t pos = 0;
+  while (pos < info.payload_bytes) {
+    const size_t chunk = static_cast<size_t>(std::min<int64_t>(
+        info.payload_bytes - pos, static_cast<int64_t>(buf.size())));
+    if (std::fread(buf.data(), 1, chunk, f.get()) != chunk) {
+      return CorruptionError("short row read: " + key);
+    }
+    payload_crc = Crc32c(payload_crc, buf.data(), chunk);
+    // Copy the overlap between [pos, pos+chunk) and the requested slice.
+    const int64_t lo = std::max<int64_t>(pos, slice_begin);
+    const int64_t hi = std::min<int64_t>(pos + static_cast<int64_t>(chunk),
+                                         slice_begin + slice_bytes);
+    if (lo < hi) {
+      std::memcpy(out_bytes + (lo - slice_begin), buf.data() + (lo - pos),
+                  static_cast<size_t>(hi - lo));
+    }
+    pos += static_cast<int64_t>(chunk);
   }
-  if (stats_ != nullptr) stats_->RecordRead(out.SizeBytes());
+  if (payload_crc != info.footer.payload_crc) {
+    return CorruptionError("payload checksum mismatch: " + key);
+  }
+  if (stats_ != nullptr) stats_->RecordRead(info.payload_bytes);
   return out;
 }
 
@@ -452,11 +717,20 @@ Status TensorStore::Remove(const std::string& key) {
 }
 
 int64_t TensorStore::NumRows(const std::string& key) const {
-  File f(PathFor(key), "rb");
+  const std::string path = PathFor(key);
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec) return 0;
+  File f(path, "rb");
   if (!f.ok()) return 0;
-  Header h;
-  if (!ReadHeader(f.get(), &h).ok()) return 0;
-  return h.dims[0];
+  // Structural validation only (header/footer cross-checks, no payload CRC
+  // pass): a torn or corrupt shard reports 0 rows, which is exactly what
+  // makes ReconcileMaterializedStore rebuild it.
+  ShardInfo info;
+  if (!ReadShardInfo(f.get(), static_cast<int64_t>(size), key, &info).ok()) {
+    return 0;
+  }
+  return info.header.dims[0];
 }
 
 int64_t TensorStore::SizeBytes(const std::string& key) const {
@@ -474,6 +748,72 @@ int64_t TensorStore::TotalBytes() const {
     }
   }
   return total;
+}
+
+ScrubReport TensorStore::Scrub() {
+  obs::TraceScope span("io", "store.scrub");
+  static obs::Counter& checked_counter =
+      obs::MetricsRegistry::Global().counter("store.scrub.shards_checked");
+  static obs::Counter& quarantined_counter =
+      obs::MetricsRegistry::Global().counter("store.scrub.quarantined");
+  static obs::Counter& tmp_counter =
+      obs::MetricsRegistry::Global().counter("store.scrub.tmp_swept");
+  ScrubReport report;
+  std::vector<fs::path> stale_tmp;
+  std::vector<fs::path> shards;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& p = entry.path();
+    if (p.extension() == ".tmp") {
+      stale_tmp.push_back(p);
+    } else if (p.extension() == ".tns") {
+      shards.push_back(p);
+    }
+  }
+  // Stale temp files are debris from a writer that crashed before its
+  // rename; the commit never happened, so they are safe to drop.
+  for (const fs::path& p : stale_tmp) {
+    std::error_code rm_ec;
+    fs::remove(p, rm_ec);
+    tmp_counter.Add();
+  }
+  for (const fs::path& p : shards) {
+    std::string key;
+    const bool known_key = StemToKey(p.stem().string(), &key);
+    if (!known_key) key = p.filename().string();
+    ++report.checked;
+    checked_counter.Add();
+    bool legacy = false;
+    const Status verdict = VerifyShardFile(p.string(), key, &legacy);
+    if (verdict.ok()) {
+      if (legacy) {
+        ++report.legacy;
+      } else {
+        ++report.ok;
+      }
+      continue;
+    }
+    // Quarantine-by-rename: the key now reads as absent, so the
+    // materializer's reconciliation pass recomputes it from the frozen
+    // prefix instead of training on damaged floats. The evidence file is
+    // kept for post-mortems.
+    NAUTILUS_LOG(WARNING) << "store scrub quarantining " << p.string() << ": "
+                          << verdict.message();
+    std::error_code mv_ec;
+    fs::rename(p, fs::path(p.string() + ".quarantined"), mv_ec);
+    if (mv_ec) fs::remove(p, mv_ec);  // last resort: unreadable either way
+    if (known_key) cache_.Invalidate(key);
+    ++report.quarantined;
+    quarantined_counter.Add();
+    if (known_key) report.quarantined_keys.push_back(key);
+  }
+  std::sort(report.quarantined_keys.begin(), report.quarantined_keys.end());
+  span.AddArg("checked", report.checked)
+      .AddArg("ok", report.ok)
+      .AddArg("legacy", report.legacy)
+      .AddArg("quarantined", report.quarantined);
+  return report;
 }
 
 std::vector<std::string> TensorStore::ListKeys() const {

@@ -21,11 +21,27 @@ struct KeyRange {
   int64_t end = -1;
 };
 
+/// Outcome of a TensorStore::Scrub pass over the shard directory.
+struct ScrubReport {
+  int64_t checked = 0;      // .tns files examined
+  int64_t ok = 0;           // verified clean (v2, checksums match)
+  int64_t legacy = 0;       // footer-less v1 files (structurally sound)
+  int64_t quarantined = 0;  // failed verification, renamed aside
+  std::vector<std::string> quarantined_keys;  // decoded keys, sorted
+};
+
 /// File-backed store for materialized layer outputs. One binary file per
 /// key; rows (records) can be appended incrementally as new labeled data
 /// arrives each model-selection cycle (Section 4.2.3 of the Nautilus paper).
 ///
-/// File format: magic, rank, dims (int64 little-endian), float32 data.
+/// File format (v2): magic, rank, dims (int64 little-endian), float32 data,
+/// then a 32-byte CRC32C footer (integrity.h) covering header and payload;
+/// the payload checksum is extended in place on AppendRows. Legacy v1 files
+/// (no footer) remain readable but unverifiable. Every read path — buffered,
+/// mmap, and cache fill — verifies checksums before handing out bytes, so
+/// torn or bit-flipped shards surface as IoError, never as wrong floats.
+/// Writes honor the process durability policy (integrity.h,
+/// NAUTILUS_DURABILITY / --durability).
 ///
 /// Reads are zero-copy: a miss mmaps the shard (`MappedFile`) and parks a
 /// borrowed tensor in a byte-budgeted LRU cache (`IoCache`); hits and misses
@@ -92,6 +108,14 @@ class TensorStore {
 
   /// Removes every stored tensor.
   Status Clear();
+
+  /// Startup integrity pass: walks every shard, verifies structure and
+  /// checksums, and quarantines failures by renaming them to
+  /// `<shard>.tns.quarantined` (so Contains/Get report the key as absent and
+  /// the materializer recomputes it). Also sweeps stale `.tmp` files left by
+  /// crashed writers. Feeds `store.scrub.*` metrics and the `store.scrub`
+  /// span.
+  ScrubReport Scrub();
 
   /// Raw keys of every stored tensor, decoded from the reversible filename
   /// encoding (so callers can compare against the keys they wrote).

@@ -212,6 +212,7 @@ MeasuredRun MeasureRun(const BuiltWorkload& built, Approach approach,
 
   core::ModelSelectionOptions options = ApproachOptions(approach);
   options.seed = seed;
+  options.resume = params.resume;
   // Candidate graphs reference shared pretrained layers whose trainable
   // clones are re-initialized per cycle by ModelSelection; copying the
   // workload vector is intentional (graphs share layer instances).
@@ -220,8 +221,17 @@ MeasuredRun MeasureRun(const BuiltWorkload& built, Approach approach,
 
   data::LabelingSimulator simulator(pool, params.records_per_cycle,
                                     params.train_fraction);
+  // On resume, fast-forward the deterministic labeling stream past the
+  // completed cycles so the continued run sees exactly the batches the
+  // original would have.
+  const int start_cycle = params.resume ? selection.cycles_completed() : 0;
+  for (int cycle = 0; cycle < start_cycle; ++cycle) {
+    NAUTILUS_CHECK(simulator.HasNextCycle())
+        << "pool too small for " << params.cycles << " cycles";
+    simulator.NextCycle();
+  }
   double cumulative = run.init_seconds;
-  for (int cycle = 0; cycle < params.cycles; ++cycle) {
+  for (int cycle = start_cycle; cycle < params.cycles; ++cycle) {
     NAUTILUS_CHECK(simulator.HasNextCycle())
         << "pool too small for " << params.cycles << " cycles";
     auto batch = simulator.NextCycle();
@@ -234,6 +244,9 @@ MeasuredRun MeasureRun(const BuiltWorkload& built, Approach approach,
     mc.best_accuracy = result.best_accuracy;
     mc.best_model = result.best_model;
     run.cycles.push_back(mc);
+    if (params.save_each_cycle) {
+      NAUTILUS_CHECK_OK(selection.SaveSession());
+    }
   }
   run.total_seconds = cumulative;
   run.bytes_read = selection.io_stats().bytes_read();

@@ -29,6 +29,14 @@ struct RunParams {
   int cycles = 10;
   int64_t records_per_cycle = 500;
   double train_fraction = 0.8;
+  /// Resume an interrupted measured run from the session persisted in the
+  /// work_dir (requires a prior run with save_each_cycle): completed cycles
+  /// are skipped — the deterministic labeling stream fast-forwards past
+  /// them — and the run continues from the next cycle.
+  bool resume = false;
+  /// Persist the session after every completed cycle so a crash mid-run can
+  /// be resumed.
+  bool save_each_cycle = false;
 };
 
 /// Result of a paper-scale simulated end-to-end run: the optimizer runs for

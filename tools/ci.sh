@@ -2,8 +2,11 @@
 # Minimal CI gate: tier-1 verify (configure + build + ctest), an
 # observability smoke test that exercises nautilus_cli --trace-out and
 # asserts the emitted Chrome trace is non-empty valid JSON containing the
-# executor/planner spans documented in docs/OBSERVABILITY.md, and (when
-# libtsan is available) a ThreadSanitizer build running the threaded
+# executor/planner spans documented in docs/OBSERVABILITY.md, a
+# crash-recovery smoke test that kills a persistent run mid-materialization
+# (NAUTILUS_FAULT=crash_after_write:N), corrupts a shard, and asserts the
+# resumed run converges to the reference model selection, and (when libtsan
+# is available) a ThreadSanitizer build running the threaded
 # pool/executor/trainer tests.
 #
 # Usage: tools/ci.sh [build-dir]   (default: build)
@@ -76,6 +79,61 @@ if [ -z "$CACHE_HITS" ] || [ "$CACHE_HITS" -le 0 ]; then
   exit 1
 fi
 echo "io engine OK: io.cache.hits=$CACHE_HITS"
+
+echo "==> crash-recovery smoke test"
+CR_DIR="$(mktemp -d /tmp/nautilus_ci_crash.XXXXXX)"
+CR_REF="$(mktemp /tmp/nautilus_ci_crash_ref.XXXXXX.txt)"
+CR_OUT="$(mktemp /tmp/nautilus_ci_crash_out.XXXXXX.txt)"
+trap 'rm -f "$TRACE_FILE" "$IO_SMOKE_OUT" "$CR_REF" "$CR_OUT"; rm -rf "$CR_DIR"' EXIT
+
+# Reference run: uninterrupted, throwaway work dir. Its metrics summary says
+# how many storage commits (shard + checkpoint writes) a full run performs.
+"$BUILD_DIR/tools/nautilus_cli" \
+  --workload=FTR-2 --approach=nautilus --mode=measure \
+  --cycles=3 --records=60 --metrics-summary > "$CR_REF"
+REF_FINAL="$(grep -E '^  cycle +3:' "$CR_REF" | grep -oE 'best model.*$')"
+COMMITS="$(awk '$1 == "store.write_commits" {print $2}' "$CR_REF")"
+if [ -z "$REF_FINAL" ] || [ -z "$COMMITS" ] || [ "$COMMITS" -lt 10 ]; then
+  echo "FAIL: reference run missing final cycle or write-commit count"
+  exit 1
+fi
+
+# Kill the persistent run mid-flight: a --work-dir run saves the session
+# after every cycle (extra commits on top of $COMMITS), so crashing at the
+# reference run's commit count lands deep in the final cycle — after the
+# session manifest exists, before the run can finish.
+set +e
+NAUTILUS_FAULT="crash_after_write:$COMMITS" "$BUILD_DIR/tools/nautilus_cli" \
+  --workload=FTR-2 --approach=nautilus --mode=measure \
+  --cycles=3 --records=60 --work-dir="$CR_DIR" > /dev/null 2>&1
+CRASH_CODE=$?
+set -e
+if [ "$CRASH_CODE" -ne 86 ]; then
+  echo "FAIL: injected crash exited with $CRASH_CODE (expected 86)"
+  exit 1
+fi
+
+# Tear one surviving materialized shard on top of whatever the crash left.
+SHARD="$(find "$CR_DIR" -name 'expr_*.tns' | head -n 1)"
+if [ -n "$SHARD" ]; then
+  truncate -s -7 "$SHARD"
+fi
+
+# The restarted run must scrub the damage, recompute what was lost, and
+# converge to the same model selection as the uninterrupted reference.
+"$BUILD_DIR/tools/nautilus_cli" \
+  --workload=FTR-2 --approach=nautilus --mode=measure \
+  --cycles=3 --records=60 --work-dir="$CR_DIR" --resume > "$CR_OUT"
+RES_FINAL="$(grep -E '^  cycle +3:' "$CR_OUT" | grep -oE 'best model.*$')"
+if [ -z "$RES_FINAL" ]; then
+  echo "FAIL: resumed run produced no final cycle"
+  exit 1
+fi
+if [ "$RES_FINAL" != "$REF_FINAL" ]; then
+  echo "FAIL: resumed selection diverged: '$RES_FINAL' != '$REF_FINAL'"
+  exit 1
+fi
+echo "crash recovery OK: crashed at commit $COMMITS, resumed to '$RES_FINAL'"
 
 echo "==> thread sanitizer"
 # Probe for libtsan: some toolchains ship the compiler flag but not the

@@ -16,6 +16,15 @@
 //   --io-cache-mb  in-memory shard-cache budget for materialized-feed reads
 //                  (0 disables; default: NAUTILUS_IO_CACHE_MB env or 256,
 //                  capped at a quarter of --disk-gb)
+//   --durability   none | flush | fsync — how hard store writes are pushed
+//                  toward disk before a commit reports success (default:
+//                  NAUTILUS_DURABILITY env or none)
+//   --work-dir=PATH  persistent working directory for --mode=measure
+//                  (default: a throwaway temp dir). With a work dir the
+//                  session is saved after every cycle, so an interrupted
+//                  run can be continued with --resume.
+//   --resume       continue a previous --mode=measure run persisted in
+//                  --work-dir (completed cycles are skipped)
 //
 // Observability (docs/OBSERVABILITY.md):
 //   --trace-out=FILE    record a Chrome/Perfetto trace of the run to FILE
@@ -30,6 +39,7 @@
 #include "nautilus/nn/layer.h"
 #include "nautilus/obs/metrics.h"
 #include "nautilus/obs/trace.h"
+#include "nautilus/storage/integrity.h"
 #include "nautilus/util/parallel.h"
 #include "nautilus/util/strings.h"
 #include "nautilus/workloads/runner.h"
@@ -87,6 +97,17 @@ int Run(int argc, char** argv) {
       std::strtoull(FlagValue(argc, argv, "seed", "1").c_str(), nullptr, 10);
   const int threads = std::atoi(FlagValue(argc, argv, "threads", "0").c_str());
   if (threads > 0) SetParallelismDegree(threads);
+  const std::string durability_name =
+      FlagValue(argc, argv, "durability", "");
+  if (!durability_name.empty()) {
+    storage::Durability durability;
+    if (!storage::ParseDurability(durability_name, &durability)) {
+      std::fprintf(stderr, "unknown durability '%s' (none, flush, fsync)\n",
+                   durability_name.c_str());
+      std::exit(2);
+    }
+    storage::SetGlobalDurability(durability);
+  }
   // Stamp the effective worker budget into the trace so exported runs are
   // self-describing (no-op when tracing is disabled).
   obs::TraceArg degree_arg;
@@ -149,12 +170,26 @@ int Run(int argc, char** argv) {
         workloads::BuildWorkload(id, workloads::Scale::kMini, seed);
     data::LabeledDataset pool = workloads::MakePoolFor(
         built, params.cycles * params.records_per_cycle, seed + 1);
-    const auto dir =
-        std::filesystem::temp_directory_path() / "nautilus_cli_run";
-    std::filesystem::remove_all(dir);
+    // With --work-dir the session persists (and saves after every cycle) so
+    // an interrupted run can continue with --resume; without it the run uses
+    // a throwaway temp dir.
+    const std::string work_dir = FlagValue(argc, argv, "work-dir", "");
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--resume") == 0) params.resume = true;
+    }
+    params.save_each_cycle = !work_dir.empty();
+    if (params.resume && work_dir.empty()) {
+      std::fprintf(stderr, "--resume requires --work-dir\n");
+      std::exit(2);
+    }
+    const std::filesystem::path dir =
+        work_dir.empty()
+            ? std::filesystem::temp_directory_path() / "nautilus_cli_run"
+            : std::filesystem::path(work_dir);
+    if (work_dir.empty()) std::filesystem::remove_all(dir);
     workloads::MeasuredRun run = workloads::MeasureRun(
         built, approach, config, params, pool, dir.string(), seed);
-    std::filesystem::remove_all(dir);
+    if (work_dir.empty()) std::filesystem::remove_all(dir);
     std::printf("%s / %s (mini scale, measured)\n", run.workload.c_str(),
                 run.approach.c_str());
     std::printf("  init: %.2fs\n", run.init_seconds);
@@ -216,7 +251,8 @@ int main(int argc, char** argv) {
           "usage: %s [--workload=FTR-2] [--approach=nautilus]\n"
           "          [--mode=simulate|measure] [--cycles=N] [--records=N]\n"
           "          [--disk-gb=25] [--mem-gb=10] [--seed=1] [--threads=N]\n"
-          "          [--io-cache-mb=N] [--trace-out=FILE] "
+          "          [--io-cache-mb=N] [--durability=none|flush|fsync]\n"
+          "          [--work-dir=PATH] [--resume] [--trace-out=FILE] "
           "[--metrics-summary]\n",
           argv[0]);
       return 0;
