@@ -4,7 +4,10 @@
 // thread scaling, and inter-operator wavefront speedup).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "nautilus/core/planning.h"
@@ -13,7 +16,9 @@
 #include "nautilus/nn/basic.h"
 #include "nautilus/solver/maxflow.h"
 #include "nautilus/solver/milp.h"
+#include "nautilus/tensor/gemm.h"
 #include "nautilus/tensor/ops.h"
+#include "nautilus/util/buffer_pool.h"
 #include "nautilus/util/parallel.h"
 #include "nautilus/util/random.h"
 
@@ -45,6 +50,124 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+// ---------------------------------------------------------------------------
+// GEMM roofline: GFLOP/s of the blocked kernel (both dispatch paths) and the
+// serial unblocked reference across square sizes. items_per_second is FLOP/s,
+// so the reported rate divided by 1e9 is the roofline GFLOP/s figure. The
+// acceptance bar for this kernel is blocked-SIMD >= 3x reference at n=512,
+// single thread.
+// ---------------------------------------------------------------------------
+
+class ScopedSimd {
+ public:
+  explicit ScopedSimd(bool enabled) : saved_(ops::GemmSimdEnabled()) {
+    ops::SetGemmSimdEnabled(enabled);
+  }
+  ~ScopedSimd() { ops::SetGemmSimdEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+void GemmRoofline(benchmark::State& state, bool simd) {
+  ScopedDegree degree(1);  // single-thread roofline
+  ScopedSimd dispatch(simd);
+  const int64_t n = state.range(0);
+  Rng rng(17);
+  std::vector<float> a, b, c(static_cast<size_t>(n * n));
+  rng.FillNormal(&(a = std::vector<float>(static_cast<size_t>(n * n))), 1.0f);
+  rng.FillNormal(&(b = std::vector<float>(static_cast<size_t>(n * n))), 1.0f);
+  for (auto _ : state) {
+    ops::Gemm(ops::GemmTranspose::kNN, n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetLabel(simd ? "avx2" : "portable");
+}
+
+void BM_GemmBlockedSimd(benchmark::State& state) {
+  if (!ops::GemmSimdAvailable()) {
+    state.SkipWithError("no AVX2+FMA on this host");
+    return;
+  }
+  GemmRoofline(state, /*simd=*/true);
+}
+BENCHMARK(BM_GemmBlockedSimd)
+    ->ArgName("n")
+    ->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_GemmBlockedPortable(benchmark::State& state) {
+  GemmRoofline(state, /*simd=*/false);
+}
+BENCHMARK(BM_GemmBlockedPortable)
+    ->ArgName("n")
+    ->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_GemmReferenceScalar(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(18);
+  std::vector<float> a, b, c(static_cast<size_t>(n * n));
+  rng.FillNormal(&(a = std::vector<float>(static_cast<size_t>(n * n))), 1.0f);
+  rng.FillNormal(&(b = std::vector<float>(static_cast<size_t>(n * n))), 1.0f);
+  for (auto _ : state) {
+    ops::GemmReference(ops::GemmTranspose::kNN, n, n, n, a.data(), b.data(),
+                       c.data());
+    benchmark::DoNotOptimize(c.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmReferenceScalar)->ArgName("n")->Arg(256)->Arg(512);
+
+// Fused epilogue vs the same GEMM followed by separate bias + activation
+// passes over the output.
+void BM_DenseGelu(benchmark::State& state) {
+  const bool fused = state.range(0) != 0;
+  const int64_t m = 256, k = 512, n = 512;
+  Rng rng(19);
+  Tensor x = Tensor::Randn(Shape({m, k}), &rng, 0.5f);
+  Tensor w = Tensor::Randn(Shape({k, n}), &rng, 0.5f);
+  Tensor bias = Tensor::Randn(Shape({n}), &rng, 0.5f);
+  for (auto _ : state) {
+    if (fused) {
+      benchmark::DoNotOptimize(
+          ops::DenseForward(x, w, bias, ops::EpilogueKind::kBiasGelu));
+    } else {
+      Tensor z = ops::MatMul(x, w);
+      ops::AddBiasInPlace(&z, bias);
+      benchmark::DoNotOptimize(ops::GeluForward(z));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+  state.SetLabel(fused ? "fused" : "unfused");
+}
+BENCHMARK(BM_DenseGelu)->ArgName("fused")->Arg(0)->Arg(1);
+
+// Allocation churn: the steady-state cost of materializing a training-sized
+// tensor per step, with and without the buffer pool. Reports the pool hit
+// ratio observed during the timed region.
+void BM_AllocChurn(benchmark::State& state) {
+  const bool pooled = state.range(0) != 0;
+  const Shape shape({64, 4096});  // 1 MiB, typical activation size
+  util::BufferPool& pool = util::BufferPool::Global();
+  pool.Clear();
+  const auto before = pool.stats();
+  for (auto _ : state) {
+    Tensor t = pooled ? Tensor::Uninitialized(shape) : Tensor(shape);
+    t.data()[0] = 1.0f;  // touch so the allocation is not optimized away
+    benchmark::DoNotOptimize(t.data());
+  }
+  const auto after = pool.stats();
+  const double hits = static_cast<double>(after.hits - before.hits);
+  const double misses = static_cast<double>(after.misses - before.misses);
+  state.counters["pool_hit_ratio"] =
+      hits + misses > 0 ? hits / (hits + misses) : 0.0;
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(pooled ? "pooled" : "malloc+memset");
+}
+BENCHMARK(BM_AllocChurn)->ArgName("pooled")->Arg(0)->Arg(1);
 
 void BM_Attention(benchmark::State& state) {
   const int64_t s = state.range(0);
@@ -317,16 +440,52 @@ void BM_FusedGroupFwdBwd(benchmark::State& state) {
         Tensor::Full(Shape({kBatch, kClasses}), 1.0f / kBatch);
   }
 
+  // A few warmup steps fill the buffer pool so the timed region measures the
+  // steady state (where the hit ratio is expected to be >= 0.9).
+  for (int i = 0; i < 3; ++i) {
+    exec.ZeroGrads();
+    exec.Forward(feeds, /*training=*/true);
+    exec.Backward(output_grads);
+  }
+  const auto before = util::BufferPool::Global().stats();
   for (auto _ : state) {
     exec.ZeroGrads();
     exec.Forward(feeds, /*training=*/true);
     exec.Backward(output_grads);
     benchmark::DoNotOptimize(exec.flops_executed());
   }
+  const auto after = util::BufferPool::Global().stats();
+  const double hits = static_cast<double>(after.hits - before.hits);
+  const double misses = static_cast<double>(after.misses - before.misses);
+  state.counters["pool_hit_ratio"] =
+      hits + misses > 0 ? hits / (hits + misses) : 0.0;
 }
 BENCHMARK(BM_FusedGroupFwdBwd)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 }  // namespace nautilus
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to BENCH_kernels.json
+// (JSON) when the caller did not pass their own, so a bare run of the binary
+// always leaves a machine-readable roofline behind.
+int main(int argc, char** argv) {
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_kernels.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -79,7 +79,10 @@ void Executor::Forward(const std::unordered_map<int, Tensor>& feeds,
       .AddArg("nodes", model_->num_nodes());
 
   const auto& nodes = model_->nodes();
-  outputs_.assign(nodes.size(), Tensor());
+  // clear()+resize() (rather than assign) destroys last pass's tensors, so
+  // their buffers recycle through the pool before this pass allocates.
+  outputs_.clear();
+  outputs_.resize(nodes.size());
   caches_.clear();
   caches_.resize(nodes.size());
   forward_was_training_ = training;
@@ -264,6 +267,9 @@ void Executor::Backward(const std::unordered_map<int, Tensor>& output_grads) {
     }
     NAUTILUS_CHECK_EQ(contrib[static_cast<size_t>(id)].size(),
                       node.parents.size());
+    // The cache is only read by this node's backward; free it eagerly so its
+    // tensors return to the pool while the pass is still running.
+    caches_[static_cast<size_t>(id)].reset();
     const int64_t batch = inputs[0]->shape().dim(0);
     const bool trainable = !node.frozen && !node.layer->Params().empty();
     // Cost-model-consistent accounting: trainable layers pay ~2x forward in
@@ -370,6 +376,9 @@ void Executor::BackwardSerial(std::vector<Tensor>* grads_in) {
       if (node_span.active()) node_ns.Record(node_span.ElapsedNs());
     }
     NAUTILUS_CHECK_EQ(input_grads.size(), node.parents.size());
+    // The cache is only read by this node's backward; free it eagerly so its
+    // tensors return to the pool while the pass is still running.
+    caches_[static_cast<size_t>(id)].reset();
     const int64_t batch = inputs[0]->shape().dim(0);
     const bool trainable = !node.frozen && !node.layer->Params().empty();
     // Cost-model-consistent accounting: trainable layers pay ~2x forward in

@@ -107,29 +107,32 @@ double DenseLayer::ForwardFlopsPerRecord(
 Tensor DenseLayer::Forward(const std::vector<const Tensor*>& inputs,
                            std::unique_ptr<LayerCache>* cache) const {
   NAUTILUS_CHECK_EQ(inputs.size(), 1u);
-  Tensor z = ops::MatMul(*inputs[0], weight_.value);
-  ops::AddBiasInPlace(&z, bias_.value);
-  std::vector<int64_t> dims = inputs[0]->shape().dims();
-  dims.back() = out_dim_;
-  z = z.Reshaped(Shape(dims));
+  // Matmul, bias, and activation run as one fused pass over the output (the
+  // GEMM epilogue applies bias+activation per tile while it is hot in cache).
   auto c = std::make_unique<DenseCache>();
-  Tensor y;
+  ops::EpilogueKind kind = ops::EpilogueKind::kBias;
+  Tensor* pre = nullptr;
   switch (activation_) {
     case Activation::kNone:
-      y = z;
       break;
     case Activation::kRelu:
-      y = ops::ReluForward(z);
-      c->output = y;
+      kind = ops::EpilogueKind::kBiasRelu;
       break;
     case Activation::kGelu:
-      c->pre_activation = z;
-      y = ops::GeluForward(z);
+      kind = ops::EpilogueKind::kBiasGelu;
+      pre = &c->pre_activation;  // GELU backward needs z = xW + b
       break;
     case Activation::kTanh:
-      y = ops::TanhForward(z);
-      c->output = y;
+      kind = ops::EpilogueKind::kBiasTanh;
       break;
+  }
+  Tensor y = ops::DenseForward(*inputs[0], weight_.value, bias_.value, kind,
+                               pre);
+  std::vector<int64_t> dims = inputs[0]->shape().dims();
+  dims.back() = out_dim_;
+  y = y.Reshaped(Shape(dims));
+  if (activation_ == Activation::kRelu || activation_ == Activation::kTanh) {
+    c->output = y.PooledCopy();  // Backward masks dz with the output sign
   }
   if (cache != nullptr) *cache = std::move(c);
   return y;

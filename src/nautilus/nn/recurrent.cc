@@ -54,12 +54,20 @@ double RnnCellLayer::ForwardFlopsPerRecord(
 Tensor RnnCellLayer::Forward(const std::vector<const Tensor*>& inputs,
                              std::unique_ptr<LayerCache>* cache) const {
   NAUTILUS_CHECK_EQ(inputs.size(), 2u);
-  Tensor z = ops::MatMul(*inputs[0], w_input_.value);
-  ops::AxpyInPlace(1.0f, ops::MatMul(*inputs[1], w_hidden_.value), &z);
-  ops::AddBiasInPlace(&z, bias_.value);
-  Tensor h = ops::TanhForward(z);
+  // h = tanh(x Wx + h_prev Wh + b): the first GEMM materializes x Wx, the
+  // second accumulates h_prev Wh on top and fuses bias + tanh in its
+  // epilogue, so the separate add-bias and tanh passes disappear.
+  Tensor h = ops::MatMul(*inputs[0], w_input_.value);
+  const Tensor& hp = *inputs[1];
+  const int64_t rows = hp.NumElements() / hidden_dim_;
+  ops::Epilogue ep;
+  ep.kind = ops::EpilogueKind::kBiasTanh;
+  ep.bias = bias_.value.data();
+  ops::Gemm(ops::GemmTranspose::kNN, rows, hidden_dim_, hidden_dim_,
+            hp.data(), w_hidden_.value.data(), h.data(), ep,
+            /*accumulate=*/true);
   auto c = std::make_unique<RnnCellCache>();
-  c->output = h;
+  c->output = h.PooledCopy();
   if (cache != nullptr) *cache = std::move(c);
   return h;
 }

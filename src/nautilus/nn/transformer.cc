@@ -218,10 +218,11 @@ Tensor TransformerBlockLayer::Forward(const std::vector<const Tensor*>& inputs,
   const Shape& xs = x.shape();
   auto c = std::make_unique<TransformerCache>();
 
+  // Every projection fuses matmul + bias (and the FFN adds GELU) into a
+  // single GEMM pass via the epilogue hooks.
   auto project = [&](const Parameter& w, const Parameter& b) {
-    Tensor z = ops::MatMul(x, w.value);
-    ops::AddBiasInPlace(&z, b.value);
-    return z.Reshaped(xs);
+    return ops::DenseForward(x, w.value, b.value, ops::EpilogueKind::kBias)
+        .Reshaped(xs);
   };
   Tensor q = project(*wq_, *bq_);
   Tensor k = project(*wk_, *bk_);
@@ -231,19 +232,18 @@ Tensor TransformerBlockLayer::Forward(const std::vector<const Tensor*>& inputs,
   c->vh = ops::SplitHeads(v, heads_);
   Tensor ah = ops::AttentionForward(c->qh, c->kh, c->vh, &c->attn);
   c->attn_merged = ops::MergeHeads(ah);
-  Tensor o = ops::MatMul(c->attn_merged, wo_->value);
-  ops::AddBiasInPlace(&o, bo_->value);
-  o = o.Reshaped(xs);
+  Tensor o = ops::DenseForward(c->attn_merged, wo_->value, bo_->value,
+                               ops::EpilogueKind::kBias)
+                 .Reshaped(xs);
   Tensor r1 = ops::Add(x, o);
   c->h1 = ops::LayerNormForward(r1, ln1_gamma_->value, ln1_beta_->value,
                                 kLnEps, &c->ln1);
-  Tensor z1 = ops::MatMul(c->h1, w1_->value);
-  ops::AddBiasInPlace(&z1, b1_->value);
-  c->z1 = z1;
-  c->g = ops::GeluForward(z1);
-  Tensor z2 = ops::MatMul(c->g, w2_->value);
-  ops::AddBiasInPlace(&z2, b2_->value);
-  z2 = z2.Reshaped(xs);
+  // Fused FFN entry: g = gelu(h1 W1 + b1), with z1 captured for backward.
+  c->g = ops::DenseForward(c->h1, w1_->value, b1_->value,
+                           ops::EpilogueKind::kBiasGelu, &c->z1);
+  Tensor z2 = ops::DenseForward(c->g, w2_->value, b2_->value,
+                                ops::EpilogueKind::kBias)
+                  .Reshaped(xs);
   Tensor r2 = ops::Add(c->h1, z2);
   Tensor y = ops::LayerNormForward(r2, ln2_gamma_->value, ln2_beta_->value,
                                    kLnEps, &c->ln2);
@@ -351,8 +351,7 @@ namespace {
 
 class AdapterCache : public LayerCache {
  public:
-  Tensor z;  // pre-relu bottleneck
-  Tensor r;  // post-relu bottleneck
+  Tensor r;  // post-relu bottleneck (backward re-masks through it)
 };
 
 }  // namespace
@@ -412,12 +411,11 @@ Tensor AdapterLayer::Forward(const std::vector<const Tensor*>& inputs,
                              std::unique_ptr<LayerCache>* cache) const {
   const Tensor& x = *inputs[0];
   auto c = std::make_unique<AdapterCache>();
-  Tensor z = ops::MatMul(x, w_down_.value);
-  ops::AddBiasInPlace(&z, b_down_.value);
-  c->z = z;
-  c->r = ops::ReluForward(z);
-  Tensor up = ops::MatMul(c->r, w_up_.value);
-  ops::AddBiasInPlace(&up, b_up_.value);
+  // Both bottleneck projections run fused (matmul+bias+activation).
+  c->r = ops::DenseForward(x, w_down_.value, b_down_.value,
+                           ops::EpilogueKind::kBiasRelu);
+  Tensor up = ops::DenseForward(c->r, w_up_.value, b_up_.value,
+                                ops::EpilogueKind::kBias);
   Tensor y = ops::Add(x, up.Reshaped(x.shape()));
   if (cache != nullptr) *cache = std::move(c);
   return y;

@@ -5,6 +5,8 @@
 #include <cstdio>
 
 #include "nautilus/obs/trace.h"
+#include "nautilus/tensor/gemm.h"
+#include "nautilus/util/buffer_pool.h"
 #include "nautilus/util/parallel.h"
 
 namespace nautilus {
@@ -19,6 +21,36 @@ Gauge* g_pool_queue_gauge = nullptr;
 
 void PoolQueueObserver(int64_t depth) {
   g_pool_queue_gauge->Set(static_cast<double>(depth));
+}
+
+// Buffer-pool and GEMM observers, wired the same way (the tensor and util
+// libraries cannot link obs, so they expose function-pointer hooks).
+Counter* g_bufpool_hits = nullptr;
+Counter* g_bufpool_misses = nullptr;
+Counter* g_bufpool_bytes_reused = nullptr;
+
+void BufferPoolMetricObserver(bool hit, int64_t bytes) {
+  if (hit) {
+    g_bufpool_hits->Add();
+    g_bufpool_bytes_reused->Add(bytes);
+  } else {
+    g_bufpool_misses->Add();
+  }
+}
+
+Counter* g_gemm_simd_calls = nullptr;
+Counter* g_gemm_portable_calls = nullptr;
+Counter* g_gemm_fused_epilogues = nullptr;
+Gauge* g_gemm_dispatch = nullptr;
+
+void GemmMetricObserver(bool simd, bool fused_epilogue) {
+  if (simd) {
+    g_gemm_simd_calls->Add();
+  } else {
+    g_gemm_portable_calls->Add();
+  }
+  if (fused_epilogue) g_gemm_fused_epilogues->Add();
+  g_gemm_dispatch->Set(simd ? 1.0 : 0.0);
 }
 
 int BucketFor(int64_t v) {
@@ -95,6 +127,15 @@ MetricsRegistry& MetricsRegistry::Global() {
   static const bool observer_installed = [] {
     g_pool_queue_gauge = &registry.gauge("pool.queue_depth");
     SetThreadPoolQueueObserver(&PoolQueueObserver);
+    g_bufpool_hits = &registry.counter("tensor.pool.hits");
+    g_bufpool_misses = &registry.counter("tensor.pool.misses");
+    g_bufpool_bytes_reused = &registry.counter("tensor.pool.bytes_reused");
+    util::SetBufferPoolObserver(&BufferPoolMetricObserver);
+    g_gemm_simd_calls = &registry.counter("gemm.calls.simd");
+    g_gemm_portable_calls = &registry.counter("gemm.calls.portable");
+    g_gemm_fused_epilogues = &registry.counter("gemm.epilogue_fused");
+    g_gemm_dispatch = &registry.gauge("gemm.dispatch");
+    ops::SetGemmObserver(&GemmMetricObserver);
     return true;
   }();
   (void)observer_installed;

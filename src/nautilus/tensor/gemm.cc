@@ -1,0 +1,340 @@
+#include "nautilus/tensor/gemm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "nautilus/tensor/gemm_kernels.h"
+#include "nautilus/util/buffer_pool.h"
+#include "nautilus/util/parallel.h"
+
+namespace nautilus {
+namespace ops {
+
+namespace internal {
+
+void MicroKernelPortable(int64_t kc, const float* ap, const float* bp,
+                         float* c, int64_t ldc, bool accumulate) {
+  float acc[kMR * kNR];
+  if (accumulate) {
+    for (int64_t i = 0; i < kMR; ++i) {
+      for (int64_t j = 0; j < kNR; ++j) acc[i * kNR + j] = c[i * ldc + j];
+    }
+  } else {
+    for (int64_t i = 0; i < kMR * kNR; ++i) acc[i] = 0.0f;
+  }
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* bk = bp + p * kNR;
+    const float* ak = ap + p * kMR;
+    for (int64_t i = 0; i < kMR; ++i) {
+      const float a = ak[i];
+      float* row = acc + i * kNR;
+      for (int64_t j = 0; j < kNR; ++j) row[j] += a * bk[j];
+    }
+  }
+  for (int64_t i = 0; i < kMR; ++i) {
+    for (int64_t j = 0; j < kNR; ++j) c[i * ldc + j] = acc[i * kNR + j];
+  }
+}
+
+}  // namespace internal
+
+namespace {
+
+using internal::kMR;
+using internal::kNR;
+
+// BLIS-style blocking. KC keeps an A panel (kMC*kKC floats) plus a B panel
+// slice in L2; NC bounds the packed-B block (kKC*kNC floats ~ 2 MiB) to L3;
+// MC is the parallel work granule — a multiple of kMR so panel boundaries
+// never split a micro-tile, and small enough that even modest matrices
+// yield several panels per thread.
+constexpr int64_t kKC = 256;
+constexpr int64_t kMC = 48;
+constexpr int64_t kNC = 2048;
+
+static_assert(kMC % kMR == 0, "row panels must hold whole micro-tiles");
+static_assert(kNC % kNR == 0, "col blocks must hold whole micro-tiles");
+
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+
+using MicroKernelFn = void (*)(int64_t, const float*, const float*, float*,
+                               int64_t, bool);
+
+std::atomic<void (*)(bool, bool)> g_observer{nullptr};
+
+void NotifyObserver(bool simd, bool fused) {
+  if (auto* fn = g_observer.load(std::memory_order_relaxed)) fn(simd, fused);
+}
+
+int ResolveInitialSimdMode() {
+  if (!GemmSimdAvailable()) return 0;
+  if (const char* env = std::getenv("NAUTILUS_SIMD")) {
+    if (env[0] == '0' && env[1] == '\0') return 0;
+  }
+  return 1;
+}
+
+std::atomic<int>& SimdMode() {
+  static std::atomic<int> mode{ResolveInitialSimdMode()};
+  return mode;
+}
+
+int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+// Element accessors for the three layouts. `lda`/`ldb` are the row strides
+// of the stored (row-major) operands.
+struct OperandView {
+  const float* p;
+  int64_t ld;
+  bool transposed;  // true: logical (r, c) lives at p[c*ld + r]
+  float at(int64_t r, int64_t c) const {
+    return transposed ? p[c * ld + r] : p[r * ld + c];
+  }
+};
+
+OperandView ViewA(GemmTranspose t, const float* a, int64_t m, int64_t k) {
+  // kNN/kNT store A as [m,k]; kTN stores it as [k,m].
+  if (t == GemmTranspose::kTN) return {a, m, true};
+  return {a, k, false};
+}
+
+OperandView ViewB(GemmTranspose t, const float* b, int64_t n, int64_t k) {
+  // kNN/kTN store B as [k,n]; kNT stores it as [n,k].
+  if (t == GemmTranspose::kNT) return {b, k, true};
+  return {b, n, false};
+}
+
+// Packs rows [i0, i0+mc) x ks [pc, pc+kc) of A into kMR-row panels:
+// dst panel q holds rows [i0+q*kMR, ...), laid out so k step p contributes
+// kMR consecutive floats. Rows past mc are zero (never read back into C).
+void PackA(const OperandView& a, int64_t i0, int64_t mc, int64_t pc,
+           int64_t kc, float* dst) {
+  const int64_t panels = CeilDiv(mc, kMR);
+  for (int64_t q = 0; q < panels; ++q) {
+    float* panel = dst + q * kc * kMR;
+    const int64_t rows = std::min(kMR, mc - q * kMR);
+    for (int64_t p = 0; p < kc; ++p) {
+      float* col = panel + p * kMR;
+      for (int64_t i = 0; i < rows; ++i) {
+        col[i] = a.at(i0 + q * kMR + i, pc + p);
+      }
+      for (int64_t i = rows; i < kMR; ++i) col[i] = 0.0f;
+    }
+  }
+}
+
+// Packs ks [pc, pc+kc) x cols [jc, jc+nc) of B into kNR-column panels,
+// zero-padded at the right edge.
+void PackB(const OperandView& b, int64_t pc, int64_t kc, int64_t jc,
+           int64_t nc, float* dst) {
+  const int64_t panels = CeilDiv(nc, kNR);
+  nautilus::ParallelFor(
+      panels,
+      [&](int64_t qb, int64_t qe) {
+        for (int64_t q = qb; q < qe; ++q) {
+          float* panel = dst + q * kc * kNR;
+          const int64_t cols = std::min(kNR, nc - q * kNR);
+          for (int64_t p = 0; p < kc; ++p) {
+            float* row = panel + p * kNR;
+            for (int64_t j = 0; j < cols; ++j) {
+              row[j] = b.at(pc + p, jc + q * kNR + j);
+            }
+            for (int64_t j = cols; j < kNR; ++j) row[j] = 0.0f;
+          }
+        }
+      },
+      /*min_chunk=*/4);
+}
+
+float ApplyActivation(EpilogueKind kind, float z) {
+  switch (kind) {
+    case EpilogueKind::kNone:
+    case EpilogueKind::kBias:
+      return z;
+    case EpilogueKind::kBiasRelu:
+      return z > 0.0f ? z : 0.0f;
+    case EpilogueKind::kBiasTanh:
+      return std::tanh(z);
+    case EpilogueKind::kBiasGelu: {
+      // Must match GeluForward in ops.cc bit for bit.
+      const float t = std::tanh(kGeluC * (z + kGeluA * z * z * z));
+      return 0.5f * z * (1.0f + t);
+    }
+  }
+  return z;
+}
+
+// Applies bias+activation to the mr x nr tile whose top-left output
+// coordinate is (row0, col0); `n` is the full output row stride.
+void ApplyEpilogueTile(const Epilogue& ep, float* ctile, int64_t mr,
+                       int64_t nr, int64_t row0, int64_t col0, int64_t n) {
+  if (ep.kind == EpilogueKind::kNone) return;
+  const float* bias = ep.bias + col0;
+  for (int64_t i = 0; i < mr; ++i) {
+    float* crow = ctile + i * n;
+    float* prow = ep.pre_activation == nullptr
+                      ? nullptr
+                      : ep.pre_activation + (row0 + i) * n + col0;
+    for (int64_t j = 0; j < nr; ++j) {
+      const float z = crow[j] + bias[j];
+      if (prow != nullptr) prow[j] = z;
+      crow[j] = ApplyActivation(ep.kind, z);
+    }
+  }
+}
+
+// Degenerate k == 0: the product is all zeros, but the epilogue (and the
+// accumulate contract) must still be honored over uninitialized outputs.
+void GemmEmptyK(int64_t m, int64_t n, float* c, const Epilogue& ep,
+                bool accumulate) {
+  if (!accumulate) std::fill(c, c + m * n, 0.0f);
+  nautilus::ParallelFor(
+      m,
+      [&](int64_t rb, int64_t re) {
+        for (int64_t i = rb; i < re; ++i) {
+          ApplyEpilogueTile(ep, c + i * n, 1, n, i, 0, n);
+        }
+      },
+      /*min_chunk=*/std::max<int64_t>(1, 4096 / std::max<int64_t>(n, 1)));
+}
+
+void GemmBlocked(GemmTranspose trans, int64_t m, int64_t n, int64_t k,
+                 const float* a, const float* b, float* c,
+                 const Epilogue& ep, bool accumulate, MicroKernelFn kernel) {
+  const OperandView av = ViewA(trans, a, m, k);
+  const OperandView bv = ViewB(trans, b, n, k);
+  auto& pool = util::BufferPool::Global();
+
+  for (int64_t jc = 0; jc < n; jc += kNC) {
+    const int64_t nc = std::min(kNC, n - jc);
+    const int64_t npanels = CeilDiv(nc, kNR);
+    const int64_t kc_max = std::min(kKC, k);
+    std::vector<float> bpack = pool.Rent(kc_max * npanels * kNR);
+
+    for (int64_t pc = 0; pc < k; pc += kKC) {
+      const int64_t kc = std::min(kKC, k - pc);
+      PackB(bv, pc, kc, jc, nc, bpack.data());
+      // After the first kc block the kernel accumulates into C; the fused
+      // epilogue runs only once the last block has landed.
+      const bool add_into_c = accumulate || pc > 0;
+      const bool last_block = pc + kc == k;
+      const int64_t row_panels = CeilDiv(m, kMC);
+
+      // Panel boundaries depend only on m — never on the thread count — so
+      // every C element sees one fixed, ascending-k operation order.
+      nautilus::ParallelFor(
+          row_panels,
+          [&](int64_t pb, int64_t pe) {
+            std::vector<float> apack = pool.Rent(kc * kMC);
+            float tmp[kMR * kNR];
+            for (int64_t panel = pb; panel < pe; ++panel) {
+              const int64_t i0 = panel * kMC;
+              const int64_t mc = std::min(kMC, m - i0);
+              PackA(av, i0, mc, pc, kc, apack.data());
+              for (int64_t jr = 0; jr < nc; jr += kNR) {
+                const int64_t nr = std::min(kNR, nc - jr);
+                const float* bp = bpack.data() + (jr / kNR) * kc * kNR;
+                for (int64_t ir = 0; ir < mc; ir += kMR) {
+                  const int64_t mr = std::min(kMR, mc - ir);
+                  const float* ap = apack.data() + (ir / kMR) * kc * kMR;
+                  float* ctile = c + (i0 + ir) * n + (jc + jr);
+                  if (mr == kMR && nr == kNR) {
+                    kernel(kc, ap, bp, ctile, n, add_into_c);
+                  } else {
+                    // Edge tile: stage through a full-size buffer so the
+                    // kernel (and thus the operation order) is identical to
+                    // the interior-tile path.
+                    if (add_into_c) {
+                      for (int64_t i = 0; i < kMR; ++i) {
+                        for (int64_t j = 0; j < kNR; ++j) {
+                          tmp[i * kNR + j] = (i < mr && j < nr)
+                                                 ? ctile[i * n + j]
+                                                 : 0.0f;
+                        }
+                      }
+                    }
+                    kernel(kc, ap, bp, tmp, kNR, add_into_c);
+                    for (int64_t i = 0; i < mr; ++i) {
+                      for (int64_t j = 0; j < nr; ++j) {
+                        ctile[i * n + j] = tmp[i * kNR + j];
+                      }
+                    }
+                  }
+                  if (last_block) {
+                    ApplyEpilogueTile(ep, ctile, mr, nr, i0 + ir, jc + jr, n);
+                  }
+                }
+              }
+            }
+            pool.Recycle(std::move(apack));
+          },
+          /*min_chunk=*/1);
+    }
+    pool.Recycle(std::move(bpack));
+  }
+}
+
+}  // namespace
+
+bool GemmSimdAvailable() {
+#ifdef NAUTILUS_HAVE_AVX2_KERNEL
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool GemmSimdEnabled() { return SimdMode().load(std::memory_order_relaxed) != 0; }
+
+void SetGemmSimdEnabled(bool enabled) {
+  SimdMode().store(enabled && GemmSimdAvailable() ? 1 : 0,
+                   std::memory_order_relaxed);
+}
+
+const char* GemmDispatchName() { return GemmSimdEnabled() ? "avx2" : "portable"; }
+
+void SetGemmObserver(void (*observer)(bool, bool)) {
+  g_observer.store(observer, std::memory_order_relaxed);
+}
+
+void Gemm(GemmTranspose trans, int64_t m, int64_t n, int64_t k,
+          const float* a, const float* b, float* c, const Epilogue& epilogue,
+          bool accumulate) {
+  if (m <= 0 || n <= 0) return;
+  const bool simd = GemmSimdEnabled();
+  if (k <= 0) {
+    GemmEmptyK(m, n, c, epilogue, accumulate);
+  } else {
+    MicroKernelFn kernel = &internal::MicroKernelPortable;
+#ifdef NAUTILUS_HAVE_AVX2_KERNEL
+    if (simd) kernel = &internal::MicroKernelAvx2;
+#endif
+    GemmBlocked(trans, m, n, k, a, b, c, epilogue, accumulate, kernel);
+  }
+  NotifyObserver(simd, epilogue.kind != EpilogueKind::kNone);
+}
+
+void GemmReference(GemmTranspose trans, int64_t m, int64_t n, int64_t k,
+                   const float* a, const float* b, float* c,
+                   const Epilogue& epilogue, bool accumulate) {
+  if (m <= 0 || n <= 0) return;
+  const OperandView av = ViewA(trans, a, m, k);
+  const OperandView bv = ViewB(trans, b, n, k);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = accumulate ? c[i * n + j] : 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += av.at(i, p) * bv.at(p, j);
+      }
+      c[i * n + j] = acc;
+    }
+    ApplyEpilogueTile(epilogue, c + i * n, 1, n, i, 0, n);
+  }
+}
+
+}  // namespace ops
+}  // namespace nautilus

@@ -1,0 +1,82 @@
+#ifndef NAUTILUS_TENSOR_GEMM_H_
+#define NAUTILUS_TENSOR_GEMM_H_
+
+#include <cstdint>
+
+namespace nautilus {
+namespace ops {
+
+/// Which operand is transposed. Storage is always row-major:
+///   kNN: C[m,n] = A[m,k]  * B[k,n]
+///   kNT: C[m,n] = A[m,k]  * B[n,k]^T
+///   kTN: C[m,n] = A[k,m]^T * B[k,n]
+enum class GemmTranspose { kNN, kNT, kTN };
+
+/// Optional fused tail applied to each output tile while it is still hot in
+/// cache, instead of as separate full passes over C.
+enum class EpilogueKind {
+  kNone,      // C = A*B (bias ignored)
+  kBias,      // C = A*B + bias (broadcast over rows)
+  kBiasRelu,  // C = relu(A*B + bias)
+  kBiasTanh,  // C = tanh(A*B + bias)
+  kBiasGelu,  // C = gelu(A*B + bias), tanh approximation
+};
+
+struct Epilogue {
+  EpilogueKind kind = EpilogueKind::kNone;
+  /// Bias vector of length n; required for every kind except kNone.
+  const float* bias = nullptr;
+  /// Optional [m*n] buffer receiving the pre-activation z = A*B + bias
+  /// (needed by GELU/tanh backward passes). Ignored when null.
+  float* pre_activation = nullptr;
+};
+
+/// Cache-blocked, packed, register-tiled single-precision GEMM.
+///
+/// C (and pre_activation, when requested) is fully overwritten unless
+/// `accumulate` is true, in which case the product is added to the existing
+/// contents of C (the epilogue, if any, still runs afterwards).
+///
+/// Determinism contract (relied on by graph::Executor and the model
+/// selection tests): every C element is accumulated over k in strictly
+/// ascending order, and work is partitioned over fixed row panels whose
+/// boundaries depend only on m — never on the thread count. Hence results
+/// are bitwise identical across parallelism degrees. The AVX2 and portable
+/// paths may differ from each other only by FMA rounding; pin the path with
+/// NAUTILUS_SIMD=0/1 or SetGemmSimdEnabled when bitwise stability across
+/// machines matters.
+void Gemm(GemmTranspose trans, int64_t m, int64_t n, int64_t k,
+          const float* a, const float* b, float* c,
+          const Epilogue& epilogue = Epilogue{}, bool accumulate = false);
+
+/// Serial, unblocked, branch-free reference implementation (ascending-k
+/// dot products). Ground truth for the parity tests; O(mnk) scalar ops.
+void GemmReference(GemmTranspose trans, int64_t m, int64_t n, int64_t k,
+                   const float* a, const float* b, float* c,
+                   const Epilogue& epilogue = Epilogue{},
+                   bool accumulate = false);
+
+/// True when this binary carries the AVX2+FMA micro-kernel AND the CPU
+/// supports it.
+bool GemmSimdAvailable();
+
+/// Effective dispatch: available, not disabled via NAUTILUS_SIMD=0, not
+/// turned off in-process.
+bool GemmSimdEnabled();
+
+/// Force the SIMD path on/off at runtime (tests, A/B benches). Turning it
+/// on when GemmSimdAvailable() is false is a no-op.
+void SetGemmSimdEnabled(bool enabled);
+
+/// "avx2" or "portable" — whatever the next Gemm call will use.
+const char* GemmDispatchName();
+
+/// Observability hook, called once per Gemm with the path taken and whether
+/// an epilogue was fused. Installed by the obs layer; must be cheap and
+/// thread-safe.
+void SetGemmObserver(void (*observer)(bool simd, bool fused_epilogue));
+
+}  // namespace ops
+}  // namespace nautilus
+
+#endif  // NAUTILUS_TENSOR_GEMM_H_

@@ -1,0 +1,51 @@
+// AVX2+FMA micro-kernel, isolated in its own translation unit so only this
+// file is built with -mavx2 -mfma; the rest of the library stays baseline
+// and the caller (gemm.cc) selects the kernel at runtime via cpuid.
+#include "nautilus/tensor/gemm_kernels.h"
+
+#ifdef NAUTILUS_HAVE_AVX2_KERNEL
+
+#include <immintrin.h>
+
+namespace nautilus {
+namespace ops {
+namespace internal {
+
+void MicroKernelAvx2(int64_t kc, const float* ap, const float* bp, float* c,
+                     int64_t ldc, bool accumulate) {
+  // 6x16 tile = 12 ymm accumulators; 2 ymm for the B row and 1 broadcast
+  // leave one register spare on the 16-register x86-64 file.
+  __m256 acc0[kMR];
+  __m256 acc1[kMR];
+  if (accumulate) {
+    for (int64_t i = 0; i < kMR; ++i) {
+      acc0[i] = _mm256_loadu_ps(c + i * ldc);
+      acc1[i] = _mm256_loadu_ps(c + i * ldc + 8);
+    }
+  } else {
+    for (int64_t i = 0; i < kMR; ++i) {
+      acc0[i] = _mm256_setzero_ps();
+      acc1[i] = _mm256_setzero_ps();
+    }
+  }
+  for (int64_t p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(bp + p * kNR);
+    const __m256 b1 = _mm256_loadu_ps(bp + p * kNR + 8);
+    const float* ak = ap + p * kMR;
+    for (int64_t i = 0; i < kMR; ++i) {
+      const __m256 ai = _mm256_set1_ps(ak[i]);
+      acc0[i] = _mm256_fmadd_ps(ai, b0, acc0[i]);
+      acc1[i] = _mm256_fmadd_ps(ai, b1, acc1[i]);
+    }
+  }
+  for (int64_t i = 0; i < kMR; ++i) {
+    _mm256_storeu_ps(c + i * ldc, acc0[i]);
+    _mm256_storeu_ps(c + i * ldc + 8, acc1[i]);
+  }
+}
+
+}  // namespace internal
+}  // namespace ops
+}  // namespace nautilus
+
+#endif  // NAUTILUS_HAVE_AVX2_KERNEL

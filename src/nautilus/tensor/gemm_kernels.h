@@ -1,0 +1,43 @@
+#ifndef NAUTILUS_TENSOR_GEMM_KERNELS_H_
+#define NAUTILUS_TENSOR_GEMM_KERNELS_H_
+
+#include <cstdint>
+
+// Internal to the GEMM implementation: the register-tiled micro-kernels
+// shared between gemm.cc (portable) and gemm_avx2.cc (compiled with
+// -mavx2 -mfma). Both compute the same kMR x kNR tile update
+//
+//   C_tile (+)= sum_{p=0}^{kc-1} ap[p*kMR + i] * bp[p*kNR + j]
+//
+// over packed panels: `ap` holds kMR rows of A column-major within the
+// panel (kMR consecutive floats per k step), `bp` holds kNR columns of B
+// row-major within the panel (kNR consecutive floats per k step). Both are
+// zero-padded to full panel width at the edges by the packing routines.
+//
+// Determinism: when `accumulate` is set the kernel loads C into the
+// accumulators FIRST and then applies k steps in ascending order, so the
+// per-element operation order is identical whether a k range is processed
+// in one call or split across successive kc blocks.
+namespace nautilus {
+namespace ops {
+namespace internal {
+
+inline constexpr int64_t kMR = 6;   // micro-tile rows
+inline constexpr int64_t kNR = 16;  // micro-tile cols (2 AVX2 vectors)
+
+/// Scalar micro-kernel written so the autovectorizer can widen the j loop.
+void MicroKernelPortable(int64_t kc, const float* ap, const float* bp,
+                         float* c, int64_t ldc, bool accumulate);
+
+#ifdef NAUTILUS_HAVE_AVX2_KERNEL
+/// 6x16 FMA micro-kernel: 12 ymm accumulators, 2 B loads + 6 broadcasts
+/// per k step. Only call when GemmSimdAvailable() is true.
+void MicroKernelAvx2(int64_t kc, const float* ap, const float* bp, float* c,
+                     int64_t ldc, bool accumulate);
+#endif
+
+}  // namespace internal
+}  // namespace ops
+}  // namespace nautilus
+
+#endif  // NAUTILUS_TENSOR_GEMM_KERNELS_H_

@@ -35,33 +35,19 @@ int64_t ReduceChunks(int64_t rows) {
 
 }  // namespace
 
+// The matmul family lowers onto the blocked/packed Gemm in gemm.cc. The old
+// scalar loops carried `if (aik == 0.0f) continue;` fast paths that silently
+// broke IEEE propagation (0 * Inf must be NaN, not skipped); the blocked
+// kernels are branch-free, so that bug is gone along with the branch.
+
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   const MatView av = As2D(a);
   const MatView bv = As2D(b);
   NAUTILUS_CHECK_EQ(av.cols, bv.rows)
       << a.shape().ToString() << " x " << b.shape().ToString();
-  Tensor c(Shape({av.rows, bv.cols}));
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // Row-parallel ikj loop: each worker owns disjoint output rows, so the
-  // accumulation order per element is independent of the thread count
-  // (deterministic results either way).
-  ParallelFor(
-      av.rows,
-      [&](int64_t row_begin, int64_t row_end) {
-        for (int64_t i = row_begin; i < row_end; ++i) {
-          float* crow = pc + i * bv.cols;
-          const float* arow = pa + i * av.cols;
-          for (int64_t k = 0; k < av.cols; ++k) {
-            const float aik = arow[k];
-            if (aik == 0.0f) continue;
-            const float* brow = pb + k * bv.cols;
-            for (int64_t j = 0; j < bv.cols; ++j) crow[j] += aik * brow[j];
-          }
-        }
-      },
-      /*min_chunk=*/std::max<int64_t>(1, 4096 / std::max<int64_t>(bv.cols, 1)));
+  Tensor c = Tensor::Uninitialized(Shape({av.rows, bv.cols}));
+  Gemm(GemmTranspose::kNN, av.rows, bv.cols, av.cols, a.data(), b.data(),
+       c.data());
   return c;
 }
 
@@ -70,28 +56,9 @@ Tensor MatMulNT(const Tensor& a, const Tensor& b) {
   const MatView bv = As2D(b);
   NAUTILUS_CHECK_EQ(av.cols, bv.cols)
       << a.shape().ToString() << " x " << b.shape().ToString() << "^T";
-  Tensor c(Shape({av.rows, bv.rows}));
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // Row-parallel like MatMul: workers own disjoint output rows and every
-  // element is a single dot product over ascending k, so results match the
-  // serial loop bit-for-bit at any thread count.
-  ParallelFor(
-      av.rows,
-      [&](int64_t row_begin, int64_t row_end) {
-        for (int64_t i = row_begin; i < row_end; ++i) {
-          const float* arow = pa + i * av.cols;
-          float* crow = pc + i * bv.rows;
-          for (int64_t j = 0; j < bv.rows; ++j) {
-            const float* brow = pb + j * bv.cols;
-            float acc = 0.0f;
-            for (int64_t k = 0; k < av.cols; ++k) acc += arow[k] * brow[k];
-            crow[j] = acc;
-          }
-        }
-      },
-      /*min_chunk=*/std::max<int64_t>(1, 4096 / std::max<int64_t>(bv.rows, 1)));
+  Tensor c = Tensor::Uninitialized(Shape({av.rows, bv.rows}));
+  Gemm(GemmTranspose::kNT, av.rows, bv.rows, av.cols, a.data(), b.data(),
+       c.data());
   return c;
 }
 
@@ -100,29 +67,30 @@ Tensor MatMulTN(const Tensor& a, const Tensor& b) {
   const MatView bv = As2D(b);
   NAUTILUS_CHECK_EQ(av.rows, bv.rows)
       << a.shape().ToString() << "^T x " << b.shape().ToString();
-  Tensor c(Shape({av.cols, bv.cols}));
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // Split over output rows i (columns of A): each worker accumulates its
-  // rows over ascending k, the same per-element order as the serial k-outer
-  // loop, so results are deterministic at any thread count.
-  ParallelFor(
-      av.cols,
-      [&](int64_t row_begin, int64_t row_end) {
-        for (int64_t k = 0; k < av.rows; ++k) {
-          const float* arow = pa + k * av.cols;
-          const float* brow = pb + k * bv.cols;
-          for (int64_t i = row_begin; i < row_end; ++i) {
-            const float aki = arow[i];
-            if (aki == 0.0f) continue;
-            float* crow = pc + i * bv.cols;
-            for (int64_t j = 0; j < bv.cols; ++j) crow[j] += aki * brow[j];
-          }
-        }
-      },
-      /*min_chunk=*/std::max<int64_t>(1, 4096 / std::max<int64_t>(bv.cols, 1)));
+  Tensor c = Tensor::Uninitialized(Shape({av.cols, bv.cols}));
+  Gemm(GemmTranspose::kTN, av.cols, bv.cols, av.rows, a.data(), b.data(),
+       c.data());
   return c;
+}
+
+Tensor DenseForward(const Tensor& x, const Tensor& w, const Tensor& bias,
+                    EpilogueKind epilogue, Tensor* pre_activation) {
+  const MatView xv = As2D(x);
+  const MatView wv = As2D(w);
+  NAUTILUS_CHECK_EQ(xv.cols, wv.rows)
+      << x.shape().ToString() << " x " << w.shape().ToString();
+  NAUTILUS_CHECK_EQ(bias.NumElements(), wv.cols);
+  Tensor y = Tensor::Uninitialized(Shape({xv.rows, wv.cols}));
+  Epilogue ep;
+  ep.kind = epilogue == EpilogueKind::kNone ? EpilogueKind::kBias : epilogue;
+  ep.bias = bias.data();
+  if (pre_activation != nullptr) {
+    *pre_activation = Tensor::Uninitialized(Shape({xv.rows, wv.cols}));
+    ep.pre_activation = pre_activation->data();
+  }
+  Gemm(GemmTranspose::kNN, xv.rows, wv.cols, xv.cols, x.data(), w.data(),
+       y.data(), ep);
+  return y;
 }
 
 void AddBiasInPlace(Tensor* x, const Tensor& bias) {
@@ -175,14 +143,14 @@ Tensor ColumnSum(const Tensor& g) {
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   NAUTILUS_CHECK_EQ(a.NumElements(), b.NumElements());
-  Tensor out = a;
+  Tensor out = a.PooledCopy();
   AxpyInPlace(1.0f, b, &out);
   return out;
 }
 
 Tensor AddN(const std::vector<const Tensor*>& xs) {
   NAUTILUS_CHECK(!xs.empty());
-  Tensor out = *xs[0];
+  Tensor out = xs[0]->PooledCopy();
   for (size_t i = 1; i < xs.size(); ++i) AxpyInPlace(1.0f, *xs[i], &out);
   return out;
 }
@@ -212,7 +180,7 @@ void ScaleInPlace(float alpha, Tensor* x) {
 }
 
 Tensor ReluForward(const Tensor& x) {
-  Tensor y = x;
+  Tensor y = x.PooledCopy();
   float* p = y.data();
   const int64_t n = y.NumElements();
   ParallelFor(
@@ -226,7 +194,7 @@ Tensor ReluForward(const Tensor& x) {
 
 Tensor ReluBackward(const Tensor& dy, const Tensor& y) {
   NAUTILUS_CHECK_EQ(dy.NumElements(), y.NumElements());
-  Tensor dx = dy;
+  Tensor dx = dy.PooledCopy();
   float* pdx = dx.data();
   const float* py = y.data();
   const int64_t n = dx.NumElements();
@@ -247,7 +215,7 @@ constexpr float kGeluA = 0.044715f;
 }  // namespace
 
 Tensor GeluForward(const Tensor& x) {
-  Tensor y = x;
+  Tensor y = x.PooledCopy();
   float* p = y.data();
   const int64_t n = y.NumElements();
   ParallelFor(
@@ -265,7 +233,7 @@ Tensor GeluForward(const Tensor& x) {
 
 Tensor GeluBackward(const Tensor& dy, const Tensor& x) {
   NAUTILUS_CHECK_EQ(dy.NumElements(), x.NumElements());
-  Tensor dx = dy;
+  Tensor dx = dy.PooledCopy();
   float* pdx = dx.data();
   const float* px = x.data();
   const int64_t n = dx.NumElements();
@@ -287,7 +255,7 @@ Tensor GeluBackward(const Tensor& dy, const Tensor& x) {
 }
 
 Tensor TanhForward(const Tensor& x) {
-  Tensor y = x;
+  Tensor y = x.PooledCopy();
   float* p = y.data();
   const int64_t n = y.NumElements();
   ParallelFor(
@@ -301,7 +269,7 @@ Tensor TanhForward(const Tensor& x) {
 
 Tensor TanhBackward(const Tensor& dy, const Tensor& y) {
   NAUTILUS_CHECK_EQ(dy.NumElements(), y.NumElements());
-  Tensor dx = dy;
+  Tensor dx = dy.PooledCopy();
   float* pdx = dx.data();
   const float* py = y.data();
   const int64_t n = dx.NumElements();
@@ -319,8 +287,8 @@ Tensor LayerNormForward(const Tensor& x, const Tensor& gamma,
   const MatView xv = As2D(x);
   NAUTILUS_CHECK_EQ(gamma.NumElements(), xv.cols);
   NAUTILUS_CHECK_EQ(beta.NumElements(), xv.cols);
-  Tensor y(x.shape());
-  cache->normalized = Tensor(x.shape());
+  Tensor y = Tensor::Uninitialized(x.shape());
+  cache->normalized = Tensor::Uninitialized(x.shape());
   cache->rstd.assign(static_cast<size_t>(xv.rows), 0.0f);
   const float* px = x.data();
   const float* pg = gamma.data();
@@ -361,7 +329,8 @@ void LayerNormBackward(const Tensor& dy, const Tensor& gamma,
                        const LayerNormCache& cache, Tensor* dx, Tensor* dgamma,
                        Tensor* dbeta) {
   const MatView v = As2D(dy);
-  *dx = Tensor(dy.shape());
+  // dx rows are fully overwritten; dgamma/dbeta accumulate and stay zeroed.
+  *dx = Tensor::Uninitialized(dy.shape());
   *dgamma = Tensor(gamma.shape());
   *dbeta = Tensor(gamma.shape());
   const float* pdy = dy.data();
@@ -425,7 +394,7 @@ void LayerNormBackward(const Tensor& dy, const Tensor& gamma,
 
 Tensor SoftmaxForward(const Tensor& logits) {
   const MatView v = As2D(logits);
-  Tensor probs = logits;
+  Tensor probs = logits.PooledCopy();
   float* p = probs.data();
   // Row-parallel: each row's max/exp/normalize is independent.
   ParallelFor(
@@ -453,7 +422,7 @@ float SoftmaxCrossEntropy(const Tensor& probs,
                           Tensor* dlogits) {
   const MatView v = As2D(probs);
   NAUTILUS_CHECK_EQ(static_cast<int64_t>(labels.size()), v.rows);
-  *dlogits = probs;
+  *dlogits = probs.PooledCopy();
   float* pd = dlogits->data();
   const float* pp = probs.data();
   const float inv_m = 1.0f / static_cast<float>(v.rows);
@@ -521,7 +490,7 @@ Tensor EmbeddingForward(const Tensor& ids, const Tensor& table) {
   const int64_t h = table.shape().dim(1);
   std::vector<int64_t> out_dims = ids.shape().dims();
   out_dims.push_back(h);
-  Tensor out((Shape(out_dims)));
+  Tensor out = Tensor::Uninitialized(Shape(out_dims));
   const float* pid = ids.data();
   const float* pt = table.data();
   float* po = out.data();
@@ -565,7 +534,7 @@ Tensor MeanPoolSeq(const Tensor& x) {
   const int64_t b = x.shape().dim(0);
   const int64_t s = x.shape().dim(1);
   const int64_t h = x.shape().dim(2);
-  Tensor out(Shape({b, h}));
+  Tensor out = Tensor::Uninitialized(Shape({b, h}));
   const float* px = x.data();
   float* po = out.data();
   const float inv_s = 1.0f / static_cast<float>(s);
@@ -574,7 +543,9 @@ Tensor MeanPoolSeq(const Tensor& x) {
       [&](int64_t begin, int64_t end) {
         for (int64_t i = begin; i < end; ++i) {
           float* orow = po + i * h;
-          for (int64_t t = 0; t < s; ++t) {
+          // Output storage is uninitialized: seed with t = 0, then add.
+          std::copy(px + i * s * h, px + i * s * h + h, orow);
+          for (int64_t t = 1; t < s; ++t) {
             const float* row = px + (i * s + t) * h;
             for (int64_t j = 0; j < h; ++j) orow[j] += row[j];
           }
@@ -590,7 +561,7 @@ Tensor MeanPoolSeqBackward(const Tensor& dy, const Shape& x_shape) {
   const int64_t s = x_shape.dim(1);
   const int64_t h = x_shape.dim(2);
   NAUTILUS_CHECK_EQ(dy.NumElements(), b * h);
-  Tensor dx(x_shape);
+  Tensor dx = Tensor::Uninitialized(x_shape);
   const float* pdy = dy.data();
   float* pdx = dx.data();
   const float inv_s = 1.0f / static_cast<float>(s);
@@ -617,7 +588,7 @@ Tensor SelectSeqPosition(const Tensor& x, int64_t position) {
   if (position < 0) position += s;
   NAUTILUS_CHECK_GE(position, 0);
   NAUTILUS_CHECK_LT(position, s);
-  Tensor out(Shape({b, h}));
+  Tensor out = Tensor::Uninitialized(Shape({b, h}));
   const float* px = x.data();
   float* po = out.data();
   for (int64_t i = 0; i < b; ++i) {
@@ -655,7 +626,7 @@ Tensor ConcatLastDim(const std::vector<const Tensor*>& xs) {
   }
   std::vector<int64_t> out_dims = xs[0]->shape().dims();
   out_dims.back() = total_cols;
-  Tensor out((Shape(out_dims)));
+  Tensor out = Tensor::Uninitialized(Shape(out_dims));
   float* po = out.data();
   ParallelFor(
       first.rows,
@@ -687,7 +658,7 @@ std::vector<Tensor> SplitLastDim(const Tensor& dy,
   for (int64_t cols : sizes) {
     std::vector<int64_t> dims = dy.shape().dims();
     dims.back() = cols;
-    Tensor piece((Shape(dims)));
+    Tensor piece = Tensor::Uninitialized(Shape(dims));
     float* pp = piece.data();
     const float* pd = dy.data();
     ParallelFor(
@@ -712,7 +683,7 @@ Tensor SplitHeads(const Tensor& x, int64_t heads) {
   const int64_t h = x.shape().dim(2);
   NAUTILUS_CHECK_EQ(h % heads, 0);
   const int64_t dh = h / heads;
-  Tensor out(Shape({b, heads, s, dh}));
+  Tensor out = Tensor::Uninitialized(Shape({b, heads, s, dh}));
   const float* px = x.data();
   float* po = out.data();
   ParallelFor(
@@ -738,7 +709,7 @@ Tensor MergeHeads(const Tensor& x) {
   const int64_t heads = x.shape().dim(1);
   const int64_t s = x.shape().dim(2);
   const int64_t dh = x.shape().dim(3);
-  Tensor out(Shape({b, s, heads * dh}));
+  Tensor out = Tensor::Uninitialized(Shape({b, s, heads * dh}));
   const float* px = x.data();
   float* po = out.data();
   ParallelFor(
@@ -769,8 +740,8 @@ Tensor AttentionForward(const Tensor& q, const Tensor& k, const Tensor& v,
   const int64_t s = q.shape().dim(2);
   const int64_t dh = q.shape().dim(3);
   const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
-  cache->probs = Tensor(Shape({b, heads, s, s}));
-  Tensor out(q.shape());
+  cache->probs = Tensor::Uninitialized(Shape({b, heads, s, s}));
+  Tensor out = Tensor::Uninitialized(q.shape());
   const int64_t plane = s * dh;
   // Each (batch, head) plane touches disjoint slices of probs and out.
   ParallelFor(b * heads, [&](int64_t bh_begin, int64_t bh_end) {
@@ -799,6 +770,8 @@ Tensor AttentionForward(const Tensor& q, const Tensor& k, const Tensor& v,
       }
       const float inv = 1.0f / sum;
       float* orow = po + i * dh;
+      // Output storage is uninitialized; clear the row before accumulating.
+      for (int64_t d = 0; d < dh; ++d) orow[d] = 0.0f;
       for (int64_t j = 0; j < s; ++j) {
         prow[j] *= inv;
         const float* vrow = pv + j * dh;
@@ -890,7 +863,7 @@ Tensor Conv2DForward(const Tensor& x, const Tensor& weight, const Tensor& bias,
   const int64_t kw = weight.shape().dim(3);
   const int64_t oh = ConvOut(h, kh, args.stride, args.padding);
   const int64_t ow = ConvOut(w, kw, args.stride, args.padding);
-  Tensor out(Shape({b, oc, oh, ow}));
+  Tensor out = Tensor::Uninitialized(Shape({b, oc, oh, ow}));
   const float* px = x.data();
   const float* pw = weight.data();
   const float* pb = bias.empty() ? nullptr : bias.data();
@@ -1039,7 +1012,7 @@ Tensor MaxPool2DForward(const Tensor& x, int64_t kernel, MaxPoolCache* cache) {
   const int64_t ow = w / kernel;
   NAUTILUS_CHECK_GT(oh, 0);
   NAUTILUS_CHECK_GT(ow, 0);
-  Tensor out(Shape({b, c, oh, ow}));
+  Tensor out = Tensor::Uninitialized(Shape({b, c, oh, ow}));
   cache->argmax.assign(static_cast<size_t>(out.NumElements()), 0);
   const float* px = x.data();
   float* po = out.data();
@@ -1098,7 +1071,7 @@ Tensor GlobalAvgPool(const Tensor& x) {
   const int64_t b = x.shape().dim(0);
   const int64_t c = x.shape().dim(1);
   const int64_t hw = x.shape().dim(2) * x.shape().dim(3);
-  Tensor out(Shape({b, c}));
+  Tensor out = Tensor::Uninitialized(Shape({b, c}));
   const float* px = x.data();
   float* po = out.data();
   const float inv = 1.0f / static_cast<float>(hw);
@@ -1120,7 +1093,7 @@ Tensor GlobalAvgPoolBackward(const Tensor& dy, const Shape& x_shape) {
   const int64_t b = x_shape.dim(0);
   const int64_t c = x_shape.dim(1);
   const int64_t hw = x_shape.dim(2) * x_shape.dim(3);
-  Tensor dx(x_shape);
+  Tensor dx = Tensor::Uninitialized(x_shape);
   const float* pdy = dy.data();
   float* pdx = dx.data();
   const float inv = 1.0f / static_cast<float>(hw);
@@ -1145,7 +1118,7 @@ Tensor ChannelAffineForward(const Tensor& x, const Tensor& scale,
   const int64_t hw = x.shape().dim(2) * x.shape().dim(3);
   NAUTILUS_CHECK_EQ(scale.NumElements(), c);
   NAUTILUS_CHECK_EQ(shift.NumElements(), c);
-  Tensor out(x.shape());
+  Tensor out = Tensor::Uninitialized(x.shape());
   const float* px = x.data();
   const float* ps = scale.data();
   const float* pt = shift.data();
@@ -1172,7 +1145,8 @@ void ChannelAffineBackward(const Tensor& dy, const Tensor& x,
   const int64_t b = x.shape().dim(0);
   const int64_t c = x.shape().dim(1);
   const int64_t hw = x.shape().dim(2) * x.shape().dim(3);
-  if (dx != nullptr) *dx = Tensor(x.shape());
+  // dx is fully overwritten; dscale/dshift accumulate and stay zeroed.
+  if (dx != nullptr) *dx = Tensor::Uninitialized(x.shape());
   if (dscale != nullptr) *dscale = Tensor(Shape({c}));
   if (dshift != nullptr) *dshift = Tensor(Shape({c}));
   const float* pdy = dy.data();

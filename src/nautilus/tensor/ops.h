@@ -4,13 +4,16 @@
 #include <cstdint>
 #include <vector>
 
+#include "nautilus/tensor/gemm.h"
 #include "nautilus/tensor/tensor.h"
 
 namespace nautilus {
 namespace ops {
 
 // ---------------------------------------------------------------------------
-// Dense linear algebra.
+// Dense linear algebra. The matmul family is backed by the cache-blocked
+// SIMD GEMM in gemm.h; all variants are bitwise deterministic across thread
+// counts.
 // ---------------------------------------------------------------------------
 
 /// C = A[m,k] * B[k,n].
@@ -21,6 +24,15 @@ Tensor MatMulNT(const Tensor& a, const Tensor& b);
 
 /// C = A[k,m]^T * B[k,n] -> [m,n]. Used for dL/dW = X^T * dY.
 Tensor MatMulTN(const Tensor& a, const Tensor& b);
+
+/// Fused dense-layer forward: act(x * w + bias) in one pass over the output
+/// (GEMM epilogue), where x is viewed as [rows, in], w is [in, out] and bias
+/// is [out]. `epilogue` selects the activation (kNone is treated as kBias:
+/// the bias is always applied). When `pre_activation` is non-null it is
+/// overwritten with z = x*w + bias [rows, out] for backward passes that need
+/// the pre-activation (GELU).
+Tensor DenseForward(const Tensor& x, const Tensor& w, const Tensor& bias,
+                    EpilogueKind epilogue, Tensor* pre_activation = nullptr);
 
 /// Adds bias[n] to every row of x[m,n] in place.
 void AddBiasInPlace(Tensor* x, const Tensor& bias);

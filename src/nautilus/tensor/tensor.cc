@@ -3,8 +3,32 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <utility>
+
+#include "nautilus/util/buffer_pool.h"
 
 namespace nautilus {
+
+Tensor::~Tensor() {
+  if (static_cast<int64_t>(data_.capacity()) >=
+      util::BufferPool::kMinPooledFloats) {
+    util::BufferPool::Global().Recycle(std::move(data_));
+  }
+}
+
+Tensor Tensor::Uninitialized(const Shape& shape) {
+  Tensor t;
+  t.shape_ = shape;
+  t.data_ = util::BufferPool::Global().Rent(shape.NumElements());
+  return t;
+}
+
+Tensor Tensor::PooledCopy() const {
+  Tensor t = Uninitialized(shape_);
+  const float* src = data();
+  std::copy(src, src + NumElements(), t.data_.begin());
+  return t;
+}
 
 std::string Shape::ToString() const {
   std::ostringstream os;

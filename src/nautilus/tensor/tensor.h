@@ -38,10 +38,26 @@ class Tensor {
   Tensor(Tensor&&) = default;
   Tensor& operator=(Tensor&&) = default;
 
+  /// Returns owned storage to the process-wide buffer pool (see
+  /// util::BufferPool) so the next Uninitialized tensor of a similar size
+  /// skips allocation and zero-fill.
+  ~Tensor();
+
   /// Tensor filled with normal noise; used for weight initialization.
   static Tensor Randn(const Shape& shape, Rng* rng, float stddev);
   static Tensor Zeros(const Shape& shape) { return Tensor(shape); }
   static Tensor Full(const Shape& shape, float value);
+
+  /// Tensor whose elements are ARBITRARY (not zero): storage is rented from
+  /// the buffer pool without clearing. Use only when every element is
+  /// overwritten before being read — kernel outputs, scratch buffers. Ops
+  /// that accumulate into their output must use Tensor(shape) instead.
+  static Tensor Uninitialized(const Shape& shape);
+
+  /// Deep copy whose storage comes from the buffer pool. Prefer this over
+  /// the copy constructor for short-lived copies (per-step caches): it
+  /// avoids the allocator on the steady-state path.
+  Tensor PooledCopy() const;
 
   /// Non-owning view over `shape.NumElements()` floats at `data`. `holder`
   /// keeps the backing storage (an mmap-ed file, a cache entry) alive for as

@@ -1,0 +1,332 @@
+// Parity and determinism tests for the blocked GEMM: the cache-blocked,
+// packed, register-tiled kernel (both dispatch paths) against the serial
+// unblocked reference, fused epilogues against the separate ops, and the
+// bitwise-reproducibility contract across parallelism degrees.
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nautilus/tensor/gemm.h"
+#include "nautilus/tensor/ops.h"
+#include "nautilus/util/parallel.h"
+#include "nautilus/util/random.h"
+
+namespace nautilus {
+namespace {
+
+class ScopedDegree {
+ public:
+  explicit ScopedDegree(int degree) : saved_(ParallelismDegree()) {
+    SetParallelismDegree(degree);
+  }
+  ~ScopedDegree() { SetParallelismDegree(saved_); }
+
+ private:
+  int saved_;
+};
+
+// Pins the GEMM dispatch path for a scope and restores it afterwards.
+class ScopedSimd {
+ public:
+  explicit ScopedSimd(bool enabled) : saved_(ops::GemmSimdEnabled()) {
+    ops::SetGemmSimdEnabled(enabled);
+  }
+  ~ScopedSimd() { ops::SetGemmSimdEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+std::vector<float> RandVec(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<size_t>(n));
+  for (float& x : v) x = rng.Normal() * 0.5f;
+  return v;
+}
+
+float MaxAbsDiff(const std::vector<float>& a, const std::vector<float>& b) {
+  float m = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Blocked vs reference across shapes that straddle every tile boundary:
+// 1-row, micro-tile edges (6/16), kc boundary (256), and odd primes.
+// ---------------------------------------------------------------------------
+
+class GemmShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapes, PortablePathBitwiseMatchesReference) {
+  // The blocked portable path performs the exact same scalar mul-adds in the
+  // exact same ascending-k order as the reference, so it must agree bit for
+  // bit — packing and k-blocking reorder memory, not arithmetic.
+  const auto [m, n, k] = GetParam();
+  ScopedSimd simd(false);
+  auto a = RandVec(int64_t{m} * k, 1);
+  auto b = RandVec(int64_t{k} * n, 2);
+  std::vector<float> c(static_cast<size_t>(m) * n, -7.0f);
+  std::vector<float> ref(static_cast<size_t>(m) * n, 3.0f);
+  for (ops::GemmTranspose t :
+       {ops::GemmTranspose::kNN, ops::GemmTranspose::kNT,
+        ops::GemmTranspose::kTN}) {
+    ops::Gemm(t, m, n, k, a.data(), b.data(), c.data());
+    ops::GemmReference(t, m, n, k, a.data(), b.data(), ref.data());
+    ASSERT_EQ(std::memcmp(c.data(), ref.data(), c.size() * sizeof(float)), 0)
+        << "transpose variant " << static_cast<int>(t);
+  }
+}
+
+TEST_P(GemmShapes, SimdPathCloseToReference) {
+  if (!ops::GemmSimdAvailable()) GTEST_SKIP() << "no AVX2+FMA on this host";
+  const auto [m, n, k] = GetParam();
+  ScopedSimd simd(true);
+  auto a = RandVec(int64_t{m} * k, 3);
+  auto b = RandVec(int64_t{k} * n, 4);
+  std::vector<float> c(static_cast<size_t>(m) * n);
+  std::vector<float> ref(static_cast<size_t>(m) * n);
+  ops::Gemm(ops::GemmTranspose::kNN, m, n, k, a.data(), b.data(), c.data());
+  ops::GemmReference(ops::GemmTranspose::kNN, m, n, k, a.data(), b.data(),
+                     ref.data());
+  // FMA keeps the product unrounded, so the two paths differ only by a few
+  // ulps per accumulation step.
+  EXPECT_LT(MaxAbsDiff(c, ref), 1e-4f * static_cast<float>(k));
+}
+
+TEST_P(GemmShapes, AccumulateAddsOntoExistingC) {
+  const auto [m, n, k] = GetParam();
+  ScopedSimd simd(false);
+  auto a = RandVec(int64_t{m} * k, 5);
+  auto b = RandVec(int64_t{k} * n, 6);
+  auto seed = RandVec(int64_t{m} * n, 7);
+  std::vector<float> c = seed;
+  std::vector<float> ref = seed;
+  ops::Gemm(ops::GemmTranspose::kNN, m, n, k, a.data(), b.data(), c.data(),
+            ops::Epilogue{}, /*accumulate=*/true);
+  ops::GemmReference(ops::GemmTranspose::kNN, m, n, k, a.data(), b.data(),
+                     ref.data(), ops::Epilogue{}, /*accumulate=*/true);
+  ASSERT_EQ(std::memcmp(c.data(), ref.data(), c.size() * sizeof(float)), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 17, 300),
+                      std::make_tuple(5, 15, 3), std::make_tuple(6, 16, 256),
+                      std::make_tuple(7, 17, 257), std::make_tuple(13, 1, 64),
+                      std::make_tuple(48, 33, 80), std::make_tuple(49, 65, 31),
+                      std::make_tuple(97, 101, 103)));
+
+// ---------------------------------------------------------------------------
+// Fused epilogues vs the separate bias/activation ops.
+// ---------------------------------------------------------------------------
+
+class EpilogueKinds : public ::testing::TestWithParam<ops::EpilogueKind> {};
+
+TEST_P(EpilogueKinds, FusedMatchesUnfusedPipeline) {
+  const ops::EpilogueKind kind = GetParam();
+  ScopedSimd simd(false);
+  const int m = 23, n = 37, k = 65;
+  Rng rng(11);
+  Tensor a = Tensor::Randn(Shape({m, k}), &rng, 0.5f);
+  Tensor w = Tensor::Randn(Shape({k, n}), &rng, 0.5f);
+  Tensor bias = Tensor::Randn(Shape({n}), &rng, 0.5f);
+
+  std::vector<float> fused(static_cast<size_t>(m) * n);
+  std::vector<float> pre(static_cast<size_t>(m) * n);
+  ops::Epilogue ep;
+  ep.kind = kind;
+  ep.bias = bias.data();
+  ep.pre_activation = pre.data();
+  ops::Gemm(ops::GemmTranspose::kNN, m, n, k, a.data(), w.data(),
+            fused.data(), ep);
+
+  // Unfused: same GEMM without epilogue, then the standalone ops. The fused
+  // scalar epilogue reuses the exact activation formulas, so on the portable
+  // path this is a bitwise comparison.
+  Tensor z = ops::MatMul(a, w);
+  ops::AddBiasInPlace(&z, bias);
+  Tensor y = z;
+  switch (kind) {
+    case ops::EpilogueKind::kNone:
+      break;
+    case ops::EpilogueKind::kBias:
+      break;
+    case ops::EpilogueKind::kBiasRelu:
+      y = ops::ReluForward(z);
+      break;
+    case ops::EpilogueKind::kBiasTanh:
+      y = ops::TanhForward(z);
+      break;
+    case ops::EpilogueKind::kBiasGelu:
+      y = ops::GeluForward(z);
+      break;
+  }
+  ASSERT_EQ(std::memcmp(fused.data(), y.data(), fused.size() * sizeof(float)),
+            0);
+  // pre_activation must hold z = A*W + bias exactly.
+  ASSERT_EQ(std::memcmp(pre.data(), z.data(), pre.size() * sizeof(float)), 0);
+}
+
+TEST_P(EpilogueKinds, ReferenceAgreesWithBlockedFused) {
+  const ops::EpilogueKind kind = GetParam();
+  ScopedSimd simd(false);
+  const int m = 11, n = 19, k = 260;  // spans a kc boundary
+  auto a = RandVec(int64_t{m} * k, 21);
+  auto b = RandVec(int64_t{k} * n, 22);
+  auto bias = RandVec(n, 23);
+  ops::Epilogue ep;
+  ep.kind = kind;
+  ep.bias = bias.data();
+  std::vector<float> c(static_cast<size_t>(m) * n);
+  std::vector<float> ref(static_cast<size_t>(m) * n);
+  ops::Gemm(ops::GemmTranspose::kNN, m, n, k, a.data(), b.data(), c.data(),
+            ep);
+  ops::GemmReference(ops::GemmTranspose::kNN, m, n, k, a.data(), b.data(),
+                     ref.data(), ep);
+  ASSERT_EQ(std::memcmp(c.data(), ref.data(), c.size() * sizeof(float)), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, EpilogueKinds,
+    ::testing::Values(ops::EpilogueKind::kBias, ops::EpilogueKind::kBiasRelu,
+                      ops::EpilogueKind::kBiasTanh,
+                      ops::EpilogueKind::kBiasGelu));
+
+// ---------------------------------------------------------------------------
+// Edge cases and semantics.
+// ---------------------------------------------------------------------------
+
+TEST(GemmEdge, EmptyKZeroFillsAndStillAppliesEpilogue) {
+  const int m = 3, n = 5;
+  std::vector<float> c(static_cast<size_t>(m) * n, 42.0f);
+  ops::Gemm(ops::GemmTranspose::kNN, m, n, 0, nullptr, nullptr, c.data());
+  for (float v : c) EXPECT_EQ(v, 0.0f);
+
+  std::vector<float> bias = {1.0f, -2.0f, 3.0f, -4.0f, 5.0f};
+  ops::Epilogue ep;
+  ep.kind = ops::EpilogueKind::kBiasRelu;
+  ep.bias = bias.data();
+  ops::Gemm(ops::GemmTranspose::kNN, m, n, 0, nullptr, nullptr, c.data(), ep);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      EXPECT_EQ(c[static_cast<size_t>(i) * n + j], std::max(0.0f, bias[j]));
+    }
+  }
+}
+
+TEST(GemmEdge, EmptyKAccumulateKeepsC) {
+  std::vector<float> c = {1.0f, 2.0f, 3.0f, 4.0f};
+  ops::Gemm(ops::GemmTranspose::kNN, 2, 2, 0, nullptr, nullptr, c.data(),
+            ops::Epilogue{}, /*accumulate=*/true);
+  EXPECT_EQ(c[0], 1.0f);
+  EXPECT_EQ(c[3], 4.0f);
+}
+
+TEST(GemmEdge, ZeroTimesInfPropagatesNaN) {
+  // The old MatMul skipped a_ik == 0 as a shortcut, silently turning
+  // 0 * inf (NaN by IEEE 754) into 0. The GEMM must not skip.
+  const int m = 2, k = 3, n = 2;
+  Tensor a(Shape({m, k}));
+  Tensor b(Shape({k, n}));
+  // Row 0 of A is all zero; column 0 of B carries an inf in row 0.
+  b.at(0) = std::numeric_limits<float>::infinity();
+  for (int64_t i = 0; i < b.NumElements(); ++i) {
+    if (i != 0) b.at(i) = 1.0f;
+  }
+  Tensor c = ops::MatMul(a, b);
+  EXPECT_TRUE(std::isnan(c.at(0)));   // 0 * inf contributes NaN
+  EXPECT_EQ(c.at(1), 0.0f);           // untouched column stays exact zero
+}
+
+TEST(GemmEdge, RankThreeInputsFlattenLeadingDims) {
+  Rng rng(31);
+  Tensor a = Tensor::Randn(Shape({2, 3, 4}), &rng, 1.0f);
+  Tensor w = Tensor::Randn(Shape({4, 5}), &rng, 1.0f);
+  Tensor c = ops::MatMul(a, w);
+  ASSERT_EQ(c.NumElements(), 2 * 3 * 5);
+  // Row r of the flattened result is a[r,:] . w.
+  for (int r = 0; r < 6; ++r) {
+    for (int j = 0; j < 5; ++j) {
+      float acc = 0.0f;
+      for (int p = 0; p < 4; ++p) acc += a.at(r * 4 + p) * w.at(p * 5 + j);
+      EXPECT_NEAR(c.at(r * 5 + j), acc, 1e-5f);
+    }
+  }
+}
+
+TEST(GemmEdge, DenseForwardMatchesManualPipeline) {
+  Rng rng(41);
+  Tensor x = Tensor::Randn(Shape({9, 12}), &rng, 0.7f);
+  Tensor w = Tensor::Randn(Shape({12, 7}), &rng, 0.7f);
+  Tensor b = Tensor::Randn(Shape({7}), &rng, 0.7f);
+  Tensor pre;
+  Tensor y = ops::DenseForward(x, w, b, ops::EpilogueKind::kBiasGelu, &pre);
+  Tensor z = ops::MatMul(x, w);
+  ops::AddBiasInPlace(&z, b);
+  Tensor expect = ops::GeluForward(z);
+  EXPECT_EQ(Tensor::MaxAbsDiff(y, expect), 0.0f);
+  EXPECT_EQ(Tensor::MaxAbsDiff(pre, z), 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across parallelism degrees: bitwise, per dispatch path.
+// ---------------------------------------------------------------------------
+
+TEST(GemmDeterminism, BitwiseIdenticalAcrossDegrees) {
+  const int m = 130, n = 70, k = 300;  // several row panels, 2 kc blocks
+  auto a = RandVec(int64_t{m} * k, 51);
+  auto b = RandVec(int64_t{k} * n, 52);
+  auto bias = RandVec(n, 53);
+  ops::Epilogue ep;
+  ep.kind = ops::EpilogueKind::kBiasGelu;
+  ep.bias = bias.data();
+  for (bool simd_on : {false, true}) {
+    if (simd_on && !ops::GemmSimdAvailable()) continue;
+    ScopedSimd simd(simd_on);
+    std::vector<float> base(static_cast<size_t>(m) * n);
+    {
+      ScopedDegree d(1);
+      ops::Gemm(ops::GemmTranspose::kNN, m, n, k, a.data(), b.data(),
+                base.data(), ep);
+    }
+    for (int degree : {2, 8}) {
+      ScopedDegree d(degree);
+      std::vector<float> c(static_cast<size_t>(m) * n, -1.0f);
+      ops::Gemm(ops::GemmTranspose::kNN, m, n, k, a.data(), b.data(),
+                c.data(), ep);
+      ASSERT_EQ(std::memcmp(c.data(), base.data(), c.size() * sizeof(float)),
+                0)
+          << "degree " << degree << " simd " << simd_on;
+    }
+  }
+}
+
+TEST(GemmDispatch, ToggleIsObservable) {
+  if (!ops::GemmSimdAvailable()) {
+    EXPECT_STREQ(ops::GemmDispatchName(), "portable");
+    // Enabling SIMD without hardware support must stay a no-op.
+    ScopedSimd simd(true);
+    EXPECT_FALSE(ops::GemmSimdEnabled());
+    return;
+  }
+  {
+    ScopedSimd simd(true);
+    EXPECT_TRUE(ops::GemmSimdEnabled());
+    EXPECT_STREQ(ops::GemmDispatchName(), "avx2");
+  }
+  {
+    ScopedSimd simd(false);
+    EXPECT_FALSE(ops::GemmSimdEnabled());
+    EXPECT_STREQ(ops::GemmDispatchName(), "portable");
+  }
+}
+
+}  // namespace
+}  // namespace nautilus

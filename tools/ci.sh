@@ -5,9 +5,11 @@
 # executor/planner spans documented in docs/OBSERVABILITY.md, a
 # crash-recovery smoke test that kills a persistent run mid-materialization
 # (NAUTILUS_FAULT=crash_after_write:N), corrupts a shard, and asserts the
-# resumed run converges to the reference model selection, and (when libtsan
-# is available) a ThreadSanitizer build running the threaded
-# pool/executor/trainer tests.
+# resumed run converges to the reference model selection, a GEMM parity gate
+# (both dispatch paths via NAUTILUS_SIMD=0/1, plus a model-selection
+# equivalence check between them), and — when the sanitizer runtimes are
+# available — an AddressSanitizer build over the buffer-pool/GEMM tests and
+# a ThreadSanitizer build running the threaded pool/executor/trainer tests.
 #
 # Usage: tools/ci.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -62,6 +64,34 @@ else
   echo "trace OK (grep fallback)"
 fi
 
+echo "==> gemm parity gate"
+# The blocked GEMM's determinism contract, on both dispatch paths. Forcing
+# NAUTILUS_SIMD=0 exercises the portable kernel even on AVX2 hosts; the
+# SIMD=1 run is a no-op downgrade to portable where the hardware lacks it.
+NAUTILUS_SIMD=1 "$BUILD_DIR/tests/gemm_test" > /dev/null
+NAUTILUS_SIMD=0 "$BUILD_DIR/tests/gemm_test" > /dev/null
+echo "gemm parity OK (both dispatch paths)"
+
+# Model selection must be identical whichever kernel path served training:
+# the two paths may differ by FMA rounding in activations, but never enough
+# to flip a selection decision on this workload — and the printed 'best
+# model' lines must agree exactly.
+GEMM_A_OUT="$(mktemp /tmp/nautilus_ci_gemm_a.XXXXXX.txt)"
+GEMM_B_OUT="$(mktemp /tmp/nautilus_ci_gemm_b.XXXXXX.txt)"
+trap 'rm -f "$TRACE_FILE" "$GEMM_A_OUT" "$GEMM_B_OUT"' EXIT
+NAUTILUS_SIMD=1 "$BUILD_DIR/tools/nautilus_cli" \
+  --workload=FTR-2 --approach=nautilus --mode=measure \
+  --cycles=2 --records=60 > "$GEMM_A_OUT"
+NAUTILUS_SIMD=0 "$BUILD_DIR/tools/nautilus_cli" \
+  --workload=FTR-2 --approach=nautilus --mode=measure \
+  --cycles=2 --records=60 > "$GEMM_B_OUT"
+if ! diff <(grep -oE 'best model.*$' "$GEMM_A_OUT") \
+          <(grep -oE 'best model.*$' "$GEMM_B_OUT"); then
+  echo "FAIL: model selection differs between SIMD and portable GEMM"
+  exit 1
+fi
+echo "gemm dispatch OK: model selection identical with NAUTILUS_SIMD=0/1"
+
 echo "==> io-engine smoke test"
 # The bench self-checks: warm-cache epochs must read 0 disk bytes and every
 # read path must return bitwise-identical tensors (non-zero exit otherwise).
@@ -69,7 +99,7 @@ echo "==> io-engine smoke test"
 # And a measured CLI run must actually hit the shard cache: epoch 2+ feed
 # loads are served from memory, so a cache regression zeroes this counter.
 IO_SMOKE_OUT="$(mktemp /tmp/nautilus_ci_io_smoke.XXXXXX.txt)"
-trap 'rm -f "$TRACE_FILE" "$IO_SMOKE_OUT"' EXIT
+trap 'rm -f "$TRACE_FILE" "$GEMM_A_OUT" "$GEMM_B_OUT" "$IO_SMOKE_OUT"' EXIT
 "$BUILD_DIR/tools/nautilus_cli" \
   --workload=FTR-2 --approach=nautilus --mode=measure \
   --cycles=2 --records=60 --metrics-summary > "$IO_SMOKE_OUT"
@@ -84,7 +114,7 @@ echo "==> crash-recovery smoke test"
 CR_DIR="$(mktemp -d /tmp/nautilus_ci_crash.XXXXXX)"
 CR_REF="$(mktemp /tmp/nautilus_ci_crash_ref.XXXXXX.txt)"
 CR_OUT="$(mktemp /tmp/nautilus_ci_crash_out.XXXXXX.txt)"
-trap 'rm -f "$TRACE_FILE" "$IO_SMOKE_OUT" "$CR_REF" "$CR_OUT"; rm -rf "$CR_DIR"' EXIT
+trap 'rm -f "$TRACE_FILE" "$GEMM_A_OUT" "$GEMM_B_OUT" "$IO_SMOKE_OUT" "$CR_REF" "$CR_OUT"; rm -rf "$CR_DIR"' EXIT
 
 # Reference run: uninterrupted, throwaway work dir. Its metrics summary says
 # how many storage commits (shard + checkpoint writes) a full run performs.
@@ -134,6 +164,23 @@ if [ "$RES_FINAL" != "$REF_FINAL" ]; then
   exit 1
 fi
 echo "crash recovery OK: crashed at commit $COMMITS, resumed to '$RES_FINAL'"
+
+echo "==> address sanitizer"
+# ASAN over the memory-lifetime-heavy pieces: the buffer pool recycler and
+# the packed GEMM (rented pack panels, edge-tile staging). Probe for the
+# runtime first, as with TSAN below.
+if echo 'int main(){return 0;}' | \
+   c++ -x c++ -fsanitize=address -o /tmp/nautilus_asan_probe - >/dev/null 2>&1; then
+  rm -f /tmp/nautilus_asan_probe
+  ASAN_DIR="${BUILD_DIR}-asan"
+  cmake -B "$ASAN_DIR" -S . -DNAUTILUS_ASAN=ON
+  cmake --build "$ASAN_DIR" -j "$(nproc)" \
+    --target buffer_pool_test gemm_test tensor_test
+  ctest --test-dir "$ASAN_DIR" --output-on-failure \
+    -R '^(buffer_pool_test|gemm_test|tensor_test)$'
+else
+  echo "libasan unavailable; skipping ASAN stage"
+fi
 
 echo "==> thread sanitizer"
 # Probe for libtsan: some toolchains ship the compiler flag but not the
