@@ -118,8 +118,8 @@ struct SearchOrder {
 }  // namespace
 
 MaterializationChoice MaterializationOptimizer::Optimize(
-    double disk_budget_bytes, int64_t max_records,
-    int max_search_nodes) const {
+    double disk_budget_bytes, int64_t max_records, int max_search_nodes,
+    const std::vector<bool>* warm_units) const {
   const size_t num_units = mm_->units().size();
 
   // Incumbent: no materialization at all (always feasible; this is the
@@ -127,6 +127,20 @@ MaterializationChoice MaterializationOptimizer::Optimize(
   MaterializationChoice best =
       EvaluateGivenUnits(std::vector<bool>(num_units, false), max_records);
   best.storage_bytes = 0.0;
+
+  // Warm start: the prior cycle's unit set, if still feasible and cheaper,
+  // replaces the trivial incumbent so bound pruning bites from node one.
+  if (warm_units != nullptr && warm_units->size() == num_units) {
+    MaterializationChoice prior = EvaluateGivenUnits(*warm_units, max_records);
+    const std::vector<bool> loaded = LoadedUnits(*mm_, prior);
+    const double loaded_bytes = UnitBytes(*mm_, loaded, max_records);
+    if (loaded_bytes <= disk_budget_bytes + 1e-6 &&
+        prior.total_cost_flops < best.total_cost_flops) {
+      prior.materialize = loaded;
+      prior.storage_bytes = loaded_bytes;
+      best = std::move(prior);
+    }
+  }
 
   std::vector<SearchNode> arena;
   arena.push_back(SearchNode{std::vector<int>(num_units, -1), 0.0});
@@ -304,10 +318,13 @@ MilpProblem MaterializationOptimizer::BuildMilp(double disk_budget_bytes,
 }
 
 MaterializationChoice MaterializationOptimizer::OptimizeWithMilp(
-    double disk_budget_bytes, int64_t max_records,
-    const MilpOptions& options) const {
+    double disk_budget_bytes, int64_t max_records, const MilpOptions& options,
+    MilpWarmStart* warm) const {
   const MilpProblem problem = BuildMilp(disk_budget_bytes, max_records);
-  const MilpSolution solution = SolveMilp(problem, options);
+  MilpOptions opts = options;
+  if (warm != nullptr) opts.warm_start = warm;
+  const MilpSolution solution = SolveMilp(problem, opts);
+  if (warm != nullptr) UpdateMilpWarmStart(problem, solution, warm);
   NAUTILUS_CHECK(solution.status == LpStatus::kOptimal)
       << "materialization MILP: " << LpStatusToString(solution.status);
 

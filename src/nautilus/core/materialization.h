@@ -49,14 +49,26 @@ class MaterializationOptimizer {
       const std::vector<bool>& allowed_units, int64_t max_records,
       bool force_load = false) const;
 
-  MaterializationChoice Optimize(double disk_budget_bytes,
-                                 int64_t max_records,
-                                 int max_search_nodes = 20000) const;
+  /// `warm_units` (optional): a prior cycle's materialization set, seeded as
+  /// the starting incumbent when it is still budget-feasible and cheaper
+  /// than the no-materialization plan. The search result is unchanged — the
+  /// optimum is still proven — but subtrees that cannot beat the prior plan
+  /// are pruned immediately, which is the common case when only the
+  /// record-count scale changed between cycles.
+  MaterializationChoice Optimize(
+      double disk_budget_bytes, int64_t max_records,
+      int max_search_nodes = 20000,
+      const std::vector<bool>* warm_units = nullptr) const;
 
   MilpProblem BuildMilp(double disk_budget_bytes, int64_t max_records) const;
+  /// `warm` (optional) is both consumed and refreshed: a valid prior
+  /// solution short-circuits the solve when the program is unchanged (or
+  /// seeds the incumbent when perturbed — see MilpWarmStart), and the
+  /// returned solution is written back for the next cycle.
   MaterializationChoice OptimizeWithMilp(
       double disk_budget_bytes, int64_t max_records,
-      const MilpOptions& options = MilpOptions()) const;
+      const MilpOptions& options = MilpOptions(),
+      MilpWarmStart* warm = nullptr) const;
 
  private:
   /// Per-candidate planning instance given which units may be loaded.

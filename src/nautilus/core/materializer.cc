@@ -122,8 +122,41 @@ Status Materializer::MaterializeIncrement(
     NAUTILUS_RETURN_IF_ERROR(
         store_->AppendRows(SplitKey(units[u], split), pending[u]));
   }
-  flops_spent_ += executor.flops_executed();
+  // CAS loop: std::atomic<double>::fetch_add needs C++20.
+  const double spent = executor.flops_executed();
+  double expected = flops_spent_.load(std::memory_order_relaxed);
+  while (!flops_spent_.compare_exchange_weak(expected, expected + spent,
+                                             std::memory_order_relaxed)) {
+  }
   return Status::OK();
+}
+
+Status Materializer::BackgroundIncrement::Wait() {
+  group_.Wait();
+  return status_;
+}
+
+std::unique_ptr<Materializer::BackgroundIncrement>
+Materializer::MaterializeIncrementAsync(std::vector<bool> chosen_units,
+                                        Tensor new_inputs, std::string split) {
+  static obs::Counter& launches = obs::MetricsRegistry::Global().counter(
+      "materializer.background.launches");
+  launches.Add();
+  std::unique_ptr<BackgroundIncrement> job(
+      new BackgroundIncrement(std::move(split)));
+  BackgroundIncrement* raw = job.get();
+  raw->group_.Submit([this, raw, chosen = std::move(chosen_units),
+                      inputs = std::move(new_inputs)] {
+    obs::TraceScope span("mat", "materializer.background_increment");
+    span.AddArg("split", raw->split_).AddArg("rows", inputs.shape().dim(0));
+    raw->status_ = MaterializeIncrement(chosen, inputs, raw->split_);
+    if (raw->status_.ok()) {
+      static obs::Counter& completions = obs::MetricsRegistry::Global()
+          .counter("materializer.background.completions");
+      completions.Add();
+    }
+  });
+  return job;
 }
 
 Status Materializer::Reset() { return store_->Clear(); }

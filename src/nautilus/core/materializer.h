@@ -1,11 +1,15 @@
 #ifndef NAUTILUS_CORE_MATERIALIZER_H_
 #define NAUTILUS_CORE_MATERIALIZER_H_
 
+#include <atomic>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "nautilus/core/multi_model.h"
 #include "nautilus/storage/tensor_store.h"
+#include "nautilus/util/parallel.h"
 
 namespace nautilus {
 namespace core {
@@ -26,6 +30,41 @@ class Materializer {
                               const Tensor& new_inputs,
                               const std::string& split);
 
+  /// One in-flight asynchronous increment on the shared thread pool. Wait()
+  /// blocks until the append has committed — helping to drain the pool queue
+  /// meanwhile, so it is safe to call from pool tasks (the trainer's feed
+  /// prefetcher), works at parallelism degree 1, and stays re-entrant: a
+  /// helping thread that picks up a task which itself calls Wait() makes
+  /// progress instead of deadlocking (no lock is held while waiting).
+  /// Idempotent and thread-safe; later calls return the same status without
+  /// blocking.
+  class BackgroundIncrement {
+   public:
+    Status Wait();
+    const std::string& split() const { return split_; }
+
+   private:
+    friend class Materializer;
+    explicit BackgroundIncrement(std::string split)
+        : split_(std::move(split)) {}
+
+    const std::string split_;
+    TaskGroup group_;
+    /// Written by the task before its completion is published; TaskGroup's
+    /// pending-count release/acquire pair orders it before any Wait() read.
+    Status status_;
+  };
+
+  /// Launches MaterializeIncrement concurrently with whatever the caller
+  /// does next — the heart of moving cycle-boundary materialization off the
+  /// critical path. Arguments are captured by value (Tensor is a cheap
+  /// shared-buffer handle), so the caller's batch may go out of scope.
+  /// Concurrent increments for different splits are safe: they append to
+  /// disjoint store keys. The caller must Wait() on the handle before
+  /// reading the appended rows or destroying this Materializer.
+  std::unique_ptr<BackgroundIncrement> MaterializeIncrementAsync(
+      std::vector<bool> chosen_units, Tensor new_inputs, std::string split);
+
   /// Drops all materialized outputs (used when the optimizer re-runs after
   /// an exponential-backoff doubling of r).
   Status Reset();
@@ -37,12 +76,16 @@ class Materializer {
   }
 
   /// FLOPs spent materializing so far (forward cost of computed units).
-  double flops_spent() const { return flops_spent_; }
+  double flops_spent() const {
+    return flops_spent_.load(std::memory_order_relaxed);
+  }
 
  private:
   const MultiModelGraph* mm_;
   storage::TensorStore* store_;
-  double flops_spent_ = 0.0;
+  /// Atomic because concurrent background increments (train + valid splits)
+  /// both account here.
+  std::atomic<double> flops_spent_{0.0};
 };
 
 }  // namespace core

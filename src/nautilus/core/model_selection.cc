@@ -1,8 +1,10 @@
 #include "nautilus/core/model_selection.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <set>
+#include <string>
 
 #include "nautilus/obs/metrics.h"
 #include "nautilus/obs/trace.h"
@@ -33,6 +35,11 @@ ModelSelection::ModelSelection(Workload workload, const SystemConfig& config,
       checkpoint_store_(work_dir_ + "/checkpoints", &io_stats_),
       max_records_(config.expected_max_records) {
   NAUTILUS_CHECK(!workload_.empty()) << "empty model-selection workload";
+  if (const char* env = std::getenv("NAUTILUS_BG_MAT")) {
+    if (*env != '\0') {
+      options_.background_materialization = std::string(env) != "0";
+    }
+  }
   Stopwatch init_watch;
   // Startup integrity pass: torn or bit-flipped shards (e.g. from a crash
   // mid-write under durability=none) are quarantined before anything reads
@@ -169,41 +176,66 @@ void ModelSelection::SaveInitialWeights() {
 }
 
 void ModelSelection::ReconcileMaterializedStore() {
-  const auto& units = mm_->units();
-  const int64_t train_rows = dataset_.train().size();
-  const int64_t valid_rows = dataset_.valid().size();
-  for (size_t u = 0; u < units.size(); ++u) {
-    const std::string train_key = Materializer::SplitKey(units[u], "train");
-    const std::string valid_key = Materializer::SplitKey(units[u], "valid");
-    if (!plan_.choice.materialize[u]) {
-      if (feature_store_.Contains(train_key)) {
-        NAUTILUS_CHECK_OK(feature_store_.Remove(train_key));
+  // Recover the previously materialized unit-key set from the store itself
+  // (a unit key never carries a '.', so the base key is everything before
+  // the final ".train"/".valid" suffix; session.* snapshot keys don't match
+  // either suffix pattern's "no earlier dot" property but are filtered by
+  // the reserved prefix regardless).
+  std::set<std::string> prev;
+  for (const std::string& key : feature_store_.ListKeys()) {
+    if (key.rfind("session.", 0) == 0) continue;
+    for (const char* suffix : {".train", ".valid"}) {
+      const std::string s(suffix);
+      if (key.size() > s.size() &&
+          key.compare(key.size() - s.size(), s.size(), s) == 0) {
+        prev.insert(key.substr(0, key.size() - s.size()));
       }
-      if (feature_store_.Contains(valid_key)) {
-        NAUTILUS_CHECK_OK(feature_store_.Remove(valid_key));
-      }
-      continue;
     }
-    std::vector<bool> only_this(units.size(), false);
-    only_this[u] = true;
-    // The store is append-only in dataset order, so a short file just needs
-    // its missing suffix backfilled.
-    auto backfill = [&](const std::string& key, const std::string& split,
-                        const Tensor& inputs, int64_t target_rows) {
-      if (target_rows == 0) return;
-      int64_t present = feature_store_.NumRows(key);
-      if (present > target_rows) {
-        NAUTILUS_CHECK_OK(feature_store_.Remove(key));
-        present = 0;
-      }
-      if (present < target_rows) {
-        NAUTILUS_CHECK_OK(materializer_->MaterializeIncrement(
-            only_this, inputs.SliceRows(present, target_rows), split));
-      }
-    };
-    backfill(train_key, "train", dataset_.train().inputs(), train_rows);
-    backfill(valid_key, "valid", dataset_.valid().inputs(), valid_rows);
   }
+  const PlanDelta delta = DiffPlans(
+      std::vector<std::string>(prev.begin(), prev.end()), *mm_, plan_);
+  obs::TraceScope span("plan", "planner.reconcile");
+  span.AddArg("added", static_cast<int64_t>(delta.added_units.size()))
+      .AddArg("kept", static_cast<int64_t>(delta.kept_units.size()))
+      .AddArg("removed", static_cast<int64_t>(delta.removed_keys.size()));
+  for (const std::string& base : delta.removed_keys) {
+    for (const char* split : {"train", "valid"}) {
+      const std::string key = base + "." + split;
+      if (feature_store_.Contains(key)) {
+        NAUTILUS_CHECK_OK(feature_store_.Remove(key));
+      }
+    }
+  }
+  // Kept units usually only need the new batch's suffix; added units
+  // backfill the whole accumulated snapshot. BackfillUnit handles both via
+  // the stored row count.
+  for (int u : delta.added_units) BackfillUnit(static_cast<size_t>(u));
+  for (int u : delta.kept_units) BackfillUnit(static_cast<size_t>(u));
+}
+
+void ModelSelection::BackfillUnit(size_t unit) {
+  const auto& units = mm_->units();
+  std::vector<bool> only_this(units.size(), false);
+  only_this[unit] = true;
+  // The store is append-only in dataset order, so a short file just needs
+  // its missing suffix backfilled.
+  auto backfill = [&](const std::string& key, const std::string& split,
+                      const Tensor& inputs, int64_t target_rows) {
+    if (target_rows == 0) return;
+    int64_t present = feature_store_.NumRows(key);
+    if (present > target_rows) {
+      NAUTILUS_CHECK_OK(feature_store_.Remove(key));
+      present = 0;
+    }
+    if (present < target_rows) {
+      NAUTILUS_CHECK_OK(materializer_->MaterializeIncrement(
+          only_this, inputs.SliceRows(present, target_rows), split));
+    }
+  };
+  backfill(Materializer::SplitKey(units[unit], "train"), "train",
+           dataset_.train().inputs(), dataset_.train().size());
+  backfill(Materializer::SplitKey(units[unit], "valid"), "valid",
+           dataset_.valid().inputs(), dataset_.valid().size());
 }
 
 Status ModelSelection::RecoverMaterializedFeed(const std::string& store_key) {
@@ -238,6 +270,9 @@ void ModelSelection::UpdateWorkload(Workload workload) {
   SaveInitialWeights();
   mm_ = std::make_unique<MultiModelGraph>(&workload_, config_);
   materializer_ = std::make_unique<Materializer>(mm_.get(), &feature_store_);
+  // The cached plan holds layer handles into the torn-down MultiModelGraph;
+  // even a fingerprint match must not resurrect it.
+  planner_cache_ = PlannerCache();
   RunOptimizations();
   ReconcileMaterializedStore();
 }
@@ -246,7 +281,10 @@ void ModelSelection::RunOptimizations() {
   SystemConfig config = config_;
   config.expected_max_records = max_records_;
   plan_ = PlanWorkload(*mm_, options_.materialization, options_.fusion,
-                       config);
+                       config, &planner_cache_);
+  // On a fingerprint hit nothing about the plan changed, so the group
+  // checkpoints written below are already on disk — skip the re-saves.
+  if (planner_cache_.last_reused) return;
   // The Optimizer component also emits checkpoints for the rewritten plan
   // graphs (Section 3) — most frozen parameters pruned — so a restarted
   // session can resume without the original full checkpoints.
@@ -266,37 +304,76 @@ void ModelSelection::RestoreInitialWeights() {
   }
 }
 
+namespace {
+
+/// True when the group reads any materialized feed from the tensor store
+/// (as opposed to raw dataset inputs only). Store-free groups can train
+/// before the background increment commits without ever blocking on it.
+bool GroupHasStoreFeeds(const ExecutionGroup& group) {
+  for (const PlanNode& node : group.nodes) {
+    if (node.action == NodeAction::kLoaded && !node.is_raw_input) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 FitResult ModelSelection::Fit(const data::LabeledDataset& train_batch,
                               const data::LabeledDataset& valid_batch) {
   Stopwatch total_watch;
   FitResult result;
   result.cycle = cycle_;
 
+  // Fresh barrier state for this cycle (no trainer threads are live here;
+  // FinishBackgroundMaterialization settled last cycle's jobs before Fit
+  // returned).
+  for (BackgroundSlot* slot : {&bg_train_, &bg_valid_}) {
+    slot->job.reset();
+    slot->settling = false;
+    slot->settled = false;
+    slot->final_status = Status::OK();
+    slot->stall_seconds = 0.0;
+  }
+
   dataset_.AddCycle(train_batch, valid_batch);
 
   // Exponential backoff on the expected maximum record count.
   const int64_t total_records =
       dataset_.train().size() + dataset_.valid().size();
-  bool replan = false;
-  while (total_records > max_records_) {
-    max_records_ *= 2;
-    replan = true;
-  }
-  if (replan) {
-    Stopwatch watch;
-    RunOptimizations();
-    // Incremental reconciliation: units kept by the new plan keep their
+  while (total_records > max_records_) max_records_ *= 2;
+
+  // Replan every cycle; the planner cache's fingerprint makes unchanged
+  // cycles free and hands the warm-started search the prior incumbent when
+  // r doubled.
+  Stopwatch reopt_watch;
+  RunOptimizations();
+  if (!planner_cache_.last_reused) {
+    // The plan changed (first cycle, r doubled, workload edits): reconcile
+    // the store via the plan delta — units kept by the new plan keep their
     // stored outputs (plus the new batch's suffix); others are rebuilt or
     // dropped.
     ReconcileMaterializedStore();
-    result.seconds_reoptimize = watch.ElapsedSeconds();
+    result.seconds_reoptimize = reopt_watch.ElapsedSeconds();
   } else {
-    Stopwatch watch;
-    NAUTILUS_CHECK_OK(materializer_->MaterializeIncrement(
-        plan_.choice.materialize, train_batch.inputs(), "train"));
-    NAUTILUS_CHECK_OK(materializer_->MaterializeIncrement(
-        plan_.choice.materialize, valid_batch.inputs(), "valid"));
-    result.seconds_materialize = watch.ElapsedSeconds();
+    bool any_chosen = false;
+    for (bool chosen : plan_.choice.materialize) any_chosen |= chosen;
+    if (options_.background_materialization && any_chosen) {
+      // Append the new rows on the thread pool, concurrently with training;
+      // WaitBackgroundFeeds blocks readers until each split's append
+      // committed.
+      bg_train_.job = materializer_->MaterializeIncrementAsync(
+          plan_.choice.materialize, train_batch.inputs(), "train");
+      bg_valid_.job = materializer_->MaterializeIncrementAsync(
+          plan_.choice.materialize, valid_batch.inputs(), "valid");
+      result.background = true;
+    } else {
+      Stopwatch watch;
+      NAUTILUS_CHECK_OK(materializer_->MaterializeIncrement(
+          plan_.choice.materialize, train_batch.inputs(), "train"));
+      NAUTILUS_CHECK_OK(materializer_->MaterializeIncrement(
+          plan_.choice.materialize, valid_batch.inputs(), "valid"));
+      result.seconds_materialize = watch.ElapsedSeconds();
+    }
   }
 
   // Every cycle retrains from the initialized weights (the workload spec is
@@ -313,16 +390,39 @@ FitResult ModelSelection::Fit(const data::LabeledDataset& train_batch,
   train_options.recover_feed = [this](const std::string& store_key) {
     return RecoverMaterializedFeed(store_key);
   };
+  train_options.await_feeds = [this](const std::string& split) {
+    return WaitBackgroundFeeds(split);
+  };
+
+  // Stall-aware ordering: while the background increment is in flight,
+  // train store-free groups first so the append overlaps their work instead
+  // of stalling the very first feed load.
+  std::vector<const ExecutionGroup*> order;
+  order.reserve(plan_.fusion.groups.size());
+  for (const ExecutionGroup& group : plan_.fusion.groups) {
+    order.push_back(&group);
+  }
+  if (result.background) {
+    std::stable_partition(order.begin(), order.end(),
+                          [](const ExecutionGroup* g) {
+                            return !GroupHasStoreFeeds(*g);
+                          });
+  }
 
   result.evals.resize(workload_.size());
-  for (const ExecutionGroup& group : plan_.fusion.groups) {
+  for (const ExecutionGroup* group : order) {
     GroupRunStats stats = trainer.TrainGroup(
-        group, workload_, dataset_.train(), dataset_.valid(), train_options);
+        *group, workload_, dataset_.train(), dataset_.valid(), train_options);
     for (const BranchEval& eval : stats.branches) {
       result.evals[static_cast<size_t>(eval.model_index)] = eval;
     }
   }
   result.seconds_train = train_watch.ElapsedSeconds();
+
+  // Settle any increment no reader forced (e.g. nothing materialized was
+  // loaded this cycle) so the appends are on disk before Fit returns.
+  FinishBackgroundMaterialization();
+  result.seconds_stall = bg_train_.stall_seconds + bg_valid_.stall_seconds;
 
   result.best_model = -1;
   for (const BranchEval& eval : result.evals) {
@@ -335,6 +435,79 @@ FitResult ModelSelection::Fit(const data::LabeledDataset& train_batch,
   ++cycle_;
   result.seconds_total = total_watch.ElapsedSeconds();
   return result;
+}
+
+Status ModelSelection::WaitBackgroundFeeds(const std::string& split) {
+  BackgroundSlot& slot = split == "valid" ? bg_valid_ : bg_train_;
+  {
+    std::unique_lock<std::mutex> lock(slot.mu);
+    if (slot.settled) return slot.final_status;
+    if (!slot.job) return Status::OK();
+    if (slot.settling) {
+      // Another reader is already waiting on the job; block until it
+      // publishes the outcome rather than racing on the handle.
+      slot.cv.wait(lock, [&slot] { return slot.settled; });
+      return slot.final_status;
+    }
+    slot.settling = true;
+  }
+  // Sole settler. Wait with NO lock held: Wait() helps drain the pool
+  // queue, and a helped task may itself reach this barrier on this thread.
+  const int64_t begin_ns = obs::NowNs();
+  Status status = slot.job->Wait();
+  const double stall =
+      static_cast<double>(obs::NowNs() - begin_ns) * 1e-9;
+  {
+    obs::TraceScope span("trainer", "trainer.cycle_stall");
+    span.AddArg("split", split).AddArg("ok", status.ok() ? 1 : 0);
+    static obs::Histogram& wait_ns = obs::MetricsRegistry::Global().histogram(
+        "materializer.background.wait_ns");
+    wait_ns.Record(obs::NowNs() - begin_ns);
+  }
+  if (!status.ok()) {
+    static obs::Counter& fallbacks = obs::MetricsRegistry::Global().counter(
+        "materializer.background.fallbacks");
+    fallbacks.Add();
+    NAUTILUS_LOG(WARNING) << "background materialization of split '" << split
+                          << "' failed (" << status.message()
+                          << "); rebuilding synchronously";
+    status = RebuildSplitFeeds(split);
+  }
+  std::lock_guard<std::mutex> lock(slot.mu);
+  slot.final_status = status;
+  slot.stall_seconds = stall;
+  slot.settled = true;
+  slot.job.reset();
+  slot.cv.notify_all();
+  return status;
+}
+
+Status ModelSelection::RebuildSplitFeeds(const std::string& split) {
+  // A failed append may have left a torn feed behind, so drop every chosen
+  // unit's key for the split and recompute the lot over the accumulated
+  // snapshot in one pass (shared ancestors computed once).
+  const auto& units = mm_->units();
+  for (size_t u = 0; u < units.size(); ++u) {
+    if (!plan_.choice.materialize[u]) continue;
+    const std::string key = Materializer::SplitKey(units[u], split);
+    if (feature_store_.Contains(key)) {
+      NAUTILUS_RETURN_IF_ERROR(feature_store_.Remove(key));
+    }
+  }
+  const data::LabeledDataset& snapshot =
+      split == "valid" ? dataset_.valid() : dataset_.train();
+  if (snapshot.empty()) return Status::OK();
+  return materializer_->MaterializeIncrement(plan_.choice.materialize,
+                                             snapshot.inputs(), split);
+}
+
+void ModelSelection::FinishBackgroundMaterialization() {
+  for (const char* split : {"train", "valid"}) {
+    const Status status = WaitBackgroundFeeds(split);
+    NAUTILUS_CHECK(status.ok())
+        << "background materialization fallback failed for split '" << split
+        << "': " << status.message();
+  }
 }
 
 }  // namespace core

@@ -1,7 +1,9 @@
 #ifndef NAUTILUS_CORE_MODEL_SELECTION_H_
 #define NAUTILUS_CORE_MODEL_SELECTION_H_
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -31,6 +33,15 @@ struct ModelSelectionOptions {
   /// counter, r, initialized weights, and reuses the on-disk materialized
   /// features. The caller must rebuild the same workload (same seeds).
   bool resume = false;
+  /// Materialize each cycle's new rows on the shared thread pool,
+  /// concurrently with training on the already-persisted prefix, instead of
+  /// synchronously between cycles. Training blocks only at the completion
+  /// barrier right before a materialized feed is first read; on a failed
+  /// background append the affected split falls back to a synchronous
+  /// rebuild. Results are identical either way. Overridable via the
+  /// NAUTILUS_BG_MAT environment variable ("0" disables, anything else
+  /// enables).
+  bool background_materialization = true;
 };
 
 /// Outcome of one model-selection cycle.
@@ -43,6 +54,11 @@ struct FitResult {
   double seconds_materialize = 0.0;
   double seconds_train = 0.0;
   double seconds_reoptimize = 0.0;  // nonzero when r backoff re-plans
+  /// Wall seconds training actually blocked on background materialization
+  /// (the measured cycle-boundary stall). 0 when it ran synchronously.
+  double seconds_stall = 0.0;
+  /// True when this cycle's increment ran on the thread pool.
+  bool background = false;
 };
 
 /// Nautilus's user-facing model-selection API (Section 3): construct once
@@ -101,9 +117,36 @@ class ModelSelection {
   /// accumulated dataset snapshot.
   Status RecoverMaterializedFeed(const std::string& store_key);
   /// Brings the feature store in line with the current materialized set and
-  /// dataset snapshots: backfills missing/stale unit outputs, drops
-  /// unchosen ones.
+  /// dataset snapshots via a plan delta: backfills added/kept unit outputs,
+  /// drops stale keys.
   void ReconcileMaterializedStore();
+  /// Backfills one chosen unit's split feeds up to the accumulated snapshot
+  /// (append-only suffix; a too-long feed is rebuilt from scratch).
+  void BackfillUnit(size_t unit);
+  /// Completion barrier wired into Trainer::Options::await_feeds: blocks
+  /// until the split's background increment (if any) committed, accounting
+  /// the blocked wall time as cycle stall; a failed increment falls back to
+  /// a synchronous rebuild of the split's chosen feeds. Thread-safe.
+  Status WaitBackgroundFeeds(const std::string& split);
+  /// Synchronous fallback: drops and recomputes every chosen unit's feed
+  /// for `split` over the accumulated snapshot.
+  Status RebuildSplitFeeds(const std::string& split);
+  /// Settles any still-unconsumed background increments at cycle end.
+  void FinishBackgroundMaterialization();
+
+  /// Per-split background-increment slot. A single settler thread waits on
+  /// the job (helping the pool, so no lock is held while waiting) and
+  /// publishes the final status; concurrent callers block on the condition
+  /// variable until settled.
+  struct BackgroundSlot {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::unique_ptr<Materializer::BackgroundIncrement> job;
+    bool settling = false;
+    bool settled = false;
+    Status final_status;
+    double stall_seconds = 0.0;
+  };
 
   Workload workload_;
   SystemConfig config_;
@@ -115,6 +158,9 @@ class ModelSelection {
   std::unique_ptr<MultiModelGraph> mm_;
   std::unique_ptr<Materializer> materializer_;
   PlannedWorkload plan_;
+  PlannerCache planner_cache_;
+  BackgroundSlot bg_train_;
+  BackgroundSlot bg_valid_;
   data::EvolvingDataset dataset_;
   int64_t max_records_;
   int cycle_ = 0;

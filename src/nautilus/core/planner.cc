@@ -1,5 +1,8 @@
 #include "nautilus/core/planner.h"
 
+#include <unordered_set>
+#include <utility>
+
 #include "nautilus/core/simulator.h"
 #include "nautilus/obs/metrics.h"
 #include "nautilus/obs/trace.h"
@@ -31,6 +34,26 @@ double ScorePlan(const MultiModelGraph& mm,
 
 namespace {
 
+// FNV-1a over raw bytes; doubles hash by bit pattern so any coefficient
+// drift (profile recalibration, budget change) invalidates the cache.
+uint64_t FnvMix(uint64_t hash, const void* data, size_t len) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= static_cast<uint64_t>(bytes[i]);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+uint64_t FnvDouble(uint64_t hash, double value) {
+  if (value == 0.0) value = 0.0;  // normalize -0.0
+  return FnvMix(hash, &value, sizeof(value));
+}
+
+uint64_t FnvInt(uint64_t hash, int64_t value) {
+  return FnvMix(hash, &value, sizeof(value));
+}
+
 PlannedWorkload PlanWithUnits(const MultiModelGraph& mm,
                               MaterializationChoice choice, bool enable_fusion,
                               bool force_load, const SystemConfig& config) {
@@ -55,11 +78,13 @@ PlannedWorkload PlanWithUnits(const MultiModelGraph& mm,
   return plan;
 }
 
-}  // namespace
-
-PlannedWorkload PlanWorkload(const MultiModelGraph& mm,
-                             MaterializationMode mode, bool enable_fusion,
-                             const SystemConfig& config) {
+// Shared implementation: `warm_units`, when non-null, seeds the optimized-
+// mode materialization search with a prior cycle's unit set (see
+// MaterializationOptimizer::Optimize); it never changes the result.
+PlannedWorkload PlanWorkloadImpl(const MultiModelGraph& mm,
+                                 MaterializationMode mode, bool enable_fusion,
+                                 const SystemConfig& config,
+                                 const std::vector<bool>* warm_units) {
   static obs::Counter& plans =
       obs::MetricsRegistry::Global().counter("planner.plans");
   plans.Add();
@@ -94,7 +119,8 @@ PlannedWorkload PlanWorkload(const MultiModelGraph& mm,
       {
         obs::TraceScope opt_span("plan", "planner.optimize_materialization");
         choice = optimizer.Optimize(config.disk_budget_bytes,
-                                    config.expected_max_records);
+                                    config.expected_max_records,
+                                    /*max_search_nodes=*/20000, warm_units);
       }
       PlannedWorkload with_mat = PlanWithUnits(
           mm, std::move(choice), enable_fusion, /*force_load=*/false, config);
@@ -109,6 +135,145 @@ PlannedWorkload PlanWorkload(const MultiModelGraph& mm,
   }
   NAUTILUS_CHECK(false) << "unreachable";
   return PlannedWorkload{};
+}
+
+}  // namespace
+
+PlannedWorkload PlanWorkload(const MultiModelGraph& mm,
+                             MaterializationMode mode, bool enable_fusion,
+                             const SystemConfig& config) {
+  return PlanWorkloadImpl(mm, mode, enable_fusion, config, nullptr);
+}
+
+uint64_t PlanFingerprint(const MultiModelGraph& mm, MaterializationMode mode,
+                         bool enable_fusion, const SystemConfig& config) {
+  uint64_t hash = 1469598103934665603ull;  // FNV offset basis
+  hash = FnvInt(hash, static_cast<int64_t>(mode));
+  hash = FnvInt(hash, enable_fusion ? 1 : 0);
+
+  // Planning-relevant config: budgets, the cost model, overheads, and the
+  // record-count scale r (the usual reason a replan differs).
+  hash = FnvDouble(hash, config.disk_budget_bytes);
+  hash = FnvDouble(hash, config.memory_budget_bytes);
+  hash = FnvDouble(hash, config.disk_bytes_per_second);
+  hash = FnvDouble(hash, config.flops_per_second);
+  hash = FnvDouble(hash, config.workspace_bytes);
+  hash = FnvDouble(hash, config.page_cache_bytes);
+  hash = FnvInt(hash, config.expected_max_records);
+  hash = FnvDouble(hash, config.per_model_setup_seconds);
+  hash = FnvDouble(hash, config.per_epoch_overhead_seconds);
+  hash = FnvDouble(hash, config.per_batch_overhead_seconds);
+
+  // Merged units: identity, sharing, and per-record footprints.
+  hash = FnvInt(hash, static_cast<int64_t>(mm.units().size()));
+  for (const MaterializableUnit& unit : mm.units()) {
+    hash = FnvInt(hash, static_cast<int64_t>(unit.expr_hash));
+    hash = FnvInt(hash, unit.is_input ? 1 : 0);
+    hash = FnvDouble(hash, unit.forward_flops);
+    hash = FnvDouble(hash, unit.disk_bytes);
+    hash = FnvDouble(hash, unit.load_cost_flops);
+    hash = FnvDouble(hash, unit.memory_bytes);
+    for (int p : unit.parents) hash = FnvInt(hash, p);
+    for (int m : unit.used_by_models) hash = FnvInt(hash, m);
+  }
+
+  // Candidates: graph structure (via expression hashes), hyperparameters,
+  // and the measured per-layer profile every cost term derives from.
+  hash = FnvInt(hash, static_cast<int64_t>(mm.num_models()));
+  for (int i = 0; i < mm.num_models(); ++i) {
+    const Candidate& candidate = mm.workload()[static_cast<size_t>(i)];
+    const ModelProfile& profile = mm.profiles()[static_cast<size_t>(i)];
+    hash = FnvInt(hash, candidate.hp.epochs);
+    hash = FnvInt(hash, candidate.hp.batch_size);
+    hash = FnvInt(hash, candidate.model.num_nodes());
+    for (int j = 0; j < candidate.model.num_nodes(); ++j) {
+      const size_t sj = static_cast<size_t>(j);
+      hash = FnvInt(hash, static_cast<int64_t>(profile.expr_hashes[sj]));
+      hash = FnvInt(hash, candidate.model.IsOutput(j) ? 1 : 0);
+      for (int p : candidate.model.node(j).parents) hash = FnvInt(hash, p);
+      const LayerProfile& lp = profile.layers[sj];
+      hash = FnvDouble(hash, lp.compute_cost_flops);
+      hash = FnvDouble(hash, lp.load_cost_flops);
+      hash = FnvDouble(hash, lp.disk_bytes);
+      hash = FnvDouble(hash, lp.memory_bytes);
+      hash = FnvDouble(hash, lp.output_bytes);
+      hash = FnvDouble(hash, lp.param_bytes);
+      hash = FnvInt(hash, (lp.frozen ? 2 : 0) | (lp.materializable ? 1 : 0));
+    }
+  }
+  return hash;
+}
+
+PlannedWorkload PlanWorkload(const MultiModelGraph& mm,
+                             MaterializationMode mode, bool enable_fusion,
+                             const SystemConfig& config, PlannerCache* cache) {
+  if (cache == nullptr) {
+    return PlanWorkloadImpl(mm, mode, enable_fusion, config, nullptr);
+  }
+  static obs::Counter& reuses =
+      obs::MetricsRegistry::Global().counter("planner.replan.reuses");
+  static obs::Counter& warm_starts =
+      obs::MetricsRegistry::Global().counter("planner.replan.warm_starts");
+  static obs::Counter& cold_starts =
+      obs::MetricsRegistry::Global().counter("planner.replan.cold_starts");
+
+  const uint64_t fingerprint =
+      PlanFingerprint(mm, mode, enable_fusion, config);
+  if (cache->valid && cache->fingerprint == fingerprint) {
+    reuses.Add();
+    cache->last_reused = true;
+    obs::TraceScope span("plan", "planner.replan_reuse");
+    span.AddArgHex("fingerprint", fingerprint);
+    return cache->plan;
+  }
+
+  const std::vector<bool>* warm_units = nullptr;
+  if (cache->valid &&
+      cache->plan.choice.materialize.size() == mm.units().size()) {
+    warm_units = &cache->plan.choice.materialize;
+  }
+  (warm_units != nullptr ? warm_starts : cold_starts).Add();
+  PlannedWorkload plan =
+      PlanWorkloadImpl(mm, mode, enable_fusion, config, warm_units);
+  cache->valid = true;
+  cache->fingerprint = fingerprint;
+  cache->plan = plan;
+  cache->last_reused = false;
+  return plan;
+}
+
+PlanDelta DiffPlans(const std::vector<std::string>& materialized_keys,
+                    const MultiModelGraph& mm, const PlannedWorkload& next) {
+  static obs::Counter& units_added =
+      obs::MetricsRegistry::Global().counter("planner.delta.units_added");
+  static obs::Counter& units_kept =
+      obs::MetricsRegistry::Global().counter("planner.delta.units_kept");
+  static obs::Counter& units_removed =
+      obs::MetricsRegistry::Global().counter("planner.delta.units_removed");
+
+  PlanDelta delta;
+  std::unordered_set<std::string> on_disk(materialized_keys.begin(),
+                                          materialized_keys.end());
+  std::unordered_set<std::string> chosen;
+  const std::vector<MaterializableUnit>& units = mm.units();
+  for (size_t u = 0; u < units.size(); ++u) {
+    if (u >= next.choice.materialize.size() || !next.choice.materialize[u]) {
+      continue;
+    }
+    chosen.insert(units[u].key);
+    if (on_disk.count(units[u].key) > 0) {
+      delta.kept_units.push_back(static_cast<int>(u));
+    } else {
+      delta.added_units.push_back(static_cast<int>(u));
+    }
+  }
+  for (const std::string& key : materialized_keys) {
+    if (chosen.count(key) == 0) delta.removed_keys.push_back(key);
+  }
+  units_added.Add(static_cast<int64_t>(delta.added_units.size()));
+  units_kept.Add(static_cast<int64_t>(delta.kept_units.size()));
+  units_removed.Add(static_cast<int64_t>(delta.removed_keys.size()));
+  return delta;
 }
 
 }  // namespace core

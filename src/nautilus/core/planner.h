@@ -1,6 +1,10 @@
 #ifndef NAUTILUS_CORE_PLANNER_H_
 #define NAUTILUS_CORE_PLANNER_H_
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "nautilus/core/fusion.h"
 #include "nautilus/core/materialization.h"
 
@@ -42,6 +46,52 @@ double ScorePlan(const MultiModelGraph& mm,
 PlannedWorkload PlanWorkload(const MultiModelGraph& mm,
                              MaterializationMode mode, bool enable_fusion,
                              const SystemConfig& config);
+
+/// Cross-cycle planner state for incremental replanning. ModelSelection
+/// re-validates its plan every labeling cycle; the fingerprint detects that
+/// nothing the plan depends on changed — the common case between
+/// record-count doublings — and reuses the prior plan outright, while on a
+/// miss the prior materialized set warm-starts the optimizer search.
+struct PlannerCache {
+  bool valid = false;
+  uint64_t fingerprint = 0;
+  PlannedWorkload plan;
+  /// Outcome of the most recent PlanWorkload call through this cache: true
+  /// when the cached plan was returned unchanged.
+  bool last_reused = false;
+};
+
+/// Fingerprint over everything PlanWorkload reads: the multi-model graph
+/// (unit expression hashes and footprints, model structure, measured
+/// profiles, hyperparameters) plus the planning-relevant SystemConfig
+/// fields and the mode/fusion switches.
+uint64_t PlanFingerprint(const MultiModelGraph& mm, MaterializationMode mode,
+                         bool enable_fusion, const SystemConfig& config);
+
+/// Cached variant of PlanWorkload: returns cache->plan verbatim when the
+/// fingerprint matches (planner.replan.reuses); otherwise re-plans —
+/// seeding the materialization search with the cached unit set when shapes
+/// allow (planner.replan.warm_starts vs .cold_starts) — and refreshes the
+/// cache. A null cache degrades to the uncached overload.
+PlannedWorkload PlanWorkload(const MultiModelGraph& mm,
+                             MaterializationMode mode, bool enable_fusion,
+                             const SystemConfig& config, PlannerCache* cache);
+
+/// Difference between what is materialized on disk and what the next plan
+/// needs. Keyed by store key, not unit index: indices are not stable across
+/// MultiModelGraph rebuilds (workload updates, session resume), expression
+/// keys are.
+struct PlanDelta {
+  std::vector<int> added_units;  // chosen units with no feed on disk yet
+  std::vector<int> kept_units;   // chosen units already on disk (suffix only)
+  std::vector<std::string> removed_keys;  // stale base keys to drop
+};
+
+/// Diffs the on-disk state (base store keys of previously materialized
+/// units) against `next`'s chosen units for `mm`. Increments the
+/// planner.delta.* counters.
+PlanDelta DiffPlans(const std::vector<std::string>& materialized_keys,
+                    const MultiModelGraph& mm, const PlannedWorkload& next);
 
 }  // namespace core
 }  // namespace nautilus

@@ -62,6 +62,15 @@ std::unordered_map<int, Tensor> LoadFeeds(const ExecutionGroup& group,
     range_sources.push_back(&node);
   }
   if (ranges.empty()) return feeds;
+  if (options.await_feeds) {
+    // Background-materialization barrier: the cycle's new rows must be on
+    // disk before this gather. Everything up to here (raw feeds, group
+    // setup) overlapped with the append.
+    const Status ready = options.await_feeds(split);
+    NAUTILUS_CHECK(ready.ok())
+        << "materialized feeds unavailable for split '" << split
+        << "': " << ready.message();
+  }
   // One batched gather: all of the group's materialized feeds load
   // concurrently on the pool (zero-copy views on warm shards).
   obs::TraceScope span("trainer", "trainer.feed_load_batch");

@@ -53,6 +53,14 @@ class Trainer {
     /// retried load succeeds. ModelSelection wires this to a recompute of
     /// the frozen prefix from the raw snapshot. Unset, a bad feed aborts.
     std::function<Status(const std::string& store_key)> recover_feed;
+    /// Completion barrier for background materialization: invoked with the
+    /// split name ("train"/"valid") just before the group's materialized
+    /// feeds are read from the store, so an in-flight background append of
+    /// the cycle's new rows can finish (or fall back to a synchronous
+    /// rebuild) first. Not called for groups without store-backed feeds.
+    /// Must be thread-safe: feed loads also run on pool threads (the epoch
+    /// prefetcher). A non-OK return aborts the run. Unset: no barrier.
+    std::function<Status(const std::string& split)> await_feeds;
   };
 
   /// Trains `group` on the given snapshot and evaluates every branch on the

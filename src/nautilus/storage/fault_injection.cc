@@ -53,7 +53,7 @@ FaultInjector::FaultInjector() {
     if (!ArmFromSpec(env)) {
       NAUTILUS_LOG(WARNING) << "ignoring unparsable NAUTILUS_FAULT='" << env
                             << "' (want truncate:N | bitflip:N | "
-                               "crash_after_write:N)";
+                               "crash_after_write:N | fail_append:N)";
     }
   }
 }
@@ -91,6 +91,8 @@ bool FaultInjector::ArmFromSpec(const std::string& spec) {
     kind = Kind::kBitflip;
   } else if (name == "crash_after_write") {
     kind = Kind::kCrashAfterWrite;
+  } else if (name == "fail_append") {
+    kind = Kind::kFailAppend;
   } else {
     return false;
   }
@@ -102,6 +104,19 @@ bool FaultInjector::ArmFromSpec(const std::string& spec) {
   return true;
 }
 
+bool FaultInjector::ShouldFailAppend() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (kind_ != Kind::kFailAppend) return false;
+    if (--countdown_ > 0) return false;
+    kind_ = Kind::kNone;
+  }
+  static obs::Counter& injected =
+      obs::MetricsRegistry::Global().counter("store.faults_injected");
+  injected.Add();
+  return true;
+}
+
 void FaultInjector::OnWriteCommitted(const std::string& path) {
   static obs::Counter& commits =
       obs::MetricsRegistry::Global().counter("store.write_commits");
@@ -110,6 +125,8 @@ void FaultInjector::OnWriteCommitted(const std::string& path) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (kind_ == Kind::kNone) return;
+    // fail_append counts down in ShouldFailAppend(), not on commits.
+    if (kind_ == Kind::kFailAppend) return;
     if (--countdown_ > 0) return;
     fire = kind_;
     kind_ = Kind::kNone;

@@ -20,6 +20,10 @@ namespace storage {
 ///                        (simulated silent media corruption)
 ///   crash_after_write:N  _Exit(kCrashExitCode) right after the Nth commit
 ///                        (simulated hard crash; no flushing, no destructors)
+///   fail_append:N        make the Nth TensorStore::AppendRows from now
+///                        return an IoError before touching the file (a
+///                        full-disk / EIO-style refusal; exercises the
+///                        background materializer's synchronous fallback)
 ///
 /// Armed from the NAUTILUS_FAULT environment variable ("kind:N") on first
 /// use, or programmatically via Arm() in tests. Each armed fault fires once,
@@ -27,7 +31,7 @@ namespace storage {
 /// crash, which never returns).
 class FaultInjector {
  public:
-  enum class Kind { kNone, kTruncate, kBitflip, kCrashAfterWrite };
+  enum class Kind { kNone, kTruncate, kBitflip, kCrashAfterWrite, kFailAppend };
 
   /// Exit code of an injected crash; distinguishable from normal failures.
   static constexpr int kCrashExitCode = 86;
@@ -48,6 +52,12 @@ class FaultInjector {
   /// reaches zero. Never fails: injection errors are silently dropped (the
   /// harness must not perturb production paths).
   void OnWriteCommitted(const std::string& path);
+
+  /// Pre-write hook for TensorStore::AppendRows: true when an armed
+  /// fail_append fault fires for this call (the append must then return an
+  /// error without modifying the file). Counts down only while a
+  /// fail_append fault is armed.
+  bool ShouldFailAppend();
 
  private:
   FaultInjector();

@@ -426,6 +426,11 @@ Status TensorStore::Put(const std::string& key, const Tensor& value) {
 }
 
 Status TensorStore::AppendRows(const std::string& key, const Tensor& rows) {
+  // Injected refusal (NAUTILUS_FAULT=fail_append:N): error out before any
+  // byte is written, as a full disk or EIO would.
+  if (FaultInjector::Global().ShouldFailAppend()) {
+    return Status::IoError("injected append failure for " + key);
+  }
   if (!Contains(key)) return Put(key, rows);
   obs::TraceScope span("io", "store.append");
   span.AddArg("key", key).AddArg("bytes", rows.SizeBytes());

@@ -7,9 +7,12 @@
 # (NAUTILUS_FAULT=crash_after_write:N), corrupts a shard, and asserts the
 # resumed run converges to the reference model selection, a GEMM parity gate
 # (both dispatch paths via NAUTILUS_SIMD=0/1, plus a model-selection
-# equivalence check between them), and — when the sanitizer runtimes are
-# available — an AddressSanitizer build over the buffer-pool/GEMM tests and
-# a ThreadSanitizer build running the threaded pool/executor/trainer tests.
+# equivalence check between them), a background-materialization smoke test
+# (an evolving-workload run whose per-cycle appends must complete on the
+# thread pool), and — when the sanitizer runtimes are available — an
+# AddressSanitizer build over the buffer-pool/GEMM tests and a
+# ThreadSanitizer build running the threaded pool/executor/trainer tests
+# plus the background-materialization test.
 #
 # Usage: tools/ci.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -110,6 +113,28 @@ if [ -z "$CACHE_HITS" ] || [ "$CACHE_HITS" -le 0 ]; then
 fi
 echo "io engine OK: io.cache.hits=$CACHE_HITS"
 
+echo "==> background-materialization smoke test"
+# An evolving-workload measure run with worker threads: cycles that reuse
+# the cached plan must append their new rows on the pool (completions > 0),
+# and the run must finish through the completion barrier. NAUTILUS_BG_MAT=1
+# pins the default on even if the environment overrides it.
+BG_OUT="$(mktemp /tmp/nautilus_ci_bg.XXXXXX.txt)"
+trap 'rm -f "$TRACE_FILE" "$GEMM_A_OUT" "$GEMM_B_OUT" "$IO_SMOKE_OUT" "$BG_OUT"' EXIT
+NAUTILUS_BG_MAT=1 "$BUILD_DIR/tools/nautilus_cli" \
+  --workload=FTR-2 --approach=nautilus --mode=measure \
+  --cycles=3 --records=60 --threads=4 --metrics-summary > "$BG_OUT"
+BG_DONE="$(awk '$1 == "materializer.background.completions" {print $2}' "$BG_OUT")"
+if [ -z "$BG_DONE" ] || [ "$BG_DONE" -le 0 ]; then
+  echo "FAIL: materializer.background.completions is '${BG_DONE:-absent}' (expected > 0)"
+  exit 1
+fi
+BG_FAIL="$(awk '$1 == "materializer.background.fallbacks" {print $2}' "$BG_OUT")"
+if [ -n "$BG_FAIL" ] && [ "$BG_FAIL" -gt 0 ]; then
+  echo "FAIL: clean run took $BG_FAIL background fallbacks"
+  exit 1
+fi
+echo "background materialization OK: completions=$BG_DONE"
+
 echo "==> crash-recovery smoke test"
 CR_DIR="$(mktemp -d /tmp/nautilus_ci_crash.XXXXXX)"
 CR_REF="$(mktemp /tmp/nautilus_ci_crash_ref.XXXXXX.txt)"
@@ -191,9 +216,9 @@ if echo 'int main(){return 0;}' | \
   TSAN_DIR="${BUILD_DIR}-tsan"
   cmake -B "$TSAN_DIR" -S . -DNAUTILUS_TSAN=ON
   cmake --build "$TSAN_DIR" -j "$(nproc)" \
-    --target parallel_exec_test graph_test trainer_test
+    --target parallel_exec_test graph_test trainer_test incremental_plan_test
   ctest --test-dir "$TSAN_DIR" --output-on-failure \
-    -R '^(parallel_exec_test|graph_test|trainer_test)$'
+    -R '^(parallel_exec_test|graph_test|trainer_test|incremental_plan_test)$'
 else
   echo "libtsan unavailable; skipping TSAN stage"
 fi
