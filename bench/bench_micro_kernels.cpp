@@ -18,6 +18,8 @@
 #include "nautilus/solver/milp.h"
 #include "nautilus/tensor/gemm.h"
 #include "nautilus/tensor/ops.h"
+#include "nautilus/tensor/qgemm.h"
+#include "nautilus/tensor/quant.h"
 #include "nautilus/util/buffer_pool.h"
 #include "nautilus/util/parallel.h"
 #include "nautilus/util/random.h"
@@ -120,6 +122,62 @@ void BM_GemmReferenceScalar(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_GemmReferenceScalar)->ArgName("n")->Arg(256)->Arg(512);
+
+// ---------------------------------------------------------------------------
+// Int8 GEMM roofline: the packed int8 kernel against the f32 sweep above at
+// the same sizes (single thread, both dispatch paths). items_per_second
+// counts the same 2n^3 "FLOP" so the int8 and f32 rows are directly
+// comparable; the acceptance bar is int8-AVX2 >= 2x f32-AVX2 at n=512.
+// Quantization of the operands happens outside the timed region — steady
+// state is a pre-quantized frozen weight and reused activation buffers.
+// ---------------------------------------------------------------------------
+
+void QGemmRoofline(benchmark::State& state, bool simd) {
+  ScopedDegree degree(1);  // single-thread roofline
+  ScopedSimd dispatch(simd);
+  const int64_t n = state.range(0);
+  Rng rng(20);
+  std::vector<float> af(static_cast<size_t>(n * n));
+  std::vector<float> bf(static_cast<size_t>(n * n));
+  rng.FillNormal(&af, 0.5f);
+  rng.FillNormal(&bf, 0.5f);
+  std::vector<int8_t> a(static_cast<size_t>(n * n));
+  std::vector<float> a_scales(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    a_scales[static_cast<size_t>(i)] =
+        quant::QuantizeRowAbsMax(af.data() + i * n, n, a.data() + i * n);
+  }
+  const quant::QuantizedMatrix b = quant::QuantizePerColumn(bf.data(), n, n);
+  std::vector<float> c(static_cast<size_t>(n * n));
+  for (auto _ : state) {
+    ops::QGemmInt8(n, n, n, a.data(), a_scales.data(), b.q.data(),
+                   b.scales.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetLabel(simd ? "avx2" : "portable");
+}
+
+void BM_GemmInt8Simd(benchmark::State& state) {
+  if (!ops::GemmSimdAvailable()) {
+    state.SkipWithError("no AVX2+FMA on this host");
+    return;
+  }
+  QGemmRoofline(state, /*simd=*/true);
+}
+BENCHMARK(BM_GemmInt8Simd)
+    ->Name("gemm_int8_avx2")
+    ->ArgName("n")
+    ->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_GemmInt8Portable(benchmark::State& state) {
+  QGemmRoofline(state, /*simd=*/false);
+}
+BENCHMARK(BM_GemmInt8Portable)
+    ->Name("gemm_int8_portable")
+    ->ArgName("n")
+    ->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
 
 // Fused epilogue vs the same GEMM followed by separate bias + activation
 // passes over the output.

@@ -5,10 +5,31 @@
 #include "nautilus/graph/executor.h"
 #include "nautilus/obs/metrics.h"
 #include "nautilus/obs/trace.h"
+#include "nautilus/tensor/quant.h"
 #include "nautilus/util/logging.h"
 
 namespace nautilus {
 namespace core {
+
+namespace {
+
+// On-disk encoding for a materialized feed under the process quant mode.
+// Raw input units always stay f32 — they are the source data, not a
+// recomputable derived feature — only frozen-layer outputs are compressed.
+storage::ShardDtype FeedDtype(bool is_input) {
+  if (is_input) return storage::ShardDtype::kF32;
+  switch (quant::GlobalQuantMode()) {
+    case quant::QuantMode::kInt8:
+      return storage::ShardDtype::kInt8;
+    case quant::QuantMode::kF16:
+      return storage::ShardDtype::kF16;
+    case quant::QuantMode::kOff:
+      break;
+  }
+  return storage::ShardDtype::kF32;
+}
+
+}  // namespace
 
 Materializer::Materializer(const MultiModelGraph* mm,
                            storage::TensorStore* store)
@@ -119,8 +140,8 @@ Status Materializer::MaterializeIncrement(
   for (size_t u = 0; u < units.size(); ++u) {
     if (!chosen_units[u] || pending[u].empty()) continue;
     bytes_materialized.Add(pending[u].SizeBytes());
-    NAUTILUS_RETURN_IF_ERROR(
-        store_->AppendRows(SplitKey(units[u], split), pending[u]));
+    NAUTILUS_RETURN_IF_ERROR(store_->AppendRows(
+        SplitKey(units[u], split), pending[u], FeedDtype(units[u].is_input)));
   }
   // CAS loop: std::atomic<double>::fetch_add needs C++20.
   const double spent = executor.flops_executed();

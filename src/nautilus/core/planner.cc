@@ -6,6 +6,7 @@
 #include "nautilus/core/simulator.h"
 #include "nautilus/obs/metrics.h"
 #include "nautilus/obs/trace.h"
+#include "nautilus/tensor/quant.h"
 #include "nautilus/util/logging.h"
 
 namespace nautilus {
@@ -150,6 +151,11 @@ uint64_t PlanFingerprint(const MultiModelGraph& mm, MaterializationMode mode,
   uint64_t hash = 1469598103934665603ull;  // FNV offset basis
   hash = FnvInt(hash, static_cast<int64_t>(mode));
   hash = FnvInt(hash, enable_fusion ? 1 : 0);
+  // Quant mode changes materialized on-disk sizes (and therefore what the
+  // MILP packs under the storage budget). Unit disk_bytes below already
+  // reflect it, but stamp the mode explicitly so a mode flip always replans
+  // even for a workload with no materializable units.
+  hash = FnvInt(hash, static_cast<int64_t>(quant::GlobalQuantMode()));
 
   // Planning-relevant config: budgets, the cost model, overheads, and the
   // record-count scale r (the usual reason a replan differs).

@@ -5,11 +5,39 @@
 #include <cstdio>
 #include <sstream>
 
+#include "nautilus/storage/tensor_store.h"
+#include "nautilus/tensor/quant.h"
 #include "nautilus/util/logging.h"
 #include "nautilus/util/strings.h"
 
 namespace nautilus {
 namespace core {
+
+namespace {
+
+// Bytes one record of a materialized feed occupies on disk under the current
+// quant mode. Mirrors Materializer::FeedDtype: derived feeds compress to
+// int8 rows (+4-byte scale) or f16; raw inputs always stay f32. Keeping the
+// planner's estimate in lockstep with the writer is what lets the MILP
+// admit MORE layers under the same storage budget when quantization is on.
+double MaterializedBytesPerRecord(bool is_input, int64_t record_elements) {
+  storage::ShardDtype dtype = storage::ShardDtype::kF32;
+  if (!is_input) {
+    switch (quant::GlobalQuantMode()) {
+      case quant::QuantMode::kInt8:
+        dtype = storage::ShardDtype::kInt8;
+        break;
+      case quant::QuantMode::kF16:
+        dtype = storage::ShardDtype::kF16;
+        break;
+      case quant::QuantMode::kOff:
+        break;
+    }
+  }
+  return static_cast<double>(storage::ShardRowBytes(dtype, record_elements));
+}
+
+}  // namespace
 
 std::string Hyperparams::ToString() const {
   return "bs=" + std::to_string(batch_size) +
@@ -48,7 +76,12 @@ ModelProfile ProfileCandidate(const Candidate& candidate,
     const Shape& out_shape = shapes[static_cast<size_t>(node.id)];
     lp.output_bytes =
         static_cast<double>(out_shape.NumElements()) * sizeof(float);
-    lp.disk_bytes = lp.output_bytes;
+    // Shapes are profiled at batch 1, so NumElements is per-record. On-disk
+    // bytes differ from in-memory bytes once quantized feeds are on.
+    lp.disk_bytes = lp.materializable
+                        ? MaterializedBytesPerRecord(node.parents.empty(),
+                                                     out_shape.NumElements())
+                        : lp.output_bytes;
     lp.load_cost_flops = config.LoadCostFlops(lp.disk_bytes);
     lp.param_bytes = node.layer->ParamBytes();
 

@@ -116,8 +116,18 @@ void Executor::Forward(const std::unordered_map<int, Tensor>& feeds,
             .AddArg("materializable",
                     bool{materializable_[static_cast<size_t>(node.id)]});
       }
+      // Frozen nodes that no gradient ever reaches may run reduced-precision
+      // (int8 GEMM / f16 weights) under the process-wide quant mode. The
+      // gate is needs_grad_, not `training`: a frozen prefix then computes
+      // identical features in training forwards, eval forwards, and
+      // materializer runs, and Backward never visits these nodes, so the
+      // missing cache is never read.
+      const bool quantized = quant::GlobalQuantMode() != quant::QuantMode::kOff &&
+                             node.frozen &&
+                             !needs_grad_[static_cast<size_t>(node.id)];
       outputs_[static_cast<size_t>(node.id)] =
-          node.layer->Forward(inputs, cache_slot);
+          quantized ? node.layer->ForwardQuantized(inputs)
+                    : node.layer->Forward(inputs, cache_slot);
       if (node_span.active()) node_ns.Record(node_span.ElapsedNs());
     }
     node_flops[static_cast<size_t>(node.id)] =

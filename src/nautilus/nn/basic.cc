@@ -61,6 +61,20 @@ class DenseCache : public LayerCache {
   Tensor output;          // kept for relu / tanh
 };
 
+ops::EpilogueKind EpilogueFor(Activation a) {
+  switch (a) {
+    case Activation::kNone:
+      return ops::EpilogueKind::kBias;
+    case Activation::kRelu:
+      return ops::EpilogueKind::kBiasRelu;
+    case Activation::kGelu:
+      return ops::EpilogueKind::kBiasGelu;
+    case Activation::kTanh:
+      return ops::EpilogueKind::kBiasTanh;
+  }
+  return ops::EpilogueKind::kBias;
+}
+
 }  // namespace
 
 DenseLayer::DenseLayer(std::string name, int64_t in_dim, int64_t out_dim,
@@ -136,6 +150,38 @@ Tensor DenseLayer::Forward(const std::vector<const Tensor*>& inputs,
   }
   if (cache != nullptr) *cache = std::move(c);
   return y;
+}
+
+Tensor DenseLayer::ForwardQuantized(
+    const std::vector<const Tensor*>& inputs) const {
+  NAUTILUS_CHECK_EQ(inputs.size(), 1u);
+  const quant::QuantMode mode = quant::GlobalQuantMode();
+  if (mode == quant::QuantMode::kOff) return Forward(inputs, nullptr);
+  const ops::EpilogueKind kind = EpilogueFor(activation_);
+  Tensor y;
+  if (mode == quant::QuantMode::kInt8) {
+    {
+      std::lock_guard<std::mutex> lock(quant_mu_);
+      if (!qweight_ready_) {
+        qweight_ =
+            quant::QuantizePerColumn(weight_.value.data(), in_dim_, out_dim_);
+        qweight_ready_ = true;
+      }
+    }
+    y = ops::QuantizedDenseForward(*inputs[0], qweight_, bias_.value, kind);
+  } else {  // kF16: weights rounded to half precision, arithmetic stays f32.
+    {
+      std::lock_guard<std::mutex> lock(quant_mu_);
+      if (!f16_ready_) {
+        weight_f16_ = ops::RoundTripF16(weight_.value);
+        f16_ready_ = true;
+      }
+    }
+    y = ops::DenseForward(*inputs[0], weight_f16_, bias_.value, kind);
+  }
+  std::vector<int64_t> dims = inputs[0]->shape().dims();
+  dims.back() = out_dim_;
+  return y.Reshaped(Shape(dims));
 }
 
 std::vector<Tensor> DenseLayer::Backward(

@@ -2,10 +2,12 @@
 #define NAUTILUS_NN_BASIC_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "nautilus/nn/layer.h"
+#include "nautilus/tensor/quant.h"
 #include "nautilus/util/random.h"
 
 namespace nautilus {
@@ -59,6 +61,8 @@ class DenseLayer : public Layer {
       const std::vector<Shape>& input_record_shapes) const override;
   Tensor Forward(const std::vector<const Tensor*>& inputs,
                  std::unique_ptr<LayerCache>* cache) const override;
+  Tensor ForwardQuantized(
+      const std::vector<const Tensor*>& inputs) const override;
   std::vector<Tensor> Backward(const Tensor& grad_out,
                                const std::vector<const Tensor*>& inputs,
                                const LayerCache& cache) override;
@@ -74,6 +78,16 @@ class DenseLayer : public Layer {
   Activation activation_;
   Parameter weight_;  // [in, out]
   Parameter bias_;    // [out]
+
+  // Lazily built reduced-precision weight caches for ForwardQuantized,
+  // guarded by quant_mu_. Safe to cache: quantized forwards only run on
+  // frozen layers, whose weights never change once the cache is built.
+  // Clones (which CAN train) start with empty caches.
+  mutable std::mutex quant_mu_;
+  mutable quant::QuantizedMatrix qweight_;
+  mutable bool qweight_ready_ = false;
+  mutable Tensor weight_f16_;
+  mutable bool f16_ready_ = false;
 };
 
 /// Layer normalization over the last dimension with learned gain/bias.

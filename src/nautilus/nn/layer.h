@@ -124,6 +124,17 @@ class Layer {
   virtual Tensor Forward(const std::vector<const Tensor*>& inputs,
                          std::unique_ptr<LayerCache>* cache) const = 0;
 
+  /// Reduced-precision forward honoring quant::GlobalQuantMode(). The
+  /// executor routes a node here only when it is FROZEN and no gradient ever
+  /// reaches it (so no backward cache is needed); training semantics are
+  /// untouched. The default falls back to the f32 Forward — only layers with
+  /// a profitable quantized implementation (DenseLayer, and
+  /// TransformerBlockLayer for its six dense projections) override it.
+  virtual Tensor ForwardQuantized(
+      const std::vector<const Tensor*>& inputs) const {
+    return Forward(inputs, nullptr);
+  }
+
   /// Back-propagates `grad_out`, returning gradients w.r.t. each input and
   /// accumulating parameter gradients in place.
   virtual std::vector<Tensor> Backward(

@@ -251,6 +251,65 @@ Tensor TransformerBlockLayer::Forward(const std::vector<const Tensor*>& inputs,
   return y;
 }
 
+void TransformerBlockLayer::EnsureQuantWeights(quant::QuantMode mode) const {
+  std::lock_guard<std::mutex> lock(quant_mu_);
+  const Parameter* ws[6] = {wq_, wk_, wv_, wo_, w1_, w2_};
+  if (mode == quant::QuantMode::kInt8) {
+    if (qweights_ready_) return;
+    for (int i = 0; i < 6; ++i) {
+      const Shape& s = ws[i]->value.shape();
+      qweights_[static_cast<size_t>(i)] =
+          quant::QuantizePerColumn(ws[i]->value.data(), s.dim(0), s.dim(1));
+    }
+    qweights_ready_ = true;
+  } else if (mode == quant::QuantMode::kF16) {
+    if (f16_ready_) return;
+    for (int i = 0; i < 6; ++i) {
+      weights_f16_[static_cast<size_t>(i)] = ops::RoundTripF16(ws[i]->value);
+    }
+    f16_ready_ = true;
+  }
+}
+
+Tensor TransformerBlockLayer::ForwardQuantized(
+    const std::vector<const Tensor*>& inputs) const {
+  const quant::QuantMode mode = quant::GlobalQuantMode();
+  if (mode == quant::QuantMode::kOff) return Forward(inputs, nullptr);
+  NAUTILUS_CHECK_EQ(inputs.size(), 1u);
+  const Tensor& x = *inputs[0];
+  const Shape& xs = x.shape();
+  EnsureQuantWeights(mode);
+
+  // Same dataflow as Forward, minus the backward cache (the executor only
+  // routes here when no gradient ever visits this node); every dense
+  // projection runs reduced-precision, attention/layer norm/residuals f32.
+  auto project = [&](size_t slot, const Tensor& in, const Parameter& b,
+                     ops::EpilogueKind kind) {
+    return mode == quant::QuantMode::kInt8
+               ? ops::QuantizedDenseForward(in, qweights_[slot], b.value, kind)
+               : ops::DenseForward(in, weights_f16_[slot], b.value, kind);
+  };
+  Tensor q = project(0, x, *bq_, ops::EpilogueKind::kBias).Reshaped(xs);
+  Tensor k = project(1, x, *bk_, ops::EpilogueKind::kBias).Reshaped(xs);
+  Tensor v = project(2, x, *bv_, ops::EpilogueKind::kBias).Reshaped(xs);
+  Tensor qh = ops::SplitHeads(q, heads_);
+  Tensor kh = ops::SplitHeads(k, heads_);
+  Tensor vh = ops::SplitHeads(v, heads_);
+  ops::AttentionCache attn;  // forwards need a cache object; dropped on return
+  Tensor merged = ops::MergeHeads(ops::AttentionForward(qh, kh, vh, &attn));
+  Tensor o = project(3, merged, *bo_, ops::EpilogueKind::kBias).Reshaped(xs);
+  Tensor r1 = ops::Add(x, o);
+  ops::LayerNormCache ln1;
+  Tensor h1 = ops::LayerNormForward(r1, ln1_gamma_->value, ln1_beta_->value,
+                                    kLnEps, &ln1);
+  Tensor g = project(4, h1, *b1_, ops::EpilogueKind::kBiasGelu);
+  Tensor z2 = project(5, g, *b2_, ops::EpilogueKind::kBias).Reshaped(xs);
+  Tensor r2 = ops::Add(h1, z2);
+  ops::LayerNormCache ln2;
+  return ops::LayerNormForward(r2, ln2_gamma_->value, ln2_beta_->value, kLnEps,
+                               &ln2);
+}
+
 std::vector<Tensor> TransformerBlockLayer::Backward(
     const Tensor& grad_out, const std::vector<const Tensor*>& inputs,
     const LayerCache& cache) {

@@ -1,11 +1,14 @@
 #ifndef NAUTILUS_NN_TRANSFORMER_H_
 #define NAUTILUS_NN_TRANSFORMER_H_
 
+#include <array>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "nautilus/nn/layer.h"
+#include "nautilus/tensor/quant.h"
 #include "nautilus/util/random.h"
 
 namespace nautilus {
@@ -70,6 +73,11 @@ class TransformerBlockLayer : public Layer {
       const std::vector<Shape>& input_record_shapes) const override;
   Tensor Forward(const std::vector<const Tensor*>& inputs,
                  std::unique_ptr<LayerCache>* cache) const override;
+  /// Frozen-prefix forward with every dense projection (QKV, output, FFN)
+  /// routed through the reduced-precision dense path; attention, layer norm,
+  /// and residuals stay f32. Same gating contract as DenseLayer.
+  Tensor ForwardQuantized(
+      const std::vector<const Tensor*>& inputs) const override;
   std::vector<Tensor> Backward(const Tensor& grad_out,
                                const std::vector<const Tensor*>& inputs,
                                const LayerCache& cache) override;
@@ -79,6 +87,11 @@ class TransformerBlockLayer : public Layer {
  private:
   TransformerBlockLayer(std::string name, int64_t hidden, int64_t heads,
                         int64_t ffn_dim);
+
+  // Quantizes the six projection weights on first quantized forward (the
+  // layer is frozen, so the caches never invalidate). Slot order: wq, wk,
+  // wv, wo, w1, w2.
+  void EnsureQuantWeights(quant::QuantMode mode) const;
 
   int64_t hidden_;
   int64_t heads_;
@@ -102,6 +115,14 @@ class TransformerBlockLayer : public Layer {
   Parameter* ln1_beta_;
   Parameter* ln2_gamma_;
   Parameter* ln2_beta_;
+
+  // Lazily built reduced-precision projection caches for ForwardQuantized
+  // (same pattern as DenseLayer); indexed in EnsureQuantWeights slot order.
+  mutable std::mutex quant_mu_;
+  mutable std::array<quant::QuantizedMatrix, 6> qweights_;
+  mutable std::array<Tensor, 6> weights_f16_;
+  mutable bool qweights_ready_ = false;
+  mutable bool f16_ready_ = false;
 };
 
 /// Houlsby-style bottleneck adapter with a residual connection:

@@ -6,6 +6,7 @@
 
 #include "nautilus/obs/trace.h"
 #include "nautilus/tensor/gemm.h"
+#include "nautilus/tensor/qgemm.h"
 #include "nautilus/util/buffer_pool.h"
 #include "nautilus/util/parallel.h"
 
@@ -51,6 +52,17 @@ void GemmMetricObserver(bool simd, bool fused_epilogue) {
   }
   if (fused_epilogue) g_gemm_fused_epilogues->Add();
   g_gemm_dispatch->Set(simd ? 1.0 : 0.0);
+}
+
+Counter* g_qgemm_simd_calls = nullptr;
+Counter* g_qgemm_portable_calls = nullptr;
+
+void QGemmMetricObserver(bool simd) {
+  if (simd) {
+    g_qgemm_simd_calls->Add();
+  } else {
+    g_qgemm_portable_calls->Add();
+  }
 }
 
 int BucketFor(int64_t v) {
@@ -136,6 +148,9 @@ MetricsRegistry& MetricsRegistry::Global() {
     g_gemm_fused_epilogues = &registry.counter("gemm.epilogue_fused");
     g_gemm_dispatch = &registry.gauge("gemm.dispatch");
     ops::SetGemmObserver(&GemmMetricObserver);
+    g_qgemm_simd_calls = &registry.counter("gemm.int8.calls.simd");
+    g_qgemm_portable_calls = &registry.counter("gemm.int8.calls.portable");
+    ops::SetQGemmObserver(&QGemmMetricObserver);
     return true;
   }();
   (void)observer_installed;

@@ -12,6 +12,7 @@
 #include "nautilus/storage/fault_injection.h"
 #include "nautilus/storage/integrity.h"
 #include "nautilus/storage/mmap_file.h"
+#include "nautilus/tensor/quant.h"
 #include "nautilus/util/logging.h"
 #include "nautilus/util/parallel.h"
 
@@ -22,40 +23,77 @@ namespace fs = std::filesystem;
 
 namespace {
 
-constexpr int64_t kMagic = 0x4e41555431000001;  // "NAUT1" + version
+constexpr int64_t kMagic = 0x4e41555431000001;    // "NAUT1" + version (f32)
+constexpr int64_t kMagicV3 = 0x4e41555433000001;  // "NAUT3": + dtype field
 
+// v1/v2 layout: magic, rank, dims[rank].
+// v3 layout:    magic, dtype, rank, dims[rank]  (dims = LOGICAL f32 shape).
 struct Header {
   int64_t magic;
+  int64_t dtype = 0;  // serialized only for v3
   int64_t rank;
   int64_t dims[8];
 };
+
+bool IsV3(const Header& h) { return h.magic == kMagicV3; }
 
 int64_t HeaderBytes(int64_t rank) {
   return static_cast<int64_t>(sizeof(int64_t)) * (2 + rank);
 }
 
-constexpr int64_t kMaxHeaderBytes = 10 * static_cast<int64_t>(sizeof(int64_t));
+int64_t HeaderBytesFor(const Header& h) {
+  return static_cast<int64_t>(sizeof(int64_t)) * ((IsV3(h) ? 3 : 2) + h.rank);
+}
+
+// Byte offset of dims[0] (the row count AppendRows bumps in place).
+int64_t RowCountOffset(const Header& h) {
+  return static_cast<int64_t>(sizeof(int64_t)) * (IsV3(h) ? 3 : 2);
+}
+
+constexpr int64_t kMaxHeaderBytes = 11 * static_cast<int64_t>(sizeof(int64_t));
 
 // Serializes `h` exactly as it lays on disk (for CRC computation); returns
 // the byte count. `buf` must hold kMaxHeaderBytes.
 int64_t SerializeHeader(const Header& h, char* buf) {
+  int64_t off = 0;
   std::memcpy(buf, &h.magic, sizeof(int64_t));
-  std::memcpy(buf + sizeof(int64_t), &h.rank, sizeof(int64_t));
-  std::memcpy(buf + 2 * sizeof(int64_t), h.dims,
-              static_cast<size_t>(h.rank) * sizeof(int64_t));
-  return HeaderBytes(h.rank);
+  off += sizeof(int64_t);
+  if (IsV3(h)) {
+    std::memcpy(buf + off, &h.dtype, sizeof(int64_t));
+    off += sizeof(int64_t);
+  }
+  std::memcpy(buf + off, &h.rank, sizeof(int64_t));
+  off += sizeof(int64_t);
+  std::memcpy(buf + off, h.dims, static_cast<size_t>(h.rank) * sizeof(int64_t));
+  return off + static_cast<int64_t>(h.rank) * sizeof(int64_t);
 }
 
-// Payload bytes implied by the header dims, or -1 on overflow/negative dims.
-int64_t PayloadBytesFor(const Header& h) {
-  int64_t elements = 1;
-  for (int64_t i = 0; i < h.rank; ++i) {
+// Logical per-record f32 elements (product of dims past the batch dim), or
+// -1 on overflow/negative dims.
+int64_t PerRecordElementsFor(const Header& h) {
+  int64_t per_record = 1;
+  for (int64_t i = 1; i < h.rank; ++i) {
     const int64_t d = h.dims[i];
     if (d < 0) return -1;
-    if (d > 0 && elements > (INT64_MAX / 4) / d) return -1;
-    elements *= d;
+    if (d > 0 && per_record > (INT64_MAX / 8) / d) return -1;
+    per_record *= d;
   }
-  return elements * static_cast<int64_t>(sizeof(float));
+  return per_record;
+}
+
+// Payload bytes implied by the header dims (+ dtype for v3), or -1 on
+// overflow/negative dims.
+int64_t PayloadBytesFor(const Header& h) {
+  const int64_t rows = h.dims[0];
+  if (rows < 0) return -1;
+  const int64_t per_record = PerRecordElementsFor(h);
+  if (per_record < 0) return -1;
+  const int64_t row_bytes =
+      IsV3(h) ? ShardRowBytes(static_cast<ShardDtype>(h.dtype), per_record)
+              : per_record * static_cast<int64_t>(sizeof(float));
+  if (row_bytes < 0) return -1;
+  if (rows > 0 && row_bytes > 0 && rows > INT64_MAX / row_bytes) return -1;
+  return rows * row_bytes;
 }
 
 // 64-bit-clean absolute seek; plain fseek takes a long, which truncates byte
@@ -176,20 +214,28 @@ struct ShardInfo {
   Header header;
   int64_t header_bytes = 0;
   int64_t payload_bytes = 0;
+  int64_t per_record = 0;   // logical f32 elements per row
+  int64_t row_bytes = 0;    // encoded bytes per row
+  ShardDtype dtype = ShardDtype::kF32;
   bool has_footer = false;  // false: legacy v1 (no checksums to verify)
   ShardFooter footer;
 };
 
 // Validates a header already read from disk against the actual file size:
-// rank bounds, non-negative dims, overflow-safe payload size, and an exact
-// size match against either the v2 (footer) or v1 (legacy) layout. A corrupt
-// header can therefore never drive a huge or undersized allocation. Fills
-// everything except footer verification (the footer bytes still need to be
-// read and checked by the caller for the buffered path).
+// magic/dtype, rank bounds, non-negative dims, overflow-safe payload size,
+// and an exact size match against the v3/v2 (footer) or v1 (legacy) layout.
+// A corrupt header can therefore never drive a huge or undersized
+// allocation. Fills everything except footer verification (the footer bytes
+// still need to be read and checked by the caller for the buffered path).
 Status ValidateHeader(const Header& h, int64_t file_size,
                       const std::string& key, ShardInfo* info) {
-  if (h.magic != kMagic) {
+  if (h.magic != kMagic && h.magic != kMagicV3) {
     return CorruptionError("bad tensor-file magic: " + key);
+  }
+  if (IsV3(h) && h.dtype != static_cast<int64_t>(ShardDtype::kInt8) &&
+      h.dtype != static_cast<int64_t>(ShardDtype::kF16) &&
+      h.dtype != static_cast<int64_t>(ShardDtype::kF32)) {
+    return CorruptionError("unknown shard dtype on disk: " + key);
   }
   if (h.rank < 1 || h.rank > 8) {
     return CorruptionError("unsupported tensor rank on disk: " + key);
@@ -199,14 +245,21 @@ Status ValidateHeader(const Header& h, int64_t file_size,
     return CorruptionError("corrupt tensor dims on disk: " + key);
   }
   info->header = h;
-  info->header_bytes = HeaderBytes(h.rank);
+  info->header_bytes = HeaderBytesFor(h);
   info->payload_bytes = payload;
-  const int64_t v1_size = info->header_bytes + payload;
-  if (file_size == v1_size) {
+  info->per_record = PerRecordElementsFor(h);
+  info->dtype = IsV3(h) ? static_cast<ShardDtype>(h.dtype) : ShardDtype::kF32;
+  info->row_bytes = ShardRowBytes(info->dtype, info->per_record);
+  const int64_t bare_size = info->header_bytes + payload;
+  if (file_size == bare_size) {
+    if (IsV3(h)) {  // v3 files are always sealed by a footer
+      return CorruptionError("tensor file size mismatch (torn write?): " +
+                             key);
+    }
     info->has_footer = false;  // legacy footer-less shard, read-only trust
     return Status::OK();
   }
-  if (file_size == v1_size + kShardFooterBytes) {
+  if (file_size == bare_size + kShardFooterBytes) {
     info->has_footer = true;  // footer bytes verified by the caller
     return Status::OK();
   }
@@ -233,12 +286,17 @@ Status ReadShardInfo(std::FILE* f, int64_t file_size, const std::string& key,
                      ShardInfo* info) {
   Header h;
   if (Seek64(f, 0, SEEK_SET) != 0 ||
-      std::fread(&h.magic, sizeof(int64_t), 1, f) != 1 ||
-      std::fread(&h.rank, sizeof(int64_t), 1, f) != 1) {
+      std::fread(&h.magic, sizeof(int64_t), 1, f) != 1) {
     return CorruptionError("short read on tensor header: " + key);
   }
-  if (h.magic != kMagic) {
+  if (h.magic != kMagic && h.magic != kMagicV3) {
     return CorruptionError("bad tensor-file magic: " + key);
+  }
+  if (IsV3(h) && std::fread(&h.dtype, sizeof(int64_t), 1, f) != 1) {
+    return CorruptionError("short read on tensor header: " + key);
+  }
+  if (std::fread(&h.rank, sizeof(int64_t), 1, f) != 1) {
+    return CorruptionError("short read on tensor header: " + key);
   }
   if (h.rank < 1 || h.rank > 8) {
     return CorruptionError("unsupported tensor rank on disk: " + key);
@@ -300,9 +358,11 @@ Status VerifyShardFile(const std::string& path, const std::string& key,
   return Status::OK();
 }
 
-Status WriteHeader(std::FILE* f, const Shape& shape, uint32_t* header_crc) {
+Status WriteHeader(std::FILE* f, const Shape& shape, ShardDtype dtype,
+                   uint32_t* header_crc) {
   Header h;
-  h.magic = kMagic;
+  h.magic = dtype == ShardDtype::kF32 ? kMagic : kMagicV3;
+  h.dtype = static_cast<int64_t>(dtype);
   h.rank = shape.rank();
   for (int i = 0; i < shape.rank(); ++i) h.dims[i] = shape.dim(i);
   char buf[kMaxHeaderBytes];
@@ -316,50 +376,177 @@ Status WriteHeader(std::FILE* f, const Shape& shape, uint32_t* header_crc) {
 }
 
 // Validates header, footer, and payload checksum of a fully mapped file and
-// returns its shape. memcpy keeps the int64 loads alignment-safe regardless
-// of mapping origin.
-Result<Shape> ParseAndVerifyMapped(const char* data, int64_t size,
-                                   const std::string& key) {
+// fills `info`. memcpy keeps the int64 loads alignment-safe regardless of
+// mapping origin.
+Status ParseAndVerifyMapped(const char* data, int64_t size,
+                            const std::string& key, ShardInfo* info) {
   if (size < HeaderBytes(0)) {
     return CorruptionError("short read on tensor header: " + key);
   }
   Header h;
+  int64_t off = 0;
   std::memcpy(&h.magic, data, sizeof(int64_t));
-  std::memcpy(&h.rank, data + sizeof(int64_t), sizeof(int64_t));
-  if (h.magic != kMagic) {
+  off += sizeof(int64_t);
+  if (h.magic != kMagic && h.magic != kMagicV3) {
     return CorruptionError("bad tensor-file magic: " + key);
   }
+  if (IsV3(h)) {
+    if (size < off + static_cast<int64_t>(sizeof(int64_t))) {
+      return CorruptionError("short read on tensor header: " + key);
+    }
+    std::memcpy(&h.dtype, data + off, sizeof(int64_t));
+    off += sizeof(int64_t);
+  }
+  if (size < off + static_cast<int64_t>(sizeof(int64_t))) {
+    return CorruptionError("short read on tensor header: " + key);
+  }
+  std::memcpy(&h.rank, data + off, sizeof(int64_t));
+  off += sizeof(int64_t);
   if (h.rank < 1 || h.rank > 8) {
     return CorruptionError("unsupported tensor rank on disk: " + key);
   }
-  if (size < HeaderBytes(h.rank)) {
+  if (size < off + h.rank * static_cast<int64_t>(sizeof(int64_t))) {
     return CorruptionError("short read on tensor dims: " + key);
   }
-  std::memcpy(h.dims, data + 2 * sizeof(int64_t),
-              static_cast<size_t>(h.rank) * sizeof(int64_t));
-  ShardInfo info;
-  NAUTILUS_RETURN_IF_ERROR(ValidateHeader(h, size, key, &info));
-  if (info.has_footer) {
-    switch (DecodeShardFooter(data + size - kShardFooterBytes, &info.footer)) {
+  std::memcpy(h.dims, data + off, static_cast<size_t>(h.rank) * sizeof(int64_t));
+  NAUTILUS_RETURN_IF_ERROR(ValidateHeader(h, size, key, info));
+  if (info->has_footer) {
+    switch (DecodeShardFooter(data + size - kShardFooterBytes,
+                              &info->footer)) {
       case FooterState::kValid:
         break;
       case FooterState::kAbsent:
       case FooterState::kTorn:
         return CorruptionError("torn tensor footer: " + key);
     }
-    NAUTILUS_RETURN_IF_ERROR(CheckFooterAgainstHeader(info, key));
+    NAUTILUS_RETURN_IF_ERROR(CheckFooterAgainstHeader(*info, key));
     const uint32_t payload_crc =
-        Crc32c(0, data + info.header_bytes,
-               static_cast<size_t>(info.payload_bytes));
-    if (payload_crc != info.footer.payload_crc) {
+        Crc32c(0, data + info->header_bytes,
+               static_cast<size_t>(info->payload_bytes));
+    if (payload_crc != info->footer.payload_crc) {
       return CorruptionError("payload checksum mismatch: " + key);
     }
   }
+  return Status::OK();
+}
+
+// Shape described by a validated header (always the logical f32 shape).
+Shape ShapeOf(const Header& h) {
   std::vector<int64_t> dims(h.dims, h.dims + h.rank);
   return Shape(dims);
 }
 
+// --- v3 row codecs ---------------------------------------------------------
+
+// Encodes `rows` logical f32 rows of `per_record` elements into the v3
+// on-disk representation. int8: [f32 absmax scale][per_record int8] per row;
+// f16: 2 bytes per element. Returns the encoded bytes.
+std::vector<char> EncodeRows(ShardDtype dtype, const float* src, int64_t rows,
+                             int64_t per_record) {
+  const int64_t row_bytes = ShardRowBytes(dtype, per_record);
+  std::vector<char> enc(static_cast<size_t>(rows * row_bytes));
+  if (dtype == ShardDtype::kInt8) {
+    for (int64_t r = 0; r < rows; ++r) {
+      char* dst = enc.data() + r * row_bytes;
+      const float scale = quant::QuantizeRowAbsMax(
+          src + r * per_record, per_record,
+          reinterpret_cast<int8_t*>(dst + sizeof(float)));
+      std::memcpy(dst, &scale, sizeof(float));
+    }
+  } else {  // kF16
+    for (int64_t r = 0; r < rows; ++r) {
+      char* dst = enc.data() + r * row_bytes;
+      const float* row = src + r * per_record;
+      for (int64_t i = 0; i < per_record; ++i) {
+        const uint16_t half = quant::F32ToF16(row[i]);
+        std::memcpy(dst + i * 2, &half, sizeof(half));
+      }
+    }
+  }
+  static obs::Counter& encode_bytes =
+      obs::MetricsRegistry::Global().counter("quant.encode_bytes");
+  encode_bytes.Add(static_cast<int64_t>(enc.size()));
+  return enc;
+}
+
+// Inverse of EncodeRows: decodes `rows` v3-encoded rows back to f32.
+void DecodeRows(ShardDtype dtype, const char* enc, int64_t rows,
+                int64_t per_record, float* dst) {
+  const int64_t row_bytes = ShardRowBytes(dtype, per_record);
+  if (dtype == ShardDtype::kInt8) {
+    for (int64_t r = 0; r < rows; ++r) {
+      const char* src = enc + r * row_bytes;
+      float scale;
+      std::memcpy(&scale, src, sizeof(float));
+      quant::DequantizeRow(reinterpret_cast<const int8_t*>(src + sizeof(float)),
+                           per_record, scale, dst + r * per_record);
+    }
+  } else {  // kF16
+    for (int64_t r = 0; r < rows; ++r) {
+      const char* src = enc + r * row_bytes;
+      float* out = dst + r * per_record;
+      for (int64_t i = 0; i < per_record; ++i) {
+        uint16_t half;
+        std::memcpy(&half, src + i * 2, sizeof(half));
+        out[i] = quant::F16ToF32(half);
+      }
+    }
+  }
+  static obs::Counter& decode_bytes =
+      obs::MetricsRegistry::Global().counter("quant.decode_bytes");
+  decode_bytes.Add(rows * row_bytes);
+}
+
+// Per-dtype write accounting: how many shard writes landed in each encoding.
+void CountShardWrite(ShardDtype dtype) {
+  static obs::Counter& f32 =
+      obs::MetricsRegistry::Global().counter("store.shard_dtype.f32");
+  static obs::Counter& i8 =
+      obs::MetricsRegistry::Global().counter("store.shard_dtype.int8");
+  static obs::Counter& f16 =
+      obs::MetricsRegistry::Global().counter("store.shard_dtype.f16");
+  switch (dtype) {
+    case ShardDtype::kF32:
+      f32.Add();
+      break;
+    case ShardDtype::kInt8:
+      i8.Add();
+      break;
+    case ShardDtype::kF16:
+      f16.Add();
+      break;
+  }
+}
+
 }  // namespace
+
+const char* ShardDtypeName(ShardDtype dtype) {
+  switch (dtype) {
+    case ShardDtype::kF32:
+      return "f32";
+    case ShardDtype::kInt8:
+      return "int8";
+    case ShardDtype::kF16:
+      return "f16";
+  }
+  return "?";
+}
+
+int64_t ShardRowBytes(ShardDtype dtype, int64_t per_record) {
+  if (per_record < 0) return -1;
+  switch (dtype) {
+    case ShardDtype::kF32:
+      if (per_record > INT64_MAX / 4) return -1;
+      return per_record * 4;
+    case ShardDtype::kInt8:
+      if (per_record > INT64_MAX - 4) return -1;
+      return static_cast<int64_t>(sizeof(float)) + per_record;
+    case ShardDtype::kF16:
+      if (per_record > INT64_MAX / 2) return -1;
+      return per_record * 2;
+  }
+  return -1;
+}
 
 TensorStore::TensorStore(std::string directory, IoStats* stats,
                          int64_t cache_budget_bytes)
@@ -387,28 +574,47 @@ std::string TensorStore::PathFor(const std::string& key) const {
   return directory_ + "/" + EncodeKey(key) + "-" + KeyHash8(key) + ".tns";
 }
 
-Status TensorStore::Put(const std::string& key, const Tensor& value) {
+Status TensorStore::Put(const std::string& key, const Tensor& value,
+                        ShardDtype dtype) {
   NAUTILUS_CHECK_GE(value.shape().rank(), 1);
   obs::TraceScope span("io", "store.put");
-  span.AddArg("key", key).AddArg("bytes", value.SizeBytes());
+  span.AddArg("key", key)
+      .AddArg("bytes", value.SizeBytes())
+      .AddArg("dtype", ShardDtypeName(dtype));
   const std::string path = PathFor(key);
   const Durability durability = GlobalDurability();
+  const int64_t rows = value.shape().dim(0);
+  const int64_t per_record = value.shape().ElementsPerRecord();
   // Write-then-rename: live mmap views of the old inode keep their bytes;
   // truncating in place would SIGBUS concurrent readers. A crash mid-write
   // leaves only a stale .tmp (swept by Scrub), never a torn shard.
   const std::string tmp = path + ".tmp";
+  int64_t payload_bytes = 0;
   {
     File f(tmp, "wb");
     if (!f.ok()) return Status::IoError("cannot open for write: " + key);
     ShardFooter footer;
     NAUTILUS_RETURN_IF_ERROR(
-        WriteHeader(f.get(), value.shape(), &footer.header_crc));
-    const size_t n = static_cast<size_t>(value.NumElements());
-    if (n > 0 && std::fwrite(value.data(), sizeof(float), n, f.get()) != n) {
-      return Status::IoError("short write on tensor data: " + key);
+        WriteHeader(f.get(), value.shape(), dtype, &footer.header_crc));
+    if (dtype == ShardDtype::kF32) {
+      const size_t n = static_cast<size_t>(value.NumElements());
+      if (n > 0 &&
+          std::fwrite(value.data(), sizeof(float), n, f.get()) != n) {
+        return Status::IoError("short write on tensor data: " + key);
+      }
+      footer.payload_crc = Crc32c(0, value.data(), n * sizeof(float));
+      payload_bytes = static_cast<int64_t>(n * sizeof(float));
+    } else {
+      const std::vector<char> enc =
+          EncodeRows(dtype, value.data(), rows, per_record);
+      if (!enc.empty() &&
+          std::fwrite(enc.data(), 1, enc.size(), f.get()) != enc.size()) {
+        return Status::IoError("short write on tensor data: " + key);
+      }
+      footer.payload_crc = Crc32c(0, enc.data(), enc.size());
+      payload_bytes = static_cast<int64_t>(enc.size());
     }
-    footer.payload_crc = Crc32c(0, value.data(), n * sizeof(float));
-    footer.payload_bytes = static_cast<int64_t>(n * sizeof(float));
+    footer.payload_bytes = payload_bytes;
     NAUTILUS_RETURN_IF_ERROR(WriteShardFooter(f.get(), footer));
     NAUTILUS_RETURN_IF_ERROR(SyncFile(f.get(), durability));
   }
@@ -418,20 +624,24 @@ Status TensorStore::Put(const std::string& key, const Tensor& value) {
   NAUTILUS_RETURN_IF_ERROR(SyncParentDir(path, durability));
   cache_.Invalidate(key);
   if (stats_ != nullptr) {
-    stats_->RecordWrite(HeaderBytes(value.shape().rank()) +
-                        value.SizeBytes() + kShardFooterBytes);
+    stats_->RecordWrite(
+        HeaderBytes(value.shape().rank()) +
+        (dtype == ShardDtype::kF32 ? 0 : static_cast<int64_t>(sizeof(int64_t))) +
+        payload_bytes + kShardFooterBytes);
   }
+  CountShardWrite(dtype);
   FaultInjector::Global().OnWriteCommitted(path);
   return Status::OK();
 }
 
-Status TensorStore::AppendRows(const std::string& key, const Tensor& rows) {
+Status TensorStore::AppendRows(const std::string& key, const Tensor& rows,
+                               ShardDtype dtype) {
   // Injected refusal (NAUTILUS_FAULT=fail_append:N): error out before any
   // byte is written, as a full disk or EIO would.
   if (FaultInjector::Global().ShouldFailAppend()) {
     return Status::IoError("injected append failure for " + key);
   }
-  if (!Contains(key)) return Put(key, rows);
+  if (!Contains(key)) return Put(key, rows, dtype);
   obs::TraceScope span("io", "store.append");
   span.AddArg("key", key).AddArg("bytes", rows.SizeBytes());
   const std::string path = PathFor(key);
@@ -498,16 +708,30 @@ Status TensorStore::AppendRows(const std::string& key, const Tensor& rows) {
         0) {
       return Status::IoError("seek failed: " + key);
     }
-    const size_t n = static_cast<size_t>(rows.NumElements());
-    if (n > 0 && std::fwrite(rows.data(), sizeof(float), n, f.get()) != n) {
-      return Status::IoError("short append: " + key);
+    // The STORED dtype wins over the caller's: one shard never mixes row
+    // encodings, even when the process quant mode changed between cycles.
+    int64_t appended_bytes;
+    if (info.dtype == ShardDtype::kF32) {
+      const size_t n = static_cast<size_t>(rows.NumElements());
+      if (n > 0 && std::fwrite(rows.data(), sizeof(float), n, f.get()) != n) {
+        return Status::IoError("short append: " + key);
+      }
+      payload_crc = Crc32c(payload_crc, rows.data(), n * sizeof(float));
+      appended_bytes = static_cast<int64_t>(n * sizeof(float));
+    } else {
+      const std::vector<char> enc = EncodeRows(
+          info.dtype, rows.data(), rows.shape().dim(0), info.per_record);
+      if (!enc.empty() &&
+          std::fwrite(enc.data(), 1, enc.size(), f.get()) != enc.size()) {
+        return Status::IoError("short append: " + key);
+      }
+      payload_crc = Crc32c(payload_crc, enc.data(), enc.size());
+      appended_bytes = static_cast<int64_t>(enc.size());
     }
-    payload_crc = Crc32c(payload_crc, rows.data(), n * sizeof(float));
     Header updated = h;
     updated.dims[0] = h.dims[0] + rows.shape().dim(0);
     const int64_t new_rows = updated.dims[0];
-    if (Seek64(f.get(), 2 * static_cast<int64_t>(sizeof(int64_t)),
-               SEEK_SET) != 0 ||
+    if (Seek64(f.get(), RowCountOffset(h), SEEK_SET) != 0 ||
         std::fwrite(&new_rows, sizeof(int64_t), 1, f.get()) != 1) {
       return Status::IoError("cannot update row count: " + key);
     }
@@ -516,19 +740,19 @@ Status TensorStore::AppendRows(const std::string& key, const Tensor& rows) {
     ShardFooter footer;
     footer.header_crc = Crc32c(0, hdr_buf, static_cast<size_t>(hdr_n));
     footer.payload_crc = payload_crc;
-    footer.payload_bytes =
-        info.payload_bytes + static_cast<int64_t>(n * sizeof(float));
+    footer.payload_bytes = info.payload_bytes + appended_bytes;
     if (Seek64(f.get(), info.header_bytes + footer.payload_bytes, SEEK_SET) !=
         0) {
       return Status::IoError("seek failed: " + key);
     }
     NAUTILUS_RETURN_IF_ERROR(WriteShardFooter(f.get(), footer));
     NAUTILUS_RETURN_IF_ERROR(SyncFile(f.get(), durability));
+    CountShardWrite(info.dtype);
+    if (stats_ != nullptr) {
+      stats_->RecordWrite(appended_bytes + kShardFooterBytes);
+    }
   }  // commit: the handle closes (flushing stdio buffers) before the hook
   cache_.Invalidate(key);
-  if (stats_ != nullptr) {
-    stats_->RecordWrite(rows.SizeBytes() + kShardFooterBytes);
-  }
   FaultInjector::Global().OnWriteCommitted(path);
   return Status::OK();
 }
@@ -553,17 +777,31 @@ Result<std::shared_ptr<const Tensor>> TensorStore::LoadShared(
   // Verifies header + payload checksums over the mapped bytes before the
   // shard can enter the cache, so cache hits serve pre-verified bytes and
   // stay checksum-free on the hot path.
-  NAUTILUS_ASSIGN_OR_RETURN(
-      Shape shape, ParseAndVerifyMapped(mapped->data(), mapped->size(), key));
+  ShardInfo info;
+  NAUTILUS_RETURN_IF_ERROR(
+      ParseAndVerifyMapped(mapped->data(), mapped->size(), key, &info));
+  const Shape shape = ShapeOf(info.header);
   span.AddArg("key", key)
       .AddArg("bytes", mapped->size())
-      .AddArg("mapped", mapped->is_mapped());
-  const char* payload = mapped->data() + HeaderBytes(shape.rank());
-  const float* elements = reinterpret_cast<const float*>(payload);
-  auto shard = std::make_shared<Tensor>(
-      Tensor::FromBorrowed(elements, shape, std::move(mapped)));
+      .AddArg("mapped", mapped->is_mapped())
+      .AddArg("dtype", ShardDtypeName(info.dtype));
+  const char* payload = mapped->data() + info.header_bytes;
+  std::shared_ptr<Tensor> shard;
+  if (info.dtype == ShardDtype::kF32) {
+    const float* elements = reinterpret_cast<const float*>(payload);
+    shard = std::make_shared<Tensor>(
+        Tensor::FromBorrowed(elements, shape, std::move(mapped)));
+  } else {
+    // Dequant-on-view: decode the quantized payload to f32 ONCE here, then
+    // park the owned f32 tensor in the cache. Warm reads stay zero-copy f32
+    // views over the cache entry; only the cold fill pays the decode.
+    Tensor decoded = Tensor::Uninitialized(shape);
+    DecodeRows(info.dtype, payload, info.header.dims[0], info.per_record,
+               decoded.data());
+    shard = std::make_shared<Tensor>(std::move(decoded));
+  }
   if (stats_ != nullptr) {
-    stats_->RecordRead(HeaderBytes(shape.rank()) + shard->SizeBytes());
+    stats_->RecordRead(info.header_bytes + info.payload_bytes);
   }
   cache_.Insert(key, shard);
   return std::shared_ptr<const Tensor>(std::move(shard));
@@ -626,16 +864,14 @@ Result<Tensor> TensorStore::GetRows(const std::string& key, int64_t begin,
   if (begin < 0 || begin > end || end > h.dims[0]) {
     return Status::OutOfRange("row range out of bounds for " + key);
   }
-  int64_t per_record = 1;
-  for (int64_t i = 1; i < h.rank; ++i) per_record *= h.dims[i];
   std::vector<int64_t> dims(h.dims, h.dims + h.rank);
   dims[0] = end - begin;
   Tensor out((Shape(dims)));
-  const int64_t slice_begin =
-      begin * per_record * static_cast<int64_t>(sizeof(float));
-  const int64_t slice_bytes = out.SizeBytes();
+  // Slice offsets in ENCODED bytes (row-aligned for every dtype).
+  const int64_t slice_begin = begin * info.row_bytes;
+  const int64_t slice_bytes = (end - begin) * info.row_bytes;
   if (!info.has_footer) {
-    // Legacy v1 shard: no checksum exists, read exactly the slice.
+    // Legacy v1 shard (always f32): no checksum exists, read just the slice.
     if (Seek64(f.get(), info.header_bytes + slice_begin, SEEK_SET) != 0) {
       return Status::IoError("seek failed: " + key);
     }
@@ -646,16 +882,26 @@ Result<Tensor> TensorStore::GetRows(const std::string& key, int64_t begin,
     if (stats_ != nullptr) stats_->RecordRead(out.SizeBytes());
     return out;
   }
-  // v2 shard: the payload checksum covers the whole payload, so the forced-
-  // disk path streams every payload byte once — checksumming as it goes and
-  // copying the requested slice out of the stream — before any float is
-  // surfaced. A bit-flip anywhere in the shard fails the read even when the
-  // flip is outside the requested rows (it may sit under a row served next).
+  // v2/v3 shard: the payload checksum covers the whole payload, so the
+  // forced-disk path streams every payload byte once — checksumming as it
+  // goes and copying the requested slice out of the stream — before any
+  // float is surfaced. A bit-flip anywhere in the shard (including a v3
+  // row's SCALE bytes) fails the read even when the flip is outside the
+  // requested rows (it may sit under a row served next).
   if (Seek64(f.get(), info.header_bytes, SEEK_SET) != 0) {
     return Status::IoError("seek failed: " + key);
   }
   std::vector<char> buf(1 << 20);
-  char* out_bytes = reinterpret_cast<char*>(out.data());
+  // f32 slices land straight in the output tensor; quantized slices stage
+  // through an encoded scratch strip and decode after the CRC verdict.
+  std::vector<char> enc_slice;
+  char* slice_dst;
+  if (info.dtype == ShardDtype::kF32) {
+    slice_dst = reinterpret_cast<char*>(out.data());
+  } else {
+    enc_slice.resize(static_cast<size_t>(slice_bytes));
+    slice_dst = enc_slice.data();
+  }
   uint32_t payload_crc = 0;
   int64_t pos = 0;
   while (pos < info.payload_bytes) {
@@ -670,13 +916,17 @@ Result<Tensor> TensorStore::GetRows(const std::string& key, int64_t begin,
     const int64_t hi = std::min<int64_t>(pos + static_cast<int64_t>(chunk),
                                          slice_begin + slice_bytes);
     if (lo < hi) {
-      std::memcpy(out_bytes + (lo - slice_begin), buf.data() + (lo - pos),
+      std::memcpy(slice_dst + (lo - slice_begin), buf.data() + (lo - pos),
                   static_cast<size_t>(hi - lo));
     }
     pos += static_cast<int64_t>(chunk);
   }
   if (payload_crc != info.footer.payload_crc) {
     return CorruptionError("payload checksum mismatch: " + key);
+  }
+  if (info.dtype != ShardDtype::kF32) {
+    DecodeRows(info.dtype, enc_slice.data(), end - begin, info.per_record,
+               out.data());
   }
   if (stats_ != nullptr) stats_->RecordRead(info.payload_bytes);
   return out;
@@ -736,6 +986,20 @@ int64_t TensorStore::NumRows(const std::string& key) const {
     return 0;
   }
   return info.header.dims[0];
+}
+
+ShardDtype TensorStore::DtypeOf(const std::string& key) const {
+  const std::string path = PathFor(key);
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec) return ShardDtype::kF32;
+  File f(path, "rb");
+  if (!f.ok()) return ShardDtype::kF32;
+  ShardInfo info;
+  if (!ReadShardInfo(f.get(), static_cast<int64_t>(size), key, &info).ok()) {
+    return ShardDtype::kF32;
+  }
+  return info.dtype;
 }
 
 int64_t TensorStore::SizeBytes(const std::string& key) const {

@@ -21,6 +21,20 @@ struct KeyRange {
   int64_t end = -1;
 };
 
+/// On-disk element encoding of a shard payload. v1/v2 files are always f32;
+/// v3 files carry the dtype in their header. The header dims always describe
+/// the LOGICAL f32 tensor — reads of any dtype return the same shape.
+enum class ShardDtype : int64_t { kF32 = 0, kInt8 = 1, kF16 = 2 };
+
+const char* ShardDtypeName(ShardDtype dtype);
+
+/// Bytes one stored row (record) of `per_record` logical f32 elements
+/// occupies on disk under `dtype`. An int8 row is a self-contained
+/// [f32 absmax scale][per_record int8] unit — appends add whole rows and the
+/// incremental footer CRC covers scales and payload alike; an f16 row is
+/// 2 bytes per element.
+int64_t ShardRowBytes(ShardDtype dtype, int64_t per_record);
+
 /// Outcome of a TensorStore::Scrub pass over the shard directory.
 struct ScrubReport {
   int64_t checked = 0;      // .tns files examined
@@ -42,6 +56,14 @@ struct ScrubReport {
 /// torn or bit-flipped shards surface as IoError, never as wrong floats.
 /// Writes honor the process durability policy (integrity.h,
 /// NAUTILUS_DURABILITY / --durability).
+///
+/// Quantized shards (v3): when a writer passes ShardDtype::kInt8 / kF16 the
+/// file gets a v3 header (magic, dtype, rank, dims) and a row-encoded
+/// reduced-precision payload (see ShardRowBytes). v3 files always carry the
+/// CRC32C footer — it covers the quantized bytes and the per-row scales.
+/// Reads decode back to f32 once at cache-fill time (dequant-on-view), so
+/// warm reads stay zero-copy f32 views; legacy v1/v2 files stay readable
+/// alongside.
 ///
 /// Reads are zero-copy: a miss mmaps the shard (`MappedFile`) and parks a
 /// borrowed tensor in a byte-budgeted LRU cache (`IoCache`); hits and misses
@@ -65,10 +87,20 @@ class TensorStore {
 
   /// Writes (replacing any previous value). Writes a temp file and renames
   /// it into place so concurrently live mmap views never see truncation.
-  Status Put(const std::string& key, const Tensor& value);
+  /// Non-kF32 dtypes write a v3 quantized shard (lossy: int8 keeps ~2.4
+  /// significant digits per row, f16 ~3.3 — use only for recomputable feeds,
+  /// never for parameters).
+  Status Put(const std::string& key, const Tensor& value,
+             ShardDtype dtype = ShardDtype::kF32);
 
-  /// Appends rows along the batch dimension (creates the file if absent).
-  Status AppendRows(const std::string& key, const Tensor& rows);
+  /// Appends rows along the batch dimension (creates the file if absent,
+  /// with `dtype`). For an existing file the STORED dtype wins — a shard
+  /// never mixes encodings even if the quant mode changed between cycles.
+  Status AppendRows(const std::string& key, const Tensor& rows,
+                    ShardDtype dtype = ShardDtype::kF32);
+
+  /// Stored payload encoding of `key` (kF32 for v1/v2 files or when absent).
+  ShardDtype DtypeOf(const std::string& key) const;
 
   /// Reads the whole tensor. Returns a zero-copy view backed by the shard
   /// cache / file mapping; mutating the result detaches it (copy-on-write).

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "nautilus/tensor/qgemm.h"
 #include "nautilus/util/parallel.h"
 
 namespace nautilus {
@@ -90,6 +91,54 @@ Tensor DenseForward(const Tensor& x, const Tensor& w, const Tensor& bias,
   }
   Gemm(GemmTranspose::kNN, xv.rows, wv.cols, xv.cols, x.data(), w.data(),
        y.data(), ep);
+  return y;
+}
+
+Tensor QuantizedDenseForward(const Tensor& x, const quant::QuantizedMatrix& w,
+                             const Tensor& bias, EpilogueKind epilogue,
+                             Tensor* pre_activation) {
+  const MatView xv = As2D(x);
+  NAUTILUS_CHECK_EQ(xv.cols, w.rows)
+      << x.shape().ToString() << " x int8[" << w.rows << "," << w.cols << "]";
+  NAUTILUS_CHECK_EQ(bias.NumElements(), w.cols);
+  const float* px = x.data();
+  std::vector<int8_t> xq(static_cast<size_t>(xv.rows * xv.cols));
+  std::vector<float> xscales(static_cast<size_t>(xv.rows));
+  ParallelFor(
+      xv.rows,
+      [&](int64_t row_begin, int64_t row_end) {
+        for (int64_t i = row_begin; i < row_end; ++i) {
+          xscales[static_cast<size_t>(i)] = quant::QuantizeRowAbsMax(
+              px + i * xv.cols, xv.cols, xq.data() + i * xv.cols);
+        }
+      },
+      /*min_chunk=*/std::max<int64_t>(1, 4096 / std::max<int64_t>(xv.cols, 1)));
+  Tensor y = Tensor::Uninitialized(Shape({xv.rows, w.cols}));
+  Epilogue ep;
+  ep.kind = epilogue == EpilogueKind::kNone ? EpilogueKind::kBias : epilogue;
+  ep.bias = bias.data();
+  if (pre_activation != nullptr) {
+    *pre_activation = Tensor::Uninitialized(Shape({xv.rows, w.cols}));
+    ep.pre_activation = pre_activation->data();
+  }
+  QGemmInt8(xv.rows, w.cols, xv.cols, xq.data(), xscales.data(), w.q.data(),
+            w.scales.data(), y.data(), ep);
+  return y;
+}
+
+Tensor RoundTripF16(const Tensor& x) {
+  Tensor y = Tensor::Uninitialized(x.shape());
+  const float* px = x.data();
+  float* py = y.data();
+  const int64_t n = x.NumElements();
+  ParallelFor(
+      n,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          py[i] = quant::F16ToF32(quant::F32ToF16(px[i]));
+        }
+      },
+      /*min_chunk=*/4096);
   return y;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "nautilus/tensor/gemm.h"
+#include "nautilus/tensor/quant.h"
 #include "nautilus/tensor/tensor.h"
 
 namespace nautilus {
@@ -33,6 +34,21 @@ Tensor MatMulTN(const Tensor& a, const Tensor& b);
 /// the pre-activation (GELU).
 Tensor DenseForward(const Tensor& x, const Tensor& w, const Tensor& bias,
                     EpilogueKind epilogue, Tensor* pre_activation = nullptr);
+
+/// Quantized dense-layer forward for FROZEN layers: x is absmax-quantized
+/// per row on the fly, multiplied against the pre-quantized per-channel
+/// weights `w` by the packed int8 GEMM, and dequant + bias + activation are
+/// fused into the epilogue. Same signature semantics as DenseForward.
+/// Bitwise deterministic across thread counts and SIMD dispatch (exact
+/// integer accumulation); accuracy differs from DenseForward by the
+/// quantization error, so callers gate it on quant::GlobalQuantMode().
+Tensor QuantizedDenseForward(const Tensor& x, const quant::QuantizedMatrix& w,
+                             const Tensor& bias, EpilogueKind epilogue,
+                             Tensor* pre_activation = nullptr);
+
+/// Elementwise f32 -> f16 -> f32 round trip (the f16 storage/compute
+/// simulation: ~3 decimal digits of mantissa survive).
+Tensor RoundTripF16(const Tensor& x);
 
 /// Adds bias[n] to every row of x[m,n] in place.
 void AddBiasInPlace(Tensor* x, const Tensor& bias);

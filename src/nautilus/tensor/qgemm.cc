@@ -1,0 +1,389 @@
+#include "nautilus/tensor/qgemm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "nautilus/tensor/qgemm_kernels.h"
+#include "nautilus/util/buffer_pool.h"
+#include "nautilus/util/parallel.h"
+
+namespace nautilus {
+namespace ops {
+
+namespace internal {
+
+void QMicroKernelPortable(int64_t kc2, const int16_t* ap, const int16_t* bp,
+                          int32_t* c, int64_t ldc, bool accumulate) {
+  int32_t acc[kQMR * kQNR];
+  if (accumulate) {
+    for (int64_t i = 0; i < kQMR; ++i) {
+      for (int64_t j = 0; j < kQNR; ++j) acc[i * kQNR + j] = c[i * ldc + j];
+    }
+  } else {
+    for (int64_t i = 0; i < kQMR * kQNR; ++i) acc[i] = 0;
+  }
+  for (int64_t p = 0; p < kc2; ++p) {
+    const int16_t* bk = bp + p * kQNR * 2;
+    const int16_t* ak = ap + p * kQMR * 2;
+    for (int64_t i = 0; i < kQMR; ++i) {
+      const int32_t a0 = ak[i * 2];
+      const int32_t a1 = ak[i * 2 + 1];
+      int32_t* row = acc + i * kQNR;
+      for (int64_t j = 0; j < kQNR; ++j) {
+        row[j] += a0 * bk[j * 2] + a1 * bk[j * 2 + 1];
+      }
+    }
+  }
+  for (int64_t i = 0; i < kQMR; ++i) {
+    for (int64_t j = 0; j < kQNR; ++j) c[i * ldc + j] = acc[i * kQNR + j];
+  }
+}
+
+}  // namespace internal
+
+namespace {
+
+using internal::kQMR;
+using internal::kQNR;
+
+// Same BLIS blocking as the f32 GEMM (gemm.cc); the int8 panels are half the
+// bytes, so the working set is strictly smaller. kKC is even, so every kc
+// block starts on a pair boundary and the k-pair phase never shifts between
+// blocks.
+constexpr int64_t kKC = 256;
+constexpr int64_t kMC = 48;
+constexpr int64_t kNC = 2048;
+
+static_assert(kKC % 2 == 0, "k blocks must hold whole int16 pairs");
+static_assert(kMC % kQMR == 0, "row panels must hold whole micro-tiles");
+static_assert(kNC % kQNR == 0, "col blocks must hold whole micro-tiles");
+
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+
+using QMicroKernelFn = void (*)(int64_t, const int16_t*, const int16_t*,
+                                int32_t*, int64_t, bool);
+
+std::atomic<void (*)(bool)> g_observer{nullptr};
+
+void NotifyObserver(bool simd) {
+  if (auto* fn = g_observer.load(std::memory_order_relaxed)) fn(simd);
+}
+
+int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+// Must match ApplyActivation in gemm.cc bit for bit (same expressions, same
+// constants), so quantized and f32 dense layers share one activation
+// definition up to the quantization error of their inputs.
+float ApplyActivation(EpilogueKind kind, float z) {
+  switch (kind) {
+    case EpilogueKind::kNone:
+    case EpilogueKind::kBias:
+      return z;
+    case EpilogueKind::kBiasRelu:
+      return z > 0.0f ? z : 0.0f;
+    case EpilogueKind::kBiasTanh:
+      return std::tanh(z);
+    case EpilogueKind::kBiasGelu: {
+      const float t = std::tanh(kGeluC * (z + kGeluA * z * z * z));
+      return 0.5f * z * (1.0f + t);
+    }
+  }
+  return z;
+}
+
+// Packs rows [i0, i0+mc) x ks [pc, pc+kc) of the int8 A into kQMR-row panels
+// of sign-extended int16 k-pairs (see qgemm_kernels.h). Rows past mc and an
+// odd trailing k step are zero-padded.
+void PackA8(const int8_t* a, int64_t k, int64_t i0, int64_t mc, int64_t pc,
+            int64_t kc, int16_t* dst, bool simd) {
+  const int64_t kc2 = (kc + 1) / 2;
+  const int64_t panels = CeilDiv(mc, kQMR);
+  for (int64_t q = 0; q < panels; ++q) {
+    int16_t* panel = dst + q * kc2 * kQMR * 2;
+    const int64_t rows = std::min(kQMR, mc - q * kQMR);
+    // Row-at-a-time: each row's k-run is read sequentially and its pairs
+    // land at a stride of kQMR pairs inside the panel.
+    for (int64_t i = 0; i < rows; ++i) {
+      const int8_t* arow = a + (i0 + q * kQMR + i) * k + pc;
+      int16_t* slot0 = panel + i * 2;
+#ifdef NAUTILUS_HAVE_AVX2_KERNEL
+      if (simd) {
+        internal::PackARowPairsAvx2(arow, kc, slot0);
+        continue;
+      }
+#endif
+      for (int64_t p2 = 0; p2 < kc2; ++p2) {
+        int16_t* slot = slot0 + p2 * kQMR * 2;
+        slot[0] = arow[2 * p2];
+        slot[1] = (2 * p2 + 1) < kc ? int16_t{arow[2 * p2 + 1]} : int16_t{0};
+      }
+    }
+    for (int64_t i = rows; i < kQMR; ++i) {
+      for (int64_t p2 = 0; p2 < kc2; ++p2) {
+        int16_t* slot = panel + p2 * kQMR * 2 + i * 2;
+        slot[0] = 0;
+        slot[1] = 0;
+      }
+    }
+  }
+  (void)simd;
+}
+
+// Packs ks [pc, pc+kc) x cols [jc, jc+nc) of the int8 B ([k,n] row-major)
+// into kQNR-column panels of interleaved int16 k-pairs, zero-padded at the
+// right edge and on an odd trailing k step.
+void PackB8(const int8_t* b, int64_t n, int64_t pc, int64_t kc, int64_t jc,
+            int64_t nc, int16_t* dst, bool simd) {
+  const int64_t kc2 = (kc + 1) / 2;
+  const int64_t panels = CeilDiv(nc, kQNR);
+  nautilus::ParallelFor(
+      panels,
+      [&](int64_t qb, int64_t qe) {
+        for (int64_t q = qb; q < qe; ++q) {
+          int16_t* panel = dst + q * kc2 * kQNR * 2;
+          const int64_t cols = std::min(kQNR, nc - q * kQNR);
+          const int64_t col0 = jc + q * kQNR;
+          int64_t p2 = 0;
+#ifdef NAUTILUS_HAVE_AVX2_KERNEL
+          if (simd && cols == kQNR) {
+            // Full-width panel: each k-pair step interleaves two contiguous
+            // 16-byte runs of B, which the AVX2 path does in a handful of
+            // shuffles instead of 32 scalar stores.
+            for (; 2 * p2 + 1 < kc; ++p2) {
+              const int64_t k0 = pc + 2 * p2;
+              internal::PackBPairsAvx2(b + k0 * n + col0, b + (k0 + 1) * n + col0,
+                                       panel + p2 * kQNR * 2);
+            }
+          }
+#endif
+          for (; p2 < kc2; ++p2) {
+            int16_t* row = panel + p2 * kQNR * 2;
+            const int64_t k0 = pc + 2 * p2;
+            const bool has1 = (2 * p2 + 1) < kc;
+            for (int64_t j = 0; j < cols; ++j) {
+              row[j * 2] = b[k0 * n + col0 + j];
+              row[j * 2 + 1] = has1 ? b[(k0 + 1) * n + col0 + j] : int16_t{0};
+            }
+            for (int64_t j = cols; j < kQNR; ++j) {
+              row[j * 2] = 0;
+              row[j * 2 + 1] = 0;
+            }
+          }
+        }
+      },
+      /*min_chunk=*/4);
+  (void)simd;
+}
+
+// Fused dequant + bias + activation over one mr x nr int32 tile: one pass
+// writes the float output (and optional pre-activation). The dequant
+// expression float(acc) * a_scale * b_scale (in that order) is shared with
+// QGemmInt8Reference, so blocked and reference results are bit-identical.
+void DequantEpilogueTile(const int32_t* ci, int64_t ldci, int64_t mr,
+                         int64_t nr, int64_t row0, int64_t col0, int64_t n,
+                         const float* a_scales, const float* b_scales,
+                         const Epilogue& ep, float* cbase, bool simd) {
+#ifdef NAUTILUS_HAVE_AVX2_KERNEL
+  if (simd && nr == kQNR &&
+      (ep.kind == EpilogueKind::kNone || ep.kind == EpilogueKind::kBias ||
+       ep.kind == EpilogueKind::kBiasRelu)) {
+    const float* bias =
+        ep.kind == EpilogueKind::kNone ? nullptr : ep.bias + col0;
+    const bool relu = ep.kind == EpilogueKind::kBiasRelu;
+    for (int64_t i = 0; i < mr; ++i) {
+      float* prow = ep.pre_activation == nullptr
+                        ? nullptr
+                        : ep.pre_activation + (row0 + i) * n + col0;
+      internal::DequantRow16Avx2(ci + i * ldci, a_scales[row0 + i],
+                                 b_scales + col0, bias, relu,
+                                 cbase + (row0 + i) * n + col0, prow);
+    }
+    return;
+  }
+#endif
+  (void)simd;
+  for (int64_t i = 0; i < mr; ++i) {
+    const float sa = a_scales[row0 + i];
+    float* crow = cbase + (row0 + i) * n + col0;
+    float* prow = ep.pre_activation == nullptr
+                      ? nullptr
+                      : ep.pre_activation + (row0 + i) * n + col0;
+    for (int64_t j = 0; j < nr; ++j) {
+      float z = static_cast<float>(ci[i * ldci + j]) * sa * b_scales[col0 + j];
+      if (ep.kind != EpilogueKind::kNone) z += ep.bias[col0 + j];
+      if (prow != nullptr) prow[j] = z;
+      crow[j] = ApplyActivation(ep.kind, z);
+    }
+  }
+}
+
+// Degenerate k == 0: every integer accumulator is zero; the dequant + bias +
+// activation contract must still be honored over uninitialized outputs.
+void QGemmEmptyK(int64_t m, int64_t n, float* c, const float* a_scales,
+                 const float* b_scales, const Epilogue& ep) {
+  const int32_t zero = 0;
+  nautilus::ParallelFor(
+      m,
+      [&](int64_t rb, int64_t re) {
+        for (int64_t i = rb; i < re; ++i) {
+          for (int64_t j = 0; j < n; ++j) {
+            DequantEpilogueTile(&zero, 1, 1, 1, i, j, n, a_scales, b_scales,
+                                ep, c, /*simd=*/false);
+          }
+        }
+      },
+      /*min_chunk=*/std::max<int64_t>(1, 4096 / std::max<int64_t>(n, 1)));
+}
+
+// Rents a float buffer big enough to alias `n16` int16s / `n32` int32s.
+// float storage is 4-byte aligned, which satisfies both views.
+std::vector<float> RentFor16(util::BufferPool& pool, int64_t n16) {
+  return pool.Rent((n16 + 1) / 2);
+}
+
+// AVX512-VNNI probe, cached once. The VNNI kernel needs the F/BW/VL base
+// set too; all four always travel together on real parts, but check anyway.
+bool QGemmVnniAvailable() {
+#ifdef NAUTILUS_HAVE_VNNI_KERNEL
+  static const bool available =
+      __builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512vl") &&
+      __builtin_cpu_supports("avx512vnni");
+  return available;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+const char* QGemmDispatchName() {
+  if (GemmSimdEnabled() && QGemmVnniAvailable()) return "avx512-vnni";
+  return GemmDispatchName();
+}
+
+void SetQGemmObserver(void (*observer)(bool)) {
+  g_observer.store(observer, std::memory_order_relaxed);
+}
+
+void QGemmInt8(int64_t m, int64_t n, int64_t k, const int8_t* a,
+               const float* a_scales, const int8_t* b, const float* b_scales,
+               float* c, const Epilogue& ep) {
+  if (m <= 0 || n <= 0) return;
+  const bool simd = GemmSimdEnabled();
+  if (k <= 0) {
+    QGemmEmptyK(m, n, c, a_scales, b_scales, ep);
+    NotifyObserver(simd);
+    return;
+  }
+  QMicroKernelFn kernel = &internal::QMicroKernelPortable;
+#ifdef NAUTILUS_HAVE_AVX2_KERNEL
+  if (simd) kernel = &internal::QMicroKernelAvx2;
+#endif
+#ifdef NAUTILUS_HAVE_VNNI_KERNEL
+  if (simd && QGemmVnniAvailable()) kernel = &internal::QMicroKernelVnni;
+#endif
+  auto& pool = util::BufferPool::Global();
+
+  for (int64_t jc = 0; jc < n; jc += kNC) {
+    const int64_t nc = std::min(kNC, n - jc);
+    const int64_t npanels = CeilDiv(nc, kQNR);
+    const int64_t kc2_max = (std::min(kKC, k) + 1) / 2;
+    std::vector<float> bpack_f =
+        RentFor16(pool, npanels * kc2_max * kQNR * 2);
+    int16_t* bpack = reinterpret_cast<int16_t*>(bpack_f.data());
+    // Integer accumulators for the whole m x nc block persist across kc
+    // blocks; the fused dequant pass drains them once the last block lands.
+    std::vector<float> cint_f = pool.Rent(m * nc);
+    int32_t* cint = reinterpret_cast<int32_t*>(cint_f.data());
+
+    for (int64_t pc = 0; pc < k; pc += kKC) {
+      const int64_t kc = std::min(kKC, k - pc);
+      const int64_t kc2 = (kc + 1) / 2;
+      PackB8(b, n, pc, kc, jc, nc, bpack, simd);
+      const bool add_into = pc > 0;
+      const bool last_block = pc + kc == k;
+      const int64_t row_panels = CeilDiv(m, kMC);
+
+      // Fixed row-panel partitioning, as in the f32 GEMM. Integer adds are
+      // associative, so determinism here needs no ordering discipline — the
+      // partitioning just keeps panel packing local to one task.
+      nautilus::ParallelFor(
+          row_panels,
+          [&](int64_t pb, int64_t pe) {
+            std::vector<float> apack_f = RentFor16(pool, kc2 * kMC * 2);
+            int16_t* apack = reinterpret_cast<int16_t*>(apack_f.data());
+            int32_t tmp[kQMR * kQNR];
+            for (int64_t panel = pb; panel < pe; ++panel) {
+              const int64_t i0 = panel * kMC;
+              const int64_t mc = std::min(kMC, m - i0);
+              PackA8(a, k, i0, mc, pc, kc, apack, simd);
+              for (int64_t jr = 0; jr < nc; jr += kQNR) {
+                const int64_t nr = std::min(kQNR, nc - jr);
+                const int16_t* bp = bpack + (jr / kQNR) * kc2 * kQNR * 2;
+                for (int64_t ir = 0; ir < mc; ir += kQMR) {
+                  const int64_t mr = std::min(kQMR, mc - ir);
+                  const int16_t* ap = apack + (ir / kQMR) * kc2 * kQMR * 2;
+                  int32_t* ctile = cint + (i0 + ir) * nc + jr;
+                  if (mr == kQMR && nr == kQNR) {
+                    kernel(kc2, ap, bp, ctile, nc, add_into);
+                  } else {
+                    // Edge tile: stage through a full scratch tile so the
+                    // kernel path is identical to interior tiles.
+                    if (add_into) {
+                      for (int64_t i = 0; i < kQMR; ++i) {
+                        for (int64_t j = 0; j < kQNR; ++j) {
+                          tmp[i * kQNR + j] =
+                              (i < mr && j < nr) ? ctile[i * nc + j] : 0;
+                        }
+                      }
+                    }
+                    kernel(kc2, ap, bp, tmp, kQNR, add_into);
+                    for (int64_t i = 0; i < mr; ++i) {
+                      for (int64_t j = 0; j < nr; ++j) {
+                        ctile[i * nc + j] = tmp[i * kQNR + j];
+                      }
+                    }
+                  }
+                  if (last_block) {
+                    DequantEpilogueTile(ctile, nc, mr, nr, i0 + ir, jc + jr,
+                                        n, a_scales, b_scales, ep, c, simd);
+                  }
+                }
+              }
+            }
+            pool.Recycle(std::move(apack_f));
+          },
+          /*min_chunk=*/1);
+    }
+    pool.Recycle(std::move(cint_f));
+    pool.Recycle(std::move(bpack_f));
+  }
+  NotifyObserver(simd);
+}
+
+void QGemmInt8Reference(int64_t m, int64_t n, int64_t k, const int8_t* a,
+                        const float* a_scales, const int8_t* b,
+                        const float* b_scales, float* c, const Epilogue& ep) {
+  if (m <= 0 || n <= 0) return;
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      int32_t acc = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += static_cast<int32_t>(a[i * k + p]) *
+               static_cast<int32_t>(b[p * n + j]);
+      }
+      // Same dequant expression (and evaluation order) as the blocked path.
+      float z = static_cast<float>(acc) * a_scales[i] * b_scales[j];
+      if (ep.kind != EpilogueKind::kNone) z += ep.bias[j];
+      if (ep.pre_activation != nullptr) ep.pre_activation[i * n + j] = z;
+      c[i * n + j] = ApplyActivation(ep.kind, z);
+    }
+  }
+}
+
+}  // namespace ops
+}  // namespace nautilus

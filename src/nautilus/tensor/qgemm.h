@@ -1,0 +1,53 @@
+#ifndef NAUTILUS_TENSOR_QGEMM_H_
+#define NAUTILUS_TENSOR_QGEMM_H_
+
+#include <cstdint>
+
+#include "nautilus/tensor/gemm.h"
+
+namespace nautilus {
+namespace ops {
+
+/// Cache-blocked, packed, register-tiled int8 x int8 -> int32 GEMM with
+/// fused dequantization and epilogue:
+///
+///   C[i,j] = act( (sum_p A8[i,p] * B8[p,j]) * a_scales[i] * b_scales[j]
+///                 + bias[j] )
+///
+/// A8 is [m,k] row-major int8 (per-ROW scales: activations quantized with
+/// QuantizeRowAbsMax), B8 is [k,n] row-major int8 (per-COLUMN scales:
+/// weights quantized with QuantizePerColumn). The integer accumulation is
+/// exact (|q| <= 127 keeps every int16 pair product unsaturated), so the
+/// result is bitwise identical across thread counts AND across the AVX2 /
+/// portable kernels — stronger than the f32 Gemm contract, which only pins
+/// bits per dispatch path. Dequant + bias + activation run as one fused pass
+/// per output tile while it is hot in cache.
+///
+/// Exactness bound: the int32 accumulator overflows only past
+/// k > 2^31 / 127^2 ~ 133k, far beyond any layer here; the dequantized
+/// float is computed as float(acc) * a_scale * b_scale in that fixed order.
+void QGemmInt8(int64_t m, int64_t n, int64_t k, const int8_t* a,
+               const float* a_scales, const int8_t* b, const float* b_scales,
+               float* c, const Epilogue& epilogue = Epilogue{});
+
+/// Serial scalar reference (same int32 accumulation and dequant expression);
+/// ground truth for the parity tests — bitwise equal to QGemmInt8.
+void QGemmInt8Reference(int64_t m, int64_t n, int64_t k, const int8_t* a,
+                        const float* a_scales, const int8_t* b,
+                        const float* b_scales, float* c,
+                        const Epilogue& epilogue = Epilogue{});
+
+/// "avx512-vnni", "avx2" or "portable" — follows the f32 GEMM dispatch
+/// (GemmSimdEnabled / NAUTILUS_SIMD), so one switch pins both precisions;
+/// on VNNI-capable parts the SIMD path upgrades to vpdpwssd (still
+/// bit-exact with the other kernels).
+const char* QGemmDispatchName();
+
+/// Observability hook, called once per QGemmInt8 with the path taken.
+/// Installed by the obs layer; must be cheap and thread-safe.
+void SetQGemmObserver(void (*observer)(bool simd));
+
+}  // namespace ops
+}  // namespace nautilus
+
+#endif  // NAUTILUS_TENSOR_QGEMM_H_

@@ -1,0 +1,132 @@
+// AVX2 int8 micro-kernel, isolated in its own translation unit so only this
+// file is built with -mavx2 -mfma (same arrangement as gemm_avx2.cc); the
+// caller (qgemm.cc) selects the kernel at runtime via cpuid.
+#include "nautilus/tensor/qgemm_kernels.h"
+
+#ifdef NAUTILUS_HAVE_AVX2_KERNEL
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace nautilus {
+namespace ops {
+namespace internal {
+
+void QMicroKernelAvx2(int64_t kc2, const int16_t* ap, const int16_t* bp,
+                      int32_t* c, int64_t ldc, bool accumulate) {
+  // 6x16 int32 tile = 12 ymm accumulators; 2 ymm for the interleaved B pair
+  // row and 1 for the broadcast A pair leave one register spare.
+  __m256i acc0[kQMR];
+  __m256i acc1[kQMR];
+  if (accumulate) {
+    for (int64_t i = 0; i < kQMR; ++i) {
+      acc0[i] = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(c + i * ldc));
+      acc1[i] = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(c + i * ldc + 8));
+    }
+  } else {
+    for (int64_t i = 0; i < kQMR; ++i) {
+      acc0[i] = _mm256_setzero_si256();
+      acc1[i] = _mm256_setzero_si256();
+    }
+  }
+  for (int64_t p = 0; p < kc2; ++p) {
+    // B panel step p holds kQNR interleaved int16 pairs = 32 int16s; the
+    // first ymm covers output columns 0..7, the second 8..15.
+    const __m256i b0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bp + p * kQNR * 2));
+    const __m256i b1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bp + p * kQNR * 2 + 16));
+    const int16_t* ak = ap + p * kQMR * 2;
+    for (int64_t i = 0; i < kQMR; ++i) {
+      // Broadcast row i's int16 k-pair as one 32-bit lane; madd_epi16 then
+      // computes a0*b0 + a1*b1 per lane — exact, since |q| <= 127 keeps
+      // every pair product within int16*int16 range (no saturation).
+      int32_t pair;
+      std::memcpy(&pair, ak + i * 2, sizeof(pair));
+      const __m256i ai = _mm256_set1_epi32(pair);
+      acc0[i] = _mm256_add_epi32(acc0[i], _mm256_madd_epi16(ai, b0));
+      acc1[i] = _mm256_add_epi32(acc1[i], _mm256_madd_epi16(ai, b1));
+    }
+  }
+  for (int64_t i = 0; i < kQMR; ++i) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + i * ldc), acc0[i]);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + i * ldc + 8), acc1[i]);
+  }
+}
+
+void PackBPairsAvx2(const int8_t* r0, const int8_t* r1, int16_t* dst) {
+  // Sign-extend 16 int8s from each B row to int16, then interleave so that
+  // dst holds kQNR k-pairs: a0 b0 a1 b1 ... a15 b15. unpacklo/hi interleave
+  // within 128-bit lanes, so one cross-lane permute reassembles the order.
+  const __m256i x0 = _mm256_cvtepi8_epi16(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(r0)));
+  const __m256i x1 = _mm256_cvtepi8_epi16(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(r1)));
+  const __m256i lo = _mm256_unpacklo_epi16(x0, x1);
+  const __m256i hi = _mm256_unpackhi_epi16(x0, x1);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst),
+                      _mm256_permute2x128_si256(lo, hi, 0x20));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 16),
+                      _mm256_permute2x128_si256(lo, hi, 0x31));
+}
+
+void PackARowPairsAvx2(const int8_t* arow, int64_t kc, int16_t* dst) {
+  // One A row's k-run becomes sign-extended int16 pairs written at a stride
+  // of kQMR pairs (the row's slot inside each packed panel step). Eight
+  // pairs at a time: 16 int8s sign-extend to one ymm whose int32 lanes ARE
+  // the pairs; they bounce through an L1 scratch into the strided slots.
+  int64_t p2 = 0;
+  alignas(32) int32_t pairs[8];
+  for (; 2 * p2 + 16 <= kc; p2 += 8) {
+    const __m256i v = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(arow + 2 * p2)));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(pairs), v);
+    for (int t = 0; t < 8; ++t) {
+      std::memcpy(dst + (p2 + t) * kQMR * 2, &pairs[t], sizeof(int32_t));
+    }
+  }
+  for (; p2 < (kc + 1) / 2; ++p2) {
+    int16_t* slot = dst + p2 * kQMR * 2;
+    slot[0] = arow[2 * p2];
+    slot[1] = (2 * p2 + 1) < kc ? int16_t{arow[2 * p2 + 1]} : int16_t{0};
+  }
+}
+
+void DequantRow16Avx2(const int32_t* ci, float sa, const float* b_scales,
+                      const float* bias, bool relu, float* crow, float* prow) {
+  // Same IEEE expression per element as the scalar epilogue, in the same
+  // order — float(acc) * sa * b_scale, then + bias — so the vector path is
+  // bit-identical. max_ps(z, 0) matches scalar relu exactly too: for z=-0 it
+  // returns the second operand (+0), just like (z > 0 ? z : 0.0f).
+  const __m256 vsa = _mm256_set1_ps(sa);
+  __m256 z0 = _mm256_cvtepi32_ps(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ci)));
+  __m256 z1 = _mm256_cvtepi32_ps(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ci + 8)));
+  z0 = _mm256_mul_ps(_mm256_mul_ps(z0, vsa), _mm256_loadu_ps(b_scales));
+  z1 = _mm256_mul_ps(_mm256_mul_ps(z1, vsa), _mm256_loadu_ps(b_scales + 8));
+  if (bias != nullptr) {
+    z0 = _mm256_add_ps(z0, _mm256_loadu_ps(bias));
+    z1 = _mm256_add_ps(z1, _mm256_loadu_ps(bias + 8));
+  }
+  if (prow != nullptr) {
+    _mm256_storeu_ps(prow, z0);
+    _mm256_storeu_ps(prow + 8, z1);
+  }
+  if (relu) {
+    const __m256 zero = _mm256_setzero_ps();
+    z0 = _mm256_max_ps(z0, zero);
+    z1 = _mm256_max_ps(z1, zero);
+  }
+  _mm256_storeu_ps(crow, z0);
+  _mm256_storeu_ps(crow + 8, z1);
+}
+
+}  // namespace internal
+}  // namespace ops
+}  // namespace nautilus
+
+#endif  // NAUTILUS_HAVE_AVX2_KERNEL

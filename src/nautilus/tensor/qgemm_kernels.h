@@ -1,0 +1,74 @@
+#ifndef NAUTILUS_TENSOR_QGEMM_KERNELS_H_
+#define NAUTILUS_TENSOR_QGEMM_KERNELS_H_
+
+#include <cstdint>
+
+// Internal to the int8 GEMM: the register-tiled integer micro-kernels shared
+// between qgemm.cc (portable) and qgemm_avx2.cc (compiled with -mavx2).
+// Both compute the same kMR x kNR int32 tile update over packed panels of
+// SIGN-EXTENDED int16 k-PAIRS:
+//
+//   C_tile (+)= sum_{p2=0}^{kc2-1} ( ap[p2*kMR*2 + i*2 + 0] * bp[p2*kNR*2 + j*2 + 0]
+//                                  + ap[p2*kMR*2 + i*2 + 1] * bp[p2*kNR*2 + j*2 + 1] )
+//
+// `ap` holds kMR rows of A as interleaved k-pairs (two consecutive int16 per
+// row per pair step), `bp` holds kNR columns of B likewise. Odd trailing k
+// steps are zero-padded to a full pair by the packing routines, as are edge
+// rows/columns.
+//
+// The AVX2 kernel maps one k-pair directly onto _mm256_madd_epi16: the A
+// pair is broadcast as a 32-bit lane and multiply-added against 16
+// interleaved B int16s, yielding 8 exact int32 partial sums per vector.
+// Because |q| <= 127 everywhere (the quantizers never emit -128), every pair
+// product fits int16 x int16 -> int32 without saturation, so the portable
+// and AVX2 kernels produce bit-identical int32 tiles at any thread count —
+// integer addition is associative, there is no rounding anywhere.
+namespace nautilus {
+namespace ops {
+namespace internal {
+
+inline constexpr int64_t kQMR = 6;   // micro-tile rows (matches f32 kMR)
+inline constexpr int64_t kQNR = 16;  // micro-tile cols (matches f32 kNR)
+
+/// Scalar integer micro-kernel; `kc2` counts k-pairs.
+void QMicroKernelPortable(int64_t kc2, const int16_t* ap, const int16_t* bp,
+                          int32_t* c, int64_t ldc, bool accumulate);
+
+#ifdef NAUTILUS_HAVE_AVX2_KERNEL
+/// 6x16 _mm256_madd_epi16 micro-kernel: 12 ymm int32 accumulators, 2 B
+/// loads + 6 pair broadcasts per k-pair. Only call when GemmSimdAvailable().
+void QMicroKernelAvx2(int64_t kc2, const int16_t* ap, const int16_t* bp,
+                      int32_t* c, int64_t ldc, bool accumulate);
+
+/// Packs one full-width B step: 16 int8s from k-row `r0` and 16 from `r1`
+/// become kQNR interleaved sign-extended int16 pairs at `dst`. Integer-exact,
+/// so using it never perturbs kernel results.
+void PackBPairsAvx2(const int8_t* r0, const int8_t* r1, int16_t* dst);
+
+/// Packs one A row's k-run [0, kc) as sign-extended int16 pairs written at a
+/// stride of kQMR pairs; `dst` points at the row's first pair slot. An odd
+/// trailing k is zero-padded.
+void PackARowPairsAvx2(const int8_t* arow, int64_t kc, int16_t* dst);
+
+/// Vectorized dequant + bias (+ relu) over one 16-wide epilogue row —
+/// bit-identical to the scalar epilogue (same IEEE ops, same order, and
+/// max_ps(z, 0) matches (z > 0 ? z : 0.0f) including at -0). `bias` and
+/// `prow` may be null; tanh/gelu epilogues stay on the scalar path.
+void DequantRow16Avx2(const int32_t* ci, float sa, const float* b_scales,
+                      const float* bias, bool relu, float* crow, float* prow);
+#endif
+
+#ifdef NAUTILUS_HAVE_VNNI_KERNEL
+/// 6x16 vpdpwssd micro-kernel: the whole 16-column tile row is one zmm, and
+/// the madd+accumulate pair collapses into a single instruction. Bit-exact
+/// with the other kernels (vpdpwssd never saturates). Only call when
+/// qgemm.cc's cpuid probe reports AVX512-VNNI.
+void QMicroKernelVnni(int64_t kc2, const int16_t* ap, const int16_t* bp,
+                      int32_t* c, int64_t ldc, bool accumulate);
+#endif
+
+}  // namespace internal
+}  // namespace ops
+}  // namespace nautilus
+
+#endif  // NAUTILUS_TENSOR_QGEMM_KERNELS_H_

@@ -1,0 +1,106 @@
+// AVX512-VNNI int8 micro-kernel, isolated in its own translation unit so
+// only this file is built with the AVX-512 ISA flags; the caller (qgemm.cc)
+// selects it at runtime via cpuid. vpdpwssd fuses the madd + accumulate pair
+// the AVX2 kernel needs into ONE instruction over a full 512-bit lane — all
+// 16 output columns of the micro-tile per issue — which is what lifts the
+// int8 path past the 2x-over-f32 roofline bar.
+//
+// Exactness: vpdpwssd widens both int16 pair products to int32 before
+// accumulating (no intermediate saturation at all), and integer addition is
+// associative, so splitting the k-pair stream across two accumulator banks
+// below changes nothing about the result: this kernel is bit-identical to
+// the portable and AVX2 kernels.
+//
+// The accumulators are 12 individually named __m512i locals rather than
+// arrays: with arrays GCC rotates the live ranges through fresh registers
+// and pads every iteration with a dozen vmovdqa reg-reg copies, which
+// front-end-bounds the loop. Named locals pin each accumulator to one
+// register for the whole loop.
+#include "nautilus/tensor/qgemm_kernels.h"
+
+#ifdef NAUTILUS_HAVE_VNNI_KERNEL
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace nautilus {
+namespace ops {
+namespace internal {
+
+namespace {
+
+// Broadcast row i's int16 k-pair (32 bits) to all 16 int32 lanes. Kept as a
+// memory-operand broadcast (vpbroadcastd zmm, m32) so it issues on the load
+// ports, not the shuffle port.
+inline __m512i PairBroadcast(const int16_t* p) {
+  int32_t pair;
+  std::memcpy(&pair, p, sizeof(pair));
+  return _mm512_set1_epi32(pair);
+}
+
+}  // namespace
+
+void QMicroKernelVnni(int64_t kc2, const int16_t* ap, const int16_t* bp,
+                      int32_t* c, int64_t ldc, bool accumulate) {
+  // Two accumulator banks per row pair: vpdpwssd has multi-cycle latency, so
+  // a single bank of 6 dependency chains cannot keep both FMA ports fed.
+  // Even k-pairs land in e*, odd k-pairs in o*; one exact merge at the end.
+  __m512i e0 = _mm512_setzero_si512(), o0 = _mm512_setzero_si512();
+  __m512i e1 = _mm512_setzero_si512(), o1 = _mm512_setzero_si512();
+  __m512i e2 = _mm512_setzero_si512(), o2 = _mm512_setzero_si512();
+  __m512i e3 = _mm512_setzero_si512(), o3 = _mm512_setzero_si512();
+  __m512i e4 = _mm512_setzero_si512(), o4 = _mm512_setzero_si512();
+  __m512i e5 = _mm512_setzero_si512(), o5 = _mm512_setzero_si512();
+  if (accumulate) {
+    e0 = _mm512_loadu_si512(c + 0 * ldc);
+    e1 = _mm512_loadu_si512(c + 1 * ldc);
+    e2 = _mm512_loadu_si512(c + 2 * ldc);
+    e3 = _mm512_loadu_si512(c + 3 * ldc);
+    e4 = _mm512_loadu_si512(c + 4 * ldc);
+    e5 = _mm512_loadu_si512(c + 5 * ldc);
+  }
+  int64_t p = 0;
+  for (; p + 1 < kc2; p += 2) {
+    // One B step is kQNR interleaved int16 pairs = 32 int16s = one zmm;
+    // int32 lane j holds column j's k-pair.
+    const __m512i b0 = _mm512_loadu_si512(bp + p * kQNR * 2);
+    const __m512i b1 = _mm512_loadu_si512(bp + (p + 1) * kQNR * 2);
+    const int16_t* a0 = ap + p * kQMR * 2;
+    const int16_t* a1 = a0 + kQMR * 2;
+    e0 = _mm512_dpwssd_epi32(e0, PairBroadcast(a0 + 0), b0);
+    o0 = _mm512_dpwssd_epi32(o0, PairBroadcast(a1 + 0), b1);
+    e1 = _mm512_dpwssd_epi32(e1, PairBroadcast(a0 + 2), b0);
+    o1 = _mm512_dpwssd_epi32(o1, PairBroadcast(a1 + 2), b1);
+    e2 = _mm512_dpwssd_epi32(e2, PairBroadcast(a0 + 4), b0);
+    o2 = _mm512_dpwssd_epi32(o2, PairBroadcast(a1 + 4), b1);
+    e3 = _mm512_dpwssd_epi32(e3, PairBroadcast(a0 + 6), b0);
+    o3 = _mm512_dpwssd_epi32(o3, PairBroadcast(a1 + 6), b1);
+    e4 = _mm512_dpwssd_epi32(e4, PairBroadcast(a0 + 8), b0);
+    o4 = _mm512_dpwssd_epi32(o4, PairBroadcast(a1 + 8), b1);
+    e5 = _mm512_dpwssd_epi32(e5, PairBroadcast(a0 + 10), b0);
+    o5 = _mm512_dpwssd_epi32(o5, PairBroadcast(a1 + 10), b1);
+  }
+  if (p < kc2) {
+    const __m512i b0 = _mm512_loadu_si512(bp + p * kQNR * 2);
+    const int16_t* a0 = ap + p * kQMR * 2;
+    e0 = _mm512_dpwssd_epi32(e0, PairBroadcast(a0 + 0), b0);
+    e1 = _mm512_dpwssd_epi32(e1, PairBroadcast(a0 + 2), b0);
+    e2 = _mm512_dpwssd_epi32(e2, PairBroadcast(a0 + 4), b0);
+    e3 = _mm512_dpwssd_epi32(e3, PairBroadcast(a0 + 6), b0);
+    e4 = _mm512_dpwssd_epi32(e4, PairBroadcast(a0 + 8), b0);
+    e5 = _mm512_dpwssd_epi32(e5, PairBroadcast(a0 + 10), b0);
+  }
+  _mm512_storeu_si512(c + 0 * ldc, _mm512_add_epi32(e0, o0));
+  _mm512_storeu_si512(c + 1 * ldc, _mm512_add_epi32(e1, o1));
+  _mm512_storeu_si512(c + 2 * ldc, _mm512_add_epi32(e2, o2));
+  _mm512_storeu_si512(c + 3 * ldc, _mm512_add_epi32(e3, o3));
+  _mm512_storeu_si512(c + 4 * ldc, _mm512_add_epi32(e4, o4));
+  _mm512_storeu_si512(c + 5 * ldc, _mm512_add_epi32(e5, o5));
+}
+
+}  // namespace internal
+}  // namespace ops
+}  // namespace nautilus
+
+#endif  // NAUTILUS_HAVE_VNNI_KERNEL

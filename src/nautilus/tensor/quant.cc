@@ -1,0 +1,168 @@
+#include "nautilus/tensor/quant.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace nautilus {
+namespace quant {
+
+namespace {
+
+QuantMode ResolveInitialMode() {
+  if (const char* env = std::getenv("NAUTILUS_QUANT")) {
+    QuantMode mode;
+    if (ParseQuantMode(env, &mode)) return mode;
+  }
+  return QuantMode::kOff;
+}
+
+std::atomic<int>& ModeSlot() {
+  static std::atomic<int> mode{static_cast<int>(ResolveInitialMode())};
+  return mode;
+}
+
+}  // namespace
+
+QuantMode GlobalQuantMode() {
+  return static_cast<QuantMode>(ModeSlot().load(std::memory_order_relaxed));
+}
+
+void SetGlobalQuantMode(QuantMode mode) {
+  ModeSlot().store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+bool ParseQuantMode(const std::string& name, QuantMode* out) {
+  if (name == "off") {
+    *out = QuantMode::kOff;
+  } else if (name == "int8") {
+    *out = QuantMode::kInt8;
+  } else if (name == "f16") {
+    *out = QuantMode::kF16;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* QuantModeName(QuantMode mode) {
+  switch (mode) {
+    case QuantMode::kOff:
+      return "off";
+    case QuantMode::kInt8:
+      return "int8";
+    case QuantMode::kF16:
+      return "f16";
+  }
+  return "?";
+}
+
+uint16_t F32ToF16(float f) {
+  uint32_t x;
+  std::memcpy(&x, &f, sizeof(x));
+  const uint32_t sign = (x >> 16) & 0x8000u;
+  const uint32_t exp = (x >> 23) & 0xffu;
+  uint32_t man = x & 0x7fffffu;
+  if (exp == 0xff) {  // inf / NaN; keep NaNs NaN even if the payload shifts out
+    if (man == 0) return static_cast<uint16_t>(sign | 0x7c00u);
+    return static_cast<uint16_t>(sign | 0x7c00u | 0x200u | (man >> 13));
+  }
+  const int e = static_cast<int>(exp) - 127 + 15;
+  if (e >= 31) return static_cast<uint16_t>(sign | 0x7c00u);  // overflow -> inf
+  if (e <= 0) {
+    if (e < -10) return static_cast<uint16_t>(sign);  // underflow -> zero
+    // Subnormal: shift the (implicit-bit) mantissa into place, rounding to
+    // nearest-even on the dropped bits.
+    man |= 0x800000u;
+    const uint32_t shift = static_cast<uint32_t>(14 - e);
+    uint16_t half = static_cast<uint16_t>(man >> shift);
+    const uint32_t rem = man & ((1u << shift) - 1);
+    const uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half & 1u))) ++half;
+    return static_cast<uint16_t>(sign | half);
+  }
+  uint32_t half = (static_cast<uint32_t>(e) << 10) | (man >> 13);
+  const uint32_t rem = man & 0x1fffu;
+  // Round to nearest-even; a carry out of the mantissa correctly bumps the
+  // exponent (and 0x7bff + 1 == 0x7c00 == inf).
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;
+  return static_cast<uint16_t>(sign | half);
+}
+
+float F16ToF32(uint16_t h) {
+  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1fu;
+  uint32_t man = h & 0x3ffu;
+  uint32_t x;
+  if (exp == 0) {
+    if (man == 0) {
+      x = sign;  // +/- 0
+    } else {
+      // Subnormal: normalize into f32's much wider exponent range.
+      int e = 0;
+      do {
+        man <<= 1;
+        ++e;
+      } while ((man & 0x400u) == 0);
+      man &= 0x3ffu;
+      x = sign | (static_cast<uint32_t>(127 - 15 - e + 1) << 23) | (man << 13);
+    }
+  } else if (exp == 31) {
+    x = sign | 0x7f800000u | (man << 13);  // inf / NaN
+  } else {
+    x = sign | ((exp - 15 + 127) << 23) | (man << 13);
+  }
+  float f;
+  std::memcpy(&f, &x, sizeof(f));
+  return f;
+}
+
+float QuantizeRowAbsMax(const float* src, int64_t n, int8_t* dst) {
+  float absmax = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    absmax = std::max(absmax, std::fabs(src[i]));
+  }
+  const float scale = absmax / 127.0f;
+  const float inv = absmax > 0.0f ? 127.0f / absmax : 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    // lround (half away from zero) is rounding-mode independent, so the
+    // quantized bytes are deterministic across platforms and thread counts.
+    long q = std::lround(src[i] * inv);
+    q = std::min<long>(127, std::max<long>(-127, q));
+    dst[i] = static_cast<int8_t>(q);
+  }
+  return scale;
+}
+
+void DequantizeRow(const int8_t* q, int64_t n, float scale, float* dst) {
+  for (int64_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<float>(q[i]) * scale;
+  }
+}
+
+QuantizedMatrix QuantizePerColumn(const float* w, int64_t rows, int64_t cols) {
+  QuantizedMatrix out;
+  out.rows = rows;
+  out.cols = cols;
+  out.q.resize(static_cast<size_t>(rows * cols));
+  out.scales.resize(static_cast<size_t>(cols));
+  for (int64_t j = 0; j < cols; ++j) {
+    float absmax = 0.0f;
+    for (int64_t i = 0; i < rows; ++i) {
+      absmax = std::max(absmax, std::fabs(w[i * cols + j]));
+    }
+    out.scales[static_cast<size_t>(j)] = absmax / 127.0f;
+    const float inv = absmax > 0.0f ? 127.0f / absmax : 0.0f;
+    for (int64_t i = 0; i < rows; ++i) {
+      long q = std::lround(w[i * cols + j] * inv);
+      q = std::min<long>(127, std::max<long>(-127, q));
+      out.q[static_cast<size_t>(i * cols + j)] = static_cast<int8_t>(q);
+    }
+  }
+  return out;
+}
+
+}  // namespace quant
+}  // namespace nautilus

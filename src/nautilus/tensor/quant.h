@@ -1,0 +1,98 @@
+#ifndef NAUTILUS_TENSOR_QUANT_H_
+#define NAUTILUS_TENSOR_QUANT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nautilus {
+namespace quant {
+
+// ---------------------------------------------------------------------------
+// Process-wide quantization mode
+// ---------------------------------------------------------------------------
+
+/// Reduced-precision policy for frozen (inference-only) compute and for
+/// materialized feed shards. Trainable layers always stay f32 — quantization
+/// applies only where no gradient ever flows, so training semantics are
+/// untouched.
+///  - kOff:  everything f32 (default).
+///  - kInt8: frozen dense layers run the packed int8 GEMM with per-row
+///           activation scales and per-output-channel weight scales;
+///           materialized feeds are stored as int8 rows + f32 row scales
+///           (~0.25x the f32 bytes).
+///  - kF16:  frozen dense weights are rounded to IEEE half precision and
+///           materialized feeds are stored as f16 (0.5x the f32 bytes);
+///           arithmetic stays f32 (software f16 — storage precision, not a
+///           hardware compute path).
+enum class QuantMode { kOff, kInt8, kF16 };
+
+/// Process-wide mode, initialized from NAUTILUS_QUANT ("off" | "int8" |
+/// "f16", default off) on first use; SetGlobalQuantMode (the --quant CLI
+/// flag) overrides it.
+QuantMode GlobalQuantMode();
+void SetGlobalQuantMode(QuantMode mode);
+
+/// Parses "off" / "int8" / "f16"; returns false on anything else.
+bool ParseQuantMode(const std::string& name, QuantMode* out);
+const char* QuantModeName(QuantMode mode);
+
+/// RAII mode override for tests and benches.
+class ScopedQuantMode {
+ public:
+  explicit ScopedQuantMode(QuantMode mode) : prev_(GlobalQuantMode()) {
+    SetGlobalQuantMode(mode);
+  }
+  ~ScopedQuantMode() { SetGlobalQuantMode(prev_); }
+  ScopedQuantMode(const ScopedQuantMode&) = delete;
+  ScopedQuantMode& operator=(const ScopedQuantMode&) = delete;
+
+ private:
+  QuantMode prev_;
+};
+
+// ---------------------------------------------------------------------------
+// IEEE 754 half-precision conversion (software, round-to-nearest-even)
+// ---------------------------------------------------------------------------
+
+/// f32 -> f16 bits. Overflow saturates to +/-inf, underflow flushes through
+/// the f16 subnormal range to +/-0; NaN payloads are preserved (truncated).
+uint16_t F32ToF16(float f);
+
+/// f16 bits -> f32 (exact: every f16 value is representable in f32).
+float F16ToF32(uint16_t h);
+
+// ---------------------------------------------------------------------------
+// Absmax int8 quantization
+// ---------------------------------------------------------------------------
+//
+// Symmetric absmax scheme: q = round(x * 127 / absmax), clamped to
+// [-127, 127] (-128 is never produced, so |q| <= 127 keeps int16 pair
+// products exact in the packed GEMM). Dequant is x~ = q * scale with
+// scale = absmax / 127; the round-trip error is bounded by scale / 2.
+// An all-zero (or absmax == 0) row quantizes to zeros with scale 0.
+
+/// Quantizes `n` contiguous floats; returns the scale. `dst` holds n int8s.
+float QuantizeRowAbsMax(const float* src, int64_t n, int8_t* dst);
+
+/// Inverse: dst[i] = q[i] * scale.
+void DequantizeRow(const int8_t* q, int64_t n, float scale, float* dst);
+
+/// Per-output-channel quantized weight matrix: `q` is [rows, cols]
+/// row-major int8, `scales[j]` is the absmax scale of column j. This is the
+/// layout QGemmInt8 consumes for its B operand.
+struct QuantizedMatrix {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<int8_t> q;
+  std::vector<float> scales;
+};
+
+/// Quantizes a row-major [rows, cols] f32 matrix column-wise (one scale per
+/// output channel).
+QuantizedMatrix QuantizePerColumn(const float* w, int64_t rows, int64_t cols);
+
+}  // namespace quant
+}  // namespace nautilus
+
+#endif  // NAUTILUS_TENSOR_QUANT_H_

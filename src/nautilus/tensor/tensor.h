@@ -23,6 +23,13 @@ namespace nautilus {
 /// existing call site stays correct regardless of where a tensor came from.
 class Tensor {
  public:
+  /// In-memory tensors are always f32; every stride/byte computation must go
+  /// through this constant instead of a bare sizeof(float) so call sites that
+  /// slice external storage (e.g. the shard reader, which also handles int8
+  /// and f16 payloads) are explicit about WHICH element size they mean.
+  static constexpr int64_t kElementBytes =
+      static_cast<int64_t>(sizeof(float));
+
   Tensor() = default;
   explicit Tensor(Shape shape)
       : shape_(std::move(shape)),
@@ -63,6 +70,8 @@ class Tensor {
   /// keeps the backing storage (an mmap-ed file, a cache entry) alive for as
   /// long as this tensor — or any copy of it — exists. Copies share the
   /// holder; mutation detaches (copies the bytes into owned storage) first.
+  /// `data` MUST point at f32 elements (kElementBytes apart): quantized shard
+  /// payloads are decoded to f32 before they can back a view.
   static Tensor FromBorrowed(const float* data, Shape shape,
                              std::shared_ptr<const void> holder);
 
@@ -71,9 +80,7 @@ class Tensor {
 
   const Shape& shape() const { return shape_; }
   int64_t NumElements() const { return shape_.NumElements(); }
-  int64_t SizeBytes() const {
-    return NumElements() * static_cast<int64_t>(sizeof(float));
-  }
+  int64_t SizeBytes() const { return NumElements() * kElementBytes; }
   bool empty() const {
     return view_ == nullptr ? data_.empty() : NumElements() == 0;
   }

@@ -95,6 +95,39 @@ if ! diff <(grep -oE 'best model.*$' "$GEMM_A_OUT") \
 fi
 echo "gemm dispatch OK: model selection identical with NAUTILUS_SIMD=0/1"
 
+echo "==> quant gate"
+# Int8 quantization of frozen-layer compute and materialized feeds must not
+# change WHICH model gets picked (the 'best model N' sequence is identical),
+# and the final validation accuracy may degrade by at most epsilon. The
+# quant_test binary also reruns on the portable kernel: the int8 GEMM's
+# bitwise contract spans both dispatch paths.
+NAUTILUS_SIMD=0 "$BUILD_DIR/tests/quant_test" > /dev/null
+QUANT_OFF_OUT="$(mktemp /tmp/nautilus_ci_quant_off.XXXXXX.txt)"
+QUANT_INT8_OUT="$(mktemp /tmp/nautilus_ci_quant_int8.XXXXXX.txt)"
+trap 'rm -f "$TRACE_FILE" "$GEMM_A_OUT" "$GEMM_B_OUT" "$QUANT_OFF_OUT" "$QUANT_INT8_OUT"' EXIT
+"$BUILD_DIR/tools/nautilus_cli" \
+  --workload=FTR-2 --approach=nautilus --mode=measure \
+  --cycles=2 --records=60 --quant=off > "$QUANT_OFF_OUT"
+"$BUILD_DIR/tools/nautilus_cli" \
+  --workload=FTR-2 --approach=nautilus --mode=measure \
+  --cycles=2 --records=60 --quant=int8 > "$QUANT_INT8_OUT"
+if ! diff <(grep -oE 'best model [0-9]+' "$QUANT_OFF_OUT") \
+          <(grep -oE 'best model [0-9]+' "$QUANT_INT8_OUT"); then
+  echo "FAIL: model selection differs between --quant=off and --quant=int8"
+  exit 1
+fi
+ACC_OFF="$(grep -oE 'val-acc [0-9.]+' "$QUANT_OFF_OUT" | tail -n 1 | awk '{print $2}')"
+ACC_INT8="$(grep -oE 'val-acc [0-9.]+' "$QUANT_INT8_OUT" | tail -n 1 | awk '{print $2}')"
+if [ -z "$ACC_OFF" ] || [ -z "$ACC_INT8" ]; then
+  echo "FAIL: missing val-acc lines in quant gate runs"
+  exit 1
+fi
+if ! awk -v off="$ACC_OFF" -v q="$ACC_INT8" 'BEGIN { exit !(off - q <= 0.02) }'; then
+  echo "FAIL: int8 val-acc $ACC_INT8 degrades more than 0.02 from $ACC_OFF"
+  exit 1
+fi
+echo "quant OK: selection identical, val-acc off=$ACC_OFF int8=$ACC_INT8"
+
 echo "==> io-engine smoke test"
 # The bench self-checks: warm-cache epochs must read 0 disk bytes and every
 # read path must return bitwise-identical tensors (non-zero exit otherwise).
@@ -102,7 +135,7 @@ echo "==> io-engine smoke test"
 # And a measured CLI run must actually hit the shard cache: epoch 2+ feed
 # loads are served from memory, so a cache regression zeroes this counter.
 IO_SMOKE_OUT="$(mktemp /tmp/nautilus_ci_io_smoke.XXXXXX.txt)"
-trap 'rm -f "$TRACE_FILE" "$GEMM_A_OUT" "$GEMM_B_OUT" "$IO_SMOKE_OUT"' EXIT
+trap 'rm -f "$TRACE_FILE" "$GEMM_A_OUT" "$GEMM_B_OUT" "$QUANT_OFF_OUT" "$QUANT_INT8_OUT" "$IO_SMOKE_OUT"' EXIT
 "$BUILD_DIR/tools/nautilus_cli" \
   --workload=FTR-2 --approach=nautilus --mode=measure \
   --cycles=2 --records=60 --metrics-summary > "$IO_SMOKE_OUT"
@@ -119,7 +152,7 @@ echo "==> background-materialization smoke test"
 # and the run must finish through the completion barrier. NAUTILUS_BG_MAT=1
 # pins the default on even if the environment overrides it.
 BG_OUT="$(mktemp /tmp/nautilus_ci_bg.XXXXXX.txt)"
-trap 'rm -f "$TRACE_FILE" "$GEMM_A_OUT" "$GEMM_B_OUT" "$IO_SMOKE_OUT" "$BG_OUT"' EXIT
+trap 'rm -f "$TRACE_FILE" "$GEMM_A_OUT" "$GEMM_B_OUT" "$QUANT_OFF_OUT" "$QUANT_INT8_OUT" "$IO_SMOKE_OUT" "$BG_OUT"' EXIT
 NAUTILUS_BG_MAT=1 "$BUILD_DIR/tools/nautilus_cli" \
   --workload=FTR-2 --approach=nautilus --mode=measure \
   --cycles=3 --records=60 --threads=4 --metrics-summary > "$BG_OUT"
@@ -139,7 +172,7 @@ echo "==> crash-recovery smoke test"
 CR_DIR="$(mktemp -d /tmp/nautilus_ci_crash.XXXXXX)"
 CR_REF="$(mktemp /tmp/nautilus_ci_crash_ref.XXXXXX.txt)"
 CR_OUT="$(mktemp /tmp/nautilus_ci_crash_out.XXXXXX.txt)"
-trap 'rm -f "$TRACE_FILE" "$GEMM_A_OUT" "$GEMM_B_OUT" "$IO_SMOKE_OUT" "$CR_REF" "$CR_OUT"; rm -rf "$CR_DIR"' EXIT
+trap 'rm -f "$TRACE_FILE" "$GEMM_A_OUT" "$GEMM_B_OUT" "$QUANT_OFF_OUT" "$QUANT_INT8_OUT" "$IO_SMOKE_OUT" "$CR_REF" "$CR_OUT"; rm -rf "$CR_DIR"' EXIT
 
 # Reference run: uninterrupted, throwaway work dir. Its metrics summary says
 # how many storage commits (shard + checkpoint writes) a full run performs.

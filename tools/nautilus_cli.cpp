@@ -19,6 +19,9 @@
 //   --durability   none | flush | fsync — how hard store writes are pushed
 //                  toward disk before a commit reports success (default:
 //                  NAUTILUS_DURABILITY env or none)
+//   --quant     off | int8 | f16 — reduced-precision policy for frozen-layer
+//                  compute and materialized feed shards (default:
+//                  NAUTILUS_QUANT env or off). Trainable layers stay f32.
 //   --work-dir=PATH  persistent working directory for --mode=measure
 //                  (default: a throwaway temp dir). With a work dir the
 //                  session is saved after every cycle, so an interrupted
@@ -40,6 +43,7 @@
 #include "nautilus/obs/metrics.h"
 #include "nautilus/obs/trace.h"
 #include "nautilus/storage/integrity.h"
+#include "nautilus/tensor/quant.h"
 #include "nautilus/util/parallel.h"
 #include "nautilus/util/strings.h"
 #include "nautilus/workloads/runner.h"
@@ -107,6 +111,16 @@ int Run(int argc, char** argv) {
       std::exit(2);
     }
     storage::SetGlobalDurability(durability);
+  }
+  const std::string quant_name = FlagValue(argc, argv, "quant", "");
+  if (!quant_name.empty()) {
+    quant::QuantMode qmode;
+    if (!quant::ParseQuantMode(quant_name, &qmode)) {
+      std::fprintf(stderr, "unknown quant mode '%s' (off, int8, f16)\n",
+                   quant_name.c_str());
+      std::exit(2);
+    }
+    quant::SetGlobalQuantMode(qmode);
   }
   // Stamp the effective worker budget into the trace so exported runs are
   // self-describing (no-op when tracing is disabled).
@@ -252,8 +266,8 @@ int main(int argc, char** argv) {
           "          [--mode=simulate|measure] [--cycles=N] [--records=N]\n"
           "          [--disk-gb=25] [--mem-gb=10] [--seed=1] [--threads=N]\n"
           "          [--io-cache-mb=N] [--durability=none|flush|fsync]\n"
-          "          [--work-dir=PATH] [--resume] [--trace-out=FILE] "
-          "[--metrics-summary]\n",
+          "          [--quant=off|int8|f16] [--work-dir=PATH] [--resume]\n"
+          "          [--trace-out=FILE] [--metrics-summary]\n",
           argv[0]);
       return 0;
     }
