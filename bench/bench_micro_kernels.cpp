@@ -4,7 +4,10 @@
 // thread scaling, and inter-operator wavefront speedup).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cinttypes>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -15,6 +18,7 @@
 #include "nautilus/graph/model_graph.h"
 #include "nautilus/nn/basic.h"
 #include "nautilus/solver/maxflow.h"
+#include "nautilus/tensor/fused_ops.h"
 #include "nautilus/solver/milp.h"
 #include "nautilus/tensor/gemm.h"
 #include "nautilus/tensor/ops.h"
@@ -520,6 +524,226 @@ void BM_FusedGroupFwdBwd(benchmark::State& state) {
 }
 BENCHMARK(BM_FusedGroupFwdBwd)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
+// ---------------------------------------------------------------------------
+// Operator-fusion sweep: fused single-memory-pass chains vs the same ops run
+// node by node, across thread counts. Every run is bitwise-checked against
+// the unfused kernels first. Results print as a table and always land in
+// BENCH_fusion.json (regardless of --benchmark_filter), with two columns per
+// row:
+//   bytes_moved - estimated memory traffic of the variant (every op reads
+//                 its inputs and writes its output; fused chains touch only
+//                 the external inputs and the final output), and
+//   gbps        - chain footprint (external inputs + output, identical for
+//                 both variants) divided by wall time, so the fused/unfused
+//                 GB/s ratio IS the speedup.
+// ---------------------------------------------------------------------------
+
+struct FusionSweepRow {
+  std::string chain;
+  int threads = 0;
+  bool is_fused = false;
+  double bytes_moved = 0.0;
+  double gbps = 0.0;
+  double ms_per_iter = 0.0;
+  double speedup = 0.0;  // fused rows only: unfused_ms / fused_ms
+};
+
+// Best-of-N wall time: the minimum is the standard robust estimator under
+// scheduler noise (all interference inflates, never deflates, a repetition).
+double TimeSeconds(const std::function<void()>& fn) {
+  fn();  // warm the buffer pool and caches
+  fn();
+  double best = 1e30;
+  double elapsed = 0.0;
+  int reps = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  do {
+    const auto r0 = std::chrono::steady_clock::now();
+    fn();
+    const auto r1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(r1 - r0).count());
+    ++reps;
+    elapsed = std::chrono::duration<double>(r1 - t0).count();
+  } while (elapsed < 0.4 || reps < 5);
+  return best;
+}
+
+void RunFusionSweep() {
+  bench::PrintHeader(
+      "Operator-fusion sweep: fused chain vs node-at-a-time (bitwise-equal)");
+  constexpr int64_t kRows = 32768;
+  constexpr int64_t kCols = 256;
+  const double tensor_bytes = static_cast<double>(kRows * kCols) * 4.0;
+
+  Rng rng(42);
+  Tensor a = Tensor::Randn(Shape({kRows, kCols}), &rng, 1.0f);
+  Tensor b = Tensor::Randn(Shape({kRows, kCols}), &rng, 1.0f);
+  Tensor c2 = Tensor::Randn(Shape({kRows, kCols}), &rng, 1.0f);
+  Tensor gamma = Tensor::Full(Shape({kCols}), 1.0f);
+  Tensor beta = Tensor::Zeros(Shape({kCols}));
+
+  struct ChainCase {
+    std::string name;
+    fused::ChainPlan plan;
+    std::vector<std::vector<const Tensor*>> inputs;
+    std::function<Tensor()> unfused;
+    int external_inputs = 0;
+  };
+  std::vector<ChainCase> cases;
+
+  {  // Residual add -> relu -> LayerNorm (7 memory passes vs 3 fused).
+    ChainCase c;
+    c.name = "addn_relu_layernorm";
+    c.plan.ops.push_back({.kind = fused::OpKind::kAddN, .num_inputs = 2});
+    c.plan.ops.push_back({.kind = fused::OpKind::kRelu});
+    c.plan.ops.push_back({.kind = fused::OpKind::kLayerNorm,
+                          .gamma = &gamma,
+                          .beta = &beta,
+                          .eps = 1e-5f});
+    c.inputs = {{&a, &b}, {nullptr}, {nullptr}};
+    c.external_inputs = 2;
+    c.unfused = [&] {
+      Tensor s = ops::AddN({&a, &b});
+      Tensor r = ops::ReluForward(s);
+      ops::LayerNormCache cache;
+      return ops::LayerNormForward(r, gamma, beta, 1e-5f, &cache);
+    };
+    cases.push_back(std::move(c));
+  }
+  {  // Two residual adds around a relu, LayerNorm terminal (10 passes vs 4).
+    ChainCase c;
+    c.name = "double_residual_layernorm";
+    c.plan.ops.push_back({.kind = fused::OpKind::kAddN, .num_inputs = 2});
+    c.plan.ops.push_back({.kind = fused::OpKind::kRelu});
+    c.plan.ops.push_back({.kind = fused::OpKind::kAddN, .num_inputs = 2});
+    c.plan.ops.push_back({.kind = fused::OpKind::kLayerNorm,
+                          .gamma = &gamma,
+                          .beta = &beta,
+                          .eps = 1e-5f});
+    c.inputs = {{&a, &b}, {nullptr}, {nullptr, &c2}, {nullptr}};
+    c.external_inputs = 3;
+    c.unfused = [&] {
+      Tensor s = ops::AddN({&a, &b});
+      Tensor r = ops::ReluForward(s);
+      Tensor s2 = ops::AddN({&r, &c2});
+      ops::LayerNormCache cache;
+      return ops::LayerNormForward(s2, gamma, beta, 1e-5f, &cache);
+    };
+    cases.push_back(std::move(c));
+  }
+  {  // Relu -> softmax.
+    ChainCase c;
+    c.name = "relu_softmax";
+    c.plan.ops.push_back({.kind = fused::OpKind::kRelu});
+    c.plan.ops.push_back({.kind = fused::OpKind::kSoftmax});
+    c.inputs = {{&a}, {nullptr}};
+    c.external_inputs = 1;
+    c.unfused = [&] { return ops::SoftmaxForward(ops::ReluForward(a)); };
+    cases.push_back(std::move(c));
+  }
+  {  // Residual add -> relu -> tanh (pure elementwise chain).
+    ChainCase c;
+    c.name = "addn_relu_tanh";
+    c.plan.ops.push_back({.kind = fused::OpKind::kAddN, .num_inputs = 2});
+    c.plan.ops.push_back({.kind = fused::OpKind::kRelu});
+    c.plan.ops.push_back({.kind = fused::OpKind::kTanh});
+    c.inputs = {{&a, &b}, {nullptr}, {nullptr}};
+    c.external_inputs = 2;
+    c.unfused = [&] {
+      return ops::TanhForward(ops::ReluForward(ops::AddN({&a, &b})));
+    };
+    cases.push_back(std::move(c));
+  }
+
+  std::vector<FusionSweepRow> rows;
+  bench::PrintRow({"chain", "threads", "variant", "bytes_moved", "GB/s",
+                   "ms/iter", "speedup"},
+                  16);
+  for (ChainCase& c : cases) {
+    // Correctness gate before timing anything.
+    {
+      Tensor want = c.unfused();
+      Tensor got = fused::ChainForward(c.plan, c.inputs);
+      if (std::memcmp(want.data(), got.data(),
+                      static_cast<size_t>(want.NumElements()) *
+                          sizeof(float)) != 0) {
+        std::fprintf(stderr, "FUSION MISMATCH in %s -- not benchmarking\n",
+                     c.name.c_str());
+        continue;
+      }
+    }
+    const size_t k = c.plan.ops.size();
+    // Node-at-a-time: every op reads its inputs and writes its output.
+    double unfused_bytes = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      unfused_bytes +=
+          (static_cast<double>(c.plan.ops[i].num_inputs) + 1.0) * tensor_bytes;
+    }
+    const double fused_bytes =
+        (static_cast<double>(c.external_inputs) + 1.0) * tensor_bytes;
+    const double footprint = fused_bytes;  // same numerator for both GB/s
+
+    for (int threads : {1, 2, 8}) {
+      ScopedDegree degree(threads);
+      const double unfused_s = TimeSeconds([&] {
+        Tensor t = c.unfused();
+        benchmark::DoNotOptimize(t.data());
+      });
+      const double fused_s = TimeSeconds([&] {
+        Tensor t = fused::ChainForward(c.plan, c.inputs);
+        benchmark::DoNotOptimize(t.data());
+      });
+      const auto emit = [&](bool is_fused, double secs, double bytes) {
+        FusionSweepRow row;
+        row.chain = c.name;
+        row.threads = threads;
+        row.is_fused = is_fused;
+        row.bytes_moved = bytes;
+        row.gbps = footprint / secs / 1e9;
+        row.ms_per_iter = secs * 1e3;
+        row.speedup = is_fused ? unfused_s / fused_s : 0.0;
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.0f MiB", bytes / (1 << 20));
+        std::string speedup =
+            is_fused ? bench::Ratio(row.speedup) : std::string("-");
+        char gbps[32], ms[32];
+        std::snprintf(gbps, sizeof(gbps), "%.2f", row.gbps);
+        std::snprintf(ms, sizeof(ms), "%.2f", row.ms_per_iter);
+        bench::PrintRow({c.name, std::to_string(threads),
+                         is_fused ? "fused" : "unfused", buf, gbps, ms,
+                         speedup},
+                        16);
+        rows.push_back(std::move(row));
+      };
+      emit(false, unfused_s, unfused_bytes);
+      emit(true, fused_s, fused_bytes);
+    }
+  }
+
+  std::FILE* json = std::fopen("BENCH_fusion.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"rows\": %" PRId64 ",\n  \"cols\": %" PRId64
+                 ",\n  \"sweep\": [\n",
+                 kRows, kCols);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const FusionSweepRow& r = rows[i];
+      std::fprintf(json,
+                   "    {\"chain\": \"%s\", \"threads\": %d, "
+                   "\"variant\": \"%s\", \"bytes_moved\": %.0f, "
+                   "\"gbps\": %.4f, \"ms_per_iter\": %.4f, "
+                   "\"speedup\": %.4f}%s\n",
+                   r.chain.c_str(), r.threads,
+                   r.is_fused ? "fused" : "unfused", r.bytes_moved, r.gbps,
+                   r.ms_per_iter, r.speedup,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("fusion sweep written to BENCH_fusion.json\n");
+  }
+}
+
 }  // namespace
 }  // namespace nautilus
 
@@ -545,5 +769,8 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  // The fusion-plan sweep runs regardless of --benchmark_filter so a bare
+  // run always refreshes BENCH_fusion.json alongside BENCH_kernels.json.
+  nautilus::RunFusionSweep();
   return 0;
 }

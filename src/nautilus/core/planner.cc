@@ -6,6 +6,7 @@
 #include "nautilus/core/simulator.h"
 #include "nautilus/obs/metrics.h"
 #include "nautilus/obs/trace.h"
+#include "nautilus/tensor/fused_ops.h"
 #include "nautilus/tensor/quant.h"
 #include "nautilus/util/logging.h"
 
@@ -156,6 +157,10 @@ uint64_t PlanFingerprint(const MultiModelGraph& mm, MaterializationMode mode,
   // reflect it, but stamp the mode explicitly so a mode flip always replans
   // even for a workload with no materializable units.
   hash = FnvInt(hash, static_cast<int64_t>(quant::GlobalQuantMode()));
+  // Operator fusion never changes results (fused regions are bitwise
+  // identical to unfused), but it is part of the execution configuration the
+  // plan was costed under; stamp it so a toggle forces a fresh plan.
+  hash = FnvInt(hash, fused::FusionEnabled() ? 1 : 0);
 
   // Planning-relevant config: budgets, the cost model, overheads, and the
   // record-count scale r (the usual reason a replan differs).

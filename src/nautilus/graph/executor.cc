@@ -41,16 +41,96 @@ Executor::Executor(const ModelGraph* model) : model_(model) {
   // Backward calls Layer::Backward on every grad-carrying node, and that
   // accumulates the layer's parameter gradients in place. If one layer
   // instance with parameters sits at more than one such node, concurrent
-  // backward would race on those accumulations, so fall back to the
-  // sequential loop for the whole pass.
-  std::unordered_map<const nn::Layer*, int> grad_nodes_per_layer;
+  // backward would race on those accumulations, so those passes fall back to
+  // the sequential loop. Whether the fallback actually triggers is decided
+  // per pass: with a skip mask deactivating all but one of the layer's
+  // nodes, the parallel backward is safe.
+  std::unordered_map<const nn::Layer*, std::vector<int>> grad_nodes_per_layer;
   for (const GraphNode& node : nodes) {
     if (node.parents.empty()) continue;
     if (!needs_grad_[static_cast<size_t>(node.id)]) continue;
     if (node.layer->Params().empty()) continue;
-    if (++grad_nodes_per_layer[node.layer.get()] > 1) {
-      serial_backward_only_ = true;
+    grad_nodes_per_layer[node.layer.get()].push_back(node.id);
+  }
+  for (auto& [layer, ids] : grad_nodes_per_layer) {
+    (void)layer;
+    if (ids.size() > 1) dup_layer_nodes_.push_back(std::move(ids));
+  }
+
+  // Operator fusion: planned once per executor. BackwardSerial (the
+  // duplicated-parameter fallback) walks raw nodes and would need interior
+  // member outputs the fused forward never materializes, so fusion stays off
+  // whenever that fallback can trigger.
+  if (fused::FusionEnabled() && dup_layer_nodes_.empty()) {
+    fusion_plan_ = PlanFusion(*model_);
+  }
+  if (!fusion_plan_.empty()) {
+    static obs::Counter& regions_planned =
+        obs::MetricsRegistry::Global().counter("fusion.regions_planned");
+    regions_planned.Add(static_cast<int64_t>(fusion_plan_.regions.size()));
+    BuildSupers();
+  }
+}
+
+void Executor::BuildSupers() {
+  const auto& nodes = model_->nodes();
+  super_of_.assign(nodes.size(), -1);
+  for (const GraphNode& node : nodes) {
+    const int r = fusion_plan_.region_of[static_cast<size_t>(node.id)];
+    if (r >= 0) {
+      const FusedRegion& region = fusion_plan_.regions[static_cast<size_t>(r)];
+      if (region.node_ids.front() != node.id) continue;  // head creates
+      const int s = static_cast<int>(super_node_.size());
+      for (int id : region.node_ids) super_of_[static_cast<size_t>(id)] = s;
+      super_node_.push_back(region.node_ids.back());
+      super_region_.push_back(r);
+    } else {
+      super_of_[static_cast<size_t>(node.id)] =
+          static_cast<int>(super_node_.size());
+      super_node_.push_back(node.id);
+      super_region_.push_back(-1);
     }
+  }
+
+  const size_t n_supers = super_node_.size();
+  super_parents_.assign(n_supers, {});
+  super_children_.assign(n_supers, {});
+  for (const GraphNode& node : nodes) {
+    const int s = super_of_[static_cast<size_t>(node.id)];
+    for (int p : node.parents) {
+      const int sp = super_of_[static_cast<size_t>(p)];
+      if (sp != s) super_parents_[static_cast<size_t>(s)].push_back(sp);
+    }
+  }
+  for (size_t s = 0; s < n_supers; ++s) {
+    auto& ps = super_parents_[s];
+    std::sort(ps.begin(), ps.end());
+    ps.erase(std::unique(ps.begin(), ps.end()), ps.end());
+    for (int p : ps) {
+      super_children_[static_cast<size_t>(p)].push_back(static_cast<int>(s));
+    }
+  }
+  for (auto& cs : super_children_) std::sort(cs.begin(), cs.end());
+
+  // Per region: the first member the backward walk must reach (needs_grad_
+  // holds on a suffix of every chain), and a trace label.
+  region_grad_stop_.clear();
+  region_labels_.clear();
+  for (const FusedRegion& region : fusion_plan_.regions) {
+    int stop = static_cast<int>(region.node_ids.size());
+    for (size_t i = 0; i < region.node_ids.size(); ++i) {
+      if (needs_grad_[static_cast<size_t>(region.node_ids[i])]) {
+        stop = static_cast<int>(i);
+        break;
+      }
+    }
+    region_grad_stop_.push_back(stop);
+    std::string label;
+    for (const fused::OpDesc& op : region.plan.ops) {
+      if (!label.empty()) label += '|';
+      label += fused::OpKindName(op.kind);
+    }
+    region_labels_.push_back(std::move(label));
   }
 }
 
@@ -86,6 +166,21 @@ void Executor::Forward(const std::unordered_map<int, Tensor>& feeds,
   caches_.clear();
   caches_.resize(nodes.size());
   forward_was_training_ = training;
+
+  // Satellite of the duplicated-parameter fallback: serialize the coming
+  // backward only when >= 2 nodes of one parameterized layer instance are
+  // actually live (not skipped) this pass.
+  serial_backward_this_pass_ = false;
+  for (const auto& ids : dup_layer_nodes_) {
+    int live = 0;
+    for (int id : ids) {
+      if (skip == nullptr || !(*skip)[static_cast<size_t>(id)]) ++live;
+    }
+    if (live > 1) {
+      serial_backward_this_pass_ = true;
+      break;
+    }
+  }
 
   // FLOPs land in per-node slots and are summed in ascending id order after
   // the pass, so the double total has the same bits at every thread count.
@@ -135,57 +230,199 @@ void Executor::Forward(const std::unordered_map<int, Tensor>& feeds,
         static_cast<double>(batch);
   };
 
-  // Wavefront levels: deps[id] counts unsatisfied unique parents; a level is
-  // every node whose count hit zero. Skipped nodes complete immediately
-  // (producing nothing), so their non-skipped children fail the parent check
-  // exactly as the sequential walk did.
-  std::vector<int> deps(nodes.size(), 0);
-  std::vector<int> ready;
-  for (const GraphNode& node : nodes) {
-    deps[static_cast<size_t>(node.id)] =
-        static_cast<int>(parents_unique_[static_cast<size_t>(node.id)].size());
-    if (deps[static_cast<size_t>(node.id)] == 0) ready.push_back(node.id);
-  }
-
-  while (!ready.empty()) {
-    std::sort(ready.begin(), ready.end());
-    std::vector<int> work;
-    for (int id : ready) {
-      const GraphNode& node = nodes[static_cast<size_t>(id)];
-      if (skip != nullptr && (*skip)[static_cast<size_t>(id)]) continue;
-      if (node.parents.empty()) {
-        auto it = feeds.find(id);
-        NAUTILUS_CHECK(it != feeds.end())
-            << "missing feed for input node " << id << " ("
-            << node.layer->name() << ")";
-        outputs_[static_cast<size_t>(id)] = it->second;
-        continue;
-      }
-      work.push_back(id);
-    }
-    if (!work.empty()) {
-      width_hist.Record(static_cast<int64_t>(work.size()));
-      if (work.size() == 1 || ParallelismDegree() == 1) {
-        // Single-node levels run on the caller so the kernel keeps its full
-        // intra-op ParallelFor budget (inside a pool task it would collapse
-        // to serial).
-        for (int id : work) run_node(nodes[static_cast<size_t>(id)]);
-      } else {
-        TaskGroup group;
-        for (int id : work) {
-          group.Submit(
-              [&run_node, &nodes, id] { run_node(nodes[static_cast<size_t>(id)]); });
+  // Fused-region execution: gather external inputs, run the chain as one
+  // tiled memory pass, publish only the last member's output. Interior
+  // member outputs never materialize; per-member FLOPs still land in their
+  // own slots so the totals match the unfused pass bitwise.
+  static obs::Counter& bytes_saved =
+      obs::MetricsRegistry::Global().counter("fusion.bytes_saved");
+  auto run_region = [&](int r) {
+    const FusedRegion& region = fusion_plan_.regions[static_cast<size_t>(r)];
+    const size_t k = region.plan.ops.size();
+    std::vector<std::vector<const Tensor*>> inputs(k);
+    for (size_t i = 0; i < k; ++i) {
+      for (int pid : region.slot_parents[i]) {
+        if (pid < 0) {
+          inputs[i].push_back(nullptr);
+        } else {
+          const Tensor& t = outputs_[static_cast<size_t>(pid)];
+          NAUTILUS_CHECK(!t.empty()) << "parent " << pid << " not computed";
+          inputs[i].push_back(&t);
         }
-        group.Wait();
       }
     }
-    std::vector<int> next;
-    for (int id : ready) {
-      for (int c : children_unique_[static_cast<size_t>(id)]) {
-        if (--deps[static_cast<size_t>(c)] == 0) next.push_back(c);
-      }
+    const Shape chain_shape = inputs[0][0]->shape();
+    const int64_t batch = chain_shape.dim(0);
+    node_forwards.Add(static_cast<int64_t>(k));
+    {
+      obs::TraceScope region_span("exec.region.fwd",
+                                  region_labels_[static_cast<size_t>(r)]);
+      region_span.AddArg("nodes", static_cast<int>(k)).AddArg("batch", batch);
+      outputs_[static_cast<size_t>(region.node_ids.back())] =
+          fused::ChainForward(region.plan, inputs);
+      if (region_span.active()) node_ns.Record(region_span.ElapsedNs());
     }
-    ready = std::move(next);
+    bytes_saved.Add(static_cast<int64_t>(region.saved_bytes_per_record *
+                                         static_cast<double>(batch)));
+    const Shape chain_record = chain_shape.WithBatch(1);
+    for (size_t i = 0; i < k; ++i) {
+      const GraphNode& node = nodes[static_cast<size_t>(region.node_ids[i])];
+      std::vector<Shape> record_shapes;
+      record_shapes.reserve(region.slot_parents[i].size());
+      for (int pid : region.slot_parents[i]) {
+        record_shapes.push_back(
+            pid < 0 ? chain_record
+                    : outputs_[static_cast<size_t>(pid)].shape().WithBatch(1));
+      }
+      node_flops[static_cast<size_t>(node.id)] =
+          node.layer->ForwardFlopsPerRecord(record_shapes) *
+          static_cast<double>(batch);
+    }
+  };
+
+  if (fusion_plan_.empty()) {
+    // Wavefront levels: deps[id] counts unsatisfied unique parents; a level
+    // is every node whose count hit zero. Skipped nodes complete immediately
+    // (producing nothing), so their non-skipped children fail the parent
+    // check exactly as the sequential walk did.
+    std::vector<int> deps(nodes.size(), 0);
+    std::vector<int> ready;
+    for (const GraphNode& node : nodes) {
+      deps[static_cast<size_t>(node.id)] = static_cast<int>(
+          parents_unique_[static_cast<size_t>(node.id)].size());
+      if (deps[static_cast<size_t>(node.id)] == 0) ready.push_back(node.id);
+    }
+
+    while (!ready.empty()) {
+      std::sort(ready.begin(), ready.end());
+      std::vector<int> work;
+      for (int id : ready) {
+        const GraphNode& node = nodes[static_cast<size_t>(id)];
+        if (skip != nullptr && (*skip)[static_cast<size_t>(id)]) continue;
+        if (node.parents.empty()) {
+          auto it = feeds.find(id);
+          NAUTILUS_CHECK(it != feeds.end())
+              << "missing feed for input node " << id << " ("
+              << node.layer->name() << ")";
+          outputs_[static_cast<size_t>(id)] = it->second;
+          continue;
+        }
+        work.push_back(id);
+      }
+      if (!work.empty()) {
+        width_hist.Record(static_cast<int64_t>(work.size()));
+        if (work.size() == 1 || ParallelismDegree() == 1) {
+          // Single-node levels run on the caller so the kernel keeps its
+          // full intra-op ParallelFor budget (inside a pool task it would
+          // collapse to serial).
+          for (int id : work) run_node(nodes[static_cast<size_t>(id)]);
+        } else {
+          TaskGroup group;
+          for (int id : work) {
+            group.Submit(
+                [&run_node, &nodes, id] { run_node(nodes[static_cast<size_t>(id)]); });
+          }
+          group.Wait();
+        }
+      }
+      std::vector<int> next;
+      for (int id : ready) {
+        for (int c : children_unique_[static_cast<size_t>(id)]) {
+          if (--deps[static_cast<size_t>(c)] == 0) next.push_back(c);
+        }
+      }
+      ready = std::move(next);
+    }
+  } else {
+    // Same wavefront, but over super-nodes: a fused region schedules (and
+    // runs) as one unit. A region with every member skipped is skipped; a
+    // region the skip mask cuts through falls back to node-at-a-time for
+    // this pass, preserving unfused semantics exactly.
+    auto run_super = [&](int s) {
+      const int r = super_region_[static_cast<size_t>(s)];
+      if (r < 0) {
+        run_node(nodes[static_cast<size_t>(super_node_[static_cast<size_t>(s)])]);
+        return;
+      }
+      const auto& members =
+          fusion_plan_.regions[static_cast<size_t>(r)].node_ids;
+      bool any_skipped = false;
+      if (skip != nullptr) {
+        for (int id : members) {
+          if ((*skip)[static_cast<size_t>(id)]) {
+            any_skipped = true;
+            break;
+          }
+        }
+      }
+      if (any_skipped) {
+        for (int id : members) {
+          if (!(*skip)[static_cast<size_t>(id)]) {
+            run_node(nodes[static_cast<size_t>(id)]);
+          }
+        }
+      } else {
+        run_region(r);
+      }
+    };
+
+    std::vector<int> sdeps(super_node_.size(), 0);
+    std::vector<int> ready;
+    for (size_t s = 0; s < super_node_.size(); ++s) {
+      sdeps[s] = static_cast<int>(super_parents_[s].size());
+      if (sdeps[s] == 0) ready.push_back(static_cast<int>(s));
+    }
+    while (!ready.empty()) {
+      std::sort(ready.begin(), ready.end());
+      std::vector<int> work;
+      for (int s : ready) {
+        const int r = super_region_[static_cast<size_t>(s)];
+        if (r < 0) {
+          const int id = super_node_[static_cast<size_t>(s)];
+          const GraphNode& node = nodes[static_cast<size_t>(id)];
+          if (skip != nullptr && (*skip)[static_cast<size_t>(id)]) continue;
+          if (node.parents.empty()) {
+            auto it = feeds.find(id);
+            NAUTILUS_CHECK(it != feeds.end())
+                << "missing feed for input node " << id << " ("
+                << node.layer->name() << ")";
+            outputs_[static_cast<size_t>(id)] = it->second;
+            continue;
+          }
+          work.push_back(s);
+        } else {
+          const auto& members =
+              fusion_plan_.regions[static_cast<size_t>(r)].node_ids;
+          bool any_live = false;
+          for (int id : members) {
+            if (skip == nullptr || !(*skip)[static_cast<size_t>(id)]) {
+              any_live = true;
+              break;
+            }
+          }
+          if (any_live) work.push_back(s);
+        }
+      }
+      if (!work.empty()) {
+        width_hist.Record(static_cast<int64_t>(work.size()));
+        if (work.size() == 1 || ParallelismDegree() == 1) {
+          for (int s : work) run_super(s);
+        } else {
+          TaskGroup group;
+          for (int s : work) {
+            group.Submit([&run_super, s] { run_super(s); });
+          }
+          group.Wait();
+        }
+      }
+      std::vector<int> next;
+      for (int s : ready) {
+        for (int c : super_children_[static_cast<size_t>(s)]) {
+          if (--sdeps[static_cast<size_t>(c)] == 0) next.push_back(c);
+        }
+      }
+      ready = std::move(next);
+    }
   }
 
   for (size_t id = 0; id < nodes.size(); ++id) {
@@ -219,7 +456,7 @@ void Executor::Backward(const std::unordered_map<int, Tensor>& output_grads) {
     grads[static_cast<size_t>(id)] = g;
   }
 
-  if (serial_backward_only_) {
+  if (serial_backward_this_pass_) {
     BackwardSerial(&grads);
     return;
   }
@@ -289,56 +526,170 @@ void Executor::Backward(const std::unordered_map<int, Tensor>& output_grads) {
         static_cast<double>(batch) * (trainable ? 2.0 : 1.0);
   };
 
-  while (!ready.empty()) {
-    std::sort(ready.begin(), ready.end(), std::greater<int>());
-    // Reduce every ready slot deterministically before dispatch.
-    for (int id : ready) {
-      Tensor& slot = grads[static_cast<size_t>(id)];
-      const auto& children = children_unique_[static_cast<size_t>(id)];
-      for (auto it = children.rbegin(); it != children.rend(); ++it) {
-        const int c = *it;
-        std::vector<Tensor>& cg = contrib[static_cast<size_t>(c)];
-        if (cg.empty()) continue;  // child carried no gradient
-        const auto& cps = nodes[static_cast<size_t>(c)].parents;
-        for (size_t k = 0; k < cps.size(); ++k) {
-          if (cps[k] != id) continue;
-          Tensor& g = cg[k];
-          if (g.empty()) continue;
-          if (slot.empty()) {
-            slot = std::move(g);
-          } else {
-            ops::AxpyInPlace(1.0f, g, &slot);
+  // Deterministic slot reduction, shared by both scheduling modes: seed
+  // first (already in grads), then children in descending id order, slots
+  // ascending — the exact order of the sequential reverse-topological loop.
+  auto reduce_slot = [&](int id) {
+    Tensor& slot = grads[static_cast<size_t>(id)];
+    const auto& children = children_unique_[static_cast<size_t>(id)];
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      const int c = *it;
+      std::vector<Tensor>& cg = contrib[static_cast<size_t>(c)];
+      if (cg.empty()) continue;  // child carried no gradient
+      const auto& cps = nodes[static_cast<size_t>(c)].parents;
+      for (size_t k = 0; k < cps.size(); ++k) {
+        if (cps[k] != id) continue;
+        Tensor& g = cg[k];
+        if (g.empty()) continue;
+        if (slot.empty()) {
+          slot = std::move(g);
+        } else {
+          ops::AxpyInPlace(1.0f, g, &slot);
+        }
+      }
+    }
+  };
+
+  // Fused-region backward: recompute the chain's tile intermediates from the
+  // still-live external inputs and walk the gradient back in the same single
+  // memory pass. External-slot gradients land in the members' contrib slots,
+  // so the deterministic reduce above consumes them exactly as if each
+  // member's Layer::Backward had run.
+  auto run_region_bwd = [&](int r) {
+    const FusedRegion& region = fusion_plan_.regions[static_cast<size_t>(r)];
+    const int last = region.node_ids.back();
+    const size_t k = region.plan.ops.size();
+    const int stop = region_grad_stop_[static_cast<size_t>(r)];
+    std::vector<std::vector<const Tensor*>> inputs(k);
+    for (size_t i = 0; i < k; ++i) {
+      for (int pid : region.slot_parents[i]) {
+        inputs[i].push_back(
+            pid < 0 ? nullptr : &outputs_[static_cast<size_t>(pid)]);
+      }
+    }
+    std::vector<std::vector<Tensor>> igrads;
+    node_backwards.Add(static_cast<int64_t>(k) - stop);
+    {
+      obs::TraceScope region_span("exec.region.bwd",
+                                  region_labels_[static_cast<size_t>(r)]);
+      region_span.AddArg("nodes", static_cast<int>(k)).AddArg("stop", stop);
+      fused::ChainBackward(region.plan, inputs, grads[static_cast<size_t>(last)],
+                           stop, &igrads);
+      if (region_span.active()) node_ns.Record(region_span.ElapsedNs());
+    }
+    const Shape chain_shape = inputs[0][0]->shape();
+    const int64_t batch = chain_shape.dim(0);
+    const Shape chain_record = chain_shape.WithBatch(1);
+    for (size_t i = static_cast<size_t>(stop); i < k; ++i) {
+      const GraphNode& node = nodes[static_cast<size_t>(region.node_ids[i])];
+      contrib[static_cast<size_t>(node.id)] = std::move(igrads[i]);
+      std::vector<Shape> record_shapes;
+      record_shapes.reserve(region.slot_parents[i].size());
+      for (int pid : region.slot_parents[i]) {
+        record_shapes.push_back(
+            pid < 0 ? chain_record
+                    : outputs_[static_cast<size_t>(pid)].shape().WithBatch(1));
+      }
+      const bool trainable = !node.frozen && !node.layer->Params().empty();
+      node_flops[static_cast<size_t>(node.id)] =
+          node.layer->ForwardFlopsPerRecord(record_shapes) *
+          static_cast<double>(batch) * (trainable ? 2.0 : 1.0);
+    }
+  };
+
+  if (fusion_plan_.empty()) {
+    while (!ready.empty()) {
+      std::sort(ready.begin(), ready.end(), std::greater<int>());
+      // Reduce every ready slot deterministically before dispatch.
+      for (int id : ready) reduce_slot(id);
+      std::vector<int> work;
+      for (int id : ready) {
+        const GraphNode& node = nodes[static_cast<size_t>(id)];
+        if (node.parents.empty()) continue;
+        if (grads[static_cast<size_t>(id)].empty()) continue;
+        work.push_back(id);
+      }
+      if (!work.empty()) {
+        width_hist.Record(static_cast<int64_t>(work.size()));
+        if (work.size() == 1 || ParallelismDegree() == 1) {
+          for (int id : work) run_node(id);
+        } else {
+          TaskGroup group;
+          for (int id : work) {
+            group.Submit([&run_node, id] { run_node(id); });
           }
+          group.Wait();
         }
       }
+      std::vector<int> next;
+      for (int id : ready) {
+        for (int p : parents_unique_[static_cast<size_t>(id)]) {
+          if (!needs_grad_[static_cast<size_t>(p)]) continue;
+          if (--rdeps[static_cast<size_t>(p)] == 0) next.push_back(p);
+        }
+      }
+      ready = std::move(next);
     }
-    std::vector<int> work;
-    for (int id : ready) {
-      const GraphNode& node = nodes[static_cast<size_t>(id)];
-      if (node.parents.empty()) continue;
-      if (grads[static_cast<size_t>(id)].empty()) continue;
-      work.push_back(id);
+  } else {
+    // Reverse wavefront over super-nodes. A region's gradient enters only
+    // through its last member (the planner keeps interior values region-
+    // private), so one slot reduction per super suffices.
+    std::vector<bool> super_ng(super_node_.size(), false);
+    for (size_t s = 0; s < super_node_.size(); ++s) {
+      super_ng[s] = needs_grad_[static_cast<size_t>(super_node_[s])];
     }
-    if (!work.empty()) {
-      width_hist.Record(static_cast<int64_t>(work.size()));
-      if (work.size() == 1 || ParallelismDegree() == 1) {
-        for (int id : work) run_node(id);
+    std::vector<int> srdeps(super_node_.size(), 0);
+    std::vector<int> sready;
+    for (size_t s = 0; s < super_node_.size(); ++s) {
+      if (!super_ng[s]) continue;
+      srdeps[s] = static_cast<int>(super_children_[s].size());
+      if (srdeps[s] == 0) sready.push_back(static_cast<int>(s));
+    }
+
+    auto run_super = [&](int s) {
+      const int r = super_region_[static_cast<size_t>(s)];
+      if (r < 0) {
+        run_node(super_node_[static_cast<size_t>(s)]);
       } else {
-        TaskGroup group;
-        for (int id : work) {
-          group.Submit([&run_node, id] { run_node(id); });
+        run_region_bwd(r);
+      }
+    };
+
+    while (!sready.empty()) {
+      std::sort(sready.begin(), sready.end(), std::greater<int>());
+      for (int s : sready) reduce_slot(super_node_[static_cast<size_t>(s)]);
+      std::vector<int> work;
+      for (int s : sready) {
+        const int target = super_node_[static_cast<size_t>(s)];
+        const GraphNode& node = nodes[static_cast<size_t>(target)];
+        if (super_region_[static_cast<size_t>(s)] < 0 &&
+            node.parents.empty()) {
+          continue;
         }
-        group.Wait();
+        if (grads[static_cast<size_t>(target)].empty()) continue;
+        work.push_back(s);
       }
-    }
-    std::vector<int> next;
-    for (int id : ready) {
-      for (int p : parents_unique_[static_cast<size_t>(id)]) {
-        if (!needs_grad_[static_cast<size_t>(p)]) continue;
-        if (--rdeps[static_cast<size_t>(p)] == 0) next.push_back(p);
+      if (!work.empty()) {
+        width_hist.Record(static_cast<int64_t>(work.size()));
+        if (work.size() == 1 || ParallelismDegree() == 1) {
+          for (int s : work) run_super(s);
+        } else {
+          TaskGroup group;
+          for (int s : work) {
+            group.Submit([&run_super, s] { run_super(s); });
+          }
+          group.Wait();
+        }
       }
+      std::vector<int> next;
+      for (int s : sready) {
+        for (int p : super_parents_[static_cast<size_t>(s)]) {
+          if (!super_ng[static_cast<size_t>(p)]) continue;
+          if (--srdeps[static_cast<size_t>(p)] == 0) next.push_back(p);
+        }
+      }
+      sready = std::move(next);
     }
-    ready = std::move(next);
   }
 
   for (int id = static_cast<int>(nodes.size()) - 1; id >= 0; --id) {

@@ -2,9 +2,11 @@
 #define NAUTILUS_GRAPH_EXECUTOR_H_
 
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "nautilus/graph/fusion_planner.h"
 #include "nautilus/graph/model_graph.h"
 
 namespace nautilus {
@@ -56,6 +58,11 @@ class Executor {
   /// record x records, doubled/tripled for backward per the cost model).
   double flops_executed() const { return flops_executed_; }
 
+  /// Fused regions this executor runs (empty when NAUTILUS_FUSION is off, no
+  /// region cleared the cost model, or the duplicated-parameter serial
+  /// fallback can trigger). Snapshotted at construction.
+  const FusionPlan& fusion_plan() const { return fusion_plan_; }
+
   const ModelGraph& model() const { return *model_; }
 
  private:
@@ -69,13 +76,34 @@ class Executor {
   // same layer would race (and reorder float adds).
   void BackwardSerial(std::vector<Tensor>* grads);
 
+  // Collapses fused regions into super-nodes for wavefront scheduling
+  // (singleton supers for unfused nodes). Only called when regions exist.
+  void BuildSupers();
+
   const ModelGraph* model_;
   std::vector<bool> needs_grad_;   // some ancestor (or self) is trainable
   // Deduplicated adjacency (a node listing the same parent twice still
   // yields one scheduling edge); both sorted ascending by id.
   std::vector<std::vector<int>> parents_unique_;
   std::vector<std::vector<int>> children_unique_;
-  bool serial_backward_only_ = false;
+  // Node lists of parameterized layer instances that sit at >= 1 other
+  // grad-carrying node; whether the serial fallback actually triggers is
+  // decided per pass from the skip mask (a duplicate race needs >= 2 of the
+  // layer's nodes live in the same backward).
+  std::vector<std::vector<int>> dup_layer_nodes_;
+  bool serial_backward_this_pass_ = false;
+  // Operator-fusion state (empty plan => node-at-a-time execution, the exact
+  // pre-fusion code path). Supers are scheduling units: one per fused region
+  // plus one per unfused node; super_node_ is the region's last member for
+  // region supers (the only member value visible outside the region).
+  FusionPlan fusion_plan_;
+  std::vector<int> super_of_;      // node id -> super id
+  std::vector<int> super_node_;    // super -> representative node id
+  std::vector<int> super_region_;  // super -> region index, -1 = singleton
+  std::vector<std::vector<int>> super_parents_;   // unique, sorted
+  std::vector<std::vector<int>> super_children_;  // unique, sorted
+  std::vector<int> region_grad_stop_;  // first member index carrying grad
+  std::vector<std::string> region_labels_;
   std::vector<Tensor> outputs_;
   std::vector<std::unique_ptr<nn::LayerCache>> caches_;
   bool forward_was_training_ = false;

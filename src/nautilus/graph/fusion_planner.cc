@@ -1,0 +1,169 @@
+#include "nautilus/graph/fusion_planner.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "nautilus/util/logging.h"
+
+namespace nautilus {
+namespace graph {
+
+namespace {
+
+// ops.cc's fixed reduction chunk size; staging tiles must align to it so the
+// fused LayerNorm backward lands partials in the same chunk slots.
+constexpr int64_t kChunkRows = 256;
+// Reject regions whose alignment LCM would need a staging tile this tall —
+// the tile would fall out of cache and the fusion win with it.
+constexpr int64_t kMaxTileRows = 8192;
+
+struct ChildEdge {
+  int child = -1;
+  int slots = 0;  // how many of the child's parent slots consume this node
+};
+
+// Inverse edges with slot multiplicity (Add(x, x) consumes x via 2 slots).
+std::vector<std::vector<ChildEdge>> ChildEdges(const ModelGraph& graph) {
+  std::vector<std::vector<ChildEdge>> out(
+      static_cast<size_t>(graph.num_nodes()));
+  for (const GraphNode& node : graph.nodes()) {
+    for (int p : node.parents) {
+      auto& edges = out[static_cast<size_t>(p)];
+      auto it = std::find_if(edges.begin(), edges.end(),
+                             [&](const ChildEdge& e) {
+                               return e.child == node.id;
+                             });
+      if (it == edges.end()) {
+        edges.push_back({node.id, 1});
+      } else {
+        ++it->slots;
+      }
+    }
+  }
+  return out;
+}
+
+int64_t Lcm(int64_t a, int64_t b) { return std::lcm(a, b); }
+
+}  // namespace
+
+FusionPlan PlanFusion(const ModelGraph& graph,
+                      double min_saved_bytes_per_record) {
+  FusionPlan plan;
+  plan.region_of.assign(static_cast<size_t>(graph.num_nodes()), -1);
+
+  const auto children = ChildEdges(graph);
+  const std::vector<double> out_bytes = graph.NodeOutputBytesPerRecord();
+  const std::vector<Shape> unit_shapes = graph.NodeShapes(/*batch=*/1);
+
+  // Per-node fusibility, probed once.
+  std::vector<bool> fusible(static_cast<size_t>(graph.num_nodes()), false);
+  std::vector<fused::OpDesc> descs(static_cast<size_t>(graph.num_nodes()));
+  for (const GraphNode& node : graph.nodes()) {
+    if (graph.IsInput(node.id)) continue;
+    fusible[static_cast<size_t>(node.id)] =
+        node.layer->DescribeFusedOp(&descs[static_cast<size_t>(node.id)]);
+  }
+
+  // Greedy maximal chains, heads in topological order. A node consumed as a
+  // later chain member is already assigned by the time we reach it, so every
+  // chain found here is maximal.
+  for (int head = 0; head < graph.num_nodes(); ++head) {
+    if (!fusible[static_cast<size_t>(head)] ||
+        plan.region_of[static_cast<size_t>(head)] != -1) {
+      continue;
+    }
+    std::vector<int> chain = {head};
+    while (true) {
+      const int cur = chain.back();
+      // A non-terminal member's value must never escape the region: exactly
+      // one child, consuming it through exactly one slot, and not a graph
+      // output (outputs are read by the trainer / materializer).
+      if (graph.IsOutput(cur)) break;
+      if (descs[static_cast<size_t>(cur)].kind == fused::OpKind::kMeanPool) {
+        break;  // terminal-only
+      }
+      const auto& edges = children[static_cast<size_t>(cur)];
+      if (edges.size() != 1 || edges[0].slots != 1) break;
+      const int next = edges[0].child;
+      if (!fusible[static_cast<size_t>(next)] ||
+          plan.region_of[static_cast<size_t>(next)] != -1) {
+        break;
+      }
+      chain.push_back(next);
+    }
+    if (chain.size() < 2) continue;
+
+    // Bytes-moved cost model: each non-terminal member's output tensor is
+    // neither written nor re-read — one write + one read per record saved.
+    double saved = 0.0;
+    for (size_t i = 0; i + 1 < chain.size(); ++i) {
+      saved += 2.0 * out_bytes[static_cast<size_t>(chain[i])];
+    }
+    if (saved < min_saved_bytes_per_record) continue;
+
+    // Tile alignment: 256-row reduction chunks for LayerNorm, whole records
+    // for a mean-pool terminal.
+    FusedRegion region;
+    region.node_ids = chain;
+    region.saved_bytes_per_record = saved;
+    int64_t unit = 1;
+    bool ok = true;
+    for (size_t i = 0; i < chain.size(); ++i) {
+      const GraphNode& node = graph.node(chain[i]);
+      fused::OpDesc desc = descs[static_cast<size_t>(chain[i])];
+      desc.num_inputs = static_cast<int>(node.parents.size());
+      if (desc.kind == fused::OpKind::kLayerNorm) unit = Lcm(unit, kChunkRows);
+      if (desc.kind == fused::OpKind::kMeanPool) {
+        const Shape& in = unit_shapes[static_cast<size_t>(node.parents[0])];
+        if (in.rank() != 3) {
+          ok = false;
+          break;
+        }
+        unit = Lcm(unit, in.dim(1));
+      }
+      // Map parent slots: the unique slot fed by the previous chain member
+      // is the chain slot; everything else is external. The head is all
+      // external by construction.
+      std::vector<int> slots(node.parents.size());
+      int chain_slots = 0;
+      for (size_t s = 0; s < node.parents.size(); ++s) {
+        if (i > 0 && node.parents[s] == chain[i - 1]) {
+          slots[s] = -1;
+          ++chain_slots;
+        } else {
+          slots[s] = node.parents[s];
+        }
+      }
+      if (i > 0 && chain_slots != 1) {
+        ok = false;  // duplicate-edge consumption; single-slot rule
+        break;
+      }
+      // An external input that is itself a chain member would escape the
+      // single-consumer rule above; keep the check explicit regardless.
+      for (int s : slots) {
+        if (s >= 0 &&
+            std::find(chain.begin(), chain.end(), s) != chain.end()) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) break;
+      region.plan.ops.push_back(desc);
+      region.slot_parents.push_back(std::move(slots));
+    }
+    if (!ok) continue;
+    if (unit > kMaxTileRows) continue;  // pathological alignment LCM
+    region.plan.tile_rows =
+        unit * std::max<int64_t>(1, kChunkRows / unit);
+
+    const int idx = static_cast<int>(plan.regions.size());
+    for (int id : chain) plan.region_of[static_cast<size_t>(id)] = idx;
+    plan.regions.push_back(std::move(region));
+  }
+  return plan;
+}
+
+}  // namespace graph
+}  // namespace nautilus

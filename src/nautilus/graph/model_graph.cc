@@ -158,10 +158,20 @@ int64_t ModelGraph::TotalParamCount() const {
   return n;
 }
 
-std::string ModelGraph::ToDot() const {
+std::string ModelGraph::ToDot(
+    const std::vector<std::vector<int>>* fused_regions) const {
   const std::vector<bool> materializable = MaterializableMask();
+  // Node id -> fused-region index, for cluster placement.
+  std::vector<int> region_of(nodes_.size(), -1);
+  if (fused_regions != nullptr) {
+    for (size_t r = 0; r < fused_regions->size(); ++r) {
+      for (int id : (*fused_regions)[r]) {
+        region_of[static_cast<size_t>(id)] = static_cast<int>(r);
+      }
+    }
+  }
   std::string dot = "digraph \"" + name_ + "\" {\n  rankdir=LR;\n";
-  for (const GraphNode& node : nodes_) {
+  auto node_decl = [&](const GraphNode& node) {
     const size_t j = static_cast<size_t>(node.id);
     std::string attrs;
     if (node.parents.empty()) {
@@ -174,9 +184,23 @@ std::string ModelGraph::ToDot() const {
       attrs = "shape=ellipse, style=filled, fillcolor=lightgrey";
     }
     if (IsOutput(node.id)) attrs += ", penwidth=3";
-    dot += "  n" + std::to_string(node.id) + " [label=\"" +
-           node.layer->name() + "\\n" + node.layer->type_name() + "\", " +
-           attrs + "];\n";
+    return "n" + std::to_string(node.id) + " [label=\"" + node.layer->name() +
+           "\\n" + node.layer->type_name() + "\", " + attrs + "];\n";
+  };
+  for (const GraphNode& node : nodes_) {
+    if (region_of[static_cast<size_t>(node.id)] != -1) continue;
+    dot += "  " + node_decl(node);
+  }
+  if (fused_regions != nullptr) {
+    for (size_t r = 0; r < fused_regions->size(); ++r) {
+      dot += "  subgraph cluster_fused" + std::to_string(r) + " {\n" +
+             "    label=\"fused region " + std::to_string(r) +
+             "\";\n    style=dashed;\n    color=darkgreen;\n";
+      for (int id : (*fused_regions)[r]) {
+        dot += "    " + node_decl(nodes_[static_cast<size_t>(id)]);
+      }
+      dot += "  }\n";
+    }
   }
   for (const GraphNode& node : nodes_) {
     for (int p : node.parents) {

@@ -86,8 +86,11 @@ class ModelGraph {
 
   /// Graphviz DOT rendering: boxes for trainable layers, shaded ellipses
   /// for frozen ones, double circles for materializable nodes. Handy for
-  /// documentation and debugging freeze schemes.
-  std::string ToDot() const;
+  /// documentation and debugging freeze schemes. `fused_regions` (optional;
+  /// e.g. the node_ids of a FusionPlan's regions) renders each group as a
+  /// labeled cluster so fused single-pass chains are visible at a glance.
+  std::string ToDot(
+      const std::vector<std::vector<int>>* fused_regions = nullptr) const;
 
  private:
   std::string name_;

@@ -277,9 +277,209 @@ std::vector<Tensor> LayerNormLayer::Backward(
   return {dx};
 }
 
+bool LayerNormLayer::DescribeFusedOp(fused::OpDesc* op) {
+  if (gamma_.value.empty() || beta_.value.empty()) return false;  // stubs
+  op->kind = fused::OpKind::kLayerNorm;
+  op->num_inputs = 1;
+  op->gamma = &gamma_.value;
+  op->beta = &beta_.value;
+  op->dgamma_acc = &gamma_.grad;
+  op->dbeta_acc = &beta_.grad;
+  op->eps = kLayerNormEps;
+  return true;
+}
+
 std::shared_ptr<Layer> LayerNormLayer::Clone() const {
   return std::shared_ptr<Layer>(
       new LayerNormLayer(name_, dim_, gamma_, beta_));
+}
+
+// ---------------------------------------------------------------------------
+// ActivationLayer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class ActivationCache : public LayerCache {
+ public:
+  Tensor output;  // kept for relu / tanh; gelu re-reads the live input
+};
+
+}  // namespace
+
+ActivationLayer::ActivationLayer(std::string name, Activation activation)
+    : Layer(std::move(name)), activation_(activation) {
+  NAUTILUS_CHECK(activation_ != Activation::kNone)
+      << "ActivationLayer needs a real activation";
+}
+
+Shape ActivationLayer::OutputShape(const std::vector<Shape>& inputs) const {
+  NAUTILUS_CHECK_EQ(inputs.size(), 1u);
+  return inputs[0];
+}
+
+double ActivationLayer::ForwardFlopsPerRecord(
+    const std::vector<Shape>& input_record_shapes) const {
+  const double n =
+      static_cast<double>(input_record_shapes[0].NumElements());
+  return activation_ == Activation::kGelu ? 10.0 * n : n;
+}
+
+Tensor ActivationLayer::Forward(const std::vector<const Tensor*>& inputs,
+                                std::unique_ptr<LayerCache>* cache) const {
+  NAUTILUS_CHECK_EQ(inputs.size(), 1u);
+  Tensor y;
+  switch (activation_) {
+    case Activation::kNone:
+      NAUTILUS_CHECK(false);
+      break;
+    case Activation::kRelu:
+      y = ops::ReluForward(*inputs[0]);
+      break;
+    case Activation::kGelu:
+      y = ops::GeluForward(*inputs[0]);
+      break;
+    case Activation::kTanh:
+      y = ops::TanhForward(*inputs[0]);
+      break;
+  }
+  if (cache != nullptr) {
+    auto c = std::make_unique<ActivationCache>();
+    if (activation_ != Activation::kGelu) c->output = y.PooledCopy();
+    *cache = std::move(c);
+  }
+  return y;
+}
+
+std::vector<Tensor> ActivationLayer::Backward(
+    const Tensor& grad_out, const std::vector<const Tensor*>& inputs,
+    const LayerCache& cache) {
+  const auto& c = static_cast<const ActivationCache&>(cache);
+  switch (activation_) {
+    case Activation::kNone:
+      break;
+    case Activation::kRelu:
+      return {ops::ReluBackward(grad_out, c.output)};
+    case Activation::kGelu:
+      return {ops::GeluBackward(grad_out, *inputs[0])};
+    case Activation::kTanh:
+      return {ops::TanhBackward(grad_out, c.output)};
+  }
+  return {grad_out};
+}
+
+bool ActivationLayer::DescribeFusedOp(fused::OpDesc* op) {
+  switch (activation_) {
+    case Activation::kNone:
+      return false;
+    case Activation::kRelu:
+      op->kind = fused::OpKind::kRelu;
+      break;
+    case Activation::kGelu:
+      op->kind = fused::OpKind::kGelu;
+      break;
+    case Activation::kTanh:
+      op->kind = fused::OpKind::kTanh;
+      break;
+  }
+  op->num_inputs = 1;
+  return true;
+}
+
+std::shared_ptr<Layer> ActivationLayer::Clone() const {
+  return std::make_shared<ActivationLayer>(name_, activation_);
+}
+
+// ---------------------------------------------------------------------------
+// SoftmaxLayer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class SoftmaxCache : public LayerCache {
+ public:
+  Tensor probs;  // backward needs the forward output
+};
+
+}  // namespace
+
+Shape SoftmaxLayer::OutputShape(const std::vector<Shape>& inputs) const {
+  NAUTILUS_CHECK_EQ(inputs.size(), 1u);
+  return inputs[0];
+}
+
+double SoftmaxLayer::ForwardFlopsPerRecord(
+    const std::vector<Shape>& input_record_shapes) const {
+  // max + exp + sum + normalize: ~5 per element (exp dominates).
+  return 5.0 * static_cast<double>(input_record_shapes[0].NumElements());
+}
+
+Tensor SoftmaxLayer::Forward(const std::vector<const Tensor*>& inputs,
+                             std::unique_ptr<LayerCache>* cache) const {
+  NAUTILUS_CHECK_EQ(inputs.size(), 1u);
+  Tensor y = ops::SoftmaxForward(*inputs[0]);
+  if (cache != nullptr) {
+    auto c = std::make_unique<SoftmaxCache>();
+    c->probs = y.PooledCopy();
+    *cache = std::move(c);
+  }
+  return y;
+}
+
+std::vector<Tensor> SoftmaxLayer::Backward(
+    const Tensor& grad_out, const std::vector<const Tensor*>& inputs,
+    const LayerCache& cache) {
+  (void)inputs;
+  const auto& c = static_cast<const SoftmaxCache&>(cache);
+  return {ops::SoftmaxBackward(grad_out, c.probs)};
+}
+
+bool SoftmaxLayer::DescribeFusedOp(fused::OpDesc* op) {
+  op->kind = fused::OpKind::kSoftmax;
+  op->num_inputs = 1;
+  return true;
+}
+
+std::shared_ptr<Layer> SoftmaxLayer::Clone() const {
+  return std::make_shared<SoftmaxLayer>(name_);
+}
+
+// ---------------------------------------------------------------------------
+// F16RoundTripLayer
+// ---------------------------------------------------------------------------
+
+Shape F16RoundTripLayer::OutputShape(const std::vector<Shape>& inputs) const {
+  NAUTILUS_CHECK_EQ(inputs.size(), 1u);
+  return inputs[0];
+}
+
+double F16RoundTripLayer::ForwardFlopsPerRecord(
+    const std::vector<Shape>& input_record_shapes) const {
+  return static_cast<double>(input_record_shapes[0].NumElements());
+}
+
+Tensor F16RoundTripLayer::Forward(const std::vector<const Tensor*>& inputs,
+                                  std::unique_ptr<LayerCache>* cache) const {
+  NAUTILUS_CHECK_EQ(inputs.size(), 1u);
+  if (cache != nullptr) cache->reset();
+  return ops::RoundTripF16(*inputs[0]);
+}
+
+std::vector<Tensor> F16RoundTripLayer::Backward(
+    const Tensor& grad_out, const std::vector<const Tensor*>& inputs,
+    const LayerCache&) {
+  (void)inputs;
+  return {grad_out};  // straight-through estimator
+}
+
+bool F16RoundTripLayer::DescribeFusedOp(fused::OpDesc* op) {
+  op->kind = fused::OpKind::kRoundTripF16;
+  op->num_inputs = 1;
+  return true;
+}
+
+std::shared_ptr<Layer> F16RoundTripLayer::Clone() const {
+  return std::make_shared<F16RoundTripLayer>(name_);
 }
 
 }  // namespace nn

@@ -106,6 +106,7 @@ class LayerNormLayer : public Layer {
                                const std::vector<const Tensor*>& inputs,
                                const LayerCache& cache) override;
   std::vector<Parameter*> Params() override { return {&gamma_, &beta_}; }
+  bool DescribeFusedOp(fused::OpDesc* op) override;
   std::shared_ptr<Layer> Clone() const override;
 
  private:
@@ -115,6 +116,71 @@ class LayerNormLayer : public Layer {
   int64_t dim_;
   Parameter gamma_;
   Parameter beta_;
+};
+
+/// Standalone elementwise activation (relu/gelu/tanh) as a graph node —
+/// activations decoupled from a Dense epilogue (e.g. after a residual add).
+class ActivationLayer : public Layer {
+ public:
+  ActivationLayer(std::string name, Activation activation);
+
+  std::string type_name() const override { return "Activation"; }
+  Activation activation() const { return activation_; }
+
+  Shape OutputShape(const std::vector<Shape>& inputs) const override;
+  double ForwardFlopsPerRecord(
+      const std::vector<Shape>& input_record_shapes) const override;
+  Tensor Forward(const std::vector<const Tensor*>& inputs,
+                 std::unique_ptr<LayerCache>* cache) const override;
+  std::vector<Tensor> Backward(const Tensor& grad_out,
+                               const std::vector<const Tensor*>& inputs,
+                               const LayerCache& cache) override;
+  bool DescribeFusedOp(fused::OpDesc* op) override;
+  std::shared_ptr<Layer> Clone() const override;
+
+ private:
+  Activation activation_;
+};
+
+/// Row-wise softmax over the last dimension (attention-style normalization
+/// heads expressed at graph level).
+class SoftmaxLayer : public Layer {
+ public:
+  explicit SoftmaxLayer(std::string name) : Layer(std::move(name)) {}
+
+  std::string type_name() const override { return "Softmax"; }
+
+  Shape OutputShape(const std::vector<Shape>& inputs) const override;
+  double ForwardFlopsPerRecord(
+      const std::vector<Shape>& input_record_shapes) const override;
+  Tensor Forward(const std::vector<const Tensor*>& inputs,
+                 std::unique_ptr<LayerCache>* cache) const override;
+  std::vector<Tensor> Backward(const Tensor& grad_out,
+                               const std::vector<const Tensor*>& inputs,
+                               const LayerCache& cache) override;
+  bool DescribeFusedOp(fused::OpDesc* op) override;
+  std::shared_ptr<Layer> Clone() const override;
+};
+
+/// f32 -> f16 -> f32 round trip as a graph node: simulates half-precision
+/// activation transport (the PR 7 quant path) with a straight-through
+/// backward. Parameter-free, so always frozen in the graph.
+class F16RoundTripLayer : public Layer {
+ public:
+  explicit F16RoundTripLayer(std::string name) : Layer(std::move(name)) {}
+
+  std::string type_name() const override { return "F16RoundTrip"; }
+
+  Shape OutputShape(const std::vector<Shape>& inputs) const override;
+  double ForwardFlopsPerRecord(
+      const std::vector<Shape>& input_record_shapes) const override;
+  Tensor Forward(const std::vector<const Tensor*>& inputs,
+                 std::unique_ptr<LayerCache>* cache) const override;
+  std::vector<Tensor> Backward(const Tensor& grad_out,
+                               const std::vector<const Tensor*>& inputs,
+                               const LayerCache& cache) override;
+  bool DescribeFusedOp(fused::OpDesc* op) override;
+  std::shared_ptr<Layer> Clone() const override;
 };
 
 }  // namespace nn

@@ -38,6 +38,12 @@ std::vector<Tensor> AddLayer::Backward(const Tensor& grad_out,
   return std::vector<Tensor>(inputs.size(), grad_out);
 }
 
+bool AddLayer::DescribeFusedOp(fused::OpDesc* op) {
+  op->kind = fused::OpKind::kAddN;
+  op->num_inputs = 1;  // the planner widens this to the node's parent count
+  return true;
+}
+
 std::shared_ptr<Layer> AddLayer::Clone() const {
   return std::make_shared<AddLayer>(name_);
 }
@@ -114,6 +120,12 @@ std::vector<Tensor> MeanPoolLayer::Backward(
     const Tensor& grad_out, const std::vector<const Tensor*>& inputs,
     const LayerCache&) {
   return {ops::MeanPoolSeqBackward(grad_out, inputs[0]->shape())};
+}
+
+bool MeanPoolLayer::DescribeFusedOp(fused::OpDesc* op) {
+  op->kind = fused::OpKind::kMeanPool;
+  op->num_inputs = 1;
+  return true;
 }
 
 std::shared_ptr<Layer> MeanPoolLayer::Clone() const {

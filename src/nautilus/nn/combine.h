@@ -26,6 +26,7 @@ class AddLayer : public Layer {
   std::vector<Tensor> Backward(const Tensor& grad_out,
                                const std::vector<const Tensor*>& inputs,
                                const LayerCache& cache) override;
+  bool DescribeFusedOp(fused::OpDesc* op) override;
   std::shared_ptr<Layer> Clone() const override;
 };
 
@@ -61,6 +62,7 @@ class MeanPoolLayer : public Layer {
   std::vector<Tensor> Backward(const Tensor& grad_out,
                                const std::vector<const Tensor*>& inputs,
                                const LayerCache& cache) override;
+  bool DescribeFusedOp(fused::OpDesc* op) override;
   std::shared_ptr<Layer> Clone() const override;
 };
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "nautilus/tensor/fused_ops.h"
 #include "nautilus/tensor/shape.h"
 #include "nautilus/tensor/tensor.h"
 
@@ -133,6 +134,17 @@ class Layer {
   virtual Tensor ForwardQuantized(
       const std::vector<const Tensor*>& inputs) const {
     return Forward(inputs, nullptr);
+  }
+
+  /// Fusibility hook for the operator-fusion planner: when the layer is a
+  /// row-local elementwise/reduction op the fused-chain interpreter can
+  /// execute, fills `op` and returns true. The OpDesc references (never
+  /// copies) layer state — LayerNorm hands out its parameter values and
+  /// gradient accumulators — which is why the hook is non-const. The default
+  /// (opaque layer) returns false and fences fusion regions.
+  virtual bool DescribeFusedOp(fused::OpDesc* op) {
+    (void)op;
+    return false;
   }
 
   /// Back-propagates `grad_out`, returning gradients w.r.t. each input and

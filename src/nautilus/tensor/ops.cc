@@ -466,6 +466,30 @@ Tensor SoftmaxForward(const Tensor& logits) {
   return probs;
 }
 
+Tensor SoftmaxBackward(const Tensor& dy, const Tensor& y) {
+  const MatView v = As2D(dy);
+  NAUTILUS_CHECK(y.shape() == dy.shape());
+  Tensor dx = dy.PooledCopy();
+  float* pd = dx.data();
+  const float* py = y.data();
+  // Row-parallel: each row's dot product and rescale are independent.
+  ParallelFor(
+      v.rows,
+      [&](int64_t row_begin, int64_t row_end) {
+        for (int64_t i = row_begin; i < row_end; ++i) {
+          float* drow = pd + i * v.cols;
+          const float* yrow = py + i * v.cols;
+          float s = 0.0f;
+          for (int64_t j = 0; j < v.cols; ++j) s += drow[j] * yrow[j];
+          for (int64_t j = 0; j < v.cols; ++j) {
+            drow[j] = yrow[j] * (drow[j] - s);
+          }
+        }
+      },
+      /*min_chunk=*/std::max<int64_t>(1, 2048 / std::max<int64_t>(v.cols, 1)));
+  return dx;
+}
+
 float SoftmaxCrossEntropy(const Tensor& probs,
                           const std::vector<int32_t>& labels,
                           Tensor* dlogits) {

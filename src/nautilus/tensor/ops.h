@@ -111,6 +111,11 @@ void LayerNormBackward(const Tensor& dy, const Tensor& gamma,
 /// Row-wise softmax of logits [m, c].
 Tensor SoftmaxForward(const Tensor& logits);
 
+/// Backward of SoftmaxForward given its output `y`:
+/// dx_j = y_j * (dy_j - sum_k dy_k y_k). The per-row dot product accumulates
+/// sequentially in ascending column order (row-parallel, deterministic).
+Tensor SoftmaxBackward(const Tensor& dy, const Tensor& y);
+
 /// Mean cross-entropy of row-softmax probabilities vs integer labels, plus
 /// the gradient w.r.t. logits ((p - onehot) / m).
 float SoftmaxCrossEntropy(const Tensor& probs,

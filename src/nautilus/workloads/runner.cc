@@ -243,6 +243,10 @@ MeasuredRun MeasureRun(const BuiltWorkload& built, Approach approach,
     mc.cumulative_seconds = cumulative;
     mc.best_accuracy = result.best_accuracy;
     mc.best_model = result.best_model;
+    mc.val_losses.reserve(result.evals.size());
+    for (const core::BranchEval& eval : result.evals) {
+      mc.val_losses.push_back(eval.val_loss);
+    }
     run.cycles.push_back(mc);
     if (params.save_each_cycle) {
       NAUTILUS_CHECK_OK(selection.SaveSession());

@@ -73,6 +73,9 @@ struct MeasuredCycle {
   double cumulative_seconds = 0.0;
   float best_accuracy = 0.0f;
   int best_model = -1;
+  /// Per-candidate validation losses in workload order; bitwise-comparable
+  /// across runs that must agree exactly (e.g. the ci.sh fusion gate).
+  std::vector<float> val_losses;
 };
 
 struct MeasuredRun {

@@ -108,6 +108,17 @@ TEST(GradCheck, SoftmaxCrossEntropy) {
   ExpectGradientsClose(f, logits, dlogits, 1e-3);
 }
 
+TEST(GradCheck, SoftmaxBackward) {
+  Rng rng(21);
+  Tensor logits = Tensor::Randn(Shape({4, 5}), &rng, 1.0f);
+  Tensor w = Tensor::Randn(Shape({4, 5}), &rng, 1.0f);
+  Tensor y = ops::SoftmaxForward(logits);
+  Tensor dx = ops::SoftmaxBackward(w, y);
+  ExpectGradientsClose(
+      [&](const Tensor& p) { return WeightedSum(ops::SoftmaxForward(p), w); },
+      logits, dx, 1e-3);
+}
+
 TEST(GradCheck, MeanPoolSeq) {
   Rng rng(15);
   Tensor x = Tensor::Randn(Shape({2, 3, 4}), &rng, 1.0f);

@@ -7,12 +7,15 @@
 # (NAUTILUS_FAULT=crash_after_write:N), corrupts a shard, and asserts the
 # resumed run converges to the reference model selection, a GEMM parity gate
 # (both dispatch paths via NAUTILUS_SIMD=0/1, plus a model-selection
-# equivalence check between them), a background-materialization smoke test
+# equivalence check between them), an operator-fusion gate
+# (NAUTILUS_FUSION=0 vs =1 must select identical models with bitwise-equal
+# losses), a background-materialization smoke test
 # (an evolving-workload run whose per-cycle appends must complete on the
 # thread pool), and — when the sanitizer runtimes are available — an
 # AddressSanitizer build over the buffer-pool/GEMM tests and a
 # ThreadSanitizer build running the threaded pool/executor/trainer tests
-# plus the background-materialization test.
+# plus the background-materialization and fused-execution tests (with
+# NAUTILUS_FUSION=1 so the fused interpreter runs under TSAN).
 #
 # Usage: tools/ci.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -128,6 +131,32 @@ if ! awk -v off="$ACC_OFF" -v q="$ACC_INT8" 'BEGIN { exit !(off - q <= 0.02) }';
 fi
 echo "quant OK: selection identical, val-acc off=$ACC_OFF int8=$ACC_INT8"
 
+echo "==> fusion gate"
+# Operator fusion must be a pure execution-strategy change: a fused region
+# replays the unfused ops' exact arithmetic (fixed 256-row tiles, ascending
+# accumulation), so turning the planner on may never change WHICH model is
+# selected nor any candidate's validation loss — the per-cycle loss lines
+# are printed as hex floats and diffed for bitwise identity. Today's zoo
+# graphs express transformer blocks as monolithic layers, so this CLI check
+# chiefly pins the flag plumbing and planner fingerprint; the fused
+# interpreter's bitwise contract across thread degrees 1/2/8 is covered by
+# fusion_test in ctest (and in the TSAN stage below).
+FUSION_OFF_OUT="$(mktemp /tmp/nautilus_ci_fusion_off.XXXXXX.txt)"
+FUSION_ON_OUT="$(mktemp /tmp/nautilus_ci_fusion_on.XXXXXX.txt)"
+trap 'rm -f "$TRACE_FILE" "$GEMM_A_OUT" "$GEMM_B_OUT" "$QUANT_OFF_OUT" "$QUANT_INT8_OUT" "$FUSION_OFF_OUT" "$FUSION_ON_OUT"' EXIT
+NAUTILUS_FUSION=0 "$BUILD_DIR/tools/nautilus_cli" \
+  --workload=FTR-2 --approach=nautilus --mode=measure \
+  --cycles=2 --records=60 --print-losses > "$FUSION_OFF_OUT"
+NAUTILUS_FUSION=1 "$BUILD_DIR/tools/nautilus_cli" \
+  --workload=FTR-2 --approach=nautilus --mode=measure \
+  --cycles=2 --records=60 --print-losses > "$FUSION_ON_OUT"
+if ! diff <(grep -oE 'best model.*$|losses.*$' "$FUSION_OFF_OUT") \
+          <(grep -oE 'best model.*$|losses.*$' "$FUSION_ON_OUT"); then
+  echo "FAIL: selection or losses differ between NAUTILUS_FUSION=0 and =1"
+  exit 1
+fi
+echo "fusion OK: selection and per-candidate losses bitwise-identical"
+
 echo "==> io-engine smoke test"
 # The bench self-checks: warm-cache epochs must read 0 disk bytes and every
 # read path must return bitwise-identical tensors (non-zero exit otherwise).
@@ -135,7 +164,7 @@ echo "==> io-engine smoke test"
 # And a measured CLI run must actually hit the shard cache: epoch 2+ feed
 # loads are served from memory, so a cache regression zeroes this counter.
 IO_SMOKE_OUT="$(mktemp /tmp/nautilus_ci_io_smoke.XXXXXX.txt)"
-trap 'rm -f "$TRACE_FILE" "$GEMM_A_OUT" "$GEMM_B_OUT" "$QUANT_OFF_OUT" "$QUANT_INT8_OUT" "$IO_SMOKE_OUT"' EXIT
+trap 'rm -f "$TRACE_FILE" "$GEMM_A_OUT" "$GEMM_B_OUT" "$QUANT_OFF_OUT" "$QUANT_INT8_OUT" "$FUSION_OFF_OUT" "$FUSION_ON_OUT" "$IO_SMOKE_OUT"' EXIT
 "$BUILD_DIR/tools/nautilus_cli" \
   --workload=FTR-2 --approach=nautilus --mode=measure \
   --cycles=2 --records=60 --metrics-summary > "$IO_SMOKE_OUT"
@@ -152,7 +181,7 @@ echo "==> background-materialization smoke test"
 # and the run must finish through the completion barrier. NAUTILUS_BG_MAT=1
 # pins the default on even if the environment overrides it.
 BG_OUT="$(mktemp /tmp/nautilus_ci_bg.XXXXXX.txt)"
-trap 'rm -f "$TRACE_FILE" "$GEMM_A_OUT" "$GEMM_B_OUT" "$QUANT_OFF_OUT" "$QUANT_INT8_OUT" "$IO_SMOKE_OUT" "$BG_OUT"' EXIT
+trap 'rm -f "$TRACE_FILE" "$GEMM_A_OUT" "$GEMM_B_OUT" "$QUANT_OFF_OUT" "$QUANT_INT8_OUT" "$FUSION_OFF_OUT" "$FUSION_ON_OUT" "$IO_SMOKE_OUT" "$BG_OUT"' EXIT
 NAUTILUS_BG_MAT=1 "$BUILD_DIR/tools/nautilus_cli" \
   --workload=FTR-2 --approach=nautilus --mode=measure \
   --cycles=3 --records=60 --threads=4 --metrics-summary > "$BG_OUT"
@@ -172,7 +201,7 @@ echo "==> crash-recovery smoke test"
 CR_DIR="$(mktemp -d /tmp/nautilus_ci_crash.XXXXXX)"
 CR_REF="$(mktemp /tmp/nautilus_ci_crash_ref.XXXXXX.txt)"
 CR_OUT="$(mktemp /tmp/nautilus_ci_crash_out.XXXXXX.txt)"
-trap 'rm -f "$TRACE_FILE" "$GEMM_A_OUT" "$GEMM_B_OUT" "$QUANT_OFF_OUT" "$QUANT_INT8_OUT" "$IO_SMOKE_OUT" "$CR_REF" "$CR_OUT"; rm -rf "$CR_DIR"' EXIT
+trap 'rm -f "$TRACE_FILE" "$GEMM_A_OUT" "$GEMM_B_OUT" "$QUANT_OFF_OUT" "$QUANT_INT8_OUT" "$FUSION_OFF_OUT" "$FUSION_ON_OUT" "$IO_SMOKE_OUT" "$CR_REF" "$CR_OUT"; rm -rf "$CR_DIR"' EXIT
 
 # Reference run: uninterrupted, throwaway work dir. Its metrics summary says
 # how many storage commits (shard + checkpoint writes) a full run performs.
@@ -249,9 +278,10 @@ if echo 'int main(){return 0;}' | \
   TSAN_DIR="${BUILD_DIR}-tsan"
   cmake -B "$TSAN_DIR" -S . -DNAUTILUS_TSAN=ON
   cmake --build "$TSAN_DIR" -j "$(nproc)" \
-    --target parallel_exec_test graph_test trainer_test incremental_plan_test
-  ctest --test-dir "$TSAN_DIR" --output-on-failure \
-    -R '^(parallel_exec_test|graph_test|trainer_test|incremental_plan_test)$'
+    --target parallel_exec_test graph_test trainer_test incremental_plan_test \
+             fusion_test
+  NAUTILUS_FUSION=1 ctest --test-dir "$TSAN_DIR" --output-on-failure \
+    -R '^(parallel_exec_test|graph_test|trainer_test|incremental_plan_test|fusion_test)$'
 else
   echo "libtsan unavailable; skipping TSAN stage"
 fi

@@ -22,6 +22,10 @@
 //   --quant     off | int8 | f16 — reduced-precision policy for frozen-layer
 //                  compute and materialized feed shards (default:
 //                  NAUTILUS_QUANT env or off). Trainable layers stay f32.
+//   --fusion    0 | 1 — operator-fusion planner: execute elementwise/
+//                  reduction chains as single-memory-pass fused regions
+//                  (default: NAUTILUS_FUSION env or 0). Results are bitwise
+//                  identical either way; fusion only cuts memory traffic.
 //   --work-dir=PATH  persistent working directory for --mode=measure
 //                  (default: a throwaway temp dir). With a work dir the
 //                  session is saved after every cycle, so an interrupted
@@ -43,6 +47,7 @@
 #include "nautilus/obs/metrics.h"
 #include "nautilus/obs/trace.h"
 #include "nautilus/storage/integrity.h"
+#include "nautilus/tensor/fused_ops.h"
 #include "nautilus/tensor/quant.h"
 #include "nautilus/util/parallel.h"
 #include "nautilus/util/strings.h"
@@ -121,6 +126,15 @@ int Run(int argc, char** argv) {
       std::exit(2);
     }
     quant::SetGlobalQuantMode(qmode);
+  }
+  const std::string fusion_flag = FlagValue(argc, argv, "fusion", "");
+  if (!fusion_flag.empty()) {
+    if (fusion_flag != "0" && fusion_flag != "1") {
+      std::fprintf(stderr, "unknown fusion setting '%s' (0 or 1)\n",
+                   fusion_flag.c_str());
+      std::exit(2);
+    }
+    fused::SetFusionEnabled(fusion_flag == "1");
   }
   // Stamp the effective worker budget into the trace so exported runs are
   // self-describing (no-op when tracing is disabled).
@@ -207,11 +221,22 @@ int Run(int argc, char** argv) {
     std::printf("%s / %s (mini scale, measured)\n", run.workload.c_str(),
                 run.approach.c_str());
     std::printf("  init: %.2fs\n", run.init_seconds);
+    bool print_losses = false;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--print-losses") == 0) print_losses = true;
+    }
     for (const workloads::MeasuredCycle& c : run.cycles) {
       std::printf("  cycle %2d: %.2fs (cumulative %.2fs), best model %d, "
                   "val-acc %.3f\n",
                   c.cycle + 1, c.cycle_seconds, c.cumulative_seconds,
                   c.best_model, c.best_accuracy);
+      if (print_losses) {
+        // Hex floats are bitwise-exact, so two runs that must agree (e.g.
+        // the ci.sh fusion gate) can diff these lines directly.
+        std::printf("  losses %2d:", c.cycle + 1);
+        for (float loss : c.val_losses) std::printf(" %a", loss);
+        std::printf("\n");
+      }
     }
     std::printf("  total: %.2fs, io reads %s writes %s\n", run.total_seconds,
                 HumanBytes(static_cast<double>(run.bytes_read)).c_str(),
@@ -266,7 +291,8 @@ int main(int argc, char** argv) {
           "          [--mode=simulate|measure] [--cycles=N] [--records=N]\n"
           "          [--disk-gb=25] [--mem-gb=10] [--seed=1] [--threads=N]\n"
           "          [--io-cache-mb=N] [--durability=none|flush|fsync]\n"
-          "          [--quant=off|int8|f16] [--work-dir=PATH] [--resume]\n"
+          "          [--quant=off|int8|f16] [--fusion=0|1]\n"
+          "          [--work-dir=PATH] [--resume]\n"
           "          [--trace-out=FILE] [--metrics-summary]\n",
           argv[0]);
       return 0;
