@@ -28,3 +28,8 @@ add_executable(bench_micro_kernels ${NAUTILUS_BENCH_DIR}/bench_micro_kernels.cpp
 target_link_libraries(bench_micro_kernels PRIVATE nautilus_core nautilus_graph nautilus_nn nautilus_solver nautilus_tensor nautilus_util benchmark::benchmark)
 set_target_properties(bench_micro_kernels PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 nautilus_add_bench(bench_ablation_memory_estimator)
+
+add_executable(bench_serving ${NAUTILUS_BENCH_DIR}/bench_serving.cpp)
+target_link_libraries(bench_serving PRIVATE nautilus_serve nautilus_zoo nautilus_nn nautilus_tensor nautilus_obs nautilus_util nautilus_workloads nautilus_core nautilus_data)
+target_include_directories(bench_serving PRIVATE ${NAUTILUS_BENCH_DIR})
+set_target_properties(bench_serving PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -1,9 +1,11 @@
 #include "nautilus/nn/transformer.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "nautilus/tensor/ops.h"
 #include "nautilus/util/logging.h"
+#include "nautilus/util/parallel.h"
 
 namespace nautilus {
 namespace nn {
@@ -11,6 +13,49 @@ namespace nn {
 namespace {
 constexpr float kLnEps = 1e-5f;
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// KvEntry
+// ---------------------------------------------------------------------------
+
+void KvEntry::Reserve(int64_t h, int64_t d, int64_t min_cap) {
+  if (cap == 0) {
+    heads = h;
+    dh = d;
+  } else {
+    NAUTILUS_CHECK_EQ(heads, h);
+    NAUTILUS_CHECK_EQ(dh, d);
+  }
+  if (min_cap <= cap) return;
+  int64_t new_cap = std::max<int64_t>(cap * 2, 16);
+  while (new_cap < min_cap) new_cap *= 2;
+  Tensor nk = Tensor::Uninitialized(Shape({heads, new_cap, dh}));
+  Tensor nv = Tensor::Uninitialized(Shape({heads, new_cap, dh}));
+  if (len > 0) {
+    // Repack: the per-head plane stride changes with the capacity.
+    for (int64_t hd = 0; hd < heads; ++hd) {
+      std::copy(k.data() + hd * cap * dh, k.data() + (hd * cap + len) * dh,
+                nk.data() + hd * new_cap * dh);
+      std::copy(v.data() + hd * cap * dh, v.data() + (hd * cap + len) * dh,
+                nv.data() + hd * new_cap * dh);
+    }
+  }
+  k = std::move(nk);
+  v = std::move(nv);
+  cap = new_cap;
+}
+
+void KvEntry::Append(const float* k_row, const float* v_row) {
+  NAUTILUS_CHECK_GT(heads, 0) << "KvEntry::Reserve must run before Append";
+  Reserve(heads, dh, len + 1);
+  for (int64_t hd = 0; hd < heads; ++hd) {
+    std::copy(k_row + hd * dh, k_row + (hd + 1) * dh,
+              k.data() + (hd * cap + len) * dh);
+    std::copy(v_row + hd * dh, v_row + (hd + 1) * dh,
+              v.data() + (hd * cap + len) * dh);
+  }
+  ++len;
+}
 
 // ---------------------------------------------------------------------------
 // EmbeddingBlockLayer
@@ -90,6 +135,28 @@ Tensor EmbeddingBlockLayer::Forward(const std::vector<const Tensor*>& inputs,
       ops::LayerNormForward(emb, gamma_.value, beta_.value, kLnEps, &c->ln);
   if (cache != nullptr) *cache = std::move(c);
   return y;
+}
+
+Tensor EmbeddingBlockLayer::ServeEmbedRows(const int64_t* tokens,
+                                           const int64_t* positions,
+                                           int64_t n) const {
+  Tensor emb = Tensor::Uninitialized(Shape({n, hidden_}));
+  const float* pt = token_table_.value.data();
+  const float* pp = pos_table_.value.data();
+  float* pe = emb.data();
+  for (int64_t i = 0; i < n; ++i) {
+    NAUTILUS_CHECK_GE(tokens[i], 0);
+    NAUTILUS_CHECK_LT(tokens[i], vocab_);
+    NAUTILUS_CHECK_GE(positions[i], 0);
+    NAUTILUS_CHECK_LT(positions[i], seq_len_);
+    const float* trow = pt + tokens[i] * hidden_;
+    const float* prow = pp + positions[i] * hidden_;
+    float* erow = pe + i * hidden_;
+    // Same arithmetic as Forward: gathered token row, then += positional.
+    for (int64_t j = 0; j < hidden_; ++j) erow[j] = trow[j] + prow[j];
+  }
+  ops::LayerNormCache ln;  // serving never runs backward; dropped on return
+  return ops::LayerNormForward(emb, gamma_.value, beta_.value, kLnEps, &ln);
 }
 
 std::vector<Tensor> EmbeddingBlockLayer::Backward(
@@ -295,8 +362,10 @@ Tensor TransformerBlockLayer::ForwardQuantized(
   Tensor qh = ops::SplitHeads(q, heads_);
   Tensor kh = ops::SplitHeads(k, heads_);
   Tensor vh = ops::SplitHeads(v, heads_);
-  ops::AttentionCache attn;  // forwards need a cache object; dropped on return
-  Tensor merged = ops::MergeHeads(ops::AttentionForward(qh, kh, vh, &attn));
+  // Cache-free attention: no backward ever visits this node, so allocating
+  // (and immediately dropping) the O(b*heads*s^2) probability tensor of
+  // AttentionForward would be pure waste.
+  Tensor merged = ops::MergeHeads(ops::AttentionInference(qh, kh, vh));
   Tensor o = project(3, merged, *bo_, ops::EpilogueKind::kBias).Reshaped(xs);
   Tensor r1 = ops::Add(x, o);
   ops::LayerNormCache ln1;
@@ -308,6 +377,108 @@ Tensor TransformerBlockLayer::ForwardQuantized(
   ops::LayerNormCache ln2;
   return ops::LayerNormForward(r2, ln2_gamma_->value, ln2_beta_->value, kLnEps,
                                &ln2);
+}
+
+Tensor TransformerBlockLayer::ServeProject(size_t slot, const Tensor& in,
+                                           ops::EpilogueKind kind) const {
+  const Parameter* weights[6] = {wq_, wk_, wv_, wo_, w1_, w2_};
+  const Parameter* biases[6] = {bq_, bk_, bv_, bo_, b1_, b2_};
+  const quant::QuantMode mode = quant::GlobalQuantMode();
+  if (mode == quant::QuantMode::kOff) {
+    return ops::DenseForward(in, weights[slot]->value, biases[slot]->value,
+                             kind);
+  }
+  EnsureQuantWeights(mode);
+  return mode == quant::QuantMode::kInt8
+             ? ops::QuantizedDenseForward(in, qweights_[slot],
+                                          biases[slot]->value, kind)
+             : ops::DenseForward(in, weights_f16_[slot], biases[slot]->value,
+                                 kind);
+}
+
+Tensor TransformerBlockLayer::ServeFfnTail(const Tensor& x,
+                                           const Tensor& attn_merged) const {
+  Tensor o = ServeProject(3, attn_merged, ops::EpilogueKind::kBias);
+  Tensor r1 = ops::Add(x, o.Reshaped(x.shape()));
+  ops::LayerNormCache ln1;
+  Tensor h1 = ops::LayerNormForward(r1, ln1_gamma_->value, ln1_beta_->value,
+                                    kLnEps, &ln1);
+  Tensor g = ServeProject(4, h1, ops::EpilogueKind::kBiasGelu);
+  Tensor z2 = ServeProject(5, g, ops::EpilogueKind::kBias);
+  Tensor r2 = ops::Add(h1, z2.Reshaped(x.shape()));
+  ops::LayerNormCache ln2;
+  return ops::LayerNormForward(r2, ln2_gamma_->value, ln2_beta_->value, kLnEps,
+                               &ln2);
+}
+
+Tensor TransformerBlockLayer::ServePrefill(const Tensor& x,
+                                           KvEntry* kv) const {
+  NAUTILUS_CHECK_EQ(x.shape().rank(), 2);
+  NAUTILUS_CHECK_EQ(x.shape().dim(1), hidden_);
+  NAUTILUS_CHECK_EQ(kv->len, 0) << "prefill requires an empty KV cache";
+  const int64_t s = x.shape().dim(0);
+  const int64_t dh = hidden_ / heads_;
+  Tensor q = ServeProject(0, x, ops::EpilogueKind::kBias);
+  Tensor k = ServeProject(1, x, ops::EpilogueKind::kBias);
+  Tensor v = ServeProject(2, x, ops::EpilogueKind::kBias);
+  kv->Reserve(heads_, dh, s);
+  for (int64_t i = 0; i < s; ++i) {
+    kv->Append(k.data() + i * hidden_, v.data() + i * hidden_);
+  }
+  // Causal attention straight against the cache planes. Row i of head h
+  // reads the first i+1 cached rows — the same AttentionRowKernel arithmetic
+  // a later DecodeStep uses, which is what makes decode bitwise-equal to
+  // this full-sequence pass.
+  Tensor attn = Tensor::Uninitialized(Shape({s, hidden_}));
+  const float* pq = q.data();
+  float* pa = attn.data();
+  const KvEntry& cache = *kv;
+  ParallelFor(s * heads_, [&](int64_t begin, int64_t end) {
+    std::vector<float> scratch(static_cast<size_t>(s));
+    for (int64_t ih = begin; ih < end; ++ih) {
+      const int64_t i = ih / heads_;
+      const int64_t h = ih % heads_;
+      ops::AttentionDecodeRow(pq + i * hidden_ + h * dh, cache.KHead(h),
+                              cache.VHead(h), /*len=*/i + 1, dh,
+                              scratch.data(), pa + i * hidden_ + h * dh);
+    }
+  });
+  return ServeFfnTail(x, attn);
+}
+
+Tensor TransformerBlockLayer::ServeDecodeStep(
+    const Tensor& x, const std::vector<KvEntry*>& kvs) const {
+  NAUTILUS_CHECK_EQ(x.shape().rank(), 2);
+  NAUTILUS_CHECK_EQ(x.shape().dim(1), hidden_);
+  const int64_t n = x.shape().dim(0);
+  NAUTILUS_CHECK_EQ(static_cast<int64_t>(kvs.size()), n);
+  const int64_t dh = hidden_ / heads_;
+  // One fused (possibly quantized) GEMM per projection over all live
+  // streams: this is where continuous batching amortizes the per-step GEMV.
+  Tensor q = ServeProject(0, x, ops::EpilogueKind::kBias);
+  Tensor k = ServeProject(1, x, ops::EpilogueKind::kBias);
+  Tensor v = ServeProject(2, x, ops::EpilogueKind::kBias);
+  for (int64_t i = 0; i < n; ++i) {
+    kvs[i]->Reserve(heads_, dh, kvs[i]->len + 1);
+    kvs[i]->Append(k.data() + i * hidden_, v.data() + i * hidden_);
+  }
+  Tensor attn = Tensor::Uninitialized(Shape({n, hidden_}));
+  const float* pq = q.data();
+  float* pa = attn.data();
+  int64_t max_len = 0;
+  for (const KvEntry* e : kvs) max_len = std::max(max_len, e->len);
+  ParallelFor(n * heads_, [&](int64_t begin, int64_t end) {
+    std::vector<float> scratch(static_cast<size_t>(max_len));
+    for (int64_t ih = begin; ih < end; ++ih) {
+      const int64_t i = ih / heads_;
+      const int64_t h = ih % heads_;
+      const KvEntry& cache = *kvs[static_cast<size_t>(i)];
+      ops::AttentionDecodeRow(pq + i * hidden_ + h * dh, cache.KHead(h),
+                              cache.VHead(h), cache.len, dh, scratch.data(),
+                              pa + i * hidden_ + h * dh);
+    }
+  });
+  return ServeFfnTail(x, attn);
 }
 
 std::vector<Tensor> TransformerBlockLayer::Backward(

@@ -8,11 +8,37 @@
 #include <vector>
 
 #include "nautilus/nn/layer.h"
+#include "nautilus/tensor/gemm.h"
 #include "nautilus/tensor/quant.h"
 #include "nautilus/util/random.h"
 
 namespace nautilus {
 namespace nn {
+
+/// Per-(stream, block) key/value cache for autoregressive decode. `k` and
+/// `v` hold [heads, cap, dh] planes whose first `len` rows per head are
+/// valid; storage is pool-rented (Tensor::Uninitialized) and doubles on
+/// growth, so appending one position per decode step is amortized O(1) and
+/// allocation-free in steady state.
+struct KvEntry {
+  Tensor k, v;  // [heads, cap, dh]
+  int64_t heads = 0;
+  int64_t dh = 0;
+  int64_t len = 0;
+  int64_t cap = 0;
+
+  /// Ensures room for at least `min_cap` positions of [heads, dh] rows.
+  /// First call fixes the head geometry; later calls must match it.
+  void Reserve(int64_t heads, int64_t dh, int64_t min_cap);
+
+  /// Appends one position. `k_row`/`v_row` are [heads*dh] in merged layout
+  /// (head h at offset h*dh), i.e. one row of the K/V projection output.
+  void Append(const float* k_row, const float* v_row);
+
+  /// First valid row of head h's contiguous [cap, dh] plane.
+  const float* KHead(int64_t h) const { return k.data() + h * cap * dh; }
+  const float* VHead(int64_t h) const { return v.data() + h * cap * dh; }
+};
 
 /// BERT-style input block: token embedding + learned positional embedding +
 /// layer norm. Maps integer token ids [b, s] to [b, s, hidden]. Treated as a
@@ -24,6 +50,19 @@ class EmbeddingBlockLayer : public Layer {
 
   std::string type_name() const override { return "EmbeddingBlock"; }
   int64_t hidden() const { return hidden_; }
+  int64_t vocab() const { return vocab_; }
+  int64_t seq_len() const { return seq_len_; }
+  /// Token embedding table [vocab, hidden]; the serving engine ties the LM
+  /// head to it (logits = h @ table^T).
+  const Tensor& token_table() const { return token_table_.value; }
+
+  /// Serving embed: one output row per (token, position) pair — the gather +
+  /// positional add + layer norm of Forward restricted to the given
+  /// positions. `tokens` and `positions` are parallel arrays of length `n`
+  /// (positions < seq_len). Returns [n, hidden]; bitwise-equal to the
+  /// matching rows of Forward on a full [1, seq_len] sequence.
+  Tensor ServeEmbedRows(const int64_t* tokens, const int64_t* positions,
+                        int64_t n) const;
 
   Shape OutputShape(const std::vector<Shape>& inputs) const override;
   double ForwardFlopsPerRecord(
@@ -78,6 +117,21 @@ class TransformerBlockLayer : public Layer {
   /// and residuals stay f32. Same gating contract as DenseLayer.
   Tensor ForwardQuantized(
       const std::vector<const Tensor*>& inputs) const override;
+
+  /// Serving prefill: x is [s, hidden] (ONE stream's prompt), self-attention
+  /// is causal, and all s key/value rows are appended to `kv` (which must be
+  /// empty). Returns [s, hidden]. Dense projections honor
+  /// quant::GlobalQuantMode() exactly like ForwardQuantized.
+  Tensor ServePrefill(const Tensor& x, KvEntry* kv) const;
+
+  /// Serving decode step: x is [n, hidden], one new-position row per live
+  /// stream, kvs[i] the i-th stream's cache for this block. Appends one K/V
+  /// row per stream and attends each row against its own cache. Returns
+  /// [n, hidden]. Row i is bitwise-equal to the last row of ServePrefill
+  /// over that stream's full sequence, regardless of which other streams
+  /// share the batch — the property continuous batching relies on.
+  Tensor ServeDecodeStep(const Tensor& x,
+                         const std::vector<KvEntry*>& kvs) const;
   std::vector<Tensor> Backward(const Tensor& grad_out,
                                const std::vector<const Tensor*>& inputs,
                                const LayerCache& cache) override;
@@ -92,6 +146,16 @@ class TransformerBlockLayer : public Layer {
   // layer is frozen, so the caches never invalidate). Slot order: wq, wk,
   // wv, wo, w1, w2.
   void EnsureQuantWeights(quant::QuantMode mode) const;
+
+  // Fused dense projection for the serving paths: slot indexes the
+  // EnsureQuantWeights order, and the weight is taken from the f32 value,
+  // the int8 cache, or the f16 cache according to the global quant mode.
+  Tensor ServeProject(size_t slot, const Tensor& in,
+                      ops::EpilogueKind kind) const;
+
+  // Shared tail of ServePrefill/ServeDecodeStep: attention-out projection,
+  // residuals, layer norms, and the fused FFN over [rows, hidden].
+  Tensor ServeFfnTail(const Tensor& x, const Tensor& attn_merged) const;
 
   int64_t hidden_;
   int64_t heads_;

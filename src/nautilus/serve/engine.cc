@@ -1,0 +1,103 @@
+#include "nautilus/serve/engine.h"
+
+#include <algorithm>
+#include <string>
+
+#include "nautilus/obs/trace.h"
+#include "nautilus/tensor/ops.h"
+#include "nautilus/util/logging.h"
+
+namespace nautilus {
+namespace serve {
+
+Engine::Engine(const zoo::BertLikeModel& model, const EngineOptions& opts)
+    : model_(model), opts_(opts) {
+  const zoo::BertConfig& cfg = model_.config();
+  NAUTILUS_CHECK_GE(opts_.num_adapters, 0);
+  NAUTILUS_CHECK_LE(opts_.num_adapters, cfg.num_blocks);
+  NAUTILUS_CHECK_GT(opts_.initial_kv_cap, 0);
+  adapters_.resize(static_cast<size_t>(cfg.num_blocks));
+  if (opts_.num_adapters > 0) {
+    // Same construction order and Rng stream as BuildBertAdapterModel, so a
+    // given adapter_seed serves the weights that builder would train.
+    Rng rng(opts_.adapter_seed);
+    const int64_t first_adapted = cfg.num_blocks - opts_.num_adapters;
+    for (int64_t i = first_adapted; i < cfg.num_blocks; ++i) {
+      adapters_[static_cast<size_t>(i)] = std::make_shared<nn::AdapterLayer>(
+          "serve.adapter" + std::to_string(i), cfg.hidden,
+          /*bottleneck=*/std::max<int64_t>(cfg.hidden / 8, 2), &rng);
+    }
+  }
+}
+
+std::unique_ptr<KvCache> Engine::NewCache() const {
+  const zoo::BertConfig& cfg = model_.config();
+  const int64_t dh = cfg.hidden / cfg.heads;
+  return std::make_unique<KvCache>(cfg.num_blocks, cfg.heads, dh,
+                                   opts_.initial_kv_cap);
+}
+
+Tensor Engine::Logits(const Tensor& h) const {
+  // Weight-tied LM head: [n, hidden] x [vocab, hidden]^T -> [n, vocab].
+  return ops::MatMulNT(h, model_.embedding()->token_table());
+}
+
+Tensor Engine::Prefill(const int64_t* tokens, int64_t n,
+                       KvCache* cache) const {
+  obs::TraceScope span("serve", "serve.prefill");
+  NAUTILUS_CHECK_GE(n, 1);
+  NAUTILUS_CHECK_LE(n, max_len());
+  NAUTILUS_CHECK(cache != nullptr);
+  NAUTILUS_CHECK_EQ(cache->len(), 0);
+  NAUTILUS_CHECK_EQ(cache->num_blocks(), num_blocks());
+
+  std::vector<int64_t> positions(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) positions[static_cast<size_t>(i)] = i;
+  Tensor h = model_.embedding()->ServeEmbedRows(tokens, positions.data(), n);
+  const auto& blocks = model_.blocks();
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    h = blocks[b]->ServePrefill(h, cache->entry(static_cast<int64_t>(b)));
+    if (adapters_[b] != nullptr) {
+      h = adapters_[b]->Forward({&h}, /*cache=*/nullptr);
+    }
+  }
+  // Only the final position feeds generation; slice it before the LM head.
+  const int64_t hidden = h.shape().dim(1);
+  Tensor last = Tensor::Uninitialized({1, hidden});
+  std::copy(h.data() + (n - 1) * hidden, h.data() + n * hidden, last.data());
+  return Logits(last);
+}
+
+Tensor Engine::DecodeStep(const int64_t* last_tokens,
+                          const std::vector<KvCache*>& caches) const {
+  const int64_t n = static_cast<int64_t>(caches.size());
+  NAUTILUS_CHECK_GE(n, 1);
+  std::vector<int64_t> positions(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    KvCache* cache = caches[static_cast<size_t>(i)];
+    NAUTILUS_CHECK(cache != nullptr);
+    NAUTILUS_CHECK_EQ(cache->num_blocks(), num_blocks());
+    NAUTILUS_CHECK_GE(cache->len(), 1);
+    NAUTILUS_CHECK_LT(cache->len(), max_len());
+    positions[static_cast<size_t>(i)] = cache->len();
+  }
+
+  Tensor h =
+      model_.embedding()->ServeEmbedRows(last_tokens, positions.data(), n);
+  const auto& blocks = model_.blocks();
+  std::vector<nn::KvEntry*> kvs(static_cast<size_t>(n));
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    for (int64_t i = 0; i < n; ++i) {
+      kvs[static_cast<size_t>(i)] =
+          caches[static_cast<size_t>(i)]->entry(static_cast<int64_t>(b));
+    }
+    h = blocks[b]->ServeDecodeStep(h, kvs);
+    if (adapters_[b] != nullptr) {
+      h = adapters_[b]->Forward({&h}, /*cache=*/nullptr);
+    }
+  }
+  return Logits(h);
+}
+
+}  // namespace serve
+}  // namespace nautilus

@@ -1,0 +1,71 @@
+#ifndef NAUTILUS_SERVE_ENGINE_H_
+#define NAUTILUS_SERVE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nautilus/serve/kv_cache.h"
+#include "nautilus/tensor/tensor.h"
+#include "nautilus/zoo/bert_like.h"
+
+namespace nautilus {
+namespace serve {
+
+struct EngineOptions {
+  /// Adapters after the top-N transformer blocks (0 = serve the pretrained
+  /// encoder as-is). Mirrors zoo::BuildBertAdapterModel: same bottleneck
+  /// (max(hidden/8, 2)) and the same per-seed init stream, so the served
+  /// weights match a model selected by that builder.
+  int64_t num_adapters = 0;
+  uint64_t adapter_seed = 1234;
+  /// Initial KV capacity (positions) rented per stream; grows by doubling.
+  int64_t initial_kv_cap = 16;
+};
+
+/// Autoregressive generation over the selected BERT-like model: embedding +
+/// frozen transformer blocks (+ optional adapters) with a weight-tied LM
+/// head (logits = h @ token_table^T). Prefill runs a prompt through the
+/// causal serving path and fills the stream's KvCache; DecodeStep advances
+/// any number of live streams by one position with a single batched forward.
+/// Stateless across calls (all per-stream state lives in KvCache), so it is
+/// safe to share one Engine between threads that own disjoint caches —
+/// though the scheduler serializes steps anyway.
+class Engine {
+ public:
+  explicit Engine(const zoo::BertLikeModel& model,
+                  const EngineOptions& opts = {});
+
+  int64_t vocab() const { return model_.config().vocab; }
+  /// Hard generation-length bound: the positional table has seq_len rows.
+  int64_t max_len() const { return model_.config().seq_len; }
+  int64_t num_blocks() const { return model_.config().num_blocks; }
+
+  /// Fresh empty cache shaped for this model.
+  std::unique_ptr<KvCache> NewCache() const;
+
+  /// Runs an n-token prompt (1 <= n <= max_len) through the model, filling
+  /// `cache` (which must be empty). Returns the last position's logits
+  /// [1, vocab].
+  Tensor Prefill(const int64_t* tokens, int64_t n, KvCache* cache) const;
+
+  /// One decode step for `caches.size()` live streams. last_tokens[i] is
+  /// stream i's most recent token; its position is caches[i]->len(), which
+  /// must be in [1, max_len). Returns logits [n, vocab]; row i is
+  /// bitwise-independent of which other streams share the batch.
+  Tensor DecodeStep(const int64_t* last_tokens,
+                    const std::vector<KvCache*>& caches) const;
+
+ private:
+  Tensor Logits(const Tensor& h) const;
+
+  const zoo::BertLikeModel& model_;
+  EngineOptions opts_;
+  // Parallel to model_.blocks(); null where the block has no adapter.
+  std::vector<std::shared_ptr<nn::AdapterLayer>> adapters_;
+};
+
+}  // namespace serve
+}  // namespace nautilus
+
+#endif  // NAUTILUS_SERVE_ENGINE_H_

@@ -1,0 +1,23 @@
+#include "nautilus/serve/kv_cache.h"
+
+namespace nautilus {
+namespace serve {
+
+KvCache::KvCache(int64_t num_blocks, int64_t heads, int64_t head_dim,
+                 int64_t initial_cap) {
+  entries_.resize(static_cast<size_t>(num_blocks));
+  for (nn::KvEntry& e : entries_) {
+    e.Reserve(heads, head_dim, initial_cap);
+  }
+}
+
+int64_t KvCache::SizeBytes() const {
+  int64_t total = 0;
+  for (const nn::KvEntry& e : entries_) {
+    total += e.k.SizeBytes() + e.v.SizeBytes();
+  }
+  return total;
+}
+
+}  // namespace serve
+}  // namespace nautilus

@@ -1,0 +1,44 @@
+#ifndef NAUTILUS_SERVE_KV_CACHE_H_
+#define NAUTILUS_SERVE_KV_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nautilus/nn/transformer.h"
+
+namespace nautilus {
+namespace serve {
+
+/// Per-stream KV cache: one nn::KvEntry per transformer block. All entries
+/// advance in lockstep (every block appends exactly one position per decode
+/// step), so `len()` is the number of positions the stream has run through
+/// the model. Storage is pool-rented and returned when the stream retires.
+class KvCache {
+ public:
+  KvCache(int64_t num_blocks, int64_t heads, int64_t head_dim,
+          int64_t initial_cap);
+
+  int64_t num_blocks() const {
+    return static_cast<int64_t>(entries_.size());
+  }
+  nn::KvEntry* entry(int64_t block) {
+    return &entries_[static_cast<size_t>(block)];
+  }
+  const nn::KvEntry& entry(int64_t block) const {
+    return entries_[static_cast<size_t>(block)];
+  }
+
+  /// Cached positions (identical across blocks; 0 when empty).
+  int64_t len() const { return entries_.empty() ? 0 : entries_[0].len; }
+
+  /// Bytes currently rented for K/V storage across all blocks.
+  int64_t SizeBytes() const;
+
+ private:
+  std::vector<nn::KvEntry> entries_;
+};
+
+}  // namespace serve
+}  // namespace nautilus
+
+#endif  // NAUTILUS_SERVE_KV_CACHE_H_

@@ -1,0 +1,74 @@
+#include "nautilus/serve/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "nautilus/util/logging.h"
+
+namespace nautilus {
+namespace serve {
+
+namespace {
+
+int64_t Argmax(const float* logits, int64_t vocab) {
+  int64_t best = 0;
+  for (int64_t i = 1; i < vocab; ++i) {
+    if (logits[i] > logits[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+int64_t Sampler::Sample(const float* logits, int64_t vocab) {
+  NAUTILUS_CHECK_GT(vocab, 0);
+  if (params_.temperature <= 0.0f) {
+    return Argmax(logits, vocab);
+  }
+
+  // Candidate set: full vocab, or the top_k highest logits. Sorting by
+  // (logit desc, id asc) keeps the cut deterministic under ties.
+  std::vector<int64_t> cand;
+  if (params_.top_k > 0 && params_.top_k < vocab) {
+    cand.resize(static_cast<size_t>(vocab));
+    for (int64_t i = 0; i < vocab; ++i) cand[static_cast<size_t>(i)] = i;
+    std::sort(cand.begin(), cand.end(), [&](int64_t a, int64_t b) {
+      if (logits[a] != logits[b]) return logits[a] > logits[b];
+      return a < b;
+    });
+    cand.resize(static_cast<size_t>(params_.top_k));
+  } else {
+    cand.resize(static_cast<size_t>(vocab));
+    for (int64_t i = 0; i < vocab; ++i) cand[static_cast<size_t>(i)] = i;
+  }
+
+  // Softmax over the candidates at the given temperature (max-subtracted in
+  // double so the CDF inversion below is well conditioned).
+  const double inv_t = 1.0 / static_cast<double>(params_.temperature);
+  double mx = -std::numeric_limits<double>::infinity();
+  for (int64_t id : cand) {
+    mx = std::max(mx, static_cast<double>(logits[id]) * inv_t);
+  }
+  std::vector<double> w(cand.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < cand.size(); ++i) {
+    w[i] = std::exp(static_cast<double>(logits[cand[i]]) * inv_t - mx);
+    sum += w[i];
+  }
+  if (sum <= 0.0) return cand[0];
+
+  // Inverse-CDF draw; ascending scan keeps the mapping from uniform draws to
+  // tokens deterministic.
+  const double u = rng_.Uniform() * sum;
+  double acc = 0.0;
+  for (size_t i = 0; i < cand.size(); ++i) {
+    acc += w[i];
+    if (u < acc) return cand[i];
+  }
+  return cand.back();
+}
+
+}  // namespace serve
+}  // namespace nautilus

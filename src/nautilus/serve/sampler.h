@@ -1,0 +1,42 @@
+#ifndef NAUTILUS_SERVE_SAMPLER_H_
+#define NAUTILUS_SERVE_SAMPLER_H_
+
+#include <cstdint>
+
+#include "nautilus/util/random.h"
+
+namespace nautilus {
+namespace serve {
+
+/// Decoding strategy for one request. temperature <= 0 selects greedy
+/// (argmax, lowest index on ties); otherwise logits are divided by the
+/// temperature and sampled from the softmax. top_k > 0 restricts sampling to
+/// the k highest logits (ties broken toward lower token ids); 0 means the
+/// full vocabulary. top_k is ignored under greedy.
+struct SamplingParams {
+  float temperature = 0.0f;
+  int64_t top_k = 0;
+};
+
+/// Draws next-token ids from logit rows. Each sampler owns a deterministic
+/// Rng seeded per request, so a (seed, params, prompt) triple always yields
+/// the same generation regardless of batching or thread count.
+class Sampler {
+ public:
+  Sampler(const SamplingParams& params, uint64_t seed)
+      : params_(params), rng_(seed) {}
+
+  /// Next token id from a [vocab] logit row.
+  int64_t Sample(const float* logits, int64_t vocab);
+
+  const SamplingParams& params() const { return params_; }
+
+ private:
+  SamplingParams params_;
+  Rng rng_;
+};
+
+}  // namespace serve
+}  // namespace nautilus
+
+#endif  // NAUTILUS_SERVE_SAMPLER_H_

@@ -1,0 +1,94 @@
+#ifndef NAUTILUS_SERVE_SCHEDULER_H_
+#define NAUTILUS_SERVE_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "nautilus/serve/engine.h"
+#include "nautilus/serve/sampler.h"
+
+namespace nautilus {
+namespace serve {
+
+/// One generation request. `seed` makes the request's sampler deterministic;
+/// with greedy sampling it is unused but still fixed per request.
+struct Request {
+  std::vector<int64_t> prompt;   // non-empty, <= Engine::max_len()
+  int64_t max_new_tokens = 16;   // >= 1
+  int64_t eos_id = -1;           // stop token; -1 disables
+  SamplingParams sampling;
+  uint64_t seed = 0;
+};
+
+enum class FinishReason {
+  kLength,  // produced max_new_tokens
+  kEos,     // sampled eos_id (included in tokens)
+  kMaxLen,  // ran into the positional-table bound Engine::max_len()
+};
+
+const char* FinishReasonName(FinishReason r);
+
+struct Completion {
+  std::vector<int64_t> tokens;  // generated ids, prompt excluded
+  FinishReason reason = FinishReason::kLength;
+};
+
+struct SchedulerOptions {
+  int64_t max_batch = 8;        // live streams batched into one step
+  int64_t queue_capacity = 64;  // Submit blocks past this (backpressure)
+};
+
+/// Continuous-batching scheduler: a dedicated worker thread admits queued
+/// requests into the live set between decode steps (FIFO, up to max_batch),
+/// runs ONE batched Engine::DecodeStep per step for all live streams, and
+/// retires streams the moment their stop condition fires — no waiting for
+/// batch-mates, freed slots refill on the next step. Because each stream's
+/// rows are bitwise-independent of its batch-mates, scheduling order never
+/// changes what a request generates, only when it finishes.
+class RequestScheduler {
+ public:
+  RequestScheduler(const Engine& engine, const SchedulerOptions& opts = {});
+  ~RequestScheduler();
+
+  /// Enqueues a request; blocks while the queue is at capacity. The future
+  /// resolves when the stream retires.
+  std::future<Completion> Submit(Request req);
+
+  /// Finishes all queued and live work, then stops the worker. Idempotent;
+  /// Submit after Shutdown is an error.
+  void Shutdown();
+
+ private:
+  struct Stream;
+
+  void WorkerLoop();
+  /// Records `tok` for the stream; returns true (and resolves the future)
+  /// when a stop condition fires, else stages the token for the next step.
+  bool RecordToken(Stream* s, int64_t tok);
+
+  const Engine& engine_;
+  SchedulerOptions opts_;
+
+  std::mutex mu_;
+  std::condition_variable queue_ready_;  // worker waits: work or shutdown
+  std::condition_variable queue_space_;  // submitters wait: room in queue
+  std::deque<std::unique_ptr<Stream>> queue_;
+  bool shutdown_ = false;
+  std::thread worker_;
+};
+
+/// Runs one request to completion on a private stream (prefill + solo decode
+/// steps). The serial baseline for bench_serving and the parity oracle for
+/// tests: a scheduler-produced Completion for the same request is identical.
+Completion GenerateOne(const Engine& engine, const Request& req);
+
+}  // namespace serve
+}  // namespace nautilus
+
+#endif  // NAUTILUS_SERVE_SCHEDULER_H_

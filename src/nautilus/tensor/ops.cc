@@ -453,10 +453,20 @@ Tensor SoftmaxForward(const Tensor& logits) {
           float* row = p + i * v.cols;
           float mx = -std::numeric_limits<float>::infinity();
           for (int64_t j = 0; j < v.cols; ++j) mx = std::max(mx, row[j]);
+          if (mx == -std::numeric_limits<float>::infinity()) {
+            // Empty or all--inf row (every logit masked out): exp(x - mx)
+            // would be NaN. Emit zeros instead.
+            for (int64_t j = 0; j < v.cols; ++j) row[j] = 0.0f;
+            continue;
+          }
           float sum = 0.0f;
           for (int64_t j = 0; j < v.cols; ++j) {
             row[j] = std::exp(row[j] - mx);
             sum += row[j];
+          }
+          if (sum == 0.0f) {
+            for (int64_t j = 0; j < v.cols; ++j) row[j] = 0.0f;
+            continue;
           }
           const float inv = 1.0f / sum;
           for (int64_t j = 0; j < v.cols; ++j) row[j] *= inv;
@@ -803,8 +813,74 @@ Tensor MergeHeads(const Tensor& x) {
   return out;
 }
 
+namespace {
+
+// Softmax(q K^T * scale) V for ONE query row over its first `valid` key
+// rows. This is the single arithmetic definition of an attention row:
+// AttentionForward, AttentionInference, and AttentionDecodeRow all funnel
+// here, which is what makes incremental KV-cache decode bitwise-equal to the
+// full-sequence forward. The loop structure (score+max pass, exp+sum pass,
+// normalize+accumulate pass, each in ascending j) replicates the historical
+// inline kernel exactly.
+//
+// Guards (the NaN bugfix): an empty valid set, an all--inf score row, or a
+// fully-underflowed exp-sum emits zeros instead of dividing by zero.
+// `scores` receives the post-softmax probabilities for [0, valid).
+inline void AttentionRowKernel(const float* qrow, const float* krows,
+                               const float* vrows, int64_t valid, int64_t dh,
+                               float scale, float* scores, float* orow) {
+  // Output storage may be uninitialized; clear before accumulating.
+  for (int64_t d = 0; d < dh; ++d) orow[d] = 0.0f;
+  if (valid <= 0) return;
+  float mx = -std::numeric_limits<float>::infinity();
+  for (int64_t j = 0; j < valid; ++j) {
+    const float* krow = krows + j * dh;
+    float acc = 0.0f;
+    for (int64_t d = 0; d < dh; ++d) acc += qrow[d] * krow[d];
+    scores[j] = acc * scale;
+    mx = std::max(mx, scores[j]);
+  }
+  if (mx == -std::numeric_limits<float>::infinity()) {
+    // Every score is -inf: exp(s - mx) would be exp(NaN). Treat the row as
+    // fully masked.
+    for (int64_t j = 0; j < valid; ++j) scores[j] = 0.0f;
+    return;
+  }
+  float sum = 0.0f;
+  for (int64_t j = 0; j < valid; ++j) {
+    scores[j] = std::exp(scores[j] - mx);
+    sum += scores[j];
+  }
+  if (sum == 0.0f) {
+    for (int64_t j = 0; j < valid; ++j) scores[j] = 0.0f;
+    return;
+  }
+  const float inv = 1.0f / sum;
+  for (int64_t j = 0; j < valid; ++j) {
+    scores[j] *= inv;
+    const float* vrow = vrows + j * dh;
+    for (int64_t d = 0; d < dh; ++d) orow[d] += scores[j] * vrow[d];
+  }
+}
+
+// Visible key count for query row `i` of batch element `bi` under `mask`
+// (null mask = all `s` keys).
+inline int64_t MaskValidKeys(const AttentionMask* mask, int64_t bi, int64_t i,
+                             int64_t s) {
+  int64_t valid = s;
+  if (mask != nullptr) {
+    if (mask->causal) valid = std::min(valid, i + 1);
+    if (mask->valid_lens != nullptr) {
+      valid = std::min(valid, std::max<int64_t>(mask->valid_lens[bi], 0));
+    }
+  }
+  return valid;
+}
+
+}  // namespace
+
 Tensor AttentionForward(const Tensor& q, const Tensor& k, const Tensor& v,
-                        AttentionCache* cache) {
+                        AttentionCache* cache, const AttentionMask* mask) {
   NAUTILUS_CHECK_EQ(q.shape().rank(), 4);
   NAUTILUS_CHECK(q.shape() == k.shape());
   NAUTILUS_CHECK(q.shape() == v.shape());
@@ -819,41 +895,62 @@ Tensor AttentionForward(const Tensor& q, const Tensor& k, const Tensor& v,
   // Each (batch, head) plane touches disjoint slices of probs and out.
   ParallelFor(b * heads, [&](int64_t bh_begin, int64_t bh_end) {
   for (int64_t bh = bh_begin; bh < bh_end; ++bh) {
+    const int64_t bi = bh / heads;
     const float* pq = q.data() + bh * plane;
     const float* pk = k.data() + bh * plane;
     const float* pv = v.data() + bh * plane;
     float* pp = cache->probs.data() + bh * s * s;
     float* po = out.data() + bh * plane;
-    // scores = Q K^T * scale, then row softmax.
     for (int64_t i = 0; i < s; ++i) {
       float* prow = pp + i * s;
-      const float* qrow = pq + i * dh;
-      float mx = -std::numeric_limits<float>::infinity();
-      for (int64_t j = 0; j < s; ++j) {
-        const float* krow = pk + j * dh;
-        float acc = 0.0f;
-        for (int64_t d = 0; d < dh; ++d) acc += qrow[d] * krow[d];
-        prow[j] = acc * scale;
-        mx = std::max(mx, prow[j]);
-      }
-      float sum = 0.0f;
-      for (int64_t j = 0; j < s; ++j) {
-        prow[j] = std::exp(prow[j] - mx);
-        sum += prow[j];
-      }
-      const float inv = 1.0f / sum;
-      float* orow = po + i * dh;
-      // Output storage is uninitialized; clear the row before accumulating.
-      for (int64_t d = 0; d < dh; ++d) orow[d] = 0.0f;
-      for (int64_t j = 0; j < s; ++j) {
-        prow[j] *= inv;
-        const float* vrow = pv + j * dh;
-        for (int64_t d = 0; d < dh; ++d) orow[d] += prow[j] * vrow[d];
-      }
+      const int64_t valid = MaskValidKeys(mask, bi, i, s);
+      AttentionRowKernel(pq + i * dh, pk, pv, valid, dh, scale, prow,
+                         po + i * dh);
+      // Masked-out probabilities are zero so AttentionBackward (which reads
+      // the full row) never routes gradient through them.
+      for (int64_t j = valid; j < s; ++j) prow[j] = 0.0f;
     }
   }
   });
   return out;
+}
+
+Tensor AttentionInference(const Tensor& q, const Tensor& k, const Tensor& v,
+                          const AttentionMask* mask) {
+  NAUTILUS_CHECK_EQ(q.shape().rank(), 4);
+  NAUTILUS_CHECK(q.shape() == k.shape());
+  NAUTILUS_CHECK(q.shape() == v.shape());
+  const int64_t b = q.shape().dim(0);
+  const int64_t heads = q.shape().dim(1);
+  const int64_t s = q.shape().dim(2);
+  const int64_t dh = q.shape().dim(3);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  Tensor out = Tensor::Uninitialized(q.shape());
+  const int64_t plane = s * dh;
+  ParallelFor(b * heads, [&](int64_t bh_begin, int64_t bh_end) {
+  // One probability row of scratch per task instead of the O(b*heads*s^2)
+  // cache tensor.
+  std::vector<float> scratch(static_cast<size_t>(s));
+  for (int64_t bh = bh_begin; bh < bh_end; ++bh) {
+    const int64_t bi = bh / heads;
+    const float* pq = q.data() + bh * plane;
+    const float* pk = k.data() + bh * plane;
+    const float* pv = v.data() + bh * plane;
+    float* po = out.data() + bh * plane;
+    for (int64_t i = 0; i < s; ++i) {
+      AttentionRowKernel(pq + i * dh, pk, pv, MaskValidKeys(mask, bi, i, s),
+                         dh, scale, scratch.data(), po + i * dh);
+    }
+  }
+  });
+  return out;
+}
+
+void AttentionDecodeRow(const float* q_row, const float* k_rows,
+                        const float* v_rows, int64_t len, int64_t dh,
+                        float* scratch, float* out_row) {
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  AttentionRowKernel(q_row, k_rows, v_rows, len, dh, scale, scratch, out_row);
 }
 
 void AttentionBackward(const Tensor& dy, const Tensor& q, const Tensor& k,

@@ -163,10 +163,38 @@ struct AttentionCache {
   Tensor probs;  // [b, heads, s, s] post-softmax attention weights
 };
 
+/// Optional attention mask. `causal` restricts query position i to key
+/// positions j <= i; `valid_lens` (when non-null, one entry per batch
+/// element) additionally restricts to j < valid_lens[bi] (padding mask).
+/// A fully-masked query row emits zeros (never NaN), and its cached
+/// probability row is all zeros, so the backward pass sends it no gradient.
+struct AttentionMask {
+  bool causal = false;
+  const int64_t* valid_lens = nullptr;  // [b] or null (= all keys valid)
+};
+
 /// Scaled dot-product attention. q, k, v are [b, heads, s, dh]; returns
-/// [b, heads, s, dh] and fills the cache for the backward pass.
+/// [b, heads, s, dh] and fills the cache for the backward pass. With a null
+/// mask every key position is visible (the historical behavior, bitwise).
 Tensor AttentionForward(const Tensor& q, const Tensor& k, const Tensor& v,
-                        AttentionCache* cache);
+                        AttentionCache* cache,
+                        const AttentionMask* mask = nullptr);
+
+/// Cache-free inference attention: bitwise-identical arithmetic to
+/// AttentionForward but never materializes the O(b*heads*s^2) probability
+/// tensor — each query row softmaxes in a per-task scratch. For forwards no
+/// backward pass will ever visit (frozen/serving paths).
+Tensor AttentionInference(const Tensor& q, const Tensor& k, const Tensor& v,
+                          const AttentionMask* mask = nullptr);
+
+/// One query row attending to the first `len` rows of a cached K/V buffer
+/// (the KV-cache decode step). `q_row` and `out_row` are [dh]; `k_rows` and
+/// `v_rows` are row-major [>=len, dh]; `scratch` holds >= len floats.
+/// Bitwise-equal to query row `len-1` of a causal AttentionForward whose
+/// keys/values are those same rows. len == 0 emits zeros.
+void AttentionDecodeRow(const float* q_row, const float* k_rows,
+                        const float* v_rows, int64_t len, int64_t dh,
+                        float* scratch, float* out_row);
 
 /// Backward of AttentionForward.
 void AttentionBackward(const Tensor& dy, const Tensor& q, const Tensor& k,

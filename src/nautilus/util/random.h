@@ -20,9 +20,27 @@ class Rng {
   /// Uniform in [lo, hi).
   double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
 
-  /// Uniform integer in [0, n). n must be > 0.
+  /// Uniform integer in [0, n). n must be > 0. Unbiased: uses Lemire's
+  /// multiply-shift with rejection instead of `engine_() % n` (the modulo
+  /// maps the 2^64 engine states unevenly onto [0, n) whenever n does not
+  /// divide 2^64, over-weighting small values). Still fully deterministic
+  /// for a fixed seed — it just consumes a different, bias-free stream.
   int64_t UniformInt(int64_t n) {
-    return static_cast<int64_t>(engine_() % static_cast<uint64_t>(n));
+    const uint64_t bound = static_cast<uint64_t>(n);
+    uint64_t x = engine_();
+    unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      // Reject the partial final interval: draws with lo < t would make
+      // floor(m / 2^64) non-uniform. t = (2^64 - n) mod n.
+      const uint64_t t = (0 - bound) % bound;
+      while (lo < t) {
+        x = engine_();
+        m = static_cast<unsigned __int128>(x) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<int64_t>(m >> 64);
   }
 
   /// Standard normal sample scaled by `stddev`.

@@ -1,0 +1,455 @@
+// Serving-path tests: NaN guards for fully-masked softmax/attention rows,
+// the unbiased Rng, KV-cache growth, bitwise decode parity (incremental
+// KV-cache decode vs full-sequence prefill, across thread degrees, quant
+// modes, and fusion), batched-vs-solo stream independence, and the
+// continuous-batching scheduler's correctness under backpressure.
+#include <cmath>
+#include <cstdint>
+#include <future>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nautilus/serve/engine.h"
+#include "nautilus/serve/kv_cache.h"
+#include "nautilus/serve/sampler.h"
+#include "nautilus/serve/scheduler.h"
+#include "nautilus/tensor/fused_ops.h"
+#include "nautilus/tensor/ops.h"
+#include "nautilus/tensor/quant.h"
+#include "nautilus/util/parallel.h"
+#include "nautilus/util/random.h"
+#include "nautilus/zoo/bert_like.h"
+
+namespace nautilus {
+namespace {
+
+class ScopedDegree {
+ public:
+  explicit ScopedDegree(int degree) : saved_(ParallelismDegree()) {
+    SetParallelismDegree(degree);
+  }
+  ~ScopedDegree() { SetParallelismDegree(saved_); }
+
+ private:
+  int saved_;
+};
+
+Tensor RandTensor(const Shape& shape, uint64_t seed, float scale = 0.5f) {
+  Rng rng(seed);
+  Tensor t(shape);
+  for (int64_t i = 0; i < t.NumElements(); ++i) {
+    t.data()[i] = rng.Normal() * scale;
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: softmax / attention NaN guards.
+// ---------------------------------------------------------------------------
+
+TEST(SoftmaxGuard, AllNegInfRowEmitsZeros) {
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor logits({2, 3});
+  float vals[] = {-inf, -inf, -inf, 1.0f, 2.0f, 3.0f};
+  for (int i = 0; i < 6; ++i) logits.data()[i] = vals[i];
+  Tensor y = ops::SoftmaxForward(logits);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_EQ(y.data()[j], 0.0f) << "masked row must be exactly zero";
+  }
+  float sum = 0.0f;
+  for (int j = 3; j < 6; ++j) {
+    EXPECT_FALSE(std::isnan(y.data()[j]));
+    sum += y.data()[j];
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(SoftmaxGuard, UnderflowedRowEmitsZeros) {
+  // Finite logits so far below the row max that every exp underflows to
+  // zero is impossible after max-subtraction (the max maps to exp(0)=1),
+  // but a row whose max IS -inf after masking must not divide by zero.
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor logits({1, 4});
+  for (int i = 0; i < 4; ++i) logits.data()[i] = -inf;
+  Tensor y = ops::SoftmaxForward(logits);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(y.data()[i], 0.0f);
+}
+
+TEST(AttentionMask, FullyMaskedQueryRowsEmitZerosNotNaN) {
+  const int64_t b = 2, heads = 2, s = 3, dh = 4;
+  Tensor q = RandTensor({b, heads, s, dh}, 11);
+  Tensor k = RandTensor({b, heads, s, dh}, 12);
+  Tensor v = RandTensor({b, heads, s, dh}, 13);
+  // Batch 0 has zero valid keys: every query row is fully masked.
+  std::vector<int64_t> valid = {0, s};
+  ops::AttentionMask mask;
+  mask.valid_lens = valid.data();
+  ops::AttentionCache cache;
+  Tensor y = ops::AttentionForward(q, k, v, &cache, &mask);
+  for (int64_t i = 0; i < heads * s * dh; ++i) {
+    EXPECT_EQ(y.data()[i], 0.0f) << "fully-masked batch must emit zeros";
+  }
+  for (int64_t i = heads * s * dh; i < y.NumElements(); ++i) {
+    EXPECT_FALSE(std::isnan(y.data()[i]));
+  }
+  // The cached probability rows for the masked batch are zero, so backward
+  // sends no gradient through them.
+  for (int64_t i = 0; i < heads * s * s; ++i) {
+    EXPECT_EQ(cache.probs.data()[i], 0.0f);
+  }
+  // The cache-free inference variant agrees bitwise.
+  Tensor yi = ops::AttentionInference(q, k, v, &mask);
+  for (int64_t i = 0; i < y.NumElements(); ++i) {
+    EXPECT_EQ(y.data()[i], yi.data()[i]);
+  }
+}
+
+TEST(AttentionMask, UnmaskedPathUnchangedAndCausalMatchesInference) {
+  const int64_t b = 1, heads = 2, s = 4, dh = 3;
+  Tensor q = RandTensor({b, heads, s, dh}, 21);
+  Tensor k = RandTensor({b, heads, s, dh}, 22);
+  Tensor v = RandTensor({b, heads, s, dh}, 23);
+  ops::AttentionCache c1;
+  Tensor no_mask = ops::AttentionForward(q, k, v, &c1, nullptr);
+  Tensor no_mask_inf = ops::AttentionInference(q, k, v, nullptr);
+  for (int64_t i = 0; i < no_mask.NumElements(); ++i) {
+    EXPECT_EQ(no_mask.data()[i], no_mask_inf.data()[i]);
+  }
+  ops::AttentionMask causal;
+  causal.causal = true;
+  ops::AttentionCache c2;
+  Tensor cm = ops::AttentionForward(q, k, v, &c2, &causal);
+  Tensor ci = ops::AttentionInference(q, k, v, &causal);
+  for (int64_t i = 0; i < cm.NumElements(); ++i) {
+    EXPECT_EQ(cm.data()[i], ci.data()[i]);
+  }
+  // Causal row 0 only sees key 0; it must differ from the unmasked result
+  // somewhere (sanity that the mask actually bites).
+  bool differs = false;
+  for (int64_t i = 0; i < cm.NumElements(); ++i) {
+    if (cm.data()[i] != no_mask.data()[i]) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: unbiased Rng.
+// ---------------------------------------------------------------------------
+
+TEST(RngUniformInt, DeterministicInRangeAndCoversSupport) {
+  Rng a(42), b(42);
+  const int64_t n = 13;
+  std::vector<int64_t> counts(static_cast<size_t>(n), 0);
+  for (int i = 0; i < 20000; ++i) {
+    int64_t va = a.UniformInt(n);
+    int64_t vb = b.UniformInt(n);
+    EXPECT_EQ(va, vb) << "same seed must give the same stream";
+    ASSERT_GE(va, 0);
+    ASSERT_LT(va, n);
+    counts[static_cast<size_t>(va)]++;
+  }
+  // Every value appears, and no value is grossly over-weighted (each
+  // expected ~1538; a 3x band is astronomically safe for a correct
+  // generator but catches systematic bias).
+  for (int64_t c : counts) {
+    EXPECT_GT(c, 20000 / n / 3);
+    EXPECT_LT(c, 3 * 20000 / n);
+  }
+}
+
+TEST(RngUniformInt, PowerOfTwoAndOneBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.UniformInt(1), 0);
+    int64_t v = rng.UniformInt(64);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 64);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// KV cache growth.
+// ---------------------------------------------------------------------------
+
+TEST(KvEntry, GrowthPreservesAppendedRows) {
+  const int64_t heads = 3, dh = 5;
+  nn::KvEntry e;
+  e.Reserve(heads, dh, /*min_cap=*/4);  // small: forces several regrowths
+  std::vector<std::vector<float>> krows, vrows;
+  Rng rng(99);
+  for (int step = 0; step < 70; ++step) {  // crosses several doublings
+    std::vector<float> kr(static_cast<size_t>(heads * dh));
+    std::vector<float> vr(static_cast<size_t>(heads * dh));
+    for (float& x : kr) x = rng.Normal();
+    for (float& x : vr) x = rng.Normal();
+    e.Append(kr.data(), vr.data());
+    krows.push_back(kr);
+    vrows.push_back(vr);
+  }
+  EXPECT_EQ(e.len, 70);
+  EXPECT_GE(e.cap, 70);
+  for (int64_t h = 0; h < heads; ++h) {
+    for (int64_t t = 0; t < e.len; ++t) {
+      for (int64_t d = 0; d < dh; ++d) {
+        EXPECT_EQ(e.KHead(h)[t * dh + d],
+                  krows[static_cast<size_t>(t)][static_cast<size_t>(h * dh + d)]);
+        EXPECT_EQ(e.VHead(h)[t * dh + d],
+                  vrows[static_cast<size_t>(t)][static_cast<size_t>(h * dh + d)]);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sampler.
+// ---------------------------------------------------------------------------
+
+TEST(Sampler, GreedyPicksArgmaxLowestIndexOnTies) {
+  serve::SamplingParams greedy;
+  serve::Sampler s(greedy, 1);
+  std::vector<float> logits = {0.1f, 2.0f, 2.0f, -1.0f};
+  EXPECT_EQ(s.Sample(logits.data(), 4), 1);
+}
+
+TEST(Sampler, TemperatureSamplingIsSeedDeterministicAndRespectsTopK) {
+  serve::SamplingParams p;
+  p.temperature = 0.7f;
+  p.top_k = 3;
+  std::vector<float> logits = {5.0f, 4.0f, 3.0f, -10.0f, -20.0f, 2.0f};
+  serve::Sampler a(p, 123), b(p, 123);
+  for (int i = 0; i < 500; ++i) {
+    int64_t va = a.Sample(logits.data(), 6);
+    EXPECT_EQ(va, b.Sample(logits.data(), 6));
+    // top_k=3 restricts to the three largest logits: ids {0, 1, 2}.
+    EXPECT_TRUE(va == 0 || va == 1 || va == 2) << va;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: decode parity. Incremental KV-cache decode must be bitwise
+// equal to a full-sequence prefill at every step, for every thread degree,
+// in f32, int8, f16, and with fusion enabled.
+// ---------------------------------------------------------------------------
+
+void ExpectBitwiseEqual(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_EQ(a.NumElements(), b.NumElements());
+  for (int64_t i = 0; i < a.NumElements(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i])
+        << what << " diverges at flat index " << i;
+  }
+}
+
+void RunDecodeParity(const serve::Engine& engine) {
+  const std::vector<int64_t> prompt = {5, 17, 42, 3};
+  const int64_t steps = 5;
+
+  // Incremental: one prefill, then KV-cache decode steps, greedily feeding
+  // the argmax token. Collect the logits of every step.
+  std::vector<Tensor> inc_logits;
+  std::vector<int64_t> seq = prompt;
+  auto cache = engine.NewCache();
+  inc_logits.push_back(
+      engine.Prefill(prompt.data(), static_cast<int64_t>(prompt.size()),
+                     cache.get()));
+  serve::Sampler greedy(serve::SamplingParams{}, 0);
+  for (int64_t t = 0; t < steps; ++t) {
+    int64_t tok =
+        greedy.Sample(inc_logits.back().data(), engine.vocab());
+    seq.push_back(tok);
+    std::vector<serve::KvCache*> caches = {cache.get()};
+    inc_logits.push_back(engine.DecodeStep(&tok, caches));
+  }
+
+  // Oracle: for every prefix, a fresh full-sequence prefill must reproduce
+  // the incremental logits bitwise.
+  for (size_t plen = prompt.size(); plen < seq.size(); ++plen) {
+    auto fresh = engine.NewCache();
+    Tensor full = engine.Prefill(seq.data(), static_cast<int64_t>(plen),
+                                 fresh.get());
+    ExpectBitwiseEqual(inc_logits[plen - prompt.size()], full,
+                       "incremental vs full-prefill logits");
+  }
+}
+
+TEST(DecodeParity, IncrementalMatchesFullPrefillAcrossDegrees) {
+  zoo::BertLikeModel model(zoo::BertConfig::MiniScale(), 7);
+  serve::Engine engine(model);
+  for (int degree : {1, 2, 8}) {
+    ScopedDegree d(degree);
+    RunDecodeParity(engine);
+  }
+}
+
+TEST(DecodeParity, HoldsUnderInt8Quant) {
+  zoo::BertLikeModel model(zoo::BertConfig::MiniScale(), 7);
+  serve::Engine engine(model);
+  quant::ScopedQuantMode q(quant::QuantMode::kInt8);
+  for (int degree : {1, 8}) {
+    ScopedDegree d(degree);
+    RunDecodeParity(engine);
+  }
+}
+
+TEST(DecodeParity, HoldsUnderF16QuantAndFusion) {
+  zoo::BertLikeModel model(zoo::BertConfig::MiniScale(), 7);
+  serve::Engine engine(model);
+  {
+    quant::ScopedQuantMode q(quant::QuantMode::kF16);
+    RunDecodeParity(engine);
+  }
+  {
+    fused::ScopedFusion f(true);
+    RunDecodeParity(engine);
+  }
+}
+
+TEST(DecodeParity, HoldsWithAdapters) {
+  zoo::BertLikeModel model(zoo::BertConfig::MiniScale(), 7);
+  serve::EngineOptions opts;
+  opts.num_adapters = 2;
+  serve::Engine engine(model, opts);
+  RunDecodeParity(engine);
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: batched decode is bitwise-independent of batch composition.
+// ---------------------------------------------------------------------------
+
+TEST(BatchedDecode, RowsMatchSoloStreamsBitwise) {
+  zoo::BertLikeModel model(zoo::BertConfig::MiniScale(), 7);
+  serve::Engine engine(model);
+  const std::vector<std::vector<int64_t>> prompts = {
+      {1, 2, 3}, {9, 8, 7, 6, 5}, {40}, {100, 200, 300, 400}};
+  const int64_t n = static_cast<int64_t>(prompts.size());
+
+  // Solo: each stream decodes alone; record every step's logits.
+  std::vector<std::vector<Tensor>> solo(static_cast<size_t>(n));
+  std::vector<std::vector<int64_t>> solo_toks(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    auto cache = engine.NewCache();
+    Tensor logits = engine.Prefill(
+        prompts[static_cast<size_t>(i)].data(),
+        static_cast<int64_t>(prompts[static_cast<size_t>(i)].size()),
+        cache.get());
+    serve::Sampler greedy(serve::SamplingParams{}, 0);
+    for (int step = 0; step < 4; ++step) {
+      int64_t tok = greedy.Sample(logits.data(), engine.vocab());
+      solo_toks[static_cast<size_t>(i)].push_back(tok);
+      std::vector<serve::KvCache*> caches = {cache.get()};
+      logits = engine.DecodeStep(&tok, caches);
+      solo[static_cast<size_t>(i)].push_back(logits);
+    }
+  }
+
+  // Batched: all four streams advance together in one DecodeStep per step.
+  std::vector<std::unique_ptr<serve::KvCache>> caches;
+  std::vector<Tensor> prefill(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    caches.push_back(engine.NewCache());
+    prefill[static_cast<size_t>(i)] = engine.Prefill(
+        prompts[static_cast<size_t>(i)].data(),
+        static_cast<int64_t>(prompts[static_cast<size_t>(i)].size()),
+        caches.back().get());
+  }
+  std::vector<int64_t> last(static_cast<size_t>(n));
+  serve::Sampler greedy(serve::SamplingParams{}, 0);
+  for (int64_t i = 0; i < n; ++i) {
+    last[static_cast<size_t>(i)] =
+        greedy.Sample(prefill[static_cast<size_t>(i)].data(), engine.vocab());
+    EXPECT_EQ(last[static_cast<size_t>(i)],
+              solo_toks[static_cast<size_t>(i)][0]);
+  }
+  std::vector<serve::KvCache*> cptrs;
+  for (auto& c : caches) cptrs.push_back(c.get());
+  for (int step = 0; step < 4; ++step) {
+    Tensor batched = engine.DecodeStep(last.data(), cptrs);
+    const int64_t vocab = engine.vocab();
+    for (int64_t i = 0; i < n; ++i) {
+      const Tensor& want = solo[static_cast<size_t>(i)][static_cast<size_t>(step)];
+      for (int64_t j = 0; j < vocab; ++j) {
+        ASSERT_EQ(batched.data()[i * vocab + j], want.data()[j])
+            << "stream " << i << " logit " << j << " at step " << step;
+      }
+      if (step + 1 < 4) {
+        last[static_cast<size_t>(i)] =
+            solo_toks[static_cast<size_t>(i)][static_cast<size_t>(step) + 1];
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler: continuous batching produces exactly the solo results, under
+// backpressure, across batch limits.
+// ---------------------------------------------------------------------------
+
+TEST(Scheduler, CompletionsMatchGenerateOneUnderBackpressure) {
+  zoo::BertLikeModel model(zoo::BertConfig::MiniScale(), 7);
+  serve::Engine engine(model);
+
+  std::vector<serve::Request> reqs;
+  for (int i = 0; i < 10; ++i) {
+    serve::Request r;
+    r.prompt = {static_cast<int64_t>(i * 7 % engine.vocab()),
+                static_cast<int64_t>(i + 1)};
+    r.max_new_tokens = 3 + (i % 4);
+    r.seed = static_cast<uint64_t>(i);
+    if (i % 2 == 1) {  // alternate sampled streams to exercise the Rng path
+      r.sampling.temperature = 0.9f;
+      r.sampling.top_k = 16;
+    }
+    reqs.push_back(r);
+  }
+  std::vector<serve::Completion> want;
+  for (const serve::Request& r : reqs) want.push_back(GenerateOne(engine, r));
+
+  // Tiny queue forces Submit to block (backpressure); small max_batch forces
+  // several admission waves with retirement in between.
+  serve::SchedulerOptions opts;
+  opts.max_batch = 3;
+  opts.queue_capacity = 2;
+  serve::RequestScheduler scheduler(engine, opts);
+  std::vector<std::future<serve::Completion>> futures;
+  for (const serve::Request& r : reqs) futures.push_back(scheduler.Submit(r));
+  for (size_t i = 0; i < futures.size(); ++i) {
+    serve::Completion got = futures[i].get();
+    EXPECT_EQ(got.tokens, want[i].tokens) << "request " << i;
+    EXPECT_EQ(got.reason, want[i].reason) << "request " << i;
+  }
+  scheduler.Shutdown();
+}
+
+TEST(Scheduler, EosStopsAStreamEarly) {
+  zoo::BertLikeModel model(zoo::BertConfig::MiniScale(), 7);
+  serve::Engine engine(model);
+  serve::Request probe;
+  probe.prompt = {5, 17, 42, 3};
+  probe.max_new_tokens = 6;
+  serve::Completion free_run = GenerateOne(engine, probe);
+  ASSERT_GE(free_run.tokens.size(), 2u);
+
+  serve::Request r = probe;
+  r.eos_id = free_run.tokens[1];  // the greedy second token becomes eos
+  serve::Completion got = GenerateOne(engine, r);
+  ASSERT_EQ(got.tokens.size(), 2u);
+  EXPECT_EQ(got.tokens[1], r.eos_id);
+  EXPECT_EQ(got.reason, serve::FinishReason::kEos);
+}
+
+TEST(Scheduler, PositionalTableBoundStopsGeneration) {
+  zoo::BertLikeModel model(zoo::BertConfig::MiniScale(), 7);
+  serve::Engine engine(model);
+  serve::Request r;
+  // Full-length prompt: exactly one token can be sampled (from prefill
+  // logits); there is no position left to feed it back.
+  r.prompt.assign(static_cast<size_t>(engine.max_len()), 3);
+  r.max_new_tokens = 100;
+  serve::Completion got = GenerateOne(engine, r);
+  EXPECT_EQ(got.tokens.size(), 1u);
+  EXPECT_EQ(got.reason, serve::FinishReason::kMaxLen);
+}
+
+}  // namespace
+}  // namespace nautilus

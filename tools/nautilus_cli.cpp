@@ -36,13 +36,19 @@
 // Observability (docs/OBSERVABILITY.md):
 //   --trace-out=FILE    record a Chrome/Perfetto trace of the run to FILE
 //   --metrics-summary   print the global metrics registry after the run
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <future>
+#include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "nautilus/core/successive_halving.h"
+#include "nautilus/serve/scheduler.h"
 #include "nautilus/nn/layer.h"
 #include "nautilus/obs/metrics.h"
 #include "nautilus/obs/trace.h"
@@ -97,7 +103,11 @@ int Run(int argc, char** argv) {
       ParseWorkload(FlagValue(argc, argv, "workload", "FTR-2"));
   const workloads::Approach approach =
       ParseApproach(FlagValue(argc, argv, "approach", "nautilus"));
-  const std::string mode = FlagValue(argc, argv, "mode", "simulate");
+  std::string mode = FlagValue(argc, argv, "mode", "simulate");
+  for (int i = 1; i < argc; ++i) {
+    // --serve is shorthand for --mode=serve.
+    if (std::strcmp(argv[i], "--serve") == 0) mode = "serve";
+  }
   workloads::RunParams params;
   params.cycles = std::atoi(FlagValue(argc, argv, "cycles", "10").c_str());
   params.records_per_cycle =
@@ -275,7 +285,66 @@ int Run(int argc, char** argv) {
                 result.total_model_rungs, built.workload.size());
     return 0;
   }
-  std::fprintf(stderr, "unknown mode '%s' (simulate | measure | halving)\n",
+  if (mode == "serve") {
+    // Token-id serving REPL: each stdin line is one prompt (whitespace-
+    // separated ids); each stdout line is that prompt's generated ids, in
+    // submission order. The run summary goes to stderr so two runs can be
+    // compared by diffing stdout alone (the ci.sh determinism gate).
+    zoo::BertLikeModel model(zoo::BertConfig::MiniScale(), seed);
+    serve::EngineOptions eopts;
+    eopts.num_adapters =
+        std::atol(FlagValue(argc, argv, "adapters", "0").c_str());
+    serve::Engine engine(model, eopts);
+    serve::SchedulerOptions sopts;
+    sopts.max_batch = std::atol(FlagValue(argc, argv, "max-batch", "8").c_str());
+    serve::RequestScheduler scheduler(engine, sopts);
+
+    const int64_t max_new =
+        std::atol(FlagValue(argc, argv, "max-new", "8").c_str());
+    const int64_t eos_id = std::atol(FlagValue(argc, argv, "eos", "-1").c_str());
+    const double temperature =
+        std::atof(FlagValue(argc, argv, "temperature", "0").c_str());
+    const int64_t top_k = std::atol(FlagValue(argc, argv, "top-k", "0").c_str());
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::future<serve::Completion>> futures;
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      std::istringstream iss(line);
+      serve::Request req;
+      int64_t id;
+      while (iss >> id) req.prompt.push_back(id);
+      if (req.prompt.empty()) continue;
+      req.max_new_tokens = max_new;
+      req.eos_id = eos_id;
+      req.sampling.temperature = static_cast<float>(temperature);
+      req.sampling.top_k = top_k;
+      // Per-request seed: deterministic but distinct streams.
+      req.seed = seed + static_cast<uint64_t>(futures.size());
+      futures.push_back(scheduler.Submit(std::move(req)));
+    }
+    int64_t total_tokens = 0;
+    for (std::future<serve::Completion>& f : futures) {
+      serve::Completion c = f.get();
+      for (size_t i = 0; i < c.tokens.size(); ++i) {
+        std::printf(i == 0 ? "%lld" : " %lld",
+                    static_cast<long long>(c.tokens[i]));
+      }
+      std::printf("\n");
+      total_tokens += static_cast<int64_t>(c.tokens.size());
+    }
+    scheduler.Shutdown();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::fprintf(stderr,
+                 "served %zu requests, %lld tokens in %.3fs (%.1f tok/s)\n",
+                 futures.size(), static_cast<long long>(total_tokens), secs,
+                 secs > 0 ? total_tokens / secs : 0.0);
+    return 0;
+  }
+  std::fprintf(stderr,
+               "unknown mode '%s' (simulate | measure | halving | serve)\n",
                mode.c_str());
   return 2;
 }
@@ -293,8 +362,12 @@ int main(int argc, char** argv) {
           "          [--io-cache-mb=N] [--durability=none|flush|fsync]\n"
           "          [--quant=off|int8|f16] [--fusion=0|1]\n"
           "          [--work-dir=PATH] [--resume]\n"
-          "          [--trace-out=FILE] [--metrics-summary]\n",
-          argv[0]);
+          "          [--trace-out=FILE] [--metrics-summary]\n"
+          "       %s --serve [--adapters=N] [--max-batch=8] [--max-new=8]\n"
+          "          [--eos=ID] [--temperature=T] [--top-k=K] [--seed=1]\n"
+          "          (reads one prompt of token ids per stdin line;\n"
+          "           writes generated ids per line to stdout)\n",
+          argv[0], argv[0]);
       return 0;
     }
   }
