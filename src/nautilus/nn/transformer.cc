@@ -58,6 +58,85 @@ void KvEntry::Append(const float* k_row, const float* v_row) {
 }
 
 // ---------------------------------------------------------------------------
+// PagedKvEntry
+// ---------------------------------------------------------------------------
+
+void PagedKvEntry::Init(int64_t h, int64_t d, int64_t rows) {
+  NAUTILUS_CHECK_EQ(page_rows, 0) << "PagedKvEntry::Init may only run once";
+  NAUTILUS_CHECK_GT(h, 0);
+  NAUTILUS_CHECK_GT(d, 0);
+  NAUTILUS_CHECK_GT(rows, 0);
+  heads = h;
+  dh = d;
+  page_rows = rows;
+}
+
+void PagedKvEntry::AppendRow(const float* k_row, const float* v_row) {
+  NAUTILUS_CHECK_GT(page_rows, 0) << "PagedKvEntry::Init must run first";
+  const int64_t idx = len / page_rows;
+  const int64_t off = len % page_rows;
+  if (off == 0 && idx == static_cast<int64_t>(pages.size())) {
+    pages.push_back(std::make_shared<KvPage>(heads, page_rows, dh));
+  }
+  NAUTILUS_CHECK_LT(idx, static_cast<int64_t>(pages.size()));
+  std::shared_ptr<KvPage>& tail = pages[static_cast<size_t>(idx)];
+  if (tail.use_count() > 1) {
+    // Divergence from a shared (partially attached) page: copy the `off`
+    // rows this stream can see into a private page before writing.
+    auto fresh = std::make_shared<KvPage>(heads, page_rows, dh);
+    for (int64_t hd = 0; hd < heads; ++hd) {
+      const int64_t plane = hd * page_rows * dh;
+      std::copy(tail->k.data() + plane, tail->k.data() + plane + off * dh,
+                fresh->k.data() + plane);
+      std::copy(tail->v.data() + plane, tail->v.data() + plane + off * dh,
+                fresh->v.data() + plane);
+    }
+    tail = std::move(fresh);
+  }
+  for (int64_t hd = 0; hd < heads; ++hd) {
+    const int64_t at = (hd * page_rows + off) * dh;
+    std::copy(k_row + hd * dh, k_row + (hd + 1) * dh, tail->k.data() + at);
+    std::copy(v_row + hd * dh, v_row + (hd + 1) * dh, tail->v.data() + at);
+  }
+  ++len;
+}
+
+void PagedKvEntry::AttachShared(std::shared_ptr<KvPage> page, int64_t rows) {
+  NAUTILUS_CHECK_GT(page_rows, 0) << "PagedKvEntry::Init must run first";
+  NAUTILUS_CHECK(page != nullptr);
+  NAUTILUS_CHECK_GE(rows, 1);
+  NAUTILUS_CHECK_LE(rows, page_rows);
+  NAUTILUS_CHECK_EQ(len % page_rows, 0)
+      << "shared pages attach only at page boundaries";
+  NAUTILUS_CHECK_EQ(len / page_rows, static_cast<int64_t>(pages.size()))
+      << "cannot attach past a partial tail page";
+  pages.push_back(std::move(page));
+  len += rows;
+}
+
+void PagedKvEntry::CollectPageTable(std::vector<const float*>* k_pages,
+                                    std::vector<const float*>* v_pages) const {
+  k_pages->resize(pages.size());
+  v_pages->resize(pages.size());
+  for (size_t p = 0; p < pages.size(); ++p) {
+    (*k_pages)[p] = pages[p]->k.data();
+    (*v_pages)[p] = pages[p]->v.data();
+  }
+}
+
+int64_t PagedKvEntry::SizeBytes() const {
+  int64_t total = 0;
+  for (const std::shared_ptr<KvPage>& p : pages) total += p->SizeBytes();
+  return total;
+}
+
+bool PagedKvEntry::TailShared() const {
+  const int64_t idx = len / page_rows;
+  if (idx >= static_cast<int64_t>(pages.size())) return false;
+  return pages[static_cast<size_t>(idx)].use_count() > 1;
+}
+
+// ---------------------------------------------------------------------------
 // EmbeddingBlockLayer
 // ---------------------------------------------------------------------------
 
@@ -446,6 +525,46 @@ Tensor TransformerBlockLayer::ServePrefill(const Tensor& x,
   return ServeFfnTail(x, attn);
 }
 
+Tensor TransformerBlockLayer::ServePrefillChunk(const Tensor& x,
+                                                PagedKvEntry* kv) const {
+  NAUTILUS_CHECK_EQ(x.shape().rank(), 2);
+  NAUTILUS_CHECK_EQ(x.shape().dim(1), hidden_);
+  NAUTILUS_CHECK(kv != nullptr);
+  const int64_t c = x.shape().dim(0);
+  const int64_t start = kv->len;
+  const int64_t dh = hidden_ / heads_;
+  NAUTILUS_CHECK_EQ(kv->heads, heads_);
+  NAUTILUS_CHECK_EQ(kv->dh, dh);
+  Tensor q = ServeProject(0, x, ops::EpilogueKind::kBias);
+  Tensor k = ServeProject(1, x, ops::EpilogueKind::kBias);
+  Tensor v = ServeProject(2, x, ops::EpilogueKind::kBias);
+  for (int64_t i = 0; i < c; ++i) {
+    kv->AppendRow(k.data() + i * hidden_, v.data() + i * hidden_);
+  }
+  // Causal attention through the page table: chunk row i (global position
+  // start + i) reads the first start + i + 1 cached rows — attached shared
+  // prefix pages, earlier chunks, and this chunk's own rows alike — via the
+  // same per-row kernel as every other attention path.
+  std::vector<const float*> k_pages, v_pages;
+  kv->CollectPageTable(&k_pages, &v_pages);
+  const int64_t page_rows = kv->page_rows;
+  Tensor attn = Tensor::Uninitialized(Shape({c, hidden_}));
+  const float* pq = q.data();
+  float* pa = attn.data();
+  ParallelFor(c * heads_, [&](int64_t begin, int64_t end) {
+    std::vector<float> scratch(static_cast<size_t>(start + c));
+    for (int64_t ih = begin; ih < end; ++ih) {
+      const int64_t i = ih / heads_;
+      const int64_t h = ih % heads_;
+      ops::AttentionDecodeRowPaged(
+          pq + i * hidden_ + h * dh, k_pages.data(), v_pages.data(),
+          /*head_offset=*/h * page_rows * dh, /*len=*/start + i + 1,
+          page_rows, dh, scratch.data(), pa + i * hidden_ + h * dh);
+    }
+  });
+  return ServeFfnTail(x, attn);
+}
+
 Tensor TransformerBlockLayer::ServeDecodeStep(
     const Tensor& x, const std::vector<KvEntry*>& kvs) const {
   NAUTILUS_CHECK_EQ(x.shape().rank(), 2);
@@ -476,6 +595,49 @@ Tensor TransformerBlockLayer::ServeDecodeStep(
       ops::AttentionDecodeRow(pq + i * hidden_ + h * dh, cache.KHead(h),
                               cache.VHead(h), cache.len, dh, scratch.data(),
                               pa + i * hidden_ + h * dh);
+    }
+  });
+  return ServeFfnTail(x, attn);
+}
+
+Tensor TransformerBlockLayer::ServeDecodeStep(
+    const Tensor& x, const std::vector<PagedKvEntry*>& kvs) const {
+  NAUTILUS_CHECK_EQ(x.shape().rank(), 2);
+  NAUTILUS_CHECK_EQ(x.shape().dim(1), hidden_);
+  const int64_t n = x.shape().dim(0);
+  NAUTILUS_CHECK_EQ(static_cast<int64_t>(kvs.size()), n);
+  const int64_t dh = hidden_ / heads_;
+  // One fused (possibly quantized) GEMM per projection over all live
+  // streams, exactly like the unpaged path.
+  Tensor q = ServeProject(0, x, ops::EpilogueKind::kBias);
+  Tensor k = ServeProject(1, x, ops::EpilogueKind::kBias);
+  Tensor v = ServeProject(2, x, ops::EpilogueKind::kBias);
+  for (int64_t i = 0; i < n; ++i) {
+    kvs[i]->AppendRow(k.data() + i * hidden_, v.data() + i * hidden_);
+  }
+  // Per-stream page tables, built once outside the row loop.
+  std::vector<std::vector<const float*>> k_pages(static_cast<size_t>(n));
+  std::vector<std::vector<const float*>> v_pages(static_cast<size_t>(n));
+  int64_t max_len = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    kvs[static_cast<size_t>(i)]->CollectPageTable(
+        &k_pages[static_cast<size_t>(i)], &v_pages[static_cast<size_t>(i)]);
+    max_len = std::max(max_len, kvs[static_cast<size_t>(i)]->len);
+  }
+  Tensor attn = Tensor::Uninitialized(Shape({n, hidden_}));
+  const float* pq = q.data();
+  float* pa = attn.data();
+  ParallelFor(n * heads_, [&](int64_t begin, int64_t end) {
+    std::vector<float> scratch(static_cast<size_t>(max_len));
+    for (int64_t ih = begin; ih < end; ++ih) {
+      const int64_t i = ih / heads_;
+      const int64_t h = ih % heads_;
+      const PagedKvEntry& cache = *kvs[static_cast<size_t>(i)];
+      ops::AttentionDecodeRowPaged(
+          pq + i * hidden_ + h * dh, k_pages[static_cast<size_t>(i)].data(),
+          v_pages[static_cast<size_t>(i)].data(),
+          /*head_offset=*/h * cache.page_rows * dh, cache.len,
+          cache.page_rows, dh, scratch.data(), pa + i * hidden_ + h * dh);
     }
   });
   return ServeFfnTail(x, attn);

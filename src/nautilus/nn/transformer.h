@@ -40,6 +40,63 @@ struct KvEntry {
   const float* VHead(int64_t h) const { return v.data() + h * cap * dh; }
 };
 
+/// One fixed-size KV page: `page_rows` positions of [heads, dh] K and V
+/// rows, laid out as [heads, page_rows, dh] planes (head h's plane starts at
+/// offset h * page_rows * dh). Storage is pool-rented
+/// (Tensor::Uninitialized). Pages are shared between streams via
+/// shared_ptr — a page referenced by more than one owner is immutable.
+struct KvPage {
+  Tensor k, v;  // [heads, page_rows, dh]
+
+  KvPage(int64_t heads, int64_t page_rows, int64_t dh)
+      : k(Tensor::Uninitialized(Shape({heads, page_rows, dh}))),
+        v(Tensor::Uninitialized(Shape({heads, page_rows, dh}))) {}
+
+  int64_t SizeBytes() const { return k.SizeBytes() + v.SizeBytes(); }
+};
+
+/// Paged per-(stream, block) KV cache: positions live in fixed-size pages so
+/// streams with a common prompt prefix can reference the same physical pages
+/// (attached via AttachShared) instead of each materializing its own copy.
+/// Appends write only pages this entry exclusively owns; appending into a
+/// shared page copies it first (copy-on-write on divergence), so shared
+/// pages are never mutated and attached prefixes stay bitwise-stable.
+struct PagedKvEntry {
+  int64_t heads = 0;
+  int64_t dh = 0;
+  int64_t page_rows = 0;
+  int64_t len = 0;  // valid positions across pages
+  std::vector<std::shared_ptr<KvPage>> pages;
+
+  /// Fixes the geometry. Must run once before any append/attach.
+  void Init(int64_t heads, int64_t dh, int64_t page_rows);
+
+  /// Appends one position (same merged [heads*dh] row layout as
+  /// KvEntry::Append). Allocates a fresh page at page boundaries; triggers
+  /// copy-on-write when the tail page is shared.
+  void AppendRow(const float* k_row, const float* v_row);
+
+  /// Attaches `rows` (1 <= rows <= page_rows) positions of `page` by
+  /// reference. `len` must be page-aligned (prefix attachment happens before
+  /// any private rows exist past it); a partial attach (rows < page_rows)
+  /// must be the last one — the next AppendRow copies the page (CoW).
+  void AttachShared(std::shared_ptr<KvPage> page, int64_t rows);
+
+  /// Base pointers of every page's K/V storage, for the paged attention
+  /// kernel (ops::AttentionDecodeRowPaged); head h's plane sits at
+  /// head_offset = h * page_rows * dh within each page.
+  void CollectPageTable(std::vector<const float*>* k_pages,
+                        std::vector<const float*>* v_pages) const;
+
+  /// Bytes across all referenced pages (shared pages included — see
+  /// serve::KvCache for deduplicated accounting).
+  int64_t SizeBytes() const;
+
+  /// True when the page holding position `len` (the next append target) is
+  /// referenced by another owner too.
+  bool TailShared() const;
+};
+
 /// BERT-style input block: token embedding + learned positional embedding +
 /// layer norm. Maps integer token ids [b, s] to [b, s, hidden]. Treated as a
 /// composite layer for memory accounting.
@@ -124,6 +181,16 @@ class TransformerBlockLayer : public Layer {
   /// quant::GlobalQuantMode() exactly like ForwardQuantized.
   Tensor ServePrefill(const Tensor& x, KvEntry* kv) const;
 
+  /// Paged chunked prefill: x is [c, hidden], the next c positions of ONE
+  /// stream's prompt, starting at position kv->len (0 for the first chunk,
+  /// or past an attached shared prefix). Appends c K/V rows to the paged
+  /// cache and runs causal attention of each new row against everything
+  /// cached before it (attached prefix + earlier chunk rows + this chunk).
+  /// Returns [c, hidden]; row i is bitwise-equal to row kv->len_before + i
+  /// of an unpaged full-prompt ServePrefill — chunking and page layout never
+  /// change serving output.
+  Tensor ServePrefillChunk(const Tensor& x, PagedKvEntry* kv) const;
+
   /// Serving decode step: x is [n, hidden], one new-position row per live
   /// stream, kvs[i] the i-th stream's cache for this block. Appends one K/V
   /// row per stream and attends each row against its own cache. Returns
@@ -132,6 +199,11 @@ class TransformerBlockLayer : public Layer {
   /// share the batch — the property continuous batching relies on.
   Tensor ServeDecodeStep(const Tensor& x,
                          const std::vector<KvEntry*>& kvs) const;
+
+  /// Paged variant of ServeDecodeStep, reading K/V through each stream's
+  /// page table. Bitwise-equal to the unpaged path over the same positions.
+  Tensor ServeDecodeStep(const Tensor& x,
+                         const std::vector<PagedKvEntry*>& kvs) const;
   std::vector<Tensor> Backward(const Tensor& grad_out,
                                const std::vector<const Tensor*>& inputs,
                                const LayerCache& cache) override;

@@ -3,12 +3,39 @@
 #include <algorithm>
 #include <string>
 
+#include "nautilus/obs/metrics.h"
 #include "nautilus/obs/trace.h"
 #include "nautilus/tensor/ops.h"
+#include "nautilus/tensor/quant.h"
 #include "nautilus/util/logging.h"
 
 namespace nautilus {
 namespace serve {
+
+namespace {
+
+obs::Counter& PrefixHits() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("serve.prefix_cache.hits");
+  return c;
+}
+obs::Counter& PrefixMisses() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("serve.prefix_cache.misses");
+  return c;
+}
+obs::Counter& PrefixPagesShared() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("serve.prefix_cache.pages_shared");
+  return c;
+}
+obs::Counter& PrefixRowsReused() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("serve.prefix_cache.rows_reused");
+  return c;
+}
+
+}  // namespace
 
 Engine::Engine(const zoo::BertLikeModel& model, const EngineOptions& opts)
     : model_(model), opts_(opts) {
@@ -16,6 +43,7 @@ Engine::Engine(const zoo::BertLikeModel& model, const EngineOptions& opts)
   NAUTILUS_CHECK_GE(opts_.num_adapters, 0);
   NAUTILUS_CHECK_LE(opts_.num_adapters, cfg.num_blocks);
   NAUTILUS_CHECK_GT(opts_.initial_kv_cap, 0);
+  NAUTILUS_CHECK_GT(opts_.page_rows, 0);
   adapters_.resize(static_cast<size_t>(cfg.num_blocks));
   if (opts_.num_adapters > 0) {
     // Same construction order and Rng stream as BuildBertAdapterModel, so a
@@ -28,11 +56,22 @@ Engine::Engine(const zoo::BertLikeModel& model, const EngineOptions& opts)
           /*bottleneck=*/std::max<int64_t>(cfg.hidden / 8, 2), &rng);
     }
   }
+  if (opts_.paged && opts_.prefix_cache) {
+    PrefixCache::Options popts;
+    popts.page_rows = opts_.page_rows;
+    popts.num_blocks = cfg.num_blocks;
+    popts.budget_bytes = opts_.prefix_cache_mb << 20;
+    prefix_cache_ = std::make_unique<PrefixCache>(popts);
+  }
 }
 
 std::unique_ptr<KvCache> Engine::NewCache() const {
   const zoo::BertConfig& cfg = model_.config();
   const int64_t dh = cfg.hidden / cfg.heads;
+  if (opts_.paged) {
+    return std::make_unique<KvCache>(
+        KvCache::Paged(cfg.num_blocks, cfg.heads, dh, opts_.page_rows));
+  }
   return std::make_unique<KvCache>(cfg.num_blocks, cfg.heads, dh,
                                    opts_.initial_kv_cap);
 }
@@ -40,6 +79,69 @@ std::unique_ptr<KvCache> Engine::NewCache() const {
 Tensor Engine::Logits(const Tensor& h) const {
   // Weight-tied LM head: [n, hidden] x [vocab, hidden]^T -> [n, vocab].
   return ops::MatMulNT(h, model_.embedding()->token_table());
+}
+
+int64_t Engine::BeginPrefill(const int64_t* tokens, int64_t n,
+                             KvCache* cache) const {
+  NAUTILUS_CHECK(cache != nullptr && cache->paged());
+  NAUTILUS_CHECK_EQ(cache->len(), 0);
+  NAUTILUS_CHECK_GE(n, 1);
+  NAUTILUS_CHECK_LE(n, max_len());
+  if (prefix_cache_ == nullptr) return 0;
+  // Cap at n-1: the last prompt position is always computed so the final
+  // chunk has a row to produce logits from, even on a full trie hit.
+  const PrefixCache::AttachResult res =
+      prefix_cache_->Attach(tokens, n, /*limit=*/n - 1,
+                            static_cast<uint64_t>(quant::GlobalQuantMode()),
+                            cache);
+  if (res.rows > 0) {
+    PrefixHits().Add();
+    PrefixPagesShared().Add(res.pages);
+    PrefixRowsReused().Add(res.rows);
+  } else {
+    PrefixMisses().Add();
+  }
+  return res.rows;
+}
+
+Tensor Engine::PrefillChunk(const int64_t* tokens, int64_t c, KvCache* cache,
+                            bool want_logits) const {
+  obs::TraceScope span("serve", "serve.prefill_chunk");
+  NAUTILUS_CHECK(cache != nullptr && cache->paged());
+  NAUTILUS_CHECK_GE(c, 1);
+  const int64_t start = cache->len();
+  NAUTILUS_CHECK_LE(start + c, max_len());
+  NAUTILUS_CHECK_EQ(cache->num_blocks(), num_blocks());
+
+  std::vector<int64_t> positions(static_cast<size_t>(c));
+  for (int64_t i = 0; i < c; ++i) {
+    positions[static_cast<size_t>(i)] = start + i;
+  }
+  Tensor h = model_.embedding()->ServeEmbedRows(tokens, positions.data(), c);
+  const auto& blocks = model_.blocks();
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    h = blocks[b]->ServePrefillChunk(h,
+                                     cache->paged_entry(static_cast<int64_t>(b)));
+    if (adapters_[b] != nullptr) {
+      h = adapters_[b]->Forward({&h}, /*cache=*/nullptr);
+    }
+  }
+  if (!want_logits) return Tensor();
+  // Only the final position feeds generation; slice it before the LM head.
+  const int64_t hidden = h.shape().dim(1);
+  Tensor last = Tensor::Uninitialized({1, hidden});
+  std::copy(h.data() + (c - 1) * hidden, h.data() + c * hidden, last.data());
+  return Logits(last);
+}
+
+void Engine::FinishPrefill(const int64_t* tokens, int64_t n,
+                           KvCache* cache) const {
+  NAUTILUS_CHECK(cache != nullptr && cache->paged());
+  NAUTILUS_CHECK_EQ(cache->len(), n) << "prefill did not cover the prompt";
+  if (prefix_cache_ == nullptr) return;
+  prefix_cache_->Insert(tokens, n,
+                        static_cast<uint64_t>(quant::GlobalQuantMode()),
+                        *cache);
 }
 
 Tensor Engine::Prefill(const int64_t* tokens, int64_t n,
@@ -50,7 +152,18 @@ Tensor Engine::Prefill(const int64_t* tokens, int64_t n,
   NAUTILUS_CHECK(cache != nullptr);
   NAUTILUS_CHECK_EQ(cache->len(), 0);
   NAUTILUS_CHECK_EQ(cache->num_blocks(), num_blocks());
+  NAUTILUS_CHECK_EQ(cache->paged(), opts_.paged)
+      << "cache storage mode does not match the engine";
 
+  if (cache->paged()) {
+    const int64_t start = BeginPrefill(tokens, n, cache);
+    Tensor logits =
+        PrefillChunk(tokens + start, n - start, cache, /*want_logits=*/true);
+    FinishPrefill(tokens, n, cache);
+    return logits;
+  }
+
+  // Unpaged (PR 9) path: one contiguous causal pass over the whole prompt.
   std::vector<int64_t> positions(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) positions[static_cast<size_t>(i)] = i;
   Tensor h = model_.embedding()->ServeEmbedRows(tokens, positions.data(), n);
@@ -77,6 +190,7 @@ Tensor Engine::DecodeStep(const int64_t* last_tokens,
     KvCache* cache = caches[static_cast<size_t>(i)];
     NAUTILUS_CHECK(cache != nullptr);
     NAUTILUS_CHECK_EQ(cache->num_blocks(), num_blocks());
+    NAUTILUS_CHECK_EQ(cache->paged(), opts_.paged);
     NAUTILUS_CHECK_GE(cache->len(), 1);
     NAUTILUS_CHECK_LT(cache->len(), max_len());
     positions[static_cast<size_t>(i)] = cache->len();
@@ -85,6 +199,21 @@ Tensor Engine::DecodeStep(const int64_t* last_tokens,
   Tensor h =
       model_.embedding()->ServeEmbedRows(last_tokens, positions.data(), n);
   const auto& blocks = model_.blocks();
+  if (opts_.paged) {
+    std::vector<nn::PagedKvEntry*> kvs(static_cast<size_t>(n));
+    for (size_t b = 0; b < blocks.size(); ++b) {
+      for (int64_t i = 0; i < n; ++i) {
+        kvs[static_cast<size_t>(i)] =
+            caches[static_cast<size_t>(i)]->paged_entry(
+                static_cast<int64_t>(b));
+      }
+      h = blocks[b]->ServeDecodeStep(h, kvs);
+      if (adapters_[b] != nullptr) {
+        h = adapters_[b]->Forward({&h}, /*cache=*/nullptr);
+      }
+    }
+    return Logits(h);
+  }
   std::vector<nn::KvEntry*> kvs(static_cast<size_t>(n));
   for (size_t b = 0; b < blocks.size(); ++b) {
     for (int64_t i = 0; i < n; ++i) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "nautilus/serve/kv_cache.h"
+#include "nautilus/serve/prefix_cache.h"
 #include "nautilus/tensor/tensor.h"
 #include "nautilus/zoo/bert_like.h"
 
@@ -19,7 +20,24 @@ struct EngineOptions {
   /// weights match a model selected by that builder.
   int64_t num_adapters = 0;
   uint64_t adapter_seed = 1234;
-  /// Initial KV capacity (positions) rented per stream; grows by doubling.
+
+  /// Paged KV storage (the default): fixed-size pages rented from the
+  /// tensor buffer pool, shareable across streams. false selects the
+  /// contiguous doubling layout (the PR 9 path, kept as the bitwise parity
+  /// baseline — both layouts produce identical logits).
+  bool paged = true;
+  /// Positions per KV page (paged mode). Smaller pages share shorter common
+  /// prefixes but cost more page-table entries.
+  int64_t page_rows = 64;
+  /// Shared-prefix reuse: cache full prompt pages in a per-model radix trie
+  /// and attach them by reference to later prompts with the same prefix, so
+  /// the shared rows prefill exactly once. Paged mode only.
+  bool prefix_cache = true;
+  /// Byte budget for trie-retained pages (LRU eviction past it).
+  int64_t prefix_cache_mb = 64;
+
+  /// Initial KV capacity (positions) rented per stream in unpaged mode;
+  /// grows by doubling.
   int64_t initial_kv_cap = 16;
 };
 
@@ -28,9 +46,9 @@ struct EngineOptions {
 /// head (logits = h @ token_table^T). Prefill runs a prompt through the
 /// causal serving path and fills the stream's KvCache; DecodeStep advances
 /// any number of live streams by one position with a single batched forward.
-/// Stateless across calls (all per-stream state lives in KvCache), so it is
-/// safe to share one Engine between threads that own disjoint caches —
-/// though the scheduler serializes steps anyway.
+/// All per-stream state lives in KvCache; the only engine-level mutable
+/// state is the internally-locked prefix cache, so one Engine is safe to
+/// share between threads that own disjoint stream caches.
 class Engine {
  public:
   explicit Engine(const zoo::BertLikeModel& model,
@@ -40,14 +58,33 @@ class Engine {
   /// Hard generation-length bound: the positional table has seq_len rows.
   int64_t max_len() const { return model_.config().seq_len; }
   int64_t num_blocks() const { return model_.config().num_blocks; }
+  bool paged() const { return opts_.paged; }
+  int64_t page_rows() const { return opts_.page_rows; }
+  /// Null when disabled (or unpaged).
+  const PrefixCache* prefix_cache() const { return prefix_cache_.get(); }
 
-  /// Fresh empty cache shaped for this model.
+  /// Fresh empty cache shaped for this model (paged or unpaged per options).
   std::unique_ptr<KvCache> NewCache() const;
 
   /// Runs an n-token prompt (1 <= n <= max_len) through the model, filling
   /// `cache` (which must be empty). Returns the last position's logits
-  /// [1, vocab].
+  /// [1, vocab]. In paged mode this is BeginPrefill + one PrefillChunk +
+  /// FinishPrefill: a cached shared prefix is attached by reference and only
+  /// the remaining rows are computed — bitwise-identical logits either way.
   Tensor Prefill(const int64_t* tokens, int64_t n, KvCache* cache) const;
+
+  /// Chunked prefill (paged caches only), for interleaving long prompts
+  /// with decode steps. BeginPrefill consults the prefix cache and returns
+  /// the resume position (rows attached by reference; 0 on a miss).
+  /// PrefillChunk then advances the prompt by c tokens (tokens points at
+  /// the chunk, positions cache->len()..cache->len()+c-1); it returns the
+  /// chunk's last-row logits when want_logits (the final chunk), else an
+  /// empty tensor. FinishPrefill publishes the prompt's full pages to the
+  /// prefix cache. Chunk boundaries never change the produced logits.
+  int64_t BeginPrefill(const int64_t* tokens, int64_t n, KvCache* cache) const;
+  Tensor PrefillChunk(const int64_t* tokens, int64_t c, KvCache* cache,
+                      bool want_logits) const;
+  void FinishPrefill(const int64_t* tokens, int64_t n, KvCache* cache) const;
 
   /// One decode step for `caches.size()` live streams. last_tokens[i] is
   /// stream i's most recent token; its position is caches[i]->len(), which
@@ -63,6 +100,8 @@ class Engine {
   EngineOptions opts_;
   // Parallel to model_.blocks(); null where the block has no adapter.
   std::vector<std::shared_ptr<nn::AdapterLayer>> adapters_;
+  // Shared-prefix page index; internally locked. Null when disabled.
+  std::unique_ptr<PrefixCache> prefix_cache_;
 };
 
 }  // namespace serve

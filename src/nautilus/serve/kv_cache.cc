@@ -11,12 +11,52 @@ KvCache::KvCache(int64_t num_blocks, int64_t heads, int64_t head_dim,
   }
 }
 
+KvCache KvCache::Paged(int64_t num_blocks, int64_t heads, int64_t head_dim,
+                       int64_t page_rows) {
+  KvCache cache;
+  cache.paged_ = true;
+  cache.paged_entries_.resize(static_cast<size_t>(num_blocks));
+  for (nn::PagedKvEntry& e : cache.paged_entries_) {
+    e.Init(heads, head_dim, page_rows);
+  }
+  return cache;
+}
+
+int64_t KvCache::len() const {
+  if (paged_) return paged_entries_.empty() ? 0 : paged_entries_[0].len;
+  return entries_.empty() ? 0 : entries_[0].len;
+}
+
 int64_t KvCache::SizeBytes() const {
   int64_t total = 0;
   for (const nn::KvEntry& e : entries_) {
     total += e.k.SizeBytes() + e.v.SizeBytes();
   }
+  for (const nn::PagedKvEntry& e : paged_entries_) {
+    total += e.SizeBytes();
+  }
   return total;
+}
+
+int64_t KvCache::SharedPages() const {
+  int64_t shared = 0;
+  for (const nn::PagedKvEntry& e : paged_entries_) {
+    for (const std::shared_ptr<nn::KvPage>& p : e.pages) {
+      if (p.use_count() > 1) ++shared;
+    }
+  }
+  return shared;
+}
+
+int64_t KvCache::OwnedBytes() const {
+  if (!paged_) return SizeBytes();
+  int64_t owned = 0;
+  for (const nn::PagedKvEntry& e : paged_entries_) {
+    for (const std::shared_ptr<nn::KvPage>& p : e.pages) {
+      if (p.use_count() == 1) owned += p->SizeBytes();
+    }
+  }
+  return owned;
 }
 
 }  // namespace serve

@@ -1,5 +1,6 @@
 #include "nautilus/serve/scheduler.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -42,11 +43,25 @@ obs::Histogram& RequestLatency() {
       obs::MetricsRegistry::Global().histogram("serve.request_ns");
   return h;
 }
+obs::Histogram& PrefillChunksHist() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::Global().histogram("serve.prefill_chunks");
+  return h;
+}
 
 void ValidateRequest(const Engine& engine, const Request& req) {
   NAUTILUS_CHECK_GE(static_cast<int64_t>(req.prompt.size()), 1);
   NAUTILUS_CHECK_LE(static_cast<int64_t>(req.prompt.size()), engine.max_len());
   NAUTILUS_CHECK_GE(req.max_new_tokens, 1);
+  // The last generated token is never fed back, so a request fits exactly
+  // when prompt_len + max_new_tokens - 1 positions exist. Anything larger
+  // could not honor max_new_tokens and is rejected up front.
+  NAUTILUS_CHECK_LE(
+      static_cast<int64_t>(req.prompt.size()) + req.max_new_tokens - 1,
+      engine.max_len())
+      << "request rejected: prompt_len + max_new_tokens exceeds the model's "
+         "max sequence length "
+      << engine.max_len();
   for (int64_t t : req.prompt) {
     NAUTILUS_CHECK_GE(t, 0);
     NAUTILUS_CHECK_LT(t, engine.vocab());
@@ -74,6 +89,10 @@ struct RequestScheduler::Stream {
   std::unique_ptr<KvCache> cache;  // null until admitted (prefill)
   int64_t last_token = -1;         // staged input for the next decode step
   int64_t start_ns = 0;
+  int64_t prefill_pos = 0;     // prompt rows in the cache (attached+computed)
+  int64_t prefill_chunks = 0;  // chunks run so far for this prompt
+  bool prefill_done = false;   // first token staged; decode-ready
+  bool retired = false;        // promise resolved this iteration
 
   Stream(Request r, std::promise<Completion> p)
       : req(std::move(r)),
@@ -88,6 +107,11 @@ RequestScheduler::RequestScheduler(const Engine& engine,
     : engine_(engine), opts_(opts) {
   NAUTILUS_CHECK_GE(opts_.max_batch, 1);
   NAUTILUS_CHECK_GE(opts_.queue_capacity, 1);
+  NAUTILUS_CHECK_GE(opts_.prefill_chunk, 0);
+  if (opts_.prefill_chunk > 0) {
+    NAUTILUS_CHECK(engine.paged())
+        << "chunked prefill requires a paged engine";
+  }
   worker_ = std::thread([this] { WorkerLoop(); });
 }
 
@@ -147,6 +171,46 @@ bool RequestScheduler::RecordToken(Stream* s, int64_t tok) {
   return false;
 }
 
+int64_t RequestScheduler::AdvancePrefill(Stream* s, bool* finished) {
+  *finished = false;
+  const int64_t n = static_cast<int64_t>(s->req.prompt.size());
+  if (opts_.prefill_chunk == 0) {
+    // Whole-prompt prefill (engine handles prefix attach + publish).
+    s->cache = engine_.NewCache();
+    Tensor logits =
+        engine_.Prefill(s->req.prompt.data(), n, s->cache.get());
+    s->prefill_pos = n;
+    s->prefill_chunks = 1;
+    s->prefill_done = true;
+    PrefillChunksHist().Record(1);
+    const int64_t tok = s->sampler.Sample(logits.data(), engine_.vocab());
+    *finished = RecordToken(s, tok);
+    return n;
+  }
+
+  // Chunked: first visit attaches any cached shared prefix, every visit
+  // computes one bounded chunk; the final chunk emits the prompt's logits.
+  if (s->cache == nullptr) {
+    s->cache = engine_.NewCache();
+    s->prefill_pos =
+        engine_.BeginPrefill(s->req.prompt.data(), n, s->cache.get());
+  }
+  const int64_t c = std::min(opts_.prefill_chunk, n - s->prefill_pos);
+  const bool last = s->prefill_pos + c == n;
+  Tensor logits = engine_.PrefillChunk(s->req.prompt.data() + s->prefill_pos,
+                                       c, s->cache.get(), last);
+  s->prefill_pos += c;
+  ++s->prefill_chunks;
+  if (last) {
+    engine_.FinishPrefill(s->req.prompt.data(), n, s->cache.get());
+    s->prefill_done = true;
+    PrefillChunksHist().Record(s->prefill_chunks);
+    const int64_t tok = s->sampler.Sample(logits.data(), engine_.vocab());
+    *finished = RecordToken(s, tok);
+  }
+  return c;
+}
+
 void RequestScheduler::WorkerLoop() {
   std::vector<std::unique_ptr<Stream>> live;
   while (true) {
@@ -170,49 +234,68 @@ void RequestScheduler::WorkerLoop() {
       if (admitted) queue_space_.notify_all();
     }
 
-    // Prefill newly admitted streams and stage their first sampled token.
+    SchedulerStepInfo info;
+
+    // Prefill. Unchunked: run every newly admitted prompt to completion.
+    // Chunked: run ONE chunk of the oldest mid-prefill stream, so streams
+    // already decoding stall by at most prefill_chunk rows per iteration.
     std::vector<std::unique_ptr<Stream>> survivors;
     survivors.reserve(live.size());
+    bool chunk_spent = false;
     for (std::unique_ptr<Stream>& sp : live) {
-      if (sp->cache == nullptr) {
-        sp->cache = engine_.NewCache();
-        Tensor logits = engine_.Prefill(
-            sp->req.prompt.data(),
-            static_cast<int64_t>(sp->req.prompt.size()), sp->cache.get());
-        const int64_t tok = sp->sampler.Sample(logits.data(), engine_.vocab());
-        if (RecordToken(sp.get(), tok)) continue;  // finished at prefill
+      if (!sp->prefill_done &&
+          (opts_.prefill_chunk == 0 || !chunk_spent)) {
+        chunk_spent = true;
+        bool finished = false;
+        info.prefill_rows += AdvancePrefill(sp.get(), &finished);
+        if (finished) continue;  // retired at prefill (eos / max_new == 1)
       }
       survivors.push_back(std::move(sp));
     }
     live = std::move(survivors);
-    if (live.empty()) continue;
 
-    // One batched forward for every live stream, then per-stream sampling
-    // and retirement. Logits row i belongs to live[i].
-    std::vector<int64_t> last(live.size());
-    std::vector<KvCache*> caches(live.size());
-    for (size_t i = 0; i < live.size(); ++i) {
-      last[i] = live[i]->last_token;
-      caches[i] = live[i]->cache.get();
+    // One batched forward for every decode-ready stream, then per-stream
+    // sampling and retirement. Logits row j belongs to ready[j].
+    std::vector<Stream*> ready;
+    ready.reserve(live.size());
+    for (const std::unique_ptr<Stream>& sp : live) {
+      if (sp->prefill_done) {
+        ready.push_back(sp.get());
+      } else {
+        ++info.prefilling;
+      }
     }
-    const int64_t t0 = NowNs();
-    Tensor logits;
-    {
-      obs::TraceScope span("serve", "serve.step");
-      logits = engine_.DecodeStep(last.data(), caches);
+    if (!ready.empty()) {
+      std::vector<int64_t> last(ready.size());
+      std::vector<KvCache*> caches(ready.size());
+      for (size_t j = 0; j < ready.size(); ++j) {
+        last[j] = ready[j]->last_token;
+        caches[j] = ready[j]->cache.get();
+      }
+      const int64_t t0 = NowNs();
+      Tensor logits;
+      {
+        obs::TraceScope span("serve", "serve.step");
+        logits = engine_.DecodeStep(last.data(), caches);
+      }
+      StepLatency().Record(NowNs() - t0);
+      StepCounter().Add();
+      info.decoded = static_cast<int64_t>(ready.size());
+      const int64_t vocab = engine_.vocab();
+      for (size_t j = 0; j < ready.size(); ++j) {
+        Stream* s = ready[j];
+        const int64_t tok = s->sampler.Sample(
+            logits.data() + static_cast<int64_t>(j) * vocab, vocab);
+        s->retired = RecordToken(s, tok);
+      }
+      survivors.clear();
+      survivors.reserve(live.size());
+      for (std::unique_ptr<Stream>& sp : live) {
+        if (!sp->retired) survivors.push_back(std::move(sp));
+      }
+      live = std::move(survivors);
     }
-    StepLatency().Record(NowNs() - t0);
-    StepCounter().Add();
-    const int64_t vocab = engine_.vocab();
-    survivors.clear();
-    survivors.reserve(live.size());
-    for (size_t i = 0; i < live.size(); ++i) {
-      Stream* s = live[i].get();
-      const int64_t tok = s->sampler.Sample(
-          logits.data() + static_cast<int64_t>(i) * vocab, vocab);
-      if (!RecordToken(s, tok)) survivors.push_back(std::move(live[i]));
-    }
-    live = std::move(survivors);
+    if (opts_.on_step) opts_.on_step(info);
   }
 }
 

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -39,9 +40,28 @@ struct Completion {
   FinishReason reason = FinishReason::kLength;
 };
 
+/// Per-iteration snapshot handed to SchedulerOptions::on_step (worker
+/// thread). One scheduler iteration = at most one prefill chunk plus one
+/// batched decode step, so `prefill_rows <= prefill_chunk` whenever chunking
+/// is on — the invariant that bounds decode stalls behind long prompts.
+struct SchedulerStepInfo {
+  int64_t prefill_rows = 0;  // prompt rows computed this iteration
+  int64_t decoded = 0;       // streams advanced by the decode step
+  int64_t prefilling = 0;    // streams still mid-prefill afterwards
+};
+
 struct SchedulerOptions {
   int64_t max_batch = 8;        // live streams batched into one step
   int64_t queue_capacity = 64;  // Submit blocks past this (backpressure)
+  /// Chunked prefill (paged engines only): split prompts into chunks of at
+  /// most this many rows and run at most ONE chunk per scheduler iteration,
+  /// interleaved with the batched decode step — a long prompt can then delay
+  /// a live stream's next decode by one chunk, not a whole prompt. 0 keeps
+  /// whole-prompt prefill.
+  int64_t prefill_chunk = 0;
+  /// Observer invoked after every scheduler iteration (from the worker
+  /// thread); for tests and instrumentation. May be empty.
+  std::function<void(const SchedulerStepInfo&)> on_step;
 };
 
 /// Continuous-batching scheduler: a dedicated worker thread admits queued
@@ -71,6 +91,10 @@ class RequestScheduler {
   /// Records `tok` for the stream; returns true (and resolves the future)
   /// when a stop condition fires, else stages the token for the next step.
   bool RecordToken(Stream* s, int64_t tok);
+  /// Runs the whole prompt (unchunked mode) or one chunk (chunked mode) of
+  /// the stream's prefill. Returns rows computed; sets *finished when the
+  /// stream retired at prefill (eos / max_new == 1).
+  int64_t AdvancePrefill(Stream* s, bool* finished);
 
   const Engine& engine_;
   SchedulerOptions opts_;

@@ -817,28 +817,39 @@ namespace {
 
 // Softmax(q K^T * scale) V for ONE query row over its first `valid` key
 // rows. This is the single arithmetic definition of an attention row:
-// AttentionForward, AttentionInference, and AttentionDecodeRow all funnel
-// here, which is what makes incremental KV-cache decode bitwise-equal to the
-// full-sequence forward. The loop structure (score+max pass, exp+sum pass,
-// normalize+accumulate pass, each in ascending j) replicates the historical
-// inline kernel exactly.
+// Every attention path (AttentionForward, AttentionInference,
+// AttentionDecodeRow, AttentionDecodeRowPaged) funnels here, which is what
+// makes incremental KV-cache decode bitwise-equal to the full-sequence
+// forward — paged or not. Key/value position j resolves through a page
+// table: `k_pages[j / page_rows] + head_off + (j % page_rows) * dh`; the
+// contiguous callers pass a single page spanning all rows, so both layouts
+// execute the exact float sequence of the historical inline kernel
+// (score+max pass, exp+sum pass, normalize+accumulate pass, each in
+// ascending j).
 //
 // Guards (the NaN bugfix): an empty valid set, an all--inf score row, or a
 // fully-underflowed exp-sum emits zeros instead of dividing by zero.
 // `scores` receives the post-softmax probabilities for [0, valid).
-inline void AttentionRowKernel(const float* qrow, const float* krows,
-                               const float* vrows, int64_t valid, int64_t dh,
-                               float scale, float* scores, float* orow) {
+inline void AttentionRowKernelPaged(const float* qrow,
+                                    const float* const* k_pages,
+                                    const float* const* v_pages,
+                                    int64_t head_off, int64_t page_rows,
+                                    int64_t valid, int64_t dh, float scale,
+                                    float* scores, float* orow) {
   // Output storage may be uninitialized; clear before accumulating.
   for (int64_t d = 0; d < dh; ++d) orow[d] = 0.0f;
   if (valid <= 0) return;
   float mx = -std::numeric_limits<float>::infinity();
-  for (int64_t j = 0; j < valid; ++j) {
-    const float* krow = krows + j * dh;
-    float acc = 0.0f;
-    for (int64_t d = 0; d < dh; ++d) acc += qrow[d] * krow[d];
-    scores[j] = acc * scale;
-    mx = std::max(mx, scores[j]);
+  for (int64_t j = 0; j < valid;) {
+    const int64_t page = j / page_rows;
+    const int64_t pend = std::min(valid, (page + 1) * page_rows);
+    const float* krow = k_pages[page] + head_off + (j - page * page_rows) * dh;
+    for (; j < pend; ++j, krow += dh) {
+      float acc = 0.0f;
+      for (int64_t d = 0; d < dh; ++d) acc += qrow[d] * krow[d];
+      scores[j] = acc * scale;
+      mx = std::max(mx, scores[j]);
+    }
   }
   if (mx == -std::numeric_limits<float>::infinity()) {
     // Every score is -inf: exp(s - mx) would be exp(NaN). Treat the row as
@@ -856,11 +867,26 @@ inline void AttentionRowKernel(const float* qrow, const float* krows,
     return;
   }
   const float inv = 1.0f / sum;
-  for (int64_t j = 0; j < valid; ++j) {
-    scores[j] *= inv;
-    const float* vrow = vrows + j * dh;
-    for (int64_t d = 0; d < dh; ++d) orow[d] += scores[j] * vrow[d];
+  for (int64_t j = 0; j < valid;) {
+    const int64_t page = j / page_rows;
+    const int64_t pend = std::min(valid, (page + 1) * page_rows);
+    const float* vrow = v_pages[page] + head_off + (j - page * page_rows) * dh;
+    for (; j < pend; ++j, vrow += dh) {
+      scores[j] *= inv;
+      for (int64_t d = 0; d < dh; ++d) orow[d] += scores[j] * vrow[d];
+    }
   }
+}
+
+// Contiguous-layout wrapper: one page spanning every row.
+inline void AttentionRowKernel(const float* qrow, const float* krows,
+                               const float* vrows, int64_t valid, int64_t dh,
+                               float scale, float* scores, float* orow) {
+  const float* k_pages[1] = {krows};
+  const float* v_pages[1] = {vrows};
+  AttentionRowKernelPaged(qrow, k_pages, v_pages, /*head_off=*/0,
+                          /*page_rows=*/valid > 0 ? valid : 1, valid, dh,
+                          scale, scores, orow);
 }
 
 // Visible key count for query row `i` of batch element `bi` under `mask`
@@ -951,6 +977,15 @@ void AttentionDecodeRow(const float* q_row, const float* k_rows,
                         float* scratch, float* out_row) {
   const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
   AttentionRowKernel(q_row, k_rows, v_rows, len, dh, scale, scratch, out_row);
+}
+
+void AttentionDecodeRowPaged(const float* q_row, const float* const* k_pages,
+                             const float* const* v_pages, int64_t head_offset,
+                             int64_t len, int64_t page_rows, int64_t dh,
+                             float* scratch, float* out_row) {
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  AttentionRowKernelPaged(q_row, k_pages, v_pages, head_offset, page_rows,
+                          len, dh, scale, scratch, out_row);
 }
 
 void AttentionBackward(const Tensor& dy, const Tensor& q, const Tensor& k,

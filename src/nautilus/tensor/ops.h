@@ -196,6 +196,20 @@ void AttentionDecodeRow(const float* q_row, const float* k_rows,
                         const float* v_rows, int64_t len, int64_t dh,
                         float* scratch, float* out_row);
 
+/// Paged variant of AttentionDecodeRow: the `len` cached K/V positions live
+/// in fixed-size pages of `page_rows` positions each. `k_pages[p]` /
+/// `v_pages[p]` point at the base of page p's storage; position j resolves
+/// to `k_pages[j / page_rows] + head_offset + (j % page_rows) * dh` (the
+/// head_offset selects one head's [page_rows, dh] plane inside a
+/// [heads, page_rows, dh] page). Funnels through the same per-row kernel in
+/// the same ascending-j order as the contiguous path, so the result is
+/// bitwise-equal to AttentionDecodeRow over the gathered rows — paging never
+/// perturbs serving output.
+void AttentionDecodeRowPaged(const float* q_row, const float* const* k_pages,
+                             const float* const* v_pages, int64_t head_offset,
+                             int64_t len, int64_t page_rows, int64_t dh,
+                             float* scratch, float* out_row);
+
 /// Backward of AttentionForward.
 void AttentionBackward(const Tensor& dy, const Tensor& q, const Tensor& k,
                        const Tensor& v, const AttentionCache& cache,

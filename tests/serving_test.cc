@@ -7,10 +7,13 @@
 #include <cstdint>
 #include <future>
 #include <limits>
+#include <mutex>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "nautilus/nn/transformer.h"
+#include "nautilus/obs/metrics.h"
 #include "nautilus/serve/engine.h"
 #include "nautilus/serve/kv_cache.h"
 #include "nautilus/serve/sampler.h"
@@ -438,17 +441,324 @@ TEST(Scheduler, EosStopsAStreamEarly) {
   EXPECT_EQ(got.reason, serve::FinishReason::kEos);
 }
 
-TEST(Scheduler, PositionalTableBoundStopsGeneration) {
+TEST(Scheduler, FullLengthPromptYieldsExactlyOneToken) {
   zoo::BertLikeModel model(zoo::BertConfig::MiniScale(), 7);
   serve::Engine engine(model);
   serve::Request r;
-  // Full-length prompt: exactly one token can be sampled (from prefill
-  // logits); there is no position left to feed it back.
+  // Full-length prompt: the one sampled token comes from prefill logits and
+  // is never fed back, so max_new_tokens = 1 exactly fits the table.
   r.prompt.assign(static_cast<size_t>(engine.max_len()), 3);
-  r.max_new_tokens = 100;
+  r.max_new_tokens = 1;
   serve::Completion got = GenerateOne(engine, r);
   EXPECT_EQ(got.tokens.size(), 1u);
-  EXPECT_EQ(got.reason, serve::FinishReason::kMaxLen);
+  EXPECT_EQ(got.reason, serve::FinishReason::kLength);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: requests that cannot honor max_new_tokens within the positional
+// table are rejected up front, in Submit and GenerateOne alike.
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerDeathTest, RejectsPromptPlusMaxNewBeyondMaxLen) {
+  zoo::BertLikeModel model(zoo::BertConfig::MiniScale(), 7);
+  serve::Engine engine(model);
+  serve::Request r;
+  r.prompt.assign(static_cast<size_t>(engine.max_len()), 3);
+  r.max_new_tokens = 2;  // needs max_len + 1 positions
+  EXPECT_DEATH(GenerateOne(engine, r), "request rejected");
+  EXPECT_DEATH(
+      {
+        serve::RequestScheduler scheduler(engine);
+        scheduler.Submit(r);
+      },
+      "request rejected");
+
+  serve::Request edge;  // largest admissible request at this prompt length
+  edge.prompt = {5, 17, 42};
+  edge.max_new_tokens = engine.max_len() - 2;  // 3 + 10 - 1 == max_len
+  serve::Completion got = GenerateOne(engine, edge);
+  EXPECT_EQ(static_cast<int64_t>(got.tokens.size()), edge.max_new_tokens);
+  EXPECT_EQ(got.reason, serve::FinishReason::kLength);
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: paged KV storage. Page-table append/growth, copy-on-write on
+// divergence from a shared page, bitwise parity with the unpaged layout, and
+// shared-prefix reuse through the prefix cache.
+// ---------------------------------------------------------------------------
+
+TEST(PagedKvEntry, AppendAcrossPagesPreservesRows) {
+  const int64_t heads = 3, dh = 5, page_rows = 4;
+  nn::PagedKvEntry e;
+  e.Init(heads, dh, page_rows);
+  std::vector<std::vector<float>> krows, vrows;
+  Rng rng(99);
+  for (int step = 0; step < 11; ++step) {  // 2 full pages + a partial tail
+    std::vector<float> kr(static_cast<size_t>(heads * dh));
+    std::vector<float> vr(static_cast<size_t>(heads * dh));
+    for (float& x : kr) x = rng.Normal();
+    for (float& x : vr) x = rng.Normal();
+    e.AppendRow(kr.data(), vr.data());
+    krows.push_back(kr);
+    vrows.push_back(vr);
+  }
+  EXPECT_EQ(e.len, 11);
+  ASSERT_EQ(e.pages.size(), 3u);
+  std::vector<const float*> kp, vp;
+  e.CollectPageTable(&kp, &vp);
+  for (int64_t h = 0; h < heads; ++h) {
+    for (int64_t t = 0; t < e.len; ++t) {
+      const float* krow =
+          kp[static_cast<size_t>(t / page_rows)] +
+          (h * page_rows + t % page_rows) * dh;
+      const float* vrow =
+          vp[static_cast<size_t>(t / page_rows)] +
+          (h * page_rows + t % page_rows) * dh;
+      for (int64_t d = 0; d < dh; ++d) {
+        EXPECT_EQ(krow[d],
+                  krows[static_cast<size_t>(t)][static_cast<size_t>(h * dh + d)]);
+        EXPECT_EQ(vrow[d],
+                  vrows[static_cast<size_t>(t)][static_cast<size_t>(h * dh + d)]);
+      }
+    }
+  }
+}
+
+TEST(PagedKvEntry, CopyOnWriteLeavesSharedPageUntouched) {
+  const int64_t heads = 2, dh = 3, page_rows = 4;
+  nn::PagedKvEntry a;
+  a.Init(heads, dh, page_rows);
+  Rng rng(7);
+  std::vector<float> row(static_cast<size_t>(heads * dh));
+  for (int step = 0; step < 6; ++step) {  // one full page + 2 tail rows
+    for (float& x : row) x = rng.Normal();
+    a.AppendRow(row.data(), row.data());
+  }
+
+  nn::PagedKvEntry b;
+  b.Init(heads, dh, page_rows);
+  b.AttachShared(a.pages[0], page_rows);  // full page by reference
+  b.AttachShared(a.pages[1], 2);          // partial tail by reference
+  EXPECT_EQ(b.len, 6);
+  EXPECT_TRUE(b.TailShared());
+  EXPECT_EQ(b.pages[1].get(), a.pages[1].get());
+
+  // Snapshot a's tail page, then diverge b: its append must copy, not write
+  // through the shared page.
+  std::vector<float> a_tail_k(a.pages[1]->k.data(),
+                              a.pages[1]->k.data() + a.pages[1]->k.NumElements());
+  for (float& x : row) x = 1000.0f;
+  b.AppendRow(row.data(), row.data());
+  EXPECT_EQ(b.len, 7);
+  EXPECT_NE(b.pages[1].get(), a.pages[1].get()) << "divergence must copy";
+  EXPECT_FALSE(b.TailShared());
+  for (int64_t i = 0; i < a.pages[1]->k.NumElements(); ++i) {
+    ASSERT_EQ(a.pages[1]->k.data()[i], a_tail_k[static_cast<size_t>(i)])
+        << "shared page mutated at " << i;
+  }
+  // b sees the 2 attached rows it copied plus its divergent row.
+  for (int64_t h = 0; h < heads; ++h) {
+    const float* copied = b.pages[1]->k.data() + h * page_rows * dh;
+    const float* orig = a.pages[1]->k.data() + h * page_rows * dh;
+    for (int64_t i = 0; i < 2 * dh; ++i) ASSERT_EQ(copied[i], orig[i]);
+    for (int64_t d = 0; d < dh; ++d) {
+      ASSERT_EQ(copied[2 * dh + d], 1000.0f);
+    }
+  }
+}
+
+void RunPagedVsUnpagedParity(const zoo::BertLikeModel& model) {
+  serve::EngineOptions up;
+  up.paged = false;
+  serve::Engine unpaged(model, up);
+  serve::EngineOptions pp;
+  pp.page_rows = 4;  // several pages within MiniScale's 12 positions
+  serve::Engine paged(model, pp);
+
+  const std::vector<int64_t> prompt = {5, 17, 42, 3};
+  auto uc = unpaged.NewCache();
+  auto pc = paged.NewCache();
+  Tensor ul = unpaged.Prefill(prompt.data(),
+                              static_cast<int64_t>(prompt.size()), uc.get());
+  Tensor pl = paged.Prefill(prompt.data(),
+                            static_cast<int64_t>(prompt.size()), pc.get());
+  ExpectBitwiseEqual(ul, pl, "paged vs unpaged prefill logits");
+  serve::Sampler greedy(serve::SamplingParams{}, 0);
+  for (int step = 0; step < 5; ++step) {
+    int64_t tok = greedy.Sample(ul.data(), unpaged.vocab());
+    std::vector<serve::KvCache*> ucs = {uc.get()};
+    std::vector<serve::KvCache*> pcs = {pc.get()};
+    ul = unpaged.DecodeStep(&tok, ucs);
+    pl = paged.DecodeStep(&tok, pcs);
+    ExpectBitwiseEqual(ul, pl, "paged vs unpaged decode logits");
+  }
+}
+
+TEST(PagedParity, MatchesUnpagedBitwiseAcrossDegrees) {
+  zoo::BertLikeModel model(zoo::BertConfig::MiniScale(), 7);
+  for (int degree : {1, 2, 8}) {
+    ScopedDegree d(degree);
+    RunPagedVsUnpagedParity(model);
+  }
+}
+
+TEST(PagedParity, HoldsUnderInt8AndF16Quant) {
+  zoo::BertLikeModel model(zoo::BertConfig::MiniScale(), 7);
+  {
+    quant::ScopedQuantMode q(quant::QuantMode::kInt8);
+    for (int degree : {1, 8}) {
+      ScopedDegree d(degree);
+      RunPagedVsUnpagedParity(model);
+    }
+  }
+  {
+    quant::ScopedQuantMode q(quant::QuantMode::kF16);
+    RunPagedVsUnpagedParity(model);
+  }
+}
+
+TEST(PrefixCacheReuse, SecondStreamAttachesSharedPagesBitwise) {
+  zoo::BertLikeModel model(zoo::BertConfig::MiniScale(), 7);
+  serve::EngineOptions opts;
+  opts.page_rows = 4;
+  serve::Engine engine(model, opts);
+  obs::Counter& hits =
+      obs::MetricsRegistry::Global().counter("serve.prefix_cache.hits");
+  obs::Counter& shared =
+      obs::MetricsRegistry::Global().counter("serve.prefix_cache.pages_shared");
+  obs::Counter& reused =
+      obs::MetricsRegistry::Global().counter("serve.prefix_cache.rows_reused");
+  const int64_t hits0 = hits.value();
+  const int64_t shared0 = shared.value();
+  const int64_t reused0 = reused.value();
+
+  const std::vector<int64_t> prompt = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto c1 = engine.NewCache();
+  Tensor l1 = engine.Prefill(prompt.data(),
+                             static_cast<int64_t>(prompt.size()), c1.get());
+  ASSERT_NE(engine.prefix_cache(), nullptr);
+  EXPECT_GT(engine.prefix_cache()->NodeCount(), 0);  // 2 full pages published
+  EXPECT_GT(engine.prefix_cache()->CachedBytes(), 0);
+
+  // Identical prompt: the second stream attaches the published pages by
+  // reference and computes only the uncached tail — logits must not budge.
+  auto c2 = engine.NewCache();
+  Tensor l2 = engine.Prefill(prompt.data(),
+                             static_cast<int64_t>(prompt.size()), c2.get());
+  ExpectBitwiseEqual(l1, l2, "prefix-cache hit vs miss prefill logits");
+  EXPECT_GT(hits.value(), hits0);
+  EXPECT_GT(shared.value(), shared0);
+  EXPECT_EQ(reused.value() - reused0, 8);  // both full pages attached
+  EXPECT_GT(c2->SharedPages(), 0);
+  EXPECT_LT(c2->OwnedBytes(), c2->SizeBytes());
+
+  // A prompt sharing only the first page then diverging must still match a
+  // cold engine (no prefix cache) bitwise: CoW isolates the divergence.
+  const std::vector<int64_t> div = {1, 2, 3, 4, 99, 98, 97};
+  auto c3 = engine.NewCache();
+  Tensor l3 = engine.Prefill(div.data(), static_cast<int64_t>(div.size()),
+                             c3.get());
+  serve::EngineOptions cold_opts = opts;
+  cold_opts.prefix_cache = false;
+  serve::Engine cold(model, cold_opts);
+  EXPECT_EQ(cold.prefix_cache(), nullptr);
+  auto c4 = cold.NewCache();
+  Tensor l4 = cold.Prefill(div.data(), static_cast<int64_t>(div.size()),
+                           c4.get());
+  ExpectBitwiseEqual(l3, l4, "divergent prefix-cache prefill vs cold");
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: chunked prefill. Chunk boundaries never change completions, and
+// a long prompt stalls a live stream's decode by at most one chunk.
+// ---------------------------------------------------------------------------
+
+TEST(ChunkedPrefill, CompletionsMatchGenerateOne) {
+  zoo::BertLikeModel model(zoo::BertConfig::MiniScale(), 7);
+  serve::Engine engine(model);
+  std::vector<serve::Request> reqs;
+  for (int i = 0; i < 6; ++i) {
+    serve::Request r;
+    r.prompt.assign(static_cast<size_t>(3 + (i * 3) % 7), 0);
+    for (size_t j = 0; j < r.prompt.size(); ++j) {
+      r.prompt[j] = static_cast<int64_t>((i * 31 + j * 7) % engine.vocab());
+    }
+    r.max_new_tokens =
+        engine.max_len() - static_cast<int64_t>(r.prompt.size()) + 1;
+    r.seed = static_cast<uint64_t>(i);
+    reqs.push_back(r);
+  }
+  std::vector<serve::Completion> want;
+  for (const serve::Request& r : reqs) want.push_back(GenerateOne(engine, r));
+
+  obs::Histogram& chunks =
+      obs::MetricsRegistry::Global().histogram("serve.prefill_chunks");
+  const int64_t count0 = chunks.count();
+  serve::SchedulerOptions opts;
+  opts.max_batch = 3;
+  opts.prefill_chunk = 2;
+  serve::RequestScheduler scheduler(engine, opts);
+  std::vector<std::future<serve::Completion>> futures;
+  for (const serve::Request& r : reqs) futures.push_back(scheduler.Submit(r));
+  for (size_t i = 0; i < futures.size(); ++i) {
+    serve::Completion got = futures[i].get();
+    EXPECT_EQ(got.tokens, want[i].tokens) << "request " << i;
+    EXPECT_EQ(got.reason, want[i].reason) << "request " << i;
+  }
+  scheduler.Shutdown();
+  // One histogram sample per completed prefill; prompts of 3..9 tokens in
+  // chunks of 2 take 2..5 chunks each.
+  EXPECT_EQ(chunks.count() - count0, static_cast<int64_t>(reqs.size()));
+  EXPECT_GE(chunks.max(), 2);
+}
+
+TEST(ChunkedPrefill, LongPromptDelaysDecodeByAtMostOneChunk) {
+  zoo::BertLikeModel model(zoo::BertConfig::MiniScale(), 7);
+  serve::Engine engine(model);
+
+  std::mutex mu;
+  std::vector<serve::SchedulerStepInfo> steps;
+  serve::SchedulerOptions opts;
+  opts.max_batch = 4;
+  opts.prefill_chunk = 3;
+  opts.on_step = [&](const serve::SchedulerStepInfo& info) {
+    std::lock_guard<std::mutex> lk(mu);
+    steps.push_back(info);
+  };
+  serve::RequestScheduler scheduler(engine, opts);
+
+  // A short stream with a long decode, then a long prompt (11 rows = 4
+  // chunks of 3) that must not monopolize iterations.
+  serve::Request short_req;
+  short_req.prompt = {5, 17};
+  short_req.max_new_tokens = 8;
+  serve::Request long_req;
+  long_req.prompt.assign(11, 0);
+  for (size_t j = 0; j < long_req.prompt.size(); ++j) {
+    long_req.prompt[j] = static_cast<int64_t>(j * 13 % engine.vocab());
+  }
+  long_req.max_new_tokens = 2;
+  auto f1 = scheduler.Submit(short_req);
+  auto f2 = scheduler.Submit(long_req);
+  serve::Completion got_short = f1.get();
+  serve::Completion got_long = f2.get();
+  scheduler.Shutdown();
+
+  EXPECT_EQ(got_short.tokens, GenerateOne(engine, short_req).tokens);
+  EXPECT_EQ(got_long.tokens, GenerateOne(engine, long_req).tokens);
+
+  bool interleaved = false;
+  std::lock_guard<std::mutex> lk(mu);
+  for (const serve::SchedulerStepInfo& info : steps) {
+    // The stall bound: an iteration never computes more than one chunk of
+    // prompt rows, and a decode-ready stream always decodes that iteration.
+    EXPECT_LE(info.prefill_rows, opts.prefill_chunk);
+    if (info.decoded > 0 && (info.prefilling > 0 || info.prefill_rows > 0)) {
+      interleaved = true;
+    }
+  }
+  EXPECT_TRUE(interleaved)
+      << "long-prompt prefill never overlapped a decode step";
 }
 
 }  // namespace

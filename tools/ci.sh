@@ -11,8 +11,10 @@
 # (NAUTILUS_FUSION=0 vs =1 must select identical models with bitwise-equal
 # losses), a background-materialization smoke test
 # (an evolving-workload run whose per-cycle appends must complete on the
-# thread pool), a serving smoke test (two --serve runs must emit
-# byte-identical generations at a positive tokens/sec), and — when the
+# thread pool), a serving smoke test (--serve runs with the prefix cache on
+# vs off and with chunked prefill must emit byte-identical generations at a
+# positive tokens/sec, and a shared-prefix workload must register
+# serve.prefix_cache.hits > 0), and — when the
 # sanitizer runtimes are available — an
 # AddressSanitizer build over the buffer-pool/GEMM tests and a
 # ThreadSanitizer build running the threaded pool/executor/trainer tests
@@ -204,24 +206,38 @@ fi
 echo "background materialization OK: completions=$BG_DONE"
 
 echo "==> serving smoke test"
-# KV-cache decode with continuous batching must be deterministic: two
-# identical --serve runs produce byte-identical stdout (greedy decode is
-# batch- and thread-invariant), and the stderr summary must report a
-# positive tokens/sec.
+# KV-cache decode with continuous batching must be deterministic: --serve
+# runs with the paged prefix cache ON vs OFF, across thread counts, and
+# with chunked prefill must all produce byte-identical stdout (prefix reuse
+# and chunk boundaries change work, never logits), and the stderr summary
+# must report a positive tokens/sec. The prompts share a 4-token prefix
+# (one full page at --page-rows=4) so the cache actually engages, which a
+# fourth run verifies via serve.prefix_cache.hits.
 SERVE_A="$(mktemp /tmp/nautilus_ci_serve_a.XXXXXX.txt)"
 SERVE_B="$(mktemp /tmp/nautilus_ci_serve_b.XXXXXX.txt)"
+SERVE_C="$(mktemp /tmp/nautilus_ci_serve_c.XXXXXX.txt)"
+SERVE_M="$(mktemp /tmp/nautilus_ci_serve_m.XXXXXX.txt)"
 SERVE_ERR="$(mktemp /tmp/nautilus_ci_serve_err.XXXXXX.txt)"
-trap 'rm -f "$TRACE_FILE" "$GEMM_A_OUT" "$GEMM_B_OUT" "$QUANT_OFF_OUT" "$QUANT_INT8_OUT" "$FUSION_OFF_OUT" "$FUSION_ON_OUT" "$IO_SMOKE_OUT" "$BG_OUT" "$SERVE_A" "$SERVE_B" "$SERVE_ERR"' EXIT
-SERVE_PROMPTS='1 2 3 4
-5 6 7
-9 10 11 12 13
-20 21'
+trap 'rm -f "$TRACE_FILE" "$GEMM_A_OUT" "$GEMM_B_OUT" "$QUANT_OFF_OUT" "$QUANT_INT8_OUT" "$FUSION_OFF_OUT" "$FUSION_ON_OUT" "$IO_SMOKE_OUT" "$BG_OUT" "$SERVE_A" "$SERVE_B" "$SERVE_C" "$SERVE_M" "$SERVE_ERR"' EXIT
+SERVE_PROMPTS='1 2 3 4 5
+1 2 3 4 6
+1 2 3 4
+1 2 3 4 7
+9 10 11'
 printf '%s\n' "$SERVE_PROMPTS" | "$BUILD_DIR/tools/nautilus_cli" \
-  --serve --max-new=8 --seed=3 > "$SERVE_A" 2> "$SERVE_ERR"
+  --serve --max-new=8 --seed=3 --page-rows=4 > "$SERVE_A" 2> "$SERVE_ERR"
 printf '%s\n' "$SERVE_PROMPTS" | "$BUILD_DIR/tools/nautilus_cli" \
-  --serve --max-new=8 --seed=3 --threads=2 --max-batch=2 > "$SERVE_B" 2> /dev/null
+  --serve --max-new=8 --seed=3 --page-rows=4 --prefix-cache=0 \
+  --threads=2 --max-batch=2 > "$SERVE_B" 2> /dev/null
+printf '%s\n' "$SERVE_PROMPTS" | "$BUILD_DIR/tools/nautilus_cli" \
+  --serve --max-new=8 --seed=3 --page-rows=4 --prefill-chunk=2 \
+  --threads=2 > "$SERVE_C" 2> /dev/null
 if ! diff "$SERVE_A" "$SERVE_B"; then
-  echo "FAIL: serve output differs across runs/thread counts"
+  echo "FAIL: serve output differs with the prefix cache off"
+  exit 1
+fi
+if ! diff "$SERVE_A" "$SERVE_C"; then
+  echo "FAIL: serve output differs under chunked prefill"
   exit 1
 fi
 test -s "$SERVE_A" || { echo "FAIL: serve produced no output"; exit 1; }
@@ -230,7 +246,17 @@ if [ -z "$TOK_S" ] || ! awk -v t="$TOK_S" 'BEGIN { exit !(t > 0) }'; then
   echo "FAIL: serve summary reports no positive tokens/sec (got '${TOK_S:-absent}')"
   exit 1
 fi
-echo "serving OK: deterministic output, $TOK_S tok/s"
+# Shared-prefix reuse must actually fire: later prompts attach the published
+# '1 2 3 4' page instead of recomputing it.
+printf '%s\n' "$SERVE_PROMPTS" | "$BUILD_DIR/tools/nautilus_cli" \
+  --serve --max-new=8 --seed=3 --page-rows=4 --prefill-chunk=2 \
+  --metrics-summary > "$SERVE_M" 2> /dev/null
+PREFIX_HITS="$(awk '$1 == "serve.prefix_cache.hits" {print $2}' "$SERVE_M")"
+if [ -z "$PREFIX_HITS" ] || [ "$PREFIX_HITS" -le 0 ]; then
+  echo "FAIL: serve.prefix_cache.hits is '${PREFIX_HITS:-absent}' (expected > 0)"
+  exit 1
+fi
+echo "serving OK: deterministic across prefix-cache/chunking/threads, $TOK_S tok/s, prefix hits=$PREFIX_HITS"
 
 echo "==> crash-recovery smoke test"
 CR_DIR="$(mktemp -d /tmp/nautilus_ci_crash.XXXXXX)"
@@ -307,6 +333,8 @@ fi
 echo "==> thread sanitizer"
 # Probe for libtsan: some toolchains ship the compiler flag but not the
 # runtime, in which case the TSAN stage is skipped rather than failed.
+# serving_test runs with paged KV (the default) — the scheduler worker,
+# prefix-trie locking, and page sharing all execute under TSAN.
 if echo 'int main(){return 0;}' | \
    c++ -x c++ -fsanitize=thread -o /tmp/nautilus_tsan_probe - >/dev/null 2>&1; then
   rm -f /tmp/nautilus_tsan_probe

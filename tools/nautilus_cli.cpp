@@ -33,6 +33,13 @@
 //   --resume       continue a previous --mode=measure run persisted in
 //                  --work-dir (completed cycles are skipped)
 //
+// Serving (--serve; docs/SERVING.md):
+//   --page-rows=N       positions per paged-KV page (default 4 at mini scale)
+//   --prefix-cache=0|1  shared-prefix page reuse across prompts (default 1;
+//                       never changes outputs, only prefill work)
+//   --prefill-chunk=N   split prompts into N-row prefill chunks interleaved
+//                       with decode steps (0 = whole-prompt prefill)
+//
 // Observability (docs/OBSERVABILITY.md):
 //   --trace-out=FILE    record a Chrome/Perfetto trace of the run to FILE
 //   --metrics-summary   print the global metrics registry after the run
@@ -294,9 +301,15 @@ int Run(int argc, char** argv) {
     serve::EngineOptions eopts;
     eopts.num_adapters =
         std::atol(FlagValue(argc, argv, "adapters", "0").c_str());
+    eopts.page_rows =
+        std::atol(FlagValue(argc, argv, "page-rows", "4").c_str());
+    eopts.prefix_cache =
+        std::atol(FlagValue(argc, argv, "prefix-cache", "1").c_str()) != 0;
     serve::Engine engine(model, eopts);
     serve::SchedulerOptions sopts;
     sopts.max_batch = std::atol(FlagValue(argc, argv, "max-batch", "8").c_str());
+    sopts.prefill_chunk =
+        std::atol(FlagValue(argc, argv, "prefill-chunk", "0").c_str());
     serve::RequestScheduler scheduler(engine, sopts);
 
     const int64_t max_new =
@@ -365,6 +378,7 @@ int main(int argc, char** argv) {
           "          [--trace-out=FILE] [--metrics-summary]\n"
           "       %s --serve [--adapters=N] [--max-batch=8] [--max-new=8]\n"
           "          [--eos=ID] [--temperature=T] [--top-k=K] [--seed=1]\n"
+          "          [--page-rows=4] [--prefix-cache=0|1] [--prefill-chunk=N]\n"
           "          (reads one prompt of token ids per stdin line;\n"
           "           writes generated ids per line to stdout)\n",
           argv[0], argv[0]);
